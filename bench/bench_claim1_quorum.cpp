@@ -1,0 +1,134 @@
+// Reproduces Claim 1 (§4.2): any protocol reaching agreement at threshold
+// τ is only (t,k)-robust if τ ∈ [⌊(n+t0)/2⌋ + 1, n − t0].
+//
+//  * τ > n − t0: a quorum needs adversary signatures, so t0 abstaining
+//    Byzantine players kill (t,k)-eventual liveness.
+//  * τ ≤ ⌊(n+t0)/2⌋: a partition into equal halves plus t0 double-signers
+//    reaches conflicting quorums — (t,k)-agreement breaks.
+//
+// The bench sweeps τ across the interval on the generic two-phase quorum
+// protocol (n = 10, t0 = 2) and measures which property fails.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/quorum_node.hpp"
+#include "harness/replica_cluster.hpp"
+#include "harness/table.hpp"
+
+using namespace ratcon;
+using baselines::QuorumForkPlan;
+using baselines::QuorumNode;
+using harness::ReplicaCluster;
+
+namespace {
+
+constexpr std::uint32_t kN = 10;
+constexpr std::uint32_t kT0 = 2;
+
+struct Outcome {
+  bool live = false;
+  bool fork = false;
+};
+
+/// Liveness probe: t0 Byzantine players abstain; do blocks still finalize?
+Outcome run_liveness(std::uint32_t tau) {
+  ReplicaCluster::Options opt;
+  opt.n = kN;
+  opt.t0 = kT0;
+  opt.seed = 50 + tau;
+  opt.target_blocks = 3;
+  opt.factory = [tau](NodeId id, const consensus::Config& cfg,
+                      crypto::KeyRegistry& registry,
+                      ledger::DepositLedger& deposits) {
+    QuorumNode::Deps deps;
+    deps.cfg = cfg;
+    deps.tau = tau;
+    deps.registry = &registry;
+    deps.keys = registry.generate(id, 1);
+    deps.deposits = &deposits;
+    deps.abstain = id < kT0;  // π_abs, crash-indistinguishable
+    auto node = std::make_unique<QuorumNode>(std::move(deps));
+    node->set_target_blocks(cfg.target_rounds);
+    return node;
+  };
+  ReplicaCluster cluster(std::move(opt));
+  cluster.inject_workload(6, msec(1), msec(1));
+  cluster.start();
+  cluster.run_until(sec(120));
+  return {cluster.max_height() >= 3, !cluster.agreement_holds()};
+}
+
+/// Safety probe: t0 double-signers + an equal partition of the rest.
+Outcome run_safety(std::uint32_t tau) {
+  auto plan = std::make_shared<QuorumForkPlan>();
+  plan->n = kN;
+  plan->coalition = {0, 1};  // exactly t0 Byzantine double-signers
+  plan->side_a = {2, 3, 4, 5};
+  plan->side_b = {6, 7, 8, 9};
+
+  ReplicaCluster::Options opt;
+  opt.n = kN;
+  opt.t0 = kT0;
+  opt.seed = 90 + tau;
+  opt.target_blocks = 3;
+  opt.factory = [tau, plan](NodeId id, const consensus::Config& cfg,
+                            crypto::KeyRegistry& registry,
+                            ledger::DepositLedger& deposits) {
+    QuorumNode::Deps deps;
+    deps.cfg = cfg;
+    deps.tau = tau;
+    deps.registry = &registry;
+    deps.keys = registry.generate(id, 1);
+    deps.deposits = &deposits;
+    deps.fork_plan = plan;
+    auto node = std::make_unique<QuorumNode>(std::move(deps));
+    node->set_target_blocks(cfg.target_rounds);
+    return node;
+  };
+  ReplicaCluster cluster(std::move(opt));
+  cluster.inject_workload(6, msec(1), msec(1));
+  // The partition argument of Claim 1: A and B only talk through T.
+  cluster.net().set_partition({{2, 3, 4, 5}, {6, 7, 8, 9}}, sec(60));
+  cluster.start();
+  cluster.run_until(sec(120));
+  return {cluster.max_height() >= 1, !cluster.agreement_holds()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==========================================================\n");
+  std::printf("Claim 1 — admissible agreement thresholds tau\n");
+  std::printf("==========================================================\n\n");
+  std::printf("n = %u, t0 = %u. Paper: tau must lie in "
+              "[floor((n+t0)/2)+1, n-t0] = [%u, %u]\n\n",
+              kN, kT0, (kN + kT0) / 2 + 1, kN - kT0);
+
+  harness::Table table({"tau", "in Claim-1 interval?",
+                        "liveness vs t0 abstainers",
+                        "agreement vs t0 double-signers + partition",
+                        "verdict"});
+  bool all_match = true;
+  for (std::uint32_t tau = 5; tau <= 9; ++tau) {
+    const bool in_interval = tau >= (kN + kT0) / 2 + 1 && tau <= kN - kT0;
+    const Outcome live = run_liveness(tau);
+    const Outcome safe = run_safety(tau);
+    const bool ok = live.live && !safe.fork;
+    // Claim 1 is necessary-only: inside the interval both probes must pass;
+    // outside it at least one must fail.
+    const bool matches = in_interval ? ok : !ok;
+    all_match = all_match && matches;
+    table.add_row({std::to_string(tau), in_interval ? "yes" : "no",
+                   live.live ? "live" : "STALLED",
+                   safe.fork ? "FORKED" : "safe",
+                   matches ? "matches Claim 1" : "MISMATCH"});
+  }
+  table.print();
+
+  std::printf("\n[claim1] %s: tau > n-t0 stalls under abstention; "
+              "tau <= floor((n+t0)/2) forks under partition;\n"
+              "         the interval's thresholds pass both probes.\n",
+              all_match ? "OK" : "MISMATCH");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,205 @@
+// Reproduces Figure 3 (§5.3.3): message complexity, message size and
+// accountability across pBFT, HotStuff, Polygraph and pRFT.
+//
+// Every protocol runs its normal-case path on the shared simulator for a
+// sweep of committee sizes; the cluster's traffic stats count real wire
+// bytes. Power-law fits of messages-per-round and bytes-per-round against
+// n give the measured exponents printed next to the paper's asymptotic
+// claims. Note the paper's message-complexity column counts the
+// view-change storm path (n² view-changes, each answered per phase); the
+// normal-case exponents measured here are one degree lower for the
+// all-to-all protocols (Θ(n²) messages), while the *size* hierarchy —
+// HotStuff ≪ pBFT < Polygraph < pRFT — reproduces directly.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/hotstuff.hpp"
+#include "baselines/quorum_node.hpp"
+#include "harness/fit.hpp"
+#include "harness/prft_cluster.hpp"
+#include "harness/replica_cluster.hpp"
+#include "harness/table.hpp"
+
+using namespace ratcon;
+using baselines::HotstuffNode;
+using baselines::QuorumNode;
+using harness::ReplicaCluster;
+
+namespace {
+
+constexpr std::uint64_t kBlocks = 3;
+
+struct Measurement {
+  double msgs_per_round = 0;
+  double bytes_per_round = 0;
+};
+
+Measurement run_quorum(std::uint32_t n, bool accountable) {
+  ReplicaCluster::Options opt;
+  opt.n = n;
+  opt.t0 = consensus::bft_t0(n);
+  opt.seed = 1000 + n;
+  opt.target_blocks = kBlocks;
+  opt.max_block_txs = 4;
+  opt.factory = [accountable](NodeId id, const consensus::Config& cfg,
+                              crypto::KeyRegistry& registry,
+                              ledger::DepositLedger& deposits) {
+    QuorumNode::Deps deps;
+    deps.cfg = cfg;
+    deps.proto = accountable ? consensus::ProtoId::kPolygraph
+                             : consensus::ProtoId::kPbft;
+    deps.accountable = accountable;
+    deps.registry = &registry;
+    deps.keys = registry.generate(id, 1);
+    deps.deposits = &deposits;
+    auto node = std::make_unique<QuorumNode>(std::move(deps));
+    node->set_target_blocks(cfg.target_rounds);
+    return node;
+  };
+  ReplicaCluster cluster(std::move(opt));
+  cluster.inject_workload(4, msec(1), msec(1));
+  cluster.start();
+  cluster.run_until(sec(120));
+  const auto total = cluster.net().stats().total();
+  return {static_cast<double>(total.count) / kBlocks,
+          static_cast<double>(total.bytes) / kBlocks};
+}
+
+Measurement run_hotstuff(std::uint32_t n) {
+  ReplicaCluster::Options opt;
+  opt.n = n;
+  opt.t0 = consensus::bft_t0(n);
+  opt.seed = 2000 + n;
+  opt.target_blocks = kBlocks;
+  opt.max_block_txs = 4;
+  opt.factory = [](NodeId id, const consensus::Config& cfg,
+                   crypto::KeyRegistry& registry, ledger::DepositLedger&) {
+    HotstuffNode::Deps deps;
+    deps.cfg = cfg;
+    deps.registry = &registry;
+    deps.keys = registry.generate(id, 1);
+    auto node = std::make_unique<HotstuffNode>(std::move(deps));
+    node->set_target_blocks(cfg.target_rounds);
+    return node;
+  };
+  ReplicaCluster cluster(std::move(opt));
+  cluster.inject_workload(4, msec(1), msec(1));
+  cluster.start();
+  cluster.run_until(sec(120));
+  const auto total = cluster.net().stats().total();
+  return {static_cast<double>(total.count) / kBlocks,
+          static_cast<double>(total.bytes) / kBlocks};
+}
+
+Measurement run_prft(std::uint32_t n) {
+  harness::PrftClusterOptions opt;
+  opt.n = n;
+  opt.seed = 3000 + n;
+  opt.target_blocks = kBlocks;
+  opt.max_block_txs = 4;
+  harness::PrftCluster cluster(opt);
+  cluster.inject_workload(4, msec(1), msec(1));
+  cluster.start();
+  cluster.run_until(sec(120));
+  const auto total = cluster.net().stats().total();
+  return {static_cast<double>(total.count) / kBlocks,
+          static_cast<double>(total.bytes) / kBlocks};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==========================================================\n");
+  std::printf("Figure 3 — message complexity / size / accountability\n");
+  std::printf("==========================================================\n\n");
+
+  const std::vector<std::uint32_t> sizes = {6, 9, 12, 18, 24};
+  std::vector<double> ns(sizes.begin(), sizes.end());
+
+  struct ProtocolRow {
+    const char* name;
+    const char* paper_msgs;
+    const char* paper_size;
+    const char* accountable;
+    std::vector<double> msgs;
+    std::vector<double> bytes;
+  };
+  std::vector<ProtocolRow> rows = {
+      {"pBFT", "O(n^3)", "O(k n^4)", "x", {}, {}},
+      {"HotStuff", "O(n^2)", "O(k n^3)", "x", {}, {}},
+      {"Polygraph", "O(n^3)", "O(k n^4)", "yes", {}, {}},
+      {"pRFT", "O(n^3)", "O(k n^4)", "yes", {}, {}},
+  };
+
+  for (std::uint32_t n : sizes) {
+    const Measurement pbft = run_quorum(n, false);
+    const Measurement hs = run_hotstuff(n);
+    const Measurement poly = run_quorum(n, true);
+    const Measurement prft = run_prft(n);
+    rows[0].msgs.push_back(pbft.msgs_per_round);
+    rows[0].bytes.push_back(pbft.bytes_per_round);
+    rows[1].msgs.push_back(hs.msgs_per_round);
+    rows[1].bytes.push_back(hs.bytes_per_round);
+    rows[2].msgs.push_back(poly.msgs_per_round);
+    rows[2].bytes.push_back(poly.bytes_per_round);
+    rows[3].msgs.push_back(prft.msgs_per_round);
+    rows[3].bytes.push_back(prft.bytes_per_round);
+  }
+
+  std::printf("Measured traffic per agreed block (normal case):\n\n");
+  harness::Table raw({"Protocol", "n=6 msgs", "n=24 msgs", "n=6 bytes",
+                      "n=24 bytes"});
+  for (const ProtocolRow& row : rows) {
+    raw.add_row({row.name, harness::fmt(row.msgs.front(), 0),
+                 harness::fmt(row.msgs.back(), 0),
+                 harness::fmt_bytes(
+                     static_cast<std::uint64_t>(row.bytes.front())),
+                 harness::fmt_bytes(
+                     static_cast<std::uint64_t>(row.bytes.back()))});
+  }
+  raw.print();
+
+  std::printf("\nFigure 3 reproduction (paper claim vs fitted exponents; "
+              "normal-case path):\n\n");
+  harness::Table table({"Protocol", "paper msgs", "measured msgs ~ n^b",
+                        "paper size", "measured bytes ~ n^b",
+                        "Accountability"});
+  std::vector<double> msg_exp, byte_exp;
+  for (const ProtocolRow& row : rows) {
+    const auto fm = harness::fit_power_law(ns, row.msgs);
+    const auto fb = harness::fit_power_law(ns, row.bytes);
+    msg_exp.push_back(fm.exponent);
+    byte_exp.push_back(fb.exponent);
+    table.add_row({row.name, row.paper_msgs,
+                   "n^" + harness::fmt(fm.exponent, 2), row.paper_size,
+                   "n^" + harness::fmt(fb.exponent, 2), row.accountable});
+  }
+  table.print();
+
+  // Shape checks: HotStuff is ~linear in messages and at least one degree
+  // below the all-to-all protocols; pRFT's bytes exponent is the largest
+  // (the Reveal certificates) and Polygraph sits between pBFT and pRFT.
+  const bool shape_ok =
+      msg_exp[1] < msg_exp[0] - 0.6 &&          // HotStuff << pBFT (msgs)
+      byte_exp[3] > byte_exp[2] - 0.1 &&        // pRFT >= Polygraph (bytes)
+      byte_exp[2] > byte_exp[0] - 0.1 &&        // Polygraph >= pBFT (bytes)
+      byte_exp[3] > byte_exp[1] + 0.8;          // pRFT >> HotStuff (bytes)
+
+  std::printf("\nNotes:\n");
+  std::printf("  * The paper's message-complexity column counts the "
+              "view-change storm path; the\n    normal-case all-to-all "
+              "exponent is ~2 (n^2 sends/round) and HotStuff's is ~1.\n");
+  std::printf("  * The size hierarchy matches: pRFT/Polygraph carry "
+              "certificates-of-certificates\n    (kappa*n^2-sized Reveals "
+              "-> total kappa*n^4 per round), pBFT carries only\n    "
+              "signatures, HotStuff only leader QCs.\n");
+  std::printf("  * Accountability column is behavioural: Polygraph and "
+              "pRFT convict >= t0+1 players\n    after equivocation (see "
+              "baselines_test.cpp and adversary_test.cpp); pBFT and\n    "
+              "HotStuff cannot.\n");
+  std::printf("\n[fig3] %s: complexity shape and accountability hierarchy "
+              "reproduce.\n",
+              shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}

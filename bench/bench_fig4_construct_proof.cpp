@@ -1,0 +1,103 @@
+// Reproduces Figure 4 (Appendix G): the ConstructProof procedure that
+// extracts the Proof-of-Fraud set D from accumulated message sets M.
+// Verifies the extraction semantics on controlled double-signing patterns
+// and measures its cost as committee size grows.
+
+#include <chrono>
+#include <cstdio>
+
+#include "consensus/fraud.hpp"
+#include "harness/table.hpp"
+
+using namespace ratcon;
+using namespace ratcon::consensus;
+
+namespace {
+
+struct Committee {
+  crypto::KeyRegistry registry;
+  std::vector<crypto::KeyPair> keys;
+  explicit Committee(std::uint32_t n) {
+    for (NodeId id = 0; id < n; ++id) keys.push_back(registry.generate(id, 3));
+  }
+};
+
+/// Builds the message set M of a round where `double_signers` players
+/// signed both values (commit phase) and everyone signed value A.
+std::vector<SignedValue> build_m(const Committee& c, std::uint32_t n,
+                                 std::uint32_t double_signers) {
+  const crypto::Hash256 va = crypto::sha256(std::string_view("value-a"));
+  const crypto::Hash256 vb = crypto::sha256(std::string_view("value-b"));
+  std::vector<SignedValue> m;
+  for (NodeId id = 0; id < n; ++id) {
+    m.push_back({PhaseTag::kCommit, 1, va,
+                 sign_phase(ProtoId::kPrft, PhaseTag::kCommit, 1, va, id,
+                            c.keys[id].sk)});
+  }
+  for (NodeId id = 0; id < double_signers; ++id) {
+    m.push_back({PhaseTag::kCommit, 1, vb,
+                 sign_phase(ProtoId::kPrft, PhaseTag::kCommit, 1, vb, id,
+                            c.keys[id].sk)});
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==========================================================\n");
+  std::printf("Figure 4 — ConstructProof(M, t0): PoF extraction\n");
+  std::printf("==========================================================\n\n");
+
+  // Correctness: sweep the number of double-signers around t0.
+  std::printf("Extraction semantics (n = 13, t0 = ceil(13/4)-1 = 3):\n\n");
+  const std::uint32_t n = 13;
+  const std::uint32_t t0 = 3;
+  Committee committee(n);
+  harness::Table table({"double-signers d", "|D| extracted",
+                        "verified guilty |V(D)|", "honest framed",
+                        "|D| > t0 (Expose fires)"});
+  bool ok = true;
+  for (std::uint32_t d = 0; d <= 6; ++d) {
+    const auto m = build_m(committee, n, d);
+    const FraudSet proofs = construct_proof(m);
+    const auto guilty = verify_fraud_proofs(ProtoId::kPrft, proofs,
+                                            committee.registry);
+    bool honest_framed = false;
+    for (NodeId g : guilty) {
+      if (g >= d) honest_framed = true;  // only ids < d double-signed
+    }
+    ok = ok && proofs.size() == d && guilty.size() == d && !honest_framed;
+    table.add_row({std::to_string(d), std::to_string(proofs.size()),
+                   std::to_string(guilty.size()),
+                   honest_framed ? "YES (bug)" : "no",
+                   proofs.size() > t0 ? "yes" : "no"});
+  }
+  table.print();
+
+  // Scaling: every player double-signs (worst case), measure runtime.
+  std::printf("\nExtraction cost (all n players double-signing, wall time "
+              "incl. signature verification):\n\n");
+  harness::Table perf({"n", "|M| statements", "|D|", "extract+verify"});
+  for (std::uint32_t size : {8u, 16u, 32u, 64u, 128u}) {
+    Committee big(size);
+    const auto m = build_m(big, size, size);
+    const auto start = std::chrono::steady_clock::now();
+    const FraudSet proofs = construct_proof(m);
+    const auto guilty =
+        verify_fraud_proofs(ProtoId::kPrft, proofs, big.registry);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    ok = ok && guilty.size() == size;
+    perf.add_row({std::to_string(size), std::to_string(m.size()),
+                  std::to_string(proofs.size()), harness::fmt(ms, 3) + " ms"});
+  }
+  perf.print();
+
+  std::printf("\n[fig4] %s: D contains exactly the double-signers, honest "
+              "players are never framed,\n       and Expose triggers "
+              "precisely when |D| >= t0 + 1.\n",
+              ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

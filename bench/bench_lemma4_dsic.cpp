@@ -1,0 +1,149 @@
+// Reproduces Lemma 4 (§6, Appendix F): in pRFT under threat model
+// ⟨(P,K,T), θ=1, ⌈n/4⌉−1⟩ with k + t < n/2, following the protocol
+// honestly (π_0) is *dominant-strategy* incentive compatible: for every
+// rational player, U(π_0) >= U(π) for every strategy π, whatever the
+// others do.
+//
+// The bench evaluates each strategy in the paper's strategy space
+// empirically: the candidate player P4 plays π against pRFT (n = 9), the
+// realized per-round system states are mapped through Table 2 (θ = 1) plus
+// the collateral penalty, and the discounted utility of Eq. 1 is computed.
+
+#include <cstdio>
+#include <memory>
+
+#include "adversary/behaviors.hpp"
+#include "adversary/fork_agent.hpp"
+#include "game/utility.hpp"
+#include "harness/prft_cluster.hpp"
+#include "harness/table.hpp"
+
+using namespace ratcon;
+
+namespace {
+
+constexpr std::uint32_t kN = 9;
+constexpr NodeId kCandidate = 3;  // the rational player under evaluation
+
+struct Result {
+  std::uint64_t blocks = 0;
+  std::uint64_t rounds = 0;
+  bool forked = false;
+  bool candidate_slashed = false;
+};
+
+/// Reconstructs a per-round outcome sequence for the candidate and applies
+/// Eq. 1. Successful rounds are σ_0 (payoff 0 for θ=1); aborted rounds are
+/// σ_NP (−α); a fork round would pay +α; the collateral loss L lands once,
+/// at the first aborted round (when the Expose that burned it circulated).
+double utility_theta1(const Result& r, const game::UtilityParams& params) {
+  std::vector<game::RoundOutcome> rounds;
+  const std::uint64_t aborted = r.rounds > r.blocks ? r.rounds - r.blocks : 0;
+  bool charged = false;
+  for (std::uint64_t i = 0; i < r.rounds; ++i) {
+    game::RoundOutcome out;
+    if (r.forked) {
+      out.state = game::SystemState::kFork;
+    } else if (i < aborted) {
+      out.state = game::SystemState::kNoProgress;
+    } else {
+      out.state = game::SystemState::kHonest;
+    }
+    if (r.candidate_slashed && !charged && i < aborted) {
+      out.penalized = true;
+      charged = true;
+    }
+    rounds.push_back(out);
+  }
+  return game::discounted_utility(rounds, 1, params);
+}
+
+Result run(const std::string& strategy, std::uint64_t seed) {
+  // Collusion backdrop for π_fork: players 0..1 are Byzantine (t = 2 = t0)
+  // and player 2 is a fellow rational colluder, so k + t = 4 < n/2 — the
+  // largest coalition the candidate could possibly recruit. Side A plus
+  // the coalition reaches the quorum, which is what lets the double-sign
+  // produce commit-level evidence (and get the whole coalition slashed).
+  auto plan = std::make_shared<adversary::ForkPlan>();
+  plan->n = kN;
+  plan->coalition = {0, 1, 2, kCandidate};
+  plan->side_a = {4, 5, 6};
+  plan->side_b = {7, 8};
+
+  harness::PrftClusterOptions opt;
+  opt.n = kN;
+  opt.seed = seed;
+  opt.target_blocks = 4;
+  opt.node_factory = [&](NodeId id, prft::PrftNode::Deps deps) {
+    if (strategy == "pi_fork" && plan->coalition.count(id)) {
+      return std::unique_ptr<prft::PrftNode>(
+          new adversary::ForkAgentNode(std::move(deps), plan));
+    }
+    if (strategy == "pi_abs" && id == kCandidate) {
+      deps.behavior = std::make_shared<adversary::AbstainBehavior>();
+    }
+    return std::make_unique<prft::PrftNode>(std::move(deps));
+  };
+  harness::PrftCluster cluster(opt);
+  cluster.inject_workload(8, msec(1), msec(1));
+  cluster.start();
+  cluster.run_until(sec(300));
+
+  Result r;
+  r.blocks = cluster.max_height();
+  for (NodeId id = 0; id < kN; ++id) {
+    r.rounds = std::max(r.rounds, cluster.node(id).current_round());
+  }
+  r.rounds = r.rounds > 0 ? r.rounds - 1 : 0;  // rounds completed
+  r.forked = !cluster.agreement_holds();
+  r.candidate_slashed = cluster.deposits().slashed(kCandidate);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==========================================================\n");
+  std::printf("Lemma 4 — honesty is DSIC for theta=1 players in pRFT\n");
+  std::printf("==========================================================\n\n");
+  std::printf("n = %u, t0 = 2, k + t < n/2. Candidate rational player: P%u "
+              "(theta = 1).\nalpha = 1, L = 10, delta = 0.9.\n\n",
+              kN, kCandidate);
+
+  const game::UtilityParams params{1.0, 10.0, 0.9};
+  harness::Table table({"strategy pi", "blocks", "rounds", "fork?",
+                        "candidate slashed?", "U(pi, theta=1)"});
+  double u_honest = 0, u_abs = 0, u_fork = 0;
+  Result fork_result;
+  for (const char* strategy : {"pi_0", "pi_abs", "pi_fork"}) {
+    const Result r = run(strategy, 600);
+    const double u = utility_theta1(r, params);
+    if (std::string(strategy) == "pi_0") u_honest = u;
+    if (std::string(strategy) == "pi_abs") u_abs = u;
+    if (std::string(strategy) == "pi_fork") {
+      u_fork = u;
+      fork_result = r;
+    }
+    table.add_row({strategy, std::to_string(r.blocks),
+                   std::to_string(r.rounds), r.forked ? "YES" : "no",
+                   r.candidate_slashed ? "yes (PoF burned L)" : "no",
+                   harness::fmt(u, 2)});
+  }
+  table.print();
+
+  const bool ok = u_honest >= u_abs && u_honest >= u_fork && u_fork < 0 &&
+                  !fork_result.forked && fork_result.candidate_slashed;
+  std::printf("\nDominance check: U(pi_0) = %.2f >= U(pi_abs) = %.2f and "
+              ">= U(pi_fork) = %.2f\n",
+              u_honest, u_abs, u_fork);
+  std::printf("pi_fork analysis (App. F): the double-sign either gets "
+              "caught in the PoF (penalty L,\nrealized above), causes a "
+              "view-change (sigma_NP, payoff -alpha), or cannot reach two\n"
+              "conflicting quorums (k + t + 2*t0 < n) — never sigma_Fork. "
+              "Fork observed: %s.\n",
+              fork_result.forked ? "YES (bug)" : "no");
+  std::printf("\n[lemma4] %s: pi_0 is dominant for the rational player — "
+              "pRFT is DSIC, not just NIC.\n",
+              ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+// Substrate performance benchmarks (google-benchmark): the primitives
+// whose cost dominates simulated rounds — SHA-256, HMAC signatures,
+// envelope encode/verify, Merkle roots, the event queue — plus an
+// end-to-end pRFT round on the simulator. Not a paper figure; used to
+// size the sweeps in the other benches.
+
+#include <benchmark/benchmark.h>
+
+#include "consensus/envelope.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "harness/prft_cluster.hpp"
+#include "net/event_queue.hpp"
+
+using namespace ratcon;
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::sha256(ByteSpan(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSign(benchmark::State& state) {
+  crypto::KeyRegistry registry;
+  const crypto::KeyPair kp = registry.generate(0, 1);
+  const Bytes msg(256, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::sign(kp.sk, ByteSpan(msg.data(), msg.size())));
+  }
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_SigVerify(benchmark::State& state) {
+  crypto::KeyRegistry registry;
+  const crypto::KeyPair kp = registry.generate(0, 1);
+  const Bytes msg(256, 0x5a);
+  const crypto::Signature sig =
+      crypto::sign(kp.sk, ByteSpan(msg.data(), msg.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        registry.verify(kp.pk, ByteSpan(msg.data(), msg.size()), sig));
+  }
+}
+BENCHMARK(BM_SigVerify);
+
+void BM_EnvelopeEncodeVerify(benchmark::State& state) {
+  crypto::KeyRegistry registry;
+  const crypto::KeyPair kp = registry.generate(0, 1);
+  const Bytes body(static_cast<std::size_t>(state.range(0)), 0x11);
+  for (auto _ : state) {
+    const consensus::Envelope env = consensus::make_envelope(
+        consensus::ProtoId::kPrft, 1, 7, 0, body, kp.sk);
+    const Bytes wire = env.encode();
+    const consensus::Envelope back =
+        consensus::Envelope::decode(ByteSpan(wire.data(), wire.size()));
+    benchmark::DoNotOptimize(consensus::verify_envelope(back, registry));
+  }
+}
+BENCHMARK(BM_EnvelopeEncodeVerify)->Arg(64)->Arg(4096);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<crypto::Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(crypto::sha256("leaf" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::MerkleTree::compute_root(leaves));
+  }
+}
+BENCHMARK(BM_MerkleRoot)->Arg(16)->Arg(256);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    net::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.schedule_at(i * 7 % 1000, [&sink] { ++sink; });
+    }
+    while (q.step()) {
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+void BM_PrftRound(benchmark::State& state) {
+  // End-to-end: one committee agreeing on `target` blocks per iteration.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    harness::PrftClusterOptions opt;
+    opt.n = n;
+    opt.seed = 42;
+    opt.target_blocks = 2;
+    harness::PrftCluster cluster(opt);
+    cluster.inject_workload(4, usec(1), usec(1));
+    cluster.start();
+    cluster.run_until(sec(30));
+    benchmark::DoNotOptimize(cluster.min_height());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_PrftRound)->Arg(4)->Arg(7)->Arg(13)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,210 @@
+// Reproduces Theorem 3 (§4.4, Appendix D): baiting-based rational
+// consensus (TRAP, Ranchal-Pedrosa & Gramoli 2022) admits a second Nash
+// equilibrium — the whole coalition playing π_fork — whenever
+// |K| > 2 + t0 − t, and that equilibrium Pareto-dominates the secure
+// baiting equilibrium, making it focal (§4.3). Two reproductions:
+//
+//  (1) Game-level: build the k-player bait/fork game from the paper's
+//      payoff model (reward R, fork gain G shared as G/k, deposit L,
+//      baiting threshold m > t0 + k + t − n/2 from Appendix D), enumerate
+//      the pure Nash equilibria and the Pareto frontier.
+//  (2) Protocol-level: run the TRAP-style accountable quorum protocol with
+//      m baiters and verify the fork outcome matches the game's threshold.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/quorum_node.hpp"
+#include "game/normal_form.hpp"
+#include "harness/replica_cluster.hpp"
+#include "harness/table.hpp"
+
+using namespace ratcon;
+using baselines::QuorumForkPlan;
+using baselines::QuorumNode;
+using game::NormalFormGame;
+using game::Profile;
+using harness::ReplicaCluster;
+
+namespace {
+
+// TRAP instance: n = 30, t0 = ⌈n/3⌉ − 1 = 9 (quorum τ = 21), t = 7
+// Byzantine and k = 7 rational colluders (k + t = 14 < n/2 = 15 and
+// |K| = 7 > 2 + t0 − t = 4, satisfying Theorem 3's strict condition).
+//
+// Baiting threshold, derived from the partition geometry the theorem's
+// proof uses. A defecting baiter still runs the honest protocol — it votes
+// for exactly one value — so the adversary steers half the baiters to each
+// side. Both sides reach the quorum τ iff
+//    |A| + |B| + 2(k + t − m) + m >= 2τ,
+// i.e. the fork survives m baiters iff m <= (n−k−t) + 2(k+t) − 2τ = 2.
+//
+// NOTE (reproduction finding): Appendix D prints the threshold as
+// m > t0 + k + t − n/2; substituting its own |B| = (n−t−k)/2 geometry
+// gives a different constant, and neither form accounts for the steered
+// baiter votes above. The geometry-derived form used here is the one the
+// protocol simulation confirms below.
+constexpr std::uint32_t kN = 30;
+constexpr std::uint32_t kT0 = 9;      // ⌈30/3⌉ − 1
+constexpr std::uint32_t kTByz = 7;    // Byzantine colluders
+constexpr std::uint32_t kK = 7;       // rational colluders
+constexpr double kR = 10.0;           // baiting reward
+constexpr double kG = 100.0;          // collusion gain on disagreement
+constexpr double kL = 20.0;           // deposit
+
+/// Fork survives m defecting baiters iff both partition sides can still
+/// reach the quorum, counting each steered baiter's single honest vote.
+bool fork_succeeds(std::uint32_t m) {
+  const std::uint32_t tau = kN - kT0;
+  const std::uint32_t honest = kN - kK - kTByz;
+  return honest + 2 * (kK + kTByz - m) + m >= 2 * tau;
+}
+
+/// Payoff of a rational colluder given own strategy and the number of
+/// *other* baiters (strategy 0 = π_fork, 1 = π_bait).
+double payoff(int own, std::uint32_t other_baiters) {
+  const std::uint32_t m = other_baiters + (own == 1 ? 1 : 0);
+  const std::uint32_t forkers = kK - m;
+  if (fork_succeeds(m)) {
+    // Disagreement: gain G split among the colluding rational players.
+    return own == 0 ? kG / static_cast<double>(forkers == 0 ? 1 : forkers)
+                    : 0.0;
+  }
+  // Fork averted: baiters share the reward in expectation; exposed forkers
+  // lose their deposit.
+  return own == 1 ? kR / static_cast<double>(m) : -kL;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==========================================================\n");
+  std::printf("Theorem 3 — TRAP's insecure focal Nash equilibrium\n");
+  std::printf("==========================================================\n\n");
+  std::printf("TRAP instance: n = %u, t0 = %u (tau = %u), t = %u Byzantine, "
+              "k = %u rational colluders,\nR = %.0f, G = %.0f, L = %.0f. "
+              "|K| = %u > 2 + t0 - t = %u (Theorem 3's condition).\n"
+              "Geometry-derived baiting threshold: fork survives m <= %u "
+              "baiters.\n\n",
+              kN, kT0, kN - kT0, kTByz, kK, kR, kG, kL, kK,
+              2 + kT0 - kTByz,
+              (kN - kK - kTByz) + 2 * (kK + kTByz) - 2 * (kN - kT0));
+
+  // ---- (1) Game-level reproduction --------------------------------------
+  NormalFormGame g(std::vector<int>(kK, 2));
+  for (std::uint32_t i = 0; i < kK; ++i) {
+    g.set_player_name(static_cast<int>(i), "K" + std::to_string(i));
+    g.set_strategy_name(static_cast<int>(i), 0, "fork");
+    g.set_strategy_name(static_cast<int>(i), 1, "bait");
+  }
+  for (const Profile& p : g.all_profiles()) {
+    for (std::uint32_t i = 0; i < kK; ++i) {
+      std::uint32_t others = 0;
+      for (std::uint32_t j = 0; j < kK; ++j) {
+        if (j != i && p[j] == 1) ++others;
+      }
+      g.set_payoff(p, static_cast<int>(i),
+                   payoff(p[static_cast<std::size_t>(i)], others));
+    }
+  }
+
+  const auto equilibria = g.pure_nash();
+  std::printf("Pure Nash equilibria of the bait/fork game: %zu\n",
+              equilibria.size());
+  harness::Table eq_table({"Equilibrium", "per-player payoff", "secure?"});
+  bool has_all_fork = false;
+  const Profile all_fork(kK, 0);
+  for (const Profile& eq : equilibria) {
+    const bool is_all_fork = eq == all_fork;
+    has_all_fork = has_all_fork || is_all_fork;
+    std::uint32_t m = 0;
+    for (int s : eq) m += s == 1 ? 1u : 0u;
+    eq_table.add_row({g.describe(eq), harness::fmt(g.payoff(eq, 0), 1),
+                      fork_succeeds(m) ? "NO - disagreement" : "yes"});
+  }
+  eq_table.print();
+
+  const auto focal = g.pareto_frontier(equilibria);
+  std::printf("\nPareto-undominated (focal) equilibria:\n");
+  bool fork_is_focal = false;
+  for (const Profile& eq : focal) {
+    fork_is_focal = fork_is_focal || eq == all_fork;
+    std::printf("  %s\n", g.describe(eq).c_str());
+  }
+
+  // ---- (2) Protocol-level cross-check ------------------------------------
+  std::printf("\nProtocol-level cross-check (TRAP-style accountable quorum "
+              "protocol):\n\n");
+  harness::Table sim_table({"baiters m", "game predicts", "simulated state",
+                            "match"});
+  bool sims_match = true;
+  for (std::uint32_t m : {0u, 1u, 2u, 3u, 7u}) {
+    auto plan = std::make_shared<QuorumForkPlan>();
+    plan->n = kN;
+    for (NodeId id = 0; id < kTByz + kK; ++id) plan->coalition.insert(id);
+    const std::uint32_t half = (kN - kK - kTByz) / 2;
+    for (NodeId id = kTByz + kK; id < kTByz + kK + half; ++id) {
+      plan->side_a.insert(id);
+    }
+    for (NodeId id = kTByz + kK + half; id < kN; ++id) {
+      plan->side_b.insert(id);
+    }
+    // The last m rational members defect to baiting.
+    for (NodeId id = kTByz + kK - m; id < kTByz + kK; ++id) {
+      plan->baiters.insert(id);
+    }
+
+    ReplicaCluster::Options opt;
+    opt.n = kN;
+    opt.t0 = kT0;
+    opt.seed = 500 + m;
+    opt.target_blocks = 2;
+    opt.factory = [plan](NodeId id, const consensus::Config& cfg,
+                         crypto::KeyRegistry& registry,
+                         ledger::DepositLedger& deposits) {
+      QuorumNode::Deps deps;
+      deps.cfg = cfg;
+      deps.proto = consensus::ProtoId::kTrap;
+      deps.accountable = true;
+      deps.registry = &registry;
+      deps.keys = registry.generate(id, 1);
+      deps.deposits = &deposits;
+      deps.fork_plan = plan;
+      auto node = std::make_unique<QuorumNode>(std::move(deps));
+      node->set_target_blocks(cfg.target_rounds);
+      return node;
+    };
+    ReplicaCluster cluster(std::move(opt));
+    cluster.inject_workload(4, msec(1), msec(1));
+    // The partition from the theorem's proof: the two honest sides cannot
+    // hear each other during the attack (the colluders bridge them).
+    const std::vector<NodeId> side_a_vec(plan->side_a.begin(),
+                                         plan->side_a.end());
+    const std::vector<NodeId> side_b_vec(plan->side_b.begin(),
+                                         plan->side_b.end());
+    cluster.net().schedule(msec(1), [&cluster, side_a_vec, side_b_vec]() {
+      cluster.net().set_partition({side_a_vec, side_b_vec}, msec(400));
+    });
+    cluster.start();
+    cluster.run_until(sec(120));
+
+    const bool predicted_fork = fork_succeeds(m);
+    const bool simulated_fork = !cluster.agreement_holds();
+    sims_match = sims_match && predicted_fork == simulated_fork;
+    sim_table.add_row({std::to_string(m),
+                       predicted_fork ? "sigma_Fork" : "sigma_0",
+                       simulated_fork ? "sigma_Fork" : "sigma_0",
+                       predicted_fork == simulated_fork ? "yes" : "NO"});
+  }
+  sim_table.print();
+
+  const bool ok = has_all_fork && fork_is_focal && sims_match;
+  std::printf("\n[thm3] %s: all-fork is a Nash equilibrium (no unilateral "
+              "bait can stop the fork),\n       it Pareto-dominates the "
+              "baiting equilibrium (G/k = %.1f > R/k = %.1f), and the\n"
+              "       protocol simulation matches the game's threshold. "
+              "Baiting-based RC is not\n       (t,k)-robust in repeated "
+              "rounds — the gap pRFT closes with DSIC.\n",
+              ok ? "OK" : "MISMATCH", kG / kK, kR / kK);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Fork accountability walkthrough: a rational/Byzantine coalition attempts
+// the paper's disagreement attack (π_ds / π_fork) against pRFT and gets
+// caught by the Reveal phase — every double-signer loses its collateral,
+// no honest player is ever slashed, and the chain keeps growing.
+//
+//   ./fork_accountability [--seed 42]
+//
+// Scenario (n = 9, t0 = 2, quorum 7): coalition {P0..P3} equivocates two
+// blocks per attacked round, showing value A to {P4,P5,P6} and value B to
+// {P7,P8}. Lemma 4's quorum intersection says at most one value can reach
+// tentative consensus; the conflicting commit signatures then surface in
+// Reveal and are burned via Proof-of-Fraud.
+
+#include <cstdio>
+
+#include "adversary/fork_agent.hpp"
+#include "harness/flags.hpp"
+#include "harness/prft_cluster.hpp"
+#include "harness/table.hpp"
+
+using namespace ratcon;
+
+int main(int argc, char** argv) {
+  harness::Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  auto plan = std::make_shared<adversary::ForkPlan>();
+  plan->n = 9;
+  plan->coalition = {0, 1, 2, 3};
+  plan->side_a = {4, 5, 6};
+  plan->side_b = {7, 8};
+
+  std::printf("Fork-accountability demo: coalition {P0..P3} (k+t = 4 < n/2) "
+              "double-signs in every\nround it leads; honest sides "
+              "{P4,P5,P6} vs {P7,P8}.\n\n");
+
+  harness::PrftClusterOptions opt;
+  opt.n = 9;
+  opt.seed = seed;
+  opt.target_blocks = 4;
+  opt.node_factory = [plan](NodeId id, prft::PrftNode::Deps deps) {
+    if (plan->coalition.count(id)) {
+      return std::unique_ptr<prft::PrftNode>(
+          new adversary::ForkAgentNode(std::move(deps), plan));
+    }
+    return std::make_unique<prft::PrftNode>(std::move(deps));
+  };
+  harness::PrftCluster cluster(opt);
+  cluster.inject_workload(16, msec(1), msec(2));
+  cluster.start();
+  cluster.run_until(sec(300));
+
+  std::printf("Attacked rounds (coalition leader equivocated):");
+  for (const auto& [round, values] : plan->values) {
+    std::printf(" %llu", static_cast<unsigned long long>(round));
+  }
+  std::printf("\n\nPer-player outcome:\n\n");
+
+  harness::Table table({"player", "role", "deposit", "slashed", "height"});
+  for (NodeId id = 0; id < 9; ++id) {
+    const bool colluder = plan->coalition.count(id) > 0;
+    table.add_row({"P" + std::to_string(id),
+                   colluder ? "colluder (pi_fork)" : "honest (pi_0)",
+                   std::to_string(cluster.deposits().balance(id)),
+                   cluster.deposits().slashed(id) ? "YES (PoF burned)" : "no",
+                   std::to_string(cluster.node(id).chain().finalized_height())});
+  }
+  table.print();
+
+  bool all_colluders_slashed = true;
+  for (NodeId id : plan->coalition) {
+    all_colluders_slashed &= cluster.deposits().slashed(id);
+  }
+  std::printf("\nagreement: %s   honest slashed: %s   all colluders "
+              "slashed: %s   chain height: %llu\n",
+              cluster.agreement_holds() ? "holds (no fork!)" : "VIOLATED",
+              cluster.honest_player_slashed() ? "YES (bug)" : "no",
+              all_colluders_slashed ? "yes" : "no",
+              static_cast<unsigned long long>(cluster.min_height()));
+  std::printf("\nThis is Lemma 4 in action: U(pi_fork) = -L per colluder, "
+              "so honesty is the\ndominant strategy for theta=1 rational "
+              "players.\n");
+  return cluster.agreement_holds() && !cluster.honest_player_slashed() ? 0 : 1;
+}

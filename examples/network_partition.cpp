@@ -1,0 +1,78 @@
+// Partial synchrony walkthrough: pRFT under an adversarial pre-GST
+// partition, showing tentative consensus, view changes, state transfer
+// and post-GST convergence.
+//
+//   ./network_partition [--seed 13] [--gst-ms 500]
+//
+// Before GST the network is split 5/4 (quorum is 7 of 9, so neither side
+// can finalize alone); messages crossing the cut are held. Rounds time
+// out, view changes fire, and the moment the partition heals every player
+// catches up and liveness resumes — no fork, ever (Theorem 5's partially
+// synchronous case).
+
+#include <cstdio>
+
+#include "harness/flags.hpp"
+#include "harness/prft_cluster.hpp"
+#include "harness/table.hpp"
+#include "net/netmodel.hpp"
+
+using namespace ratcon;
+
+int main(int argc, char** argv) {
+  harness::Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 13));
+  const auto gst = msec(flags.get_int("gst-ms", 500));
+
+  std::printf("Partial-synchrony demo: n = 9, quorum 7, partition "
+              "{P0..P4} | {P5..P8} until GST = %lld ms.\n\n",
+              static_cast<long long>(gst / 1000));
+
+  harness::PrftClusterOptions opt;
+  opt.n = 9;
+  opt.seed = seed;
+  opt.target_blocks = 6;
+  opt.make_net = [gst] {
+    return net::make_partial_synchrony(gst, msec(10), 0.85);
+  };
+  harness::PrftCluster cluster(opt);
+  cluster.inject_workload(18, msec(1), msec(2));
+  cluster.net().schedule(msec(20), [&cluster, gst]() {
+    cluster.net().set_partition({{0, 1, 2, 3, 4}, {5, 6, 7, 8}}, gst);
+  });
+
+  cluster.start();
+
+  // Sample progress at checkpoints to show the stall-then-catch-up shape.
+  harness::Table table({"time", "min height", "max height", "max round",
+                        "view changes (total)"});
+  auto sample = [&](SimTime at) {
+    cluster.run_until(at);
+    std::uint64_t vcs = 0, max_round = 0;
+    for (NodeId id = 0; id < 9; ++id) {
+      vcs += cluster.node(id).view_changes();
+      max_round = std::max(max_round, cluster.node(id).current_round());
+    }
+    table.add_row({harness::fmt(static_cast<double>(at) / 1000000.0, 2) + " s",
+                   std::to_string(cluster.min_height()),
+                   std::to_string(cluster.max_height()),
+                   std::to_string(max_round), std::to_string(vcs)});
+  };
+  sample(msec(250));   // mid-partition: stalled
+  sample(gst);         // heal point
+  sample(gst + sec(2));
+  sample(sec(60));
+  table.print();
+
+  std::printf("\nfinal: agreement %s, ordering %s, min height %llu "
+              "(target 6), honest slashed: %s\n",
+              cluster.agreement_holds() ? "holds" : "VIOLATED",
+              cluster.ordering_holds() ? "holds" : "VIOLATED",
+              static_cast<unsigned long long>(cluster.min_height()),
+              cluster.honest_player_slashed() ? "YES (bug)" : "no");
+  std::printf("\nTentative blocks from interrupted rounds act as locks and "
+              "survive view changes;\nstate-transfer replies to view-change "
+              "messages resynchronize players the\nadversarial scheduler "
+              "cut out (see DESIGN.md, deviations).\n");
+  return cluster.agreement_holds() && cluster.min_height() >= 6 ? 0 : 1;
+}

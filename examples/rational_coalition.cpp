@@ -1,0 +1,129 @@
+// Rational coalition comparison: the same θ=1 coalition (double-signers
+// with k + t just under n/2… of the weaker protocol's tolerance) attacks
+// a pBFT-style baseline and pRFT side by side.
+//
+//   ./rational_coalition [--seed 7]
+//
+// Against the pBFT-style quorum protocol (t0 = ⌈n/3⌉−1) the coalition
+// forks the ledger — that protocol was never designed for the rational
+// threat model. Against pRFT (t0 = ⌈n/4⌉−1, accountability in-protocol)
+// the same coalition fails and is slashed. This is Table 1's RFT row and
+// the paper's headline comparison in one program.
+
+#include <cstdio>
+
+#include "adversary/fork_agent.hpp"
+#include "baselines/quorum_node.hpp"
+#include "harness/flags.hpp"
+#include "harness/prft_cluster.hpp"
+#include "harness/replica_cluster.hpp"
+#include "harness/table.hpp"
+
+using namespace ratcon;
+
+namespace {
+
+constexpr std::uint32_t kN = 10;
+
+struct Outcome {
+  bool forked;
+  std::size_t slashed;
+  std::uint64_t height;
+};
+
+Outcome attack_pbft(std::uint64_t seed) {
+  auto plan = std::make_shared<baselines::QuorumForkPlan>();
+  plan->n = kN;
+  plan->coalition = {0, 1, 2, 3};
+  plan->side_a = {4, 5, 6};
+  plan->side_b = {7, 8, 9};
+
+  harness::ReplicaCluster::Options opt;
+  opt.n = kN;
+  opt.t0 = consensus::bft_t0(kN);  // 3 — the classic n/3 design point
+  opt.seed = seed;
+  opt.target_blocks = 3;
+  opt.factory = [plan](NodeId id, const consensus::Config& cfg,
+                       crypto::KeyRegistry& registry,
+                       ledger::DepositLedger& deposits) {
+    baselines::QuorumNode::Deps deps;
+    deps.cfg = cfg;
+    deps.registry = &registry;
+    deps.keys = registry.generate(id, 1);
+    deps.deposits = &deposits;
+    deps.fork_plan = plan;
+    auto node = std::make_unique<baselines::QuorumNode>(std::move(deps));
+    node->set_target_blocks(cfg.target_rounds);
+    return node;
+  };
+  harness::ReplicaCluster cluster(std::move(opt));
+  cluster.inject_workload(8, msec(1), msec(2));
+  cluster.start();
+  cluster.run_until(sec(120));
+  return {!cluster.agreement_holds(),
+          cluster.deposits().slashed_players().size(), cluster.max_height()};
+}
+
+Outcome attack_prft(std::uint64_t seed) {
+  auto plan = std::make_shared<adversary::ForkPlan>();
+  plan->n = kN;
+  plan->coalition = {0, 1, 2, 3};
+  // pRFT's quorum is 8 of 10, so the coalition needs 4 honest dupes on one
+  // side for its value to progress at all — which is exactly what gets its
+  // conflicting commits into the Reveal evidence.
+  plan->side_a = {4, 5, 6, 7};
+  plan->side_b = {8, 9};
+
+  harness::PrftClusterOptions opt;
+  opt.n = kN;
+  opt.seed = seed;
+  opt.target_blocks = 3;
+  opt.node_factory = [plan](NodeId id, prft::PrftNode::Deps deps) {
+    if (plan->coalition.count(id)) {
+      return std::unique_ptr<prft::PrftNode>(
+          new adversary::ForkAgentNode(std::move(deps), plan));
+    }
+    return std::make_unique<prft::PrftNode>(std::move(deps));
+  };
+  harness::PrftCluster cluster(opt);
+  cluster.inject_workload(8, msec(1), msec(2));
+  cluster.start();
+  cluster.run_until(sec(300));
+  return {!cluster.agreement_holds(),
+          cluster.deposits().slashed_players().size(), cluster.min_height()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  std::printf("Rational-coalition comparison at n = %u: the same coalition "
+              "{P0..P3} (k+t = 4)\nattacks a pBFT-style protocol and pRFT.\n\n",
+              kN);
+
+  const Outcome pbft = attack_pbft(seed);
+  const Outcome prft = attack_prft(seed);
+
+  harness::Table table({"protocol", "design bound", "result",
+                        "players slashed", "honest chain height"});
+  table.add_row({"pBFT-style quorum", "t < n/3 Byzantine",
+                 pbft.forked ? "FORKED (disagreement)" : "safe",
+                 std::to_string(pbft.slashed), std::to_string(pbft.height)});
+  table.add_row({"pRFT", "t < n/4, k+t < n/2 rational",
+                 prft.forked ? "FORKED (bug!)" : "safe + attackers caught",
+                 std::to_string(prft.slashed), std::to_string(prft.height)});
+  table.print();
+
+  std::printf("\nThe coalition is worth k + t = 4 players: below n/2, above "
+              "n/3. pBFT's quorum\nintersection assumes at most "
+              "⌈n/3⌉-1 = %u equivocators and breaks; pRFT's reveal\nphase "
+              "catches all four double-signers and burns their deposits.\n",
+              consensus::bft_t0(kN));
+
+  const bool ok = pbft.forked && !prft.forked && prft.slashed >= 4;
+  std::printf("\n%s\n", ok ? "Demo outcome matches the paper." :
+                             "UNEXPECTED OUTCOME — check seeds.");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,3 @@
+// Behaviours are header-only strategy objects; this translation unit exists
+// so the library has a stable archive even if all behaviours stay inline.
+#include "adversary/behaviors.hpp"

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <set>
+
+#include "core/prft_node.hpp"
+
+namespace ratcon::adversary {
+
+/// π_abs (paper §4.1.2): the player sends nothing, ever. Indistinguishable
+/// from a crash fault, so no accountable protocol can penalize it — the
+/// lever behind Theorem 1 (θ=3's liveness attack).
+class AbstainBehavior final : public prft::Behavior {
+ public:
+  [[nodiscard]] bool is_honest() const override { return false; }
+
+  bool participate(Round, NodeId, consensus::PhaseTag) override {
+    return false;
+  }
+
+  [[nodiscard]] bool expose_fraud() const override { return false; }
+};
+
+/// π_pc (Theorem 2's strategy, θ=2): the coalition K ∪ T
+///  (1) abstains whenever the round leader is outside the coalition, and
+///  (2) participates — but censors the watched transactions — whenever the
+///      leader is a coalition member.
+/// No message is ever double-signed and nobody crashes forever, so π_pc is
+/// indistinguishable from π_0 to any accountability mechanism, yet the
+/// watched transaction never enters the ledger.
+class PartialCensorBehavior final : public prft::Behavior {
+ public:
+  PartialCensorBehavior(std::set<NodeId> coalition,
+                        std::set<std::uint64_t> censored_txs)
+      : coalition_(std::move(coalition)),
+        censored_txs_(std::move(censored_txs)) {}
+
+  [[nodiscard]] bool is_honest() const override { return false; }
+
+  bool participate(Round, NodeId leader, consensus::PhaseTag phase) override {
+    // View changes always complete — Theorem 2's strategy preserves
+    // (t,k)-eventual liveness so leadership rotates to the coalition
+    // ("if leader ... ∈ K∪T then propose Block with tx_h ∉ tx").
+    if (phase == consensus::PhaseTag::kViewChange ||
+        phase == consensus::PhaseTag::kCommitView) {
+      return true;
+    }
+    return coalition_.count(leader) > 0;
+  }
+
+  bool censor_tx(const ledger::Transaction& tx) override {
+    return censored_txs_.count(tx.id) > 0;
+  }
+
+  [[nodiscard]] bool expose_fraud() const override { return false; }
+
+ private:
+  std::set<NodeId> coalition_;
+  std::set<std::uint64_t> censored_txs_;
+};
+
+/// A "selfish but conforming" rational player: follows π_0 in every phase
+/// but never exposes the coalition (used as the K-side of collusion sets
+/// that rely on Byzantine partners for the actual double-signing).
+class SilentObserverBehavior final : public prft::Behavior {
+ public:
+  [[nodiscard]] bool is_honest() const override { return false; }
+  [[nodiscard]] bool expose_fraud() const override { return false; }
+};
+
+}  // namespace ratcon::adversary

@@ -1,0 +1,148 @@
+#include "adversary/fork_agent.hpp"
+
+namespace ratcon::adversary {
+
+namespace {
+
+/// Marker-transaction id space for the equivocated B-side blocks; far above
+/// any workload id so the blocks always differ.
+constexpr std::uint64_t kForkMarkerBase = 0xF0F0F0F000000000ull;
+
+}  // namespace
+
+std::set<NodeId> ForkPlan::targets_a() const {
+  std::set<NodeId> out = side_a;
+  out.insert(coalition.begin(), coalition.end());
+  return out;
+}
+
+std::set<NodeId> ForkPlan::targets_b() const {
+  std::set<NodeId> out = side_b;
+  out.insert(coalition.begin(), coalition.end());
+  return out;
+}
+
+ForkAgentNode::ForkAgentNode(Deps deps, std::shared_ptr<ForkPlan> plan)
+    : PrftNode([&deps, &plan] {
+        deps.behavior = std::make_shared<ForkBehavior>(plan);
+        return std::move(deps);
+      }()),
+      plan_(std::move(plan)) {}
+
+void ForkAgentNode::on_message(net::Context& ctx, NodeId from,
+                               const Bytes& data) {
+  PrftNode::on_message(ctx, from, data);
+  pump_attack(ctx);
+}
+
+void ForkAgentNode::do_propose(net::Context& ctx, Round r, RoundState& rs) {
+  if (!plan_->attacks(r)) {
+    PrftNode::do_propose(ctx, r, rs);
+    return;
+  }
+  // Equivocate: block A is the honest-looking proposal; block B differs by
+  // a marker transaction. Same parent, same round — only the value forks.
+  ledger::Block block_a = build_block(ctx);
+  ledger::Block block_b = block_a;
+  block_b.txs.push_back(
+      ledger::make_transfer(kForkMarkerBase | r, ctx.self()));
+
+  plan_->values[r] =
+      ForkPlan::RoundValues{block_a.hash(), block_b.hash()};
+
+  const Bytes wire_a = make_propose(r, block_a);
+  const Bytes wire_b = make_propose(r, block_b);
+  send_to(ctx, plan_->targets_a(), wire_a);
+  // Coalition members already saw A; B goes to side B plus the coalition so
+  // every member can certify both values.
+  send_to(ctx, plan_->targets_b(), wire_b);
+}
+
+void ForkAgentNode::do_vote(net::Context& ctx, Round r, RoundState& rs) {
+  if (!plan_->attacks(r)) {
+    PrftNode::do_vote(ctx, r, rs);
+    return;
+  }
+  const auto it = plan_->values.find(r);
+  if (it == plan_->values.end()) return;  // attack values not set yet
+  Progress& prog = progress_[r];
+  if (prog.voted) return;
+  prog.voted = true;
+  rs.voted = true;
+
+  // π_ds: sign both conflicting values, each shown only to its side.
+  send_to(ctx, plan_->targets_a(),
+          make_vote(r, it->second.h_a, rs.leader_pro_sig));
+  send_to(ctx, plan_->targets_b(),
+          make_vote(r, it->second.h_b, rs.leader_pro_sig));
+}
+
+void ForkAgentNode::do_commit(net::Context& ctx, Round r, RoundState& rs,
+                              const crypto::Hash256& h) {
+  if (!plan_->attacks(r)) {
+    PrftNode::do_commit(ctx, r, rs, h);
+    return;
+  }
+  // Attacked rounds: the pump sends targeted commits for both sides.
+  rs.committed = true;
+  pump_attack(ctx);
+}
+
+void ForkAgentNode::do_reveal(net::Context& ctx, Round r, RoundState& rs,
+                              const crypto::Hash256& h) {
+  if (!plan_->attacks(r)) {
+    PrftNode::do_reveal(ctx, r, rs, h);
+    return;
+  }
+  rs.revealed = true;
+  pump_attack(ctx);
+}
+
+void ForkAgentNode::pump_attack(net::Context& ctx) {
+  for (auto& [r, values] : plan_->values) {
+    RoundState& rs = round_state(r);
+    Progress& prog = progress_[r];
+    pump_side(ctx, r, rs, values.h_a, plan_->targets_a(), prog.commit_a,
+              prog.reveal_a, prog.final_a);
+    pump_side(ctx, r, rs, values.h_b, plan_->targets_b(), prog.commit_b,
+              prog.reveal_b, prog.final_b);
+  }
+}
+
+void ForkAgentNode::pump_side(net::Context& ctx, Round r, RoundState& rs,
+                              const crypto::Hash256& h,
+                              const std::set<NodeId>& targets,
+                              bool& commit_sent, bool& reveal_sent,
+                              bool& final_sent) {
+  const std::uint32_t quorum = config().quorum();
+
+  if (!commit_sent) {
+    const auto votes = rs.votes.find(h);
+    if (votes != rs.votes.end() && votes->second.size() >= quorum) {
+      commit_sent = true;
+      send_to(ctx, targets, make_commit(r, h, rs));
+    }
+  }
+  if (!reveal_sent) {
+    const auto commits = rs.commits.find(h);
+    if (commits != rs.commits.end() && commits->second.size() >= quorum) {
+      reveal_sent = true;
+      send_to(ctx, targets, make_reveal(r, h, rs));
+    }
+  }
+  if (!final_sent) {
+    const auto reveals = rs.reveals.find(h);
+    if (reveals != rs.reveals.end() && reveals->second.size() >= quorum) {
+      final_sent = true;
+      prft::FinalBody body;
+      body.h = h;
+      body.leader_pro_sig = rs.leader_pro_sig;
+      body.final_sig = phase_sig(consensus::PhaseTag::kFinal, r, h);
+      Writer w;
+      body.encode(w);
+      send_to(ctx, targets, encode_env(prft::MsgType::kFinal, r, w.take()));
+    }
+  }
+}
+
+}  // namespace ratcon::adversary

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/prft_node.hpp"
+
+namespace ratcon::adversary {
+
+/// Shared coordination state for a double-signing coalition K ∪ T executing
+/// π_fork / π_ds (paper §4.1.2): in rounds led by a coalition member, the
+/// leader equivocates two blocks and every member signs both, showing value
+/// A only to honest partition side A and value B only to side B. This is
+/// the canonical disagreement attack the impossibility proofs and Lemma 4
+/// quantify over.
+struct ForkPlan {
+  std::uint32_t n = 0;
+  std::set<NodeId> coalition;  ///< K ∪ T — the double-signers
+  std::set<NodeId> side_a;     ///< honest players shown value A
+  std::set<NodeId> side_b;     ///< honest players shown value B
+
+  /// Equivocation values per attacked round, filled in by the attacking
+  /// leader when it proposes.
+  struct RoundValues {
+    crypto::Hash256 h_a{};
+    crypto::Hash256 h_b{};
+  };
+  std::map<Round, RoundValues> values;
+
+  /// The coalition attacks every round one of its members leads.
+  [[nodiscard]] bool attacks(Round r) const {
+    return coalition.count(static_cast<NodeId>(r % n)) > 0;
+  }
+
+  /// Recipients of the A-side (resp. B-side) messages. Coalition members
+  /// see both values (they coordinate); side A and side B each see one.
+  [[nodiscard]] std::set<NodeId> targets_a() const;
+  [[nodiscard]] std::set<NodeId> targets_b() const;
+};
+
+/// A coalition member. Outside attacked rounds it runs the honest pRFT
+/// machine (so the system keeps making progress and the repeated-game
+/// utilities are comparable); inside attacked rounds it double-signs per
+/// the plan and never exposes its own coalition.
+class ForkAgentNode final : public prft::PrftNode {
+ public:
+  ForkAgentNode(Deps deps, std::shared_ptr<ForkPlan> plan);
+
+  void on_message(net::Context& ctx, NodeId from, const Bytes& data) override;
+
+ protected:
+  void do_propose(net::Context& ctx, Round r, RoundState& rs) override;
+  void do_vote(net::Context& ctx, Round r, RoundState& rs) override;
+  void do_commit(net::Context& ctx, Round r, RoundState& rs,
+                 const crypto::Hash256& h) override;
+  void do_reveal(net::Context& ctx, Round r, RoundState& rs,
+                 const crypto::Hash256& h) override;
+
+ private:
+  struct Progress {
+    bool voted = false;
+    bool commit_a = false, commit_b = false;
+    bool reveal_a = false, reveal_b = false;
+    bool final_a = false, final_b = false;
+  };
+
+  /// Drives the attack forward from whatever signatures have accumulated:
+  /// targeted commits once a side has a vote quorum, targeted reveals once
+  /// it has a commit quorum, targeted finals once it has a reveal quorum.
+  void pump_attack(net::Context& ctx);
+  void pump_side(net::Context& ctx, Round r, RoundState& rs,
+                 const crypto::Hash256& h, const std::set<NodeId>& targets,
+                 bool& commit_sent, bool& reveal_sent, bool& final_sent);
+
+  std::shared_ptr<ForkPlan> plan_;
+  std::map<Round, Progress> progress_;
+};
+
+/// Behaviour shared by coalition members: not honest, never exposes, and
+/// suppresses the base machine's Final broadcast in attacked rounds (the
+/// attack pump sends targeted finals instead).
+class ForkBehavior final : public prft::Behavior {
+ public:
+  explicit ForkBehavior(std::shared_ptr<ForkPlan> plan)
+      : plan_(std::move(plan)) {}
+
+  [[nodiscard]] bool is_honest() const override { return false; }
+  [[nodiscard]] bool expose_fraud() const override { return false; }
+
+  bool participate(Round r, NodeId, consensus::PhaseTag phase) override {
+    if (plan_->attacks(r) && phase == consensus::PhaseTag::kFinal) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::shared_ptr<ForkPlan> plan_;
+};
+
+}  // namespace ratcon::adversary

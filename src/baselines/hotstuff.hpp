@@ -1,0 +1,103 @@
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "consensus/envelope.hpp"
+#include "consensus/phase_sig.hpp"
+#include "consensus/replica.hpp"
+#include "consensus/types.hpp"
+
+namespace ratcon::baselines {
+
+/// Basic (non-chained) HotStuff: the linear-communication BFT baseline in
+/// the paper's Figure 3 comparison. Four leader-driven phases per view —
+/// Prepare → PreCommit → Commit → Decide — with replicas voting *to the
+/// leader* and the leader broadcasting quorum certificates (n − t0 = 2f+1
+/// signatures, t0 = ⌈n/3⌉ − 1):
+///
+///   messages/view:  4 leader broadcasts (n each) + 3n replica votes = O(n)
+///   bytes/view:     QCs of O(κ·n) broadcast to n replicas = O(κ·n²)
+///
+/// contrasting with the O(n²)/O(κ·n³) all-to-all pattern of pBFT-class
+/// protocols measured by the same bench. Honest-path implementation (the
+/// rational-attack experiments run against pRFT and the quorum baseline).
+class HotstuffNode : public consensus::IReplica {
+ public:
+  enum class MsgType : std::uint8_t {
+    kPrepare = 0,      // leader → all: block proposal
+    kPrepareVote = 1,  // replica → leader
+    kPreCommit = 2,    // leader → all: prepare QC
+    kPreCommitVote = 3,
+    kCommit = 4,       // leader → all: precommit QC
+    kCommitVote = 5,
+    kDecide = 6,       // leader → all: commit QC
+    kNewView = 7,      // replica → next leader on timeout
+  };
+
+  struct Deps {
+    consensus::Config cfg;
+    crypto::KeyRegistry* registry = nullptr;
+    crypto::KeyPair keys;
+  };
+
+  explicit HotstuffNode(Deps deps);
+
+  [[nodiscard]] const ledger::Chain& chain() const override { return chain_; }
+  ledger::Mempool& mempool() override { return mempool_; }
+  [[nodiscard]] bool is_honest() const override { return true; }
+
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, NodeId from, const Bytes& data) override;
+  void on_timer(net::Context& ctx, std::uint64_t timer_id) override;
+
+  [[nodiscard]] Round current_round() const { return round_; }
+  void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
+
+ private:
+  struct RoundState {
+    std::optional<ledger::Block> proposal;
+    crypto::Hash256 h{};
+    // Leader-side vote collection per phase.
+    std::map<std::uint8_t, std::map<NodeId, consensus::PhaseSig>> votes;
+    bool sent_precommit = false;
+    bool sent_commit = false;
+    bool sent_decide = false;
+    bool decided = false;
+    bool voted_prepare = false;
+    bool voted_precommit = false;
+    bool voted_commit = false;
+  };
+
+  static constexpr std::uint64_t kPhaseTimer = 1;
+
+  void start_round(net::Context& ctx);
+  void advance_round(net::Context& ctx, Round r, bool failed);
+  void leader_collect(net::Context& ctx, Round r, RoundState& rs,
+                      consensus::PhaseTag phase, MsgType next_broadcast);
+  [[nodiscard]] Bytes make_qc_broadcast(MsgType type, Round r,
+                                        const crypto::Hash256& h,
+                                        const RoundState& rs,
+                                        consensus::PhaseTag phase);
+  [[nodiscard]] bool verify_qc(const consensus::Certificate& cert,
+                               consensus::PhaseTag phase, Round r,
+                               const crypto::Hash256& h);
+  void finalize(net::Context& ctx, Round r, RoundState& rs);
+
+  consensus::Config cfg_;
+  crypto::KeyRegistry* registry_;
+  crypto::KeyPair keys_;
+
+  NodeId self_ = kNoNode;
+  Round round_ = 1;
+  std::map<Round, RoundState> rounds_;
+  std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
+  std::map<crypto::Hash256, ledger::Block> block_store_;
+  ledger::Chain chain_;
+  ledger::Mempool mempool_;
+  std::uint64_t consecutive_failures_ = 0;
+  std::uint64_t target_blocks_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ratcon::baselines

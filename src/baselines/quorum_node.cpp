@@ -1,0 +1,558 @@
+#include "baselines/quorum_node.hpp"
+
+#include "common/serialize.hpp"
+
+namespace ratcon::baselines {
+
+using consensus::Certificate;
+using consensus::Envelope;
+using consensus::PhaseSig;
+using consensus::PhaseTag;
+
+namespace {
+
+constexpr std::uint64_t kForkMarkerBase = 0xFAFAFAFA00000000ull;
+
+crypto::Hash256 vc_value(consensus::ProtoId proto, Round r) {
+  Writer w;
+  w.str("quorum-vc");
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u64(r);
+  return crypto::sha256(ByteSpan(w.data().data(), w.data().size()));
+}
+
+}  // namespace
+
+std::set<NodeId> QuorumForkPlan::targets_a() const {
+  std::set<NodeId> out = side_a;
+  // Non-baiting colluders see both values; baiters run the honest protocol
+  // and vote for whichever proposal they receive, so the adversary steers
+  // them: alternate baiters are shown only one side's value each. This is
+  // the attack's optimal use of defectors-it-cannot-trust.
+  std::size_t idx = 0;
+  for (NodeId id : coalition) {
+    if (baiters.count(id) == 0) {
+      out.insert(id);
+    } else if (idx++ % 2 == 0) {
+      out.insert(id);
+    }
+  }
+  return out;
+}
+
+std::set<NodeId> QuorumForkPlan::targets_b() const {
+  std::set<NodeId> out = side_b;
+  std::size_t idx = 0;
+  for (NodeId id : coalition) {
+    if (baiters.count(id) == 0) {
+      out.insert(id);
+    } else if (idx++ % 2 == 1) {
+      out.insert(id);
+    }
+  }
+  return out;
+}
+
+QuorumNode::QuorumNode(Deps deps)
+    : cfg_(deps.cfg),
+      tau_(deps.tau == 0 ? deps.cfg.quorum() : deps.tau),
+      proto_(deps.proto),
+      accountable_(deps.accountable),
+      registry_(deps.registry),
+      keys_(deps.keys),
+      deposits_(deps.deposits),
+      fork_plan_(std::move(deps.fork_plan)),
+      abstain_(deps.abstain) {}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+
+void QuorumNode::on_start(net::Context& ctx) {
+  self_ = ctx.self();
+  start_round(ctx);
+}
+
+void QuorumNode::on_message(net::Context& ctx, NodeId from,
+                            const Bytes& data) {
+  (void)from;
+  Envelope env;
+  try {
+    env = Envelope::decode(ByteSpan(data.data(), data.size()));
+  } catch (const CodecError&) {
+    return;
+  }
+  if (env.proto != proto_ || env.from >= cfg_.n) return;
+  if (!consensus::verify_envelope(env, *registry_)) return;
+
+  // Decide messages double as catch-up and are processed for any round.
+  if (env.round > round_ &&
+      static_cast<MsgType>(env.type) != MsgType::kDecide) {
+    future_[env.round].emplace_back(env.from, data);
+    return;
+  }
+  try {
+    switch (static_cast<MsgType>(env.type)) {
+      case MsgType::kPrePrepare: handle_preprepare(ctx, env); break;
+      case MsgType::kPrepare: handle_prepare(ctx, env); break;
+      case MsgType::kCommit: handle_commit(ctx, env); break;
+      case MsgType::kDecide: handle_decide(ctx, env); break;
+      case MsgType::kViewChange: handle_view_change(ctx, env); break;
+      case MsgType::kExpose: handle_expose(ctx, env); break;
+      default: break;
+    }
+  } catch (const CodecError&) {
+  }
+  if (fork_plan_ != nullptr) pump_attack(ctx);
+}
+
+void QuorumNode::on_timer(net::Context& ctx, std::uint64_t timer_id) {
+  if (timer_id != kPhaseTimer || stopped_) return;
+  RoundState& rs = rounds_[round_];
+  if (rs.decided) return;
+  trigger_view_change(ctx, round_);
+}
+
+void QuorumNode::start_round(net::Context& ctx) {
+  if (stopped_) return;
+  if (target_blocks_ != 0 && chain_.finalized_height() >= target_blocks_) {
+    stopped_ = true;
+    ctx.cancel_timer(kPhaseTimer);
+    return;
+  }
+  RoundState& rs = rounds_[round_];
+  (void)rs;
+  if (cfg_.leader(round_) == self_ && participates()) {
+    if (attacking(round_)) {
+      // Equivocate two blocks, one per side (pBFT-class protocols with
+      // τ = n − ⌈n/3⌉ + 1 fork here once k + t ≥ n/3).
+      ledger::Block block_a;
+      block_a.parent = chain_.tip_hash();
+      block_a.round = round_;
+      block_a.proposer = self_;
+      block_a.txs = mempool_.select(cfg_.max_block_txs);
+      ledger::Block block_b = block_a;
+      block_b.txs.push_back(
+          ledger::make_transfer(kForkMarkerBase | round_, self_));
+      fork_plan_->values[round_] =
+          QuorumForkPlan::RoundValues{block_a.hash(), block_b.hash()};
+      send_to(ctx, fork_plan_->targets_a(), make_preprepare(round_, block_a));
+      send_to(ctx, fork_plan_->targets_b(), make_preprepare(round_, block_b));
+    } else {
+      ledger::Block block;
+      block.parent = chain_.tip_hash();
+      block.round = round_;
+      block.proposer = self_;
+      block.txs = mempool_.select(cfg_.max_block_txs);
+      ctx.broadcast(make_preprepare(round_, block));
+    }
+  }
+  const std::uint64_t backoff =
+      1ull << std::min<std::uint64_t>(consecutive_failures_, 6);
+  ctx.set_timer(kPhaseTimer, cfg_.base_timeout * static_cast<SimTime>(backoff));
+}
+
+void QuorumNode::advance_round(net::Context& ctx, Round r, bool failed) {
+  if (r != round_) return;
+  round_ = r + 1;
+  consecutive_failures_ = failed ? consecutive_failures_ + 1 : 0;
+  ctx.cancel_timer(kPhaseTimer);
+  start_round(ctx);
+  auto it = future_.find(round_);
+  if (it != future_.end()) {
+    const auto pending = std::move(it->second);
+    future_.erase(it);
+    for (const auto& [from, data] : pending) on_message(ctx, from, data);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec helpers
+
+PhaseSig QuorumNode::phase_sig(PhaseTag phase, Round r,
+                               const crypto::Hash256& value) const {
+  return consensus::sign_phase(proto_, phase, r, value, self_, keys_.sk);
+}
+
+bool QuorumNode::verify_sig(PhaseTag phase, Round r,
+                            const crypto::Hash256& value, const PhaseSig& ps) {
+  if (ps.signer >= cfg_.n) return false;
+  return consensus::verify_phase(proto_, phase, r, value, ps, *registry_);
+}
+
+Bytes QuorumNode::encode_env(MsgType type, Round r, Bytes body) const {
+  return consensus::make_envelope(proto_, static_cast<std::uint8_t>(type), r,
+                                  self_, std::move(body), keys_.sk)
+      .encode();
+}
+
+Bytes QuorumNode::make_preprepare(Round r, const ledger::Block& block) {
+  Writer w;
+  block.encode(w);
+  phase_sig(PhaseTag::kPropose, r, block.hash()).encode(w);
+  return encode_env(MsgType::kPrePrepare, r, w.take());
+}
+
+Bytes QuorumNode::make_prepare(Round r, const crypto::Hash256& h) {
+  Writer w;
+  w.raw(ByteSpan(h.data(), h.size()));
+  phase_sig(PhaseTag::kPrepare, r, h).encode(w);
+  return encode_env(MsgType::kPrepare, r, w.take());
+}
+
+Bytes QuorumNode::make_commit(Round r, const crypto::Hash256& h,
+                              const RoundState& rs) {
+  Writer w;
+  w.raw(ByteSpan(h.data(), h.size()));
+  phase_sig(PhaseTag::kCommit, r, h).encode(w);
+  // Polygraph mode: commits carry the prepare certificate, which is what
+  // lets honest players cross-examine conflicting quorums after the fact.
+  w.boolean(accountable_);
+  if (accountable_) {
+    Certificate cert;
+    cert.phase = PhaseTag::kPrepare;
+    cert.round = r;
+    cert.value = h;
+    const auto it = rs.prepares.find(h);
+    if (it != rs.prepares.end()) {
+      for (const auto& [signer, sig] : it->second) {
+        cert.sigs.push_back(sig);
+        if (cert.sigs.size() >= tau_) break;
+      }
+    }
+    cert.encode(w);
+  }
+  return encode_env(MsgType::kCommit, r, w.take());
+}
+
+Bytes QuorumNode::make_decide(Round r, const crypto::Hash256& h,
+                              const RoundState& rs) {
+  Writer w;
+  w.raw(ByteSpan(h.data(), h.size()));
+  const auto block_it = block_store_.find(h);
+  w.boolean(block_it != block_store_.end());
+  if (block_it != block_store_.end()) block_it->second.encode(w);
+  Certificate cert;
+  cert.phase = PhaseTag::kCommit;
+  cert.round = r;
+  cert.value = h;
+  const auto it = rs.commits.find(h);
+  if (it != rs.commits.end()) {
+    for (const auto& [signer, sig] : it->second) {
+      cert.sigs.push_back(sig);
+      if (cert.sigs.size() >= tau_) break;
+    }
+  }
+  cert.encode(w);
+  return encode_env(MsgType::kDecide, r, w.take());
+}
+
+void QuorumNode::send_to(net::Context& ctx, const std::set<NodeId>& targets,
+                         const Bytes& wire) {
+  for (NodeId to : targets) {
+    if (to == self_) continue;
+    ctx.send(to, wire);
+  }
+  if (targets.count(self_)) on_message(ctx, self_, wire);
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+void QuorumNode::handle_preprepare(net::Context& ctx, const Envelope& env) {
+  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  const ledger::Block block = ledger::Block::decode(r_);
+  const PhaseSig pro_sig = PhaseSig::decode(r_);
+  const Round r = env.round;
+  const NodeId leader = cfg_.leader(r);
+  if (env.from != leader || pro_sig.signer != leader) return;
+  const crypto::Hash256 h = block.hash();
+  if (block.round != r) return;
+  if (!verify_sig(PhaseTag::kPropose, r, h, pro_sig)) return;
+
+  block_store_[h] = block;
+  RoundState& rs = rounds_[r];
+  note_conflict(rs.fraud.observe(
+      consensus::SignedValue{PhaseTag::kPropose, r, h, pro_sig}));
+
+  if (rs.proposal.has_value()) return;
+  if (block.parent != chain_.tip_hash()) {
+    rs.stale_proposals[h] = {block, pro_sig};
+    return;
+  }
+  rs.proposal = block;
+  rs.h_l = h;
+  rs.leader_sig = pro_sig;
+
+  if (!rs.prepared && participates() && !attacking(r)) {
+    rs.prepared = true;
+    ctx.broadcast(make_prepare(r, h));
+  }
+  check_prepare_quorum(ctx, r, rs);
+}
+
+void QuorumNode::handle_prepare(net::Context& ctx, const Envelope& env) {
+  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  crypto::Hash256 h;
+  r_.raw_into(h.data(), h.size());
+  const PhaseSig sig = PhaseSig::decode(r_);
+  const Round r = env.round;
+  if (!verify_sig(PhaseTag::kPrepare, r, h, sig)) return;
+
+  RoundState& rs = rounds_[r];
+  note_conflict(
+      rs.fraud.observe(consensus::SignedValue{PhaseTag::kPrepare, r, h, sig}));
+  rs.prepares[h][sig.signer] = sig;
+  maybe_expose(ctx, r, rs);
+  check_prepare_quorum(ctx, r, rs);
+}
+
+void QuorumNode::check_prepare_quorum(net::Context& ctx, Round r,
+                                      RoundState& rs) {
+  if (rs.committed || rs.decided) return;
+  for (const auto& [h, sigs] : rs.prepares) {
+    if (sigs.size() < tau_) continue;
+    // Prepared: lock the value (tentative append) and send commit.
+    const auto block_it = block_store_.find(h);
+    if (!rs.tentative_appended && block_it != block_store_.end() &&
+        block_it->second.parent == chain_.tip_hash()) {
+      rs.tentative_appended = chain_.append_tentative(block_it->second);
+    }
+    rs.committed = true;
+    if (participates() && !attacking(r)) {
+      ctx.broadcast(make_commit(r, h, rs));
+    }
+    check_commit_quorum(ctx, r, rs);
+    return;
+  }
+}
+
+void QuorumNode::handle_commit(net::Context& ctx, const Envelope& env) {
+  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  crypto::Hash256 h;
+  r_.raw_into(h.data(), h.size());
+  const PhaseSig sig = PhaseSig::decode(r_);
+  const bool has_cert = r_.boolean();
+  const Round r = env.round;
+  if (!verify_sig(PhaseTag::kCommit, r, h, sig)) return;
+
+  RoundState& rs = rounds_[r];
+  note_conflict(
+      rs.fraud.observe(consensus::SignedValue{PhaseTag::kCommit, r, h, sig}));
+  if (has_cert) {
+    const Certificate cert = Certificate::decode(r_);
+    if (cert.phase == PhaseTag::kPrepare && cert.round == r &&
+        cert.value == h) {
+      for (const PhaseSig& ps : cert.sigs) {
+        if (!verify_sig(PhaseTag::kPrepare, r, h, ps)) continue;
+        note_conflict(rs.fraud.observe(
+            consensus::SignedValue{PhaseTag::kPrepare, r, h, ps}));
+        rs.prepares[h][ps.signer] = ps;
+      }
+    }
+  }
+  rs.commits[h][sig.signer] = sig;
+  maybe_expose(ctx, r, rs);
+  check_prepare_quorum(ctx, r, rs);
+  check_commit_quorum(ctx, r, rs);
+}
+
+void QuorumNode::check_commit_quorum(net::Context& ctx, Round r,
+                                     RoundState& rs) {
+  if (rs.decided) return;
+  for (const auto& [h, sigs] : rs.commits) {
+    if (sigs.size() < tau_) continue;
+    if (participates() && !attacking(r)) {
+      ctx.broadcast(make_decide(r, h, rs));
+    }
+    decide(ctx, r, rs, h);
+    return;
+  }
+}
+
+void QuorumNode::decide(net::Context& ctx, Round r, RoundState& rs,
+                        const crypto::Hash256& h) {
+  if (rs.decided) return;
+  rs.decided = true;
+
+  const auto block_it = block_store_.find(h);
+  if (block_it != block_store_.end()) {
+    const ledger::Block& block = block_it->second;
+    if (chain_.tip_hash() == h) {
+      chain_.finalize_up_to(chain_.height());
+    } else if (chain_.tip_hash() == block.parent) {
+      chain_.append_tentative(block);
+      chain_.finalize_up_to(chain_.height());
+    } else if (chain_.height() > chain_.finalized_height()) {
+      chain_.rollback_tentative();
+      if (chain_.tip_hash() == block.parent) {
+        chain_.append_tentative(block);
+        chain_.finalize_up_to(chain_.height());
+      }
+    }
+    mempool_.mark_included(block.txs);
+  }
+  if (r == round_) advance_round(ctx, r, /*failed=*/false);
+}
+
+void QuorumNode::handle_decide(net::Context& ctx, const Envelope& env) {
+  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  crypto::Hash256 h;
+  r_.raw_into(h.data(), h.size());
+  const bool has_block = r_.boolean();
+  std::optional<ledger::Block> block;
+  if (has_block) block = ledger::Block::decode(r_);
+  const Certificate cert = Certificate::decode(r_);
+  const Round r = env.round;
+
+  if (cert.phase != PhaseTag::kCommit || cert.round != r || cert.value != h) {
+    return;
+  }
+  std::set<NodeId> signers;
+  for (const PhaseSig& ps : cert.sigs) {
+    if (!verify_sig(PhaseTag::kCommit, r, h, ps)) return;
+    if (!signers.insert(ps.signer).second) return;
+  }
+  if (signers.size() < tau_) return;
+
+  if (block.has_value() && block->hash() == h) {
+    block_store_[h] = *block;
+  }
+  RoundState& rs = rounds_[r];
+  if (accountable_) {
+    for (const PhaseSig& ps : cert.sigs) {
+      note_conflict(rs.fraud.observe(
+          consensus::SignedValue{PhaseTag::kCommit, r, h, ps}));
+    }
+    maybe_expose(ctx, r, rs);
+  }
+  if (r > round_) {
+    // Catch-up decide from the future: adopt if it connects.
+    round_ = r;
+  }
+  decide(ctx, r, rs, h);
+}
+
+void QuorumNode::trigger_view_change(net::Context& ctx, Round r) {
+  RoundState& rs = rounds_[r];
+  if (rs.vc_sent || rs.decided) return;
+  rs.vc_sent = true;
+  view_changes_ += 1;
+  if (participates()) {
+    Writer w;
+    phase_sig(PhaseTag::kViewChange, r, vc_value(proto_, r)).encode(w);
+    ctx.broadcast(encode_env(MsgType::kViewChange, r, w.take()));
+  }
+  if (r == round_) {
+    const std::uint64_t backoff =
+        1ull << std::min<std::uint64_t>(consecutive_failures_, 6);
+    ctx.set_timer(kPhaseTimer,
+                  cfg_.base_timeout * static_cast<SimTime>(backoff));
+  }
+}
+
+void QuorumNode::handle_view_change(net::Context& ctx, const Envelope& env) {
+  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  const PhaseSig sig = PhaseSig::decode(r_);
+  const Round r = env.round;
+  if (!verify_sig(PhaseTag::kViewChange, r, vc_value(proto_, r), sig)) return;
+
+  RoundState& rs = rounds_[r];
+  rs.vc_sigs[sig.signer] = sig;
+  if (rs.vc_sigs.size() >= tau_ && !rs.decided) {
+    if (!rs.vc_sent) trigger_view_change(ctx, r);
+    if (r == round_) advance_round(ctx, r, /*failed=*/true);
+  }
+}
+
+void QuorumNode::maybe_expose(net::Context& ctx, Round r, RoundState& rs) {
+  if (!accountable_ || rs.expose_sent) return;
+  if (rs.fraud.guilty_count() <= cfg_.t0) return;
+  if (attacking(r) ||
+      (fork_plan_ != nullptr && fork_plan_->coalition.count(self_) &&
+       fork_plan_->baiters.count(self_) == 0)) {
+    return;  // colluders never expose their own
+  }
+  rs.expose_sent = true;
+  exposes_sent_ += 1;
+  Writer w;
+  consensus::encode_fraud_set(w, rs.fraud.fraud_set());
+  if (participates()) {
+    ctx.broadcast(encode_env(MsgType::kExpose, r, w.take()));
+  }
+  for (const auto& [node, cp] : rs.fraud.proofs()) {
+    if (cp.verify(proto_, *registry_)) {
+      convicted_.insert(node);
+      if (deposits_ != nullptr) deposits_->burn(node);
+    }
+  }
+}
+
+void QuorumNode::handle_expose(net::Context& ctx, const Envelope& env) {
+  (void)ctx;
+  if (!accountable_) return;
+  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  const consensus::FraudSet proofs = consensus::decode_fraud_set(r_);
+  for (const consensus::ConflictPair& cp : proofs) {
+    if (cp.verify(proto_, *registry_)) {
+      convicted_.insert(cp.guilty());
+      if (deposits_ != nullptr && is_honest()) deposits_->burn(cp.guilty());
+    }
+  }
+}
+
+void QuorumNode::note_conflict(
+    const std::optional<consensus::ConflictPair>& cp) {
+  if (!accountable_ || !cp.has_value()) return;
+  if (!is_honest()) return;
+  if (cp->verify(proto_, *registry_)) {
+    convicted_.insert(cp->guilty());
+    if (deposits_ != nullptr) deposits_->burn(cp->guilty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fork coalition pump (π_ds against the two-phase protocol)
+
+void QuorumNode::pump_attack(net::Context& ctx) {
+  if (fork_plan_ == nullptr || !fork_plan_->coalition.count(self_) ||
+      fork_plan_->baiters.count(self_)) {
+    return;
+  }
+  for (auto& [r, values] : fork_plan_->values) {
+    RoundState& rs = rounds_[r];
+    AttackProgress& prog = attack_[r];
+    if (!prog.voted) {
+      prog.voted = true;
+      send_to(ctx, fork_plan_->targets_a(), make_prepare(r, values.h_a));
+      send_to(ctx, fork_plan_->targets_b(), make_prepare(r, values.h_b));
+    }
+    pump_attack_side(ctx, r, rs, values.h_a, fork_plan_->targets_a(),
+                     prog.prep_a, prog.commit_a, prog.decide_a);
+    pump_attack_side(ctx, r, rs, values.h_b, fork_plan_->targets_b(),
+                     prog.prep_b, prog.commit_b, prog.decide_b);
+  }
+}
+
+void QuorumNode::pump_attack_side(net::Context& ctx, Round r, RoundState& rs,
+                                  const crypto::Hash256& h,
+                                  const std::set<NodeId>& targets,
+                                  bool& prep_sent, bool& commit_sent,
+                                  bool& decide_sent) {
+  (void)prep_sent;
+  if (!commit_sent) {
+    const auto it = rs.prepares.find(h);
+    if (it != rs.prepares.end() && it->second.size() >= tau_) {
+      commit_sent = true;
+      send_to(ctx, targets, make_commit(r, h, rs));
+    }
+  }
+  if (!decide_sent) {
+    const auto it = rs.commits.find(h);
+    if (it != rs.commits.end() && it->second.size() >= tau_) {
+      decide_sent = true;
+      send_to(ctx, targets, make_decide(r, h, rs));
+    }
+  }
+}
+
+}  // namespace ratcon::baselines

@@ -1,0 +1,210 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "consensus/envelope.hpp"
+#include "consensus/fraud.hpp"
+#include "consensus/replica.hpp"
+#include "consensus/types.hpp"
+#include "ledger/deposits.hpp"
+
+namespace ratcon::baselines {
+
+/// Coordination state for a fork coalition attacking a quorum protocol —
+/// the same equivocate-per-side playbook as adversary::ForkPlan, but
+/// against the two-phase baseline. With τ = n − (⌈n/3⌉ − 1) and a coalition
+/// of size ≥ n/3, *both* sides can assemble quorums: this is how pBFT-class
+/// protocols fork once t + k crosses n/3 (Table 1's RFT row), and what
+/// Polygraph-mode nodes then hold the coalition accountable for.
+struct QuorumForkPlan {
+  std::uint32_t n = 0;
+  std::set<NodeId> coalition;
+  std::set<NodeId> side_a;
+  std::set<NodeId> side_b;
+
+  /// Coalition members that defect to the baiting strategy π_bait (TRAP,
+  /// §3.4): they run the honest protocol and expose the coalition's PoF.
+  std::set<NodeId> baiters;
+
+  struct RoundValues {
+    crypto::Hash256 h_a{};
+    crypto::Hash256 h_b{};
+  };
+  std::map<Round, RoundValues> values;
+
+  [[nodiscard]] bool attacks(Round r) const {
+    const NodeId leader = static_cast<NodeId>(r % n);
+    return coalition.count(leader) > 0 && baiters.count(leader) == 0;
+  }
+  [[nodiscard]] std::set<NodeId> targets_a() const;
+  [[nodiscard]] std::set<NodeId> targets_b() const;
+};
+
+/// A configurable leader-based two-phase quorum protocol on the shared
+/// substrate. One class covers several of the paper's comparators:
+///
+///  * τ = n − t0 with t0 = ⌈n/3⌉ − 1, plain       → pBFT-style BFT
+///  * the same with `accountable = true`           → Polygraph-lite
+///    (commits carry prepare certificates; decides carry commit
+///    certificates; honest players extract ≥ t0 + 1 guilty after forks)
+///  * accountable + QuorumForkPlan + baiters       → TRAP-lite substrate
+///  * arbitrary τ                                  → Claim 1's threshold
+///    experiments (τ > n − t0 ⇒ abstain kills liveness; τ ≤ ⌊(n+t0)/2⌋ ⇒
+///    partition forks)
+///
+/// Phases per round: PrePrepare (leader) → Prepare (all-to-all, quorum τ)
+/// → Commit (all-to-all, quorum τ) → Decide broadcast. A prepare quorum
+/// acts as a lock (the block is appended tentatively and survives view
+/// changes); a commit quorum finalizes. Decide messages carry the block so
+/// cut-out players can catch up.
+class QuorumNode : public consensus::IReplica {
+ public:
+  /// Message types (second wire byte).
+  enum class MsgType : std::uint8_t {
+    kPrePrepare = 0,
+    kPrepare = 1,
+    kCommit = 2,
+    kDecide = 3,
+    kViewChange = 4,
+    kExpose = 5,
+  };
+
+  struct Deps {
+    consensus::Config cfg;
+    std::uint32_t tau = 0;  ///< agreement threshold; 0 = cfg.quorum()
+    consensus::ProtoId proto = consensus::ProtoId::kPbft;
+    bool accountable = false;  ///< Polygraph mode
+    crypto::KeyRegistry* registry = nullptr;
+    crypto::KeyPair keys;
+    ledger::DepositLedger* deposits = nullptr;
+    std::shared_ptr<QuorumForkPlan> fork_plan;  ///< null = honest node
+    bool abstain = false;  ///< π_abs: full silence (crash-indistinguishable)
+  };
+
+  explicit QuorumNode(Deps deps);
+
+  // -- IReplica ---------------------------------------------------------------
+  [[nodiscard]] const ledger::Chain& chain() const override { return chain_; }
+  ledger::Mempool& mempool() override { return mempool_; }
+  [[nodiscard]] bool is_honest() const override {
+    return !abstain_ &&
+           (fork_plan_ == nullptr || !fork_plan_->coalition.count(self_) ||
+            fork_plan_->baiters.count(self_) > 0);
+  }
+
+  // -- INode -------------------------------------------------------------------
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, NodeId from, const Bytes& data) override;
+  void on_timer(net::Context& ctx, std::uint64_t timer_id) override;
+
+  [[nodiscard]] Round current_round() const { return round_; }
+  [[nodiscard]] std::uint64_t view_changes() const { return view_changes_; }
+  [[nodiscard]] std::uint64_t exposes_sent() const { return exposes_sent_; }
+  void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
+
+  /// Guilty players this node has personally convicted via valid PoF
+  /// (accountable mode) — the output of Definition 6's V(·).
+  [[nodiscard]] const std::set<NodeId>& convicted() const { return convicted_; }
+
+ private:
+  struct RoundState {
+    std::optional<ledger::Block> proposal;
+    crypto::Hash256 h_l{};
+    consensus::PhaseSig leader_sig;
+    std::map<crypto::Hash256, std::pair<ledger::Block, consensus::PhaseSig>>
+        stale_proposals;
+    bool prepared = false;   // sent prepare
+    bool committed = false;  // sent commit
+    bool decided = false;
+    bool tentative_appended = false;
+    bool vc_sent = false;
+    bool expose_sent = false;
+    std::map<crypto::Hash256, std::map<NodeId, consensus::PhaseSig>> prepares;
+    std::map<crypto::Hash256, std::map<NodeId, consensus::PhaseSig>> commits;
+    std::map<NodeId, consensus::PhaseSig> vc_sigs;
+    consensus::FraudTracker fraud;
+  };
+
+  static constexpr std::uint64_t kPhaseTimer = 1;
+
+  [[nodiscard]] bool attacking(Round r) const {
+    return fork_plan_ != nullptr && fork_plan_->coalition.count(self_) > 0 &&
+           fork_plan_->baiters.count(self_) == 0 && fork_plan_->attacks(r);
+  }
+  [[nodiscard]] bool participates() const { return !abstain_; }
+
+  void start_round(net::Context& ctx);
+  void advance_round(net::Context& ctx, Round r, bool failed);
+  void handle_preprepare(net::Context& ctx, const consensus::Envelope& env);
+  void handle_prepare(net::Context& ctx, const consensus::Envelope& env);
+  void handle_commit(net::Context& ctx, const consensus::Envelope& env);
+  void handle_decide(net::Context& ctx, const consensus::Envelope& env);
+  void handle_view_change(net::Context& ctx, const consensus::Envelope& env);
+  void handle_expose(net::Context& ctx, const consensus::Envelope& env);
+  void check_prepare_quorum(net::Context& ctx, Round r, RoundState& rs);
+  void check_commit_quorum(net::Context& ctx, Round r, RoundState& rs);
+  void decide(net::Context& ctx, Round r, RoundState& rs,
+              const crypto::Hash256& h);
+  void trigger_view_change(net::Context& ctx, Round r);
+  void maybe_expose(net::Context& ctx, Round r, RoundState& rs);
+  void note_conflict(const std::optional<consensus::ConflictPair>& cp);
+  void pump_attack(net::Context& ctx);
+  void pump_attack_side(net::Context& ctx, Round r, RoundState& rs,
+                        const crypto::Hash256& h,
+                        const std::set<NodeId>& targets, bool& prep_sent,
+                        bool& commit_sent, bool& decide_sent);
+
+  [[nodiscard]] consensus::PhaseSig phase_sig(
+      consensus::PhaseTag phase, Round r, const crypto::Hash256& value) const;
+  [[nodiscard]] Bytes encode_env(MsgType type, Round r, Bytes body) const;
+  [[nodiscard]] Bytes make_preprepare(Round r, const ledger::Block& block);
+  [[nodiscard]] Bytes make_prepare(Round r, const crypto::Hash256& h);
+  [[nodiscard]] Bytes make_commit(Round r, const crypto::Hash256& h,
+                                  const RoundState& rs);
+  [[nodiscard]] Bytes make_decide(Round r, const crypto::Hash256& h,
+                                  const RoundState& rs);
+  void send_to(net::Context& ctx, const std::set<NodeId>& targets,
+               const Bytes& wire);
+  bool verify_sig(consensus::PhaseTag phase, Round r,
+                  const crypto::Hash256& value,
+                  const consensus::PhaseSig& ps);
+
+  consensus::Config cfg_;
+  std::uint32_t tau_;
+  consensus::ProtoId proto_;
+  bool accountable_;
+  crypto::KeyRegistry* registry_;
+  crypto::KeyPair keys_;
+  ledger::DepositLedger* deposits_;
+  std::shared_ptr<QuorumForkPlan> fork_plan_;
+  bool abstain_;
+
+  NodeId self_ = kNoNode;
+  Round round_ = 1;
+  std::map<Round, RoundState> rounds_;
+  std::map<crypto::Hash256, ledger::Block> block_store_;
+  std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
+
+  struct AttackProgress {
+    bool voted = false;
+    bool prep_a = false, prep_b = false;
+    bool commit_a = false, commit_b = false;
+    bool decide_a = false, decide_b = false;
+  };
+  std::map<Round, AttackProgress> attack_;
+
+  ledger::Chain chain_;
+  ledger::Mempool mempool_;
+  std::set<NodeId> convicted_;
+
+  std::uint64_t consecutive_failures_ = 0;
+  std::uint64_t view_changes_ = 0;
+  std::uint64_t exposes_sent_ = 0;
+  std::uint64_t target_blocks_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ratcon::baselines

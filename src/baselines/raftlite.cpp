@@ -1,0 +1,181 @@
+#include "baselines/raftlite.hpp"
+
+#include <algorithm>
+
+namespace ratcon::baselines {
+
+using consensus::Envelope;
+
+namespace {
+constexpr consensus::ProtoId kProto = consensus::ProtoId::kRaftLite;
+}
+
+RaftLiteNode::RaftLiteNode(Deps deps)
+    : cfg_(deps.cfg), registry_(deps.registry), keys_(deps.keys) {}
+
+void RaftLiteNode::on_start(net::Context& ctx) {
+  self_ = ctx.self();
+  start_term(ctx);
+}
+
+void RaftLiteNode::start_term(net::Context& ctx) {
+  if (stopped_) return;
+  if (target_blocks_ != 0 && chain_.finalized_height() >= target_blocks_) {
+    stopped_ = true;
+    ctx.cancel_timer(kTimer);
+    return;
+  }
+  if (cfg_.leader(term_) == self_) {
+    ledger::Block block;
+    block.parent = chain_.tip_hash();
+    block.round = term_;
+    block.proposer = self_;
+    block.txs = mempool_.select(cfg_.max_block_txs);
+    Writer w;
+    block.encode(w);
+    ctx.broadcast(consensus::make_envelope(
+                      kProto, static_cast<std::uint8_t>(MsgType::kAppend),
+                      term_, self_, w.take(), keys_.sk)
+                      .encode());
+  }
+  const std::uint64_t backoff =
+      1ull << std::min<std::uint64_t>(consecutive_failures_, 6);
+  ctx.set_timer(kTimer, cfg_.base_timeout * static_cast<SimTime>(backoff));
+}
+
+void RaftLiteNode::advance_term(net::Context& ctx, Round t, bool failed) {
+  if (t != term_) return;
+  term_ = t + 1;
+  consecutive_failures_ = failed ? consecutive_failures_ + 1 : 0;
+  ctx.cancel_timer(kTimer);
+  start_term(ctx);
+  auto it = future_.find(term_);
+  if (it != future_.end()) {
+    const auto pending = std::move(it->second);
+    future_.erase(it);
+    for (const auto& [from, data] : pending) on_message(ctx, from, data);
+  }
+}
+
+void RaftLiteNode::on_timer(net::Context& ctx, std::uint64_t timer_id) {
+  if (timer_id != kTimer || stopped_) return;
+  TermState& ts = terms_[term_];
+  if (ts.committed) return;
+  if (!ts.change_sent) {
+    ts.change_sent = true;
+    Writer w;
+    w.u8(1);
+    ctx.broadcast(consensus::make_envelope(
+                      kProto, static_cast<std::uint8_t>(MsgType::kTermChange),
+                      term_, self_, w.take(), keys_.sk)
+                      .encode());
+  }
+}
+
+void RaftLiteNode::commit_block(net::Context& ctx, Round t,
+                                const ledger::Block& block) {
+  TermState& ts = terms_[t];
+  if (ts.committed) return;
+  ts.committed = true;
+  if (block.parent == chain_.tip_hash()) {
+    chain_.append_tentative(block);
+    chain_.finalize_up_to(chain_.height());
+    mempool_.mark_included(block.txs);
+  }
+  if (t == term_) advance_term(ctx, t, /*failed=*/false);
+}
+
+void RaftLiteNode::on_message(net::Context& ctx, NodeId from,
+                              const Bytes& data) {
+  (void)from;
+  Envelope env;
+  try {
+    env = Envelope::decode(ByteSpan(data.data(), data.size()));
+  } catch (const CodecError&) {
+    return;
+  }
+  if (env.proto != kProto || env.from >= cfg_.n) return;
+  if (!consensus::verify_envelope(env, *registry_)) return;
+  if (env.round > term_ &&
+      static_cast<MsgType>(env.type) != MsgType::kCommit) {
+    future_[env.round].emplace_back(env.from, data);
+    return;
+  }
+  const Round t = env.round;
+  TermState& ts = terms_[t];
+  const NodeId leader = cfg_.leader(t);
+
+  try {
+    Reader r_(ByteSpan(env.body.data(), env.body.size()));
+    switch (static_cast<MsgType>(env.type)) {
+      case MsgType::kAppend: {
+        if (env.from != leader) return;
+        const ledger::Block block = ledger::Block::decode(r_);
+        if (block.round != t) return;
+        ts.proposal = block;
+        ts.h = block.hash();
+        if (self_ == leader) {
+          ts.acks[self_] = true;
+        } else if (block.parent == chain_.tip_hash()) {
+          Writer w;
+          w.raw(ByteSpan(ts.h.data(), ts.h.size()));
+          ctx.send(leader, consensus::make_envelope(
+                               kProto,
+                               static_cast<std::uint8_t>(MsgType::kAck), t,
+                               self_, w.take(), keys_.sk)
+                               .encode());
+        }
+        break;
+      }
+      case MsgType::kAck: {
+        if (self_ != leader || !ts.proposal.has_value()) return;
+        crypto::Hash256 h;
+        r_.raw_into(h.data(), h.size());
+        if (h != ts.h) return;
+        ts.acks[env.from] = true;
+        if (ts.acks.size() >= majority() && !ts.committed) {
+          Writer w;
+          ts.proposal->encode(w);
+          ctx.broadcast(consensus::make_envelope(
+                            kProto,
+                            static_cast<std::uint8_t>(MsgType::kCommit), t,
+                            self_, w.take(), keys_.sk)
+                            .encode());
+          commit_block(ctx, t, *ts.proposal);
+        }
+        break;
+      }
+      case MsgType::kCommit: {
+        if (env.from != leader) return;
+        const ledger::Block block = ledger::Block::decode(r_);
+        if (block.round != t) return;
+        if (t > term_) term_ = t;  // catch up
+        commit_block(ctx, t, block);
+        break;
+      }
+      case MsgType::kTermChange: {
+        ts.term_changes[env.from] = true;
+        // A single suspicion advances the term after a majority echoes it;
+        // crashed leaders cannot ack so live nodes converge on t+1.
+        if (!ts.change_sent && ts.term_changes.size() >= 1) {
+          ts.change_sent = true;
+          Writer w;
+          w.u8(1);
+          ctx.broadcast(
+              consensus::make_envelope(
+                  kProto, static_cast<std::uint8_t>(MsgType::kTermChange), t,
+                  self_, w.take(), keys_.sk)
+                  .encode());
+        }
+        if (ts.term_changes.size() >= majority() && !ts.committed &&
+            t == term_) {
+          advance_term(ctx, t, /*failed=*/true);
+        }
+        break;
+      }
+    }
+  } catch (const CodecError&) {
+  }
+}
+
+}  // namespace ratcon::baselines

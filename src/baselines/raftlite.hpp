@@ -1,0 +1,82 @@
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "consensus/envelope.hpp"
+#include "consensus/replica.hpp"
+#include "consensus/types.hpp"
+
+namespace ratcon::baselines {
+
+/// Crash-fault-tolerant log replication in the Paxos/Raft family — the
+/// CFT(c) column of Table 1. Majority quorum ⌊n/2⌋ + 1; leaders rotate
+/// deterministically per term (no elections: the point of the Table 1
+/// experiment is the 2c < n availability bound, not leader election).
+///
+/// Tolerates crash faults only: a crashed node is silent forever. With
+/// c < n/2 crashes the remaining majority keeps committing; with c >= n/2
+/// no quorum can form and the system stalls — both outcomes are measured
+/// by bench_table1_bounds. No Byzantine defenses: a single equivocator
+/// trivially forks it (also demonstrated in the bench).
+class RaftLiteNode : public consensus::IReplica {
+ public:
+  enum class MsgType : std::uint8_t {
+    kAppend = 0,     // leader → all: block for this term
+    kAck = 1,        // follower → leader
+    kCommit = 2,     // leader → all: commit notice (carries the block)
+    kTermChange = 3, // follower → all: leader timed out
+  };
+
+  struct Deps {
+    consensus::Config cfg;  ///< t0 unused; quorum is ⌊n/2⌋ + 1
+    crypto::KeyRegistry* registry = nullptr;
+    crypto::KeyPair keys;
+  };
+
+  explicit RaftLiteNode(Deps deps);
+
+  [[nodiscard]] const ledger::Chain& chain() const override { return chain_; }
+  ledger::Mempool& mempool() override { return mempool_; }
+  [[nodiscard]] bool is_honest() const override { return true; }
+
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, NodeId from, const Bytes& data) override;
+  void on_timer(net::Context& ctx, std::uint64_t timer_id) override;
+
+  [[nodiscard]] Round current_term() const { return term_; }
+  void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
+
+ private:
+  struct TermState {
+    std::optional<ledger::Block> proposal;
+    crypto::Hash256 h{};
+    std::map<NodeId, bool> acks;
+    std::map<NodeId, bool> term_changes;
+    bool committed = false;
+    bool change_sent = false;
+  };
+
+  static constexpr std::uint64_t kTimer = 1;
+
+  [[nodiscard]] std::uint32_t majority() const { return cfg_.n / 2 + 1; }
+  void start_term(net::Context& ctx);
+  void advance_term(net::Context& ctx, Round t, bool failed);
+  void commit_block(net::Context& ctx, Round t, const ledger::Block& block);
+
+  consensus::Config cfg_;
+  crypto::KeyRegistry* registry_;
+  crypto::KeyPair keys_;
+
+  NodeId self_ = kNoNode;
+  Round term_ = 1;
+  std::map<Round, TermState> terms_;
+  std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
+  ledger::Chain chain_;
+  ledger::Mempool mempool_;
+  std::uint64_t consecutive_failures_ = 0;
+  std::uint64_t target_blocks_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ratcon::baselines

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ratcon {
+
+/// Raw byte buffer used throughout the library for wire messages, hashes
+/// and signatures.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes. All crypto and codec interfaces
+/// take spans so callers never copy just to hash or parse.
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of `data` (two chars per byte, no prefix).
+std::string to_hex(ByteSpan data);
+
+/// Decodes lowercase/uppercase hex. Throws std::invalid_argument on odd
+/// length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Copies the UTF-8 contents of `s` into a fresh byte buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets `data` as UTF-8 text (for logging / test assertions).
+std::string to_string(ByteSpan data);
+
+/// Constant-time-ish equality for fixed-size secrets; regular equality is
+/// fine elsewhere in the simulator but tests use this for signatures.
+bool equal_bytes(ByteSpan a, ByteSpan b);
+
+}  // namespace ratcon

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ratcon {
+
+/// Zero-based player/replica index. The paper indexes players 1..n and picks
+/// the round-r leader as 1 + (r mod n); we use 0-based ids and leader
+/// `r % n`, which is the same rotation.
+using NodeId = std::uint32_t;
+
+/// Consensus round / block height. One block is agreed per round.
+using Round = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+}  // namespace ratcon

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ratcon::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; defaults to kWarn so tests stay quiet. Examples and
+/// benches raise it to kInfo for narrative output.
+void set_level(Level level);
+Level level();
+
+/// Emits a line to stderr if `level` is enabled.
+void write(Level level, const std::string& msg);
+
+namespace detail {
+
+inline void append(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append(os, rest...);
+}
+
+}  // namespace detail
+
+/// Variadic stream-style logging: log::info("node ", id, " finalized ", h).
+template <typename... Args>
+void trace(const Args&... args) {
+  if (level() > Level::kTrace) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  write(Level::kTrace, os.str());
+}
+
+template <typename... Args>
+void debug(const Args&... args) {
+  if (level() > Level::kDebug) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  write(Level::kDebug, os.str());
+}
+
+template <typename... Args>
+void info(const Args&... args) {
+  if (level() > Level::kInfo) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  write(Level::kInfo, os.str());
+}
+
+template <typename... Args>
+void warn(const Args&... args) {
+  if (level() > Level::kWarn) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  write(Level::kWarn, os.str());
+}
+
+template <typename... Args>
+void error(const Args&... args) {
+  if (level() > Level::kError) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  write(Level::kError, os.str());
+}
+
+}  // namespace ratcon::log

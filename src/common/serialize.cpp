@@ -1,0 +1,112 @@
+#include "common/serialize.hpp"
+
+#include <cstring>
+
+namespace ratcon {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::bytes(ByteSpan data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Reader::need(std::size_t n) const {
+  if (data_.size() - pos_ < n) {
+    throw CodecError("Reader: truncated input");
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Bytes Reader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void Reader::raw_into(std::uint8_t* out, std::size_t n) {
+  need(n);
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+}
+
+Bytes Reader::bytes(std::size_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) throw CodecError("Reader: length field exceeds limit");
+  return raw(len);
+}
+
+std::string Reader::str(std::size_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) throw CodecError("Reader: string length exceeds limit");
+  need(len);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+std::uint32_t Reader::count(std::uint32_t max_count) {
+  const std::uint32_t c = u32();
+  if (c > max_count) throw CodecError("Reader: element count exceeds limit");
+  return c;
+}
+
+void Reader::expect_done() const {
+  if (!done()) throw CodecError("Reader: trailing bytes after message");
+}
+
+}  // namespace ratcon

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace ratcon {
+
+/// Thrown by Reader on malformed / truncated input. All wire decoding in the
+/// library is bounds-checked; a Byzantine sender can never make a correct
+/// node read out of bounds.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only binary encoder. Fixed-width integers are little-endian;
+/// variable-size payloads are length-prefixed with u32.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Raw bytes, no length prefix (for fixed-size fields like hashes).
+  void raw(ByteSpan data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+  /// Length-prefixed bytes.
+  void bytes(ByteSpan data);
+
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view s);
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked binary decoder matching Writer's format. Every read
+/// throws CodecError when the buffer is exhausted.
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  /// Reads exactly `n` raw bytes (fixed-size fields).
+  Bytes raw(std::size_t n);
+
+  /// Copies `n` raw bytes into `out` (for std::array destinations).
+  void raw_into(std::uint8_t* out, std::size_t n);
+
+  /// Length-prefixed bytes. `max_len` guards against hostile length fields.
+  Bytes bytes(std::size_t max_len = kDefaultMaxLen);
+
+  /// Length-prefixed string.
+  std::string str(std::size_t max_len = kDefaultMaxLen);
+
+  /// Reads a u32 element count, bounded by `max_count`.
+  std::uint32_t count(std::uint32_t max_count);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+  /// Asserts the whole buffer was consumed; protocols call this after
+  /// decoding a message so trailing garbage is rejected.
+  void expect_done() const;
+
+  static constexpr std::size_t kDefaultMaxLen = 64u << 20;  // 64 MiB
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ratcon

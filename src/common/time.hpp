@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ratcon {
+
+/// Virtual simulation time in microseconds. The simulator is fully
+/// deterministic, so the unit is nominal; all protocol timeouts are
+/// expressed through the helpers below.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
+constexpr SimTime usec(std::int64_t v) { return v; }
+constexpr SimTime msec(std::int64_t v) { return v * 1000; }
+constexpr SimTime sec(std::int64_t v) { return v * 1000 * 1000; }
+
+}  // namespace ratcon

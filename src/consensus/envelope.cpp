@@ -1,0 +1,65 @@
+#include "consensus/envelope.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace ratcon::consensus {
+
+Bytes Envelope::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u8(type);
+  w.u64(round);
+  w.u32(from);
+  w.bytes(body);
+  w.raw(ByteSpan(sig.bytes.data(), sig.bytes.size()));
+  return w.take();
+}
+
+Envelope Envelope::decode(ByteSpan wire) {
+  Reader r(wire);
+  Envelope env;
+  env.proto = static_cast<ProtoId>(r.u8());
+  env.type = r.u8();
+  env.round = r.u64();
+  env.from = r.u32();
+  env.body = r.bytes();
+  r.raw_into(env.sig.bytes.data(), env.sig.bytes.size());
+  r.expect_done();
+  return env;
+}
+
+Bytes Envelope::signing_payload() const {
+  Writer w;
+  w.str("ratcon-envelope");
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u8(type);
+  w.u64(round);
+  w.u32(from);
+  const crypto::Hash256 body_hash =
+      crypto::sha256(ByteSpan(body.data(), body.size()));
+  w.raw(ByteSpan(body_hash.data(), body_hash.size()));
+  return w.take();
+}
+
+Envelope make_envelope(ProtoId proto, std::uint8_t type, Round round,
+                       NodeId from, Bytes body, const crypto::SecretKey& sk) {
+  Envelope env;
+  env.proto = proto;
+  env.type = type;
+  env.round = round;
+  env.from = from;
+  env.body = std::move(body);
+  const Bytes payload = env.signing_payload();
+  env.sig = crypto::sign(sk, ByteSpan(payload.data(), payload.size()));
+  return env;
+}
+
+bool verify_envelope(const Envelope& env,
+                     const crypto::KeyRegistry& registry) {
+  const Bytes payload = env.signing_payload();
+  const crypto::PublicKey pk = registry.public_key(env.from);
+  return registry.verify(pk, ByteSpan(payload.data(), payload.size()),
+                         env.sig);
+}
+
+}  // namespace ratcon::consensus

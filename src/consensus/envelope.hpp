@@ -1,0 +1,39 @@
+#pragma once
+
+#include "consensus/types.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sig.hpp"
+
+namespace ratcon::consensus {
+
+/// Wire envelope carried by every consensus message:
+///
+///   [proto u8][type u8][round u64][from u32][body bytes][sig 32B]
+///
+/// The first two bytes double as the traffic-stats header. The signature
+/// covers (proto, type, round, from, H(body)), so envelopes cannot be
+/// replayed across rounds or attributed to other senders; the Recv
+/// procedures of all protocols verify it before acting (paper Figure 1:
+/// "any message coming through it will contain only valid signatures").
+struct Envelope {
+  ProtoId proto = ProtoId::kPrft;
+  std::uint8_t type = 0;
+  Round round = 0;
+  NodeId from = kNoNode;
+  Bytes body;
+  crypto::Signature sig;
+
+  [[nodiscard]] Bytes encode() const;
+  static Envelope decode(ByteSpan wire);
+
+  [[nodiscard]] Bytes signing_payload() const;
+};
+
+/// Builds and signs an envelope.
+Envelope make_envelope(ProtoId proto, std::uint8_t type, Round round,
+                       NodeId from, Bytes body, const crypto::SecretKey& sk);
+
+/// Verifies the envelope signature against the trusted-setup registry.
+bool verify_envelope(const Envelope& env, const crypto::KeyRegistry& registry);
+
+}  // namespace ratcon::consensus

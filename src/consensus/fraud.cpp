@@ -1,0 +1,98 @@
+#include "consensus/fraud.hpp"
+
+namespace ratcon::consensus {
+
+bool ConflictPair::verify(ProtoId proto,
+                          const crypto::KeyRegistry& registry) const {
+  if (sig_a.signer != sig_b.signer) return false;
+  if (value_a == value_b) return false;
+  return verify_phase(proto, phase, round, value_a, sig_a, registry) &&
+         verify_phase(proto, phase, round, value_b, sig_b, registry);
+}
+
+void ConflictPair::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(phase));
+  w.u64(round);
+  w.raw(ByteSpan(value_a.data(), value_a.size()));
+  w.raw(ByteSpan(value_b.data(), value_b.size()));
+  sig_a.encode(w);
+  sig_b.encode(w);
+}
+
+ConflictPair ConflictPair::decode(Reader& r) {
+  ConflictPair cp;
+  cp.phase = static_cast<PhaseTag>(r.u8());
+  cp.round = r.u64();
+  r.raw_into(cp.value_a.data(), cp.value_a.size());
+  r.raw_into(cp.value_b.data(), cp.value_b.size());
+  cp.sig_a = PhaseSig::decode(r);
+  cp.sig_b = PhaseSig::decode(r);
+  return cp;
+}
+
+void encode_fraud_set(Writer& w, const FraudSet& set) {
+  w.u32(static_cast<std::uint32_t>(set.size()));
+  for (const ConflictPair& cp : set) cp.encode(w);
+}
+
+FraudSet decode_fraud_set(Reader& r) {
+  const std::uint32_t count = r.count(1u << 12);
+  FraudSet out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(ConflictPair::decode(r));
+  }
+  return out;
+}
+
+std::set<NodeId> verify_fraud_proofs(ProtoId proto, const FraudSet& proofs,
+                                     const crypto::KeyRegistry& registry) {
+  std::set<NodeId> guilty;
+  for (const ConflictPair& cp : proofs) {
+    if (cp.verify(proto, registry)) {
+      guilty.insert(cp.guilty());
+    }
+  }
+  return guilty;
+}
+
+std::optional<ConflictPair> FraudTracker::observe(const SignedValue& sv) {
+  const Key key{static_cast<std::uint8_t>(sv.phase), sv.round, sv.ps.signer};
+  auto& values = seen_[key];
+  const auto [it, inserted] = values.emplace(sv.value, sv.ps);
+  if (inserted && values.size() >= 2 && !proofs_.count(sv.ps.signer)) {
+    // Pair the new value with any previously-seen distinct value.
+    for (const auto& [other_value, other_sig] : values) {
+      if (other_value == sv.value) continue;
+      ConflictPair cp;
+      cp.phase = sv.phase;
+      cp.round = sv.round;
+      cp.value_a = other_value;
+      cp.value_b = sv.value;
+      cp.sig_a = other_sig;
+      cp.sig_b = sv.ps;
+      proofs_.emplace(sv.ps.signer, cp);
+      return cp;
+    }
+  }
+  return std::nullopt;
+}
+
+void FraudTracker::observe_all(const std::vector<SignedValue>& svs) {
+  for (const SignedValue& sv : svs) observe(sv);
+}
+
+FraudSet FraudTracker::fraud_set() const {
+  FraudSet out;
+  out.reserve(proofs_.size());
+  for (const auto& [node, cp] : proofs_) out.push_back(cp);
+  return out;
+}
+
+FraudSet construct_proof(std::span<const SignedValue> statements) {
+  FraudTracker tracker;
+  for (const SignedValue& sv : statements) tracker.observe(sv);
+  return tracker.fraud_set();
+}
+
+}  // namespace ratcon::consensus

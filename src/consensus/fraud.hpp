@@ -1,0 +1,91 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "consensus/phase_sig.hpp"
+
+namespace ratcon::consensus {
+
+/// Proof-of-Fraud for one player: two valid signatures by the same signer
+/// on *different* values in the same (protocol, phase, round) — exactly the
+/// "conflicting signatures" of paper §3.4 / Appendix G. Self-contained and
+/// verifiable by anyone holding the trusted-setup key registry.
+struct ConflictPair {
+  PhaseTag phase = PhaseTag::kCommit;
+  Round round = 0;
+  crypto::Hash256 value_a{};
+  crypto::Hash256 value_b{};
+  PhaseSig sig_a;  ///< signer's signature over value_a
+  PhaseSig sig_b;  ///< same signer's signature over value_b
+
+  [[nodiscard]] NodeId guilty() const { return sig_a.signer; }
+
+  /// Verifies the pair: same signer, distinct values, both signatures
+  /// valid for (proto, phase, round, value).
+  [[nodiscard]] bool verify(ProtoId proto,
+                            const crypto::KeyRegistry& registry) const;
+
+  void encode(Writer& w) const;
+  static ConflictPair decode(Reader& r);
+};
+
+/// The PoF set D_i a player accumulates in pRFT's Reveal phase.
+using FraudSet = std::vector<ConflictPair>;
+
+void encode_fraud_set(Writer& w, const FraudSet& set);
+FraudSet decode_fraud_set(Reader& r);
+
+/// Definition 6's verification algorithm V(π): filters `proofs` to the
+/// valid ones and returns the set of distinct guilty players. A protocol
+/// provides accountability when |V(π)| >= t0 + 1 after disagreement.
+std::set<NodeId> verify_fraud_proofs(ProtoId proto, const FraudSet& proofs,
+                                     const crypto::KeyRegistry& registry);
+
+/// Incremental double-sign detector. Players feed every signed statement
+/// they observe (their own Recv path verifies signatures first); the
+/// tracker indexes by (phase, round, signer) and yields a ConflictPair the
+/// moment a second distinct value shows up.
+///
+/// `construct_proof` below is the batch form matching Figure 4's
+/// ConstructProof(M, t0) pseudocode; protocols use the incremental tracker
+/// for efficiency and the tests cross-check the two against each other.
+class FraudTracker {
+ public:
+  /// Records `sv`; returns a fresh proof if this observation creates one
+  /// (first conflict only, per guilty player).
+  std::optional<ConflictPair> observe(const SignedValue& sv);
+
+  /// Records every statement in a certificate.
+  void observe_all(const std::vector<SignedValue>& svs);
+
+  /// One proof per guilty player discovered so far.
+  [[nodiscard]] const std::map<NodeId, ConflictPair>& proofs() const {
+    return proofs_;
+  }
+
+  [[nodiscard]] std::size_t guilty_count() const { return proofs_.size(); }
+
+  /// The D_i set (Figure 1, line 26): all accumulated proofs.
+  [[nodiscard]] FraudSet fraud_set() const;
+
+ private:
+  struct Key {
+    std::uint8_t phase;
+    Round round;
+    NodeId signer;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, std::map<crypto::Hash256, PhaseSig>> seen_;
+  std::map<NodeId, ConflictPair> proofs_;
+};
+
+/// Figure 4 (Appendix G), batch form: scans the accumulated message sets M
+/// and returns the conflicting-signature set D (one proof per guilty
+/// player). Mirrors the pseudocode's pairwise scan semantics.
+FraudSet construct_proof(std::span<const SignedValue> statements);
+
+}  // namespace ratcon::consensus

@@ -1,0 +1,59 @@
+#include "consensus/outcome.hpp"
+
+#include <algorithm>
+
+namespace ratcon::consensus {
+
+bool any_fork(const std::vector<const ledger::Chain*>& honest_chains) {
+  for (std::size_t i = 0; i < honest_chains.size(); ++i) {
+    for (std::size_t j = i + 1; j < honest_chains.size(); ++j) {
+      if (ledger::chains_conflict(*honest_chains[i], *honest_chains[j])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::uint64_t max_finalized_height(
+    const std::vector<const ledger::Chain*>& honest_chains) {
+  std::uint64_t best = 0;
+  for (const ledger::Chain* c : honest_chains) {
+    best = std::max(best, c->finalized_height());
+  }
+  return best;
+}
+
+std::uint64_t min_finalized_height(
+    const std::vector<const ledger::Chain*>& honest_chains) {
+  if (honest_chains.empty()) return 0;
+  std::uint64_t worst = honest_chains.front()->finalized_height();
+  for (const ledger::Chain* c : honest_chains) {
+    worst = std::min(worst, c->finalized_height());
+  }
+  return worst;
+}
+
+game::SystemState classify_outcome(const OutcomeQuery& query) {
+  if (any_fork(query.honest_chains)) {
+    return game::SystemState::kFork;
+  }
+  const std::uint64_t progressed_to =
+      max_finalized_height(query.honest_chains);
+  if (progressed_to <= query.baseline_height) {
+    return game::SystemState::kNoProgress;
+  }
+  if (query.watched_tx.has_value()) {
+    bool included = false;
+    for (const ledger::Chain* c : query.honest_chains) {
+      if (c->finalized_contains_tx(*query.watched_tx)) {
+        included = true;
+        break;
+      }
+    }
+    if (!included) return game::SystemState::kCensorship;
+  }
+  return game::SystemState::kHonest;
+}
+
+}  // namespace ratcon::consensus

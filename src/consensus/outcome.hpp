@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "game/utility.hpp"
+#include "ledger/chain.hpp"
+
+namespace ratcon::consensus {
+
+/// Inputs to system-state classification for one observation window.
+struct OutcomeQuery {
+  /// Honest players' ledgers (only these matter per Definition 1).
+  std::vector<const ledger::Chain*> honest_chains;
+
+  /// Finalized height at the start of the window; progress means some
+  /// honest player got beyond it.
+  std::uint64_t baseline_height = 0;
+
+  /// A watched transaction that every honest player had as input (the
+  /// censorship probe tx_h from Theorem 2's proof); nullopt disables the
+  /// σ_CP check.
+  std::optional<std::uint64_t> watched_tx;
+};
+
+/// Classifies the window into the paper's system state σ (§4.1.1):
+///  - σ_Fork  if two honest ledgers finalize different blocks at a height;
+///  - σ_NP    if no honest ledger made progress;
+///  - σ_CP    if progress happened but the watched tx is still excluded
+///            from every honest finalized ledger;
+///  - σ_0     otherwise.
+/// Fork dominates the other classifications (it is the worst state and the
+/// one θ=1 players are paid for).
+game::SystemState classify_outcome(const OutcomeQuery& query);
+
+/// True when any two honest chains finalize conflicting blocks.
+bool any_fork(const std::vector<const ledger::Chain*>& honest_chains);
+
+/// Largest finalized height among honest chains (0 when empty).
+std::uint64_t max_finalized_height(
+    const std::vector<const ledger::Chain*>& honest_chains);
+
+/// Smallest finalized height among honest chains (0 when empty).
+std::uint64_t min_finalized_height(
+    const std::vector<const ledger::Chain*>& honest_chains);
+
+}  // namespace ratcon::consensus

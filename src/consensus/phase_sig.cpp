@@ -1,0 +1,126 @@
+#include "consensus/phase_sig.hpp"
+
+#include <set>
+
+namespace ratcon::consensus {
+
+const char* to_string(PhaseTag tag) {
+  switch (tag) {
+    case PhaseTag::kPropose: return "Propose";
+    case PhaseTag::kVote: return "Vote";
+    case PhaseTag::kCommit: return "Commit";
+    case PhaseTag::kReveal: return "Reveal";
+    case PhaseTag::kFinal: return "Final";
+    case PhaseTag::kViewChange: return "ViewChange";
+    case PhaseTag::kCommitView: return "CommitView";
+    case PhaseTag::kPrepare: return "Prepare";
+    case PhaseTag::kPreCommit: return "PreCommit";
+    case PhaseTag::kDecide: return "Decide";
+  }
+  return "?";
+}
+
+void PhaseSig::encode(Writer& w) const {
+  w.u32(signer);
+  w.raw(ByteSpan(sig.bytes.data(), sig.bytes.size()));
+}
+
+PhaseSig PhaseSig::decode(Reader& r) {
+  PhaseSig ps;
+  ps.signer = r.u32();
+  r.raw_into(ps.sig.bytes.data(), ps.sig.bytes.size());
+  return ps;
+}
+
+Bytes phase_sign_payload(ProtoId proto, PhaseTag phase, Round round,
+                         const crypto::Hash256& value) {
+  Writer w;
+  w.str("ratcon-phase");
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u8(static_cast<std::uint8_t>(phase));
+  w.u64(round);
+  w.raw(ByteSpan(value.data(), value.size()));
+  return w.take();
+}
+
+PhaseSig sign_phase(ProtoId proto, PhaseTag phase, Round round,
+                    const crypto::Hash256& value, NodeId signer,
+                    const crypto::SecretKey& sk) {
+  const Bytes payload = phase_sign_payload(proto, phase, round, value);
+  PhaseSig ps;
+  ps.signer = signer;
+  ps.sig = crypto::sign(sk, ByteSpan(payload.data(), payload.size()));
+  return ps;
+}
+
+bool verify_phase(ProtoId proto, PhaseTag phase, Round round,
+                  const crypto::Hash256& value, const PhaseSig& ps,
+                  const crypto::KeyRegistry& registry) {
+  const Bytes payload = phase_sign_payload(proto, phase, round, value);
+  const crypto::PublicKey pk = registry.public_key(ps.signer);
+  return registry.verify(pk, ByteSpan(payload.data(), payload.size()), ps.sig);
+}
+
+void SignedValue::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(phase));
+  w.u64(round);
+  w.raw(ByteSpan(value.data(), value.size()));
+  ps.encode(w);
+}
+
+SignedValue SignedValue::decode(Reader& r) {
+  SignedValue sv;
+  sv.phase = static_cast<PhaseTag>(r.u8());
+  sv.round = r.u64();
+  r.raw_into(sv.value.data(), sv.value.size());
+  sv.ps = PhaseSig::decode(r);
+  return sv;
+}
+
+void Certificate::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(phase));
+  w.u64(round);
+  w.raw(ByteSpan(value.data(), value.size()));
+  w.u32(static_cast<std::uint32_t>(sigs.size()));
+  for (const PhaseSig& ps : sigs) ps.encode(w);
+}
+
+Certificate Certificate::decode(Reader& r) {
+  Certificate cert;
+  cert.phase = static_cast<PhaseTag>(r.u8());
+  cert.round = r.u64();
+  r.raw_into(cert.value.data(), cert.value.size());
+  const std::uint32_t count = r.count(1u << 16);
+  cert.sigs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    cert.sigs.push_back(PhaseSig::decode(r));
+  }
+  return cert;
+}
+
+bool Certificate::verify(ProtoId proto, std::uint32_t quorum,
+                         const crypto::KeyRegistry& registry) const {
+  if (sigs.size() < quorum) return false;
+  std::set<NodeId> signers;
+  const Bytes payload = phase_sign_payload(proto, phase, round, value);
+  for (const PhaseSig& ps : sigs) {
+    if (!signers.insert(ps.signer).second) return false;  // duplicate signer
+    const crypto::PublicKey pk = registry.public_key(ps.signer);
+    if (!registry.verify(pk, ByteSpan(payload.data(), payload.size()),
+                         ps.sig)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<SignedValue> Certificate::statements() const {
+  std::vector<SignedValue> out;
+  out.reserve(sigs.size());
+  for (const PhaseSig& ps : sigs) {
+    out.push_back(SignedValue{phase, round, value, ps});
+  }
+  return out;
+}
+
+}  // namespace ratcon::consensus

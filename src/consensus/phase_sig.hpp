@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "consensus/types.hpp"
+#include "crypto/sig.hpp"
+
+namespace ratcon::consensus {
+
+/// Protocol phase a signature binds to. Signing domain-separates on
+/// (protocol, phase, round, value), so a signature from one phase or round
+/// can never be replayed in another (paper §5.1 footnote 11).
+enum class PhaseTag : std::uint8_t {
+  kPropose = 0,
+  kVote = 1,
+  kCommit = 2,
+  kReveal = 3,
+  kFinal = 4,
+  kViewChange = 5,
+  kCommitView = 6,
+  // Baseline-protocol phases reuse the same fraud machinery.
+  kPrepare = 7,
+  kPreCommit = 8,
+  kDecide = 9,
+};
+
+const char* to_string(PhaseTag tag);
+
+/// A player's signature within a phase. The pair (signer, sig) is the unit
+/// certificates and Proofs-of-Fraud are made of.
+struct PhaseSig {
+  NodeId signer = kNoNode;
+  crypto::Signature sig;
+
+  void encode(Writer& w) const;
+  static PhaseSig decode(Reader& r);
+
+  friend bool operator==(const PhaseSig&, const PhaseSig&) = default;
+};
+
+/// Canonical bytes signed for (proto, phase, round, value).
+Bytes phase_sign_payload(ProtoId proto, PhaseTag phase, Round round,
+                         const crypto::Hash256& value);
+
+/// Signs a phase/value binding.
+PhaseSig sign_phase(ProtoId proto, PhaseTag phase, Round round,
+                    const crypto::Hash256& value, NodeId signer,
+                    const crypto::SecretKey& sk);
+
+/// Verifies a phase/value binding against the trusted-setup registry.
+bool verify_phase(ProtoId proto, PhaseTag phase, Round round,
+                  const crypto::Hash256& value, const PhaseSig& ps,
+                  const crypto::KeyRegistry& registry);
+
+/// A fully-specified signed statement "signer endorsed `value` in
+/// (proto, phase, round)" — self-contained, so it can travel inside
+/// certificates and fraud proofs.
+struct SignedValue {
+  PhaseTag phase = PhaseTag::kVote;
+  Round round = 0;
+  crypto::Hash256 value{};
+  PhaseSig ps;
+
+  void encode(Writer& w) const;
+  static SignedValue decode(Reader& r);
+
+  [[nodiscard]] bool verify(ProtoId proto,
+                            const crypto::KeyRegistry& registry) const {
+    return verify_phase(proto, phase, round, value, ps, registry);
+  }
+
+  friend bool operator==(const SignedValue&, const SignedValue&) = default;
+};
+
+/// A quorum certificate: >= quorum distinct-signer signatures on the same
+/// (phase, round, value). This is the `V_i` / `W_i` set in pRFT's Commit and
+/// Reveal messages.
+struct Certificate {
+  PhaseTag phase = PhaseTag::kVote;
+  Round round = 0;
+  crypto::Hash256 value{};
+  std::vector<PhaseSig> sigs;
+
+  void encode(Writer& w) const;
+  static Certificate decode(Reader& r);
+
+  /// Checks distinct signers, a count >= `quorum`, and every signature.
+  [[nodiscard]] bool verify(ProtoId proto, std::uint32_t quorum,
+                            const crypto::KeyRegistry& registry) const;
+
+  /// The statements contained in this certificate (for fraud scanning).
+  [[nodiscard]] std::vector<SignedValue> statements() const;
+};
+
+}  // namespace ratcon::consensus

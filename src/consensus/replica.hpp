@@ -1,0 +1,25 @@
+#pragma once
+
+#include "ledger/chain.hpp"
+#include "ledger/mempool.hpp"
+#include "net/cluster.hpp"
+
+namespace ratcon::consensus {
+
+/// Common interface every protocol replica implements on top of the
+/// simulated network node, so the experiment harness can submit workload
+/// and classify outcomes uniformly across pRFT and all baselines.
+class IReplica : public net::INode {
+ public:
+  /// The replica's local ledger C_i.
+  [[nodiscard]] virtual const ledger::Chain& chain() const = 0;
+
+  /// Pending-transaction pool (harness injects workload here).
+  virtual ledger::Mempool& mempool() = 0;
+
+  /// Whether this replica runs the honest protocol π_0 (outcome
+  /// classification only inspects honest replicas' ledgers).
+  [[nodiscard]] virtual bool is_honest() const = 0;
+};
+
+}  // namespace ratcon::consensus

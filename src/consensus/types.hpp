@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace ratcon::consensus {
+
+/// Wire-level protocol identifier; the first byte of every message, so the
+/// cluster's traffic stats can attribute traffic per protocol.
+enum class ProtoId : std::uint8_t {
+  kPrft = 1,
+  kPbft = 2,
+  kHotstuff = 3,
+  kPolygraph = 4,
+  kTrap = 5,
+  kRaftLite = 6,
+  kQuorumDemo = 7,
+};
+
+/// Shared consensus configuration. `t0` is the protocol's Byzantine design
+/// bound (paper §4.2): the quorum threshold is τ = n − t0, which Claim 1
+/// requires to lie in [⌊(n+t0)/2⌋ + 1, n − t0].
+struct Config {
+  std::uint32_t n = 4;       ///< Committee size.
+  std::uint32_t t0 = 0;      ///< Tolerated Byzantine bound.
+  SimTime delta = 0;         ///< Known synchrony bound Δ (for timeouts).
+  SimTime base_timeout = 0;  ///< Per-phase timeout before backoff.
+  std::uint64_t target_rounds = 10;  ///< Blocks to agree before stopping.
+  std::uint32_t max_block_txs = 64;  ///< Leader's per-block tx budget.
+
+  /// Agreement threshold τ = n − t0.
+  [[nodiscard]] std::uint32_t quorum() const { return n - t0; }
+
+  /// Round-robin leader (paper: l = 1 + (r mod n), 1-indexed; we are
+  /// 0-indexed so l = r mod n — the identical rotation).
+  [[nodiscard]] NodeId leader(Round r) const {
+    return static_cast<NodeId>(r % n);
+  }
+
+  /// Claim 1's admissible threshold interval for this (n, t0).
+  [[nodiscard]] std::uint32_t tau_min() const { return (n + t0) / 2 + 1; }
+  [[nodiscard]] std::uint32_t tau_max() const { return n - t0; }
+};
+
+/// pRFT's design bound t0 = ⌈n/4⌉ − 1 (threat model M in §6).
+inline std::uint32_t prft_t0(std::uint32_t n) {
+  const std::uint32_t ceil_quarter = (n + 3) / 4;
+  return ceil_quarter == 0 ? 0 : ceil_quarter - 1;
+}
+
+/// Classic BFT bound t0 = ⌈n/3⌉ − 1 (pBFT, Polygraph, TRAP).
+inline std::uint32_t bft_t0(std::uint32_t n) {
+  const std::uint32_t ceil_third = (n + 2) / 3;
+  return ceil_third == 0 ? 0 : ceil_third - 1;
+}
+
+}  // namespace ratcon::consensus

@@ -1,0 +1,169 @@
+#include "core/messages.hpp"
+
+namespace ratcon::prft {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kPropose: return "propose";
+    case MsgType::kVote: return "vote";
+    case MsgType::kCommit: return "commit";
+    case MsgType::kReveal: return "reveal";
+    case MsgType::kExpose: return "expose";
+    case MsgType::kFinal: return "final";
+    case MsgType::kViewChange: return "view-change";
+    case MsgType::kCommitView: return "commit-view";
+    case MsgType::kSync: return "sync";
+  }
+  return "?";
+}
+
+void ProposeBody::encode(Writer& w) const {
+  block.encode(w);
+  pro_sig.encode(w);
+}
+
+ProposeBody ProposeBody::decode(Reader& r) {
+  ProposeBody b;
+  b.block = ledger::Block::decode(r);
+  b.pro_sig = PhaseSig::decode(r);
+  return b;
+}
+
+void VoteBody::encode(Writer& w) const {
+  w.raw(ByteSpan(h.data(), h.size()));
+  leader_pro_sig.encode(w);
+  vote_sig.encode(w);
+}
+
+VoteBody VoteBody::decode(Reader& r) {
+  VoteBody b;
+  r.raw_into(b.h.data(), b.h.size());
+  b.leader_pro_sig = PhaseSig::decode(r);
+  b.vote_sig = PhaseSig::decode(r);
+  return b;
+}
+
+void CommitBody::encode(Writer& w) const {
+  w.raw(ByteSpan(h.data(), h.size()));
+  leader_pro_sig.encode(w);
+  vote_cert.encode(w);
+  commit_sig.encode(w);
+}
+
+CommitBody CommitBody::decode(Reader& r) {
+  CommitBody b;
+  r.raw_into(b.h.data(), b.h.size());
+  b.leader_pro_sig = PhaseSig::decode(r);
+  b.vote_cert = Certificate::decode(r);
+  b.commit_sig = PhaseSig::decode(r);
+  return b;
+}
+
+void CommitEvidence::encode(Writer& w) const {
+  commit_sig.encode(w);
+  vote_cert.encode(w);
+}
+
+CommitEvidence CommitEvidence::decode(Reader& r) {
+  CommitEvidence e;
+  e.commit_sig = PhaseSig::decode(r);
+  e.vote_cert = Certificate::decode(r);
+  return e;
+}
+
+void RevealBody::encode(Writer& w) const {
+  w.raw(ByteSpan(h_tc.data(), h_tc.size()));
+  w.raw(ByteSpan(h_l.data(), h_l.size()));
+  w.u32(static_cast<std::uint32_t>(commits.size()));
+  for (const CommitEvidence& e : commits) e.encode(w);
+  reveal_sig.encode(w);
+}
+
+RevealBody RevealBody::decode(Reader& r) {
+  RevealBody b;
+  r.raw_into(b.h_tc.data(), b.h_tc.size());
+  r.raw_into(b.h_l.data(), b.h_l.size());
+  const std::uint32_t count = r.count(1u << 14);
+  b.commits.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    b.commits.push_back(CommitEvidence::decode(r));
+  }
+  b.reveal_sig = PhaseSig::decode(r);
+  return b;
+}
+
+void ExposeBody::encode(Writer& w) const {
+  consensus::encode_fraud_set(w, proofs);
+}
+
+ExposeBody ExposeBody::decode(Reader& r) {
+  ExposeBody b;
+  b.proofs = consensus::decode_fraud_set(r);
+  return b;
+}
+
+void FinalBody::encode(Writer& w) const {
+  w.raw(ByteSpan(h.data(), h.size()));
+  leader_pro_sig.encode(w);
+  final_sig.encode(w);
+}
+
+FinalBody FinalBody::decode(Reader& r) {
+  FinalBody b;
+  r.raw_into(b.h.data(), b.h.size());
+  b.leader_pro_sig = PhaseSig::decode(r);
+  b.final_sig = PhaseSig::decode(r);
+  return b;
+}
+
+void ViewChangeBody::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(stalled_phase));
+  vc_sig.encode(w);
+}
+
+ViewChangeBody ViewChangeBody::decode(Reader& r) {
+  ViewChangeBody b;
+  b.stalled_phase = static_cast<PhaseTag>(r.u8());
+  b.vc_sig = PhaseSig::decode(r);
+  return b;
+}
+
+void CommitViewBody::encode(Writer& w) const {
+  vc_cert.encode(w);
+  cv_sig.encode(w);
+}
+
+CommitViewBody CommitViewBody::decode(Reader& r) {
+  CommitViewBody b;
+  b.vc_cert = Certificate::decode(r);
+  b.cv_sig = PhaseSig::decode(r);
+  return b;
+}
+
+void SyncBody::encode(Writer& w) const {
+  w.u64(final_round);
+  w.u32(static_cast<std::uint32_t>(blocks.size()));
+  for (const ledger::Block& b : blocks) b.encode(w);
+  final_cert.encode(w);
+}
+
+SyncBody SyncBody::decode(Reader& r) {
+  SyncBody b;
+  b.final_round = r.u64();
+  const std::uint32_t count = r.count(1u << 16);
+  b.blocks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    b.blocks.push_back(ledger::Block::decode(r));
+  }
+  b.final_cert = Certificate::decode(r);
+  return b;
+}
+
+crypto::Hash256 vc_value(Round r) {
+  Writer w;
+  w.str("prft-view-change");
+  w.u64(r);
+  return crypto::sha256(ByteSpan(w.data().data(), w.data().size()));
+}
+
+}  // namespace ratcon::prft

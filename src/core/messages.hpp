@@ -1,0 +1,148 @@
+#pragma once
+
+#include <vector>
+
+#include "consensus/fraud.hpp"
+#include "consensus/phase_sig.hpp"
+#include "ledger/block.hpp"
+
+namespace ratcon::prft {
+
+using consensus::Certificate;
+using consensus::FraudSet;
+using consensus::PhaseSig;
+using consensus::PhaseTag;
+using consensus::ProtoId;
+
+/// The 8 pRFT message types (paper Figure 2b) plus Sync, a state-transfer
+/// message sent alongside view-change catch-up replies (see SyncBody).
+enum class MsgType : std::uint8_t {
+  kPropose = 0,
+  kVote = 1,
+  kCommit = 2,
+  kReveal = 3,
+  kExpose = 4,
+  kFinal = 5,
+  kViewChange = 6,
+  kCommitView = 7,
+  kSync = 8,
+};
+
+const char* to_string(MsgType t);
+
+/// ⟨Propose, B_l, h_l, r⟩, s_pro_l — the leader's block proposal. The
+/// detachable propose phase-signature s_pro_l travels inside subsequent
+/// messages (votes, commits) as the paper specifies.
+struct ProposeBody {
+  ledger::Block block;
+  PhaseSig pro_sig;  ///< leader's signature over (Propose, r, h_l)
+
+  void encode(Writer& w) const;
+  static ProposeBody decode(Reader& r);
+};
+
+/// ⟨Vote, h, s_pro_l, r⟩, s_vote_i.
+struct VoteBody {
+  crypto::Hash256 h{};
+  PhaseSig leader_pro_sig;
+  PhaseSig vote_sig;  ///< sender's signature over (Vote, r, h)
+
+  void encode(Writer& w) const;
+  static VoteBody decode(Reader& r);
+};
+
+/// ⟨Commit, h*, s_pro_l, V_i, r⟩, s_com_i where V_i is the >= n − t0 vote
+/// certificate on h*.
+struct CommitBody {
+  crypto::Hash256 h{};
+  PhaseSig leader_pro_sig;
+  Certificate vote_cert;  ///< V_i: quorum of vote signatures on h
+  PhaseSig commit_sig;    ///< sender's signature over (Commit, r, h)
+
+  void encode(Writer& w) const;
+  static CommitBody decode(Reader& r);
+};
+
+/// One commit message's evidence as carried inside a Reveal: the commit
+/// signature plus the vote certificate that backed it. Carrying the full
+/// vote certificate is what makes Reveal messages O(κ·n) · n = O(κ·n²) and
+/// the round's total bits O(κ·n⁴) — the size column of Figure 3.
+struct CommitEvidence {
+  PhaseSig commit_sig;
+  Certificate vote_cert;
+
+  void encode(Writer& w) const;
+  static CommitEvidence decode(Reader& r);
+};
+
+/// ⟨Reveal, h_tc, h_l, W_i, r⟩, s_rev_i where W_i is the set of >= n − t0
+/// commit messages (Proof-of-Commitment) on the tentatively agreed h_tc.
+struct RevealBody {
+  crypto::Hash256 h_tc{};
+  crypto::Hash256 h_l{};
+  std::vector<CommitEvidence> commits;  ///< W_i
+  PhaseSig reveal_sig;                  ///< sender's sig over (Reveal, r, h_tc)
+
+  void encode(Writer& w) const;
+  static RevealBody decode(Reader& r);
+};
+
+/// ⟨Expose, D_i, r⟩, s_exp_i — a Proof-of-Fraud set with > t0 distinct
+/// guilty players (Figure 1 line 31).
+struct ExposeBody {
+  FraudSet proofs;
+
+  void encode(Writer& w) const;
+  static ExposeBody decode(Reader& r);
+};
+
+/// ⟨Final, h_l, s_pro_l⟩, s_fin_i.
+struct FinalBody {
+  crypto::Hash256 h{};
+  PhaseSig leader_pro_sig;
+  PhaseSig final_sig;  ///< sender's sig over (Final, r, h)
+
+  void encode(Writer& w) const;
+  static FinalBody decode(Reader& r);
+};
+
+/// ⟨ViewChange, Phase, r⟩, s_vc_i.
+struct ViewChangeBody {
+  PhaseTag stalled_phase = PhaseTag::kPropose;
+  PhaseSig vc_sig;  ///< sender's sig over (ViewChange, r, vc_value(r))
+
+  void encode(Writer& w) const;
+  static ViewChangeBody decode(Reader& r);
+};
+
+/// ⟨CommitView, V_i, r⟩, s_cv_i where V_i is the >= n − t0 view-change
+/// certificate for round r.
+struct CommitViewBody {
+  Certificate vc_cert;
+  PhaseSig cv_sig;  ///< sender's sig over (CommitView, r, vc_value(r))
+
+  void encode(Writer& w) const;
+  static CommitViewBody decode(Reader& r);
+};
+
+/// State transfer: the sender's finalized chain suffix plus a Final
+/// certificate (> n/2 final signatures, so at least one honest finalizer)
+/// for its tip. Sent in reply to ViewChange messages from players that
+/// lag — the paper's >n/2-Final catch-up rule cannot reach a player that a
+/// targeted-message adversary cut out of a round entirely, so protocol
+/// state transfer (as in pBFT checkpoints) restores (t,k)-eventual
+/// liveness. Receivers verify the certificate before adopting anything.
+struct SyncBody {
+  Round final_round = 0;                ///< round of the certified tip
+  std::vector<ledger::Block> blocks;    ///< chain suffix, oldest first
+  Certificate final_cert;               ///< > n/2 Final sigs on blocks.back()
+
+  void encode(Writer& w) const;
+  static SyncBody decode(Reader& r);
+};
+
+/// Canonical value signed in view-change / commit-view messages for round
+/// `r` (domain-separated so it can never collide with a block hash).
+crypto::Hash256 vc_value(Round r);
+
+}  // namespace ratcon::prft

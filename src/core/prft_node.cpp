@@ -1,0 +1,957 @@
+#include "core/prft_node.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/log.hpp"
+
+namespace ratcon::prft {
+
+namespace {
+
+constexpr ProtoId kProto = ProtoId::kPrft;
+
+std::uint64_t sig_prefix64(const crypto::Signature& sig) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(sig.bytes[static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+PrftNode::PrftNode(Deps deps)
+    : cfg_(deps.cfg),
+      registry_(deps.registry),
+      keys_(deps.keys),
+      deposits_(deps.deposits),
+      behavior_(std::move(deps.behavior)) {}
+
+// ---------------------------------------------------------------------------
+// INode plumbing
+
+void PrftNode::on_start(net::Context& ctx) {
+  self_ = ctx.self();
+  self_known_ = true;
+  start_round(ctx);
+}
+
+void PrftNode::on_message(net::Context& ctx, NodeId from, const Bytes& data) {
+  Envelope env;
+  try {
+    env = Envelope::decode(ByteSpan(data.data(), data.size()));
+  } catch (const CodecError&) {
+    return;  // malformed — Byzantine garbage is dropped silently
+  }
+  if (env.proto != kProto) return;
+  if (env.from >= cfg_.n) return;
+  if (!consensus::verify_envelope(env, *registry_)) return;
+  (void)from;  // authenticity comes from the signature, not the channel
+
+  if (env.round > round_ &&
+      static_cast<MsgType>(env.type) != MsgType::kSync) {
+    // Not in that round yet; replay once we advance (the network already
+    // delivered it, so no re-count in stats). Sync bypasses the gate: it is
+    // precisely for nodes that lag behind the sender's round.
+    future_[env.round].emplace_back(env.from, data);
+    return;
+  }
+  dispatch(ctx, env);
+}
+
+void PrftNode::dispatch(net::Context& ctx, const Envelope& env) {
+  try {
+    switch (static_cast<MsgType>(env.type)) {
+      case MsgType::kPropose: handle_propose(ctx, env); break;
+      case MsgType::kVote: handle_vote(ctx, env); break;
+      case MsgType::kCommit: handle_commit(ctx, env); break;
+      case MsgType::kReveal: handle_reveal(ctx, env); break;
+      case MsgType::kExpose: handle_expose(ctx, env); break;
+      case MsgType::kFinal: handle_final(ctx, env); break;
+      case MsgType::kViewChange: handle_view_change(ctx, env); break;
+      case MsgType::kCommitView: handle_commit_view(ctx, env); break;
+      case MsgType::kSync: handle_sync(ctx, env); break;
+      default: break;
+    }
+  } catch (const CodecError&) {
+    // Malformed body under a valid envelope: sender is faulty; ignore.
+  }
+}
+
+void PrftNode::on_timer(net::Context& ctx, std::uint64_t timer_id) {
+  if (timer_id != kPhaseTimer || stopped_) return;
+  RoundState& rs = rounds_[round_];
+  if (rs.finalized || rs.phase == Phase::kDone) return;
+  // §5.2 trigger (a): timeout in waiting time Δ.
+  const PhaseTag stalled = rs.phase == Phase::kPropose ? PhaseTag::kPropose
+                           : rs.phase == Phase::kVote  ? PhaseTag::kVote
+                           : rs.phase == Phase::kCommit
+                               ? PhaseTag::kCommit
+                               : PhaseTag::kReveal;
+  trigger_view_change(ctx, round_, stalled);
+}
+
+// ---------------------------------------------------------------------------
+// Round lifecycle
+
+void PrftNode::start_round(net::Context& ctx) {
+  if (stopped_) return;
+  if (target_blocks_ != 0 && chain_.finalized_height() >= target_blocks_) {
+    stopped_ = true;
+    ctx.cancel_timer(kPhaseTimer);
+    return;
+  }
+  RoundState& rs = rounds_[round_];
+  rs.started = true;
+  if (cfg_.leader(round_) == self_) {
+    do_propose(ctx, round_, rs);
+  }
+  ctx.set_timer(kPhaseTimer, phase_timeout());
+  retry_stale_proposals(ctx);
+}
+
+void PrftNode::advance_round(net::Context& ctx, Round r, bool failed) {
+  if (r != round_) return;
+  round_ = r + 1;
+  consecutive_failures_ = failed ? consecutive_failures_ + 1 : 0;
+  ctx.cancel_timer(kPhaseTimer);
+  start_round(ctx);
+  // Replay buffered messages for the new round.
+  auto it = future_.find(round_);
+  if (it != future_.end()) {
+    const auto pending = std::move(it->second);
+    future_.erase(it);
+    for (const auto& [from, data] : pending) {
+      on_message(ctx, from, data);
+    }
+  }
+}
+
+SimTime PrftNode::phase_timeout() const {
+  const std::uint64_t backoff =
+      1ull << std::min<std::uint64_t>(consecutive_failures_, 6);
+  return cfg_.base_timeout * static_cast<SimTime>(backoff);
+}
+
+bool PrftNode::participating(Round r, PhaseTag phase) const {
+  if (behavior_ == nullptr) return true;
+  return behavior_->participate(r, cfg_.leader(r), phase);
+}
+
+// ---------------------------------------------------------------------------
+// Honest send paths (Figure 1)
+
+ledger::Block PrftNode::build_block(net::Context& ctx) const {
+  (void)ctx;
+  std::function<bool(const ledger::Transaction&)> censor;
+  if (behavior_ != nullptr) {
+    censor = [this](const ledger::Transaction& tx) {
+      return behavior_->censor_tx(tx);
+    };
+  }
+  ledger::Block block;
+  block.parent = chain_.tip_hash();
+  block.round = round_;
+  block.proposer = self_;
+  block.txs = mempool_.select(cfg_.max_block_txs, censor);
+  return block;
+}
+
+PhaseSig PrftNode::phase_sig(PhaseTag phase, Round r,
+                             const crypto::Hash256& value) const {
+  return consensus::sign_phase(kProto, phase, r, value, self_, keys_.sk);
+}
+
+Bytes PrftNode::encode_env(MsgType type, Round r, Bytes body) const {
+  return consensus::make_envelope(kProto, static_cast<std::uint8_t>(type), r,
+                                  self_, std::move(body), keys_.sk)
+      .encode();
+}
+
+void PrftNode::broadcast_env(net::Context& ctx, MsgType type, Round r,
+                             Bytes body) {
+  ctx.broadcast(encode_env(type, r, std::move(body)));
+}
+
+Bytes PrftNode::make_propose(Round r, const ledger::Block& block) {
+  ProposeBody body;
+  body.block = block;
+  body.pro_sig = phase_sig(PhaseTag::kPropose, r, block.hash());
+  Writer w;
+  body.encode(w);
+  return encode_env(MsgType::kPropose, r, w.take());
+}
+
+Bytes PrftNode::make_vote(Round r, const crypto::Hash256& h,
+                          const PhaseSig& pro_sig) {
+  VoteBody body;
+  body.h = h;
+  body.leader_pro_sig = pro_sig;
+  body.vote_sig = phase_sig(PhaseTag::kVote, r, h);
+  Writer w;
+  body.encode(w);
+  return encode_env(MsgType::kVote, r, w.take());
+}
+
+Bytes PrftNode::make_commit(Round r, const crypto::Hash256& h,
+                            const RoundState& rs) {
+  CommitBody body;
+  body.h = h;
+  body.leader_pro_sig = rs.leader_pro_sig;
+  body.vote_cert.phase = PhaseTag::kVote;
+  body.vote_cert.round = r;
+  body.vote_cert.value = h;
+  const auto it = rs.votes.find(h);
+  if (it != rs.votes.end()) {
+    for (const auto& [signer, sig] : it->second) {
+      body.vote_cert.sigs.push_back(sig);
+      if (body.vote_cert.sigs.size() >= cfg_.quorum()) break;
+    }
+  }
+  body.commit_sig = phase_sig(PhaseTag::kCommit, r, h);
+  Writer w;
+  body.encode(w);
+  return encode_env(MsgType::kCommit, r, w.take());
+}
+
+Bytes PrftNode::make_reveal(Round r, const crypto::Hash256& h,
+                            const RoundState& rs) {
+  RevealBody body;
+  body.h_tc = h;
+  body.h_l = rs.h_l;
+  const auto it = rs.commits.find(h);
+  if (it != rs.commits.end()) {
+    for (const auto& [signer, evidence] : it->second) {
+      body.commits.push_back(evidence);
+      if (body.commits.size() >= cfg_.quorum()) break;
+    }
+  }
+  body.reveal_sig = phase_sig(PhaseTag::kReveal, r, h);
+  Writer w;
+  body.encode(w);
+  return encode_env(MsgType::kReveal, r, w.take());
+}
+
+void PrftNode::send_to(net::Context& ctx, const std::set<NodeId>& targets,
+                       const Bytes& wire) {
+  for (NodeId to : targets) {
+    if (to == self_) continue;
+    ctx.send(to, wire);
+  }
+  if (targets.count(self_)) {
+    // Loop back through the normal receive path (uncounted, like broadcast
+    // self-delivery).
+    on_message(ctx, self_, wire);
+  }
+}
+
+void PrftNode::do_propose(net::Context& ctx, Round r, RoundState& rs) {
+  (void)rs;
+  if (!participating(r, PhaseTag::kPropose)) return;
+  const ledger::Block block = build_block(ctx);
+  ctx.broadcast(make_propose(r, block));
+}
+
+void PrftNode::do_vote(net::Context& ctx, Round r, RoundState& rs) {
+  if (rs.voted) return;
+  rs.voted = true;
+  if (!participating(r, PhaseTag::kVote)) return;
+  ctx.broadcast(make_vote(r, rs.h_l, rs.leader_pro_sig));
+}
+
+void PrftNode::do_commit(net::Context& ctx, Round r, RoundState& rs,
+                         const crypto::Hash256& h) {
+  if (rs.committed) return;
+  rs.committed = true;
+  if (!participating(r, PhaseTag::kCommit)) return;
+  ctx.broadcast(make_commit(r, h, rs));
+}
+
+void PrftNode::do_reveal(net::Context& ctx, Round r, RoundState& rs,
+                         const crypto::Hash256& h) {
+  if (rs.revealed) return;
+  rs.revealed = true;
+  if (!participating(r, PhaseTag::kReveal)) return;
+  ctx.broadcast(make_reveal(r, h, rs));
+}
+
+// ---------------------------------------------------------------------------
+// Verification helpers
+
+bool PrftNode::verify_cached(PhaseTag phase, Round r,
+                             const crypto::Hash256& value,
+                             const PhaseSig& ps) {
+  const auto key =
+      std::make_tuple(ps.signer, static_cast<std::uint8_t>(phase), r,
+                      crypto::hash_prefix64(value), sig_prefix64(ps.sig));
+  if (verified_.count(key)) return true;
+  if (!consensus::verify_phase(kProto, phase, r, value, ps, *registry_)) {
+    return false;
+  }
+  verified_.insert(key);
+  return true;
+}
+
+bool PrftNode::verify_cert_cached(const Certificate& cert, PhaseTag phase,
+                                  Round r, const crypto::Hash256& value,
+                                  std::uint32_t min_sigs) {
+  if (cert.phase != phase || cert.round != r || cert.value != value) {
+    return false;
+  }
+  std::set<NodeId> signers;
+  for (const PhaseSig& ps : cert.sigs) {
+    if (ps.signer >= cfg_.n) return false;
+    if (!signers.insert(ps.signer).second) return false;
+    if (!verify_cached(phase, r, value, ps)) return false;
+  }
+  return signers.size() >= min_sigs;
+}
+
+// ---------------------------------------------------------------------------
+// Handlers (the "On Recv." arms of Figure 1)
+
+void PrftNode::handle_propose(net::Context& ctx, const Envelope& env) {
+  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  const ProposeBody body = ProposeBody::decode(reader);
+  const Round r = env.round;
+  const NodeId leader = cfg_.leader(r);
+  if (env.from != leader || body.pro_sig.signer != leader) return;
+
+  const crypto::Hash256 h = body.block.hash();
+  if (body.block.round != r) return;
+  if (!verify_cached(PhaseTag::kPropose, r, h, body.pro_sig)) return;
+
+  block_store_[h] = body.block;
+  RoundState& rs = rounds_[r];
+
+  // Leader equivocation: two valid propose signatures on different blocks
+  // (§5.2 trigger (b)) — also a PoF against the leader.
+  if (const auto cp = rs.fraud.observe(
+          consensus::SignedValue{PhaseTag::kPropose, r, h, body.pro_sig})) {
+    on_conflict(cp);
+    trigger_view_change(ctx, r, PhaseTag::kPropose);
+    maybe_expose(ctx, r, rs);
+    return;
+  }
+
+  if (rs.proposal.has_value()) return;  // already accepted one
+
+  if (body.block.parent != chain_.tip_hash()) {
+    // We lag; keep it and retry once our chain catches up.
+    rs.stale_proposals[h] = {body.block, body.pro_sig};
+    return;
+  }
+
+  rs.proposal = body.block;
+  rs.h_l = h;
+  rs.leader_pro_sig = body.pro_sig;
+  if (rs.phase == Phase::kPropose) {
+    rs.phase = Phase::kVote;
+    do_vote(ctx, r, rs);
+    if (r == round_) ctx.set_timer(kPhaseTimer, phase_timeout());
+  }
+  check_vote_quorum(ctx, r, rs);
+}
+
+void PrftNode::handle_vote(net::Context& ctx, const Envelope& env) {
+  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  const VoteBody body = VoteBody::decode(reader);
+  const Round r = env.round;
+  if (body.vote_sig.signer >= cfg_.n) return;
+  if (!verify_cached(PhaseTag::kVote, r, body.h, body.vote_sig)) return;
+
+  RoundState& rs = rounds_[r];
+  if (const auto cp = rs.fraud.observe(consensus::SignedValue{
+          PhaseTag::kVote, r, body.h, body.vote_sig})) {
+    // §5.2 trigger (c) builds up; Expose fires at > t0 guilty.
+    on_conflict(cp);
+    maybe_expose(ctx, r, rs);
+    if (rs.fraud.guilty_count() > cfg_.t0) {
+      trigger_view_change(ctx, r, PhaseTag::kVote);
+    }
+  }
+  rs.votes[body.h][body.vote_sig.signer] = body.vote_sig;
+  check_vote_quorum(ctx, r, rs);
+}
+
+void PrftNode::check_vote_quorum(net::Context& ctx, Round r, RoundState& rs) {
+  if (rs.committed || !rs.proposal.has_value()) return;
+  if (rs.phase != Phase::kVote) return;
+  const auto it = rs.votes.find(rs.h_l);
+  if (it == rs.votes.end() || it->second.size() < cfg_.quorum()) return;
+  rs.phase = Phase::kCommit;
+  do_commit(ctx, r, rs, rs.h_l);
+  if (r == round_) ctx.set_timer(kPhaseTimer, phase_timeout());
+  check_commit_quorum(ctx, r, rs);
+}
+
+void PrftNode::handle_commit(net::Context& ctx, const Envelope& env) {
+  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  const CommitBody body = CommitBody::decode(reader);
+  const Round r = env.round;
+  if (body.commit_sig.signer >= cfg_.n) return;
+  if (!verify_cached(PhaseTag::kCommit, r, body.h, body.commit_sig)) return;
+  if (!verify_cert_cached(body.vote_cert, PhaseTag::kVote, r, body.h,
+                          cfg_.quorum())) {
+    return;
+  }
+
+  RoundState& rs = rounds_[r];
+  if (const auto cp = rs.fraud.observe(consensus::SignedValue{
+          PhaseTag::kCommit, r, body.h, body.commit_sig})) {
+    on_conflict(cp);
+    maybe_expose(ctx, r, rs);
+    if (rs.fraud.guilty_count() > cfg_.t0) {
+      trigger_view_change(ctx, r, PhaseTag::kCommit);
+    }
+  }
+  for (const PhaseSig& vote : body.vote_cert.sigs) {
+    on_conflict(rs.fraud.observe(
+        consensus::SignedValue{PhaseTag::kVote, r, body.h, vote}));
+    rs.votes[body.h][vote.signer] = vote;
+  }
+  rs.commits[body.h][body.commit_sig.signer] =
+      CommitEvidence{body.commit_sig, body.vote_cert};
+  check_vote_quorum(ctx, r, rs);
+  check_commit_quorum(ctx, r, rs);
+}
+
+void PrftNode::check_commit_quorum(net::Context& ctx, Round r,
+                                   RoundState& rs) {
+  if (rs.revealed || rs.finalized) return;
+  if (rs.phase != Phase::kVote && rs.phase != Phase::kCommit &&
+      rs.phase != Phase::kPropose) {
+    return;
+  }
+  for (const auto& [h, evidence] : rs.commits) {
+    if (evidence.size() < cfg_.quorum()) continue;
+    // Tentative consensus (paper §5.3.2).
+    rs.tentative = h;
+    const auto block_it = block_store_.find(h);
+    if (!rs.tentative_appended && block_it != block_store_.end() &&
+        block_it->second.parent == chain_.tip_hash()) {
+      if (chain_.append_tentative(block_it->second)) {
+        rs.tentative_appended = true;
+      }
+    }
+    rs.phase = Phase::kReveal;
+    do_reveal(ctx, r, rs, h);
+    if (r == round_) ctx.set_timer(kPhaseTimer, phase_timeout());
+    check_reveal_progress(ctx, r, rs);
+    return;
+  }
+}
+
+void PrftNode::handle_reveal(net::Context& ctx, const Envelope& env) {
+  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  const RevealBody body = RevealBody::decode(reader);
+  const Round r = env.round;
+  if (body.reveal_sig.signer >= cfg_.n) return;
+  if (!verify_cached(PhaseTag::kReveal, r, body.h_tc, body.reveal_sig)) {
+    return;
+  }
+
+  RoundState& rs = rounds_[r];
+  // Scan the Proof-of-Commitment W_j for double signatures (Figure 1
+  // line 26: D_i := ConstructPoF(M_i)). Both the commit signatures and the
+  // vote certificates inside are evidence.
+  for (const CommitEvidence& ev : body.commits) {
+    if (ev.commit_sig.signer >= cfg_.n) continue;
+    if (!verify_cached(PhaseTag::kCommit, r, body.h_tc, ev.commit_sig)) {
+      continue;
+    }
+    on_conflict(rs.fraud.observe(consensus::SignedValue{
+        PhaseTag::kCommit, r, body.h_tc, ev.commit_sig}));
+    rs.commits[body.h_tc][ev.commit_sig.signer] = ev;
+    if (ev.vote_cert.value == body.h_tc && ev.vote_cert.round == r &&
+        ev.vote_cert.phase == PhaseTag::kVote) {
+      for (const PhaseSig& vote : ev.vote_cert.sigs) {
+        if (vote.signer >= cfg_.n) continue;
+        if (!verify_cached(PhaseTag::kVote, r, body.h_tc, vote)) continue;
+        on_conflict(rs.fraud.observe(
+            consensus::SignedValue{PhaseTag::kVote, r, body.h_tc, vote}));
+      }
+    }
+  }
+  rs.reveals[body.h_tc].insert(body.reveal_sig.signer);
+
+  maybe_expose(ctx, r, rs);
+  check_commit_quorum(ctx, r, rs);
+  check_reveal_progress(ctx, r, rs);
+}
+
+void PrftNode::maybe_expose(net::Context& ctx, Round r, RoundState& rs) {
+  if (rs.expose_sent || rs.fraud.guilty_count() <= cfg_.t0) return;
+  if (behavior_ != nullptr && !behavior_->expose_fraud()) return;
+  rs.expose_sent = true;
+  exposes_sent_ += 1;
+  const consensus::FraudSet proofs = rs.fraud.fraud_set();
+  burn_guilty(proofs);
+  if (participating(r, PhaseTag::kReveal)) {
+    ExposeBody body;
+    body.proofs = proofs;
+    Writer w;
+    body.encode(w);
+    broadcast_env(ctx, MsgType::kExpose, r, w.take());
+  }
+  abort_round(ctx, r, rs);
+}
+
+void PrftNode::check_reveal_progress(net::Context& ctx, Round r,
+                                     RoundState& rs) {
+  if (rs.finalized || rs.final_sent) return;
+  if (rs.fraud.guilty_count() > cfg_.t0) return;  // Expose path owns this
+  for (const auto& [h, senders] : rs.reveals) {
+    if (senders.size() < cfg_.quorum()) continue;
+    // Final consensus (Figure 1 line 33-34).
+    rs.final_sent = true;
+    if (participating(r, PhaseTag::kFinal)) {
+      FinalBody body;
+      body.h = h;
+      body.leader_pro_sig = rs.leader_pro_sig;
+      body.final_sig = phase_sig(PhaseTag::kFinal, r, h);
+      Writer w;
+      body.encode(w);
+      broadcast_env(ctx, MsgType::kFinal, r, w.take());
+    }
+    finalize_round(ctx, r, rs, h);
+    return;
+  }
+}
+
+void PrftNode::handle_final(net::Context& ctx, const Envelope& env) {
+  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  const FinalBody body = FinalBody::decode(reader);
+  const Round r = env.round;
+  if (body.final_sig.signer >= cfg_.n) return;
+  if (!verify_cached(PhaseTag::kFinal, r, body.h, body.final_sig)) return;
+
+  RoundState& rs = rounds_[r];
+  rs.finals[body.h][body.final_sig.signer] = body.final_sig;
+  check_final_quorum(ctx, r, rs);
+}
+
+void PrftNode::check_final_quorum(net::Context& ctx, Round r,
+                                  RoundState& rs) {
+  if (rs.finalized) return;
+  for (const auto& [h, senders] : rs.finals) {
+    if (senders.size() <= cfg_.n / 2) continue;
+    // > n/2 Final messages: at least one honest player finalized (k + t <
+    // n/2), so it is safe to finalize too (Figure 1 line 35).
+    if (!rs.final_sent && participating(r, PhaseTag::kFinal)) {
+      rs.final_sent = true;
+      FinalBody body;
+      body.h = h;
+      body.leader_pro_sig = rs.leader_pro_sig;
+      body.final_sig = phase_sig(PhaseTag::kFinal, r, h);
+      Writer w;
+      body.encode(w);
+      broadcast_env(ctx, MsgType::kFinal, r, w.take());
+    }
+    finalize_round(ctx, r, rs, h);
+    return;
+  }
+}
+
+void PrftNode::finalize_round(net::Context& ctx, Round r, RoundState& rs,
+                              const crypto::Hash256& h) {
+  if (rs.finalized) return;
+  rs.finalized = true;
+  rs.phase = Phase::kDone;
+  rs.tentative = h;
+  if (!latest_final_.has_value() || latest_final_->first < r) {
+    latest_final_ = {r, h};
+  }
+
+  if (!adopt_block(h)) {
+    pending_adopt_[r] = h;
+  } else {
+    const auto it = block_store_.find(h);
+    if (it != block_store_.end()) {
+      mempool_.mark_included(it->second.txs);
+    }
+  }
+
+  if (r == round_) {
+    advance_round(ctx, r, /*failed=*/false);
+  }
+  try_adopt_pending(ctx);
+}
+
+bool PrftNode::adopt_block(const crypto::Hash256& h) {
+  // Already the (tentative) tip?
+  if (chain_.tip_hash() == h) {
+    chain_.finalize_up_to(chain_.height());
+    return true;
+  }
+  const auto it = block_store_.find(h);
+  if (it == block_store_.end()) return false;
+  const ledger::Block& block = it->second;
+
+  if (chain_.tip_hash() == block.parent) {
+    chain_.append_tentative(block);
+    chain_.finalize_up_to(chain_.height());
+    return true;
+  }
+  // A conflicting tentative suffix blocks adoption: roll it back (paper
+  // §3.1: tentative blocks are "subject to rollbacks").
+  if (chain_.height() > chain_.finalized_height()) {
+    rollbacks_ += chain_.rollback_tentative();
+    if (chain_.tip_hash() == h) {
+      chain_.finalize_up_to(chain_.height());
+      return true;
+    }
+    if (chain_.tip_hash() == block.parent) {
+      chain_.append_tentative(block);
+      chain_.finalize_up_to(chain_.height());
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrftNode::try_adopt_pending(net::Context& ctx) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = pending_adopt_.begin(); it != pending_adopt_.end();) {
+      if (adopt_block(it->second)) {
+        const auto bit = block_store_.find(it->second);
+        if (bit != block_store_.end()) {
+          mempool_.mark_included(bit->second.txs);
+        }
+        it = pending_adopt_.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  retry_stale_proposals(ctx);
+}
+
+void PrftNode::retry_stale_proposals(net::Context& ctx) {
+  RoundState& rs = rounds_[round_];
+  if (rs.proposal.has_value() || rs.phase != Phase::kPropose) return;
+  for (const auto& [h, entry] : rs.stale_proposals) {
+    const auto& [block, pro_sig] = entry;
+    if (block.parent != chain_.tip_hash()) continue;
+    rs.proposal = block;
+    rs.h_l = h;
+    rs.leader_pro_sig = pro_sig;
+    rs.phase = Phase::kVote;
+    do_vote(ctx, round_, rs);
+    ctx.set_timer(kPhaseTimer, phase_timeout());
+    check_vote_quorum(ctx, round_, rs);
+    return;
+  }
+}
+
+void PrftNode::handle_expose(net::Context& ctx, const Envelope& env) {
+  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  const ExposeBody body = ExposeBody::decode(reader);
+  const Round r = env.round;
+
+  // V(π): validate every ConflictPair; burn all convicted players.
+  const std::set<NodeId> guilty =
+      consensus::verify_fraud_proofs(kProto, body.proofs, *registry_);
+  consensus::FraudSet valid;
+  for (const consensus::ConflictPair& cp : body.proofs) {
+    if (guilty.count(cp.guilty()) && cp.verify(kProto, *registry_)) {
+      valid.push_back(cp);
+    }
+  }
+  burn_guilty(valid);
+
+  if (guilty.size() > cfg_.t0) {
+    RoundState& rs = rounds_[r];
+    if (!rs.finalized && rs.phase != Phase::kDone) {
+      abort_round(ctx, r, rs);
+    }
+  }
+}
+
+void PrftNode::abort_round(net::Context& ctx, Round r, RoundState& rs) {
+  if (rs.finalized) return;
+  // NOTE: a tentative block appended in this round is NOT rolled back here.
+  // Tentative consensus (a commit quorum) acts as a lock: at most one value
+  // per round can assemble n − t0 commits (two would need k + t + 2t0 >= n,
+  // impossible in the threat model), and at least n − t0 − (k+t) > t0
+  // honest players hold the lock. Keeping the tentative tip means later
+  // rounds extend it, so a block that finalized at *some* honest player can
+  // never be displaced by a competing sibling proposed after the abort.
+  rs.phase = Phase::kDone;
+  if (r == round_) {
+    advance_round(ctx, r, /*failed=*/true);
+  }
+}
+
+void PrftNode::burn_guilty(const consensus::FraudSet& proofs) {
+  if (deposits_ == nullptr) return;
+  for (const consensus::ConflictPair& cp : proofs) {
+    if (cp.verify(kProto, *registry_)) {
+      deposits_->burn(cp.guilty());
+    }
+  }
+}
+
+void PrftNode::on_conflict(const std::optional<consensus::ConflictPair>& cp) {
+  // §5.3.1: any valid PoF can be spent in a burn transaction against the
+  // deviating player; we model the burn as taking effect when an honest
+  // (exposing) player first holds the proof. Colluders never burn their own.
+  if (!cp.has_value() || deposits_ == nullptr) return;
+  if (behavior_ != nullptr && !behavior_->expose_fraud()) return;
+  deposits_->burn(cp->guilty());
+}
+
+// ---------------------------------------------------------------------------
+// View change (§5.2)
+
+void PrftNode::trigger_view_change(net::Context& ctx, Round r,
+                                   PhaseTag stalled_phase) {
+  RoundState& rs = rounds_[r];
+  if (rs.vc_sent || rs.finalized || rs.phase == Phase::kDone) return;
+  rs.vc_sent = true;
+  view_changes_ += 1;
+  if (rs.phase != Phase::kViewChange) rs.phase = Phase::kViewChange;
+
+  if (participating(r, PhaseTag::kViewChange)) {
+    ViewChangeBody body;
+    body.stalled_phase = stalled_phase;
+    body.vc_sig = phase_sig(PhaseTag::kViewChange, r, vc_value(r));
+    Writer w;
+    body.encode(w);
+    broadcast_env(ctx, MsgType::kViewChange, r, w.take());
+  }
+  if (r == round_) ctx.set_timer(kPhaseTimer, phase_timeout());
+}
+
+void PrftNode::handle_view_change(net::Context& ctx, const Envelope& env) {
+  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  const ViewChangeBody body = ViewChangeBody::decode(reader);
+  const Round r = env.round;
+  if (body.vc_sig.signer >= cfg_.n) return;
+  if (!verify_cached(PhaseTag::kViewChange, r, vc_value(r), body.vc_sig)) {
+    return;
+  }
+
+  RoundState& rs = rounds_[r];
+  rs.vc_sigs[body.vc_sig.signer] = body.vc_sig;
+
+  // §5.2 step 2(2): if this round already progressed past the stalled
+  // phase, help the view-changer catch up instead (send it our most recent
+  // message for the round).
+  const NodeId peer = body.vc_sig.signer;
+  if (peer != self_ && participating(r, PhaseTag::kViewChange)) {
+    if (rs.final_sent && rs.tentative.has_value()) {
+      FinalBody fin;
+      fin.h = *rs.tentative;
+      fin.leader_pro_sig = rs.leader_pro_sig;
+      fin.final_sig = phase_sig(PhaseTag::kFinal, r, *rs.tentative);
+      Writer w;
+      fin.encode(w);
+      ctx.send(peer, encode_env(MsgType::kFinal, r, w.take()));
+    } else if (rs.revealed && rs.tentative.has_value()) {
+      ctx.send(peer, make_reveal(r, *rs.tentative, rs));
+    } else if (rs.committed && rs.proposal.has_value()) {
+      ctx.send(peer, make_commit(r, rs.h_l, rs));
+    }
+    // A view-changing peer may have been cut out of finalized rounds
+    // entirely (targeted-message adversary); ship it our certified chain.
+    maybe_send_sync(ctx, peer);
+  }
+
+  check_vc_quorum(ctx, r, rs);
+}
+
+void PrftNode::check_vc_quorum(net::Context& ctx, Round r, RoundState& rs) {
+  if (rs.cv_sent || rs.finalized) return;
+  if (rs.vc_sigs.size() < cfg_.quorum()) return;
+
+  // Join the view change if we had not timed out ourselves (the quorum
+  // includes "their own" message per §5.2 step 3).
+  if (!rs.vc_sent) {
+    rs.vc_sent = true;
+    if (rs.phase != Phase::kDone) rs.phase = Phase::kViewChange;
+    if (participating(r, PhaseTag::kViewChange)) {
+      ViewChangeBody body;
+      body.stalled_phase = PhaseTag::kViewChange;
+      body.vc_sig = phase_sig(PhaseTag::kViewChange, r, vc_value(r));
+      Writer w;
+      body.encode(w);
+      broadcast_env(ctx, MsgType::kViewChange, r, w.take());
+    }
+  }
+
+  rs.cv_sent = true;
+  Certificate cert;
+  cert.phase = PhaseTag::kViewChange;
+  cert.round = r;
+  cert.value = vc_value(r);
+  for (const auto& [signer, sig] : rs.vc_sigs) {
+    cert.sigs.push_back(sig);
+    if (cert.sigs.size() >= cfg_.quorum()) break;
+  }
+  rs.vc_cert = cert;
+
+  if (participating(r, PhaseTag::kCommitView)) {
+    CommitViewBody body;
+    body.vc_cert = cert;
+    body.cv_sig = phase_sig(PhaseTag::kCommitView, r, vc_value(r));
+    Writer w;
+    body.encode(w);
+    broadcast_env(ctx, MsgType::kCommitView, r, w.take());
+  }
+}
+
+void PrftNode::handle_commit_view(net::Context& ctx, const Envelope& env) {
+  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  const CommitViewBody body = CommitViewBody::decode(reader);
+  const Round r = env.round;
+  if (body.cv_sig.signer >= cfg_.n) return;
+  if (!verify_cached(PhaseTag::kCommitView, r, vc_value(r), body.cv_sig)) {
+    return;
+  }
+  if (!verify_cert_cached(body.vc_cert, PhaseTag::kViewChange, r, vc_value(r),
+                          cfg_.quorum())) {
+    return;
+  }
+
+  RoundState& rs = rounds_[r];
+  rs.cv_senders.insert(body.cv_sig.signer);
+
+  // §5.2 step 4: a valid commit-view commits us to the view change too.
+  if (!rs.cv_sent && !rs.finalized) {
+    rs.cv_sent = true;
+    rs.vc_cert = body.vc_cert;
+    if (rs.phase != Phase::kDone) rs.phase = Phase::kViewChange;
+    if (participating(r, PhaseTag::kCommitView)) {
+      CommitViewBody echo;
+      echo.vc_cert = body.vc_cert;
+      echo.cv_sig = phase_sig(PhaseTag::kCommitView, r, vc_value(r));
+      Writer w;
+      echo.encode(w);
+      broadcast_env(ctx, MsgType::kCommitView, r, w.take());
+    }
+  }
+
+  // §5.2 step 5 (threshold relaxed to ≥ n − t0; see class comment).
+  if (rs.cv_senders.size() >= cfg_.quorum() && !rs.finalized &&
+      rs.phase != Phase::kDone) {
+    abort_round(ctx, r, rs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// State transfer
+
+void PrftNode::maybe_send_sync(net::Context& ctx, NodeId peer) {
+  if (!latest_final_.has_value()) return;
+  const auto [final_round, final_hash] = *latest_final_;
+  if (sync_sent_.count({peer, final_round})) return;
+
+  // Assemble a > n/2 Final certificate for the tip; without one the peer
+  // could not distinguish this from a fabricated chain.
+  const RoundState& rs = rounds_[final_round];
+  const auto finals_it = rs.finals.find(final_hash);
+  const std::uint32_t needed = cfg_.n / 2 + 1;
+  if (finals_it == rs.finals.end() || finals_it->second.size() < needed) {
+    return;  // certificate not assembled yet; a later VC will retry
+  }
+
+  SyncBody body;
+  body.final_round = final_round;
+  body.final_cert.phase = PhaseTag::kFinal;
+  body.final_cert.round = final_round;
+  body.final_cert.value = final_hash;
+  for (const auto& [signer, sig] : finals_it->second) {
+    body.final_cert.sigs.push_back(sig);
+    if (body.final_cert.sigs.size() >= needed) break;
+  }
+  // Ship the entire finalized suffix above genesis. Simulated chains are
+  // short; a production implementation would range-request from the peer's
+  // reported height.
+  for (std::uint64_t h = 1; h <= chain_.finalized_height(); ++h) {
+    body.blocks.push_back(chain_.at(h));
+  }
+  if (body.blocks.empty() || body.blocks.back().hash() != final_hash) {
+    return;  // our ledger lags our final bookkeeping; skip
+  }
+
+  sync_sent_.insert({peer, final_round});
+  Writer w;
+  body.encode(w);
+  ctx.send(peer, encode_env(MsgType::kSync, final_round, w.take()));
+}
+
+void PrftNode::handle_sync(net::Context& ctx, const Envelope& env) {
+  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  const SyncBody body = SyncBody::decode(reader);
+  if (body.blocks.empty()) return;
+  const crypto::Hash256 tip = body.blocks.back().hash();
+  const std::uint32_t needed = cfg_.n / 2 + 1;
+  if (!verify_cert_cached(body.final_cert, PhaseTag::kFinal,
+                          body.final_round, tip, needed)) {
+    return;
+  }
+  // The blocks must form a chain ending in the certified tip.
+  for (std::size_t i = 1; i < body.blocks.size(); ++i) {
+    if (body.blocks[i].parent != body.blocks[i - 1].hash()) return;
+  }
+
+  for (const ledger::Block& b : body.blocks) {
+    block_store_[b.hash()] = b;
+  }
+
+  // Splice the certified chain on top of the longest common prefix. The
+  // local tentative suffix is preserved when the certified chain extends
+  // it; only a genuinely divergent (and therefore honest-lock-free)
+  // tentative suffix gets rolled back before retrying.
+  bool adopted = false;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    for (const ledger::Block& b : body.blocks) {
+      if (b.parent != chain_.tip_hash()) continue;  // dup or disconnected
+      bool already = false;
+      for (std::uint64_t h = 0; h <= chain_.height() && !already; ++h) {
+        if (chain_.at(h).hash() == b.hash()) already = true;
+      }
+      if (already) continue;
+      if (!chain_.append_tentative(b)) break;
+      mempool_.mark_included(b.txs);
+      adopted = true;
+    }
+    if (chain_.tip_hash() == tip) break;
+    if (attempt == 0 && chain_.height() > chain_.finalized_height()) {
+      rollbacks_ += chain_.rollback_tentative();
+      continue;
+    }
+    return;  // could not connect to the certified tip
+  }
+  if (chain_.tip_hash() != tip) return;
+  chain_.finalize_up_to(chain_.height());
+
+  if (!latest_final_.has_value() || latest_final_->first < body.final_round) {
+    latest_final_ = {body.final_round, tip};
+  }
+  if (adopted) {
+    // Mark the synced rounds closed and move on if we were stuck behind.
+    RoundState& rs = rounds_[body.final_round];
+    if (!rs.finalized) {
+      rs.finalized = true;
+      rs.phase = Phase::kDone;
+      rs.tentative = tip;
+    }
+    if (body.final_round >= round_) {
+      const Round stuck = round_;
+      round_ = body.final_round;
+      (void)stuck;
+      advance_round(ctx, round_, /*failed=*/false);
+    } else {
+      try_adopt_pending(ctx);
+    }
+  }
+}
+
+}  // namespace ratcon::prft

@@ -1,0 +1,290 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "consensus/envelope.hpp"
+#include "consensus/replica.hpp"
+#include "consensus/types.hpp"
+#include "core/messages.hpp"
+#include "ledger/deposits.hpp"
+
+namespace ratcon::prft {
+
+using consensus::Config;
+using consensus::Envelope;
+using consensus::FraudTracker;
+
+/// Rational-strategy hooks that stay within the protocol's message shape
+/// (π_abs and π_pc from the paper's strategy space §4.1.2). Arbitrary
+/// Byzantine deviations — double-signing, equivocation — are implemented as
+/// node subclasses in src/adversary instead.
+class Behavior {
+ public:
+  virtual ~Behavior() = default;
+
+  /// Whether this player counts as honest for outcome classification.
+  [[nodiscard]] virtual bool is_honest() const { return true; }
+
+  /// Return false to suppress sending in `phase` of round `r` whose leader
+  /// is `leader` (π_abs: "does not send messages in the particular phase or
+  /// round"; abstention is indistinguishable from a crash/network delay so
+  /// it can never be penalized — Theorem 1's lever).
+  virtual bool participate(Round r, NodeId leader, PhaseTag phase) {
+    (void)r;
+    (void)leader;
+    (void)phase;
+    return true;
+  }
+
+  /// Leader-side transaction filter (π_pc's censorship half: "propose Block
+  /// with transaction set tx such that tx_h ∉ tx" — Theorem 2's lever).
+  virtual bool censor_tx(const ledger::Transaction& tx) {
+    (void)tx;
+    return false;
+  }
+
+  /// Whether this player broadcasts Expose messages on detecting > t0
+  /// double-signers. Honest players always do; colluding players never
+  /// incriminate their own coalition.
+  [[nodiscard]] virtual bool expose_fraud() const { return true; }
+};
+
+/// pRFT replica (paper Figure 1 + §5.2 view change). One instance per
+/// player; honest players use the default Behavior.
+///
+/// Implementation notes, mapped to the paper:
+///  * Phases Propose → Vote → Commit → Reveal per round, with the leader
+///    rotating round-robin. Quorum τ = n − t0 throughout, t0 = ⌈n/4⌉ − 1
+///    in the pRFT threat model.
+///  * Tentative consensus at commit-quorum; final consensus after a clean
+///    Reveal phase (≥ n − t0 reveals and ≤ t0 double-signers), or on
+///    > n/2 Final messages (at least one honest player finalized).
+///  * The Reveal phase runs ConstructProof over accumulated commit
+///    evidence; > t0 conflicting signers triggers Expose, which burns the
+///    deposits of every player a valid ConflictPair convicts and advances
+///    the round without finalizing (the tentative block rolls back).
+///  * View change (§5.2): triggered by phase timeout, leader equivocation,
+///    or > t0 conflicting signers. We count view-change messages per round
+///    rather than per phase (honest players can time out in different
+///    phases; counting per phase can deadlock — the certificate, which is
+///    what Claim 2's consistency argument uses, is unchanged), and advance
+///    on ≥ n − t0 commit-views rather than the paper's strict > n − t0
+///    (with t = t0 silent Byzantine players only n − t0 players ever
+///    speak, so a strict threshold cannot be met).
+///  * Vote-phase timeouts go through view change rather than committing to
+///    ⊥; §5.2 subsumes the ⊥ path and keeps one recovery mechanism.
+class PrftNode : public consensus::IReplica {
+ public:
+  struct Deps {
+    Config cfg;
+    crypto::KeyRegistry* registry = nullptr;       ///< trusted setup (§3.3)
+    crypto::KeyPair keys;                          ///< this player's keys
+    ledger::DepositLedger* deposits = nullptr;     ///< shared collateral pool
+    std::shared_ptr<Behavior> behavior;            ///< null = honest
+  };
+
+  explicit PrftNode(Deps deps);
+
+  // -- IReplica --------------------------------------------------------------
+  [[nodiscard]] const ledger::Chain& chain() const override { return chain_; }
+  ledger::Mempool& mempool() override { return mempool_; }
+  [[nodiscard]] bool is_honest() const override {
+    return behavior_ == nullptr || behavior_->is_honest();
+  }
+
+  // -- INode -----------------------------------------------------------------
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, NodeId from, const Bytes& data) override;
+  void on_timer(net::Context& ctx, std::uint64_t timer_id) override;
+
+  // -- Introspection (tests / benches) ---------------------------------------
+  [[nodiscard]] Round current_round() const { return round_; }
+  [[nodiscard]] std::uint64_t view_changes() const { return view_changes_; }
+  [[nodiscard]] std::uint64_t exposes_sent() const { return exposes_sent_; }
+  [[nodiscard]] const FraudTracker& fraud() const { return fraud_; }
+  [[nodiscard]] std::uint64_t rollbacks() const { return rollbacks_; }
+  [[nodiscard]] NodeId id() const { return self_; }
+
+  /// Stops initiating new work once this many blocks are final (the
+  /// harness's run length). 0 = unlimited.
+  void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
+
+ protected:
+  /// Per-round protocol phase (Figure 1's four phases plus terminal states).
+  enum class Phase : std::uint8_t {
+    kPropose,
+    kVote,
+    kCommit,
+    kReveal,
+    kViewChange,
+    kDone,
+  };
+
+  struct RoundState {
+    Phase phase = Phase::kPropose;
+    bool started = false;
+
+    std::optional<ledger::Block> proposal;
+    crypto::Hash256 h_l{};
+    PhaseSig leader_pro_sig;
+
+    /// Valid proposals whose parent we did not know yet (pre-GST lag);
+    /// retried after the chain catches up.
+    std::map<crypto::Hash256, std::pair<ledger::Block, PhaseSig>>
+        stale_proposals;
+
+    /// Per-round double-sign detector: the D_i of Figure 1 line 26 is
+    /// rebuilt from this round's observed statements only.
+    FraudTracker fraud;
+
+    bool voted = false;
+    bool committed = false;
+    bool revealed = false;
+    bool final_sent = false;
+    bool expose_sent = false;
+
+    // votes[h][signer], commits[h][signer]
+    std::map<crypto::Hash256, std::map<NodeId, PhaseSig>> votes;
+    std::map<crypto::Hash256, std::map<NodeId, CommitEvidence>> commits;
+
+    // M_i: distinct reveal senders per value (their evidence already fed to
+    // the fraud tracker on receipt).
+    std::map<crypto::Hash256, std::set<NodeId>> reveals;
+
+    // F_i: Final signatures per value (kept whole so a > n/2 certificate
+    // can be assembled for state transfer).
+    std::map<crypto::Hash256, std::map<NodeId, PhaseSig>> finals;
+
+    std::optional<crypto::Hash256> tentative;  ///< h_tc if tentative reached
+    bool tentative_appended = false;
+    bool finalized = false;
+
+    // View change bookkeeping.
+    bool vc_sent = false;
+    bool cv_sent = false;
+    std::map<NodeId, PhaseSig> vc_sigs;
+    std::set<NodeId> cv_senders;
+    std::optional<Certificate> vc_cert;
+  };
+
+  // Extension points for Byzantine/rational subclasses (src/adversary).
+  virtual void do_propose(net::Context& ctx, Round r, RoundState& rs);
+  virtual void do_vote(net::Context& ctx, Round r, RoundState& rs);
+  virtual void do_commit(net::Context& ctx, Round r, RoundState& rs,
+                         const crypto::Hash256& h);
+  virtual void do_reveal(net::Context& ctx, Round r, RoundState& rs,
+                         const crypto::Hash256& h);
+
+  // Honest building blocks available to subclasses.
+  [[nodiscard]] ledger::Block build_block(net::Context& ctx) const;
+  [[nodiscard]] Bytes make_propose(Round r, const ledger::Block& block);
+  [[nodiscard]] Bytes make_vote(Round r, const crypto::Hash256& h,
+                                const PhaseSig& pro_sig);
+  [[nodiscard]] Bytes make_commit(Round r, const crypto::Hash256& h,
+                                  const RoundState& rs);
+  [[nodiscard]] Bytes make_reveal(Round r, const crypto::Hash256& h,
+                                  const RoundState& rs);
+  void send_to(net::Context& ctx, const std::set<NodeId>& targets,
+               const Bytes& wire);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const crypto::KeyPair& keys() const { return keys_; }
+  [[nodiscard]] crypto::KeyRegistry& registry() { return *registry_; }
+  [[nodiscard]] RoundState& round_state(Round r) { return rounds_[r]; }
+  [[nodiscard]] bool participating(Round r, PhaseTag phase) const;
+  [[nodiscard]] Bytes encode_env(MsgType type, Round r, Bytes body) const;
+
+  /// Signs (proto, phase, round, value) with this node's key.
+  [[nodiscard]] PhaseSig phase_sig(PhaseTag phase, Round r,
+                                   const crypto::Hash256& value) const;
+
+ private:
+  static constexpr std::uint64_t kPhaseTimer = 1;
+
+  // Message handlers (post envelope verification).
+  void handle_propose(net::Context& ctx, const Envelope& env);
+  void handle_vote(net::Context& ctx, const Envelope& env);
+  void handle_commit(net::Context& ctx, const Envelope& env);
+  void handle_reveal(net::Context& ctx, const Envelope& env);
+  void handle_expose(net::Context& ctx, const Envelope& env);
+  void handle_final(net::Context& ctx, const Envelope& env);
+  void handle_view_change(net::Context& ctx, const Envelope& env);
+  void handle_commit_view(net::Context& ctx, const Envelope& env);
+
+  void start_round(net::Context& ctx);
+  void enter_phase(net::Context& ctx, RoundState& rs, Phase phase);
+  void check_vote_quorum(net::Context& ctx, Round r, RoundState& rs);
+  void check_commit_quorum(net::Context& ctx, Round r, RoundState& rs);
+  void check_reveal_progress(net::Context& ctx, Round r, RoundState& rs);
+  void check_final_quorum(net::Context& ctx, Round r, RoundState& rs);
+  void maybe_expose(net::Context& ctx, Round r, RoundState& rs);
+  void finalize_round(net::Context& ctx, Round r, RoundState& rs,
+                      const crypto::Hash256& h);
+  void trigger_view_change(net::Context& ctx, Round r, PhaseTag phase);
+  void check_vc_quorum(net::Context& ctx, Round r, RoundState& rs);
+  void advance_round(net::Context& ctx, Round r, bool failed);
+  void burn_guilty(const consensus::FraudSet& proofs);
+  void on_conflict(const std::optional<consensus::ConflictPair>& cp);
+  void try_adopt_pending(net::Context& ctx);
+  bool adopt_block(const crypto::Hash256& h);
+  void retry_stale_proposals(net::Context& ctx);
+  void abort_round(net::Context& ctx, Round r, RoundState& rs);
+  bool verify_cert_cached(const Certificate& cert, PhaseTag phase, Round r,
+                          const crypto::Hash256& value,
+                          std::uint32_t min_sigs);
+  void dispatch(net::Context& ctx, const Envelope& env);
+  void maybe_send_sync(net::Context& ctx, NodeId peer);
+  void handle_sync(net::Context& ctx, const Envelope& env);
+
+  /// Signature verification with memoization (certificates repeat the same
+  /// signatures across many messages).
+  bool verify_cached(PhaseTag phase, Round r, const crypto::Hash256& value,
+                     const PhaseSig& ps);
+
+  [[nodiscard]] SimTime phase_timeout() const;
+  void broadcast_env(net::Context& ctx, MsgType type, Round r, Bytes body);
+
+  Config cfg_;
+  crypto::KeyRegistry* registry_;
+  crypto::KeyPair keys_;
+  ledger::DepositLedger* deposits_;
+  std::shared_ptr<Behavior> behavior_;
+
+  NodeId self_ = kNoNode;
+  bool self_known_ = false;
+
+  Round round_ = 1;  ///< genesis occupies round 0
+  std::map<Round, RoundState> rounds_;
+  std::map<crypto::Hash256, ledger::Block> block_store_;
+  // Messages for rounds we have not entered yet, replayed on entry.
+  std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
+  // Rounds whose block reached final consensus but could not be adopted yet
+  // (missing parent / stale local state): value = block hash.
+  std::map<Round, crypto::Hash256> pending_adopt_;
+
+  ledger::Chain chain_;
+  ledger::Mempool mempool_;
+  FraudTracker fraud_;
+
+  /// Latest round whose block this node finalized (for state transfer).
+  std::optional<std::pair<Round, crypto::Hash256>> latest_final_;
+  /// Sync replies already sent, rate-limited per (peer, final round).
+  std::set<std::pair<NodeId, Round>> sync_sent_;
+
+  std::uint64_t consecutive_failures_ = 0;
+  std::uint64_t view_changes_ = 0;
+  std::uint64_t exposes_sent_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  std::uint64_t target_blocks_ = 0;
+  bool stopped_ = false;
+
+  // Verified-signature memo: (signer, phase, round, value-prefix, sig-prefix).
+  std::set<std::tuple<NodeId, std::uint8_t, Round, std::uint64_t,
+                      std::uint64_t>>
+      verified_;
+};
+
+}  // namespace ratcon::prft

@@ -1,0 +1,36 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace ratcon::crypto {
+
+Hash256 hmac_sha256(ByteSpan key, ByteSpan message) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t key_block[kBlock] = {};
+
+  if (key.size() > kBlock) {
+    const Hash256 kh = sha256(key);
+    std::memcpy(key_block, kh.data(), kh.size());
+  } else {
+    if (!key.empty()) std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kBlock];
+  std::uint8_t opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ByteSpan(ipad, kBlock));
+  inner.update(message);
+  const Hash256 inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(ByteSpan(opad, kBlock));
+  outer.update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+}  // namespace ratcon::crypto

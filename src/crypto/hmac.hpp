@@ -1,0 +1,11 @@
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace ratcon::crypto {
+
+/// HMAC-SHA256 (RFC 2104), verified against RFC 4231 vectors. Used by the
+/// simulation signature scheme: sig = HMAC(sk, message).
+Hash256 hmac_sha256(ByteSpan key, ByteSpan message);
+
+}  // namespace ratcon::crypto

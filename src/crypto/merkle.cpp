@@ -1,0 +1,71 @@
+#include "crypto/merkle.hpp"
+
+#include <stdexcept>
+
+namespace ratcon::crypto {
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves)
+    : leaves_(std::move(leaves)) {
+  if (leaves_.empty()) {
+    root_ = kZeroHash;
+    return;
+  }
+  levels_.push_back(leaves_);
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<Hash256> above;
+    above.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      const Hash256& left = below[i];
+      const Hash256& right = (i + 1 < below.size()) ? below[i + 1] : below[i];
+      above.push_back(hash_pair(left, right));
+    }
+    levels_.push_back(std::move(above));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::uint64_t index) const {
+  if (index >= leaves_.size()) {
+    throw std::out_of_range("MerkleTree::prove: leaf index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::size_t pos = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling =
+        (pos % 2 == 0) ? std::min(pos + 1, nodes.size() - 1) : pos - 1;
+    proof.path.push_back(MerkleStep{nodes[sibling], pos % 2 == 1});
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Hash256& leaf, const MerkleProof& proof,
+                        const Hash256& root) {
+  Hash256 running = leaf;
+  for (const MerkleStep& step : proof.path) {
+    running = step.sibling_is_left ? hash_pair(step.sibling, running)
+                                   : hash_pair(running, step.sibling);
+  }
+  return running == root;
+}
+
+Hash256 MerkleTree::compute_root(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return kZeroHash;
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash256> above;
+    above.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash256& left = level[i];
+      const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      above.push_back(hash_pair(left, right));
+    }
+    level = std::move(above);
+  }
+  return level.front();
+}
+
+}  // namespace ratcon::crypto

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace ratcon::crypto {
+
+/// One step of a Merkle inclusion proof: the sibling hash and whether the
+/// sibling sits on the left of the running hash.
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_is_left = false;
+};
+
+/// Merkle inclusion proof for one leaf.
+struct MerkleProof {
+  std::uint64_t leaf_index = 0;
+  std::vector<MerkleStep> path;
+};
+
+/// Binary Merkle tree over pre-hashed leaves. Odd nodes are paired with
+/// themselves (Bitcoin-style duplication). Blocks commit to their
+/// transaction set through the root.
+class MerkleTree {
+ public:
+  /// Builds the tree. An empty leaf set yields the all-zero root.
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  [[nodiscard]] const Hash256& root() const { return root_; }
+  [[nodiscard]] std::size_t leaf_count() const { return leaves_.size(); }
+
+  /// Inclusion proof for leaf `index`. Requires index < leaf_count().
+  [[nodiscard]] MerkleProof prove(std::uint64_t index) const;
+
+  /// Verifies `leaf` against `root` using `proof`.
+  static bool verify(const Hash256& leaf, const MerkleProof& proof,
+                     const Hash256& root);
+
+  /// Computes only the root without keeping the interior levels.
+  static Hash256 compute_root(const std::vector<Hash256>& leaves);
+
+ private:
+  std::vector<Hash256> leaves_;
+  std::vector<std::vector<Hash256>> levels_;  // levels_[0] = leaves
+  Hash256 root_ = kZeroHash;
+};
+
+}  // namespace ratcon::crypto

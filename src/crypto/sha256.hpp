@@ -1,0 +1,58 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace ratcon::crypto {
+
+/// 32-byte digest used for block hashes, message digests and signatures.
+using Hash256 = std::array<std::uint8_t, 32>;
+
+/// Streaming SHA-256 (FIPS 180-4), implemented from scratch — the simulator
+/// has no external crypto dependency. Verified against NIST test vectors in
+/// tests/crypto_test.cpp.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input. May be called any number of times.
+  void update(ByteSpan data);
+
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Hash256 finish();
+
+  /// One-shot convenience.
+  static Hash256 digest(ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot digest of a byte span.
+Hash256 sha256(ByteSpan data);
+
+/// One-shot digest of a string.
+Hash256 sha256(std::string_view data);
+
+/// Hex encoding of a digest.
+std::string hash_hex(const Hash256& h);
+
+/// All-zero hash, used as the genesis parent pointer and the paper's
+/// ⊥ (bottom) value in the Vote phase.
+inline constexpr Hash256 kZeroHash{};
+
+/// Combines two hashes (Merkle interior nodes, chained digests).
+Hash256 hash_pair(const Hash256& a, const Hash256& b);
+
+/// Cheap well-distributed 64-bit key for unordered containers.
+std::uint64_t hash_prefix64(const Hash256& h);
+
+}  // namespace ratcon::crypto

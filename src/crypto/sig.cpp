@@ -1,0 +1,50 @@
+#include "crypto/sig.hpp"
+
+#include "common/serialize.hpp"
+#include "crypto/hmac.hpp"
+
+namespace ratcon::crypto {
+
+Signature sign(const SecretKey& sk, ByteSpan message) {
+  const Hash256 mac =
+      hmac_sha256(ByteSpan(sk.bytes.data(), sk.bytes.size()), message);
+  Signature sig;
+  sig.bytes = mac;
+  return sig;
+}
+
+KeyPair KeyRegistry::generate(NodeId node, std::uint64_t seed) {
+  Writer w;
+  w.str("ratcon-keygen");
+  w.u32(node);
+  w.u64(seed);
+  SecretKey sk;
+  sk.bytes = sha256(ByteSpan(w.data().data(), w.data().size()));
+
+  Writer wp;
+  wp.str("ratcon-pubkey");
+  wp.raw(ByteSpan(sk.bytes.data(), sk.bytes.size()));
+  PublicKey pk;
+  pk.bytes = sha256(ByteSpan(wp.data().data(), wp.data().size()));
+
+  by_pk_[pk] = sk;
+  by_node_[node] = pk;
+  return KeyPair{pk, sk};
+}
+
+bool KeyRegistry::verify(const PublicKey& pk, ByteSpan message,
+                         const Signature& sig) const {
+  const auto it = by_pk_.find(pk);
+  if (it == by_pk_.end()) return false;
+  const Signature expected = sign(it->second, message);
+  return equal_bytes(ByteSpan(expected.bytes.data(), expected.bytes.size()),
+                     ByteSpan(sig.bytes.data(), sig.bytes.size()));
+}
+
+PublicKey KeyRegistry::public_key(NodeId node) const {
+  const auto it = by_node_.find(node);
+  if (it == by_node_.end()) return PublicKey{};
+  return it->second;
+}
+
+}  // namespace ratcon::crypto

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ratcon::crypto {
+
+/// Public verification key (32 bytes). Distributed through the trusted
+/// broadcast setup (paper §3.3) before the protocol starts.
+struct PublicKey {
+  std::array<std::uint8_t, 32> bytes{};
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+/// Secret signing key. Held only by its owner node; the verification API
+/// never exposes it, so signatures are unforgeable *by construction* inside
+/// the simulation (see DESIGN.md §1 for the substitution rationale).
+struct SecretKey {
+  std::array<std::uint8_t, 32> bytes{};
+};
+
+/// Signature: HMAC-SHA256(sk, message). 32 bytes = the security parameter κ
+/// in the paper's message-size accounting (Figure 3).
+struct Signature {
+  std::array<std::uint8_t, 32> bytes{};
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+/// Size in bytes of one signature — the κ used when measuring message sizes.
+inline constexpr std::size_t kSignatureSize = sizeof(Signature::bytes);
+
+struct KeyPair {
+  PublicKey pk;
+  SecretKey sk;
+};
+
+/// Signs `message` with `sk`. Deterministic.
+Signature sign(const SecretKey& sk, ByteSpan message);
+
+/// Trusted PKI setup (paper §3.3): every player's public key is registered
+/// before the protocol starts and any signed message is verified against it.
+///
+/// Verification recomputes the HMAC under the registered key, but the
+/// registry only answers verify() queries — adversary code cannot extract
+/// another player's secret key through this interface, which models
+/// existential unforgeability exactly.
+class KeyRegistry {
+ public:
+  /// Deterministically generates and registers a key pair for `node` from
+  /// `seed`. Returns the pair; the caller (the node) keeps the secret key.
+  KeyPair generate(NodeId node, std::uint64_t seed);
+
+  /// Verifies `sig` over `message` under `pk`. Unknown keys verify false.
+  [[nodiscard]] bool verify(const PublicKey& pk, ByteSpan message,
+                            const Signature& sig) const;
+
+  /// Public key registered for `node`, or a zero key if none.
+  [[nodiscard]] PublicKey public_key(NodeId node) const;
+
+  /// Number of registered keys.
+  [[nodiscard]] std::size_t size() const { return by_pk_.size(); }
+
+ private:
+  struct PkHasher {
+    std::size_t operator()(const PublicKey& pk) const {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(pk.bytes[i]) << (8 * i);
+      }
+      return static_cast<std::size_t>(v);
+    }
+  };
+
+  std::unordered_map<PublicKey, SecretKey, PkHasher> by_pk_;
+  std::unordered_map<NodeId, PublicKey> by_node_;
+};
+
+}  // namespace ratcon::crypto

@@ -1,0 +1,177 @@
+#include "game/normal_form.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace ratcon::game {
+
+NormalFormGame::NormalFormGame(std::vector<int> strategy_counts)
+    : counts_(std::move(strategy_counts)) {
+  if (counts_.empty()) {
+    throw std::invalid_argument("NormalFormGame: need at least one player");
+  }
+  std::size_t total = 1;
+  for (int c : counts_) {
+    if (c <= 0) throw std::invalid_argument("NormalFormGame: empty strategy set");
+    total *= static_cast<std::size_t>(c);
+  }
+  payoffs_.assign(total, std::vector<double>(counts_.size(), 0.0));
+  player_names_.resize(counts_.size());
+  strategy_names_.resize(counts_.size());
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    player_names_[p] = "P" + std::to_string(p + 1);
+    strategy_names_[p].resize(static_cast<std::size_t>(counts_[p]));
+    for (int s = 0; s < counts_[p]; ++s) {
+      strategy_names_[p][static_cast<std::size_t>(s)] = "s" + std::to_string(s);
+    }
+  }
+}
+
+void NormalFormGame::set_player_name(int player, std::string name) {
+  player_names_[static_cast<std::size_t>(player)] = std::move(name);
+}
+
+void NormalFormGame::set_strategy_name(int player, int strategy,
+                                       std::string name) {
+  strategy_names_[static_cast<std::size_t>(player)]
+                 [static_cast<std::size_t>(strategy)] = std::move(name);
+}
+
+const std::string& NormalFormGame::player_name(int player) const {
+  return player_names_[static_cast<std::size_t>(player)];
+}
+
+const std::string& NormalFormGame::strategy_name(int player,
+                                                 int strategy) const {
+  return strategy_names_[static_cast<std::size_t>(player)]
+                        [static_cast<std::size_t>(strategy)];
+}
+
+std::size_t NormalFormGame::index_of(const Profile& profile) const {
+  assert(profile.size() == counts_.size());
+  std::size_t idx = 0;
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    assert(profile[p] >= 0 && profile[p] < counts_[p]);
+    idx = idx * static_cast<std::size_t>(counts_[p]) +
+          static_cast<std::size_t>(profile[p]);
+  }
+  return idx;
+}
+
+void NormalFormGame::set_payoffs(const Profile& profile,
+                                 const std::vector<double>& payoffs) {
+  assert(payoffs.size() == counts_.size());
+  payoffs_[index_of(profile)] = payoffs;
+}
+
+void NormalFormGame::set_payoff(const Profile& profile, int player,
+                                double payoff) {
+  payoffs_[index_of(profile)][static_cast<std::size_t>(player)] = payoff;
+}
+
+double NormalFormGame::payoff(const Profile& profile, int player) const {
+  return payoffs_[index_of(profile)][static_cast<std::size_t>(player)];
+}
+
+bool NormalFormGame::is_nash(const Profile& profile, double tolerance) const {
+  for (int p = 0; p < num_players(); ++p) {
+    const double current = payoff(profile, p);
+    Profile deviated = profile;
+    for (int s = 0; s < counts_[static_cast<std::size_t>(p)]; ++s) {
+      if (s == profile[static_cast<std::size_t>(p)]) continue;
+      deviated[static_cast<std::size_t>(p)] = s;
+      if (payoff(deviated, p) > current + tolerance) return false;
+    }
+    deviated[static_cast<std::size_t>(p)] = profile[static_cast<std::size_t>(p)];
+  }
+  return true;
+}
+
+std::vector<Profile> NormalFormGame::pure_nash(double tolerance) const {
+  std::vector<Profile> out;
+  for (const Profile& profile : all_profiles()) {
+    if (is_nash(profile, tolerance)) out.push_back(profile);
+  }
+  return out;
+}
+
+bool NormalFormGame::is_dominant(int player, int strategy,
+                                 double tolerance) const {
+  // For every opponent profile, `strategy` must be at least as good as every
+  // alternative strategy of `player`.
+  for (const Profile& profile : all_profiles()) {
+    if (profile[static_cast<std::size_t>(player)] != strategy) continue;
+    const double with_strategy = payoff(profile, player);
+    Profile alt = profile;
+    for (int s = 0; s < counts_[static_cast<std::size_t>(player)]; ++s) {
+      if (s == strategy) continue;
+      alt[static_cast<std::size_t>(player)] = s;
+      if (payoff(alt, player) > with_strategy + tolerance) return false;
+    }
+  }
+  return true;
+}
+
+bool NormalFormGame::pareto_dominates(const Profile& a, const Profile& b,
+                                      double tolerance) const {
+  bool strictly_better_somewhere = false;
+  for (int p = 0; p < num_players(); ++p) {
+    const double pa = payoff(a, p);
+    const double pb = payoff(b, p);
+    if (pa < pb - tolerance) return false;
+    if (pa > pb + tolerance) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+std::vector<Profile> NormalFormGame::pareto_frontier(
+    const std::vector<Profile>& candidates, double tolerance) const {
+  std::vector<Profile> out;
+  for (const Profile& a : candidates) {
+    bool dominated = false;
+    for (const Profile& b : candidates) {
+      if (&a == &b) continue;
+      if (pareto_dominates(b, a, tolerance)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Profile> NormalFormGame::all_profiles() const {
+  std::vector<Profile> out;
+  Profile current(counts_.size(), 0);
+  while (true) {
+    out.push_back(current);
+    // Increment like an odometer.
+    int p = num_players() - 1;
+    while (p >= 0) {
+      if (++current[static_cast<std::size_t>(p)] <
+          counts_[static_cast<std::size_t>(p)]) {
+        break;
+      }
+      current[static_cast<std::size_t>(p)] = 0;
+      --p;
+    }
+    if (p < 0) break;
+  }
+  return out;
+}
+
+std::string NormalFormGame::describe(const Profile& profile) const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t p = 0; p < profile.size(); ++p) {
+    if (p) os << ", ";
+    os << strategy_names_[p][static_cast<std::size_t>(profile[p])];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace ratcon::game

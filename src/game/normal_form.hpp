@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ratcon::game {
+
+/// A pure strategy profile: one strategy index per player.
+using Profile = std::vector<int>;
+
+/// Finite normal-form game with pure-strategy solution concepts. Used to
+/// reproduce the paper's equilibrium analysis: Table 3's example game, the
+/// TRAP baiting game (Theorem 3) and the empirical deviation games built
+/// from simulation outcomes (Lemma 4).
+class NormalFormGame {
+ public:
+  /// `strategy_counts[i]` = number of strategies for player i.
+  explicit NormalFormGame(std::vector<int> strategy_counts);
+
+  [[nodiscard]] int num_players() const {
+    return static_cast<int>(counts_.size());
+  }
+  [[nodiscard]] int num_strategies(int player) const {
+    return counts_[player];
+  }
+
+  /// Optional labels for pretty-printing.
+  void set_player_name(int player, std::string name);
+  void set_strategy_name(int player, int strategy, std::string name);
+  [[nodiscard]] const std::string& player_name(int player) const;
+  [[nodiscard]] const std::string& strategy_name(int player,
+                                                 int strategy) const;
+
+  /// Sets all players' payoffs at `profile`.
+  void set_payoffs(const Profile& profile, const std::vector<double>& payoffs);
+
+  /// Sets one player's payoff at `profile`.
+  void set_payoff(const Profile& profile, int player, double payoff);
+
+  [[nodiscard]] double payoff(const Profile& profile, int player) const;
+
+  // -- Solution concepts ----------------------------------------------------
+
+  /// True when no player gains by unilateral deviation (Definition 4's
+  /// inequality, checked exactly on the payoff table). `tolerance` absorbs
+  /// Monte-Carlo noise in empirically-built games.
+  [[nodiscard]] bool is_nash(const Profile& profile,
+                             double tolerance = 1e-9) const;
+
+  /// All pure-strategy Nash equilibria.
+  [[nodiscard]] std::vector<Profile> pure_nash(double tolerance = 1e-9) const;
+
+  /// True when `strategy` weakly dominates every alternative for `player`
+  /// against *all* opponent profiles (Definition 5, DSIC when it holds for
+  /// the honest strategy of every rational player).
+  [[nodiscard]] bool is_dominant(int player, int strategy,
+                                 double tolerance = 1e-9) const;
+
+  /// True when profile `a` Pareto-dominates `b`: every player weakly
+  /// prefers `a` and someone strictly does. The paper's focal-point
+  /// argument (§4.3): among multiple NEs, a Pareto-dominant one is focal.
+  [[nodiscard]] bool pareto_dominates(const Profile& a, const Profile& b,
+                                      double tolerance = 1e-9) const;
+
+  /// Among `candidates` (typically pure_nash()), returns those not
+  /// Pareto-dominated by any other candidate — the focal equilibria.
+  [[nodiscard]] std::vector<Profile> pareto_frontier(
+      const std::vector<Profile>& candidates, double tolerance = 1e-9) const;
+
+  /// Enumerates all profiles (row-major over strategy indices).
+  [[nodiscard]] std::vector<Profile> all_profiles() const;
+
+  /// Human-readable profile, e.g. "(A, a, α)".
+  [[nodiscard]] std::string describe(const Profile& profile) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(const Profile& profile) const;
+
+  std::vector<int> counts_;
+  std::vector<std::vector<double>> payoffs_;  // [profile_index][player]
+  std::vector<std::string> player_names_;
+  std::vector<std::vector<std::string>> strategy_names_;
+};
+
+}  // namespace ratcon::game

@@ -1,0 +1,89 @@
+#include "game/utility.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ratcon::game {
+
+const char* to_string(SystemState s) {
+  switch (s) {
+    case SystemState::kNoProgress: return "sigma_NP";
+    case SystemState::kCensorship: return "sigma_CP";
+    case SystemState::kFork: return "sigma_Fork";
+    case SystemState::kHonest: return "sigma_0";
+  }
+  return "?";
+}
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kHonest: return "pi_0";
+    case Strategy::kAbstain: return "pi_abs";
+    case Strategy::kDoubleSign: return "pi_ds";
+    case Strategy::kPartialCensor: return "pi_pc";
+    case Strategy::kBait: return "pi_bait";
+  }
+  return "?";
+}
+
+double payoff_f(SystemState sigma, Theta theta, double alpha) {
+  if (theta < 0 || theta > 3) {
+    throw std::invalid_argument("payoff_f: theta must be in {0,1,2,3}");
+  }
+  // Table 2. σ_0 pays 0 for every type; a non-honest state pays +α when the
+  // type is incentivized towards it and −α otherwise.
+  switch (sigma) {
+    case SystemState::kHonest:
+      return 0.0;
+    case SystemState::kNoProgress:
+      return theta >= 3 ? alpha : -alpha;
+    case SystemState::kCensorship:
+      return theta >= 2 ? alpha : -alpha;
+    case SystemState::kFork:
+      return theta >= 1 ? alpha : -alpha;
+  }
+  return 0.0;
+}
+
+double round_utility(const std::vector<RoundOutcome>& samples, Theta theta,
+                     const UtilityParams& params) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RoundOutcome& s : samples) {
+    sum += payoff_f(s.state, theta, params.alpha);
+    if (s.penalized) sum -= params.L;
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+double discounted_utility(const std::vector<RoundOutcome>& per_round,
+                          Theta theta, const UtilityParams& params) {
+  double total = 0.0;
+  double discount = 1.0;
+  for (const RoundOutcome& r : per_round) {
+    double u = payoff_f(r.state, theta, params.alpha);
+    if (r.penalized) u -= params.L;
+    total += discount * u;
+    discount *= params.delta;
+  }
+  return total;
+}
+
+double stationary_discounted(double per_round_utility, double delta) {
+  if (delta < 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("stationary_discounted: delta must be in [0,1)");
+  }
+  return per_round_utility / (1.0 - delta);
+}
+
+std::string preferred_states(Theta theta) {
+  switch (theta) {
+    case 3: return "No Progress, Censorship, Fork";
+    case 2: return "Censorship, Fork";
+    case 1: return "Fork";
+    case 0: return "Honest Execution";
+    default: return "?";
+  }
+}
+
+}  // namespace ratcon::game

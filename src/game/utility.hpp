@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace ratcon::game {
+
+/// System states σ from paper §4.1.1. One of these is assigned to every
+/// simulated round by outcome classification.
+enum class SystemState : std::uint8_t {
+  kNoProgress = 0,  ///< σ_NP: no new block agreed.
+  kCensorship = 1,  ///< σ_CP: progress, but censored txs excluded.
+  kFork = 2,        ///< σ_Fork: two honest players finalize conflicting blocks.
+  kHonest = 3,      ///< σ_0: honest execution, correctness + liveness hold.
+};
+
+const char* to_string(SystemState s);
+
+/// Rational player type θ ∈ {0,1,2,3} (paper §4.1.1): θ=3 profits from
+/// liveness, censorship or fork attacks; θ=2 from censorship or fork;
+/// θ=1 only from fork; θ=0 only from honest execution.
+using Theta = int;
+
+/// Strategies available to rational players (paper §4.1.2) plus the
+/// baiting strategy from §3.4 used by TRAP's analysis.
+enum class Strategy : std::uint8_t {
+  kHonest = 0,         ///< π_0: follow the protocol.
+  kAbstain = 1,        ///< π_abs: send no messages in a phase/round.
+  kDoubleSign = 2,     ///< π_ds / π_fork: sign two conflicting messages.
+  kPartialCensor = 3,  ///< π_pc (Thm 2): abstain under honest leader,
+                       ///<   censor when leading.
+  kBait = 4,           ///< π_bait (TRAP): expose the collusion's PoF.
+};
+
+const char* to_string(Strategy s);
+
+/// Parameters of the paper's utility structure.
+struct UtilityParams {
+  double alpha = 1.0;  ///< Payoff magnitude in Table 2.
+  double L = 10.0;     ///< Collateral / penalty per player.
+  double delta = 0.9;  ///< Per-round discount factor (Eq. 1), in [0,1).
+};
+
+/// Table 2: payoff f(σ, θ) ∈ {−α, 0, α}.
+double payoff_f(SystemState sigma, Theta theta, double alpha);
+
+/// Expected single-round utility u_i(π, θ, r) = E[f(σ,θ)] − L·D(π,σ)
+/// computed over a set of observed (state, penalized) outcomes.
+struct RoundOutcome {
+  SystemState state = SystemState::kHonest;
+  bool penalized = false;  ///< D(π, σ) = 1: player's collateral was burned.
+};
+
+double round_utility(const std::vector<RoundOutcome>& samples, Theta theta,
+                     const UtilityParams& params);
+
+/// Discounted utility across rounds (Eq. 1): U_i = Σ_r δ^r · u_r. The
+/// penalty is a one-shot collateral loss, charged in the round it occurs.
+double discounted_utility(const std::vector<RoundOutcome>& per_round,
+                          Theta theta, const UtilityParams& params);
+
+/// Closed form of Σ_{r=0}^{∞} δ^r · u for a stationary per-round utility —
+/// used by the impossibility benches to extrapolate the infinite game.
+double stationary_discounted(double per_round_utility, double delta);
+
+/// The preferred-states column of Table 2 for a given θ.
+std::string preferred_states(Theta theta);
+
+}  // namespace ratcon::game

@@ -1,0 +1,46 @@
+#include "harness/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ratcon::harness {
+
+PowerFit fit_power_law(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("fit_power_law: need >= 2 matched samples");
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) {
+      throw std::invalid_argument("fit_power_law: samples must be positive");
+    }
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  const double b = (n * sxy - sx * sy) / denom;
+  const double log_a = (sy - b * sx) / n;
+
+  // R² in log space.
+  const double mean_ly = sy / n;
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ly = std::log(y[i]);
+    const double pred = log_a + b * std::log(x[i]);
+    ss_tot += (ly - mean_ly) * (ly - mean_ly);
+    ss_res += (ly - pred) * (ly - pred);
+  }
+  PowerFit fit;
+  fit.coefficient = std::exp(log_a);
+  fit.exponent = b;
+  fit.r_squared = ss_tot == 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace ratcon::harness

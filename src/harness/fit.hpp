@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+namespace ratcon::harness {
+
+/// Least-squares fit of y = a · x^b on log-log axes. Returns {a, b}; the
+/// exponent b is what the Figure 3 bench reports against the paper's
+/// asymptotic claims (messages ~ n^2..n^3, bytes ~ n^3..n^4).
+struct PowerFit {
+  double coefficient = 0.0;  ///< a
+  double exponent = 0.0;     ///< b
+  double r_squared = 0.0;    ///< goodness of fit in log space
+};
+
+PowerFit fit_power_law(const std::vector<double>& x,
+                       const std::vector<double>& y);
+
+}  // namespace ratcon::harness

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ratcon::harness {
+
+/// Tiny command-line flag parser for bench/example binaries:
+/// `--name=value` or `--name value`; bare `--name` is treated as "1".
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_str(const std::string& name,
+                                    const std::string& fallback) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ratcon::harness

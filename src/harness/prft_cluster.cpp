@@ -1,0 +1,105 @@
+#include "harness/prft_cluster.hpp"
+
+namespace ratcon::harness {
+
+PrftCluster::PrftCluster(PrftClusterOptions options) {
+  cfg_.n = options.n;
+  cfg_.t0 = options.t0.value_or(consensus::prft_t0(options.n));
+  cfg_.delta = options.delta;
+  cfg_.base_timeout = options.base_timeout.value_or(8 * options.delta);
+  cfg_.target_rounds = options.target_blocks;
+  cfg_.max_block_txs = options.max_block_txs;
+
+  registry_ = std::make_unique<crypto::KeyRegistry>();
+  deposits_ = std::make_unique<ledger::DepositLedger>(options.collateral);
+  deposits_->register_players(options.n);
+
+  std::unique_ptr<net::NetworkModel> model =
+      options.make_net ? options.make_net()
+                       : net::make_synchronous(options.delta);
+  cluster_ = std::make_unique<net::Cluster>(std::move(model), options.seed);
+
+  for (NodeId id = 0; id < options.n; ++id) {
+    prft::PrftNode::Deps deps;
+    deps.cfg = cfg_;
+    deps.registry = registry_.get();
+    deps.keys = registry_->generate(id, options.seed);
+    deps.deposits = deposits_.get();
+
+    std::unique_ptr<prft::PrftNode> node =
+        options.node_factory ? options.node_factory(id, std::move(deps))
+                             : std::make_unique<prft::PrftNode>(std::move(deps));
+    node->set_target_blocks(options.target_blocks);
+    prft::PrftNode* raw = node.get();
+    cluster_->add_node(std::move(node));
+    nodes_.push_back(raw);
+  }
+}
+
+void PrftCluster::submit_tx(const ledger::Transaction& tx, SimTime at) {
+  cluster_->schedule(at - cluster_->now(), [this, tx, at]() {
+    for (prft::PrftNode* node : nodes_) {
+      node->mempool().submit(tx, at);
+    }
+  });
+}
+
+void PrftCluster::inject_workload(std::uint64_t count, SimTime start,
+                                  SimTime interval, std::uint64_t first_id) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ledger::Transaction tx = ledger::make_transfer(
+        first_id + i, static_cast<NodeId>(i % cfg_.n));
+    submit_tx(tx, start + static_cast<SimTime>(i) * interval);
+  }
+}
+
+std::vector<const ledger::Chain*> PrftCluster::honest_chains() const {
+  std::vector<const ledger::Chain*> out;
+  for (const prft::PrftNode* node : nodes_) {
+    if (node->is_honest()) out.push_back(&node->chain());
+  }
+  return out;
+}
+
+game::SystemState PrftCluster::classify(
+    std::uint64_t baseline_height,
+    std::optional<std::uint64_t> watched_tx) const {
+  consensus::OutcomeQuery query;
+  query.honest_chains = honest_chains();
+  query.baseline_height = baseline_height;
+  query.watched_tx = watched_tx;
+  return consensus::classify_outcome(query);
+}
+
+bool PrftCluster::agreement_holds() const {
+  return !consensus::any_fork(honest_chains());
+}
+
+bool PrftCluster::ordering_holds(std::uint64_t c) const {
+  const auto chains = honest_chains();
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    for (std::size_t j = i + 1; j < chains.size(); ++j) {
+      if (!ledger::c_strict_ordering_holds(*chains[i], *chains[j], c)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t PrftCluster::min_height() const {
+  return consensus::min_finalized_height(honest_chains());
+}
+
+std::uint64_t PrftCluster::max_height() const {
+  return consensus::max_finalized_height(honest_chains());
+}
+
+bool PrftCluster::honest_player_slashed() const {
+  for (const prft::PrftNode* node : nodes_) {
+    if (node->is_honest() && deposits_->slashed(node->id())) return true;
+  }
+  return false;
+}
+
+}  // namespace ratcon::harness

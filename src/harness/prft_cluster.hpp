@@ -1,0 +1,96 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "consensus/outcome.hpp"
+#include "core/prft_node.hpp"
+#include "net/cluster.hpp"
+
+namespace ratcon::harness {
+
+/// Options for assembling a simulated pRFT deployment. The defaults give a
+/// small healthy committee on a synchronous network.
+struct PrftClusterOptions {
+  std::uint32_t n = 7;
+  std::optional<std::uint32_t> t0;  ///< default: ⌈n/4⌉ − 1 (pRFT bound)
+  std::uint64_t seed = 1;
+  SimTime delta = msec(10);
+  std::optional<SimTime> base_timeout;  ///< default: 8Δ
+  std::uint64_t target_blocks = 5;
+  std::int64_t collateral = 100;
+  std::uint32_t max_block_txs = 64;
+
+  /// Network factory; default = synchronous with `delta`.
+  std::function<std::unique_ptr<net::NetworkModel>()> make_net;
+
+  /// Per-node factory; default = honest PrftNode. Adversary experiments
+  /// substitute subclasses / behaviours for chosen ids.
+  std::function<std::unique_ptr<prft::PrftNode>(NodeId,
+                                                prft::PrftNode::Deps)>
+      node_factory;
+};
+
+/// An assembled pRFT deployment: nodes, trusted setup, deposits, network.
+/// Owns everything; accessors expose the pieces experiments need.
+class PrftCluster {
+ public:
+  explicit PrftCluster(PrftClusterOptions options);
+
+  /// Starts every node (round 1 begins).
+  void start() { cluster_->start(); }
+
+  /// Runs the simulation until virtual time `t`.
+  void run_until(SimTime t) { cluster_->run_until(t); }
+  void run_for(SimTime d) { cluster_->run_for(d); }
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1)) {
+    return cluster_->run(max_events);
+  }
+
+  /// Submits `tx` to every replica's mempool at time `at` (clients gossip
+  /// transactions to all players).
+  void submit_tx(const ledger::Transaction& tx, SimTime at);
+
+  /// Injects `count` transfer transactions spaced `interval` apart,
+  /// starting at `start`. Ids begin at `first_id`.
+  void inject_workload(std::uint64_t count, SimTime start, SimTime interval,
+                       std::uint64_t first_id = 1);
+
+  [[nodiscard]] net::Cluster& net() { return *cluster_; }
+  [[nodiscard]] const consensus::Config& config() const { return cfg_; }
+  [[nodiscard]] crypto::KeyRegistry& registry() { return *registry_; }
+  [[nodiscard]] ledger::DepositLedger& deposits() { return *deposits_; }
+  [[nodiscard]] prft::PrftNode& node(NodeId id) { return *nodes_[id]; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Ledgers of replicas whose behaviour is honest.
+  [[nodiscard]] std::vector<const ledger::Chain*> honest_chains() const;
+
+  /// Classifies the run into the paper's system state σ.
+  [[nodiscard]] game::SystemState classify(
+      std::uint64_t baseline_height = 0,
+      std::optional<std::uint64_t> watched_tx = std::nullopt) const;
+
+  /// Safety invariant checks across honest replicas.
+  [[nodiscard]] bool agreement_holds() const;
+  [[nodiscard]] bool ordering_holds(std::uint64_t c = 0) const;
+
+  /// Smallest / largest finalized height among honest replicas.
+  [[nodiscard]] std::uint64_t min_height() const;
+  [[nodiscard]] std::uint64_t max_height() const;
+
+  /// True if any *honest* replica's deposit was burned (must never happen:
+  /// the accountability soundness invariant).
+  [[nodiscard]] bool honest_player_slashed() const;
+
+ private:
+  consensus::Config cfg_;
+  std::unique_ptr<crypto::KeyRegistry> registry_;
+  std::unique_ptr<ledger::DepositLedger> deposits_;
+  std::unique_ptr<net::Cluster> cluster_;
+  std::vector<prft::PrftNode*> nodes_;  // owned by cluster_
+};
+
+}  // namespace ratcon::harness

@@ -1,0 +1,83 @@
+#include "harness/replica_cluster.hpp"
+
+#include <stdexcept>
+
+namespace ratcon::harness {
+
+ReplicaCluster::ReplicaCluster(Options options) {
+  if (!options.factory) {
+    throw std::invalid_argument("ReplicaCluster: factory is required");
+  }
+  cfg_.n = options.n;
+  cfg_.t0 = options.t0;
+  cfg_.delta = options.delta;
+  cfg_.base_timeout = options.base_timeout.value_or(8 * options.delta);
+  cfg_.target_rounds = options.target_blocks;
+  cfg_.max_block_txs = options.max_block_txs;
+
+  registry_ = std::make_unique<crypto::KeyRegistry>();
+  deposits_ = std::make_unique<ledger::DepositLedger>(options.collateral);
+  deposits_->register_players(options.n);
+
+  std::unique_ptr<net::NetworkModel> model =
+      options.make_net ? options.make_net()
+                       : net::make_synchronous(options.delta);
+  cluster_ = std::make_unique<net::Cluster>(std::move(model), options.seed);
+
+  for (NodeId id = 0; id < options.n; ++id) {
+    auto replica = options.factory(id, cfg_, *registry_, *deposits_);
+    consensus::IReplica* raw = replica.get();
+    cluster_->add_node(std::move(replica));
+    replicas_.push_back(raw);
+  }
+}
+
+void ReplicaCluster::submit_tx(const ledger::Transaction& tx, SimTime at) {
+  cluster_->schedule(at - cluster_->now(), [this, tx, at]() {
+    for (consensus::IReplica* r : replicas_) {
+      r->mempool().submit(tx, at);
+    }
+  });
+}
+
+void ReplicaCluster::inject_workload(std::uint64_t count, SimTime start,
+                                     SimTime interval,
+                                     std::uint64_t first_id) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ledger::Transaction tx = ledger::make_transfer(
+        first_id + i, static_cast<NodeId>(i % cfg_.n));
+    submit_tx(tx, start + static_cast<SimTime>(i) * interval);
+  }
+}
+
+std::vector<const ledger::Chain*> ReplicaCluster::honest_chains() const {
+  std::vector<const ledger::Chain*> out;
+  for (const consensus::IReplica* r : replicas_) {
+    if (r->is_honest()) out.push_back(&r->chain());
+  }
+  return out;
+}
+
+game::SystemState ReplicaCluster::classify(
+    std::uint64_t baseline_height,
+    std::optional<std::uint64_t> watched_tx) const {
+  consensus::OutcomeQuery query;
+  query.honest_chains = honest_chains();
+  query.baseline_height = baseline_height;
+  query.watched_tx = watched_tx;
+  return consensus::classify_outcome(query);
+}
+
+bool ReplicaCluster::agreement_holds() const {
+  return !consensus::any_fork(honest_chains());
+}
+
+std::uint64_t ReplicaCluster::min_height() const {
+  return consensus::min_finalized_height(honest_chains());
+}
+
+std::uint64_t ReplicaCluster::max_height() const {
+  return consensus::max_finalized_height(honest_chains());
+}
+
+}  // namespace ratcon::harness

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "consensus/outcome.hpp"
+#include "consensus/replica.hpp"
+#include "consensus/types.hpp"
+#include "crypto/sig.hpp"
+#include "ledger/deposits.hpp"
+#include "net/cluster.hpp"
+#include "net/netmodel.hpp"
+
+namespace ratcon::harness {
+
+/// Protocol-agnostic deployment harness used by the baseline protocols
+/// (quorum/pBFT/Polygraph, HotStuff, Raft-lite) and the cross-protocol
+/// benches. The factory builds each replica; everything else — trusted
+/// setup, deposits, network, workload, outcome classification — is shared
+/// so comparisons across protocols are apples-to-apples.
+class ReplicaCluster {
+ public:
+  using Factory = std::function<std::unique_ptr<consensus::IReplica>(
+      NodeId id, const consensus::Config& cfg, crypto::KeyRegistry& registry,
+      ledger::DepositLedger& deposits)>;
+
+  struct Options {
+    std::uint32_t n = 7;
+    std::uint32_t t0 = 2;
+    std::uint64_t seed = 1;
+    SimTime delta = msec(10);
+    std::optional<SimTime> base_timeout;  ///< default 8Δ
+    std::uint64_t target_blocks = 5;
+    std::int64_t collateral = 100;
+    std::uint32_t max_block_txs = 64;
+    std::function<std::unique_ptr<net::NetworkModel>()> make_net;
+    Factory factory;  ///< required
+  };
+
+  explicit ReplicaCluster(Options options);
+
+  void start() { cluster_->start(); }
+  void run_until(SimTime t) { cluster_->run_until(t); }
+  void run_for(SimTime d) { cluster_->run_for(d); }
+
+  void submit_tx(const ledger::Transaction& tx, SimTime at);
+  void inject_workload(std::uint64_t count, SimTime start, SimTime interval,
+                       std::uint64_t first_id = 1);
+
+  [[nodiscard]] net::Cluster& net() { return *cluster_; }
+  [[nodiscard]] const consensus::Config& config() const { return cfg_; }
+  [[nodiscard]] crypto::KeyRegistry& registry() { return *registry_; }
+  [[nodiscard]] ledger::DepositLedger& deposits() { return *deposits_; }
+  [[nodiscard]] consensus::IReplica& replica(NodeId id) {
+    return *replicas_[id];
+  }
+  [[nodiscard]] std::size_t size() const { return replicas_.size(); }
+
+  [[nodiscard]] std::vector<const ledger::Chain*> honest_chains() const;
+  [[nodiscard]] game::SystemState classify(
+      std::uint64_t baseline_height = 0,
+      std::optional<std::uint64_t> watched_tx = std::nullopt) const;
+  [[nodiscard]] bool agreement_holds() const;
+  [[nodiscard]] std::uint64_t min_height() const;
+  [[nodiscard]] std::uint64_t max_height() const;
+
+ private:
+  consensus::Config cfg_;
+  std::unique_ptr<crypto::KeyRegistry> registry_;
+  std::unique_ptr<ledger::DepositLedger> deposits_;
+  std::unique_ptr<net::Cluster> cluster_;
+  std::vector<consensus::IReplica*> replicas_;  // owned by cluster_
+};
+
+}  // namespace ratcon::harness

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ratcon::harness {
+
+/// Minimal aligned-column table printer used by every bench binary to
+/// render the paper's tables next to measured values.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment, a header underline and `indent` leading
+  /// spaces per line.
+  [[nodiscard]] std::string render(int indent = 2) const;
+
+  /// Renders straight to stdout.
+  void print(int indent = 2) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals.
+std::string fmt(double value, int digits = 2);
+
+/// Formats a ratio as "12.3x".
+std::string fmt_ratio(double value, int digits = 1);
+
+/// Formats an integer with thousands separators.
+std::string fmt_count(std::uint64_t value);
+
+/// Formats a byte count in human units (B/KiB/MiB).
+std::string fmt_bytes(std::uint64_t value);
+
+}  // namespace ratcon::harness

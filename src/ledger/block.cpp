@@ -1,0 +1,66 @@
+#include "ledger/block.hpp"
+
+#include "crypto/merkle.hpp"
+
+namespace ratcon::ledger {
+
+void Block::encode(Writer& w) const {
+  w.raw(ByteSpan(parent.data(), parent.size()));
+  w.u64(round);
+  w.u32(proposer);
+  w.u32(static_cast<std::uint32_t>(txs.size()));
+  for (const Transaction& tx : txs) tx.encode(w);
+}
+
+Block Block::decode(Reader& r) {
+  Block b;
+  r.raw_into(b.parent.data(), b.parent.size());
+  b.round = r.u64();
+  b.proposer = r.u32();
+  const std::uint32_t count = r.count(1u << 16);
+  b.txs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    b.txs.push_back(Transaction::decode(r));
+  }
+  return b;
+}
+
+crypto::Hash256 Block::tx_root() const {
+  std::vector<crypto::Hash256> leaves;
+  leaves.reserve(txs.size());
+  for (const Transaction& tx : txs) leaves.push_back(tx.hash());
+  return crypto::MerkleTree::compute_root(leaves);
+}
+
+crypto::Hash256 Block::hash() const {
+  Writer w;
+  w.raw(ByteSpan(parent.data(), parent.size()));
+  w.u64(round);
+  w.u32(proposer);
+  const crypto::Hash256 root = tx_root();
+  w.raw(ByteSpan(root.data(), root.size()));
+  return crypto::sha256(ByteSpan(w.data().data(), w.data().size()));
+}
+
+bool Block::contains_tx(std::uint64_t tx_id) const {
+  for (const Transaction& tx : txs) {
+    if (tx.id == tx_id) return true;
+  }
+  return false;
+}
+
+std::size_t Block::wire_size() const {
+  Writer w;
+  encode(w);
+  return w.size();
+}
+
+Block genesis() {
+  Block b;
+  b.parent = crypto::kZeroHash;
+  b.round = 0;
+  b.proposer = kNoNode;
+  return b;
+}
+
+}  // namespace ratcon::ledger

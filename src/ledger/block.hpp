@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "ledger/transaction.hpp"
+
+namespace ratcon::ledger {
+
+/// A block: a set of transactions plus a pointer to the parent block — "the
+/// block agreed upon immediately before it" (paper §3.1). The block hash
+/// commits to the parent, the round, the proposer and the transaction
+/// Merkle root, so signed messages from one round cannot be replayed in
+/// another (paper §5.1, footnote 11).
+struct Block {
+  crypto::Hash256 parent = crypto::kZeroHash;
+  Round round = 0;
+  NodeId proposer = kNoNode;
+  std::vector<Transaction> txs;
+
+  void encode(Writer& w) const;
+  static Block decode(Reader& r);
+
+  /// Merkle root over transaction hashes.
+  [[nodiscard]] crypto::Hash256 tx_root() const;
+
+  /// H(Block || round): the `h_l` value signed and voted on.
+  [[nodiscard]] crypto::Hash256 hash() const;
+
+  /// True if the block contains a transaction with `tx_id`.
+  [[nodiscard]] bool contains_tx(std::uint64_t tx_id) const;
+
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// The canonical genesis block (round 0 placeholder parent for round 1).
+Block genesis();
+
+}  // namespace ratcon::ledger

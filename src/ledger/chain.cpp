@@ -1,0 +1,93 @@
+#include "ledger/chain.hpp"
+
+#include <algorithm>
+
+namespace ratcon::ledger {
+
+Chain::Chain() {
+  blocks_.push_back(genesis());
+  tip_hash_ = blocks_.front().hash();
+}
+
+bool Chain::append_tentative(Block block) {
+  if (block.parent != tip_hash_) return false;
+  tip_hash_ = block.hash();
+  blocks_.push_back(std::move(block));
+  return true;
+}
+
+bool Chain::finalize_up_to(std::uint64_t height) {
+  if (height > this->height()) return false;
+  finalized_ = std::max(finalized_, height);
+  return true;
+}
+
+bool Chain::finalize_block(const crypto::Hash256& block_hash) {
+  for (std::uint64_t h = blocks_.size(); h-- > 0;) {
+    if (blocks_[h].hash() == block_hash) {
+      return finalize_up_to(h);
+    }
+  }
+  return false;
+}
+
+std::size_t Chain::rollback_tentative() {
+  const std::size_t dropped = blocks_.size() - 1 - finalized_;
+  blocks_.resize(finalized_ + 1);
+  tip_hash_ = blocks_.back().hash();
+  return dropped;
+}
+
+bool Chain::finalized_contains_tx(std::uint64_t tx_id) const {
+  for (std::uint64_t h = 0; h <= finalized_; ++h) {
+    if (blocks_[h].contains_tx(tx_id)) return true;
+  }
+  return false;
+}
+
+bool Chain::contains_tx(std::uint64_t tx_id) const {
+  for (const Block& b : blocks_) {
+    if (b.contains_tx(tx_id)) return true;
+  }
+  return false;
+}
+
+std::vector<crypto::Hash256> Chain::finalized_hashes() const {
+  std::vector<crypto::Hash256> out;
+  out.reserve(finalized_ + 1);
+  for (std::uint64_t h = 0; h <= finalized_; ++h) {
+    out.push_back(blocks_[h].hash());
+  }
+  return out;
+}
+
+std::vector<crypto::Hash256> Chain::prefix_hashes(
+    std::uint64_t drop_last) const {
+  std::vector<crypto::Hash256> out = finalized_hashes();
+  const std::size_t drop =
+      std::min<std::size_t>(out.size(), static_cast<std::size_t>(drop_last));
+  out.resize(out.size() - drop);
+  return out;
+}
+
+bool c_strict_ordering_holds(const Chain& a, const Chain& b, std::uint64_t c) {
+  const Chain& shorter =
+      a.finalized_height() <= b.finalized_height() ? a : b;
+  const Chain& longer =
+      a.finalized_height() <= b.finalized_height() ? b : a;
+  const auto prefix = shorter.prefix_hashes(c);
+  const auto full = longer.finalized_hashes();
+  if (prefix.size() > full.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), full.begin());
+}
+
+bool chains_conflict(const Chain& a, const Chain& b) {
+  const std::uint64_t upto =
+      std::min(a.finalized_height(), b.finalized_height());
+  for (std::uint64_t h = 0; h <= upto; ++h) {
+    if (a.at(h).hash() != b.at(h).hash()) return true;
+  }
+  return false;
+}
+
+}  // namespace ratcon::ledger

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ledger/block.hpp"
+
+namespace ratcon::ledger {
+
+/// A player's local ledger C_i: a chain of agreed blocks with a
+/// tentative suffix. Following the paper (§3.1, §5.3.2):
+///
+///  * blocks reaching tentative consensus (commit-quorum) are appended as
+///    *tentative* and "might be rolled back once the network synchronizes";
+///  * a block reaching final consensus is *finalized*, and finalizing a
+///    block finalizes every tentative ancestor below it;
+///  * the common-prefix property C^{⌊z} is checked over finalized prefixes.
+class Chain {
+ public:
+  Chain();
+
+  /// Appends a tentatively-agreed block. The block's parent must be the
+  /// current tip hash; returns false (and ignores the block) otherwise.
+  bool append_tentative(Block block);
+
+  /// Marks the block at `height` (and all below) final. Returns false if
+  /// `height` is beyond the tip.
+  bool finalize_up_to(std::uint64_t height);
+
+  /// Finds the height of a tentative block by hash and finalizes up to it.
+  bool finalize_block(const crypto::Hash256& block_hash);
+
+  /// Rolls back all tentative blocks above the finalized prefix (paper:
+  /// tentative blocks are "subject to rollbacks in case of adversarial
+  /// behaviour"). Returns the number of blocks dropped.
+  std::size_t rollback_tentative();
+
+  // -- Accessors ------------------------------------------------------------
+
+  /// Height of the chain including tentative blocks (genesis = 0).
+  [[nodiscard]] std::uint64_t height() const { return blocks_.size() - 1; }
+
+  /// Height of the last finalized block.
+  [[nodiscard]] std::uint64_t finalized_height() const { return finalized_; }
+
+  /// Hash of the tip (including tentative blocks) — next block's parent.
+  [[nodiscard]] const crypto::Hash256& tip_hash() const { return tip_hash_; }
+
+  /// Block at `height` (genesis at 0). Requires height <= height().
+  [[nodiscard]] const Block& at(std::uint64_t height) const {
+    return blocks_[height];
+  }
+
+  [[nodiscard]] bool is_final(std::uint64_t height) const {
+    return height <= finalized_;
+  }
+
+  /// Whether a finalized block contains transaction `tx_id`.
+  [[nodiscard]] bool finalized_contains_tx(std::uint64_t tx_id) const;
+
+  /// Whether any block (tentative included) contains `tx_id`.
+  [[nodiscard]] bool contains_tx(std::uint64_t tx_id) const;
+
+  /// All finalized block hashes, genesis first.
+  [[nodiscard]] std::vector<crypto::Hash256> finalized_hashes() const;
+
+  /// The paper's C^{⌊c}: hashes after removing the last `c` blocks
+  /// (over the finalized prefix).
+  [[nodiscard]] std::vector<crypto::Hash256> prefix_hashes(
+      std::uint64_t drop_last) const;
+
+ private:
+  std::vector<Block> blocks_;  // blocks_[0] = genesis
+  std::uint64_t finalized_ = 0;
+  crypto::Hash256 tip_hash_;
+};
+
+/// Checks (t,k)-agreement's ordering condition between two ledgers: with
+/// |C1| <= |C2|, C1^{⌊c} must be a prefix of C2 (Definition 1,
+/// c-strict ordering). Returns true when the property holds.
+bool c_strict_ordering_holds(const Chain& a, const Chain& b,
+                             std::uint64_t c = 0);
+
+/// Detects disagreement (σ_Fork): two ledgers with different finalized
+/// blocks at the same height.
+bool chains_conflict(const Chain& a, const Chain& b);
+
+}  // namespace ratcon::ledger

@@ -1,0 +1,45 @@
+#include "ledger/deposits.hpp"
+
+namespace ratcon::ledger {
+
+void DepositLedger::register_players(std::uint32_t n) {
+  for (NodeId id = 0; id < n; ++id) {
+    if (!balances_.count(id)) {
+      balances_[id] = collateral_;
+      slashed_[id] = false;
+    }
+  }
+}
+
+std::int64_t DepositLedger::burn(NodeId player) {
+  auto it = balances_.find(player);
+  if (it == balances_.end() || it->second == 0) {
+    slashed_[player] = true;
+    return 0;
+  }
+  const std::int64_t burned = it->second;
+  it->second = 0;
+  slashed_[player] = true;
+  total_burned_ += burned;
+  return burned;
+}
+
+std::int64_t DepositLedger::balance(NodeId player) const {
+  const auto it = balances_.find(player);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+bool DepositLedger::slashed(NodeId player) const {
+  const auto it = slashed_.find(player);
+  return it != slashed_.end() && it->second;
+}
+
+std::vector<NodeId> DepositLedger::slashed_players() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, s] : slashed_) {
+    if (s) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace ratcon::ledger

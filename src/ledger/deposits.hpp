@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace ratcon::ledger {
+
+/// Collateral accounting (paper §4.1.2 Penalty and §5.3.1): every player
+/// deposits L before participating; a verified Proof-of-Fraud burns
+/// ("stashes") the deviating player's deposit. Honest players must never be
+/// burned — tests enforce that invariant.
+class DepositLedger {
+ public:
+  explicit DepositLedger(std::int64_t collateral_per_player = 100)
+      : collateral_(collateral_per_player) {}
+
+  /// Registers `n` players each depositing the collateral L.
+  void register_players(std::uint32_t n);
+
+  /// Burns the remaining deposit of `player` (idempotent). Returns the
+  /// amount burned by this call.
+  std::int64_t burn(NodeId player);
+
+  [[nodiscard]] std::int64_t balance(NodeId player) const;
+  [[nodiscard]] bool slashed(NodeId player) const;
+  [[nodiscard]] std::int64_t total_burned() const { return total_burned_; }
+  [[nodiscard]] std::int64_t collateral() const { return collateral_; }
+
+  /// All players whose deposit has been burned.
+  [[nodiscard]] std::vector<NodeId> slashed_players() const;
+
+ private:
+  std::int64_t collateral_;
+  std::map<NodeId, std::int64_t> balances_;
+  std::map<NodeId, bool> slashed_;
+  std::int64_t total_burned_ = 0;
+};
+
+}  // namespace ratcon::ledger

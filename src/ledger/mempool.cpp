@@ -1,0 +1,53 @@
+#include "ledger/mempool.hpp"
+
+#include <algorithm>
+
+namespace ratcon::ledger {
+
+void Mempool::submit(Transaction tx, SimTime arrival) {
+  if (known_.count(tx.id)) return;
+  known_.insert(tx.id);
+  queue_.push_back(Entry{std::move(tx), arrival});
+}
+
+std::vector<Transaction> Mempool::select(
+    std::size_t max_txs,
+    const std::function<bool(const Transaction&)>& censor) const {
+  std::vector<Transaction> out;
+  for (const Entry& e : queue_) {
+    if (out.size() >= max_txs) break;
+    if (included_.count(e.tx.id)) continue;
+    if (censor && censor(e.tx)) continue;
+    out.push_back(e.tx);
+  }
+  return out;
+}
+
+void Mempool::mark_included(const std::vector<Transaction>& txs) {
+  for (const Transaction& tx : txs) {
+    included_.insert(tx.id);
+  }
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [this](const Entry& e) {
+                                return included_.count(e.tx.id) > 0;
+                              }),
+               queue_.end());
+}
+
+void Mempool::restore(const std::vector<Transaction>& txs) {
+  for (const Transaction& tx : txs) {
+    if (!included_.count(tx.id)) continue;
+    included_.erase(tx.id);
+    // Put back at the front so re-proposal keeps roughly original order.
+    queue_.push_front(Entry{tx, 0});
+  }
+}
+
+SimTime Mempool::arrival_of(std::uint64_t id) const {
+  for (const Entry& e : queue_) {
+    if (e.tx.id == id) return e.arrival;
+  }
+  return kSimTimeNever;
+}
+
+}  // namespace ratcon::ledger

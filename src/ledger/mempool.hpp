@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/time.hpp"
+#include "ledger/transaction.hpp"
+
+namespace ratcon::ledger {
+
+/// Pending-transaction pool with arrival-time tracking, which the censorship
+/// experiments (Theorem 2, (t,k)-censorship resistance) use to measure how
+/// long an input transaction stays excluded from finalized blocks.
+class Mempool {
+ public:
+  /// Adds a transaction observed at `arrival`. Duplicate ids are ignored.
+  void submit(Transaction tx, SimTime arrival);
+
+  /// Selects up to `max_txs` pending transactions in arrival order,
+  /// skipping any for which `censor` returns true (the θ=2 strategy π_pc
+  /// plugs in here). `censor` may be null.
+  [[nodiscard]] std::vector<Transaction> select(
+      std::size_t max_txs,
+      const std::function<bool(const Transaction&)>& censor = nullptr) const;
+
+  /// Removes transactions included in an agreed block.
+  void mark_included(const std::vector<Transaction>& txs);
+
+  /// Re-queues transactions from a rolled-back block (keeps original
+  /// arrival order).
+  void restore(const std::vector<Transaction>& txs);
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool has_tx(std::uint64_t id) const {
+    return known_.count(id) > 0 && !included_.count(id);
+  }
+
+  /// Arrival time of a pending/known tx, or kSimTimeNever.
+  [[nodiscard]] SimTime arrival_of(std::uint64_t id) const;
+
+ private:
+  struct Entry {
+    Transaction tx;
+    SimTime arrival;
+  };
+  std::deque<Entry> queue_;
+  std::set<std::uint64_t> known_;
+  std::set<std::uint64_t> included_;
+};
+
+}  // namespace ratcon::ledger

@@ -1,0 +1,63 @@
+#include "ledger/transaction.hpp"
+
+#include <sstream>
+
+namespace ratcon::ledger {
+
+void Transaction::encode(Writer& w) const {
+  w.u64(id);
+  w.u32(sender);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(burn_target);
+  w.bytes(payload);
+}
+
+Transaction Transaction::decode(Reader& r) {
+  Transaction tx;
+  tx.id = r.u64();
+  tx.sender = r.u32();
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(Kind::kBurn)) {
+    throw CodecError("Transaction: bad kind");
+  }
+  tx.kind = static_cast<Kind>(kind);
+  tx.burn_target = r.u32();
+  tx.payload = r.bytes(1u << 20);
+  return tx;
+}
+
+crypto::Hash256 Transaction::hash() const {
+  Writer w;
+  encode(w);
+  return crypto::sha256(ByteSpan(w.data().data(), w.data().size()));
+}
+
+std::string Transaction::summary() const {
+  std::ostringstream os;
+  os << "tx#" << id << (kind == Kind::kBurn ? " burn(" : " transfer(")
+     << (kind == Kind::kBurn ? static_cast<int>(burn_target)
+                             : static_cast<int>(sender))
+     << ")";
+  return os.str();
+}
+
+Transaction make_transfer(std::uint64_t id, NodeId sender,
+                          std::size_t payload_size) {
+  Transaction tx;
+  tx.id = id;
+  tx.sender = sender;
+  tx.kind = Transaction::Kind::kTransfer;
+  tx.payload.assign(payload_size, static_cast<std::uint8_t>(id & 0xff));
+  return tx;
+}
+
+Transaction make_burn(std::uint64_t id, NodeId submitter, NodeId target) {
+  Transaction tx;
+  tx.id = id;
+  tx.sender = submitter;
+  tx.kind = Transaction::Kind::kBurn;
+  tx.burn_target = target;
+  return tx;
+}
+
+}  // namespace ratcon::ledger

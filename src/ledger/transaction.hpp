@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ratcon::ledger {
+
+/// A state change proposed for inclusion in a block. Besides ordinary
+/// transfers, a `kBurn` transaction consumes a Proof-of-Fraud and stashes
+/// the guilty player's collateral (paper §5.3.1: "this PoF can be used as an
+/// input to the transaction to burn the collateral L of the player Pi").
+struct Transaction {
+  enum class Kind : std::uint8_t { kTransfer = 0, kBurn = 1 };
+
+  std::uint64_t id = 0;       ///< Client-assigned unique id.
+  NodeId sender = kNoNode;    ///< Submitting client/player.
+  Kind kind = Kind::kTransfer;
+  NodeId burn_target = kNoNode;  ///< For kBurn: whose collateral is stashed.
+  Bytes payload;              ///< Opaque application bytes.
+
+  void encode(Writer& w) const;
+  static Transaction decode(Reader& r);
+
+  /// Digest used as a Merkle leaf.
+  [[nodiscard]] crypto::Hash256 hash() const;
+
+  [[nodiscard]] std::string summary() const;
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+};
+
+/// Convenience factory for a transfer carrying `payload_size` filler bytes.
+Transaction make_transfer(std::uint64_t id, NodeId sender,
+                          std::size_t payload_size = 32);
+
+/// Burn transaction consuming a PoF against `target`.
+Transaction make_burn(std::uint64_t id, NodeId submitter, NodeId target);
+
+}  // namespace ratcon::ledger

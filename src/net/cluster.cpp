@@ -1,0 +1,154 @@
+#include "net/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ratcon::net {
+
+// ---------------------------------------------------------------------------
+// Context
+
+SimTime Context::now() const { return cluster_.now(); }
+
+std::size_t Context::cluster_size() const { return cluster_.size(); }
+
+void Context::send(NodeId to, Bytes data) {
+  cluster_.deliver(self_, to, std::move(data), /*count_stats=*/true);
+}
+
+void Context::broadcast(Bytes data) {
+  const std::size_t n = cluster_.size();
+  for (NodeId to = 0; to < n; ++to) {
+    if (to == self_) continue;
+    cluster_.deliver(self_, to, data, /*count_stats=*/true);
+  }
+  // Self-delivery: immediate, not network traffic.
+  cluster_.deliver(self_, self_, std::move(data), /*count_stats=*/false);
+}
+
+void Context::set_timer(std::uint64_t timer_id, SimTime delay) {
+  cluster_.arm_timer(self_, timer_id, delay);
+}
+
+void Context::cancel_timer(std::uint64_t timer_id) {
+  cluster_.disarm_timer(self_, timer_id);
+}
+
+Rng& Context::rng() { return cluster_.nodes_[self_].rng; }
+
+// ---------------------------------------------------------------------------
+// Cluster
+
+Cluster::Cluster(std::unique_ptr<NetworkModel> net, std::uint64_t seed)
+    : net_(std::move(net)), rng_(seed) {
+  assert(net_ != nullptr);
+}
+
+Cluster::~Cluster() = default;
+
+NodeId Cluster::add_node(std::unique_ptr<INode> node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  NodeSlot slot;
+  slot.impl = std::move(node);
+  slot.rng = rng_.fork();
+  nodes_.push_back(std::move(slot));
+  partition_group_.push_back(-1);
+  return id;
+}
+
+void Cluster::start() {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].crashed) continue;
+    Context ctx(*this, id);
+    nodes_[id].impl->on_start(ctx);
+  }
+}
+
+bool Cluster::step() { return queue_.step(); }
+
+void Cluster::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    queue_.step();
+  }
+}
+
+std::size_t Cluster::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && queue_.step()) {
+    ++executed;
+  }
+  return executed;
+}
+
+void Cluster::crash(NodeId node) { nodes_[node].crashed = true; }
+
+bool Cluster::crashed(NodeId node) const { return nodes_[node].crashed; }
+
+void Cluster::set_partition(const std::vector<std::vector<NodeId>>& groups,
+                            SimTime heal_time) {
+  std::fill(partition_group_.begin(), partition_group_.end(), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId id : groups[g]) {
+      partition_group_[id] = static_cast<int>(g);
+    }
+  }
+  partition_heal_ = heal_time;
+  partitioned_ = true;
+}
+
+void Cluster::clear_partition() {
+  partitioned_ = false;
+  std::fill(partition_group_.begin(), partition_group_.end(), -1);
+}
+
+bool Cluster::crosses_partition(NodeId a, NodeId b) const {
+  if (!partitioned_) return false;
+  const int ga = partition_group_[a];
+  const int gb = partition_group_[b];
+  // Ungrouped nodes (the adversary's position in the paper's partition
+  // arguments) reach and are reached by everyone.
+  if (ga < 0 || gb < 0) return false;
+  return ga != gb;
+}
+
+SimTime Cluster::delivery_time_for(NodeId from, NodeId to) {
+  SimTime at = net_->delivery_time(from, to, now(), rng_);
+  if (crosses_partition(from, to) && now() < partition_heal_) {
+    // Held until the partition heals, then delivered within Δ.
+    const SimTime post = net_->delivery_time(from, to, partition_heal_, rng_);
+    at = std::max(at, post);
+  }
+  return at;
+}
+
+void Cluster::deliver(NodeId from, NodeId to, Bytes data, bool count_stats) {
+  if (count_stats && data.size() >= 2) {
+    stats_.record(data[0], data[1], data.size());
+    if (trace_) trace_(now(), from, to, data[0], data[1], data.size());
+  }
+  const SimTime at =
+      (from == to) ? now() : delivery_time_for(from, to);
+  queue_.schedule_at(at, [this, from, to, msg = std::move(data)]() {
+    if (nodes_[to].crashed) return;
+    Context ctx(*this, to);
+    nodes_[to].impl->on_message(ctx, from, msg);
+  });
+}
+
+void Cluster::arm_timer(NodeId node, std::uint64_t timer_id, SimTime delay) {
+  const std::uint64_t gen = ++nodes_[node].timer_gen[timer_id];
+  queue_.schedule_in(delay, [this, node, timer_id, gen]() {
+    NodeSlot& slot = nodes_[node];
+    if (slot.crashed) return;
+    const auto it = slot.timer_gen.find(timer_id);
+    if (it == slot.timer_gen.end() || it->second != gen) return;  // superseded
+    Context ctx(*this, node);
+    slot.impl->on_timer(ctx, timer_id);
+  });
+}
+
+void Cluster::disarm_timer(NodeId node, std::uint64_t timer_id) {
+  ++nodes_[node].timer_gen[timer_id];
+}
+
+}  // namespace ratcon::net

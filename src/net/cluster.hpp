@@ -1,0 +1,170 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/event_queue.hpp"
+#include "net/netmodel.hpp"
+#include "net/stats.hpp"
+
+namespace ratcon::net {
+
+class Cluster;
+
+/// Handle protocol nodes use to talk to the simulated world. A fresh
+/// context is passed into every callback; nodes never hold onto it.
+class Context {
+ public:
+  Context(Cluster& cluster, NodeId self) : cluster_(cluster), self_(self) {}
+
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] std::size_t cluster_size() const;
+
+  /// Sends `data` to `to` through the network model (counted in stats).
+  void send(NodeId to, Bytes data);
+
+  /// Sends to every node. Self-delivery is immediate and not counted as
+  /// network traffic; the paper's "Broadcast" includes the sender's own
+  /// message (e.g. view-change counts "including their own").
+  void broadcast(Bytes data);
+
+  /// (Re)arms timer `timer_id`; a previous pending timer with the same id is
+  /// superseded.
+  void set_timer(std::uint64_t timer_id, SimTime delay);
+
+  /// Cancels timer `timer_id` if pending.
+  void cancel_timer(std::uint64_t timer_id);
+
+  /// Per-node deterministic RNG stream.
+  [[nodiscard]] Rng& rng();
+
+ private:
+  Cluster& cluster_;
+  NodeId self_;
+};
+
+/// A protocol participant. Implementations are single-threaded state
+/// machines driven by the cluster's event loop.
+class INode {
+ public:
+  virtual ~INode() = default;
+
+  /// Called once when the simulation starts.
+  virtual void on_start(Context& ctx) { (void)ctx; }
+
+  /// Called for every delivered message.
+  virtual void on_message(Context& ctx, NodeId from, const Bytes& data) = 0;
+
+  /// Called when a timer armed via Context::set_timer fires.
+  virtual void on_timer(Context& ctx, std::uint64_t timer_id) {
+    (void)ctx;
+    (void)timer_id;
+  }
+};
+
+/// The simulated deployment: n nodes + a network model + partitions +
+/// crash faults, driven deterministically from one seed.
+class Cluster {
+ public:
+  Cluster(std::unique_ptr<NetworkModel> net, std::uint64_t seed);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Registers a node; returns its id (assigned 0, 1, 2, ... in order).
+  NodeId add_node(std::unique_ptr<INode> node);
+
+  /// Calls on_start for every node (in id order).
+  void start();
+
+  // -- Execution -----------------------------------------------------------
+
+  /// Runs a single event. Returns false when no events remain.
+  bool step();
+
+  /// Runs until virtual time passes `t` or the queue drains.
+  void run_until(SimTime t);
+
+  /// Runs for `d` more virtual time.
+  void run_for(SimTime d) { run_until(now() + d); }
+
+  /// Runs until the queue drains or `max_events` have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+
+  [[nodiscard]] SimTime now() const { return queue_.now(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.pending(); }
+
+  // -- Faults & partitions --------------------------------------------------
+
+  /// Crash-stops a node: it receives no further messages or timers.
+  void crash(NodeId node);
+  [[nodiscard]] bool crashed(NodeId node) const;
+
+  /// Splits nodes into groups; messages between different groups are held
+  /// until `heal_time` (then delivered within Δ). Nodes absent from every
+  /// group communicate freely with everyone — the paper's partition attacks
+  /// place the adversary in that position (reachable from both sides).
+  void set_partition(const std::vector<std::vector<NodeId>>& groups,
+                     SimTime heal_time);
+  void clear_partition();
+
+  // -- Introspection --------------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] INode& node(NodeId id) { return *nodes_[id].impl; }
+  [[nodiscard]] const INode& node(NodeId id) const { return *nodes_[id].impl; }
+  [[nodiscard]] TrafficStats& stats() { return stats_; }
+  [[nodiscard]] NetworkModel& net() { return *net_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedules an external event (workload injection, fault scripts).
+  void schedule(SimTime delay, std::function<void()> fn) {
+    queue_.schedule_in(delay, std::move(fn));
+  }
+
+  /// Observer invoked for every network send (time, from, to, proto, type,
+  /// bytes) — used by the protocol-trace bench to reconstruct Figure 2a's
+  /// message schedule.
+  using SendTrace = std::function<void(SimTime, NodeId, NodeId, std::uint8_t,
+                                       std::uint8_t, std::size_t)>;
+  void set_send_trace(SendTrace trace) { trace_ = std::move(trace); }
+
+ private:
+  friend class Context;
+
+  struct NodeSlot {
+    std::unique_ptr<INode> impl;
+    Rng rng{0};
+    bool crashed = false;
+    // Timer supersession: each (node, timer_id) keeps a generation; stale
+    // timer events check the generation and no-op.
+    std::map<std::uint64_t, std::uint64_t> timer_gen;
+  };
+
+  void deliver(NodeId from, NodeId to, Bytes data, bool count_stats);
+  void arm_timer(NodeId node, std::uint64_t timer_id, SimTime delay);
+  void disarm_timer(NodeId node, std::uint64_t timer_id);
+  [[nodiscard]] SimTime delivery_time_for(NodeId from, NodeId to);
+  [[nodiscard]] bool crosses_partition(NodeId a, NodeId b) const;
+
+  EventQueue queue_;
+  std::unique_ptr<NetworkModel> net_;
+  Rng rng_;
+  std::vector<NodeSlot> nodes_;
+  TrafficStats stats_;
+  SendTrace trace_;
+
+  // Partition state: group index per node (-1 = ungrouped / adversary).
+  std::vector<int> partition_group_;
+  SimTime partition_heal_ = 0;
+  bool partitioned_ = false;
+};
+
+}  // namespace ratcon::net

@@ -1,0 +1,25 @@
+#include "net/event_queue.hpp"
+
+namespace ratcon::net {
+
+void EventQueue::schedule_at(SimTime at, Action action) {
+  if (at < now_) at = now_;
+  heap_.push(Event{at, seq_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-adjacent,
+  // so copy the small fields and move the action through a temporary pop.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.at;
+  ev.action();
+  return true;
+}
+
+SimTime EventQueue::next_time() const {
+  return heap_.empty() ? kSimTimeNever : heap_.top().at;
+}
+
+}  // namespace ratcon::net

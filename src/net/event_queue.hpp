@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ratcon::net {
+
+/// Deterministic discrete-event queue. Events fire in (time, insertion
+/// sequence) order, so two runs with the same seed interleave identically.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at` (clamped to now).
+  void schedule_at(SimTime at, Action action);
+
+  /// Schedules `action` `delay` from now.
+  void schedule_in(SimTime delay, Action action) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action));
+  }
+
+  /// Pops and runs the next event. Returns false when the queue is empty.
+  bool step();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Time of the next event, or kSimTimeNever when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace ratcon::net

@@ -1,0 +1,69 @@
+#include "net/netmodel.hpp"
+
+#include <algorithm>
+
+namespace ratcon::net {
+
+namespace {
+
+/// Uniform delay in [delta/5, delta]: inside the synchrony bound with some
+/// spread so message orderings vary across seeds.
+SimTime sync_sample(SimTime delta, Rng& rng) {
+  const SimTime lo = std::max<SimTime>(1, delta / 5);
+  return static_cast<SimTime>(
+      rng.uniform(static_cast<std::uint64_t>(lo),
+                  static_cast<std::uint64_t>(std::max<SimTime>(lo, delta))));
+}
+
+}  // namespace
+
+SynchronousNet::SynchronousNet(SimTime delta) : delta_(delta) {}
+
+SimTime SynchronousNet::delivery_time(NodeId, NodeId, SimTime now, Rng& rng) {
+  return now + sync_sample(delta_, rng);
+}
+
+PartialSynchronyNet::PartialSynchronyNet(SimTime gst, SimTime delta,
+                                         double hold_probability)
+    : gst_(gst), delta_(delta), hold_probability_(hold_probability) {}
+
+SimTime PartialSynchronyNet::delivery_time(NodeId, NodeId, SimTime now,
+                                           Rng& rng) {
+  if (now >= gst_) {
+    return now + sync_sample(delta_, rng);
+  }
+  if (rng.chance(hold_probability_)) {
+    // Adversary holds the message until after GST; it then arrives within Δ.
+    return gst_ + sync_sample(delta_, rng);
+  }
+  // Otherwise a heavy but pre-GST delay (still finite).
+  const SimTime spread = std::max<SimTime>(delta_, (gst_ - now) / 2);
+  return now + sync_sample(spread, rng);
+}
+
+AsynchronousNet::AsynchronousNet(SimTime mean_delay, SimTime max_delay)
+    : mean_delay_(mean_delay), max_delay_(max_delay) {}
+
+SimTime AsynchronousNet::delivery_time(NodeId, NodeId, SimTime now, Rng& rng) {
+  const double d = rng.exponential(static_cast<double>(mean_delay_));
+  const SimTime delay =
+      std::clamp<SimTime>(static_cast<SimTime>(d), 1, max_delay_);
+  return now + delay;
+}
+
+std::unique_ptr<NetworkModel> make_synchronous(SimTime delta) {
+  return std::make_unique<SynchronousNet>(delta);
+}
+
+std::unique_ptr<NetworkModel> make_partial_synchrony(SimTime gst,
+                                                     SimTime delta,
+                                                     double hold_probability) {
+  return std::make_unique<PartialSynchronyNet>(gst, delta, hold_probability);
+}
+
+std::unique_ptr<NetworkModel> make_asynchronous(SimTime mean_delay,
+                                                SimTime max_delay) {
+  return std::make_unique<AsynchronousNet>(mean_delay, max_delay);
+}
+
+}  // namespace ratcon::net

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <memory>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ratcon::net {
+
+/// Network delay model. Channels are reliable (paper §3.3): messages are
+/// never lost or tampered with, only delayed. A model maps a send at `now`
+/// to an absolute delivery time >= now.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  /// Absolute delivery time for a message from -> to sent at `now`.
+  virtual SimTime delivery_time(NodeId from, NodeId to, SimTime now,
+                                Rng& rng) = 0;
+
+  /// Known synchrony bound Δ once the network is synchronous, used by
+  /// protocols to parameterize timeouts. For asynchronous models this is a
+  /// nominal value (protocols cannot rely on it, and the impossibility
+  /// experiments exploit exactly that).
+  [[nodiscard]] virtual SimTime delta() const = 0;
+
+  /// Global Stabilization Time: 0 for synchronous networks,
+  /// kSimTimeNever for asynchronous ones.
+  [[nodiscard]] virtual SimTime gst() const = 0;
+};
+
+/// Synchronous network: every message arrives within a known bound Δ.
+/// Delays are uniform in [Δ/5, Δ].
+class SynchronousNet final : public NetworkModel {
+ public:
+  explicit SynchronousNet(SimTime delta);
+
+  SimTime delivery_time(NodeId from, NodeId to, SimTime now, Rng& rng) override;
+  [[nodiscard]] SimTime delta() const override { return delta_; }
+  [[nodiscard]] SimTime gst() const override { return 0; }
+
+ private:
+  SimTime delta_;
+};
+
+/// Partially synchronous network (Dwork-Lynch-Stockmeyer): before GST the
+/// adversary controls delays (modelled as holding messages until after GST
+/// with probability `hold_probability`, else heavy random delay); after GST
+/// every message arrives within Δ.
+class PartialSynchronyNet final : public NetworkModel {
+ public:
+  PartialSynchronyNet(SimTime gst, SimTime delta,
+                      double hold_probability = 1.0);
+
+  SimTime delivery_time(NodeId from, NodeId to, SimTime now, Rng& rng) override;
+  [[nodiscard]] SimTime delta() const override { return delta_; }
+  [[nodiscard]] SimTime gst() const override { return gst_; }
+
+ private:
+  SimTime gst_;
+  SimTime delta_;
+  double hold_probability_;
+};
+
+/// Asynchronous network: no bound the protocol may rely on, but every delay
+/// is finite (eventual delivery). Delays are exponential with the given
+/// mean, capped at `max_delay`.
+class AsynchronousNet final : public NetworkModel {
+ public:
+  AsynchronousNet(SimTime mean_delay, SimTime max_delay);
+
+  SimTime delivery_time(NodeId from, NodeId to, SimTime now, Rng& rng) override;
+  [[nodiscard]] SimTime delta() const override { return mean_delay_; }
+  [[nodiscard]] SimTime gst() const override { return kSimTimeNever; }
+
+ private:
+  SimTime mean_delay_;
+  SimTime max_delay_;
+};
+
+/// Convenience factories.
+std::unique_ptr<NetworkModel> make_synchronous(SimTime delta);
+std::unique_ptr<NetworkModel> make_partial_synchrony(SimTime gst,
+                                                     SimTime delta,
+                                                     double hold_probability);
+std::unique_ptr<NetworkModel> make_asynchronous(SimTime mean_delay,
+                                                SimTime max_delay);
+
+}  // namespace ratcon::net

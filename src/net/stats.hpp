@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace ratcon::net {
+
+/// Count/byte totals for one message class.
+struct MsgCounter {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Per-run network traffic accounting. Every wire message starts with a
+/// [protocol id, message type] header, so the cluster can tally traffic per
+/// message class without parsing payloads. Used to *measure* Figure 3's
+/// message complexity and size columns rather than asserting formulas.
+class TrafficStats {
+ public:
+  void record(std::uint8_t proto, std::uint8_t type, std::size_t bytes) {
+    auto& c = per_type_[{proto, type}];
+    c.count += 1;
+    c.bytes += bytes;
+    total_.count += 1;
+    total_.bytes += bytes;
+  }
+
+  [[nodiscard]] const MsgCounter& total() const { return total_; }
+
+  [[nodiscard]] MsgCounter for_type(std::uint8_t proto,
+                                    std::uint8_t type) const {
+    const auto it = per_type_.find({proto, type});
+    return it == per_type_.end() ? MsgCounter{} : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::pair<std::uint8_t, std::uint8_t>,
+                               MsgCounter>&
+  per_type() const {
+    return per_type_;
+  }
+
+  void reset() {
+    per_type_.clear();
+    total_ = MsgCounter{};
+  }
+
+ private:
+  std::map<std::pair<std::uint8_t, std::uint8_t>, MsgCounter> per_type_;
+  MsgCounter total_;
+};
+
+}  // namespace ratcon::net

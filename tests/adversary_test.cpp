@@ -1,0 +1,223 @@
+// Adversarial integration tests: the paper's three attack levers executed
+// against pRFT on the simulated network.
+//
+//  * π_fork / π_ds (θ=1): a double-signing coalition with t < n/4 and
+//    k + t < n/2 can never fork pRFT; it gets caught and slashed (Lemma 4 /
+//    Theorem 5).
+//  * π_abs (θ=3): an abstaining coalition with k + t > t0 kills liveness
+//    and is never penalized — Theorem 1's impossibility, reproduced.
+//  * π_pc (θ=2): the partial-censorship strategy keeps liveness, evades
+//    penalties, and censors the watched transaction forever — Theorem 2.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/behaviors.hpp"
+#include "adversary/fork_agent.hpp"
+#include "harness/prft_cluster.hpp"
+#include "net/netmodel.hpp"
+
+namespace ratcon {
+namespace {
+
+using adversary::AbstainBehavior;
+using adversary::ForkAgentNode;
+using adversary::ForkPlan;
+using adversary::PartialCensorBehavior;
+using harness::PrftCluster;
+using harness::PrftClusterOptions;
+
+/// 9-player committee: t0 = ⌈9/4⌉ − 1 = 2, quorum 7. The coalition
+/// {0,1,2,3} has k + t = 4 < n/2 = 4.5 and n/3 = 3 ≤ 4, i.e. exactly the
+/// honest-majority / Byzantine-minority regime the paper targets.
+constexpr std::uint32_t kN = 9;
+const std::set<NodeId> kCoalition = {0, 1, 2, 3};
+
+std::shared_ptr<ForkPlan> make_fork_plan() {
+  auto plan = std::make_shared<ForkPlan>();
+  plan->n = kN;
+  plan->coalition = kCoalition;
+  plan->side_a = {4, 5, 6};  // |A| + k + t = 7 >= quorum — A can be convinced
+  plan->side_b = {7, 8};     // |B| + k + t = 6 < quorum — B can never quorum
+  return plan;
+}
+
+PrftClusterOptions fork_options(std::uint64_t seed,
+                                std::shared_ptr<ForkPlan> plan) {
+  PrftClusterOptions opt;
+  opt.n = kN;
+  opt.seed = seed;
+  opt.target_blocks = 4;
+  opt.node_factory = [plan](NodeId id, prft::PrftNode::Deps deps) {
+    if (plan->coalition.count(id)) {
+      return std::unique_ptr<prft::PrftNode>(
+          new ForkAgentNode(std::move(deps), plan));
+    }
+    return std::make_unique<prft::PrftNode>(std::move(deps));
+  };
+  return opt;
+}
+
+TEST(ForkCoalition, NeverForksOnSynchronousNetwork) {
+  auto plan = make_fork_plan();
+  PrftCluster cluster(fork_options(101, plan));
+  cluster.inject_workload(20, msec(1), msec(2));
+  cluster.start();
+  cluster.run_until(sec(300));
+
+  EXPECT_TRUE(cluster.agreement_holds()) << "no two honest ledgers conflict";
+  EXPECT_TRUE(cluster.ordering_holds());
+  EXPECT_FALSE(cluster.honest_player_slashed());
+  // On a synchronous network every double-sign is visible within Δ: the
+  // whole coalition is caught and burned.
+  for (NodeId id : kCoalition) {
+    EXPECT_TRUE(cluster.deposits().slashed(id)) << "coalition member " << id;
+  }
+}
+
+TEST(ForkCoalition, LivenessSurvivesTheAttack) {
+  auto plan = make_fork_plan();
+  PrftCluster cluster(fork_options(102, plan));
+  cluster.inject_workload(20, msec(1), msec(2));
+  cluster.start();
+  cluster.run_until(sec(300));
+
+  // Attacked rounds abort, but honest-led rounds finalize: the chain grows.
+  EXPECT_GE(cluster.min_height(), 4u);
+  EXPECT_EQ(cluster.classify(0), game::SystemState::kHonest);
+}
+
+TEST(ForkCoalition, NoForkUnderPreGstPartition) {
+  // The strongest setting for the attack: the adversary partitions the
+  // honest players exactly along its target sides until GST, so each side
+  // sees only its own value. Lemma 4's quorum-intersection argument says at
+  // most one side can reach tentative consensus; post-heal the PoF surfaces.
+  auto plan = make_fork_plan();
+  PrftClusterOptions opt = fork_options(103, plan);
+  opt.make_net = [] {
+    return net::make_partial_synchrony(msec(500), msec(10), 0.8);
+  };
+  PrftCluster cluster(opt);
+  cluster.inject_workload(20, msec(1), msec(2));
+  cluster.net().schedule(msec(1), [&cluster]() {
+    cluster.net().set_partition({{4, 5, 6}, {7, 8}}, msec(500));
+  });
+
+  cluster.start();
+  cluster.run_until(sec(600));
+
+  EXPECT_TRUE(cluster.agreement_holds());
+  EXPECT_TRUE(cluster.ordering_holds());
+  EXPECT_FALSE(cluster.honest_player_slashed());
+  EXPECT_GE(cluster.min_height(), 4u) << "liveness after GST";
+}
+
+class ForkSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForkSeedSweep, SafetyInvariantsHoldAcrossSeeds) {
+  auto plan = make_fork_plan();
+  PrftCluster cluster(fork_options(GetParam(), plan));
+  cluster.inject_workload(15, msec(1), msec(2));
+  cluster.start();
+  cluster.run_until(sec(300));
+
+  EXPECT_TRUE(cluster.agreement_holds());
+  EXPECT_TRUE(cluster.ordering_holds());
+  EXPECT_FALSE(cluster.honest_player_slashed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForkSeedSweep,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(AbstainCoalition, KillsLivenessAndEvadesPenalty) {
+  // Theorem 1 (θ=3): with k + t = 4 > t0 = 2 the quorum τ = 7 needs
+  // coalition signatures; silence stalls every round and every view change.
+  PrftClusterOptions opt;
+  opt.n = kN;
+  opt.seed = 77;
+  opt.target_blocks = 3;
+  opt.node_factory = [](NodeId id, prft::PrftNode::Deps deps) {
+    if (id < 4) deps.behavior = std::make_shared<AbstainBehavior>();
+    return std::make_unique<prft::PrftNode>(std::move(deps));
+  };
+  PrftCluster cluster(opt);
+  cluster.inject_workload(10, msec(1), msec(2));
+  cluster.start();
+  cluster.run_until(sec(60));
+
+  EXPECT_EQ(cluster.max_height(), 0u) << "no block can finalize";
+  EXPECT_EQ(cluster.classify(0), game::SystemState::kNoProgress);
+  // Abstention is indistinguishable from a crash: nobody is slashed.
+  for (NodeId id = 0; id < kN; ++id) {
+    EXPECT_FALSE(cluster.deposits().slashed(id));
+  }
+}
+
+TEST(AbstainCoalition, BelowThresholdCannotStall) {
+  // k + t = t0 = 2 abstainers: quorum still reachable from the rest.
+  PrftClusterOptions opt;
+  opt.n = kN;
+  opt.seed = 78;
+  opt.target_blocks = 4;
+  opt.node_factory = [](NodeId id, prft::PrftNode::Deps deps) {
+    if (id < 2) deps.behavior = std::make_shared<AbstainBehavior>();
+    return std::make_unique<prft::PrftNode>(std::move(deps));
+  };
+  PrftCluster cluster(opt);
+  cluster.inject_workload(10, msec(1), msec(2));
+  cluster.start();
+  cluster.run_until(sec(300));
+
+  EXPECT_TRUE(cluster.agreement_holds());
+  EXPECT_GE(cluster.max_height(), 4u) << "t <= t0 abstainers cannot stall";
+}
+
+TEST(PartialCensorship, CensorsWatchedTxForever) {
+  // Theorem 2 (θ=2): coalition abstains under honest leaders (forcing view
+  // changes) and censors when leading. Progress continues; the watched tx
+  // never lands; no penalty is ever applicable.
+  const std::uint64_t watched_tx = 5000;
+  PrftClusterOptions opt;
+  opt.n = kN;
+  opt.seed = 79;
+  opt.target_blocks = 5;
+  opt.node_factory = [watched_tx](NodeId id, prft::PrftNode::Deps deps) {
+    if (id < 4) {
+      deps.behavior = std::make_shared<PartialCensorBehavior>(
+          kCoalition, std::set<std::uint64_t>{watched_tx});
+    }
+    return std::make_unique<prft::PrftNode>(std::move(deps));
+  };
+  PrftCluster cluster(opt);
+  cluster.inject_workload(10, msec(1), msec(2));
+  cluster.submit_tx(ledger::make_transfer(watched_tx, 4), msec(1));
+  cluster.start();
+  cluster.run_until(sec(600));
+
+  EXPECT_GE(cluster.max_height(), 5u) << "(t,k)-eventual liveness holds";
+  EXPECT_EQ(cluster.classify(0, watched_tx), game::SystemState::kCensorship);
+  for (NodeId id = 0; id < kN; ++id) {
+    EXPECT_FALSE(cluster.deposits().slashed(id))
+        << "π_pc is indistinguishable from π_0 to the penalty mechanism";
+  }
+}
+
+TEST(PartialCensorship, HonestCommitteeIncludesSameTx) {
+  // Control: without the coalition the watched tx lands promptly.
+  const std::uint64_t watched_tx = 5000;
+  PrftClusterOptions opt;
+  opt.n = kN;
+  opt.seed = 80;
+  opt.target_blocks = 5;
+  PrftCluster cluster(opt);
+  cluster.inject_workload(10, msec(1), msec(2));
+  cluster.submit_tx(ledger::make_transfer(watched_tx, 4), msec(1));
+  cluster.start();
+  cluster.run_until(sec(60));
+
+  EXPECT_EQ(cluster.classify(0, watched_tx), game::SystemState::kHonest);
+}
+
+}  // namespace
+}  // namespace ratcon

@@ -1,0 +1,212 @@
+// Unit tests for the common substrate: hex codec, the bounds-checked
+// binary Writer/Reader, and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace ratcon {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xcd, 0xef, 0xff};
+  EXPECT_EQ(to_hex(ByteSpan(data.data(), data.size())), "0001abcdefff");
+  EXPECT_EQ(from_hex("0001abcdefff"), data);
+  EXPECT_EQ(from_hex("0001ABCDEFFF"), data);
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // non-hex
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+  const std::string s = "hello bytes";
+  const Bytes b = to_bytes(s);
+  EXPECT_EQ(to_string(ByteSpan(b.data(), b.size())), s);
+}
+
+TEST(Bytes, ConstantTimeEquality) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(equal_bytes(ByteSpan(a.data(), a.size()),
+                          ByteSpan(b.data(), b.size())));
+  EXPECT_FALSE(equal_bytes(ByteSpan(a.data(), a.size()),
+                           ByteSpan(c.data(), c.size())));
+  EXPECT_FALSE(equal_bytes(ByteSpan(a.data(), a.size()),
+                           ByteSpan(d.data(), d.size())));
+}
+
+TEST(Codec, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Codec, BytesAndStrings) {
+  Writer w;
+  w.bytes(to_bytes("payload"));
+  w.str("a string");
+  w.bytes({});
+
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_EQ(r.bytes(), to_bytes("payload"));
+  EXPECT_EQ(r.str(), "a string");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Codec, TruncatedInputThrows) {
+  Writer w;
+  w.u32(7);
+  Reader r(ByteSpan(w.data().data(), 3));
+  EXPECT_THROW(r.u32(), CodecError);
+}
+
+TEST(Codec, HostileLengthFieldRejected) {
+  Writer w;
+  w.u32(0xffffffffu);  // absurd length prefix
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(Codec, CountGuard) {
+  Writer w;
+  w.u32(1000);
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_THROW(r.count(10), CodecError);
+}
+
+TEST(Codec, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  r.u8();
+  EXPECT_THROW(r.expect_done(), CodecError);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform(3, 7);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 7u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceIsCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasRoughlyCorrectMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / trials, 50.0, 1.5);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // Child and parent should not track each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace ratcon

@@ -1,0 +1,416 @@
+// Unit tests for the shared consensus framework: phase signatures and
+// certificates, the envelope codec, ConstructProof (Figure 4) and the
+// Proof-of-Fraud verification algorithm V(·) (Definition 6), quorum
+// threshold arithmetic (Claim 1), and outcome classification.
+
+#include <gtest/gtest.h>
+
+#include "consensus/envelope.hpp"
+#include "consensus/fraud.hpp"
+#include "consensus/outcome.hpp"
+#include "consensus/phase_sig.hpp"
+#include "consensus/types.hpp"
+#include "ledger/chain.hpp"
+
+namespace ratcon::consensus {
+namespace {
+
+constexpr ProtoId kProto = ProtoId::kPrft;
+
+struct TestKeys {
+  crypto::KeyRegistry registry;
+  std::vector<crypto::KeyPair> keys;
+
+  explicit TestKeys(std::uint32_t n) {
+    for (NodeId id = 0; id < n; ++id) {
+      keys.push_back(registry.generate(id, 1));
+    }
+  }
+};
+
+crypto::Hash256 value_of(const char* s) {
+  return crypto::sha256(std::string_view(s));
+}
+
+TEST(PhaseSig, SignVerifyRoundTrip) {
+  TestKeys setup(2);
+  const crypto::Hash256 v = value_of("block");
+  const PhaseSig ps =
+      sign_phase(kProto, PhaseTag::kVote, 3, v, 0, setup.keys[0].sk);
+  EXPECT_TRUE(verify_phase(kProto, PhaseTag::kVote, 3, v, ps, setup.registry));
+}
+
+TEST(PhaseSig, DomainSeparationPreventsReplay) {
+  TestKeys setup(1);
+  const crypto::Hash256 v = value_of("block");
+  const PhaseSig ps =
+      sign_phase(kProto, PhaseTag::kVote, 3, v, 0, setup.keys[0].sk);
+  // Same signature must not verify in another phase, round, value or proto.
+  EXPECT_FALSE(
+      verify_phase(kProto, PhaseTag::kCommit, 3, v, ps, setup.registry));
+  EXPECT_FALSE(
+      verify_phase(kProto, PhaseTag::kVote, 4, v, ps, setup.registry));
+  EXPECT_FALSE(verify_phase(kProto, PhaseTag::kVote, 3, value_of("other"), ps,
+                            setup.registry));
+  EXPECT_FALSE(verify_phase(ProtoId::kPbft, PhaseTag::kVote, 3, v, ps,
+                            setup.registry));
+}
+
+TEST(PhaseSig, CodecRoundTrip) {
+  TestKeys setup(1);
+  const PhaseSig ps = sign_phase(kProto, PhaseTag::kReveal, 9, value_of("x"),
+                                 0, setup.keys[0].sk);
+  Writer w;
+  ps.encode(w);
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_EQ(PhaseSig::decode(r), ps);
+}
+
+Certificate make_cert(TestKeys& setup, PhaseTag phase, Round round,
+                      const crypto::Hash256& v, std::uint32_t count) {
+  Certificate cert;
+  cert.phase = phase;
+  cert.round = round;
+  cert.value = v;
+  for (NodeId id = 0; id < count; ++id) {
+    cert.sigs.push_back(sign_phase(kProto, phase, round, v, id,
+                                   setup.keys[id].sk));
+  }
+  return cert;
+}
+
+TEST(CertificateTest, VerifiesWithQuorum) {
+  TestKeys setup(7);
+  const Certificate cert =
+      make_cert(setup, PhaseTag::kVote, 2, value_of("v"), 5);
+  EXPECT_TRUE(cert.verify(kProto, 5, setup.registry));
+  EXPECT_FALSE(cert.verify(kProto, 6, setup.registry)) << "below quorum";
+}
+
+TEST(CertificateTest, RejectsDuplicateSigners) {
+  TestKeys setup(7);
+  Certificate cert = make_cert(setup, PhaseTag::kVote, 2, value_of("v"), 5);
+  cert.sigs.push_back(cert.sigs.front());  // duplicate signer
+  EXPECT_FALSE(cert.verify(kProto, 5, setup.registry));
+}
+
+TEST(CertificateTest, RejectsForgedMember) {
+  TestKeys setup(7);
+  Certificate cert = make_cert(setup, PhaseTag::kVote, 2, value_of("v"), 5);
+  cert.sigs[2].sig.bytes[0] ^= 1;
+  EXPECT_FALSE(cert.verify(kProto, 5, setup.registry));
+}
+
+TEST(CertificateTest, CodecRoundTrip) {
+  TestKeys setup(7);
+  const Certificate cert =
+      make_cert(setup, PhaseTag::kCommit, 4, value_of("v"), 6);
+  Writer w;
+  cert.encode(w);
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  const Certificate decoded = Certificate::decode(r);
+  EXPECT_EQ(decoded.sigs.size(), 6u);
+  EXPECT_TRUE(decoded.verify(kProto, 6, setup.registry));
+}
+
+TEST(EnvelopeTest, SignedRoundTrip) {
+  TestKeys setup(2);
+  const Envelope env = make_envelope(kProto, 3, 7, 0, to_bytes("body"),
+                                     setup.keys[0].sk);
+  const Bytes wire = env.encode();
+  // Wire header doubles as the stats key.
+  EXPECT_EQ(wire[0], static_cast<std::uint8_t>(kProto));
+  EXPECT_EQ(wire[1], 3);
+  const Envelope decoded = Envelope::decode(ByteSpan(wire.data(), wire.size()));
+  EXPECT_EQ(decoded.round, 7u);
+  EXPECT_EQ(decoded.from, 0u);
+  EXPECT_TRUE(verify_envelope(decoded, setup.registry));
+}
+
+TEST(EnvelopeTest, TamperingBreaksSignature) {
+  TestKeys setup(2);
+  Envelope env = make_envelope(kProto, 3, 7, 0, to_bytes("body"),
+                               setup.keys[0].sk);
+  env.body.push_back(0xff);
+  EXPECT_FALSE(verify_envelope(env, setup.registry));
+
+  Envelope env2 = make_envelope(kProto, 3, 7, 0, to_bytes("body"),
+                                setup.keys[0].sk);
+  env2.round = 8;  // replay into another round
+  EXPECT_FALSE(verify_envelope(env2, setup.registry));
+
+  Envelope env3 = make_envelope(kProto, 3, 7, 0, to_bytes("body"),
+                                setup.keys[0].sk);
+  env3.from = 1;  // impersonation
+  EXPECT_FALSE(verify_envelope(env3, setup.registry));
+}
+
+TEST(EnvelopeTest, MalformedWireThrows) {
+  const Bytes junk = {1, 2, 3};
+  EXPECT_THROW(Envelope::decode(ByteSpan(junk.data(), junk.size())),
+               CodecError);
+}
+
+// ---------------------------------------------------------------------------
+// Fraud proofs (Figure 4 / Definition 6)
+
+TEST(Fraud, ConflictPairVerifies) {
+  TestKeys setup(3);
+  const crypto::Hash256 va = value_of("a");
+  const crypto::Hash256 vb = value_of("b");
+  ConflictPair cp;
+  cp.phase = PhaseTag::kCommit;
+  cp.round = 5;
+  cp.value_a = va;
+  cp.value_b = vb;
+  cp.sig_a = sign_phase(kProto, PhaseTag::kCommit, 5, va, 1, setup.keys[1].sk);
+  cp.sig_b = sign_phase(kProto, PhaseTag::kCommit, 5, vb, 1, setup.keys[1].sk);
+  EXPECT_TRUE(cp.verify(kProto, setup.registry));
+  EXPECT_EQ(cp.guilty(), 1u);
+}
+
+TEST(Fraud, SameValueIsNotFraud) {
+  TestKeys setup(2);
+  const crypto::Hash256 v = value_of("a");
+  ConflictPair cp;
+  cp.phase = PhaseTag::kCommit;
+  cp.round = 5;
+  cp.value_a = v;
+  cp.value_b = v;
+  cp.sig_a = sign_phase(kProto, PhaseTag::kCommit, 5, v, 1, setup.keys[1].sk);
+  cp.sig_b = cp.sig_a;
+  EXPECT_FALSE(cp.verify(kProto, setup.registry));
+}
+
+TEST(Fraud, DifferentSignersAreNotFraud) {
+  TestKeys setup(3);
+  ConflictPair cp;
+  cp.phase = PhaseTag::kCommit;
+  cp.round = 5;
+  cp.value_a = value_of("a");
+  cp.value_b = value_of("b");
+  cp.sig_a = sign_phase(kProto, PhaseTag::kCommit, 5, cp.value_a, 1,
+                        setup.keys[1].sk);
+  cp.sig_b = sign_phase(kProto, PhaseTag::kCommit, 5, cp.value_b, 2,
+                        setup.keys[2].sk);
+  EXPECT_FALSE(cp.verify(kProto, setup.registry));
+}
+
+TEST(Fraud, ForgedProofCannotFrameHonestPlayer) {
+  // The accountability-soundness invariant: V(·) never convicts a player
+  // whose signature the adversary cannot forge.
+  TestKeys setup(3);
+  ConflictPair cp;
+  cp.phase = PhaseTag::kCommit;
+  cp.round = 5;
+  cp.value_a = value_of("a");
+  cp.value_b = value_of("b");
+  cp.sig_a = sign_phase(kProto, PhaseTag::kCommit, 5, cp.value_a, 1,
+                        setup.keys[1].sk);
+  // Attacker tries to pin signer 1 on value_b using its own key.
+  cp.sig_b = sign_phase(kProto, PhaseTag::kCommit, 5, cp.value_b, 1,
+                        setup.keys[2].sk);
+  EXPECT_FALSE(cp.verify(kProto, setup.registry));
+  EXPECT_TRUE(
+      verify_fraud_proofs(kProto, {cp}, setup.registry).empty());
+}
+
+TEST(Fraud, TrackerDetectsDoubleSigners) {
+  TestKeys setup(4);
+  FraudTracker tracker;
+  const crypto::Hash256 va = value_of("a");
+  const crypto::Hash256 vb = value_of("b");
+
+  // Node 1 signs a then b in the same (phase, round): conflict.
+  EXPECT_FALSE(tracker
+                   .observe({PhaseTag::kVote, 3, va,
+                             sign_phase(kProto, PhaseTag::kVote, 3, va, 1,
+                                        setup.keys[1].sk)})
+                   .has_value());
+  const auto cp = tracker.observe({PhaseTag::kVote, 3, vb,
+                                   sign_phase(kProto, PhaseTag::kVote, 3, vb,
+                                              1, setup.keys[1].sk)});
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->guilty(), 1u);
+  EXPECT_TRUE(cp->verify(kProto, setup.registry));
+  EXPECT_EQ(tracker.guilty_count(), 1u);
+}
+
+TEST(Fraud, TrackerIgnoresCrossRoundAndCrossPhase) {
+  TestKeys setup(2);
+  FraudTracker tracker;
+  const crypto::Hash256 va = value_of("a");
+  const crypto::Hash256 vb = value_of("b");
+  tracker.observe({PhaseTag::kVote, 3, va,
+                   sign_phase(kProto, PhaseTag::kVote, 3, va, 1,
+                              setup.keys[1].sk)});
+  // Different round: legitimate.
+  EXPECT_FALSE(tracker
+                   .observe({PhaseTag::kVote, 4, vb,
+                             sign_phase(kProto, PhaseTag::kVote, 4, vb, 1,
+                                        setup.keys[1].sk)})
+                   .has_value());
+  // Different phase: legitimate.
+  EXPECT_FALSE(tracker
+                   .observe({PhaseTag::kCommit, 3, vb,
+                             sign_phase(kProto, PhaseTag::kCommit, 3, vb, 1,
+                                        setup.keys[1].sk)})
+                   .has_value());
+  EXPECT_EQ(tracker.guilty_count(), 0u);
+}
+
+TEST(Fraud, ConstructProofMatchesFigure4) {
+  // Batch ConstructProof over a mixed message set: players 1 and 2
+  // double-sign, player 0 does not.
+  TestKeys setup(4);
+  std::vector<SignedValue> statements;
+  const crypto::Hash256 va = value_of("a");
+  const crypto::Hash256 vb = value_of("b");
+  for (NodeId id : {0u, 1u, 2u}) {
+    statements.push_back({PhaseTag::kCommit, 7, va,
+                          sign_phase(kProto, PhaseTag::kCommit, 7, va, id,
+                                     setup.keys[id].sk)});
+  }
+  for (NodeId id : {1u, 2u}) {
+    statements.push_back({PhaseTag::kCommit, 7, vb,
+                          sign_phase(kProto, PhaseTag::kCommit, 7, vb, id,
+                                     setup.keys[id].sk)});
+  }
+
+  const FraudSet proofs = construct_proof(statements);
+  const std::set<NodeId> guilty =
+      verify_fraud_proofs(kProto, proofs, setup.registry);
+  EXPECT_EQ(guilty, (std::set<NodeId>{1, 2}));
+}
+
+TEST(Fraud, ConstructProofAgreesWithIncrementalTracker) {
+  TestKeys setup(6);
+  std::vector<SignedValue> statements;
+  const crypto::Hash256 va = value_of("a");
+  const crypto::Hash256 vb = value_of("b");
+  for (NodeId id = 0; id < 6; ++id) {
+    statements.push_back({PhaseTag::kVote, 1, va,
+                          sign_phase(kProto, PhaseTag::kVote, 1, va, id,
+                                     setup.keys[id].sk)});
+    if (id % 2 == 0) {
+      statements.push_back({PhaseTag::kVote, 1, vb,
+                            sign_phase(kProto, PhaseTag::kVote, 1, vb, id,
+                                       setup.keys[id].sk)});
+    }
+  }
+  FraudTracker tracker;
+  tracker.observe_all(statements);
+  const auto batch = construct_proof(statements);
+  EXPECT_EQ(batch.size(), tracker.guilty_count());
+  EXPECT_EQ(verify_fraud_proofs(kProto, batch, setup.registry),
+            verify_fraud_proofs(kProto, tracker.fraud_set(), setup.registry));
+}
+
+TEST(Fraud, FraudSetCodecRoundTrip) {
+  TestKeys setup(3);
+  const crypto::Hash256 va = value_of("a");
+  const crypto::Hash256 vb = value_of("b");
+  ConflictPair cp;
+  cp.phase = PhaseTag::kVote;
+  cp.round = 2;
+  cp.value_a = va;
+  cp.value_b = vb;
+  cp.sig_a = sign_phase(kProto, PhaseTag::kVote, 2, va, 0, setup.keys[0].sk);
+  cp.sig_b = sign_phase(kProto, PhaseTag::kVote, 2, vb, 0, setup.keys[0].sk);
+  Writer w;
+  encode_fraud_set(w, {cp});
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  const FraudSet decoded = decode_fraud_set(r);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_TRUE(decoded[0].verify(kProto, setup.registry));
+}
+
+// ---------------------------------------------------------------------------
+// Claim 1 arithmetic and outcome classification
+
+TEST(Thresholds, Claim1IntervalBounds) {
+  // τ ∈ [⌊(n+t0)/2⌋ + 1, n − t0].
+  Config cfg;
+  cfg.n = 9;
+  cfg.t0 = 2;
+  EXPECT_EQ(cfg.tau_min(), 6u);
+  EXPECT_EQ(cfg.tau_max(), 7u);
+  EXPECT_EQ(cfg.quorum(), 7u);
+
+  cfg.n = 10;
+  cfg.t0 = 3;
+  EXPECT_EQ(cfg.tau_min(), 7u);
+  EXPECT_EQ(cfg.tau_max(), 7u);
+}
+
+TEST(Thresholds, DesignBounds) {
+  // pRFT: t0 = ⌈n/4⌉ − 1; classic BFT: t0 = ⌈n/3⌉ − 1.
+  EXPECT_EQ(prft_t0(4), 0u);
+  EXPECT_EQ(prft_t0(8), 1u);
+  EXPECT_EQ(prft_t0(9), 2u);
+  EXPECT_EQ(prft_t0(16), 3u);
+  EXPECT_EQ(bft_t0(4), 1u);
+  EXPECT_EQ(bft_t0(7), 2u);
+  EXPECT_EQ(bft_t0(10), 3u);
+}
+
+TEST(Thresholds, LeaderRotation) {
+  Config cfg;
+  cfg.n = 5;
+  EXPECT_EQ(cfg.leader(1), 1u);
+  EXPECT_EQ(cfg.leader(5), 0u);
+  EXPECT_EQ(cfg.leader(12), 2u);
+}
+
+ledger::Block child_of(const ledger::Chain& chain, Round r, int marker) {
+  ledger::Block b;
+  b.parent = chain.tip_hash();
+  b.round = r;
+  b.proposer = 0;
+  b.txs.push_back(ledger::make_transfer(static_cast<std::uint64_t>(marker), 0));
+  return b;
+}
+
+TEST(Outcome, ClassifiesAllFourStates) {
+  ledger::Chain a;
+  ledger::Chain b;
+
+  // σ_NP: nobody progressed past baseline.
+  OutcomeQuery q;
+  q.honest_chains = {&a, &b};
+  q.baseline_height = 0;
+  EXPECT_EQ(classify_outcome(q), game::SystemState::kNoProgress);
+
+  // σ_0: progress, no fork, no watched tx.
+  const ledger::Block blk = child_of(a, 1, 1);
+  a.append_tentative(blk);
+  a.finalize_up_to(1);
+  b.append_tentative(blk);
+  b.finalize_up_to(1);
+  EXPECT_EQ(classify_outcome(q), game::SystemState::kHonest);
+
+  // σ_CP: progress but the watched tx is excluded everywhere.
+  q.watched_tx = 777;
+  EXPECT_EQ(classify_outcome(q), game::SystemState::kCensorship);
+  q.watched_tx = 1;  // the included marker tx
+  EXPECT_EQ(classify_outcome(q), game::SystemState::kHonest);
+
+  // σ_Fork dominates everything else.
+  ledger::Chain c;
+  c.append_tentative(child_of(c, 1, 999));
+  c.finalize_up_to(1);
+  q.honest_chains = {&a, &c};
+  EXPECT_EQ(classify_outcome(q), game::SystemState::kFork);
+}
+
+TEST(Outcome, HeightHelpers) {
+  ledger::Chain a;
+  ledger::Chain b;
+  a.append_tentative(child_of(a, 1, 1));
+  a.finalize_up_to(1);
+  EXPECT_EQ(max_finalized_height({&a, &b}), 1u);
+  EXPECT_EQ(min_finalized_height({&a, &b}), 0u);
+}
+
+}  // namespace
+}  // namespace ratcon::consensus

@@ -1,0 +1,260 @@
+// Unit tests for the crypto substrate: SHA-256 against NIST FIPS 180-4
+// vectors, HMAC-SHA256 against RFC 4231, Merkle trees, and the simulation
+// signature scheme's unforgeability-by-construction properties.
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sig.hpp"
+
+namespace ratcon::crypto {
+namespace {
+
+struct ShaVector {
+  const char* input;
+  const char* digest_hex;
+};
+
+class Sha256KnownAnswer : public ::testing::TestWithParam<ShaVector> {};
+
+TEST_P(Sha256KnownAnswer, MatchesNistVector) {
+  const ShaVector& v = GetParam();
+  EXPECT_EQ(hash_hex(sha256(std::string_view(v.input))), v.digest_hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Nist, Sha256KnownAnswer,
+    ::testing::Values(
+        ShaVector{"",
+                  "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+                  "7852b855"},
+        ShaVector{"abc",
+                  "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+                  "f20015ad"},
+        ShaVector{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                  "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+                  "19db06c1"},
+        ShaVector{"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                  "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                  "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac4503"
+                  "7afee9d1"},
+        ShaVector{"The quick brown fox jumps over the lazy dog",
+                  "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf"
+                  "37c9e592"}));
+
+TEST(Sha256, MillionAs) {
+  // NIST long-message vector: one million 'a' characters.
+  const std::string input(1000000, 'a');
+  EXPECT_EQ(hash_hex(sha256(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const Bytes data = to_bytes("streaming hash equivalence check payload");
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    Sha256 h;
+    h.update(ByteSpan(data.data(), split));
+    h.update(ByteSpan(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), sha256(ByteSpan(data.data(), data.size())));
+  }
+}
+
+TEST(Sha256, StreamingManySmallChunks) {
+  const std::string input(1000, 'x');
+  Sha256 h;
+  for (char c : input) {
+    const auto b = static_cast<std::uint8_t>(c);
+    h.update(ByteSpan(&b, 1));
+  }
+  EXPECT_EQ(h.finish(), sha256(input));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Around the 55/56/64-byte padding boundaries.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u}) {
+    const std::string a(len, 'q');
+    Sha256 h;
+    h.update(ByteSpan(reinterpret_cast<const std::uint8_t*>(a.data()),
+                      a.size()));
+    EXPECT_EQ(h.finish(), sha256(a)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, HashPairOrderMatters) {
+  const Hash256 a = sha256(std::string_view("a"));
+  const Hash256 b = sha256(std::string_view("b"));
+  EXPECT_NE(hash_pair(a, b), hash_pair(b, a));
+}
+
+struct HmacVector {
+  const char* key_hex;
+  const char* data_hex;
+  const char* mac_hex;
+};
+
+class HmacKnownAnswer : public ::testing::TestWithParam<HmacVector> {};
+
+TEST_P(HmacKnownAnswer, MatchesRfc4231Vector) {
+  const HmacVector& v = GetParam();
+  const Bytes key = from_hex(v.key_hex);
+  const Bytes data = from_hex(v.data_hex);
+  const Hash256 mac = hmac_sha256(ByteSpan(key.data(), key.size()),
+                                  ByteSpan(data.data(), data.size()));
+  EXPECT_EQ(hash_hex(mac), v.mac_hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc4231, HmacKnownAnswer,
+    ::testing::Values(
+        // Test case 1.
+        HmacVector{"0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b",
+                   "4869205468657265",
+                   "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c"
+                   "2e32cff7"},
+        // Test case 2: shorter-than-block key "Jefe".
+        HmacVector{"4a656665",
+                   "7768617420646f2079612077616e7420666f72206e6f7468696e673f",
+                   "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b9"
+                   "64ec3843"},
+        // Test case 3: 0xaa * 20 key, 0xdd * 50 data.
+        HmacVector{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+                   "dddddddddddddddddddddddddddddddddddddddddddddddddddddddd"
+                   "dddddddddddddddddddddddddddddddddddddddddddd",
+                   "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514"
+                   "ced565fe"},
+        // Test case 6: key longer than one block.
+        HmacVector{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                   "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                   "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                   "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                   "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+                   "54657374205573696e67204c6172676572205468616e20426c6f636b"
+                   "2d53697a65204b6579202d2048617368204b6579204669727374",
+                   "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f"
+                   "0ee37f54"}));
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  MerkleTree tree({});
+  EXPECT_EQ(tree.root(), kZeroHash);
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const Hash256 leaf = sha256(std::string_view("leaf"));
+  MerkleTree tree({leaf});
+  EXPECT_EQ(tree.root(), leaf);
+}
+
+class MerkleSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleSizes, AllProofsVerify) {
+  const int n = GetParam();
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < n; ++i) {
+    leaves.push_back(sha256("leaf-" + std::to_string(i)));
+  }
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), MerkleTree::compute_root(leaves));
+  for (int i = 0; i < n; ++i) {
+    const MerkleProof proof = tree.prove(static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(MerkleTree::verify(leaves[static_cast<std::size_t>(i)], proof,
+                                   tree.root()))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33));
+
+TEST(Merkle, WrongLeafFailsVerification) {
+  std::vector<Hash256> leaves = {sha256(std::string_view("a")),
+                                 sha256(std::string_view("b")),
+                                 sha256(std::string_view("c"))};
+  MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(1);
+  EXPECT_FALSE(
+      MerkleTree::verify(sha256(std::string_view("x")), proof, tree.root()));
+}
+
+TEST(Merkle, TamperedRootFailsVerification) {
+  std::vector<Hash256> leaves = {sha256(std::string_view("a")),
+                                 sha256(std::string_view("b"))};
+  MerkleTree tree(leaves);
+  Hash256 bad_root = tree.root();
+  bad_root[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(leaves[0], tree.prove(0), bad_root));
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  MerkleTree tree({sha256(std::string_view("a"))});
+  EXPECT_THROW(tree.prove(1), std::out_of_range);
+}
+
+TEST(Signatures, SignVerifyRoundTrip) {
+  KeyRegistry registry;
+  const KeyPair kp = registry.generate(0, 1);
+  const Bytes msg = to_bytes("attack at dawn");
+  const Signature sig = sign(kp.sk, ByteSpan(msg.data(), msg.size()));
+  EXPECT_TRUE(registry.verify(kp.pk, ByteSpan(msg.data(), msg.size()), sig));
+}
+
+TEST(Signatures, TamperedMessageFails) {
+  KeyRegistry registry;
+  const KeyPair kp = registry.generate(0, 1);
+  const Bytes msg = to_bytes("attack at dawn");
+  const Signature sig = sign(kp.sk, ByteSpan(msg.data(), msg.size()));
+  const Bytes other = to_bytes("attack at dusk");
+  EXPECT_FALSE(
+      registry.verify(kp.pk, ByteSpan(other.data(), other.size()), sig));
+}
+
+TEST(Signatures, WrongSignerFails) {
+  KeyRegistry registry;
+  const KeyPair alice = registry.generate(0, 1);
+  const KeyPair bob = registry.generate(1, 1);
+  const Bytes msg = to_bytes("message");
+  const Signature sig = sign(alice.sk, ByteSpan(msg.data(), msg.size()));
+  EXPECT_FALSE(registry.verify(bob.pk, ByteSpan(msg.data(), msg.size()), sig));
+}
+
+TEST(Signatures, UnregisteredKeyFails) {
+  KeyRegistry registry;
+  registry.generate(0, 1);
+  KeyRegistry other_registry;
+  const KeyPair stranger = other_registry.generate(5, 9);
+  const Bytes msg = to_bytes("message");
+  const Signature sig = sign(stranger.sk, ByteSpan(msg.data(), msg.size()));
+  EXPECT_FALSE(
+      registry.verify(stranger.pk, ByteSpan(msg.data(), msg.size()), sig));
+}
+
+TEST(Signatures, BitFlippedSignatureFails) {
+  KeyRegistry registry;
+  const KeyPair kp = registry.generate(0, 1);
+  const Bytes msg = to_bytes("payload");
+  Signature sig = sign(kp.sk, ByteSpan(msg.data(), msg.size()));
+  for (std::size_t i = 0; i < sig.bytes.size(); i += 5) {
+    Signature bad = sig;
+    bad.bytes[i] ^= 0x80;
+    EXPECT_FALSE(registry.verify(kp.pk, ByteSpan(msg.data(), msg.size()), bad));
+  }
+}
+
+TEST(Signatures, DeterministicKeygen) {
+  KeyRegistry a;
+  KeyRegistry b;
+  EXPECT_EQ(a.generate(3, 7).pk.bytes, b.generate(3, 7).pk.bytes);
+  EXPECT_NE(a.generate(4, 7).pk.bytes, b.generate(5, 7).pk.bytes);
+}
+
+TEST(Signatures, PublicKeyLookupByNode) {
+  KeyRegistry registry;
+  const KeyPair kp = registry.generate(2, 11);
+  EXPECT_EQ(registry.public_key(2), kp.pk);
+  EXPECT_EQ(registry.public_key(9), PublicKey{});
+}
+
+}  // namespace
+}  // namespace ratcon::crypto

@@ -1,0 +1,202 @@
+// Unit tests for the game-theory substrate: pure Nash enumeration,
+// dominance, Pareto/focal analysis (§4.3 incl. the Table 3 example game),
+// and the paper's utility structure (Table 2, Eq. 1).
+
+#include <gtest/gtest.h>
+
+#include "game/normal_form.hpp"
+#include "game/utility.hpp"
+
+namespace ratcon::game {
+namespace {
+
+NormalFormGame prisoners_dilemma() {
+  // Strategies: 0 = cooperate, 1 = defect.
+  NormalFormGame g({2, 2});
+  g.set_payoffs({0, 0}, {-1, -1});
+  g.set_payoffs({0, 1}, {-3, 0});
+  g.set_payoffs({1, 0}, {0, -3});
+  g.set_payoffs({1, 1}, {-2, -2});
+  return g;
+}
+
+TEST(NormalForm, PrisonersDilemmaHasDefectEquilibrium) {
+  const NormalFormGame g = prisoners_dilemma();
+  const auto eqs = g.pure_nash();
+  ASSERT_EQ(eqs.size(), 1u);
+  EXPECT_EQ(eqs[0], (Profile{1, 1}));
+  EXPECT_TRUE(g.is_dominant(0, 1));
+  EXPECT_TRUE(g.is_dominant(1, 1));
+  EXPECT_FALSE(g.is_dominant(0, 0));
+}
+
+TEST(NormalForm, DefectEquilibriumIsParetoDominated) {
+  const NormalFormGame g = prisoners_dilemma();
+  EXPECT_TRUE(g.pareto_dominates({0, 0}, {1, 1}));
+  EXPECT_FALSE(g.pareto_dominates({1, 1}, {0, 0}));
+}
+
+TEST(NormalForm, MatchingPenniesHasNoPureEquilibrium) {
+  NormalFormGame g({2, 2});
+  g.set_payoffs({0, 0}, {1, -1});
+  g.set_payoffs({0, 1}, {-1, 1});
+  g.set_payoffs({1, 0}, {-1, 1});
+  g.set_payoffs({1, 1}, {1, -1});
+  EXPECT_TRUE(g.pure_nash().empty());
+}
+
+TEST(NormalForm, CoordinationGameHasTwoEquilibria) {
+  NormalFormGame g({2, 2});
+  g.set_payoffs({0, 0}, {2, 2});
+  g.set_payoffs({1, 1}, {1, 1});
+  g.set_payoffs({0, 1}, {0, 0});
+  g.set_payoffs({1, 0}, {0, 0});
+  const auto eqs = g.pure_nash();
+  ASSERT_EQ(eqs.size(), 2u);
+  // (0,0) Pareto-dominates (1,1): it is the focal equilibrium.
+  const auto focal = g.pareto_frontier(eqs);
+  ASSERT_EQ(focal.size(), 1u);
+  EXPECT_EQ(focal[0], (Profile{0, 0}));
+}
+
+/// The paper's Table 3 example game. Payoff order (P1, P2, P3); P1 picks
+/// {A, B}, P2 {a, b}, P3 {α, β}.
+NormalFormGame table3_game() {
+  NormalFormGame g({2, 2, 2});
+  g.set_strategy_name(0, 0, "A");
+  g.set_strategy_name(0, 1, "B");
+  g.set_strategy_name(1, 0, "a");
+  g.set_strategy_name(1, 1, "b");
+  g.set_strategy_name(2, 0, "alpha");
+  g.set_strategy_name(2, 1, "beta");
+  g.set_payoffs({0, 0, 0}, {1, 1, 1});    // (A, a, α)
+  g.set_payoffs({0, 0, 1}, {1, 1, 0});    // (A, a, β)
+  g.set_payoffs({0, 1, 0}, {1, 0, 1});    // (A, b, α)
+  g.set_payoffs({0, 1, 1}, {-2, 2, 2});   // (A, b, β)
+  g.set_payoffs({1, 0, 0}, {0, 1, 1});    // (B, a, α)
+  g.set_payoffs({1, 0, 1}, {1, -2, 1});   // (B, a, β)
+  g.set_payoffs({1, 1, 0}, {2, 2, -2});   // (B, b, α)
+  g.set_payoffs({1, 1, 1}, {0, 0, 0});    // (B, b, β)
+  return g;
+}
+
+TEST(NormalForm, Table3HasExactlyTheTwoClaimedEquilibria) {
+  const NormalFormGame g = table3_game();
+  const auto eqs = g.pure_nash();
+  ASSERT_EQ(eqs.size(), 2u) << "the paper: '(B, b, β) and (A, a, α)'";
+  EXPECT_EQ(eqs[0], (Profile{0, 0, 0}));  // (A, a, α)
+  EXPECT_EQ(eqs[1], (Profile{1, 1, 1}));  // (B, b, β)
+}
+
+TEST(NormalForm, Table3FocalPointIsAaAlpha) {
+  const NormalFormGame g = table3_game();
+  // (A,a,α) pays (1,1,1) vs (B,b,β)'s (0,0,0): it "offers higher utility to
+  // all the players" — the focal equilibrium of §4.3.
+  EXPECT_TRUE(g.pareto_dominates({0, 0, 0}, {1, 1, 1}));
+  const auto focal = g.pareto_frontier(g.pure_nash());
+  ASSERT_EQ(focal.size(), 1u);
+  EXPECT_EQ(g.describe(focal[0]), "(A, a, alpha)");
+}
+
+TEST(NormalForm, EnumeratesAllProfiles) {
+  NormalFormGame g({2, 3});
+  EXPECT_EQ(g.all_profiles().size(), 6u);
+}
+
+TEST(NormalForm, ToleranceAbsorbsNoise) {
+  NormalFormGame g({2});
+  g.set_payoffs({0}, {1.0});
+  g.set_payoffs({1}, {1.0 + 1e-12});
+  EXPECT_TRUE(g.is_nash({0}, 1e-9)) << "1e-12 gain is below tolerance";
+  EXPECT_FALSE(g.is_nash({0}, 0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Utility structure (Table 2 / Eq. 1)
+
+TEST(Utility, Table2PayoffMatrix) {
+  const double a = 2.5;
+  // θ = 3: paid for NP, CP and Fork.
+  EXPECT_EQ(payoff_f(SystemState::kNoProgress, 3, a), a);
+  EXPECT_EQ(payoff_f(SystemState::kCensorship, 3, a), a);
+  EXPECT_EQ(payoff_f(SystemState::kFork, 3, a), a);
+  EXPECT_EQ(payoff_f(SystemState::kHonest, 3, a), 0.0);
+  // θ = 2: punished for NP, paid for CP and Fork.
+  EXPECT_EQ(payoff_f(SystemState::kNoProgress, 2, a), -a);
+  EXPECT_EQ(payoff_f(SystemState::kCensorship, 2, a), a);
+  EXPECT_EQ(payoff_f(SystemState::kFork, 2, a), a);
+  EXPECT_EQ(payoff_f(SystemState::kHonest, 2, a), 0.0);
+  // θ = 1: only Fork pays.
+  EXPECT_EQ(payoff_f(SystemState::kNoProgress, 1, a), -a);
+  EXPECT_EQ(payoff_f(SystemState::kCensorship, 1, a), -a);
+  EXPECT_EQ(payoff_f(SystemState::kFork, 1, a), a);
+  EXPECT_EQ(payoff_f(SystemState::kHonest, 1, a), 0.0);
+  // θ = 0: any deviation state is punished.
+  EXPECT_EQ(payoff_f(SystemState::kNoProgress, 0, a), -a);
+  EXPECT_EQ(payoff_f(SystemState::kCensorship, 0, a), -a);
+  EXPECT_EQ(payoff_f(SystemState::kFork, 0, a), -a);
+  EXPECT_EQ(payoff_f(SystemState::kHonest, 0, a), 0.0);
+}
+
+TEST(Utility, RejectsBadTheta) {
+  EXPECT_THROW(payoff_f(SystemState::kHonest, 4, 1.0), std::invalid_argument);
+  EXPECT_THROW(payoff_f(SystemState::kHonest, -1, 1.0), std::invalid_argument);
+}
+
+TEST(Utility, RoundUtilityAveragesAndPenalizes) {
+  UtilityParams params;
+  params.alpha = 1.0;
+  params.L = 10.0;
+  const std::vector<RoundOutcome> samples = {
+      {SystemState::kFork, false},
+      {SystemState::kHonest, false},
+      {SystemState::kFork, true},  // caught once
+  };
+  // θ=1: (1 + 0 + (1 − 10)) / 3 = −8/3.
+  EXPECT_NEAR(round_utility(samples, 1, params), -8.0 / 3.0, 1e-12);
+}
+
+TEST(Utility, DiscountedUtilityMatchesGeometricSeries) {
+  UtilityParams params;
+  params.alpha = 1.0;
+  params.delta = 0.5;
+  // Fork every round for θ=1: 1 + 0.5 + 0.25 + 0.125 = 1.875.
+  const std::vector<RoundOutcome> rounds(4, {SystemState::kFork, false});
+  EXPECT_NEAR(discounted_utility(rounds, 1, params), 1.875, 1e-12);
+}
+
+TEST(Utility, StationaryDiscountedClosedForm) {
+  EXPECT_NEAR(stationary_discounted(1.0, 0.9), 10.0, 1e-9);
+  EXPECT_NEAR(stationary_discounted(2.0, 0.5), 4.0, 1e-9);
+  EXPECT_THROW(stationary_discounted(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Utility, AbstainUnderTheta3BeatsHonest) {
+  // Theorem 1's utility comparison: with the coalition stalling the system
+  // (σ_NP every round) and no attributable penalty, U(π_abs) = α/(1−δ) > 0
+  // = U(π_0).
+  UtilityParams params;
+  params.alpha = 1.0;
+  params.delta = 0.9;
+  const std::vector<RoundOutcome> stalled(10,
+                                          {SystemState::kNoProgress, false});
+  const std::vector<RoundOutcome> honest(10, {SystemState::kHonest, false});
+  EXPECT_GT(discounted_utility(stalled, 3, params),
+            discounted_utility(honest, 3, params));
+}
+
+TEST(Utility, PreferredStatesMatchTable2) {
+  EXPECT_EQ(preferred_states(3), "No Progress, Censorship, Fork");
+  EXPECT_EQ(preferred_states(2), "Censorship, Fork");
+  EXPECT_EQ(preferred_states(1), "Fork");
+  EXPECT_EQ(preferred_states(0), "Honest Execution");
+}
+
+TEST(Utility, StateAndStrategyNames) {
+  EXPECT_STREQ(to_string(SystemState::kFork), "sigma_Fork");
+  EXPECT_STREQ(to_string(Strategy::kAbstain), "pi_abs");
+  EXPECT_STREQ(to_string(Strategy::kBait), "pi_bait");
+}
+
+}  // namespace
+}  // namespace ratcon::game

@@ -1,0 +1,94 @@
+// Unit tests for the experiment harness: table rendering, power-law
+// fitting, and CLI flags.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/fit.hpp"
+#include "harness/flags.hpp"
+#include "harness/table.hpp"
+
+namespace ratcon::harness {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "23456"});
+  const std::string out = t.render(0);
+  // Header, underline, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Formatting, Numbers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(2.5, 1), "2.5x");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(fmt_bytes(3u << 20), "3.0 MiB");
+}
+
+TEST(PowerFit, RecoversExactExponent) {
+  // y = 3 * x^2.
+  std::vector<double> x = {2, 4, 8, 16, 32};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3 * v * v);
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(PowerFit, RecoversCubicWithNoise) {
+  std::vector<double> x = {4, 8, 16, 32};
+  std::vector<double> y;
+  double wiggle = 0.95;
+  for (double v : x) {
+    y.push_back(wiggle * v * v * v);
+    wiggle += 0.04;
+  }
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 3.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(PowerFit, RejectsBadInput) {
+  EXPECT_THROW(fit_power_law({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({0, 2}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1, 2}, {-1, 2}), std::invalid_argument);
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog",  "--n=9",      "--seed", "42",
+                        "--verbose", "--name=test", "--rate", "2.5"};
+  Flags flags(8, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("n", 0), 9);
+  EXPECT_EQ(flags.get_int("seed", 0), 42);
+  EXPECT_TRUE(flags.has("verbose"));
+  EXPECT_EQ(flags.get_int("verbose", 0), 1);
+  EXPECT_EQ(flags.get_str("name", ""), "test");
+  EXPECT_NEAR(flags.get_double("rate", 0), 2.5, 1e-12);
+}
+
+TEST(FlagsTest, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_EQ(flags.get_str("missing", "dflt"), "dflt");
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+}  // namespace
+}  // namespace ratcon::harness

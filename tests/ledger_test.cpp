@@ -1,0 +1,272 @@
+// Unit tests for the ledger substrate: transactions, blocks, the
+// tentative/final chain semantics of §3.1/§5.3.2, the common-prefix and
+// c-strict-ordering checks of Definition 1, mempool censorship filters,
+// and the collateral ledger of §5.3.1.
+
+#include <gtest/gtest.h>
+
+#include "ledger/block.hpp"
+#include "ledger/chain.hpp"
+#include "ledger/deposits.hpp"
+#include "ledger/mempool.hpp"
+#include "ledger/transaction.hpp"
+
+namespace ratcon::ledger {
+namespace {
+
+TEST(Transaction, CodecRoundTrip) {
+  const Transaction tx = make_transfer(42, 3, 64);
+  Writer w;
+  tx.encode(w);
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_EQ(Transaction::decode(r), tx);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Transaction, BurnCarriesTarget) {
+  const Transaction tx = make_burn(7, 1, 5);
+  EXPECT_EQ(tx.kind, Transaction::Kind::kBurn);
+  EXPECT_EQ(tx.burn_target, 5u);
+  Writer w;
+  tx.encode(w);
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_EQ(Transaction::decode(r), tx);
+}
+
+TEST(Transaction, HashDistinguishesContent) {
+  EXPECT_NE(make_transfer(1, 0).hash(), make_transfer(2, 0).hash());
+  EXPECT_NE(make_transfer(1, 0).hash(), make_transfer(1, 1).hash());
+}
+
+TEST(Transaction, RejectsBadKind) {
+  Writer w;
+  w.u64(1);
+  w.u32(0);
+  w.u8(9);  // invalid kind
+  w.u32(0);
+  w.bytes({});
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_THROW(Transaction::decode(r), CodecError);
+}
+
+Block make_block(const crypto::Hash256& parent, Round round, NodeId proposer,
+                 int txs) {
+  Block b;
+  b.parent = parent;
+  b.round = round;
+  b.proposer = proposer;
+  for (int i = 0; i < txs; ++i) {
+    b.txs.push_back(make_transfer(round * 100 + static_cast<std::uint64_t>(i),
+                                  proposer));
+  }
+  return b;
+}
+
+TEST(BlockTest, CodecRoundTrip) {
+  const Block b = make_block(crypto::kZeroHash, 3, 1, 5);
+  Writer w;
+  b.encode(w);
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  const Block decoded = Block::decode(r);
+  EXPECT_EQ(decoded.hash(), b.hash());
+  EXPECT_EQ(decoded.txs.size(), 5u);
+}
+
+TEST(BlockTest, HashCommitsToEverything) {
+  const Block base = make_block(crypto::kZeroHash, 3, 1, 2);
+  Block other = base;
+  other.round = 4;
+  EXPECT_NE(base.hash(), other.hash()) << "round binds (no replay, fn 11)";
+  other = base;
+  other.proposer = 2;
+  EXPECT_NE(base.hash(), other.hash());
+  other = base;
+  other.txs.push_back(make_transfer(999, 0));
+  EXPECT_NE(base.hash(), other.hash());
+  other = base;
+  other.parent = crypto::sha256(std::string_view("x"));
+  EXPECT_NE(base.hash(), other.hash());
+}
+
+TEST(BlockTest, ContainsTx) {
+  const Block b = make_block(crypto::kZeroHash, 1, 0, 3);
+  EXPECT_TRUE(b.contains_tx(100));
+  EXPECT_FALSE(b.contains_tx(999));
+}
+
+TEST(ChainTest, StartsAtGenesis) {
+  Chain chain;
+  EXPECT_EQ(chain.height(), 0u);
+  EXPECT_EQ(chain.finalized_height(), 0u);
+  EXPECT_EQ(chain.tip_hash(), genesis().hash());
+}
+
+TEST(ChainTest, AppendRequiresParentLinkage) {
+  Chain chain;
+  const Block good = make_block(chain.tip_hash(), 1, 0, 1);
+  const Block bad = make_block(crypto::sha256(std::string_view("no")), 1, 0, 1);
+  EXPECT_FALSE(chain.append_tentative(bad));
+  EXPECT_TRUE(chain.append_tentative(good));
+  EXPECT_EQ(chain.height(), 1u);
+  EXPECT_EQ(chain.finalized_height(), 0u) << "append is tentative";
+}
+
+TEST(ChainTest, FinalizeAndRollback) {
+  Chain chain;
+  const Block b1 = make_block(chain.tip_hash(), 1, 0, 1);
+  chain.append_tentative(b1);
+  const Block b2 = make_block(chain.tip_hash(), 2, 1, 1);
+  chain.append_tentative(b2);
+
+  EXPECT_TRUE(chain.finalize_up_to(1));
+  EXPECT_TRUE(chain.is_final(1));
+  EXPECT_FALSE(chain.is_final(2));
+
+  EXPECT_EQ(chain.rollback_tentative(), 1u) << "drops only the tentative b2";
+  EXPECT_EQ(chain.height(), 1u);
+  EXPECT_EQ(chain.tip_hash(), b1.hash());
+}
+
+TEST(ChainTest, FinalizeByHash) {
+  Chain chain;
+  const Block b1 = make_block(chain.tip_hash(), 1, 0, 1);
+  chain.append_tentative(b1);
+  EXPECT_TRUE(chain.finalize_block(b1.hash()));
+  EXPECT_EQ(chain.finalized_height(), 1u);
+  EXPECT_FALSE(chain.finalize_block(crypto::kZeroHash));
+}
+
+TEST(ChainTest, FinalizeBeyondTipFails) {
+  Chain chain;
+  EXPECT_FALSE(chain.finalize_up_to(5));
+}
+
+TEST(ChainTest, TxLookups) {
+  Chain chain;
+  const Block b1 = make_block(chain.tip_hash(), 1, 0, 2);  // txs 100, 101
+  chain.append_tentative(b1);
+  EXPECT_TRUE(chain.contains_tx(100));
+  EXPECT_FALSE(chain.finalized_contains_tx(100)) << "still tentative";
+  chain.finalize_up_to(1);
+  EXPECT_TRUE(chain.finalized_contains_tx(100));
+}
+
+TEST(ChainTest, CStrictOrderingOnPrefixChains) {
+  Chain a;
+  Chain b;
+  const Block b1 = make_block(a.tip_hash(), 1, 0, 1);
+  a.append_tentative(b1);
+  b.append_tentative(b1);
+  const Block b2 = make_block(a.tip_hash(), 2, 1, 1);
+  a.append_tentative(b2);
+  a.finalize_up_to(2);
+  b.finalize_up_to(1);
+
+  EXPECT_TRUE(c_strict_ordering_holds(a, b, 0));
+  EXPECT_TRUE(c_strict_ordering_holds(b, a, 0));
+  EXPECT_FALSE(chains_conflict(a, b));
+}
+
+TEST(ChainTest, ForkDetected) {
+  Chain a;
+  Chain b;
+  const Block ba = make_block(a.tip_hash(), 1, 0, 1);
+  Block bb = make_block(b.tip_hash(), 1, 0, 2);  // different content
+  a.append_tentative(ba);
+  b.append_tentative(bb);
+  a.finalize_up_to(1);
+  b.finalize_up_to(1);
+
+  EXPECT_TRUE(chains_conflict(a, b));
+  EXPECT_FALSE(c_strict_ordering_holds(a, b, 0));
+  // Removing the divergent suffix restores the common prefix (the paper's
+  // C^{⌊c} common-prefix property).
+  EXPECT_TRUE(c_strict_ordering_holds(a, b, 1));
+}
+
+TEST(Mempool, SelectsInArrivalOrder) {
+  Mempool pool;
+  pool.submit(make_transfer(3, 0), 30);
+  pool.submit(make_transfer(1, 0), 10);
+  pool.submit(make_transfer(2, 0), 20);
+  const auto selected = pool.select(10);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0].id, 3u);  // submission order, not id order
+  EXPECT_EQ(pool.arrival_of(1), 10);
+}
+
+TEST(Mempool, DuplicatesIgnored) {
+  Mempool pool;
+  pool.submit(make_transfer(1, 0), 10);
+  pool.submit(make_transfer(1, 0), 20);
+  EXPECT_EQ(pool.pending(), 1u);
+}
+
+TEST(Mempool, CensorFilterSkips) {
+  Mempool pool;
+  pool.submit(make_transfer(1, 0), 1);
+  pool.submit(make_transfer(2, 0), 2);
+  const auto selected = pool.select(
+      10, [](const Transaction& tx) { return tx.id == 1; });
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].id, 2u);
+  EXPECT_EQ(pool.pending(), 2u) << "censoring does not consume";
+}
+
+TEST(Mempool, MarkIncludedRemoves) {
+  Mempool pool;
+  pool.submit(make_transfer(1, 0), 1);
+  pool.submit(make_transfer(2, 0), 2);
+  pool.mark_included({make_transfer(1, 0)});
+  EXPECT_EQ(pool.pending(), 1u);
+  EXPECT_FALSE(pool.has_tx(1));
+  EXPECT_TRUE(pool.has_tx(2));
+}
+
+TEST(Mempool, RestoreAfterRollback) {
+  Mempool pool;
+  pool.submit(make_transfer(1, 0), 1);
+  pool.mark_included({make_transfer(1, 0)});
+  pool.restore({make_transfer(1, 0)});
+  EXPECT_TRUE(pool.has_tx(1));
+  EXPECT_EQ(pool.select(10).size(), 1u);
+}
+
+TEST(Mempool, SelectRespectsBudget) {
+  Mempool pool;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    pool.submit(make_transfer(i + 1, 0), static_cast<SimTime>(i));
+  }
+  EXPECT_EQ(pool.select(4).size(), 4u);
+}
+
+TEST(Deposits, RegisterAndBurn) {
+  DepositLedger ledger(100);
+  ledger.register_players(3);
+  EXPECT_EQ(ledger.balance(0), 100);
+  EXPECT_FALSE(ledger.slashed(0));
+
+  EXPECT_EQ(ledger.burn(0), 100);
+  EXPECT_TRUE(ledger.slashed(0));
+  EXPECT_EQ(ledger.balance(0), 0);
+  EXPECT_EQ(ledger.total_burned(), 100);
+}
+
+TEST(Deposits, BurnIsIdempotent) {
+  DepositLedger ledger(100);
+  ledger.register_players(2);
+  EXPECT_EQ(ledger.burn(1), 100);
+  EXPECT_EQ(ledger.burn(1), 0) << "second burn is a no-op";
+  EXPECT_EQ(ledger.total_burned(), 100);
+}
+
+TEST(Deposits, SlashedPlayersListed) {
+  DepositLedger ledger(50);
+  ledger.register_players(4);
+  ledger.burn(1);
+  ledger.burn(3);
+  EXPECT_EQ(ledger.slashed_players(), (std::vector<NodeId>{1, 3}));
+}
+
+}  // namespace
+}  // namespace ratcon::ledger

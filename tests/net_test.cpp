@@ -1,0 +1,281 @@
+// Unit tests for the discrete-event simulation substrate: event ordering,
+// timers, the three network models of §3.3 (synchronous / partially
+// synchronous / asynchronous), partitions, crash faults, and traffic stats.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/serialize.hpp"
+#include "net/cluster.hpp"
+#include "net/event_queue.hpp"
+#include "net/netmodel.hpp"
+
+namespace ratcon::net {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(10, [&order, i] { order.push_back(i); });
+  }
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  SimTime fired_at = -1;
+  q.schedule_at(100, [&] {
+    q.schedule_at(50, [&] { fired_at = q.now(); });  // in the past
+  });
+  while (q.step()) {
+  }
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventQueue, EventsScheduledDuringStepRun) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1, [&] {
+    ++count;
+    q.schedule_in(1, [&] { ++count; });
+  });
+  while (q.step()) {
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(NetModels, SynchronousRespectsDelta) {
+  SynchronousNet model(msec(10));
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime at = model.delivery_time(0, 1, 100, rng);
+    EXPECT_GT(at, 100);
+    EXPECT_LE(at, 100 + msec(10));
+  }
+}
+
+TEST(NetModels, PartialSynchronyHoldsUntilGst) {
+  PartialSynchronyNet model(msec(500), msec(10), 1.0);
+  Rng rng(2);
+  // Before GST, every held message lands after GST but within GST + Δ.
+  for (int i = 0; i < 200; ++i) {
+    const SimTime at = model.delivery_time(0, 1, msec(100), rng);
+    EXPECT_GT(at, msec(500));
+    EXPECT_LE(at, msec(510));
+  }
+  // After GST the network is synchronous.
+  for (int i = 0; i < 200; ++i) {
+    const SimTime at = model.delivery_time(0, 1, msec(600), rng);
+    EXPECT_GT(at, msec(600));
+    EXPECT_LE(at, msec(610));
+  }
+}
+
+TEST(NetModels, AsynchronousDeliveryIsFinite) {
+  AsynchronousNet model(msec(20), sec(2));
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime at = model.delivery_time(0, 1, 0, rng);
+    EXPECT_GT(at, 0);
+    EXPECT_LE(at, sec(2));  // reliability: finite delay, always
+  }
+}
+
+/// Test node: records received payloads and can echo.
+class RecorderNode final : public INode {
+ public:
+  void on_message(Context& ctx, NodeId from, const Bytes& data) override {
+    (void)ctx;
+    received.emplace_back(from, data);
+  }
+  void on_timer(Context& ctx, std::uint64_t timer_id) override {
+    (void)ctx;
+    timers.push_back(timer_id);
+  }
+  std::vector<std::pair<NodeId, Bytes>> received;
+  std::vector<std::uint64_t> timers;
+};
+
+Bytes typed_payload(std::uint8_t proto, std::uint8_t type, std::size_t pad) {
+  Bytes b = {proto, type};
+  b.resize(2 + pad);
+  return b;
+}
+
+TEST(Cluster, DeliversUnicastAndBroadcast) {
+  Cluster cluster(make_synchronous(msec(5)), 1);
+  std::vector<RecorderNode*> nodes;
+  for (int i = 0; i < 3; ++i) {
+    auto node = std::make_unique<RecorderNode>();
+    nodes.push_back(node.get());
+    cluster.add_node(std::move(node));
+  }
+  cluster.schedule(0, [&cluster] {
+    Context ctx(cluster, 0);
+    ctx.send(1, typed_payload(1, 1, 10));
+    ctx.broadcast(typed_payload(1, 2, 20));
+  });
+  cluster.run_until(sec(1));
+
+  EXPECT_EQ(nodes[1]->received.size(), 2u);  // unicast + broadcast
+  EXPECT_EQ(nodes[2]->received.size(), 1u);  // broadcast only
+  EXPECT_EQ(nodes[0]->received.size(), 1u);  // self-delivery of broadcast
+}
+
+TEST(Cluster, StatsCountNetworkTrafficOnly) {
+  Cluster cluster(make_synchronous(msec(5)), 1);
+  for (int i = 0; i < 4; ++i) cluster.add_node(std::make_unique<RecorderNode>());
+  cluster.schedule(0, [&cluster] {
+    Context ctx(cluster, 0);
+    ctx.broadcast(typed_payload(7, 3, 30));
+  });
+  cluster.run_until(sec(1));
+
+  // 3 network sends (self-delivery is free), 32 bytes each.
+  const MsgCounter total = cluster.stats().total();
+  EXPECT_EQ(total.count, 3u);
+  EXPECT_EQ(total.bytes, 3u * 32u);
+  EXPECT_EQ(cluster.stats().for_type(7, 3).count, 3u);
+  EXPECT_EQ(cluster.stats().for_type(7, 4).count, 0u);
+}
+
+TEST(Cluster, CrashedNodesReceiveNothing) {
+  Cluster cluster(make_synchronous(msec(5)), 1);
+  std::vector<RecorderNode*> nodes;
+  for (int i = 0; i < 3; ++i) {
+    auto node = std::make_unique<RecorderNode>();
+    nodes.push_back(node.get());
+    cluster.add_node(std::move(node));
+  }
+  cluster.crash(2);
+  cluster.schedule(0, [&cluster] {
+    Context ctx(cluster, 0);
+    ctx.broadcast(typed_payload(1, 1, 0));
+  });
+  cluster.run_until(sec(1));
+  EXPECT_EQ(nodes[1]->received.size(), 1u);
+  EXPECT_TRUE(nodes[2]->received.empty());
+}
+
+TEST(Cluster, TimersFireAndSupersede) {
+  Cluster cluster(make_synchronous(msec(5)), 1);
+  auto owned = std::make_unique<RecorderNode>();
+  RecorderNode* node = owned.get();
+  cluster.add_node(std::move(owned));
+
+  cluster.schedule(0, [&cluster] {
+    Context ctx(cluster, 0);
+    ctx.set_timer(1, msec(10));
+    ctx.set_timer(2, msec(20));
+    ctx.set_timer(1, msec(30));  // re-arm supersedes the first
+  });
+  cluster.run_until(sec(1));
+  ASSERT_EQ(node->timers.size(), 2u);
+  EXPECT_EQ(node->timers[0], 2u);  // 20ms
+  EXPECT_EQ(node->timers[1], 1u);  // 30ms (re-armed)
+}
+
+TEST(Cluster, CancelledTimerNeverFires) {
+  Cluster cluster(make_synchronous(msec(5)), 1);
+  auto owned = std::make_unique<RecorderNode>();
+  RecorderNode* node = owned.get();
+  cluster.add_node(std::move(owned));
+
+  cluster.schedule(0, [&cluster] {
+    Context ctx(cluster, 0);
+    ctx.set_timer(1, msec(10));
+  });
+  cluster.schedule(msec(5), [&cluster] {
+    Context ctx(cluster, 0);
+    ctx.cancel_timer(1);
+  });
+  cluster.run_until(sec(1));
+  EXPECT_TRUE(node->timers.empty());
+}
+
+TEST(Cluster, PartitionBlocksCrossTrafficUntilHeal) {
+  Cluster cluster(make_synchronous(msec(5)), 1);
+  std::vector<RecorderNode*> nodes;
+  for (int i = 0; i < 4; ++i) {
+    auto node = std::make_unique<RecorderNode>();
+    nodes.push_back(node.get());
+    cluster.add_node(std::move(node));
+  }
+  cluster.set_partition({{0, 1}, {2, 3}}, msec(100));
+  cluster.schedule(0, [&cluster] {
+    Context ctx(cluster, 0);
+    ctx.send(1, typed_payload(1, 1, 0));  // same side
+    ctx.send(2, typed_payload(1, 2, 0));  // crosses
+  });
+
+  cluster.run_until(msec(50));
+  EXPECT_EQ(nodes[1]->received.size(), 1u);
+  EXPECT_TRUE(nodes[2]->received.empty()) << "cross traffic held";
+
+  cluster.run_until(msec(200));
+  EXPECT_EQ(nodes[2]->received.size(), 1u) << "delivered after heal";
+}
+
+TEST(Cluster, UngroupedNodeCrossesPartitionFreely) {
+  // The adversary's position in the paper's partition arguments: member of
+  // no group, reachable from both sides.
+  Cluster cluster(make_synchronous(msec(5)), 1);
+  std::vector<RecorderNode*> nodes;
+  for (int i = 0; i < 3; ++i) {
+    auto node = std::make_unique<RecorderNode>();
+    nodes.push_back(node.get());
+    cluster.add_node(std::move(node));
+  }
+  cluster.set_partition({{0}, {1}}, sec(10));  // node 2 ungrouped
+  cluster.schedule(0, [&cluster] {
+    Context ctx(cluster, 2);
+    ctx.send(0, typed_payload(1, 1, 0));
+    ctx.send(1, typed_payload(1, 2, 0));
+  });
+  cluster.run_until(msec(100));
+  EXPECT_EQ(nodes[0]->received.size(), 1u);
+  EXPECT_EQ(nodes[1]->received.size(), 1u);
+}
+
+TEST(Cluster, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    Cluster cluster(make_asynchronous(msec(10), sec(1)), seed);
+    auto owned = std::make_unique<RecorderNode>();
+    RecorderNode* node = owned.get();
+    cluster.add_node(std::move(owned));
+    cluster.add_node(std::make_unique<RecorderNode>());
+    for (int i = 0; i < 50; ++i) {
+      cluster.schedule(i, [&cluster, i] {
+        Context ctx(cluster, 1);
+        ctx.send(0, typed_payload(1, static_cast<std::uint8_t>(i), 0));
+      });
+    }
+    cluster.run_until(sec(5));
+    Bytes trace;
+    for (const auto& [from, data] : node->received) {
+      trace.push_back(data[1]);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // async reorders differ across seeds
+}
+
+}  // namespace
+}  // namespace ratcon::net

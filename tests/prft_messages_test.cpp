@@ -1,0 +1,208 @@
+// Unit tests for pRFT's wire messages (Figure 2b + Sync): codec round
+// trips for all nine types, hostile-input rejection, and the vc_value
+// domain separation.
+
+#include <gtest/gtest.h>
+
+#include "consensus/envelope.hpp"
+#include "core/messages.hpp"
+
+namespace ratcon::prft {
+namespace {
+
+struct Fixture {
+  crypto::KeyRegistry registry;
+  std::vector<crypto::KeyPair> keys;
+  Round r = 5;
+  ledger::Block block;
+  crypto::Hash256 h;
+
+  Fixture() {
+    for (NodeId id = 0; id < 7; ++id) keys.push_back(registry.generate(id, 2));
+    block.parent = crypto::kZeroHash;
+    block.round = r;
+    block.proposer = 0;
+    block.txs.push_back(ledger::make_transfer(1, 0));
+    block.txs.push_back(ledger::make_transfer(2, 3));
+    h = block.hash();
+  }
+
+  PhaseSig psig(PhaseTag tag, NodeId who, const crypto::Hash256& value) {
+    return consensus::sign_phase(ProtoId::kPrft, tag, r, value, who,
+                                 keys[who].sk);
+  }
+
+  Certificate cert(PhaseTag tag, const crypto::Hash256& value,
+                   std::uint32_t count) {
+    Certificate c;
+    c.phase = tag;
+    c.round = r;
+    c.value = value;
+    for (NodeId id = 0; id < count; ++id) c.sigs.push_back(psig(tag, id, value));
+    return c;
+  }
+};
+
+template <typename Body>
+Body round_trip(const Body& body) {
+  Writer w;
+  body.encode(w);
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  Body out = Body::decode(r);
+  EXPECT_TRUE(r.done());
+  return out;
+}
+
+TEST(PrftMessages, ProposeRoundTrip) {
+  Fixture f;
+  ProposeBody body;
+  body.block = f.block;
+  body.pro_sig = f.psig(PhaseTag::kPropose, 0, f.h);
+  const ProposeBody out = round_trip(body);
+  EXPECT_EQ(out.block.hash(), f.h);
+  EXPECT_EQ(out.pro_sig, body.pro_sig);
+}
+
+TEST(PrftMessages, VoteRoundTrip) {
+  Fixture f;
+  VoteBody body;
+  body.h = f.h;
+  body.leader_pro_sig = f.psig(PhaseTag::kPropose, 0, f.h);
+  body.vote_sig = f.psig(PhaseTag::kVote, 2, f.h);
+  const VoteBody out = round_trip(body);
+  EXPECT_EQ(out.h, f.h);
+  EXPECT_EQ(out.vote_sig, body.vote_sig);
+}
+
+TEST(PrftMessages, CommitRoundTrip) {
+  Fixture f;
+  CommitBody body;
+  body.h = f.h;
+  body.leader_pro_sig = f.psig(PhaseTag::kPropose, 0, f.h);
+  body.vote_cert = f.cert(PhaseTag::kVote, f.h, 5);
+  body.commit_sig = f.psig(PhaseTag::kCommit, 2, f.h);
+  const CommitBody out = round_trip(body);
+  EXPECT_EQ(out.vote_cert.sigs.size(), 5u);
+  EXPECT_EQ(out.commit_sig, body.commit_sig);
+}
+
+TEST(PrftMessages, RevealRoundTrip) {
+  Fixture f;
+  RevealBody body;
+  body.h_tc = f.h;
+  body.h_l = f.h;
+  for (NodeId id = 0; id < 5; ++id) {
+    body.commits.push_back(CommitEvidence{f.psig(PhaseTag::kCommit, id, f.h),
+                                          f.cert(PhaseTag::kVote, f.h, 5)});
+  }
+  body.reveal_sig = f.psig(PhaseTag::kReveal, 1, f.h);
+  const RevealBody out = round_trip(body);
+  EXPECT_EQ(out.commits.size(), 5u);
+  EXPECT_EQ(out.commits[3].vote_cert.sigs.size(), 5u);
+}
+
+TEST(PrftMessages, ExposeRoundTrip) {
+  Fixture f;
+  const crypto::Hash256 other = crypto::sha256(std::string_view("b"));
+  ExposeBody body;
+  for (NodeId id = 0; id < 3; ++id) {
+    consensus::ConflictPair cp;
+    cp.phase = PhaseTag::kCommit;
+    cp.round = f.r;
+    cp.value_a = f.h;
+    cp.value_b = other;
+    cp.sig_a = f.psig(PhaseTag::kCommit, id, f.h);
+    cp.sig_b = f.psig(PhaseTag::kCommit, id, other);
+    body.proofs.push_back(cp);
+  }
+  const ExposeBody out = round_trip(body);
+  ASSERT_EQ(out.proofs.size(), 3u);
+  for (const auto& cp : out.proofs) {
+    EXPECT_TRUE(cp.verify(ProtoId::kPrft, f.registry));
+  }
+}
+
+TEST(PrftMessages, FinalRoundTrip) {
+  Fixture f;
+  FinalBody body;
+  body.h = f.h;
+  body.leader_pro_sig = f.psig(PhaseTag::kPropose, 0, f.h);
+  body.final_sig = f.psig(PhaseTag::kFinal, 4, f.h);
+  const FinalBody out = round_trip(body);
+  EXPECT_EQ(out.final_sig, body.final_sig);
+}
+
+TEST(PrftMessages, ViewChangeRoundTrip) {
+  Fixture f;
+  ViewChangeBody body;
+  body.stalled_phase = PhaseTag::kCommit;
+  body.vc_sig = f.psig(PhaseTag::kViewChange, 3, vc_value(f.r));
+  const ViewChangeBody out = round_trip(body);
+  EXPECT_EQ(out.stalled_phase, PhaseTag::kCommit);
+  EXPECT_EQ(out.vc_sig, body.vc_sig);
+}
+
+TEST(PrftMessages, CommitViewRoundTrip) {
+  Fixture f;
+  CommitViewBody body;
+  body.vc_cert = f.cert(PhaseTag::kViewChange, vc_value(f.r), 5);
+  body.cv_sig = f.psig(PhaseTag::kCommitView, 3, vc_value(f.r));
+  const CommitViewBody out = round_trip(body);
+  EXPECT_EQ(out.vc_cert.sigs.size(), 5u);
+}
+
+TEST(PrftMessages, SyncRoundTrip) {
+  Fixture f;
+  SyncBody body;
+  body.final_round = f.r;
+  body.blocks.push_back(f.block);
+  body.final_cert = f.cert(PhaseTag::kFinal, f.h, 4);
+  const SyncBody out = round_trip(body);
+  ASSERT_EQ(out.blocks.size(), 1u);
+  EXPECT_EQ(out.blocks[0].hash(), f.h);
+  EXPECT_EQ(out.final_cert.sigs.size(), 4u);
+}
+
+TEST(PrftMessages, VcValueBindsRound) {
+  EXPECT_NE(vc_value(1), vc_value(2));
+  EXPECT_EQ(vc_value(7), vc_value(7));
+}
+
+TEST(PrftMessages, TruncatedBodiesThrow) {
+  Fixture f;
+  CommitBody body;
+  body.h = f.h;
+  body.leader_pro_sig = f.psig(PhaseTag::kPropose, 0, f.h);
+  body.vote_cert = f.cert(PhaseTag::kVote, f.h, 5);
+  body.commit_sig = f.psig(PhaseTag::kCommit, 2, f.h);
+  Writer w;
+  body.encode(w);
+  // Chop the buffer at several points; decode must throw, never crash.
+  for (std::size_t cut : {1u, 16u, 48u, 100u}) {
+    if (cut >= w.size()) continue;
+    Reader r(ByteSpan(w.data().data(), cut));
+    EXPECT_THROW(CommitBody::decode(r), CodecError) << "cut=" << cut;
+  }
+}
+
+TEST(PrftMessages, HostileCertCountRejected) {
+  // A length field claiming 2^20 certificate entries must be rejected by
+  // the count guard, not allocate.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(PhaseTag::kVote));
+  w.u64(1);
+  crypto::Hash256 h{};
+  w.raw(ByteSpan(h.data(), h.size()));
+  w.u32(1u << 20);  // absurd signature count
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_THROW(Certificate::decode(r), CodecError);
+}
+
+TEST(PrftMessages, AllTypesHaveNames) {
+  for (std::uint8_t t = 0; t <= 8; ++t) {
+    EXPECT_STRNE(to_string(static_cast<MsgType>(t)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace ratcon::prft

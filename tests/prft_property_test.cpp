@@ -1,0 +1,134 @@
+// Property sweeps for pRFT: the safety and accountability invariants of
+// Definition 1 + Definition 6, parameterized over committee size, fork
+// coalition size and seed. These are the "worst equilibrium" checks —
+// every admissible adversary shape must leave every invariant intact.
+//
+// Invariants asserted in every configuration:
+//   I1 (agreement):        no two honest ledgers finalize conflicting blocks
+//   I2 (c-strict order):   the shorter honest ledger is a prefix of the longer
+//   I3 (acct. soundness):  no honest player's deposit is ever burned
+//   I4 (validity-ish):     every finalized tx was actually submitted
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "adversary/fork_agent.hpp"
+#include "harness/prft_cluster.hpp"
+#include "net/netmodel.hpp"
+
+namespace ratcon {
+namespace {
+
+using harness::PrftCluster;
+using harness::PrftClusterOptions;
+
+// (n, coalition size, seed, use partial synchrony + partition)
+using Params = std::tuple<std::uint32_t, std::uint32_t, std::uint64_t, bool>;
+
+class PrftInvariants : public ::testing::TestWithParam<Params> {};
+
+TEST_P(PrftInvariants, HoldUnderForkCoalitions) {
+  const auto [n, coalition_size, seed, psync] = GetParam();
+
+  auto plan = std::make_shared<adversary::ForkPlan>();
+  plan->n = n;
+  for (NodeId id = 0; id < coalition_size; ++id) plan->coalition.insert(id);
+  const std::uint32_t honest = n - coalition_size;
+  std::vector<NodeId> side_a, side_b;
+  for (NodeId id = coalition_size; id < coalition_size + (honest + 1) / 2;
+       ++id) {
+    plan->side_a.insert(id);
+    side_a.push_back(id);
+  }
+  for (NodeId id = coalition_size + (honest + 1) / 2; id < n; ++id) {
+    plan->side_b.insert(id);
+    side_b.push_back(id);
+  }
+
+  PrftClusterOptions opt;
+  opt.n = n;
+  opt.seed = seed;
+  opt.target_blocks = 3;
+  if (psync) {
+    opt.make_net = [] {
+      return net::make_partial_synchrony(msec(300), msec(10), 0.8);
+    };
+  }
+  opt.node_factory = [plan, coalition_size](NodeId id,
+                                            prft::PrftNode::Deps deps) {
+    if (coalition_size > 0 && plan->coalition.count(id)) {
+      return std::unique_ptr<prft::PrftNode>(
+          new adversary::ForkAgentNode(std::move(deps), plan));
+    }
+    return std::make_unique<prft::PrftNode>(std::move(deps));
+  };
+  PrftCluster cluster(opt);
+  const std::uint64_t tx_count = 12;
+  cluster.inject_workload(tx_count, msec(1), msec(1));
+  if (psync) {
+    cluster.net().schedule(msec(1), [&cluster, side_a, side_b]() {
+      cluster.net().set_partition({side_a, side_b}, msec(300));
+    });
+  }
+  cluster.start();
+  cluster.run_until(sec(300));
+
+  // I1 + I2.
+  EXPECT_TRUE(cluster.agreement_holds()) << "agreement";
+  EXPECT_TRUE(cluster.ordering_holds()) << "c-strict ordering";
+  // I3.
+  EXPECT_FALSE(cluster.honest_player_slashed()) << "accountability soundness";
+  // I4: finalized txs ⊆ injected ∪ fork-marker space.
+  for (const ledger::Chain* chain : cluster.honest_chains()) {
+    for (std::uint64_t h = 1; h <= chain->finalized_height(); ++h) {
+      for (const ledger::Transaction& tx : chain->at(h).txs) {
+        const bool injected = tx.id >= 1 && tx.id <= tx_count;
+        const bool fork_marker = (tx.id >> 32) == 0xF0F0F0F0ull;
+        EXPECT_TRUE(injected || fork_marker)
+            << "unknown tx " << tx.id << " at height " << h;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrftInvariants,
+    ::testing::Values(
+        // Honest committees across sizes and network models.
+        Params{7, 0, 1, false}, Params{8, 0, 2, true}, Params{12, 0, 3, true},
+        // Small coalitions (t <= t0): attacks produce no quorum at all.
+        Params{9, 2, 4, false}, Params{9, 2, 5, true},
+        // Maximal admissible coalitions k+t = ceil(n/2)-1.
+        Params{8, 3, 6, false}, Params{8, 3, 7, true},
+        Params{9, 4, 8, false}, Params{9, 4, 9, true},
+        Params{12, 5, 10, false}, Params{12, 5, 11, true},
+        Params{13, 6, 12, false}, Params{13, 6, 13, true}));
+
+class PrftLiveness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrftLiveness, EventualLivenessAfterGst) {
+  // Liveness sweep: honest committee under heavy pre-GST asynchrony must
+  // finalize the target after GST, every seed.
+  PrftClusterOptions opt;
+  opt.n = 9;
+  opt.seed = GetParam();
+  opt.target_blocks = 4;
+  opt.make_net = [] {
+    return net::make_partial_synchrony(msec(700), msec(10), 0.95);
+  };
+  PrftCluster cluster(opt);
+  cluster.inject_workload(8, msec(1), msec(1));
+  cluster.start();
+  cluster.run_until(sec(300));
+
+  EXPECT_GE(cluster.min_height(), 4u);
+  EXPECT_TRUE(cluster.agreement_holds());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrftLiveness,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+}  // namespace
+}  // namespace ratcon
