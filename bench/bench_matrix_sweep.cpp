@@ -1,0 +1,116 @@
+// CLI driver for the seed-matrix scenario harness: sweeps committee sizes ×
+// network models × seeds for a chosen protocol and prints the per-cell
+// safety/traffic table. This is the manual counterpart of tests/matrix_test
+// — useful for widening the sweep far beyond what the test gate runs, e.g.:
+//
+//   bench_matrix_sweep --protocol=prft --sizes=4,7,16,31,64 --seeds=20
+//   bench_matrix_sweep --protocol=hotstuff --nets=partial-synchrony
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/flags.hpp"
+#include "harness/matrix.hpp"
+
+namespace {
+
+using ratcon::harness::MatrixSpec;
+using ratcon::harness::NetKind;
+using ratcon::harness::Protocol;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ratcon::harness::Flags flags(argc, argv);
+
+  MatrixSpec spec;
+
+  const std::string proto = flags.get_str("protocol", "prft");
+  if (proto == "prft") {
+    spec.protocols = {Protocol::kPrft};
+  } else if (proto == "hotstuff") {
+    spec.protocols = {Protocol::kHotStuff};
+  } else if (proto == "raftlite") {
+    spec.protocols = {Protocol::kRaftLite};
+  } else if (proto == "all") {
+    spec.protocols = {Protocol::kPrft, Protocol::kHotStuff,
+                      Protocol::kRaftLite};
+  } else {
+    std::fprintf(stderr, "unknown --protocol=%s (prft|hotstuff|raftlite|all)\n",
+                 proto.c_str());
+    return 2;
+  }
+
+  if (flags.has("sizes")) {
+    spec.committee_sizes.clear();
+    for (const std::string& s : split_csv(flags.get_str("sizes", ""))) {
+      unsigned long parsed = 0;
+      try {
+        parsed = std::stoul(s);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed == 0 || parsed > 4096 || s.find('-') != std::string::npos) {
+        std::fprintf(stderr, "bad committee size '%s' in --sizes\n",
+                     s.c_str());
+        return 2;
+      }
+      spec.committee_sizes.push_back(static_cast<std::uint32_t>(parsed));
+    }
+  }
+  if (flags.has("nets")) {
+    spec.nets.clear();
+    for (const std::string& s : split_csv(flags.get_str("nets", ""))) {
+      if (s == "synchronous") {
+        spec.nets.push_back(NetKind::kSynchronous);
+      } else if (s == "partial-synchrony") {
+        spec.nets.push_back(NetKind::kPartialSynchrony);
+      } else if (s == "asynchronous") {
+        spec.nets.push_back(NetKind::kAsynchronous);
+      } else {
+        std::fprintf(stderr, "unknown net model '%s'\n", s.c_str());
+        return 2;
+      }
+    }
+  }
+  const std::int64_t seed_count = flags.get_int("seeds", 5);
+  spec.seeds.clear();
+  for (std::int64_t s = 1; s <= seed_count; ++s) {
+    spec.seeds.push_back(static_cast<std::uint64_t>(s));
+  }
+  spec.target_blocks =
+      static_cast<std::uint64_t>(flags.get_int("blocks", 3));
+  spec.workload_txs = static_cast<std::uint64_t>(flags.get_int("txs", 12));
+
+  if (spec.committee_sizes.empty() || spec.nets.empty() ||
+      spec.seeds.empty()) {
+    std::fprintf(stderr,
+                 "empty sweep: need at least one size, net, and seed\n");
+    return 2;
+  }
+
+  const auto report = ratcon::harness::run_matrix(spec);
+  std::printf("%s\n", report.summary().c_str());
+  const auto bad = report.unsafe_cells();
+  if (!bad.empty()) {
+    std::printf("\nUNSAFE CELLS (%zu):\n", bad.size());
+    for (const auto* cell : bad) {
+      std::printf("  %s\n", cell->label().c_str());
+    }
+    return 1;
+  }
+  std::printf("\nall %zu cells safe\n", report.cell_count());
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "harness/flags.hpp"
+#include "harness/matrix.hpp"
 #include "harness/prft_cluster.hpp"
 #include "harness/table.hpp"
 
@@ -65,5 +66,20 @@ int main(int argc, char** argv) {
   std::printf("network traffic: %s messages, %s\n",
               harness::fmt_count(cluster.net().stats().total().count).c_str(),
               harness::fmt_bytes(cluster.net().stats().total().bytes).c_str());
-  return cluster.agreement_holds() && cluster.min_height() >= blocks ? 0 : 1;
+
+  // 5. The same committee across network conditions: a mini seed-matrix
+  //    sweep (see tests/matrix_test.cpp for the full tier-1 cross-product,
+  //    and bench_matrix_sweep for wider CLI-driven sweeps).
+  std::printf("\nmini seed matrix (same n, three network models):\n");
+  harness::MatrixSpec spec;
+  spec.committee_sizes = {n};
+  spec.seeds = {seed, seed + 1};
+  spec.target_blocks = 2;
+  const harness::MatrixReport report = harness::run_matrix(spec);
+  std::printf("%s\n", report.summary().c_str());
+
+  return cluster.agreement_holds() && cluster.min_height() >= blocks &&
+                 report.all_safe()
+             ? 0
+             : 1;
 }

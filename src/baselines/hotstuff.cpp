@@ -29,20 +29,36 @@ void HotstuffNode::start_round(net::Context& ctx) {
     return;
   }
   if (cfg_.leader(round_) == self_) {
+    // A locked leader must re-propose its locked block byte-identical (the
+    // other lockers refuse anything else at that height). If the body is
+    // missing, skip this view; rotation reaches a locker that has it.
+    const bool locked_here = lock_ && lock_->parent == chain_.tip_hash();
+    bool propose = true;
     ledger::Block block;
-    block.parent = chain_.tip_hash();
-    block.round = round_;
-    block.proposer = self_;
-    block.txs = mempool_.select(cfg_.max_block_txs);
-    Writer w;
-    block.encode(w);
-    consensus::sign_phase(kProto, PhaseTag::kPropose, round_, block.hash(),
-                          self_, keys_.sk)
-        .encode(w);
-    ctx.broadcast(consensus::make_envelope(
-                      kProto, static_cast<std::uint8_t>(MsgType::kPrepare),
-                      round_, self_, w.take(), keys_.sk)
-                      .encode());
+    if (locked_here) {
+      const auto it = block_store_.find(lock_->h);
+      if (it != block_store_.end()) {
+        block = it->second;
+      } else {
+        propose = false;
+      }
+    } else {
+      block.parent = chain_.tip_hash();
+      block.round = round_;
+      block.proposer = self_;
+      block.txs = mempool_.select(cfg_.max_block_txs);
+    }
+    if (propose) {
+      Writer w;
+      block.encode(w);
+      consensus::sign_phase(kProto, PhaseTag::kPropose, round_, block.hash(),
+                            self_, keys_.sk)
+          .encode(w);
+      ctx.broadcast(consensus::make_envelope(
+                        kProto, static_cast<std::uint8_t>(MsgType::kPrepare),
+                        round_, self_, w.take(), keys_.sk)
+                        .encode());
+    }
   }
   const std::uint64_t backoff =
       1ull << std::min<std::uint64_t>(consecutive_failures_, 6);
@@ -136,6 +152,9 @@ void HotstuffNode::finalize(net::Context& ctx, Round r, RoundState& rs) {
   rs.decided = true;
   const auto it = block_store_.find(rs.h);
   if (it != block_store_.end() && it->second.parent == chain_.tip_hash()) {
+    // Release a lock once its height is decided (by this block — ours or a
+    // competing one that won); the next height is a fresh instance.
+    if (lock_ && lock_->parent == it->second.parent) lock_.reset();
     chain_.append_tentative(it->second);
     chain_.finalize_up_to(chain_.height());
     mempool_.mark_included(it->second.txs);
@@ -170,13 +189,20 @@ void HotstuffNode::on_message(net::Context& ctx, NodeId from,
         const ledger::Block block = ledger::Block::decode(r_);
         const PhaseSig pro = PhaseSig::decode(r_);
         const crypto::Hash256 h = block.hash();
-        if (block.round != r || pro.signer != leader) return;
+        // block.round < r is a byte-identical re-proposal of a locked block.
+        if (block.round > r || pro.signer != leader) return;
         if (!consensus::verify_phase(kProto, PhaseTag::kPropose, r, h, pro,
                                      *registry_)) {
           return;
         }
         block_store_[h] = block;
+        // Votes are cast only in the current view (round monotonicity) —
+        // the block body above is still learned from old proposals.
+        if (r != round_) return;
         if (block.parent != chain_.tip_hash() || rs.voted_prepare) return;
+        // Locked-QC rule: while locked at this height, only the locked
+        // block may earn our prepare vote.
+        if (lock_ && lock_->parent == block.parent && lock_->h != h) return;
         rs.proposal = block;
         rs.h = h;
         rs.voted_prepare = true;
@@ -238,10 +264,22 @@ void HotstuffNode::on_message(net::Context& ctx, NodeId from,
             env.type == static_cast<std::uint8_t>(MsgType::kPreCommit);
         const PhaseTag cert_phase =
             is_precommit ? PhaseTag::kPrepare : PhaseTag::kPreCommit;
+        // Round monotonicity: no votes for views we have moved past. Check
+        // before the QC signature verification — under adversarial delay
+        // most QC broadcasts arrive stale, and quorum-many signature checks
+        // for a message we drop anyway is wasted work.
+        if (r != round_) return;
+        // Vote only for blocks whose body we hold — commit-voting records a
+        // lock, and a lock needs the block's parent to identify its height.
+        const auto body = block_store_.find(h);
+        if (body == block_store_.end()) return;
         if (!verify_qc(cert, cert_phase, r, h)) return;
         bool& voted = is_precommit ? rs.voted_precommit : rs.voted_commit;
         if (voted) return;
         voted = true;
+        if (!is_precommit) {
+          lock_ = Lock{r, h, body->second.parent};
+        }
         const PhaseTag vote_phase =
             is_precommit ? PhaseTag::kPreCommit : PhaseTag::kCommit;
         Writer w;

@@ -21,7 +21,11 @@ namespace ratcon::baselines {
 ///
 /// contrasting with the O(n²)/O(κ·n³) all-to-all pattern of pBFT-class
 /// protocols measured by the same bench. Honest-path implementation (the
-/// rational-attack experiments run against pRFT and the quorum baseline).
+/// rational-attack experiments run against pRFT and the quorum baseline),
+/// but safe under arbitrary message delay: replicas vote only in their
+/// current view, lock on the block they commit-vote for, refuse conflicting
+/// proposals at the locked height, and leaders re-propose their locked
+/// block — so a commit QC at a height excludes any conflicting quorum there.
 class HotstuffNode : public consensus::IReplica {
  public:
   enum class MsgType : std::uint8_t {
@@ -69,6 +73,15 @@ class HotstuffNode : public consensus::IReplica {
     bool voted_commit = false;
   };
 
+  /// Lock taken when commit-voting: the replica will not prepare-vote a
+  /// conflicting block at the same height (same parent) until that height
+  /// finalizes. `parent` identifies the height the lock protects.
+  struct Lock {
+    Round round = 0;
+    crypto::Hash256 h{};
+    crypto::Hash256 parent{};
+  };
+
   static constexpr std::uint64_t kPhaseTimer = 1;
 
   void start_round(net::Context& ctx);
@@ -90,6 +103,7 @@ class HotstuffNode : public consensus::IReplica {
 
   NodeId self_ = kNoNode;
   Round round_ = 1;
+  std::optional<Lock> lock_;
   std::map<Round, RoundState> rounds_;
   std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
   std::map<crypto::Hash256, ledger::Block> block_store_;

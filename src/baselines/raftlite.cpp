@@ -25,12 +25,19 @@ void RaftLiteNode::start_term(net::Context& ctx) {
     ctx.cancel_timer(kTimer);
     return;
   }
-  if (cfg_.leader(term_) == self_) {
+  if (cfg_.leader(term_) == self_ && !defer_) {
+    // Phase-1 obligation: if the term-change majority reported an accepted
+    // value for this height, re-propose it unchanged (its hash included) —
+    // a fresh block here could conflict with an already-chosen value.
     ledger::Block block;
-    block.parent = chain_.tip_hash();
-    block.round = term_;
-    block.proposer = self_;
-    block.txs = mempool_.select(cfg_.max_block_txs);
+    if (adopt_ && adopt_->block.parent == chain_.tip_hash()) {
+      block = adopt_->block;
+    } else {
+      block.parent = chain_.tip_hash();
+      block.round = term_;
+      block.proposer = self_;
+      block.txs = mempool_.select(cfg_.max_block_txs);
+    }
     Writer w;
     block.encode(w);
     ctx.broadcast(consensus::make_envelope(
@@ -38,6 +45,7 @@ void RaftLiteNode::start_term(net::Context& ctx) {
                       term_, self_, w.take(), keys_.sk)
                       .encode());
   }
+  defer_ = false;
   const std::uint64_t backoff =
       1ull << std::min<std::uint64_t>(consecutive_failures_, 6);
   ctx.set_timer(kTimer, cfg_.base_timeout * static_cast<SimTime>(backoff));
@@ -57,18 +65,31 @@ void RaftLiteNode::advance_term(net::Context& ctx, Round t, bool failed) {
   }
 }
 
+void RaftLiteNode::broadcast_term_change(net::Context& ctx, Round t) {
+  // Sending a term change is the phase-1 promise for ballot t + 1: from now
+  // on this node refuses accepts for ballots <= t, and the report below
+  // carries everything a new leader needs to respect prior accepts.
+  promised_ = std::max(promised_, t + 1);
+  Writer w;
+  w.u64(chain_.finalized_height());
+  w.boolean(accepted_.has_value());
+  if (accepted_) {
+    w.u64(accepted_->ballot);
+    accepted_->block.encode(w);
+  }
+  ctx.broadcast(consensus::make_envelope(
+                    kProto, static_cast<std::uint8_t>(MsgType::kTermChange), t,
+                    self_, w.take(), keys_.sk)
+                    .encode());
+}
+
 void RaftLiteNode::on_timer(net::Context& ctx, std::uint64_t timer_id) {
   if (timer_id != kTimer || stopped_) return;
   TermState& ts = terms_[term_];
   if (ts.committed) return;
   if (!ts.change_sent) {
     ts.change_sent = true;
-    Writer w;
-    w.u8(1);
-    ctx.broadcast(consensus::make_envelope(
-                      kProto, static_cast<std::uint8_t>(MsgType::kTermChange),
-                      term_, self_, w.take(), keys_.sk)
-                      .encode());
+    broadcast_term_change(ctx, term_);
   }
 }
 
@@ -81,6 +102,9 @@ void RaftLiteNode::commit_block(net::Context& ctx, Round t,
     chain_.append_tentative(block);
     chain_.finalize_up_to(chain_.height());
     mempool_.mark_included(block.txs);
+    // This height's Paxos instance is decided; accept state belongs to it.
+    accepted_.reset();
+    adopt_.reset();
   }
   if (t == term_) advance_term(ctx, t, /*failed=*/false);
 }
@@ -111,12 +135,19 @@ void RaftLiteNode::on_message(net::Context& ctx, NodeId from,
       case MsgType::kAppend: {
         if (env.from != leader) return;
         const ledger::Block block = ledger::Block::decode(r_);
-        if (block.round != t) return;
+        // Re-proposals of an adopted value keep their original term stamp so
+        // the block hash (and thus the chosen value) is preserved.
+        if (block.round > t) return;
+        // Phase-2 accept: only for the current term, never for a ballot we
+        // have promised away, and only extending our finalized tip.
+        if (t != term_ || t < promised_) return;
+        if (block.parent != chain_.tip_hash()) return;
         ts.proposal = block;
         ts.h = block.hash();
+        accepted_ = Accepted{t, block};
         if (self_ == leader) {
           ts.acks[self_] = true;
-        } else if (block.parent == chain_.tip_hash()) {
+        } else {
           Writer w;
           w.raw(ByteSpan(ts.h.data(), ts.h.size()));
           ctx.send(leader, consensus::make_envelope(
@@ -148,27 +179,53 @@ void RaftLiteNode::on_message(net::Context& ctx, NodeId from,
       case MsgType::kCommit: {
         if (env.from != leader) return;
         const ledger::Block block = ledger::Block::decode(r_);
-        if (block.round != t) return;
+        // Adopted re-proposals keep their original term stamp (see kAppend).
+        if (block.round > t) return;
         if (t > term_) term_ = t;  // catch up
         commit_block(ctx, t, block);
         break;
       }
       case MsgType::kTermChange: {
-        ts.term_changes[env.from] = true;
+        ChangeReport report;
+        report.finalized_height = r_.u64();
+        if (r_.boolean()) {
+          Accepted acc;
+          acc.ballot = r_.u64();
+          acc.block = ledger::Block::decode(r_);
+          report.accepted = std::move(acc);
+        }
+        ts.term_changes[env.from] = std::move(report);
         // A single suspicion advances the term after a majority echoes it;
-        // crashed leaders cannot ack so live nodes converge on t+1.
-        if (!ts.change_sent && ts.term_changes.size() >= 1) {
+        // crashed leaders cannot ack so live nodes converge on t+1. Echo
+        // only for the live current term — late suspicions of decided or
+        // abandoned terms would just broadcast noise.
+        if (!ts.change_sent && t == term_ && !ts.committed) {
           ts.change_sent = true;
-          Writer w;
-          w.u8(1);
-          ctx.broadcast(
-              consensus::make_envelope(
-                  kProto, static_cast<std::uint8_t>(MsgType::kTermChange), t,
-                  self_, w.take(), keys_.sk)
-                  .encode());
+          broadcast_term_change(ctx, t);
         }
         if (ts.term_changes.size() >= majority() && !ts.committed &&
             t == term_) {
+          // Phase 1 for term t+1: the majority's reports decide what the
+          // next leader may propose. If anyone finalized beyond us we are
+          // behind a decided height, so the next leader must not propose a
+          // fresh (potentially conflicting) block there. Otherwise adopt
+          // the highest-ballot accepted value for our height, if any.
+          defer_ = false;
+          adopt_.reset();
+          for (const auto& [id, rep] : ts.term_changes) {
+            if (rep.finalized_height > chain_.finalized_height()) {
+              defer_ = true;
+            }
+            if (rep.accepted &&
+                rep.accepted->block.parent == chain_.tip_hash() &&
+                (!adopt_ || rep.accepted->ballot > adopt_->ballot)) {
+              adopt_ = rep.accepted;
+            }
+          }
+          if (accepted_ && accepted_->block.parent == chain_.tip_hash() &&
+              (!adopt_ || accepted_->ballot > adopt_->ballot)) {
+            adopt_ = accepted_;
+          }
           advance_term(ctx, t, /*failed=*/true);
         }
         break;

@@ -14,6 +14,14 @@ namespace ratcon::baselines {
 /// deterministically per term (no elections: the point of the Table 1
 /// experiment is the 2c < n availability bound, not leader election).
 ///
+/// Each height is a single-decree Paxos instance with the term as ballot:
+/// a term change doubles as the phase-1 promise (it carries the sender's
+/// accepted value and finalized height), acks are phase-2 accepts gated on
+/// that promise, and a new leader re-proposes the highest-ballot accepted
+/// value reported by the term-change majority. That keeps the log safe
+/// under arbitrary message delay (partial synchrony / asynchrony), as a
+/// crash-tolerant protocol must be.
+///
 /// Tolerates crash faults only: a crashed node is silent forever. With
 /// c < n/2 crashes the remaining majority keeps committing; with c >= n/2
 /// no quorum can form and the system stalls — both outcomes are measured
@@ -48,11 +56,24 @@ class RaftLiteNode : public consensus::IReplica {
   void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
 
  private:
+  /// Phase-2 accept for the current height: ballot (term) + value.
+  struct Accepted {
+    Round ballot = 0;
+    ledger::Block block;
+  };
+
+  /// One node's term-change report: its finalized height plus its accepted
+  /// value, if any — the phase-1 promise payload.
+  struct ChangeReport {
+    std::uint64_t finalized_height = 0;
+    std::optional<Accepted> accepted;
+  };
+
   struct TermState {
     std::optional<ledger::Block> proposal;
     crypto::Hash256 h{};
     std::map<NodeId, bool> acks;
-    std::map<NodeId, bool> term_changes;
+    std::map<NodeId, ChangeReport> term_changes;
     bool committed = false;
     bool change_sent = false;
   };
@@ -63,6 +84,7 @@ class RaftLiteNode : public consensus::IReplica {
   void start_term(net::Context& ctx);
   void advance_term(net::Context& ctx, Round t, bool failed);
   void commit_block(net::Context& ctx, Round t, const ledger::Block& block);
+  void broadcast_term_change(net::Context& ctx, Round t);
 
   consensus::Config cfg_;
   crypto::KeyRegistry* registry_;
@@ -70,6 +92,10 @@ class RaftLiteNode : public consensus::IReplica {
 
   NodeId self_ = kNoNode;
   Round term_ = 1;
+  Round promised_ = 0;               ///< highest ballot promised (phase 1)
+  std::optional<Accepted> accepted_; ///< phase-2 accept for current height
+  std::optional<Accepted> adopt_;    ///< value the next leader must re-propose
+  bool defer_ = false;               ///< a majority peer is ahead; don't propose
   std::map<Round, TermState> terms_;
   std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
   ledger::Chain chain_;

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/netmodel.hpp"
+
+namespace ratcon::harness {
+
+/// Seed-matrix scenario harness: drives a protocol through the cross-product
+/// of committee sizes × network models × RNG seeds and records, per cell, the
+/// shared safety properties every configuration must uphold (agreement,
+/// c-strict ordering, no honest slashing). Equilibrium/safety claims are only
+/// credible when they survive varied network and committee conditions; this
+/// harness is the regression gate for that.
+
+/// Network condition a cell runs under.
+enum class NetKind : std::uint8_t {
+  kSynchronous = 0,
+  kPartialSynchrony = 1,
+  kAsynchronous = 2,
+};
+
+/// Protocol a cell deploys.
+enum class Protocol : std::uint8_t {
+  kPrft = 0,
+  kHotStuff = 1,
+  kRaftLite = 2,
+};
+
+[[nodiscard]] const char* to_string(NetKind kind);
+[[nodiscard]] const char* to_string(Protocol proto);
+
+/// The sweep definition. Defaults give the tier-1 seed matrix:
+/// 4 committee sizes × 3 network models × 5 seeds.
+struct MatrixSpec {
+  std::vector<Protocol> protocols{Protocol::kPrft};
+  std::vector<std::uint32_t> committee_sizes{4, 7, 16, 31};
+  std::vector<NetKind> nets{NetKind::kSynchronous, NetKind::kPartialSynchrony,
+                            NetKind::kAsynchronous};
+  std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5};
+
+  SimTime delta = msec(10);
+  /// GST for partial synchrony (pre-GST the adversary delays messages).
+  SimTime gst = msec(200);
+  /// Probability a pre-GST message is held until after GST.
+  double hold_probability = 0.9;
+  /// Blocks each cell tries to finalize before stopping.
+  std::uint64_t target_blocks = 3;
+  /// Transactions injected at the start of each cell.
+  std::uint64_t workload_txs = 12;
+  /// Virtual-time cap per cell; cells stop early once every honest replica
+  /// reaches `target_blocks`.
+  SimTime horizon = sec(120);
+
+  /// Crash-fault scenario: crash-stop nodes 0..crash_count-1 at `crash_at`.
+  /// Crashed nodes are honest-but-silent — safety must survive and their
+  /// deposits must never be burned.
+  std::uint32_t crash_count = 0;
+  SimTime crash_at = msec(5);
+};
+
+/// Outcome of one (protocol, n, net, seed) cell.
+struct CellResult {
+  Protocol protocol{};
+  std::uint32_t n = 0;
+  NetKind net{};
+  std::uint64_t seed = 0;
+
+  bool agreement = false;       ///< no two honest chains conflict
+  bool ordering = false;        ///< c-strict ordering across honest chains
+  bool honest_slashed = false;  ///< an honest deposit was burned (must not be)
+  std::uint64_t min_height = 0;
+  std::uint64_t max_height = 0;
+  std::uint64_t messages = 0;  ///< network sends observed
+  std::uint64_t bytes = 0;     ///< network bytes observed
+
+  /// The shared safety predicate asserted on every cell.
+  [[nodiscard]] bool safe() const {
+    return agreement && ordering && !honest_slashed;
+  }
+
+  /// "prft/n=7/partial-synchrony/seed=3" — for assertion messages.
+  [[nodiscard]] std::string label() const;
+};
+
+/// Results of a full sweep.
+struct MatrixReport {
+  std::vector<CellResult> cells;
+
+  [[nodiscard]] std::size_t cell_count() const { return cells.size(); }
+  [[nodiscard]] bool all_safe() const;
+  [[nodiscard]] std::vector<const CellResult*> unsafe_cells() const;
+
+  /// Human-readable per-cell table (protocol, n, net, seed, heights, safety).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Builds the network model for a cell. Synchronous: delays within Δ.
+/// Partial synchrony: adversarial until `gst`, then Δ-bounded. Asynchronous:
+/// exponential delays (mean Δ) capped at 20Δ — finite but unbounded-looking.
+[[nodiscard]] std::unique_ptr<net::NetworkModel> make_net_model(
+    NetKind kind, const MatrixSpec& spec);
+
+/// Runs a single cell to its horizon (early exit once every honest replica
+/// finalized `spec.target_blocks`).
+[[nodiscard]] CellResult run_cell(Protocol proto, std::uint32_t n,
+                                  NetKind kind, std::uint64_t seed,
+                                  const MatrixSpec& spec);
+
+/// Runs the full cross-product.
+[[nodiscard]] MatrixReport run_matrix(const MatrixSpec& spec);
+
+}  // namespace ratcon::harness

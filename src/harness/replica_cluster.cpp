@@ -72,6 +72,18 @@ bool ReplicaCluster::agreement_holds() const {
   return !consensus::any_fork(honest_chains());
 }
 
+bool ReplicaCluster::ordering_holds(std::uint64_t c) const {
+  const auto chains = honest_chains();
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    for (std::size_t j = i + 1; j < chains.size(); ++j) {
+      if (!ledger::c_strict_ordering_holds(*chains[i], *chains[j], c)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 std::uint64_t ReplicaCluster::min_height() const {
   return consensus::min_finalized_height(honest_chains());
 }

@@ -62,6 +62,11 @@ class ReplicaCluster {
       std::uint64_t baseline_height = 0,
       std::optional<std::uint64_t> watched_tx = std::nullopt) const;
   [[nodiscard]] bool agreement_holds() const;
+
+  /// c-strict ordering (Definition 1) across every honest pair, mirroring
+  /// PrftCluster::ordering_holds so cross-protocol sweeps assert the same
+  /// safety surface.
+  [[nodiscard]] bool ordering_holds(std::uint64_t c = 0) const;
   [[nodiscard]] std::uint64_t min_height() const;
   [[nodiscard]] std::uint64_t max_height() const;
 

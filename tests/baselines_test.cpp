@@ -268,6 +268,59 @@ TEST(RaftLite, SurvivesMinorityCrash) {
   EXPECT_GE(alive_max, 5u);
 }
 
+TEST(Hotstuff, StaysSafeUnderPartialSynchrony) {
+  // Regression pin for the locked-QC machinery: before replicas locked on
+  // commit-voted blocks (and voted round-monotonically), held pre-GST
+  // decides let two honest replicas finalize different blocks at one
+  // height. Adversarial delays must never fork an all-honest committee.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    ReplicaCluster::Options opt;
+    opt.n = 7;
+    opt.t0 = consensus::bft_t0(7);
+    opt.seed = seed;
+    opt.make_net = []() {
+      return net::make_partial_synchrony(msec(200), msec(10), 0.9);
+    };
+    opt.factory = [](NodeId id, const consensus::Config& cfg,
+                     crypto::KeyRegistry& registry, ledger::DepositLedger&) {
+      HotstuffNode::Deps deps;
+      deps.cfg = cfg;
+      deps.registry = &registry;
+      deps.keys = registry.generate(id, 4);
+      auto node = std::make_unique<HotstuffNode>(std::move(deps));
+      node->set_target_blocks(cfg.target_rounds);
+      return node;
+    };
+    ReplicaCluster cluster(std::move(opt));
+    cluster.inject_workload(10, msec(1), msec(2));
+    cluster.start();
+    cluster.run_until(sec(120));
+
+    EXPECT_TRUE(cluster.agreement_holds()) << "seed " << seed;
+    EXPECT_TRUE(cluster.ordering_holds()) << "seed " << seed;
+  }
+}
+
+TEST(RaftLite, StaysSafeUnderPartialSynchrony) {
+  // Regression pin for the Paxos-style term changes: without the phase-1
+  // promise/adoption, a node could ack conflicting same-height blocks in
+  // different terms and delayed commits forked the log. A crash-tolerant
+  // protocol must keep safety under arbitrary message delay.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    auto opt = raft_options(5, seed);
+    opt.make_net = []() {
+      return net::make_partial_synchrony(msec(200), msec(10), 0.9);
+    };
+    ReplicaCluster cluster(std::move(opt));
+    cluster.inject_workload(10, msec(1), msec(2));
+    cluster.start();
+    cluster.run_until(sec(120));
+
+    EXPECT_TRUE(cluster.agreement_holds()) << "seed " << seed;
+    EXPECT_TRUE(cluster.ordering_holds()) << "seed " << seed;
+  }
+}
+
 TEST(RaftLite, StallsUnderMajorityCrash) {
   // c = 3 >= n/2: no majority can form; the system stalls forever.
   ReplicaCluster cluster(raft_options(5, 33));

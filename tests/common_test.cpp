@@ -120,6 +120,83 @@ TEST(Codec, TrailingBytesDetected) {
   EXPECT_THROW(r.expect_done(), CodecError);
 }
 
+TEST(Codec, EveryReadThrowsOnEmptyBuffer) {
+  std::uint8_t sink[4] = {};
+  Reader r(ByteSpan{});
+  EXPECT_THROW(r.u8(), CodecError);
+  EXPECT_THROW(r.u16(), CodecError);
+  EXPECT_THROW(r.u32(), CodecError);
+  EXPECT_THROW(r.u64(), CodecError);
+  EXPECT_THROW(r.raw(1), CodecError);
+  EXPECT_THROW(r.raw_into(sink, 1), CodecError);
+}
+
+TEST(Codec, TruncatedStringBodyThrows) {
+  // Valid length prefix claiming 5 bytes, but only 2 bytes follow.
+  Writer w;
+  w.u32(5);
+  w.u8('h');
+  w.u8('i');
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(Codec, TruncatedBytesBodyThrows) {
+  Writer w;
+  w.u32(9);
+  w.u8(0xaa);
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(Codec, MaxLengthBoundaryIsExact) {
+  // A length field exactly at max_len must pass; max_len + 1 must throw —
+  // the guard cannot be off by one in either direction.
+  const Bytes payload(8, 0x5a);
+  Writer w;
+  w.bytes(ByteSpan(payload.data(), payload.size()));
+  {
+    Reader r(ByteSpan(w.data().data(), w.data().size()));
+    EXPECT_EQ(r.bytes(/*max_len=*/8), payload);
+  }
+  {
+    Reader r(ByteSpan(w.data().data(), w.data().size()));
+    EXPECT_THROW(r.bytes(/*max_len=*/7), CodecError);
+  }
+}
+
+TEST(Codec, MaxLengthFieldDoesNotOverflow) {
+  // 0xffffffff as a length must be rejected by the limit check, not wrap
+  // around any internal arithmetic and read out of bounds.
+  Writer w;
+  w.u32(0xffffffffu);
+  {
+    Reader r(ByteSpan(w.data().data(), w.data().size()));
+    EXPECT_THROW(r.bytes(), CodecError);
+  }
+  {
+    Reader r(ByteSpan(w.data().data(), w.data().size()));
+    EXPECT_THROW(r.str(), CodecError);
+  }
+  {
+    Reader r(ByteSpan(w.data().data(), w.data().size()));
+    EXPECT_THROW(r.count(1u << 20), CodecError);
+  }
+}
+
+TEST(Codec, FailedReadLeavesPositionIntact) {
+  // A throwing read must not consume input: the same reader can continue
+  // with reads that do fit.
+  Writer w;
+  w.u8(7);
+  w.u8(9);
+  Reader r(ByteSpan(w.data().data(), w.data().size()));
+  EXPECT_THROW(r.u32(), CodecError);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u8(), 9);
+  EXPECT_TRUE(r.done());
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a(42);
   Rng b(42);

@@ -412,5 +412,31 @@ TEST(Outcome, HeightHelpers) {
   EXPECT_EQ(min_finalized_height({&a, &b}), 0u);
 }
 
+TEST(Outcome, EmptyHonestSetClassifiesAsNoProgress) {
+  // Degenerate observation window with no honest ledgers: nothing can fork
+  // and nothing progressed — classification must not crash or claim σ_0.
+  OutcomeQuery query;
+  EXPECT_FALSE(any_fork(query.honest_chains));
+  EXPECT_EQ(max_finalized_height(query.honest_chains), 0u);
+  EXPECT_EQ(min_finalized_height(query.honest_chains), 0u);
+  EXPECT_EQ(classify_outcome(query), game::SystemState::kNoProgress);
+}
+
+TEST(Outcome, ForkDominatesCensorship) {
+  // σ_Fork is the worst state and must win even when the watched tx is
+  // also missing from every honest ledger.
+  ledger::Chain a;
+  ledger::Chain b;
+  a.append_tentative(child_of(a, 1, 1));
+  b.append_tentative(child_of(b, 1, 2));  // different content, same height
+  a.finalize_up_to(1);
+  b.finalize_up_to(1);
+
+  OutcomeQuery query;
+  query.honest_chains = {&a, &b};
+  query.watched_tx = 777;  // excluded everywhere
+  EXPECT_EQ(classify_outcome(query), game::SystemState::kFork);
+}
+
 }  // namespace
 }  // namespace ratcon::consensus

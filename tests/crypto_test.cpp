@@ -192,6 +192,56 @@ TEST(Merkle, ProveOutOfRangeThrows) {
   EXPECT_THROW(tree.prove(1), std::out_of_range);
 }
 
+TEST(Merkle, EmptyTreeProveThrows) {
+  MerkleTree tree({});
+  EXPECT_EQ(tree.leaf_count(), 0u);
+  EXPECT_THROW(tree.prove(0), std::out_of_range);
+}
+
+TEST(Merkle, EmptyComputeRootIsZero) {
+  EXPECT_EQ(MerkleTree::compute_root({}), kZeroHash);
+}
+
+TEST(Merkle, SingleLeafProofIsEmptyPath) {
+  const Hash256 leaf = sha256(std::string_view("only"));
+  MerkleTree tree({leaf});
+  const MerkleProof proof = tree.prove(0);
+  EXPECT_TRUE(proof.path.empty());
+  EXPECT_TRUE(MerkleTree::verify(leaf, proof, tree.root()));
+}
+
+TEST(Merkle, OddLeafCountDuplicatesLastLeaf) {
+  // Bitcoin-style duplication: with 3 leaves the root must equal
+  // H(H(a,b), H(c,c)) — the odd leaf is paired with itself.
+  const Hash256 a = sha256(std::string_view("a"));
+  const Hash256 b = sha256(std::string_view("b"));
+  const Hash256 c = sha256(std::string_view("c"));
+  MerkleTree tree({a, b, c});
+  EXPECT_EQ(tree.root(), hash_pair(hash_pair(a, b), hash_pair(c, c)));
+}
+
+TEST(Merkle, OddLevelLastLeafProofVerifies) {
+  // 5 leaves: the last leaf is the odd one at two consecutive levels; its
+  // proof must still verify and its sibling steps are self-duplications.
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < 5; ++i) {
+    leaves.push_back(sha256("odd-" + std::to_string(i)));
+  }
+  MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(4);
+  EXPECT_TRUE(MerkleTree::verify(leaves[4], proof, tree.root()));
+  ASSERT_FALSE(proof.path.empty());
+  EXPECT_EQ(proof.path[0].sibling, leaves[4]) << "odd leaf pairs with itself";
+}
+
+TEST(Merkle, ProofForDifferentLeafFails) {
+  const Hash256 a = sha256(std::string_view("a"));
+  const Hash256 b = sha256(std::string_view("b"));
+  const Hash256 c = sha256(std::string_view("c"));
+  MerkleTree tree({a, b, c});
+  EXPECT_FALSE(MerkleTree::verify(b, tree.prove(0), tree.root()));
+}
+
 TEST(Signatures, SignVerifyRoundTrip) {
   KeyRegistry registry;
   const KeyPair kp = registry.generate(0, 1);

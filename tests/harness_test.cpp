@@ -39,6 +39,17 @@ TEST(Formatting, Numbers) {
   EXPECT_EQ(fmt_bytes(3u << 20), "3.0 MiB");
 }
 
+TEST(Formatting, UnitBoundariesAreExact) {
+  // The KiB/MiB switchovers must not be off by one in either direction.
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_bytes(0), "0 B");
+  EXPECT_EQ(fmt_bytes(1023), "1023 B");
+  EXPECT_EQ(fmt_bytes(1024), "1.0 KiB");
+  EXPECT_EQ(fmt_bytes((1u << 20) - 1), "1024.0 KiB");
+  EXPECT_EQ(fmt_bytes(1u << 20), "1.0 MiB");
+}
+
 TEST(PowerFit, RecoversExactExponent) {
   // y = 3 * x^2.
   std::vector<double> x = {2, 4, 8, 16, 32};

@@ -167,6 +167,25 @@ TEST(ChainTest, CStrictOrderingOnPrefixChains) {
   EXPECT_FALSE(chains_conflict(a, b));
 }
 
+TEST(ChainTest, PrefixHashesDropBeyondLengthLeavesNothingButGenesis) {
+  Chain a;
+  a.append_tentative(make_block(a.tip_hash(), 1, 0, 1));
+  a.finalize_up_to(1);
+  // finalized_hashes = [genesis, b1]; dropping more than exists must clamp
+  // cleanly instead of wrapping.
+  EXPECT_EQ(a.finalized_hashes().size(), 2u);
+  EXPECT_EQ(a.prefix_hashes(1).size(), 1u);
+  EXPECT_TRUE(a.prefix_hashes(2).empty());
+  EXPECT_TRUE(a.prefix_hashes(100).empty());
+}
+
+TEST(ChainTest, CStrictOrderingOnFreshChainsHoldsTrivially) {
+  Chain a;
+  Chain b;
+  EXPECT_TRUE(c_strict_ordering_holds(a, b, 0));
+  EXPECT_FALSE(chains_conflict(a, b));
+}
+
 TEST(ChainTest, ForkDetected) {
   Chain a;
   Chain b;

@@ -87,6 +87,28 @@ TEST(NetModels, PartialSynchronyHoldsUntilGst) {
   }
 }
 
+TEST(NetModels, PartialSynchronyProbabilisticHoldMixesBothPaths) {
+  // The seed matrix drives this model with hold_probability < 1: some
+  // pre-GST sends are held past GST, the rest take the heavy-delay path.
+  // Either way delivery is strictly after the send and finite.
+  PartialSynchronyNet model(msec(500), msec(10), 0.5);
+  Rng rng(7);
+  int held = 0;
+  int prompt = 0;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime at = model.delivery_time(0, 1, msec(100), rng);
+    EXPECT_GT(at, msec(100));
+    EXPECT_LT(at, kSimTimeNever);
+    if (at > msec(500)) {
+      ++held;
+    } else {
+      ++prompt;
+    }
+  }
+  EXPECT_GT(held, 0) << "hold path never sampled";
+  EXPECT_GT(prompt, 0) << "heavy-delay path never sampled";
+}
+
 TEST(NetModels, AsynchronousDeliveryIsFinite) {
   AsynchronousNet model(msec(20), sec(2));
   Rng rng(3);
