@@ -20,7 +20,8 @@
 #include <memory>
 
 #include "adversary/fork_agent.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
@@ -49,31 +50,32 @@ Result run(std::uint32_t t0, std::uint64_t seed) {
   // it to side A for the n/3 run where quorums are smaller.
   plan->side_a.insert(11);
 
-  harness::PrftClusterOptions opt;
-  opt.n = kN;
-  opt.t0 = t0;
-  opt.seed = seed;
-  opt.target_blocks = 3;
-  opt.node_factory = [plan](NodeId id, prft::PrftNode::Deps deps) {
+  harness::ScenarioSpec spec;
+  spec.committee.n = kN;
+  spec.committee.t0 = t0;
+  spec.seed = seed;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  spec.workload.interval = msec(1);
+  spec.adversary.node_factory =
+      [plan](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
     if (plan->coalition.count(id)) {
-      return std::unique_ptr<prft::PrftNode>(
-          new adversary::ForkAgentNode(std::move(deps), plan));
+      return std::make_unique<adversary::ForkAgentNode>(
+          harness::make_prft_deps(id, env), plan);
     }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
+    return nullptr;
   };
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(6, msec(1), msec(1));
   // Attack under the proof-style partition so both sides act independently.
   const std::vector<NodeId> a(plan->side_a.begin(), plan->side_a.end());
   const std::vector<NodeId> b(plan->side_b.begin(), plan->side_b.end());
-  cluster.net().schedule(msec(1), [&cluster, a, b]() {
-    cluster.net().set_partition({a, b}, msec(400));
-  });
-  cluster.start();
-  cluster.run_until(sec(300));
+  spec.faults.partition({a, b}, msec(1), msec(400));
+  harness::Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
   Result r;
-  r.finalized_fork = !cluster.agreement_holds();
+  r.finalized_fork = !sim.agreement_holds();
   // Tentative conflict: any two honest nodes hold conflicting tips above
   // their finalized prefix at any point is hard to observe post-hoc; we use
   // the commit-quorum witness: both attack values collected quorum-level
@@ -81,11 +83,11 @@ Result run(std::uint32_t t0, std::uint64_t seed) {
   // count exceeded t0 somewhere (expose fired).
   std::uint64_t exposes = 0;
   for (NodeId id = 0; id < kN; ++id) {
-    exposes += cluster.node(id).exposes_sent();
+    exposes += sim.prft(id).exposes_sent();
   }
   r.tentative_conflict = exposes > 0;
-  r.slashed = cluster.deposits().slashed_players().size();
-  r.height = cluster.min_height();
+  r.slashed = sim.deposits().slashed_players().size();
+  r.height = sim.min_height();
   return r;
 }
 

@@ -13,13 +13,15 @@
 #include <memory>
 
 #include "baselines/quorum_node.hpp"
-#include "harness/replica_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
 using baselines::QuorumForkPlan;
 using baselines::QuorumNode;
-using harness::ReplicaCluster;
+using harness::ScenarioSpec;
+using harness::Simulation;
 
 namespace {
 
@@ -33,30 +35,26 @@ struct Outcome {
 
 /// Liveness probe: t0 Byzantine players abstain; do blocks still finalize?
 Outcome run_liveness(std::uint32_t tau) {
-  ReplicaCluster::Options opt;
-  opt.n = kN;
-  opt.t0 = kT0;
-  opt.seed = 50 + tau;
-  opt.target_blocks = 3;
-  opt.factory = [tau](NodeId id, const consensus::Config& cfg,
-                      crypto::KeyRegistry& registry,
-                      ledger::DepositLedger& deposits) {
-    QuorumNode::Deps deps;
-    deps.cfg = cfg;
+  ScenarioSpec spec;
+  spec.protocol = harness::Protocol::kQuorum;
+  spec.committee.n = kN;
+  spec.committee.t0 = kT0;
+  spec.seed = 50 + tau;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  spec.workload.interval = msec(1);
+  spec.adversary.node_factory =
+      [tau](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
+    QuorumNode::Deps deps = harness::make_quorum_deps(id, env);
     deps.tau = tau;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 1);
-    deps.deposits = &deposits;
     deps.abstain = id < kT0;  // π_abs, crash-indistinguishable
-    auto node = std::make_unique<QuorumNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
+    return std::make_unique<QuorumNode>(std::move(deps));
   };
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(6, msec(1), msec(1));
-  cluster.start();
-  cluster.run_until(sec(120));
-  return {cluster.max_height() >= 3, !cluster.agreement_holds()};
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(120));
+  return {sim.max_height() >= 3, !sim.agreement_holds()};
 }
 
 /// Safety probe: t0 double-signers + an equal partition of the rest.
@@ -67,32 +65,28 @@ Outcome run_safety(std::uint32_t tau) {
   plan->side_a = {2, 3, 4, 5};
   plan->side_b = {6, 7, 8, 9};
 
-  ReplicaCluster::Options opt;
-  opt.n = kN;
-  opt.t0 = kT0;
-  opt.seed = 90 + tau;
-  opt.target_blocks = 3;
-  opt.factory = [tau, plan](NodeId id, const consensus::Config& cfg,
-                            crypto::KeyRegistry& registry,
-                            ledger::DepositLedger& deposits) {
-    QuorumNode::Deps deps;
-    deps.cfg = cfg;
+  ScenarioSpec spec;
+  spec.protocol = harness::Protocol::kQuorum;
+  spec.committee.n = kN;
+  spec.committee.t0 = kT0;
+  spec.seed = 90 + tau;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  spec.workload.interval = msec(1);
+  spec.adversary.node_factory =
+      [tau, plan](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
+    QuorumNode::Deps deps = harness::make_quorum_deps(id, env);
     deps.tau = tau;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 1);
-    deps.deposits = &deposits;
     deps.fork_plan = plan;
-    auto node = std::make_unique<QuorumNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
+    return std::make_unique<QuorumNode>(std::move(deps));
   };
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(6, msec(1), msec(1));
   // The partition argument of Claim 1: A and B only talk through T.
-  cluster.net().set_partition({{2, 3, 4, 5}, {6, 7, 8, 9}}, sec(60));
-  cluster.start();
-  cluster.run_until(sec(120));
-  return {cluster.max_height() >= 1, !cluster.agreement_holds()};
+  spec.faults.partition({{2, 3, 4, 5}, {6, 7, 8, 9}}, 0, sec(60));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(120));
+  return {sim.max_height() >= 1, !sim.agreement_holds()};
 }
 
 }  // namespace

@@ -15,9 +15,9 @@
 #include <memory>
 
 #include "core/messages.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
-#include "net/netmodel.hpp"
 
 using namespace ratcon;
 
@@ -78,67 +78,68 @@ int main() {
 
   // ---- Consistency under pre-GST churn -----------------------------------
   {
-    harness::PrftClusterOptions opt;
-    opt.n = 9;
-    opt.seed = 700;
-    opt.target_blocks = 5;
-    opt.make_net = [] {
-      return net::make_partial_synchrony(msec(600), msec(10), 0.85);
-    };
-    harness::PrftCluster cluster(opt);
-    cluster.inject_workload(10, msec(1), msec(1));
-    cluster.net().schedule(msec(30), [&cluster]() {
-      cluster.net().set_partition({{0, 1, 2, 3}, {4, 5, 6, 7, 8}}, msec(600));
-    });
-    cluster.start();
-    cluster.run_until(sec(600));
+    harness::ScenarioSpec spec;
+    spec.committee.n = 9;
+    spec.seed = 700;
+    spec.budget.target_blocks = 5;
+    spec.workload.txs = 10;
+    spec.workload.interval = msec(1);
+    spec.net = harness::NetworkSpec::partial_synchrony(msec(600), msec(10),
+                                                       0.85);
+    spec.faults.partition({{0, 1, 2, 3}, {4, 5, 6, 7, 8}}, msec(30),
+                          msec(600));
+    harness::Simulation sim(spec);
+    sim.start();
+    sim.run_until(sec(600));
 
     std::uint64_t vcs = 0;
     for (NodeId id = 0; id < 9; ++id) {
-      vcs += cluster.node(id).view_changes();
+      vcs += sim.prft(id).view_changes();
     }
-    const bool pass = vcs > 0 && cluster.agreement_holds() &&
-                      cluster.ordering_holds() && cluster.min_height() >= 5;
+    const bool pass = vcs > 0 && sim.agreement_holds() &&
+                      sim.ordering_holds() && sim.min_height() >= 5;
     ok = ok && pass;
     table.add_row({"consistency (pre-GST churn)", std::to_string(vcs),
-                   std::to_string(cluster.min_height()),
-                   cluster.agreement_holds() ? "holds" : "VIOLATED",
-                   cluster.ordering_holds() ? "holds" : "VIOLATED",
+                   std::to_string(sim.min_height()),
+                   sim.agreement_holds() ? "holds" : "VIOLATED",
+                   sim.ordering_holds() ? "holds" : "VIOLATED",
                    pass ? "pass" : "FAIL"});
   }
 
   // ---- Robustness against T-only view-change spam -------------------------
   {
-    harness::PrftClusterOptions opt;
-    opt.n = 9;
-    opt.seed = 701;
-    opt.target_blocks = 5;
-    opt.node_factory = [](NodeId id, prft::PrftNode::Deps deps) {
+    harness::ScenarioSpec spec;
+    spec.committee.n = 9;
+    spec.seed = 701;
+    spec.budget.target_blocks = 5;
+    spec.workload.txs = 10;
+    spec.workload.interval = msec(1);
+    spec.adversary.node_factory =
+        [](NodeId id, const harness::NodeEnv& env)
+        -> std::unique_ptr<consensus::IReplica> {
       if (id < 2) {  // t = t0 = 2 Byzantine spammers
-        return std::unique_ptr<prft::PrftNode>(
-            new VcSpammer(std::move(deps)));
+        return std::make_unique<VcSpammer>(harness::make_prft_deps(id, env));
       }
-      return std::make_unique<prft::PrftNode>(std::move(deps));
+      return nullptr;
     };
-    harness::PrftCluster cluster(opt);
-    cluster.inject_workload(10, msec(1), msec(1));
-    cluster.start();
-    cluster.run_until(sec(300));
+    harness::Simulation sim(spec);
+    sim.start();
+    sim.run_until(sec(300));
 
     // The spam contributes only t0 < n − t0 signatures per round, so no
     // view-change certificate can form from T alone; honest-led rounds
     // finalize normally.
-    const bool pass = cluster.agreement_holds() && cluster.min_height() >= 5 &&
-                      !cluster.honest_player_slashed();
+    const bool pass = sim.agreement_holds() && sim.min_height() >= 5 &&
+                      !sim.honest_player_slashed();
     ok = ok && pass;
     std::uint64_t vcs = 0;
     for (NodeId id = 2; id < 9; ++id) {
-      vcs += cluster.node(id).view_changes();
+      vcs += sim.prft(id).view_changes();
     }
     table.add_row({"robustness (T spams VC)", std::to_string(vcs),
-                   std::to_string(cluster.min_height()),
-                   cluster.agreement_holds() ? "holds" : "VIOLATED",
-                   cluster.ordering_holds() ? "holds" : "VIOLATED",
+                   std::to_string(sim.min_height()),
+                   sim.agreement_holds() ? "holds" : "VIOLATED",
+                   sim.ordering_holds() ? "holds" : "VIOLATED",
                    pass ? "pass" : "FAIL"});
   }
 

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "core/messages.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
@@ -19,12 +19,14 @@ int main() {
   std::printf("Figure 1 / 2a — normal execution of pRFT (one round, n=5)\n");
   std::printf("==========================================================\n\n");
 
-  harness::PrftClusterOptions opt;
-  opt.n = 5;
-  opt.seed = 2024;
-  opt.target_blocks = 1;
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(4, usec(1), usec(1));
+  harness::ScenarioSpec spec;
+  spec.committee.n = 5;
+  spec.seed = 2024;
+  spec.budget.target_blocks = 1;
+  spec.workload.txs = 4;
+  spec.workload.start = usec(1);
+  spec.workload.interval = usec(1);
+  harness::Simulation sim(spec);
 
   struct SendEvent {
     SimTime at;
@@ -33,14 +35,14 @@ int main() {
     std::size_t bytes;
   };
   std::vector<SendEvent> events;
-  cluster.net().set_send_trace([&events](SimTime at, NodeId from, NodeId to,
-                                         std::uint8_t, std::uint8_t type,
-                                         std::size_t bytes) {
+  sim.net().set_send_trace([&events](SimTime at, NodeId from, NodeId to,
+                                     std::uint8_t, std::uint8_t type,
+                                     std::size_t bytes) {
     events.push_back({at, from, to, type, bytes});
   });
 
-  cluster.start();
-  cluster.run_until(sec(10));
+  sim.start();
+  sim.run_until(sec(10));
 
   // Group consecutive sends into phases by message type.
   std::map<std::uint8_t, std::pair<std::size_t, std::size_t>> per_type;
@@ -59,7 +61,7 @@ int main() {
   }
 
   std::printf("Round 1, leader = P%u (l = r mod n). Message schedule:\n\n",
-              cluster.config().leader(1));
+              sim.config().leader(1));
   harness::Table table({"Phase", "Message", "Sends", "Expected", "Bytes",
                         "First send", "Last send"});
   struct Row {
@@ -67,7 +69,7 @@ int main() {
     const char* phase;
     const char* expected;
   };
-  const std::uint32_t n = opt.n;
+  const std::uint32_t n = spec.committee.n;
   const std::string n_1 = std::to_string(n - 1);
   const std::string nn_1 = std::to_string(n * (n - 1));
   const Row rows[] = {
@@ -96,13 +98,13 @@ int main() {
   table.print();
 
   std::printf("\nOutcome: every replica finalized block 1: %s\n",
-              cluster.min_height() >= 1 ? "yes" : "NO");
+              sim.min_height() >= 1 ? "yes" : "NO");
   std::printf("Agreement: %s;  honest slashed: %s;  view changes: none "
               "needed on the synchronous path\n",
-              cluster.agreement_holds() ? "holds" : "VIOLATED",
-              cluster.honest_player_slashed() ? "YES (bug)" : "no");
+              sim.agreement_holds() ? "holds" : "VIOLATED",
+              sim.honest_player_slashed() ? "YES (bug)" : "no");
 
-  ok = ok && cluster.min_height() >= 1 && cluster.agreement_holds();
+  ok = ok && sim.min_height() >= 1 && sim.agreement_holds();
   std::printf("\n[fig1] %s: 4 phases, each completing before the next "
               "starts, exactly as drawn in Figure 2a.\n",
               ok ? "OK" : "MISMATCH");

@@ -14,17 +14,17 @@
 #include <cstdio>
 #include <memory>
 
-#include "baselines/hotstuff.hpp"
 #include "baselines/quorum_node.hpp"
 #include "harness/fit.hpp"
-#include "harness/prft_cluster.hpp"
-#include "harness/replica_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
-using baselines::HotstuffNode;
 using baselines::QuorumNode;
-using harness::ReplicaCluster;
+using harness::Protocol;
+using harness::ScenarioSpec;
+using harness::Simulation;
 
 namespace {
 
@@ -35,76 +35,48 @@ struct Measurement {
   double bytes_per_round = 0;
 };
 
-Measurement run_quorum(std::uint32_t n, bool accountable) {
-  ReplicaCluster::Options opt;
-  opt.n = n;
-  opt.t0 = consensus::bft_t0(n);
-  opt.seed = 1000 + n;
-  opt.target_blocks = kBlocks;
-  opt.max_block_txs = 4;
-  opt.factory = [accountable](NodeId id, const consensus::Config& cfg,
-                              crypto::KeyRegistry& registry,
-                              ledger::DepositLedger& deposits) {
-    QuorumNode::Deps deps;
-    deps.cfg = cfg;
-    deps.proto = accountable ? consensus::ProtoId::kPolygraph
-                             : consensus::ProtoId::kPbft;
-    deps.accountable = accountable;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 1);
-    deps.deposits = &deposits;
-    auto node = std::make_unique<QuorumNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
-  };
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(4, msec(1), msec(1));
-  cluster.start();
-  cluster.run_until(sec(120));
-  const auto total = cluster.net().stats().total();
+ScenarioSpec base_scenario(Protocol proto, std::uint32_t n,
+                           std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.protocol = proto;
+  spec.committee.n = n;
+  spec.committee.max_block_txs = 4;
+  spec.seed = seed;
+  spec.budget.target_blocks = kBlocks;
+  spec.workload.txs = 4;
+  spec.workload.interval = msec(1);
+  return spec;
+}
+
+Measurement measure(Simulation& sim) {
+  sim.start();
+  sim.run_until(sec(120));
+  const auto total = sim.net().stats().total();
   return {static_cast<double>(total.count) / kBlocks,
           static_cast<double>(total.bytes) / kBlocks};
+}
+
+Measurement run_quorum(std::uint32_t n, bool accountable) {
+  ScenarioSpec spec = base_scenario(Protocol::kQuorum, n, 1000 + n);
+  if (accountable) {
+    // Polygraph mode: same quorum machinery, certificates attached.
+    spec.adversary.node_factory = [](NodeId id, const harness::NodeEnv& env) {
+      return std::make_unique<QuorumNode>(
+          harness::make_quorum_deps(id, env, /*accountable=*/true));
+    };
+  }
+  Simulation sim(spec);
+  return measure(sim);
 }
 
 Measurement run_hotstuff(std::uint32_t n) {
-  ReplicaCluster::Options opt;
-  opt.n = n;
-  opt.t0 = consensus::bft_t0(n);
-  opt.seed = 2000 + n;
-  opt.target_blocks = kBlocks;
-  opt.max_block_txs = 4;
-  opt.factory = [](NodeId id, const consensus::Config& cfg,
-                   crypto::KeyRegistry& registry, ledger::DepositLedger&) {
-    HotstuffNode::Deps deps;
-    deps.cfg = cfg;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 1);
-    auto node = std::make_unique<HotstuffNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
-  };
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(4, msec(1), msec(1));
-  cluster.start();
-  cluster.run_until(sec(120));
-  const auto total = cluster.net().stats().total();
-  return {static_cast<double>(total.count) / kBlocks,
-          static_cast<double>(total.bytes) / kBlocks};
+  Simulation sim(base_scenario(Protocol::kHotStuff, n, 2000 + n));
+  return measure(sim);
 }
 
 Measurement run_prft(std::uint32_t n) {
-  harness::PrftClusterOptions opt;
-  opt.n = n;
-  opt.seed = 3000 + n;
-  opt.target_blocks = kBlocks;
-  opt.max_block_txs = 4;
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(4, msec(1), msec(1));
-  cluster.start();
-  cluster.run_until(sec(120));
-  const auto total = cluster.net().stats().total();
-  return {static_cast<double>(total.count) / kBlocks,
-          static_cast<double>(total.bytes) / kBlocks};
+  Simulation sim(base_scenario(Protocol::kPrft, n, 3000 + n));
+  return measure(sim);
 }
 
 }  // namespace

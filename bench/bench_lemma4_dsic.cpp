@@ -15,7 +15,8 @@
 #include "adversary/behaviors.hpp"
 #include "adversary/fork_agent.hpp"
 #include "game/utility.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
@@ -70,33 +71,39 @@ Result run(const std::string& strategy, std::uint64_t seed) {
   plan->side_a = {4, 5, 6};
   plan->side_b = {7, 8};
 
-  harness::PrftClusterOptions opt;
-  opt.n = kN;
-  opt.seed = seed;
-  opt.target_blocks = 4;
-  opt.node_factory = [&](NodeId id, prft::PrftNode::Deps deps) {
-    if (strategy == "pi_fork" && plan->coalition.count(id)) {
-      return std::unique_ptr<prft::PrftNode>(
-          new adversary::ForkAgentNode(std::move(deps), plan));
-    }
-    if (strategy == "pi_abs" && id == kCandidate) {
-      deps.behavior = std::make_shared<adversary::AbstainBehavior>();
-    }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
-  };
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(8, msec(1), msec(1));
-  cluster.start();
-  cluster.run_until(sec(300));
+  harness::ScenarioSpec spec;
+  spec.committee.n = kN;
+  spec.seed = seed;
+  spec.budget.target_blocks = 4;
+  spec.workload.txs = 8;
+  spec.workload.interval = msec(1);
+  if (strategy == "pi_abs") {
+    spec.adversary.behaviors[kCandidate] =
+        std::make_shared<adversary::AbstainBehavior>();
+  }
+  if (strategy == "pi_fork") {
+    spec.adversary.node_factory =
+        [plan](NodeId id, const harness::NodeEnv& env)
+        -> std::unique_ptr<consensus::IReplica> {
+      if (plan->coalition.count(id)) {
+        return std::make_unique<adversary::ForkAgentNode>(
+            harness::make_prft_deps(id, env), plan);
+      }
+      return nullptr;
+    };
+  }
+  harness::Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
   Result r;
-  r.blocks = cluster.max_height();
+  r.blocks = sim.max_height();
   for (NodeId id = 0; id < kN; ++id) {
-    r.rounds = std::max(r.rounds, cluster.node(id).current_round());
+    r.rounds = std::max(r.rounds, sim.prft(id).current_round());
   }
   r.rounds = r.rounds > 0 ? r.rounds - 1 : 0;  // rounds completed
-  r.forked = !cluster.agreement_holds();
-  r.candidate_slashed = cluster.deposits().slashed(kCandidate);
+  r.forked = !sim.agreement_holds();
+  r.candidate_slashed = sim.deposits().slashed(kCandidate);
   return r;
 }
 

@@ -5,6 +5,7 @@
 //
 //   bench_matrix_sweep --protocol=prft --sizes=4,7,16,31,64 --seeds=20
 //   bench_matrix_sweep --protocol=hotstuff --nets=partial-synchrony
+//   bench_matrix_sweep --protocol=all --crashes=1 --partition --budget-ms=500
 
 #include <cstdio>
 #include <sstream>
@@ -44,11 +45,14 @@ int main(int argc, char** argv) {
     spec.protocols = {Protocol::kHotStuff};
   } else if (proto == "raftlite") {
     spec.protocols = {Protocol::kRaftLite};
+  } else if (proto == "quorum") {
+    spec.protocols = {Protocol::kQuorum};
   } else if (proto == "all") {
     spec.protocols = {Protocol::kPrft, Protocol::kHotStuff,
-                      Protocol::kRaftLite};
+                      Protocol::kRaftLite, Protocol::kQuorum};
   } else {
-    std::fprintf(stderr, "unknown --protocol=%s (prft|hotstuff|raftlite|all)\n",
+    std::fprintf(stderr,
+                 "unknown --protocol=%s (prft|hotstuff|raftlite|quorum|all)\n",
                  proto.c_str());
     return 2;
   }
@@ -93,6 +97,10 @@ int main(int argc, char** argv) {
   spec.target_blocks =
       static_cast<std::uint64_t>(flags.get_int("blocks", 3));
   spec.workload_txs = static_cast<std::uint64_t>(flags.get_int("txs", 12));
+  spec.crash_count =
+      static_cast<std::uint32_t>(flags.get_int("crashes", 0));
+  spec.partition_pre_gst = flags.has("partition");
+  spec.cell_budget_ms = flags.get_double("budget-ms", 0);
 
   if (spec.committee_sizes.empty() || spec.nets.empty() ||
       spec.seeds.empty()) {
@@ -109,6 +117,12 @@ int main(int argc, char** argv) {
     for (const auto* cell : bad) {
       std::printf("  %s\n", cell->label().c_str());
     }
+    return 1;
+  }
+  const auto slow = report.over_budget_cells();
+  if (!slow.empty()) {
+    std::printf("\n%zu cell(s) over the %.1f ms budget\n", slow.size(),
+                spec.cell_budget_ms);
     return 1;
   }
   std::printf("\nall %zu cells safe\n", report.cell_count());

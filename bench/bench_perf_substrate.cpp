@@ -10,7 +10,7 @@
 #include "crypto/hmac.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/sha256.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/scenario.hpp"
 #include "net/event_queue.hpp"
 
 using namespace ratcon;
@@ -98,15 +98,17 @@ void BM_PrftRound(benchmark::State& state) {
   // End-to-end: one committee agreeing on `target` blocks per iteration.
   const auto n = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
-    harness::PrftClusterOptions opt;
-    opt.n = n;
-    opt.seed = 42;
-    opt.target_blocks = 2;
-    harness::PrftCluster cluster(opt);
-    cluster.inject_workload(4, usec(1), usec(1));
-    cluster.start();
-    cluster.run_until(sec(30));
-    benchmark::DoNotOptimize(cluster.min_height());
+    harness::ScenarioSpec spec;
+    spec.committee.n = n;
+    spec.seed = 42;
+    spec.budget.target_blocks = 2;
+    spec.workload.txs = 4;
+    spec.workload.start = usec(1);
+    spec.workload.interval = usec(1);
+    harness::Simulation sim(spec);
+    sim.start();
+    sim.run_until(sec(30));
+    benchmark::DoNotOptimize(sim.min_height());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
 }

@@ -18,17 +18,16 @@
 
 #include "adversary/fork_agent.hpp"
 #include "baselines/quorum_node.hpp"
-#include "baselines/raftlite.hpp"
-#include "harness/prft_cluster.hpp"
-#include "harness/replica_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
-#include "net/netmodel.hpp"
 
 using namespace ratcon;
 using baselines::QuorumForkPlan;
 using baselines::QuorumNode;
-using baselines::RaftLiteNode;
-using harness::ReplicaCluster;
+using harness::Protocol;
+using harness::ScenarioSpec;
+using harness::Simulation;
 
 namespace {
 
@@ -40,34 +39,23 @@ struct Probe {
 };
 
 Probe run_raft(std::uint32_t crashes, std::uint64_t seed) {
-  ReplicaCluster::Options opt;
-  opt.n = kN;
-  opt.t0 = 0;
-  opt.seed = seed;
-  opt.target_blocks = 3;
-  opt.factory = [](NodeId id, const consensus::Config& cfg,
-                   crypto::KeyRegistry& registry, ledger::DepositLedger&) {
-    RaftLiteNode::Deps deps;
-    deps.cfg = cfg;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 1);
-    auto node = std::make_unique<RaftLiteNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
-  };
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(6, msec(1), msec(1));
-  cluster.net().schedule(msec(5), [&cluster, crashes]() {
-    for (NodeId id = 0; id < crashes; ++id) cluster.net().crash(id);
-  });
-  cluster.start();
-  cluster.run_until(sec(240));
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kRaftLite;
+  spec.committee.n = kN;
+  spec.seed = seed;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  spec.workload.interval = msec(1);
+  spec.faults.crash_range(0, crashes, msec(5));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(240));
   std::uint64_t alive_max = 0;
   for (NodeId id = crashes; id < kN; ++id) {
     alive_max =
-        std::max(alive_max, cluster.replica(id).chain().finalized_height());
+        std::max(alive_max, sim.replica(id).chain().finalized_height());
   }
-  return {alive_max >= 3, cluster.agreement_holds()};
+  return {alive_max >= 3, sim.agreement_holds()};
 }
 
 Probe run_quorum(std::uint32_t abstainers, std::uint32_t equivocators,
@@ -85,30 +73,25 @@ Probe run_quorum(std::uint32_t abstainers, std::uint32_t equivocators,
       plan->side_b.insert(id);
     }
   }
-  ReplicaCluster::Options opt;
-  opt.n = kN;
-  opt.t0 = consensus::bft_t0(kN);
-  opt.seed = seed;
-  opt.target_blocks = 3;
-  opt.factory = [plan, abstainers](NodeId id, const consensus::Config& cfg,
-                                   crypto::KeyRegistry& registry,
-                                   ledger::DepositLedger& deposits) {
-    QuorumNode::Deps deps;
-    deps.cfg = cfg;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 1);
-    deps.deposits = &deposits;
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kQuorum;
+  spec.committee.n = kN;
+  spec.seed = seed;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  spec.workload.interval = msec(1);
+  spec.adversary.node_factory =
+      [plan, abstainers](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
+    QuorumNode::Deps deps = harness::make_quorum_deps(id, env);
     deps.fork_plan = plan;
     deps.abstain = id < abstainers;
-    auto node = std::make_unique<QuorumNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
+    return std::make_unique<QuorumNode>(std::move(deps));
   };
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(6, msec(1), msec(1));
-  cluster.start();
-  cluster.run_until(sec(240));
-  return {cluster.max_height() >= 3, cluster.agreement_holds()};
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(240));
+  return {sim.max_height() >= 3, sim.agreement_holds()};
 }
 
 Probe run_prft(std::uint32_t coalition, bool partial_sync,
@@ -126,28 +109,32 @@ Probe run_prft(std::uint32_t coalition, bool partial_sync,
       plan->side_b.insert(id);
     }
   }
-  harness::PrftClusterOptions opt;
-  opt.n = kN;
-  opt.seed = seed;
-  opt.target_blocks = 3;
+  ScenarioSpec spec;
+  spec.committee.n = kN;
+  spec.seed = seed;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  spec.workload.interval = msec(1);
   if (partial_sync) {
-    opt.make_net = [] {
-      return net::make_partial_synchrony(msec(400), msec(10), 0.85);
+    spec.net =
+        harness::NetworkSpec::partial_synchrony(msec(400), msec(10), 0.85);
+  }
+  if (plan != nullptr) {
+    spec.adversary.node_factory =
+        [plan](NodeId id, const harness::NodeEnv& env)
+        -> std::unique_ptr<consensus::IReplica> {
+      if (plan->coalition.count(id)) {
+        return std::make_unique<adversary::ForkAgentNode>(
+            harness::make_prft_deps(id, env), plan);
+      }
+      return nullptr;
     };
   }
-  opt.node_factory = [plan](NodeId id, prft::PrftNode::Deps deps) {
-    if (plan != nullptr && plan->coalition.count(id)) {
-      return std::unique_ptr<prft::PrftNode>(
-          new adversary::ForkAgentNode(std::move(deps), plan));
-    }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
-  };
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(6, msec(1), msec(1));
-  cluster.start();
-  cluster.run_until(sec(420));
-  return {cluster.min_height() >= 3,
-          cluster.agreement_holds() && !cluster.honest_player_slashed()};
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(420));
+  return {sim.min_height() >= 3,
+          sim.agreement_holds() && !sim.honest_player_slashed()};
 }
 
 const char* verdict(const Probe& p) {

@@ -13,7 +13,7 @@
 
 #include "adversary/behaviors.hpp"
 #include "game/utility.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
@@ -27,22 +27,21 @@ struct Result {
 };
 
 Result run(std::uint32_t coalition_size, std::uint64_t seed) {
-  harness::PrftClusterOptions opt;
-  opt.n = 9;
-  opt.seed = seed;
-  opt.target_blocks = 3;
-  opt.node_factory = [coalition_size](NodeId id, prft::PrftNode::Deps deps) {
-    if (id < coalition_size) {
-      deps.behavior = std::make_shared<adversary::AbstainBehavior>();
-    }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
-  };
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(6, msec(1), msec(1));
-  cluster.start();
-  cluster.run_until(sec(90));
-  return {cluster.classify(0), cluster.max_height(),
-          cluster.deposits().slashed_players().size()};
+  harness::ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = seed;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  spec.workload.interval = msec(1);
+  for (NodeId id = 0; id < coalition_size; ++id) {
+    spec.adversary.behaviors[id] =
+        std::make_shared<adversary::AbstainBehavior>();
+  }
+  harness::Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(90));
+  return {sim.classify(0), sim.max_height(),
+          sim.deposits().slashed_players().size()};
 }
 
 }  // namespace

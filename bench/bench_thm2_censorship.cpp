@@ -14,7 +14,7 @@
 
 #include "adversary/behaviors.hpp"
 #include "game/utility.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
@@ -34,29 +34,28 @@ Result run(std::uint32_t coalition_size, std::uint64_t seed) {
   std::set<NodeId> coalition;
   for (NodeId id = 0; id < coalition_size; ++id) coalition.insert(id);
 
-  harness::PrftClusterOptions opt;
-  opt.n = 9;
-  opt.seed = seed;
-  opt.target_blocks = 5;
-  opt.node_factory = [coalition](NodeId id, prft::PrftNode::Deps deps) {
-    if (coalition.count(id)) {
-      deps.behavior = std::make_shared<adversary::PartialCensorBehavior>(
-          coalition, std::set<std::uint64_t>{kWatchedTx});
-    }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
-  };
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(8, msec(1), msec(1));
-  cluster.submit_tx(ledger::make_transfer(kWatchedTx, 5), msec(1));
-  cluster.start();
-  cluster.run_until(sec(600));
+  harness::ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = seed;
+  spec.budget.target_blocks = 5;
+  spec.workload.txs = 8;
+  spec.workload.interval = msec(1);
+  for (NodeId id : coalition) {
+    spec.adversary.behaviors[id] =
+        std::make_shared<adversary::PartialCensorBehavior>(
+            coalition, std::set<std::uint64_t>{kWatchedTx});
+  }
+  harness::Simulation sim(spec);
+  sim.submit_tx(ledger::make_transfer(kWatchedTx, 5), msec(1));
+  sim.start();
+  sim.run_until(sec(600));
 
   bool included = false;
-  for (const ledger::Chain* c : cluster.honest_chains()) {
+  for (const ledger::Chain* c : sim.honest_chains()) {
     included = included || c->finalized_contains_tx(kWatchedTx);
   }
-  return {cluster.classify(0, kWatchedTx), cluster.max_height(),
-          cluster.deposits().slashed_players().size(), included};
+  return {sim.classify(0, kWatchedTx), sim.max_height(),
+          sim.deposits().slashed_players().size(), included};
 }
 
 }  // namespace

@@ -16,7 +16,8 @@
 
 #include "baselines/quorum_node.hpp"
 #include "game/normal_form.hpp"
-#include "harness/replica_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
@@ -24,7 +25,8 @@ using baselines::QuorumForkPlan;
 using baselines::QuorumNode;
 using game::NormalFormGame;
 using game::Profile;
-using harness::ReplicaCluster;
+using harness::ScenarioSpec;
+using harness::Simulation;
 
 namespace {
 
@@ -154,42 +156,35 @@ int main() {
       plan->baiters.insert(id);
     }
 
-    ReplicaCluster::Options opt;
-    opt.n = kN;
-    opt.t0 = kT0;
-    opt.seed = 500 + m;
-    opt.target_blocks = 2;
-    opt.factory = [plan](NodeId id, const consensus::Config& cfg,
-                         crypto::KeyRegistry& registry,
-                         ledger::DepositLedger& deposits) {
-      QuorumNode::Deps deps;
-      deps.cfg = cfg;
+    ScenarioSpec spec;
+    spec.protocol = harness::Protocol::kQuorum;
+    spec.committee.n = kN;
+    spec.committee.t0 = kT0;
+    spec.seed = 500 + m;
+    spec.budget.target_blocks = 2;
+    spec.workload.txs = 4;
+    spec.workload.interval = msec(1);
+    spec.adversary.node_factory = [plan](NodeId id,
+                                         const harness::NodeEnv& env) {
+      QuorumNode::Deps deps =
+          harness::make_quorum_deps(id, env, /*accountable=*/true);
       deps.proto = consensus::ProtoId::kTrap;
-      deps.accountable = true;
-      deps.registry = &registry;
-      deps.keys = registry.generate(id, 1);
-      deps.deposits = &deposits;
       deps.fork_plan = plan;
-      auto node = std::make_unique<QuorumNode>(std::move(deps));
-      node->set_target_blocks(cfg.target_rounds);
-      return node;
+      return std::make_unique<QuorumNode>(std::move(deps));
     };
-    ReplicaCluster cluster(std::move(opt));
-    cluster.inject_workload(4, msec(1), msec(1));
     // The partition from the theorem's proof: the two honest sides cannot
     // hear each other during the attack (the colluders bridge them).
     const std::vector<NodeId> side_a_vec(plan->side_a.begin(),
                                          plan->side_a.end());
     const std::vector<NodeId> side_b_vec(plan->side_b.begin(),
                                          plan->side_b.end());
-    cluster.net().schedule(msec(1), [&cluster, side_a_vec, side_b_vec]() {
-      cluster.net().set_partition({side_a_vec, side_b_vec}, msec(400));
-    });
-    cluster.start();
-    cluster.run_until(sec(120));
+    spec.faults.partition({side_a_vec, side_b_vec}, msec(1), msec(400));
+    Simulation sim(spec);
+    sim.start();
+    sim.run_until(sec(120));
 
     const bool predicted_fork = fork_succeeds(m);
-    const bool simulated_fork = !cluster.agreement_holds();
+    const bool simulated_fork = !sim.agreement_holds();
     sims_match = sims_match && predicted_fork == simulated_fork;
     sim_table.add_row({std::to_string(m),
                        predicted_fork ? "sigma_Fork" : "sigma_0",

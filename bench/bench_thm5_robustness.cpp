@@ -17,9 +17,9 @@
 #include <memory>
 
 #include "adversary/fork_agent.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
-#include "net/netmodel.hpp"
 
 using namespace ratcon;
 
@@ -60,46 +60,44 @@ Verdict run(const Config& cfg) {
     side_b.push_back(id);
   }
 
-  harness::PrftClusterOptions opt;
-  opt.n = cfg.n;
-  opt.seed = cfg.seed;
-  opt.target_blocks = 4;
+  harness::ScenarioSpec spec;
+  spec.committee.n = cfg.n;
+  spec.seed = cfg.seed;
+  spec.budget.target_blocks = 4;
+  spec.workload.txs = 8;
+  spec.workload.interval = msec(1);
   if (cfg.partial_sync) {
-    opt.make_net = [] {
-      return net::make_partial_synchrony(msec(500), msec(10), 0.85);
-    };
-  }
-  opt.node_factory = [plan](NodeId id, prft::PrftNode::Deps deps) {
-    if (plan->coalition.count(id)) {
-      return std::unique_ptr<prft::PrftNode>(
-          new adversary::ForkAgentNode(std::move(deps), plan));
-    }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
-  };
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(8, msec(1), msec(1));
-  cluster.submit_tx(ledger::make_transfer(kWatched, plan->side_a.empty()
-                                                        ? 0
-                                                        : *plan->side_a.begin()),
-                    msec(1));
-  if (cfg.partial_sync) {
+    spec.net =
+        harness::NetworkSpec::partial_synchrony(msec(500), msec(10), 0.85);
     // Adversarial pre-GST partition exactly along the coalition's sides.
-    cluster.net().schedule(msec(1), [&cluster, side_a, side_b]() {
-      cluster.net().set_partition({side_a, side_b}, msec(500));
-    });
+    spec.faults.partition({side_a, side_b}, msec(1), msec(500));
   }
-  cluster.start();
-  cluster.run_until(sec(600));
+  spec.adversary.node_factory =
+      [plan](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
+    if (plan->coalition.count(id)) {
+      return std::make_unique<adversary::ForkAgentNode>(
+          harness::make_prft_deps(id, env), plan);
+    }
+    return nullptr;
+  };
+  harness::Simulation sim(spec);
+  sim.submit_tx(ledger::make_transfer(kWatched, plan->side_a.empty()
+                                                    ? 0
+                                                    : *plan->side_a.begin()),
+                msec(1));
+  sim.start();
+  sim.run_until(sec(600));
 
   Verdict v{};
-  v.agreement = cluster.agreement_holds();
-  v.ordering = cluster.ordering_holds();
-  v.liveness = cluster.min_height() >= 4;
-  v.no_honest_slash = !cluster.honest_player_slashed();
-  v.blocks = cluster.min_height();
-  v.slashed = cluster.deposits().slashed_players().size();
+  v.agreement = sim.agreement_holds();
+  v.ordering = sim.ordering_holds();
+  v.liveness = sim.min_height() >= 4;
+  v.no_honest_slash = !sim.honest_player_slashed();
+  v.blocks = sim.min_height();
+  v.slashed = sim.deposits().slashed_players().size();
   v.censorship_free = false;
-  for (const ledger::Chain* c : cluster.honest_chains()) {
+  for (const ledger::Chain* c : sim.honest_chains()) {
     v.censorship_free = v.censorship_free || c->finalized_contains_tx(kWatched);
   }
   return v;

@@ -14,7 +14,7 @@
 #include "adversary/behaviors.hpp"
 #include "game/utility.hpp"
 #include "harness/flags.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
@@ -32,31 +32,29 @@ struct Outcome {
 };
 
 Outcome run(bool censoring, std::uint64_t seed) {
-  harness::PrftClusterOptions opt;
-  opt.n = 9;
-  opt.seed = seed;
-  opt.target_blocks = 5;
+  harness::ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = seed;
+  spec.budget.target_blocks = 5;
+  spec.workload.txs = 10;
   if (censoring) {
-    opt.node_factory = [](NodeId id, prft::PrftNode::Deps deps) {
-      if (kCoalition.count(id)) {
-        deps.behavior = std::make_shared<adversary::PartialCensorBehavior>(
-            kCoalition, std::set<std::uint64_t>{kWatched});
-      }
-      return std::make_unique<prft::PrftNode>(std::move(deps));
-    };
+    for (NodeId id : kCoalition) {
+      spec.adversary.behaviors[id] =
+          std::make_shared<adversary::PartialCensorBehavior>(
+              kCoalition, std::set<std::uint64_t>{kWatched});
+    }
   }
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.submit_tx(ledger::make_transfer(kWatched, 5), msec(1));
-  cluster.start();
-  cluster.run_until(censoring ? sec(600) : sec(60));
+  harness::Simulation sim(spec);
+  sim.submit_tx(ledger::make_transfer(kWatched, 5), msec(1));
+  sim.start();
+  sim.run_until(censoring ? sec(600) : sec(60));
 
   bool included = false;
-  for (const ledger::Chain* c : cluster.honest_chains()) {
+  for (const ledger::Chain* c : sim.honest_chains()) {
     included = included || c->finalized_contains_tx(kWatched);
   }
-  return {cluster.classify(0, kWatched), cluster.max_height(), included,
-          cluster.deposits().slashed_players().size()};
+  return {sim.classify(0, kWatched), sim.max_height(), included,
+          sim.deposits().slashed_players().size()};
 }
 
 }  // namespace

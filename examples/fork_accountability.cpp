@@ -15,7 +15,8 @@
 
 #include "adversary/fork_agent.hpp"
 #include "harness/flags.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
@@ -34,21 +35,23 @@ int main(int argc, char** argv) {
               "double-signs in every\nround it leads; honest sides "
               "{P4,P5,P6} vs {P7,P8}.\n\n");
 
-  harness::PrftClusterOptions opt;
-  opt.n = 9;
-  opt.seed = seed;
-  opt.target_blocks = 4;
-  opt.node_factory = [plan](NodeId id, prft::PrftNode::Deps deps) {
+  harness::ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = seed;
+  spec.budget.target_blocks = 4;
+  spec.workload.txs = 16;
+  spec.adversary.node_factory =
+      [plan](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
     if (plan->coalition.count(id)) {
-      return std::unique_ptr<prft::PrftNode>(
-          new adversary::ForkAgentNode(std::move(deps), plan));
+      return std::make_unique<adversary::ForkAgentNode>(
+          harness::make_prft_deps(id, env), plan);
     }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
+    return nullptr;
   };
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(16, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(300));
+  harness::Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
   std::printf("Attacked rounds (coalition leader equivocated):");
   for (const auto& [round, values] : plan->values) {
@@ -61,24 +64,24 @@ int main(int argc, char** argv) {
     const bool colluder = plan->coalition.count(id) > 0;
     table.add_row({"P" + std::to_string(id),
                    colluder ? "colluder (pi_fork)" : "honest (pi_0)",
-                   std::to_string(cluster.deposits().balance(id)),
-                   cluster.deposits().slashed(id) ? "YES (PoF burned)" : "no",
-                   std::to_string(cluster.node(id).chain().finalized_height())});
+                   std::to_string(sim.deposits().balance(id)),
+                   sim.deposits().slashed(id) ? "YES (PoF burned)" : "no",
+                   std::to_string(sim.replica(id).chain().finalized_height())});
   }
   table.print();
 
   bool all_colluders_slashed = true;
   for (NodeId id : plan->coalition) {
-    all_colluders_slashed &= cluster.deposits().slashed(id);
+    all_colluders_slashed &= sim.deposits().slashed(id);
   }
   std::printf("\nagreement: %s   honest slashed: %s   all colluders "
               "slashed: %s   chain height: %llu\n",
-              cluster.agreement_holds() ? "holds (no fork!)" : "VIOLATED",
-              cluster.honest_player_slashed() ? "YES (bug)" : "no",
+              sim.agreement_holds() ? "holds (no fork!)" : "VIOLATED",
+              sim.honest_player_slashed() ? "YES (bug)" : "no",
               all_colluders_slashed ? "yes" : "no",
-              static_cast<unsigned long long>(cluster.min_height()));
+              static_cast<unsigned long long>(sim.min_height()));
   std::printf("\nThis is Lemma 4 in action: U(pi_fork) = -L per colluder, "
               "so honesty is the\ndominant strategy for theta=1 rational "
               "players.\n");
-  return cluster.agreement_holds() && !cluster.honest_player_slashed() ? 0 : 1;
+  return sim.agreement_holds() && !sim.honest_player_slashed() ? 0 : 1;
 }

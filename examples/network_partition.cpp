@@ -13,9 +13,8 @@
 #include <cstdio>
 
 #include "harness/flags.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
-#include "net/netmodel.hpp"
 
 using namespace ratcon;
 
@@ -28,34 +27,30 @@ int main(int argc, char** argv) {
               "{P0..P4} | {P5..P8} until GST = %lld ms.\n\n",
               static_cast<long long>(gst / 1000));
 
-  harness::PrftClusterOptions opt;
-  opt.n = 9;
-  opt.seed = seed;
-  opt.target_blocks = 6;
-  opt.make_net = [gst] {
-    return net::make_partial_synchrony(gst, msec(10), 0.85);
-  };
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(18, msec(1), msec(2));
-  cluster.net().schedule(msec(20), [&cluster, gst]() {
-    cluster.net().set_partition({{0, 1, 2, 3, 4}, {5, 6, 7, 8}}, gst);
-  });
+  harness::ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = seed;
+  spec.budget.target_blocks = 6;
+  spec.workload.txs = 18;
+  spec.net = harness::NetworkSpec::partial_synchrony(gst, msec(10), 0.85);
+  spec.faults.partition({{0, 1, 2, 3, 4}, {5, 6, 7, 8}}, msec(20), gst);
+  harness::Simulation sim(spec);
 
-  cluster.start();
+  sim.start();
 
   // Sample progress at checkpoints to show the stall-then-catch-up shape.
   harness::Table table({"time", "min height", "max height", "max round",
                         "view changes (total)"});
   auto sample = [&](SimTime at) {
-    cluster.run_until(at);
+    sim.run_until(at);
     std::uint64_t vcs = 0, max_round = 0;
     for (NodeId id = 0; id < 9; ++id) {
-      vcs += cluster.node(id).view_changes();
-      max_round = std::max(max_round, cluster.node(id).current_round());
+      vcs += sim.prft(id).view_changes();
+      max_round = std::max(max_round, sim.prft(id).current_round());
     }
     table.add_row({harness::fmt(static_cast<double>(at) / 1000000.0, 2) + " s",
-                   std::to_string(cluster.min_height()),
-                   std::to_string(cluster.max_height()),
+                   std::to_string(sim.min_height()),
+                   std::to_string(sim.max_height()),
                    std::to_string(max_round), std::to_string(vcs)});
   };
   sample(msec(250));   // mid-partition: stalled
@@ -66,13 +61,13 @@ int main(int argc, char** argv) {
 
   std::printf("\nfinal: agreement %s, ordering %s, min height %llu "
               "(target 6), honest slashed: %s\n",
-              cluster.agreement_holds() ? "holds" : "VIOLATED",
-              cluster.ordering_holds() ? "holds" : "VIOLATED",
-              static_cast<unsigned long long>(cluster.min_height()),
-              cluster.honest_player_slashed() ? "YES (bug)" : "no");
+              sim.agreement_holds() ? "holds" : "VIOLATED",
+              sim.ordering_holds() ? "holds" : "VIOLATED",
+              static_cast<unsigned long long>(sim.min_height()),
+              sim.honest_player_slashed() ? "YES (bug)" : "no");
   std::printf("\nTentative blocks from interrupted rounds act as locks and "
               "survive view changes;\nstate-transfer replies to view-change "
               "messages resynchronize players the\nadversarial scheduler "
               "cut out (see DESIGN.md, deviations).\n");
-  return cluster.agreement_holds() && cluster.min_height() >= 6 ? 0 : 1;
+  return sim.agreement_holds() && sim.min_height() >= 6 ? 0 : 1;
 }

@@ -4,8 +4,8 @@
 //   ./quickstart [--n 7] [--blocks 5] [--txs 20] [--seed 1]
 //
 // This is the smallest end-to-end use of the public API:
-//   harness::PrftCluster  — assembles nodes + trusted setup + network
-//   inject_workload       — client transactions gossiped to every player
+//   harness::ScenarioSpec — protocol, committee, network, workload, budget
+//   harness::Simulation   — assembles nodes + trusted setup + network
 //   run_until             — drives the deterministic event loop
 //   chain()/classify()    — read back ledgers and the system state σ.
 
@@ -13,7 +13,7 @@
 
 #include "harness/flags.hpp"
 #include "harness/matrix.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
@@ -30,25 +30,23 @@ int main(int argc, char** argv) {
               n, consensus::prft_t0(n), n - consensus::prft_t0(n),
               static_cast<unsigned long long>(blocks));
 
-  // 1. Assemble the committee. Defaults: synchronous network (Δ = 10 ms),
-  //    honest behaviour everywhere, one collateral deposit per player.
-  harness::PrftClusterOptions opt;
-  opt.n = n;
-  opt.seed = seed;
-  opt.target_blocks = blocks;
-  harness::PrftCluster cluster(opt);
+  // 1. Describe the scenario. Defaults: pRFT, synchronous network
+  //    (Δ = 10 ms), honest behaviour everywhere, one collateral deposit
+  //    per player. The workload is `txs` transfers submitted 2 ms apart
+  //    to every player's mempool (clients gossip transactions to the
+  //    whole committee).
+  harness::ScenarioSpec spec;
+  spec.with_n(n).with_seed(seed).with_target_blocks(blocks).with_workload(txs);
 
-  // 2. Client workload: `txs` transfers, submitted 2 ms apart to every
-  //    player's mempool (clients gossip transactions to the whole
-  //    committee).
-  cluster.inject_workload(txs, msec(1), msec(2));
+  // 2. Assemble the committee: trusted setup, deposits, network, replicas.
+  harness::Simulation sim(spec);
 
   // 3. Run. The loop is deterministic: same seed => bit-identical ledgers.
-  cluster.start();
-  cluster.run_until(sec(60));
+  sim.start();
+  sim.run_until(sec(60));
 
   // 4. Inspect results.
-  const ledger::Chain& chain = cluster.node(0).chain();
+  const ledger::Chain& chain = sim.replica(0).chain();
   harness::Table table({"height", "round", "proposer", "txs", "hash"});
   for (std::uint64_t h = 1; h <= chain.finalized_height(); ++h) {
     const ledger::Block& b = chain.at(h);
@@ -60,25 +58,25 @@ int main(int argc, char** argv) {
   table.print();
 
   std::printf("\nsystem state: %s   agreement: %s   c-strict ordering: %s\n",
-              game::to_string(cluster.classify(0)),
-              cluster.agreement_holds() ? "holds" : "VIOLATED",
-              cluster.ordering_holds() ? "holds" : "VIOLATED");
+              game::to_string(sim.classify(0)),
+              sim.agreement_holds() ? "holds" : "VIOLATED",
+              sim.ordering_holds() ? "holds" : "VIOLATED");
   std::printf("network traffic: %s messages, %s\n",
-              harness::fmt_count(cluster.net().stats().total().count).c_str(),
-              harness::fmt_bytes(cluster.net().stats().total().bytes).c_str());
+              harness::fmt_count(sim.net().stats().total().count).c_str(),
+              harness::fmt_bytes(sim.net().stats().total().bytes).c_str());
 
   // 5. The same committee across network conditions: a mini seed-matrix
   //    sweep (see tests/matrix_test.cpp for the full tier-1 cross-product,
   //    and bench_matrix_sweep for wider CLI-driven sweeps).
   std::printf("\nmini seed matrix (same n, three network models):\n");
-  harness::MatrixSpec spec;
-  spec.committee_sizes = {n};
-  spec.seeds = {seed, seed + 1};
-  spec.target_blocks = 2;
-  const harness::MatrixReport report = harness::run_matrix(spec);
+  harness::MatrixSpec msweep;
+  msweep.committee_sizes = {n};
+  msweep.seeds = {seed, seed + 1};
+  msweep.target_blocks = 2;
+  const harness::MatrixReport report = harness::run_matrix(msweep);
   std::printf("%s\n", report.summary().c_str());
 
-  return cluster.agreement_holds() && cluster.min_height() >= blocks &&
+  return sim.agreement_holds() && sim.min_height() >= blocks &&
                  report.all_safe()
              ? 0
              : 1;

@@ -15,8 +15,8 @@
 #include "adversary/fork_agent.hpp"
 #include "baselines/quorum_node.hpp"
 #include "harness/flags.hpp"
-#include "harness/prft_cluster.hpp"
-#include "harness/replica_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
 using namespace ratcon;
@@ -38,30 +38,23 @@ Outcome attack_pbft(std::uint64_t seed) {
   plan->side_a = {4, 5, 6};
   plan->side_b = {7, 8, 9};
 
-  harness::ReplicaCluster::Options opt;
-  opt.n = kN;
-  opt.t0 = consensus::bft_t0(kN);  // 3 — the classic n/3 design point
-  opt.seed = seed;
-  opt.target_blocks = 3;
-  opt.factory = [plan](NodeId id, const consensus::Config& cfg,
-                       crypto::KeyRegistry& registry,
-                       ledger::DepositLedger& deposits) {
-    baselines::QuorumNode::Deps deps;
-    deps.cfg = cfg;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 1);
-    deps.deposits = &deposits;
+  harness::ScenarioSpec spec;
+  spec.protocol = harness::Protocol::kQuorum;  // t0 = ⌈n/3⌉−1, the classic
+  spec.committee.n = kN;                       // n/3 design point
+  spec.seed = seed;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 8;
+  spec.adversary.node_factory = [plan](NodeId id,
+                                       const harness::NodeEnv& env) {
+    baselines::QuorumNode::Deps deps = harness::make_quorum_deps(id, env);
     deps.fork_plan = plan;
-    auto node = std::make_unique<baselines::QuorumNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
+    return std::make_unique<baselines::QuorumNode>(std::move(deps));
   };
-  harness::ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(8, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(120));
-  return {!cluster.agreement_holds(),
-          cluster.deposits().slashed_players().size(), cluster.max_height()};
+  harness::Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(120));
+  return {!sim.agreement_holds(),
+          sim.deposits().slashed_players().size(), sim.max_height()};
 }
 
 Outcome attack_prft(std::uint64_t seed) {
@@ -74,23 +67,25 @@ Outcome attack_prft(std::uint64_t seed) {
   plan->side_a = {4, 5, 6, 7};
   plan->side_b = {8, 9};
 
-  harness::PrftClusterOptions opt;
-  opt.n = kN;
-  opt.seed = seed;
-  opt.target_blocks = 3;
-  opt.node_factory = [plan](NodeId id, prft::PrftNode::Deps deps) {
+  harness::ScenarioSpec spec;
+  spec.committee.n = kN;
+  spec.seed = seed;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 8;
+  spec.adversary.node_factory =
+      [plan](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
     if (plan->coalition.count(id)) {
-      return std::unique_ptr<prft::PrftNode>(
-          new adversary::ForkAgentNode(std::move(deps), plan));
+      return std::make_unique<adversary::ForkAgentNode>(
+          harness::make_prft_deps(id, env), plan);
     }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
+    return nullptr;
   };
-  harness::PrftCluster cluster(opt);
-  cluster.inject_workload(8, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(300));
-  return {!cluster.agreement_holds(),
-          cluster.deposits().slashed_players().size(), cluster.min_height()};
+  harness::Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
+  return {!sim.agreement_holds(),
+          sim.deposits().slashed_players().size(), sim.min_height()};
 }
 
 }  // namespace

@@ -20,6 +20,11 @@ class IReplica : public net::INode {
   /// Whether this replica runs the honest protocol π_0 (outcome
   /// classification only inspects honest replicas' ledgers).
   [[nodiscard]] virtual bool is_honest() const = 0;
+
+  /// Stops initiating new work once this many blocks are final (the
+  /// harness's run budget). 0 = unlimited. The Simulation applies this
+  /// uniformly to every replica, however it was built.
+  virtual void set_target_blocks(std::uint64_t target) = 0;
 };
 
 }  // namespace ratcon::consensus

@@ -1,152 +1,39 @@
 #include "harness/matrix.hpp"
 
-#include <memory>
+#include <algorithm>
 #include <sstream>
-#include <utility>
 
-#include "baselines/hotstuff.hpp"
-#include "baselines/raftlite.hpp"
-#include "harness/prft_cluster.hpp"
-#include "harness/replica_cluster.hpp"
 #include "harness/table.hpp"
 
 namespace ratcon::harness {
 
-namespace {
+ScenarioSpec MatrixSpec::to_scenario(Protocol proto, std::uint32_t n,
+                                     NetKind kind, std::uint64_t seed) const {
+  ScenarioSpec scenario;
+  scenario.protocol = proto;
+  scenario.seed = seed;
+  scenario.committee.n = n;
+  scenario.net.kind = kind;
+  scenario.net.delta = delta;
+  scenario.net.gst = gst;
+  scenario.net.hold_probability = hold_probability;
+  scenario.workload.txs = workload_txs;
+  scenario.workload.start = msec(1);
+  scenario.workload.interval = msec(2);
+  scenario.budget.target_blocks = target_blocks;
+  scenario.budget.horizon = horizon;
+  scenario.budget.wall_ms = cell_budget_ms;
 
-/// Chunk size for the run loop: long enough to amortize the height checks,
-/// short enough that early exit saves real work on big committees.
-constexpr SimTime kRunChunk = sec(1);
-
-template <typename Cluster>
-void schedule_crashes(Cluster& cluster, std::uint32_t n,
-                      const MatrixSpec& spec) {
-  if (spec.crash_count == 0) return;
-  const std::uint32_t count = std::min(spec.crash_count, n);
-  cluster.net().schedule(spec.crash_at, [&cluster, count]() {
-    for (NodeId id = 0; id < count; ++id) cluster.net().crash(id);
-  });
-}
-
-/// Shared drive loop + result capture for both cluster flavours. The only
-/// per-protocol difference is how "an honest deposit was burned" is read.
-template <typename Cluster, typename SlashedFn>
-CellResult drive_cell(Cluster& cluster, Protocol proto, std::uint32_t n,
-                      NetKind kind, std::uint64_t seed, const MatrixSpec& spec,
-                      SlashedFn honest_slashed) {
-  cluster.inject_workload(spec.workload_txs, msec(1), msec(2));
-  schedule_crashes(cluster, n, spec);
-  cluster.start();
-  while (cluster.net().now() < spec.horizon &&
-         cluster.min_height() < spec.target_blocks) {
-    const SimTime before = cluster.net().now();
-    cluster.run_for(kRunChunk);
-    if (cluster.net().now() == before) break;  // queue drained
+  if (crash_count > 0) {
+    scenario.faults.crash_range(0, std::min(crash_count, n), crash_at);
   }
-
-  CellResult cell;
-  cell.protocol = proto;
-  cell.n = n;
-  cell.net = kind;
-  cell.seed = seed;
-  cell.agreement = cluster.agreement_holds();
-  cell.ordering = cluster.ordering_holds();
-  cell.honest_slashed = honest_slashed(cluster);
-  cell.min_height = cluster.min_height();
-  cell.max_height = cluster.max_height();
-  cell.messages = cluster.net().stats().total().count;
-  cell.bytes = cluster.net().stats().total().bytes;
-  return cell;
-}
-
-CellResult run_prft_cell(std::uint32_t n, NetKind kind, std::uint64_t seed,
-                         const MatrixSpec& spec) {
-  PrftClusterOptions opt;
-  opt.n = n;
-  opt.seed = seed;
-  opt.delta = spec.delta;
-  opt.target_blocks = spec.target_blocks;
-  opt.make_net = [kind, &spec]() { return make_net_model(kind, spec); };
-
-  PrftCluster cluster(opt);
-  return drive_cell(cluster, Protocol::kPrft, n, kind, seed, spec,
-                    [](PrftCluster& c) { return c.honest_player_slashed(); });
-}
-
-ReplicaCluster::Factory baseline_factory(Protocol proto) {
-  return [proto](NodeId id, const consensus::Config& cfg,
-                 crypto::KeyRegistry& registry, ledger::DepositLedger&)
-             -> std::unique_ptr<consensus::IReplica> {
-    if (proto == Protocol::kHotStuff) {
-      baselines::HotstuffNode::Deps deps;
-      deps.cfg = cfg;
-      deps.registry = &registry;
-      deps.keys = registry.generate(id, 4);
-      auto node = std::make_unique<baselines::HotstuffNode>(std::move(deps));
-      node->set_target_blocks(cfg.target_rounds);
-      return node;
-    }
-    baselines::RaftLiteNode::Deps deps;
-    deps.cfg = cfg;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 4);
-    auto node = std::make_unique<baselines::RaftLiteNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
-  };
-}
-
-CellResult run_baseline_cell(Protocol proto, std::uint32_t n, NetKind kind,
-                             std::uint64_t seed, const MatrixSpec& spec) {
-  ReplicaCluster::Options opt;
-  opt.n = n;
-  opt.t0 = proto == Protocol::kRaftLite ? 0 : consensus::bft_t0(n);
-  opt.seed = seed;
-  opt.delta = spec.delta;
-  opt.target_blocks = spec.target_blocks;
-  opt.make_net = [kind, &spec]() { return make_net_model(kind, spec); };
-  opt.factory = baseline_factory(proto);
-
-  ReplicaCluster cluster(std::move(opt));
-  // Baselines never slash here: the factories build only honest replicas, so
-  // any burned deposit would be an accountability soundness violation.
-  return drive_cell(cluster, proto, n, kind, seed, spec,
-                    [](ReplicaCluster& c) {
-                      return !c.deposits().slashed_players().empty();
-                    });
-}
-
-}  // namespace
-
-const char* to_string(NetKind kind) {
-  switch (kind) {
-    case NetKind::kSynchronous:
-      return "synchronous";
-    case NetKind::kPartialSynchrony:
-      return "partial-synchrony";
-    case NetKind::kAsynchronous:
-      return "asynchronous";
+  if (partition_pre_gst && n >= 2) {
+    std::vector<NodeId> lower, upper;
+    for (NodeId id = 0; id < n / 2; ++id) lower.push_back(id);
+    for (NodeId id = n / 2; id < n; ++id) upper.push_back(id);
+    scenario.faults.partition({lower, upper}, partition_at, gst);
   }
-  return "unknown-net";
-}
-
-const char* to_string(Protocol proto) {
-  switch (proto) {
-    case Protocol::kPrft:
-      return "prft";
-    case Protocol::kHotStuff:
-      return "hotstuff";
-    case Protocol::kRaftLite:
-      return "raftlite";
-  }
-  return "unknown-protocol";
-}
-
-std::string CellResult::label() const {
-  std::ostringstream os;
-  os << to_string(protocol) << "/n=" << n << "/" << to_string(net)
-     << "/seed=" << seed;
-  return os.str();
+  return scenario;
 }
 
 bool MatrixReport::all_safe() const {
@@ -164,35 +51,60 @@ std::vector<const CellResult*> MatrixReport::unsafe_cells() const {
   return out;
 }
 
+std::vector<const CellResult*> MatrixReport::slowest_cells(
+    std::size_t k) const {
+  std::vector<const CellResult*> out;
+  out.reserve(cells.size());
+  for (const CellResult& cell : cells) out.push_back(&cell);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CellResult* a, const CellResult* b) {
+                     return a->wall_ms > b->wall_ms;
+                   });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<const CellResult*> MatrixReport::over_budget_cells() const {
+  std::vector<const CellResult*> out;
+  for (const CellResult& cell : cells) {
+    if (cell.over_budget()) out.push_back(&cell);
+  }
+  return out;
+}
+
 std::string MatrixReport::summary() const {
-  Table t({"protocol", "n", "net", "seed", "min_h", "max_h", "msgs", "safe"});
+  Table t({"protocol", "n", "net", "seed", "min_h", "max_h", "msgs",
+           "wall_ms", "safe"});
   for (const CellResult& cell : cells) {
     t.add_row({to_string(cell.protocol), std::to_string(cell.n),
                to_string(cell.net), std::to_string(cell.seed),
                std::to_string(cell.min_height), std::to_string(cell.max_height),
-               fmt_count(cell.messages), cell.safe() ? "yes" : "NO"});
+               fmt_count(cell.messages), fmt(cell.wall_ms, 1),
+               cell.safe() ? "yes" : "NO"});
   }
-  return t.render();
-}
-
-std::unique_ptr<net::NetworkModel> make_net_model(NetKind kind,
-                                                  const MatrixSpec& spec) {
-  switch (kind) {
-    case NetKind::kSynchronous:
-      return net::make_synchronous(spec.delta);
-    case NetKind::kPartialSynchrony:
-      return net::make_partial_synchrony(spec.gst, spec.delta,
-                                         spec.hold_probability);
-    case NetKind::kAsynchronous:
-      return net::make_asynchronous(spec.delta, 20 * spec.delta);
+  std::ostringstream os;
+  os << t.render();
+  const auto slowest = slowest_cells(3);
+  if (!slowest.empty()) {
+    os << "\n  slowest cells:";
+    for (const CellResult* cell : slowest) {
+      os << "\n    " << cell->label() << "  " << fmt(cell->wall_ms, 1)
+         << " ms" << (cell->over_budget() ? "  OVER BUDGET" : "");
+    }
+    const std::size_t over = over_budget_cells().size();
+    if (over > 0) {
+      os << "\n  " << over << " cell(s) over the "
+         << fmt(cells.front().budget_ms, 1) << " ms budget";
+    }
+    os << "\n";
   }
-  return net::make_synchronous(spec.delta);
+  return os.str();
 }
 
 CellResult run_cell(Protocol proto, std::uint32_t n, NetKind kind,
                     std::uint64_t seed, const MatrixSpec& spec) {
-  if (proto == Protocol::kPrft) return run_prft_cell(n, kind, seed, spec);
-  return run_baseline_cell(proto, n, kind, seed, spec);
+  Simulation sim(spec.to_scenario(proto, n, kind, seed));
+  return sim.run_to_completion();
 }
 
 MatrixReport run_matrix(const MatrixSpec& spec) {

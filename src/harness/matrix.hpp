@@ -1,38 +1,22 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "common/time.hpp"
-#include "net/netmodel.hpp"
+#include "harness/scenario.hpp"
 
 namespace ratcon::harness {
 
-/// Seed-matrix scenario harness: drives a protocol through the cross-product
-/// of committee sizes × network models × RNG seeds and records, per cell, the
-/// shared safety properties every configuration must uphold (agreement,
-/// c-strict ordering, no honest slashing). Equilibrium/safety claims are only
-/// credible when they survive varied network and committee conditions; this
-/// harness is the regression gate for that.
-
-/// Network condition a cell runs under.
-enum class NetKind : std::uint8_t {
-  kSynchronous = 0,
-  kPartialSynchrony = 1,
-  kAsynchronous = 2,
-};
-
-/// Protocol a cell deploys.
-enum class Protocol : std::uint8_t {
-  kPrft = 0,
-  kHotStuff = 1,
-  kRaftLite = 2,
-};
-
-[[nodiscard]] const char* to_string(NetKind kind);
-[[nodiscard]] const char* to_string(Protocol proto);
+/// Seed-matrix scenario harness: a cross-product driver over ScenarioSpec.
+/// Drives each protocol through committee sizes × network models × RNG
+/// seeds (optionally under crash faults and pre-GST partitions) and
+/// records, per cell, the shared safety properties every configuration
+/// must uphold (agreement, c-strict ordering, no honest slashing).
+/// Equilibrium/safety claims are only credible when they survive varied
+/// network and committee conditions; this harness is the regression gate
+/// for that — and the per-cell wall-clock accounting keeps sweeps honest
+/// as committees grow.
 
 /// The sweep definition. Defaults give the tier-1 seed matrix:
 /// 4 committee sizes × 3 network models × 5 seeds.
@@ -61,31 +45,28 @@ struct MatrixSpec {
   /// deposits must never be burned.
   std::uint32_t crash_count = 0;
   SimTime crash_at = msec(5);
+
+  /// Combined crash+partition scenario: additionally split the committee
+  /// into two halves from `partition_at` until the partition heals at
+  /// `gst` (pre-GST holds while nodes 0..crash_count-1 crash).
+  bool partition_pre_gst = false;
+  SimTime partition_at = msec(1);
+
+  /// Per-cell host wall-clock budget in ms; 0 = unlimited. Cells over
+  /// budget are flagged in MatrixReport::summary() so sweeps stay fast as
+  /// committees grow.
+  double cell_budget_ms = 0;
+
+  /// The ScenarioSpec a single (protocol, n, net, seed) cell runs — the
+  /// whole matrix is this function crossed over the four axes.
+  [[nodiscard]] ScenarioSpec to_scenario(Protocol proto, std::uint32_t n,
+                                         NetKind kind,
+                                         std::uint64_t seed) const;
 };
 
-/// Outcome of one (protocol, n, net, seed) cell.
-struct CellResult {
-  Protocol protocol{};
-  std::uint32_t n = 0;
-  NetKind net{};
-  std::uint64_t seed = 0;
-
-  bool agreement = false;       ///< no two honest chains conflict
-  bool ordering = false;        ///< c-strict ordering across honest chains
-  bool honest_slashed = false;  ///< an honest deposit was burned (must not be)
-  std::uint64_t min_height = 0;
-  std::uint64_t max_height = 0;
-  std::uint64_t messages = 0;  ///< network sends observed
-  std::uint64_t bytes = 0;     ///< network bytes observed
-
-  /// The shared safety predicate asserted on every cell.
-  [[nodiscard]] bool safe() const {
-    return agreement && ordering && !honest_slashed;
-  }
-
-  /// "prft/n=7/partial-synchrony/seed=3" — for assertion messages.
-  [[nodiscard]] std::string label() const;
-};
+/// Outcome of one (protocol, n, net, seed) cell: the scenario's RunReport,
+/// whose budget_ms/over_budget() carry the sweep's per-cell verdict.
+using CellResult = RunReport;
 
 /// Results of a full sweep.
 struct MatrixReport {
@@ -95,15 +76,17 @@ struct MatrixReport {
   [[nodiscard]] bool all_safe() const;
   [[nodiscard]] std::vector<const CellResult*> unsafe_cells() const;
 
-  /// Human-readable per-cell table (protocol, n, net, seed, heights, safety).
+  /// The `k` slowest cells by host wall-clock, slowest first.
+  [[nodiscard]] std::vector<const CellResult*> slowest_cells(
+      std::size_t k = 3) const;
+  /// Cells that exceeded the per-cell wall-clock budget.
+  [[nodiscard]] std::vector<const CellResult*> over_budget_cells() const;
+
+  /// Human-readable per-cell table (protocol, n, net, seed, heights,
+  /// traffic, wall-clock, safety), plus a slowest-cells footer flagging
+  /// budget overruns.
   [[nodiscard]] std::string summary() const;
 };
-
-/// Builds the network model for a cell. Synchronous: delays within Δ.
-/// Partial synchrony: adversarial until `gst`, then Δ-bounded. Asynchronous:
-/// exponential delays (mean Δ) capped at 20Δ — finite but unbounded-looking.
-[[nodiscard]] std::unique_ptr<net::NetworkModel> make_net_model(
-    NetKind kind, const MatrixSpec& spec);
 
 /// Runs a single cell to its horizon (early exit once every honest replica
 /// finalized `spec.target_blocks`).

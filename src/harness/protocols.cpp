@@ -1,0 +1,111 @@
+#include "harness/protocols.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace ratcon::harness {
+
+namespace {
+
+std::uint32_t cft_t0(std::uint32_t) { return 0; }
+
+std::map<Protocol, ProtocolTraits>& registry_map() {
+  static std::map<Protocol, ProtocolTraits> map = [] {
+    std::map<Protocol, ProtocolTraits> m;
+    m[Protocol::kPrft] = ProtocolTraits{
+        "prft", &consensus::prft_t0,
+        [](NodeId id, const NodeEnv& env) {
+          return make_prft_replica(id, env);
+        }};
+    m[Protocol::kHotStuff] = ProtocolTraits{
+        "hotstuff", &consensus::bft_t0,
+        [](NodeId id, const NodeEnv& env)
+            -> std::unique_ptr<consensus::IReplica> {
+          return std::make_unique<baselines::HotstuffNode>(
+              make_hotstuff_deps(id, env));
+        }};
+    m[Protocol::kRaftLite] = ProtocolTraits{
+        "raftlite", &cft_t0,
+        [](NodeId id, const NodeEnv& env)
+            -> std::unique_ptr<consensus::IReplica> {
+          return std::make_unique<baselines::RaftLiteNode>(
+              make_raftlite_deps(id, env));
+        }};
+    m[Protocol::kQuorum] = ProtocolTraits{
+        "quorum", &consensus::bft_t0,
+        [](NodeId id, const NodeEnv& env)
+            -> std::unique_ptr<consensus::IReplica> {
+          return std::make_unique<baselines::QuorumNode>(
+              make_quorum_deps(id, env));
+        }};
+    return m;
+  }();
+  return map;
+}
+
+}  // namespace
+
+const ProtocolTraits& protocol_traits(Protocol proto) {
+  const auto& map = registry_map();
+  const auto it = map.find(proto);
+  if (it == map.end()) {
+    throw std::out_of_range("protocol_traits: unregistered protocol " +
+                            std::to_string(static_cast<int>(proto)));
+  }
+  return it->second;
+}
+
+void register_protocol(Protocol proto, ProtocolTraits traits) {
+  registry_map()[proto] = std::move(traits);
+}
+
+prft::PrftNode::Deps make_prft_deps(NodeId id, const NodeEnv& env,
+                                    std::shared_ptr<prft::Behavior> behavior) {
+  prft::PrftNode::Deps deps;
+  deps.cfg = env.cfg;
+  deps.registry = &env.registry;
+  deps.keys = env.registry.generate(id, env.seed);
+  deps.deposits = &env.deposits;
+  deps.behavior = std::move(behavior);
+  return deps;
+}
+
+baselines::HotstuffNode::Deps make_hotstuff_deps(NodeId id,
+                                                 const NodeEnv& env) {
+  baselines::HotstuffNode::Deps deps;
+  deps.cfg = env.cfg;
+  deps.registry = &env.registry;
+  deps.keys = env.registry.generate(id, env.seed);
+  return deps;
+}
+
+baselines::RaftLiteNode::Deps make_raftlite_deps(NodeId id,
+                                                 const NodeEnv& env) {
+  baselines::RaftLiteNode::Deps deps;
+  deps.cfg = env.cfg;
+  deps.registry = &env.registry;
+  deps.keys = env.registry.generate(id, env.seed);
+  return deps;
+}
+
+baselines::QuorumNode::Deps make_quorum_deps(NodeId id, const NodeEnv& env,
+                                             bool accountable) {
+  baselines::QuorumNode::Deps deps;
+  deps.cfg = env.cfg;
+  deps.proto = accountable ? consensus::ProtoId::kPolygraph
+                           : consensus::ProtoId::kPbft;
+  deps.accountable = accountable;
+  deps.registry = &env.registry;
+  deps.keys = env.registry.generate(id, env.seed);
+  deps.deposits = &env.deposits;
+  return deps;
+}
+
+std::unique_ptr<consensus::IReplica> make_prft_replica(
+    NodeId id, const NodeEnv& env, std::shared_ptr<prft::Behavior> behavior) {
+  return std::make_unique<prft::PrftNode>(
+      make_prft_deps(id, env, std::move(behavior)));
+}
+
+}  // namespace ratcon::harness

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "baselines/hotstuff.hpp"
+#include "baselines/quorum_node.hpp"
+#include "baselines/raftlite.hpp"
+#include "core/prft_node.hpp"
+#include "harness/scenario.hpp"
+
+namespace ratcon::harness {
+
+/// Protocol registry: the one place that knows how to wire each consensus
+/// implementation into the Simulation's shared trusted setup. Adding a
+/// protocol to the harness = adding one ProtocolTraits entry; every bench,
+/// example, matrix sweep and test then reaches it through ScenarioSpec.
+struct ProtocolTraits {
+  const char* name = "";  ///< matches to_string(Protocol)
+  /// Byzantine design bound used when CommitteeSpec::t0 is unset.
+  std::uint32_t (*default_t0)(std::uint32_t n) = nullptr;
+  /// Builds one honest replica against the shared setup (keys generated,
+  /// target blocks applied).
+  std::function<std::unique_ptr<consensus::IReplica>(NodeId, const NodeEnv&)>
+      make_replica;
+};
+
+/// Looks up the traits for `proto`; throws std::out_of_range for a
+/// protocol nobody registered.
+[[nodiscard]] const ProtocolTraits& protocol_traits(Protocol proto);
+
+/// Replaces (or adds) the registry entry for `proto`. The four built-ins
+/// (pRFT, HotStuff, Raft-lite, quorum/pBFT) are pre-registered.
+void register_protocol(Protocol proto, ProtocolTraits traits);
+
+// -- Deps helpers -----------------------------------------------------------
+// Adversary node factories subclass or re-configure the protocol nodes;
+// these build the honest Deps wiring so factories only override what
+// actually deviates.
+
+[[nodiscard]] prft::PrftNode::Deps make_prft_deps(
+    NodeId id, const NodeEnv& env,
+    std::shared_ptr<prft::Behavior> behavior = nullptr);
+
+[[nodiscard]] baselines::HotstuffNode::Deps make_hotstuff_deps(
+    NodeId id, const NodeEnv& env);
+
+[[nodiscard]] baselines::RaftLiteNode::Deps make_raftlite_deps(
+    NodeId id, const NodeEnv& env);
+
+[[nodiscard]] baselines::QuorumNode::Deps make_quorum_deps(
+    NodeId id, const NodeEnv& env, bool accountable = false);
+
+/// An honest PrftNode with an optional rational-strategy behaviour —
+/// the worker behind AdversaryPlan::behaviors.
+[[nodiscard]] std::unique_ptr<consensus::IReplica> make_prft_replica(
+    NodeId id, const NodeEnv& env,
+    std::shared_ptr<prft::Behavior> behavior = nullptr);
+
+}  // namespace ratcon::harness

@@ -1,0 +1,387 @@
+#include "harness/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/protocols.hpp"
+
+namespace ratcon::harness {
+
+const char* to_string(NetKind kind) {
+  switch (kind) {
+    case NetKind::kSynchronous:
+      return "synchronous";
+    case NetKind::kPartialSynchrony:
+      return "partial-synchrony";
+    case NetKind::kAsynchronous:
+      return "asynchronous";
+  }
+  return "unknown-net";
+}
+
+const char* to_string(Protocol proto) {
+  switch (proto) {
+    case Protocol::kPrft:
+      return "prft";
+    case Protocol::kHotStuff:
+      return "hotstuff";
+    case Protocol::kRaftLite:
+      return "raftlite";
+    case Protocol::kQuorum:
+      return "quorum";
+  }
+  return "unknown-protocol";
+}
+
+// -- NetworkSpec ------------------------------------------------------------
+
+std::unique_ptr<net::NetworkModel> NetworkSpec::build() const {
+  if (custom) return custom();
+  switch (kind) {
+    case NetKind::kSynchronous:
+      return net::make_synchronous(delta);
+    case NetKind::kPartialSynchrony:
+      return net::make_partial_synchrony(gst, delta, hold_probability);
+    case NetKind::kAsynchronous:
+      return net::make_asynchronous(async_mean > 0 ? async_mean : delta,
+                                    async_cap > 0 ? async_cap : 20 * delta);
+  }
+  return net::make_synchronous(delta);
+}
+
+NetworkSpec NetworkSpec::synchronous(SimTime delta) {
+  NetworkSpec spec;
+  spec.kind = NetKind::kSynchronous;
+  spec.delta = delta;
+  return spec;
+}
+
+NetworkSpec NetworkSpec::partial_synchrony(SimTime gst, SimTime delta,
+                                           double hold_probability) {
+  NetworkSpec spec;
+  spec.kind = NetKind::kPartialSynchrony;
+  spec.gst = gst;
+  spec.delta = delta;
+  spec.hold_probability = hold_probability;
+  return spec;
+}
+
+NetworkSpec NetworkSpec::asynchronous(SimTime mean, SimTime cap) {
+  NetworkSpec spec;
+  spec.kind = NetKind::kAsynchronous;
+  spec.async_mean = mean;
+  spec.async_cap = cap;
+  return spec;
+}
+
+// -- FaultPlan --------------------------------------------------------------
+
+FaultPlan& FaultPlan::crash(NodeId node, SimTime at) {
+  crashes.push_back({node, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_range(NodeId first, std::uint32_t count,
+                                  SimTime at) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    crashes.push_back({static_cast<NodeId>(first + i), at});
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::vector<std::vector<NodeId>> groups,
+                                SimTime at, SimTime heal_at) {
+  partitions.push_back({std::move(groups), at, heal_at});
+  return *this;
+}
+
+// -- ScenarioSpec -----------------------------------------------------------
+
+ScenarioSpec& ScenarioSpec::with_protocol(Protocol p) {
+  protocol = p;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_n(std::uint32_t n) {
+  committee.n = n;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_seed(std::uint64_t s) {
+  seed = s;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_net(NetworkSpec n) {
+  net = std::move(n);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_target_blocks(std::uint64_t blocks) {
+  budget.target_blocks = blocks;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_workload(std::uint64_t txs, SimTime start,
+                                          SimTime interval) {
+  workload.txs = txs;
+  workload.start = start;
+  workload.interval = interval;
+  return *this;
+}
+
+namespace {
+
+std::string cell_label(Protocol proto, std::uint32_t n, NetKind kind,
+                       std::uint64_t seed) {
+  std::ostringstream os;
+  os << to_string(proto) << "/n=" << n << "/" << to_string(kind)
+     << "/seed=" << seed;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ScenarioSpec::label() const {
+  return cell_label(protocol, committee.n, net.kind, seed);
+}
+
+std::string RunReport::label() const {
+  return cell_label(protocol, n, net, seed);
+}
+
+// -- Simulation -------------------------------------------------------------
+
+Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
+  const ProtocolTraits& traits = protocol_traits(spec_.protocol);
+  const CommitteeSpec& com = spec_.committee;
+  if (spec_.protocol != Protocol::kPrft && !spec_.adversary.behaviors.empty()) {
+    throw std::invalid_argument(
+        "ScenarioSpec: AdversaryPlan::behaviors are pRFT strategy hooks; use "
+        "node_factory for " +
+        std::string(traits.name));
+  }
+
+  cfg_.n = com.n;
+  cfg_.t0 = com.t0.value_or(traits.default_t0(com.n));
+  cfg_.delta = spec_.net.delta;
+  cfg_.base_timeout = com.base_timeout.value_or(8 * spec_.net.delta);
+  cfg_.target_rounds = spec_.budget.target_blocks;
+  cfg_.max_block_txs = com.max_block_txs;
+
+  // Shared trusted setup (§3.3): one key registry and one collateral pool,
+  // identical for every protocol the registry deploys.
+  registry_ = std::make_unique<crypto::KeyRegistry>();
+  deposits_ = std::make_unique<ledger::DepositLedger>(com.collateral);
+  deposits_->register_players(com.n);
+  cluster_ = std::make_unique<net::Cluster>(spec_.net.build(), spec_.seed);
+
+  const NodeEnv env{cfg_, *registry_, *deposits_, spec_.seed};
+  for (NodeId id = 0; id < com.n; ++id) {
+    std::unique_ptr<consensus::IReplica> replica;
+    if (spec_.adversary.node_factory) {
+      replica = spec_.adversary.node_factory(id, env);
+    }
+    if (!replica) {
+      const auto it = spec_.adversary.behaviors.find(id);
+      replica = it != spec_.adversary.behaviors.end()
+                    ? make_prft_replica(id, env, it->second)
+                    : traits.make_replica(id, env);
+    }
+    replica->set_target_blocks(spec_.budget.target_blocks);
+    replicas_.push_back(replica.get());
+    cluster_->add_node(std::move(replica));
+  }
+
+  // Workload before the fault script: same-timestamp events pop in
+  // insertion order, and a tx submission racing a crash at the same tick
+  // should still reach the mempools first (the client sent it in time).
+  if (spec_.workload.txs > 0) {
+    inject_workload(spec_.workload.txs, spec_.workload.start,
+                    spec_.workload.interval, spec_.workload.first_id);
+  }
+
+  // Fault script. Crashes at t <= 0 apply immediately, before any protocol
+  // step (on_start included); later faults ride the event queue.
+  for (const CrashEvent& c : spec_.faults.crashes) {
+    if (c.node >= com.n) {
+      throw std::invalid_argument("ScenarioSpec: crash of node " +
+                                  std::to_string(c.node) +
+                                  " outside committee of " +
+                                  std::to_string(com.n));
+    }
+  }
+  for (const PartitionEvent& p : spec_.faults.partitions) {
+    for (const auto& group : p.groups) {
+      for (NodeId id : group) {
+        if (id >= com.n) {
+          throw std::invalid_argument("ScenarioSpec: partition group node " +
+                                      std::to_string(id) +
+                                      " outside committee of " +
+                                      std::to_string(com.n));
+        }
+      }
+    }
+  }
+  for (const CrashEvent& c : spec_.faults.crashes) {
+    if (c.at <= 0) {
+      cluster_->crash(c.node);
+    } else {
+      net::Cluster* cl = cluster_.get();
+      cluster_->schedule(c.at, [cl, c]() { cl->crash(c.node); });
+    }
+  }
+  for (const PartitionEvent& p : spec_.faults.partitions) {
+    if (p.at <= 0) {
+      cluster_->set_partition(p.groups, p.heal_at);
+    } else {
+      net::Cluster* cl = cluster_.get();
+      cluster_->schedule(p.at, [cl, p]() {
+        cl->set_partition(p.groups, p.heal_at);
+      });
+    }
+  }
+}
+
+void Simulation::start() {
+  if (started_) return;
+  started_ = true;
+  cluster_->start();
+}
+
+void Simulation::run_until(SimTime t) {
+  const auto begin = std::chrono::steady_clock::now();
+  cluster_->run_until(t);
+  wall_spent_ += std::chrono::steady_clock::now() - begin;
+  note_finalization();
+}
+
+std::size_t Simulation::run(std::size_t max_events) {
+  const auto begin = std::chrono::steady_clock::now();
+  const std::size_t executed = cluster_->run(max_events);
+  wall_spent_ += std::chrono::steady_clock::now() - begin;
+  note_finalization();
+  return executed;
+}
+
+RunReport Simulation::run_to_completion() {
+  start();
+  // target_blocks == 0 means unlimited: drive to the horizon. Chunked so
+  // the height check amortizes; each pass covers at least one pending
+  // event (run_until never advances the clock past the last event, so a
+  // quiet stretch longer than the chunk must not read as "drained").
+  const std::uint64_t target = spec_.budget.target_blocks;
+  while (target == 0 || min_height() < target) {
+    const SimTime next = cluster_->next_event_time();
+    if (next > spec_.budget.horizon) break;  // drained or out of budget
+    run_until(std::max(next, cluster_->now() + spec_.budget.chunk));
+  }
+  return report();
+}
+
+void Simulation::note_finalization() {
+  if (finalized_at_ != kSimTimeNever) return;
+  const std::uint64_t target = spec_.budget.target_blocks;
+  if (target > 0 && min_height() >= target) {
+    finalized_at_ = cluster_->now();
+  }
+}
+
+void Simulation::submit_tx(const ledger::Transaction& tx, SimTime at) {
+  cluster_->schedule(at - cluster_->now(), [this, tx, at]() {
+    for (consensus::IReplica* r : replicas_) {
+      r->mempool().submit(tx, at);
+    }
+  });
+}
+
+void Simulation::inject_workload(std::uint64_t count, SimTime start,
+                                 SimTime interval, std::uint64_t first_id) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ledger::Transaction tx = ledger::make_transfer(
+        first_id + i, static_cast<NodeId>(i % cfg_.n));
+    submit_tx(tx, start + static_cast<SimTime>(i) * interval);
+  }
+}
+
+prft::PrftNode& Simulation::prft(NodeId id) {
+  auto* node = dynamic_cast<prft::PrftNode*>(replicas_.at(id));
+  if (node == nullptr) {
+    throw std::logic_error("Simulation::prft: replica " + std::to_string(id) +
+                           " of " + spec_.label() + " is not a PrftNode");
+  }
+  return *node;
+}
+
+std::vector<const ledger::Chain*> Simulation::honest_chains() const {
+  std::vector<const ledger::Chain*> out;
+  for (const consensus::IReplica* r : replicas_) {
+    if (r->is_honest()) out.push_back(&r->chain());
+  }
+  return out;
+}
+
+game::SystemState Simulation::classify(
+    std::uint64_t baseline_height,
+    std::optional<std::uint64_t> watched_tx) const {
+  consensus::OutcomeQuery query;
+  query.honest_chains = honest_chains();
+  query.baseline_height = baseline_height;
+  query.watched_tx = watched_tx;
+  return consensus::classify_outcome(query);
+}
+
+bool Simulation::agreement_holds() const {
+  return !consensus::any_fork(honest_chains());
+}
+
+bool Simulation::ordering_holds(std::uint64_t c) const {
+  const auto chains = honest_chains();
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    for (std::size_t j = i + 1; j < chains.size(); ++j) {
+      if (!ledger::c_strict_ordering_holds(*chains[i], *chains[j], c)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t Simulation::min_height() const {
+  return consensus::min_finalized_height(honest_chains());
+}
+
+std::uint64_t Simulation::max_height() const {
+  return consensus::max_finalized_height(honest_chains());
+}
+
+bool Simulation::honest_player_slashed() const {
+  for (NodeId id = 0; id < replicas_.size(); ++id) {
+    if (replicas_[id]->is_honest() && deposits_->slashed(id)) return true;
+  }
+  return false;
+}
+
+RunReport Simulation::report() const {
+  RunReport r;
+  r.protocol = spec_.protocol;
+  r.n = spec_.committee.n;
+  r.net = spec_.net.kind;
+  r.seed = spec_.seed;
+  r.agreement = agreement_holds();
+  r.ordering = ordering_holds();
+  r.honest_slashed = honest_player_slashed();
+  r.min_height = min_height();
+  r.max_height = max_height();
+  r.messages = cluster_->stats().total().count;
+  r.bytes = cluster_->stats().total().bytes;
+  r.sim_time = cluster_->now();
+  r.finalized_at = finalized_at_;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_spent_).count();
+  r.budget_ms = spec_.budget.wall_ms;
+  return r;
+}
+
+}  // namespace ratcon::harness

@@ -1,0 +1,303 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consensus/outcome.hpp"
+#include "consensus/replica.hpp"
+#include "core/prft_node.hpp"
+#include "net/cluster.hpp"
+#include "net/netmodel.hpp"
+
+namespace ratcon::harness {
+
+/// Unified scenario API: one composable description of a deployment
+/// (protocol, committee, network preset, fault plan, adversary plan,
+/// workload, run budget) and one `Simulation` facade that assembles it via
+/// the protocol registry (protocols.hpp) and reports the shared safety
+/// surface. Every bench, example and test drives deployments through this
+/// API, so the paper's claims are always measured under identical
+/// conditions across pRFT and the baselines — and every fault/adversary/
+/// partition lever is uniformly reachable from every entry point.
+
+/// Network condition a scenario runs under.
+enum class NetKind : std::uint8_t {
+  kSynchronous = 0,
+  kPartialSynchrony = 1,
+  kAsynchronous = 2,
+};
+
+/// Protocol the registry can deploy (see protocols.hpp for the wiring).
+enum class Protocol : std::uint8_t {
+  kPrft = 0,
+  kHotStuff = 1,
+  kRaftLite = 2,
+  kQuorum = 3,  ///< pBFT-style two-phase quorum baseline
+};
+
+[[nodiscard]] const char* to_string(NetKind kind);
+[[nodiscard]] const char* to_string(Protocol proto);
+
+/// Committee shape and economics.
+struct CommitteeSpec {
+  std::uint32_t n = 7;
+  /// Byzantine design bound; default = the protocol's own bound from the
+  /// registry (⌈n/4⌉−1 for pRFT, ⌈n/3⌉−1 for BFT quorums, 0 for CFT).
+  std::optional<std::uint32_t> t0;
+  std::int64_t collateral = 100;
+  std::uint32_t max_block_txs = 64;
+  std::optional<SimTime> base_timeout;  ///< default: 8Δ
+};
+
+/// Network preset. The three kinds cover the paper's models; `custom`
+/// overrides everything for exotic experiments.
+struct NetworkSpec {
+  NetKind kind = NetKind::kSynchronous;
+  SimTime delta = msec(10);
+  /// Partial synchrony: GST, and probability a pre-GST message is held
+  /// until after GST.
+  SimTime gst = msec(200);
+  double hold_probability = 0.9;
+  /// Asynchrony: exponential delays with this mean, capped. 0 = derive
+  /// from delta (mean Δ, cap 20Δ) — finite but unbounded-looking.
+  SimTime async_mean = 0;
+  SimTime async_cap = 0;
+  /// Escape hatch: overrides `kind` entirely when set.
+  std::function<std::unique_ptr<net::NetworkModel>()> custom;
+
+  [[nodiscard]] std::unique_ptr<net::NetworkModel> build() const;
+
+  [[nodiscard]] static NetworkSpec synchronous(SimTime delta = msec(10));
+  [[nodiscard]] static NetworkSpec partial_synchrony(
+      SimTime gst, SimTime delta = msec(10), double hold_probability = 0.9);
+  [[nodiscard]] static NetworkSpec asynchronous(SimTime mean, SimTime cap);
+};
+
+/// Scripted crash-stop: `node` receives no messages or timers from `at`
+/// on. `at <= 0` applies before the very first protocol step (the node
+/// never even starts — the "dead from the outset" scenarios).
+struct CrashEvent {
+  NodeId node = 0;
+  SimTime at = 0;
+};
+
+/// Scripted partition: from `at` (`<= 0` = before the first protocol
+/// step), messages between different groups are held until `heal_at`
+/// (nodes absent from every group talk to everyone — where the paper's
+/// partition attacks place the adversary).
+struct PartitionEvent {
+  std::vector<std::vector<NodeId>> groups;
+  SimTime at = 0;
+  SimTime heal_at = 0;
+};
+
+/// Deterministic fault script applied by the Simulation. Crashes and
+/// partitions are benign faults (never slashable); adversarial behaviour
+/// lives in AdversaryPlan.
+struct FaultPlan {
+  std::vector<CrashEvent> crashes;
+  std::vector<PartitionEvent> partitions;
+
+  FaultPlan& crash(NodeId node, SimTime at = 0);
+  /// Crash-stops nodes `first..first+count-1` at `at`.
+  FaultPlan& crash_range(NodeId first, std::uint32_t count, SimTime at = 0);
+  FaultPlan& partition(std::vector<std::vector<NodeId>> groups, SimTime at,
+                       SimTime heal_at);
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && partitions.empty();
+  }
+};
+
+/// Everything a node factory needs to build one replica against the
+/// Simulation's shared trusted setup.
+struct NodeEnv {
+  const consensus::Config& cfg;
+  crypto::KeyRegistry& registry;
+  ledger::DepositLedger& deposits;
+  std::uint64_t seed = 1;  ///< key-generation seed (the scenario seed)
+};
+
+/// Who deviates, and how. Two levers, composable:
+///  * `behaviors`: pRFT rational-strategy hooks (π_abs, π_pc, …) keyed by
+///    player — the paper's strategy space §4.1.2.
+///  * `node_factory`: full replica replacement for any protocol (fork
+///    agents, spammers, per-node QuorumNode knobs). Return nullptr to get
+///    the registry's default honest replica for that id.
+struct AdversaryPlan {
+  std::map<NodeId, std::shared_ptr<prft::Behavior>> behaviors;
+  std::function<std::unique_ptr<consensus::IReplica>(NodeId, const NodeEnv&)>
+      node_factory;
+  [[nodiscard]] bool empty() const {
+    return behaviors.empty() && !node_factory;
+  }
+};
+
+/// Client workload: `txs` transfers gossiped to every player's mempool,
+/// spaced `interval` apart from `start`.
+struct WorkloadPlan {
+  std::uint64_t txs = 0;
+  SimTime start = msec(1);
+  SimTime interval = msec(2);
+  std::uint64_t first_id = 1;
+};
+
+/// How long a run may go on, in virtual and host time.
+struct RunBudget {
+  /// Replicas stop initiating work once this many blocks are final.
+  std::uint64_t target_blocks = 5;
+  /// Virtual-time cap for run_to_completion (early exit at target).
+  SimTime horizon = sec(120);
+  /// Drive-loop chunk: long enough to amortize height checks, short
+  /// enough that early exit saves real work on big committees.
+  SimTime chunk = sec(1);
+  /// Advisory host wall-clock budget in ms; 0 = unlimited. Reported via
+  /// RunReport/MatrixReport so sweeps surface their slowest cells.
+  double wall_ms = 0;
+};
+
+/// The full scenario: everything needed to reproduce one deployment run.
+struct ScenarioSpec {
+  Protocol protocol = Protocol::kPrft;
+  std::uint64_t seed = 1;
+  CommitteeSpec committee;
+  NetworkSpec net;
+  FaultPlan faults;
+  AdversaryPlan adversary;
+  WorkloadPlan workload;
+  RunBudget budget;
+
+  // Fluent builder sugar for the common axes.
+  ScenarioSpec& with_protocol(Protocol p);
+  ScenarioSpec& with_n(std::uint32_t n);
+  ScenarioSpec& with_seed(std::uint64_t s);
+  ScenarioSpec& with_net(NetworkSpec n);
+  ScenarioSpec& with_target_blocks(std::uint64_t blocks);
+  ScenarioSpec& with_workload(std::uint64_t txs, SimTime start = msec(1),
+                              SimTime interval = msec(2));
+
+  /// "prft/n=7/partial-synchrony/seed=3" — for assertion messages.
+  [[nodiscard]] std::string label() const;
+};
+
+/// Outcome of one scenario run: the shared safety predicates every
+/// configuration must uphold, plus traffic and timing.
+struct RunReport {
+  Protocol protocol{};
+  std::uint32_t n = 0;
+  NetKind net{};
+  std::uint64_t seed = 0;
+
+  bool agreement = false;       ///< no two honest chains conflict
+  bool ordering = false;        ///< c-strict ordering across honest chains
+  bool honest_slashed = false;  ///< an honest deposit was burned (must not be)
+  std::uint64_t min_height = 0;
+  std::uint64_t max_height = 0;
+  std::uint64_t messages = 0;  ///< network sends observed
+  std::uint64_t bytes = 0;     ///< network bytes observed
+
+  SimTime sim_time = 0;  ///< virtual time when the run stopped
+  /// Virtual time at which every honest replica had finalized the target
+  /// (observed at drive-loop granularity); kSimTimeNever if never reached.
+  SimTime finalized_at = kSimTimeNever;
+  double wall_ms = 0;    ///< host wall-clock spent driving the event loop
+  double budget_ms = 0;  ///< RunBudget::wall_ms the scenario ran under
+
+  /// The shared safety predicate asserted on every run.
+  [[nodiscard]] bool safe() const {
+    return agreement && ordering && !honest_slashed;
+  }
+  /// True when the run exceeded its advisory wall-clock budget.
+  [[nodiscard]] bool over_budget() const {
+    return budget_ms > 0 && wall_ms > budget_ms;
+  }
+  [[nodiscard]] std::string label() const;
+};
+
+/// An assembled deployment: trusted setup, deposits, network, replicas —
+/// built from a ScenarioSpec through the protocol registry. Owns
+/// everything; accessors expose the pieces experiments need.
+class Simulation {
+ public:
+  explicit Simulation(ScenarioSpec spec);
+
+  /// Starts every node (round 1 begins). Idempotent.
+  void start();
+
+  /// Runs the simulation until virtual time `t`.
+  void run_until(SimTime t);
+  void run_for(SimTime d) { run_until(cluster_->now() + d); }
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+
+  /// start() + drive until the budget's horizon, exiting early once every
+  /// honest replica reached target_blocks; returns the final report.
+  RunReport run_to_completion();
+
+  /// Submits `tx` to every replica's mempool at time `at` (clients gossip
+  /// transactions to all players).
+  void submit_tx(const ledger::Transaction& tx, SimTime at);
+
+  /// Injects `count` transfer transactions spaced `interval` apart,
+  /// starting at `start`. Ids begin at `first_id`.
+  void inject_workload(std::uint64_t count, SimTime start, SimTime interval,
+                       std::uint64_t first_id = 1);
+
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+  [[nodiscard]] net::Cluster& net() { return *cluster_; }
+  [[nodiscard]] const consensus::Config& config() const { return cfg_; }
+  [[nodiscard]] crypto::KeyRegistry& registry() { return *registry_; }
+  [[nodiscard]] ledger::DepositLedger& deposits() { return *deposits_; }
+  [[nodiscard]] std::size_t size() const { return replicas_.size(); }
+  [[nodiscard]] consensus::IReplica& replica(NodeId id) {
+    return *replicas_.at(id);
+  }
+  [[nodiscard]] const consensus::IReplica& replica(NodeId id) const {
+    return *replicas_.at(id);
+  }
+  /// Typed access for pRFT introspection (view_changes, exposes_sent, …).
+  /// Throws std::logic_error if replica `id` is not a PrftNode.
+  [[nodiscard]] prft::PrftNode& prft(NodeId id);
+
+  /// Ledgers of replicas whose behaviour is honest.
+  [[nodiscard]] std::vector<const ledger::Chain*> honest_chains() const;
+
+  /// Classifies the run into the paper's system state σ.
+  [[nodiscard]] game::SystemState classify(
+      std::uint64_t baseline_height = 0,
+      std::optional<std::uint64_t> watched_tx = std::nullopt) const;
+
+  /// Safety invariant checks across honest replicas.
+  [[nodiscard]] bool agreement_holds() const;
+  [[nodiscard]] bool ordering_holds(std::uint64_t c = 0) const;
+
+  /// Smallest / largest finalized height among honest replicas.
+  [[nodiscard]] std::uint64_t min_height() const;
+  [[nodiscard]] std::uint64_t max_height() const;
+
+  /// True if any *honest* replica's deposit was burned (must never happen:
+  /// the accountability soundness invariant).
+  [[nodiscard]] bool honest_player_slashed() const;
+
+  /// Snapshot of the current state as a RunReport (no driving).
+  [[nodiscard]] RunReport report() const;
+
+ private:
+  void note_finalization();
+
+  ScenarioSpec spec_;
+  consensus::Config cfg_;
+  std::unique_ptr<crypto::KeyRegistry> registry_;
+  std::unique_ptr<ledger::DepositLedger> deposits_;
+  std::unique_ptr<net::Cluster> cluster_;
+  std::vector<consensus::IReplica*> replicas_;  // owned by cluster_
+  std::chrono::steady_clock::duration wall_spent_{0};
+  SimTime finalized_at_ = kSimTimeNever;
+  bool started_ = false;
+};
+
+}  // namespace ratcon::harness

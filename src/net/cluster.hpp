@@ -101,6 +101,12 @@ class Cluster {
   [[nodiscard]] SimTime now() const { return queue_.now(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.pending(); }
 
+  /// Timestamp of the next pending event (kSimTimeNever when the queue is
+  /// empty). run_until does not advance the clock past the last processed
+  /// event, so drive loops use this to distinguish "drained" from "the
+  /// next event is far away".
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
+
   // -- Faults & partitions --------------------------------------------------
 
   /// Crash-stops a node: it receives no further messages or timers.

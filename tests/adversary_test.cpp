@@ -1,5 +1,6 @@
 // Adversarial integration tests: the paper's three attack levers executed
-// against pRFT on the simulated network.
+// against pRFT on the simulated network, all injected through the unified
+// ScenarioSpec adversary plan.
 //
 //  * π_fork / π_ds (θ=1): a double-signing coalition with t < n/4 and
 //    k + t < n/2 can never fork pRFT; it gets caught and slashed (Lemma 4 /
@@ -15,8 +16,8 @@
 
 #include "adversary/behaviors.hpp"
 #include "adversary/fork_agent.hpp"
-#include "harness/prft_cluster.hpp"
-#include "net/netmodel.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 
 namespace ratcon {
 namespace {
@@ -25,8 +26,8 @@ using adversary::AbstainBehavior;
 using adversary::ForkAgentNode;
 using adversary::ForkPlan;
 using adversary::PartialCensorBehavior;
-using harness::PrftCluster;
-using harness::PrftClusterOptions;
+using harness::ScenarioSpec;
+using harness::Simulation;
 
 /// 9-player committee: t0 = ⌈9/4⌉ − 1 = 2, quorum 7. The coalition
 /// {0,1,2,3} has k + t = 4 < n/2 = 4.5 and n/3 = 3 ≤ 4, i.e. exactly the
@@ -43,49 +44,53 @@ std::shared_ptr<ForkPlan> make_fork_plan() {
   return plan;
 }
 
-PrftClusterOptions fork_options(std::uint64_t seed,
-                                std::shared_ptr<ForkPlan> plan) {
-  PrftClusterOptions opt;
-  opt.n = kN;
-  opt.seed = seed;
-  opt.target_blocks = 4;
-  opt.node_factory = [plan](NodeId id, prft::PrftNode::Deps deps) {
+ScenarioSpec fork_scenario(std::uint64_t seed,
+                           std::shared_ptr<ForkPlan> plan) {
+  ScenarioSpec spec;
+  spec.committee.n = kN;
+  spec.seed = seed;
+  spec.budget.target_blocks = 4;
+  spec.adversary.node_factory =
+      [plan](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
     if (plan->coalition.count(id)) {
-      return std::unique_ptr<prft::PrftNode>(
-          new ForkAgentNode(std::move(deps), plan));
+      return std::make_unique<ForkAgentNode>(harness::make_prft_deps(id, env),
+                                             plan);
     }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
+    return nullptr;
   };
-  return opt;
+  return spec;
 }
 
 TEST(ForkCoalition, NeverForksOnSynchronousNetwork) {
   auto plan = make_fork_plan();
-  PrftCluster cluster(fork_options(101, plan));
-  cluster.inject_workload(20, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(300));
+  ScenarioSpec spec = fork_scenario(101, plan);
+  spec.workload.txs = 20;
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
-  EXPECT_TRUE(cluster.agreement_holds()) << "no two honest ledgers conflict";
-  EXPECT_TRUE(cluster.ordering_holds());
-  EXPECT_FALSE(cluster.honest_player_slashed());
+  EXPECT_TRUE(sim.agreement_holds()) << "no two honest ledgers conflict";
+  EXPECT_TRUE(sim.ordering_holds());
+  EXPECT_FALSE(sim.honest_player_slashed());
   // On a synchronous network every double-sign is visible within Δ: the
   // whole coalition is caught and burned.
   for (NodeId id : kCoalition) {
-    EXPECT_TRUE(cluster.deposits().slashed(id)) << "coalition member " << id;
+    EXPECT_TRUE(sim.deposits().slashed(id)) << "coalition member " << id;
   }
 }
 
 TEST(ForkCoalition, LivenessSurvivesTheAttack) {
   auto plan = make_fork_plan();
-  PrftCluster cluster(fork_options(102, plan));
-  cluster.inject_workload(20, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(300));
+  ScenarioSpec spec = fork_scenario(102, plan);
+  spec.workload.txs = 20;
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
   // Attacked rounds abort, but honest-led rounds finalize: the chain grows.
-  EXPECT_GE(cluster.min_height(), 4u);
-  EXPECT_EQ(cluster.classify(0), game::SystemState::kHonest);
+  EXPECT_GE(sim.min_height(), 4u);
+  EXPECT_EQ(sim.classify(0), game::SystemState::kHonest);
 }
 
 TEST(ForkCoalition, NoForkUnderPreGstPartition) {
@@ -94,37 +99,33 @@ TEST(ForkCoalition, NoForkUnderPreGstPartition) {
   // sees only its own value. Lemma 4's quorum-intersection argument says at
   // most one side can reach tentative consensus; post-heal the PoF surfaces.
   auto plan = make_fork_plan();
-  PrftClusterOptions opt = fork_options(103, plan);
-  opt.make_net = [] {
-    return net::make_partial_synchrony(msec(500), msec(10), 0.8);
-  };
-  PrftCluster cluster(opt);
-  cluster.inject_workload(20, msec(1), msec(2));
-  cluster.net().schedule(msec(1), [&cluster]() {
-    cluster.net().set_partition({{4, 5, 6}, {7, 8}}, msec(500));
-  });
+  ScenarioSpec spec = fork_scenario(103, plan);
+  spec.workload.txs = 20;
+  spec.net = harness::NetworkSpec::partial_synchrony(msec(500), msec(10), 0.8);
+  spec.faults.partition({{4, 5, 6}, {7, 8}}, msec(1), msec(500));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(600));
 
-  cluster.start();
-  cluster.run_until(sec(600));
-
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_TRUE(cluster.ordering_holds());
-  EXPECT_FALSE(cluster.honest_player_slashed());
-  EXPECT_GE(cluster.min_height(), 4u) << "liveness after GST";
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_TRUE(sim.ordering_holds());
+  EXPECT_FALSE(sim.honest_player_slashed());
+  EXPECT_GE(sim.min_height(), 4u) << "liveness after GST";
 }
 
 class ForkSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ForkSeedSweep, SafetyInvariantsHoldAcrossSeeds) {
   auto plan = make_fork_plan();
-  PrftCluster cluster(fork_options(GetParam(), plan));
-  cluster.inject_workload(15, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(300));
+  ScenarioSpec spec = fork_scenario(GetParam(), plan);
+  spec.workload.txs = 15;
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_TRUE(cluster.ordering_holds());
-  EXPECT_FALSE(cluster.honest_player_slashed());
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_TRUE(sim.ordering_holds());
+  EXPECT_FALSE(sim.honest_player_slashed());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ForkSeedSweep,
@@ -133,44 +134,42 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ForkSeedSweep,
 TEST(AbstainCoalition, KillsLivenessAndEvadesPenalty) {
   // Theorem 1 (θ=3): with k + t = 4 > t0 = 2 the quorum τ = 7 needs
   // coalition signatures; silence stalls every round and every view change.
-  PrftClusterOptions opt;
-  opt.n = kN;
-  opt.seed = 77;
-  opt.target_blocks = 3;
-  opt.node_factory = [](NodeId id, prft::PrftNode::Deps deps) {
-    if (id < 4) deps.behavior = std::make_shared<AbstainBehavior>();
-    return std::make_unique<prft::PrftNode>(std::move(deps));
-  };
-  PrftCluster cluster(opt);
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(60));
+  ScenarioSpec spec;
+  spec.committee.n = kN;
+  spec.seed = 77;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 10;
+  for (NodeId id = 0; id < 4; ++id) {
+    spec.adversary.behaviors[id] = std::make_shared<AbstainBehavior>();
+  }
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(60));
 
-  EXPECT_EQ(cluster.max_height(), 0u) << "no block can finalize";
-  EXPECT_EQ(cluster.classify(0), game::SystemState::kNoProgress);
+  EXPECT_EQ(sim.max_height(), 0u) << "no block can finalize";
+  EXPECT_EQ(sim.classify(0), game::SystemState::kNoProgress);
   // Abstention is indistinguishable from a crash: nobody is slashed.
   for (NodeId id = 0; id < kN; ++id) {
-    EXPECT_FALSE(cluster.deposits().slashed(id));
+    EXPECT_FALSE(sim.deposits().slashed(id));
   }
 }
 
 TEST(AbstainCoalition, BelowThresholdCannotStall) {
   // k + t = t0 = 2 abstainers: quorum still reachable from the rest.
-  PrftClusterOptions opt;
-  opt.n = kN;
-  opt.seed = 78;
-  opt.target_blocks = 4;
-  opt.node_factory = [](NodeId id, prft::PrftNode::Deps deps) {
-    if (id < 2) deps.behavior = std::make_shared<AbstainBehavior>();
-    return std::make_unique<prft::PrftNode>(std::move(deps));
-  };
-  PrftCluster cluster(opt);
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(300));
+  ScenarioSpec spec;
+  spec.committee.n = kN;
+  spec.seed = 78;
+  spec.budget.target_blocks = 4;
+  spec.workload.txs = 10;
+  for (NodeId id = 0; id < 2; ++id) {
+    spec.adversary.behaviors[id] = std::make_shared<AbstainBehavior>();
+  }
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_GE(cluster.max_height(), 4u) << "t <= t0 abstainers cannot stall";
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_GE(sim.max_height(), 4u) << "t <= t0 abstainers cannot stall";
 }
 
 TEST(PartialCensorship, CensorsWatchedTxForever) {
@@ -178,27 +177,24 @@ TEST(PartialCensorship, CensorsWatchedTxForever) {
   // changes) and censors when leading. Progress continues; the watched tx
   // never lands; no penalty is ever applicable.
   const std::uint64_t watched_tx = 5000;
-  PrftClusterOptions opt;
-  opt.n = kN;
-  opt.seed = 79;
-  opt.target_blocks = 5;
-  opt.node_factory = [watched_tx](NodeId id, prft::PrftNode::Deps deps) {
-    if (id < 4) {
-      deps.behavior = std::make_shared<PartialCensorBehavior>(
-          kCoalition, std::set<std::uint64_t>{watched_tx});
-    }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
-  };
-  PrftCluster cluster(opt);
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.submit_tx(ledger::make_transfer(watched_tx, 4), msec(1));
-  cluster.start();
-  cluster.run_until(sec(600));
+  ScenarioSpec spec;
+  spec.committee.n = kN;
+  spec.seed = 79;
+  spec.budget.target_blocks = 5;
+  spec.workload.txs = 10;
+  for (NodeId id : kCoalition) {
+    spec.adversary.behaviors[id] = std::make_shared<PartialCensorBehavior>(
+        kCoalition, std::set<std::uint64_t>{watched_tx});
+  }
+  Simulation sim(spec);
+  sim.submit_tx(ledger::make_transfer(watched_tx, 4), msec(1));
+  sim.start();
+  sim.run_until(sec(600));
 
-  EXPECT_GE(cluster.max_height(), 5u) << "(t,k)-eventual liveness holds";
-  EXPECT_EQ(cluster.classify(0, watched_tx), game::SystemState::kCensorship);
+  EXPECT_GE(sim.max_height(), 5u) << "(t,k)-eventual liveness holds";
+  EXPECT_EQ(sim.classify(0, watched_tx), game::SystemState::kCensorship);
   for (NodeId id = 0; id < kN; ++id) {
-    EXPECT_FALSE(cluster.deposits().slashed(id))
+    EXPECT_FALSE(sim.deposits().slashed(id))
         << "π_pc is indistinguishable from π_0 to the penalty mechanism";
   }
 }
@@ -206,17 +202,17 @@ TEST(PartialCensorship, CensorsWatchedTxForever) {
 TEST(PartialCensorship, HonestCommitteeIncludesSameTx) {
   // Control: without the coalition the watched tx lands promptly.
   const std::uint64_t watched_tx = 5000;
-  PrftClusterOptions opt;
-  opt.n = kN;
-  opt.seed = 80;
-  opt.target_blocks = 5;
-  PrftCluster cluster(opt);
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.submit_tx(ledger::make_transfer(watched_tx, 4), msec(1));
-  cluster.start();
-  cluster.run_until(sec(60));
+  ScenarioSpec spec;
+  spec.committee.n = kN;
+  spec.seed = 80;
+  spec.budget.target_blocks = 5;
+  spec.workload.txs = 10;
+  Simulation sim(spec);
+  sim.submit_tx(ledger::make_transfer(watched_tx, 4), msec(1));
+  sim.start();
+  sim.run_until(sec(60));
 
-  EXPECT_EQ(cluster.classify(0, watched_tx), game::SystemState::kHonest);
+  EXPECT_EQ(sim.classify(0, watched_tx), game::SystemState::kHonest);
 }
 
 }  // namespace

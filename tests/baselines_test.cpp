@@ -1,7 +1,8 @@
 // Baseline-protocol integration tests: pBFT-style quorum consensus (plain
 // and Polygraph-accountable), HotStuff, and Raft-lite on the shared
-// simulator. These protocols anchor Table 1's bounds and Figure 3's
-// complexity comparison; the tests pin the behaviours those benches sweep:
+// simulator, deployed through the unified ScenarioSpec/Simulation API.
+// These protocols anchor Table 1's bounds and Figure 3's complexity
+// comparison; the tests pin the behaviours those benches sweep:
 //
 //  * pBFT-class quorums are safe for t <= t0 = ⌈n/3⌉−1 but fork once a
 //    rational coalition reaches k + t >= n − 2·t0 (< n/2) — the gap pRFT
@@ -18,7 +19,8 @@
 #include "baselines/hotstuff.hpp"
 #include "baselines/quorum_node.hpp"
 #include "baselines/raftlite.hpp"
-#include "harness/replica_cluster.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 
 namespace ratcon {
 namespace {
@@ -26,36 +28,28 @@ namespace {
 using baselines::HotstuffNode;
 using baselines::QuorumForkPlan;
 using baselines::QuorumNode;
-using baselines::RaftLiteNode;
-using harness::ReplicaCluster;
+using harness::NetworkSpec;
+using harness::Protocol;
+using harness::ScenarioSpec;
+using harness::Simulation;
 
-ReplicaCluster::Options quorum_options(
-    std::uint32_t n, std::uint64_t seed, bool accountable,
-    std::shared_ptr<QuorumForkPlan> plan = nullptr,
-    std::set<NodeId> abstainers = {}) {
-  ReplicaCluster::Options opt;
-  opt.n = n;
-  opt.t0 = consensus::bft_t0(n);
-  opt.seed = seed;
-  opt.factory = [accountable, plan, abstainers](
-                    NodeId id, const consensus::Config& cfg,
-                    crypto::KeyRegistry& registry,
-                    ledger::DepositLedger& deposits) {
-    QuorumNode::Deps deps;
-    deps.cfg = cfg;
-    deps.proto = accountable ? consensus::ProtoId::kPolygraph
-                             : consensus::ProtoId::kPbft;
-    deps.accountable = accountable;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 99);
-    deps.deposits = &deposits;
+ScenarioSpec quorum_scenario(std::uint32_t n, std::uint64_t seed,
+                             bool accountable,
+                             std::shared_ptr<QuorumForkPlan> plan = nullptr,
+                             std::set<NodeId> abstainers = {}) {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kQuorum;
+  spec.committee.n = n;
+  spec.seed = seed;
+  spec.adversary.node_factory =
+      [accountable, plan, abstainers](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
+    QuorumNode::Deps deps = harness::make_quorum_deps(id, env, accountable);
     deps.fork_plan = plan;
     deps.abstain = abstainers.count(id) > 0;
-    auto node = std::make_unique<QuorumNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
+    return std::make_unique<QuorumNode>(std::move(deps));
   };
-  return opt;
+  return spec;
 }
 
 std::shared_ptr<QuorumForkPlan> make_plan(std::set<NodeId> baiters = {}) {
@@ -72,25 +66,25 @@ std::shared_ptr<QuorumForkPlan> make_plan(std::set<NodeId> baiters = {}) {
 }
 
 TEST(QuorumPbft, HappyPathFinalizes) {
-  ReplicaCluster cluster(quorum_options(7, 5, false));
-  cluster.inject_workload(20, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(60));
+  Simulation sim(quorum_scenario(7, 5, false));
+  sim.inject_workload(20, msec(1), msec(2));
+  sim.start();
+  sim.run_until(sec(60));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_GE(cluster.min_height(), 5u);
-  EXPECT_EQ(cluster.classify(0), game::SystemState::kHonest);
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_GE(sim.min_height(), 5u);
+  EXPECT_EQ(sim.classify(0), game::SystemState::kHonest);
 }
 
 TEST(QuorumPbft, ToleratesByzantineMinorityAbstaining) {
   // t = 2 <= t0 = 2 abstainers on n = 7: quorum 5 still reachable.
-  ReplicaCluster cluster(quorum_options(7, 6, false, nullptr, {0, 1}));
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(120));
+  Simulation sim(quorum_scenario(7, 6, false, nullptr, {0, 1}));
+  sim.inject_workload(10, msec(1), msec(2));
+  sim.start();
+  sim.run_until(sec(120));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_GE(cluster.max_height(), 5u);
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_GE(sim.max_height(), 5u);
 }
 
 TEST(QuorumPbft, RationalCoalitionForksIt) {
@@ -98,41 +92,39 @@ TEST(QuorumPbft, RationalCoalitionForksIt) {
   // equivocates both sides into conflicting decisions. pBFT-class safety is
   // gone once the adversary crosses n/3 — even though k + t < n/2.
   auto plan = make_plan();
-  auto opt = quorum_options(10, 7, false, plan);
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(120));
+  Simulation sim(quorum_scenario(10, 7, false, plan));
+  sim.inject_workload(10, msec(1), msec(2));
+  sim.start();
+  sim.run_until(sec(120));
 
-  EXPECT_FALSE(cluster.agreement_holds()) << "the fork must succeed";
-  EXPECT_EQ(cluster.classify(0), game::SystemState::kFork);
+  EXPECT_FALSE(sim.agreement_holds()) << "the fork must succeed";
+  EXPECT_EQ(sim.classify(0), game::SystemState::kFork);
 }
 
 TEST(QuorumPolygraph, ForkIsDetectedAndConvicted) {
   // Polygraph-mode carries certificates, so after the fork every honest
   // player extracts >= t0 + 1 guilty coalition members (Definition 6).
   auto plan = make_plan();
-  auto opt = quorum_options(10, 8, true, plan);
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(120));
+  Simulation sim(quorum_scenario(10, 8, true, plan));
+  sim.inject_workload(10, msec(1), msec(2));
+  sim.start();
+  sim.run_until(sec(120));
 
-  EXPECT_FALSE(cluster.agreement_holds())
+  EXPECT_FALSE(sim.agreement_holds())
       << "accountability detects, it does not prevent";
   for (NodeId id : plan->coalition) {
-    EXPECT_TRUE(cluster.deposits().slashed(id)) << "member " << id;
+    EXPECT_TRUE(sim.deposits().slashed(id)) << "member " << id;
   }
   for (NodeId id = 4; id < 10; ++id) {
-    EXPECT_FALSE(cluster.deposits().slashed(id)) << "honest " << id;
+    EXPECT_FALSE(sim.deposits().slashed(id)) << "honest " << id;
   }
   // Some honest player convicted at least t0 + 1 distinct members.
   std::size_t best = 0;
   for (NodeId id = 4; id < 10; ++id) {
-    const auto& node = dynamic_cast<QuorumNode&>(cluster.replica(id));
+    const auto& node = dynamic_cast<QuorumNode&>(sim.replica(id));
     best = std::max(best, node.convicted().size());
   }
-  EXPECT_GE(best, static_cast<std::size_t>(cluster.config().t0 + 1));
+  EXPECT_GE(best, static_cast<std::size_t>(sim.config().t0 + 1));
 }
 
 TEST(QuorumTrap, FullBaitingPreventsTheFork) {
@@ -140,67 +132,44 @@ TEST(QuorumTrap, FullBaitingPreventsTheFork) {
   // either side's quorum: no fork, and the colluding Byzantine core gets
   // convicted by the baiters' certificates.
   auto plan = make_plan({2, 3});  // two rational members bait
-  auto opt = quorum_options(10, 9, true, plan);
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(120));
+  Simulation sim(quorum_scenario(10, 9, true, plan));
+  sim.inject_workload(10, msec(1), msec(2));
+  sim.start();
+  sim.run_until(sec(120));
 
-  EXPECT_TRUE(cluster.agreement_holds())
+  EXPECT_TRUE(sim.agreement_holds())
       << "with m = 2 baiters each side tops out at 3 + 2 = 5 < 7";
 }
 
-TEST(Hotstuff, HappyPathFinalizes) {
-  ReplicaCluster::Options opt;
-  opt.n = 7;
-  opt.t0 = consensus::bft_t0(7);
-  opt.seed = 21;
-  opt.factory = [](NodeId id, const consensus::Config& cfg,
-                   crypto::KeyRegistry& registry, ledger::DepositLedger&) {
-    HotstuffNode::Deps deps;
-    deps.cfg = cfg;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 4);
-    auto node = std::make_unique<HotstuffNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
-  };
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(20, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(60));
+ScenarioSpec hotstuff_scenario(std::uint32_t n, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kHotStuff;
+  spec.committee.n = n;
+  spec.seed = seed;
+  return spec;
+}
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_GE(cluster.min_height(), 5u);
+TEST(Hotstuff, HappyPathFinalizes) {
+  Simulation sim(hotstuff_scenario(7, 21));
+  sim.inject_workload(20, msec(1), msec(2));
+  sim.start();
+  sim.run_until(sec(60));
+
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_GE(sim.min_height(), 5u);
 }
 
 TEST(Hotstuff, MessageComplexityIsLinearPerRound) {
-  auto build = [](std::uint32_t n) {
-    ReplicaCluster::Options opt;
-    opt.n = n;
-    opt.t0 = consensus::bft_t0(n);
-    opt.seed = 22;
-    opt.target_blocks = 4;
-    opt.factory = [](NodeId id, const consensus::Config& cfg,
-                     crypto::KeyRegistry& registry, ledger::DepositLedger&) {
-      HotstuffNode::Deps deps;
-      deps.cfg = cfg;
-      deps.registry = &registry;
-      deps.keys = registry.generate(id, 4);
-      auto node = std::make_unique<HotstuffNode>(std::move(deps));
-      node->set_target_blocks(cfg.target_rounds);
-      return node;
-    };
-    return opt;
-  };
   std::map<std::uint32_t, double> per_round;
   for (std::uint32_t n : {8u, 16u}) {
-    ReplicaCluster cluster(build(n));
-    cluster.start();
-    cluster.run_until(sec(60));
-    ASSERT_GE(cluster.min_height(), 4u);
+    ScenarioSpec spec = hotstuff_scenario(n, 22);
+    spec.budget.target_blocks = 4;
+    Simulation sim(spec);
+    sim.start();
+    sim.run_until(sec(60));
+    ASSERT_GE(sim.min_height(), 4u);
     per_round[n] =
-        static_cast<double>(cluster.net().stats().total().count) / 4.0;
+        static_cast<double>(sim.net().stats().total().count) / 4.0;
   }
   // Linear: doubling n should roughly double messages (allow 3x, not 4x
   // which would indicate quadratic behaviour).
@@ -208,62 +177,36 @@ TEST(Hotstuff, MessageComplexityIsLinearPerRound) {
       << "HotStuff per-round messages must scale ~linearly";
 }
 
-TEST(RaftLite, HappyPathReplicates) {
-  ReplicaCluster::Options opt;
-  opt.n = 5;
-  opt.t0 = 0;
-  opt.seed = 31;
-  opt.factory = [](NodeId id, const consensus::Config& cfg,
-                   crypto::KeyRegistry& registry, ledger::DepositLedger&) {
-    RaftLiteNode::Deps deps;
-    deps.cfg = cfg;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 4);
-    auto node = std::make_unique<RaftLiteNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
-  };
-  ReplicaCluster cluster(std::move(opt));
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(60));
-
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_GE(cluster.min_height(), 5u);
+ScenarioSpec raft_scenario(std::uint32_t n, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kRaftLite;
+  spec.committee.n = n;
+  spec.seed = seed;
+  return spec;
 }
 
-ReplicaCluster::Options raft_options(std::uint32_t n, std::uint64_t seed) {
-  ReplicaCluster::Options opt;
-  opt.n = n;
-  opt.t0 = 0;
-  opt.seed = seed;
-  opt.factory = [](NodeId id, const consensus::Config& cfg,
-                   crypto::KeyRegistry& registry, ledger::DepositLedger&) {
-    RaftLiteNode::Deps deps;
-    deps.cfg = cfg;
-    deps.registry = &registry;
-    deps.keys = registry.generate(id, 4);
-    auto node = std::make_unique<RaftLiteNode>(std::move(deps));
-    node->set_target_blocks(cfg.target_rounds);
-    return node;
-  };
-  return opt;
+TEST(RaftLite, HappyPathReplicates) {
+  Simulation sim(raft_scenario(5, 31));
+  sim.inject_workload(10, msec(1), msec(2));
+  sim.start();
+  sim.run_until(sec(60));
+
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_GE(sim.min_height(), 5u);
 }
 
 TEST(RaftLite, SurvivesMinorityCrash) {
   // c = 2 < n/2 = 2.5: majority of 3 still commits (Table 1: 2c < n).
-  ReplicaCluster cluster(raft_options(5, 32));
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.net().schedule(msec(5), [&cluster]() {
-    cluster.net().crash(0);
-    cluster.net().crash(1);
-  });
-  cluster.start();
-  cluster.run_until(sec(300));
+  ScenarioSpec spec = raft_scenario(5, 32);
+  spec.workload.txs = 10;
+  spec.faults.crash_range(0, 2, msec(5));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
   std::uint64_t alive_max = 0;
   for (NodeId id = 2; id < 5; ++id) {
-    alive_max = std::max(alive_max, cluster.replica(id).chain().finalized_height());
+    alive_max = std::max(alive_max, sim.replica(id).chain().finalized_height());
   }
   EXPECT_GE(alive_max, 5u);
 }
@@ -274,30 +217,15 @@ TEST(Hotstuff, StaysSafeUnderPartialSynchrony) {
   // decides let two honest replicas finalize different blocks at one
   // height. Adversarial delays must never fork an all-honest committee.
   for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
-    ReplicaCluster::Options opt;
-    opt.n = 7;
-    opt.t0 = consensus::bft_t0(7);
-    opt.seed = seed;
-    opt.make_net = []() {
-      return net::make_partial_synchrony(msec(200), msec(10), 0.9);
-    };
-    opt.factory = [](NodeId id, const consensus::Config& cfg,
-                     crypto::KeyRegistry& registry, ledger::DepositLedger&) {
-      HotstuffNode::Deps deps;
-      deps.cfg = cfg;
-      deps.registry = &registry;
-      deps.keys = registry.generate(id, 4);
-      auto node = std::make_unique<HotstuffNode>(std::move(deps));
-      node->set_target_blocks(cfg.target_rounds);
-      return node;
-    };
-    ReplicaCluster cluster(std::move(opt));
-    cluster.inject_workload(10, msec(1), msec(2));
-    cluster.start();
-    cluster.run_until(sec(120));
+    ScenarioSpec spec = hotstuff_scenario(7, seed);
+    spec.net = NetworkSpec::partial_synchrony(msec(200), msec(10), 0.9);
+    spec.workload.txs = 10;
+    Simulation sim(spec);
+    sim.start();
+    sim.run_until(sec(120));
 
-    EXPECT_TRUE(cluster.agreement_holds()) << "seed " << seed;
-    EXPECT_TRUE(cluster.ordering_holds()) << "seed " << seed;
+    EXPECT_TRUE(sim.agreement_holds()) << "seed " << seed;
+    EXPECT_TRUE(sim.ordering_holds()) << "seed " << seed;
   }
 }
 
@@ -307,34 +235,29 @@ TEST(RaftLite, StaysSafeUnderPartialSynchrony) {
   // different terms and delayed commits forked the log. A crash-tolerant
   // protocol must keep safety under arbitrary message delay.
   for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
-    auto opt = raft_options(5, seed);
-    opt.make_net = []() {
-      return net::make_partial_synchrony(msec(200), msec(10), 0.9);
-    };
-    ReplicaCluster cluster(std::move(opt));
-    cluster.inject_workload(10, msec(1), msec(2));
-    cluster.start();
-    cluster.run_until(sec(120));
+    ScenarioSpec spec = raft_scenario(5, seed);
+    spec.net = NetworkSpec::partial_synchrony(msec(200), msec(10), 0.9);
+    spec.workload.txs = 10;
+    Simulation sim(spec);
+    sim.start();
+    sim.run_until(sec(120));
 
-    EXPECT_TRUE(cluster.agreement_holds()) << "seed " << seed;
-    EXPECT_TRUE(cluster.ordering_holds()) << "seed " << seed;
+    EXPECT_TRUE(sim.agreement_holds()) << "seed " << seed;
+    EXPECT_TRUE(sim.ordering_holds()) << "seed " << seed;
   }
 }
 
 TEST(RaftLite, StallsUnderMajorityCrash) {
   // c = 3 >= n/2: no majority can form; the system stalls forever.
-  ReplicaCluster cluster(raft_options(5, 33));
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.net().schedule(msec(5), [&cluster]() {
-    cluster.net().crash(0);
-    cluster.net().crash(1);
-    cluster.net().crash(2);
-  });
-  cluster.start();
-  cluster.run_until(sec(120));
+  ScenarioSpec spec = raft_scenario(5, 33);
+  spec.workload.txs = 10;
+  spec.faults.crash_range(0, 3, msec(5));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(120));
 
   for (NodeId id = 3; id < 5; ++id) {
-    EXPECT_EQ(cluster.replica(id).chain().finalized_height(), 0u);
+    EXPECT_EQ(sim.replica(id).chain().finalized_height(), 0u);
   }
 }
 

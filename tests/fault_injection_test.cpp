@@ -1,6 +1,8 @@
 // Fault-injection tests: crash faults, asynchronous delivery, state
 // transfer, and mixed fault scenarios against pRFT — the failure modes
 // that sit between the happy path and the targeted game-theoretic attacks.
+// All faults are expressed as ScenarioSpec fault plans, so the same levers
+// are reachable from every bench and sweep.
 
 #include <gtest/gtest.h>
 
@@ -8,85 +10,55 @@
 
 #include "adversary/behaviors.hpp"
 #include "adversary/fork_agent.hpp"
-#include "harness/prft_cluster.hpp"
-#include "net/netmodel.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 
 namespace ratcon {
 namespace {
 
-using harness::PrftCluster;
-using harness::PrftClusterOptions;
+using harness::ScenarioSpec;
+using harness::Simulation;
 
 TEST(CrashFaults, ToleratesUpToT0Crashes) {
   // Crashes are a strict subset of abstention: t0 = 2 of 9 may die.
-  PrftClusterOptions opt;
-  opt.n = 9;
-  opt.seed = 1001;
-  opt.target_blocks = 4;
-  PrftCluster cluster(opt);
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.net().schedule(msec(40), [&cluster]() {
-    cluster.net().crash(0);
-    cluster.net().crash(5);
-  });
-  cluster.start();
-  cluster.run_until(sec(300));
+  ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = 1001;
+  spec.budget.target_blocks = 4;
+  spec.workload.txs = 10;
+  spec.faults.crash(0, msec(40)).crash(5, msec(40));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
   // Crashed nodes stop; the live honest committee must still finish.
   std::uint64_t live_min = UINT64_MAX;
   for (NodeId id = 0; id < 9; ++id) {
-    if (cluster.net().crashed(id)) continue;
-    live_min = std::min(live_min, cluster.node(id).chain().finalized_height());
+    if (sim.net().crashed(id)) continue;
+    live_min = std::min(live_min, sim.replica(id).chain().finalized_height());
   }
-  EXPECT_TRUE(cluster.agreement_holds());
+  EXPECT_TRUE(sim.agreement_holds());
   EXPECT_GE(live_min, 4u);
   // Crashes are not misbehaviour: nobody is slashed.
   for (NodeId id = 0; id < 9; ++id) {
-    EXPECT_FALSE(cluster.deposits().slashed(id));
+    EXPECT_FALSE(sim.deposits().slashed(id));
   }
-}
-
-TEST(CrashFaults, LeaderCrashTriggersViewChange) {
-  PrftClusterOptions opt;
-  opt.n = 7;
-  opt.seed = 1002;
-  opt.target_blocks = 3;
-  PrftCluster cluster(opt);
-  cluster.inject_workload(8, msec(1), msec(2));
-  // Node 1 leads round 1; it is dead before the simulation starts, so the
-  // very first round has no proposal and must recover by view change.
-  cluster.net().crash(1);
-  cluster.start();
-  cluster.run_until(sec(300));
-
-  std::uint64_t vcs = 0;
-  for (NodeId id = 2; id < 7; ++id) vcs += cluster.node(id).view_changes();
-  EXPECT_GT(vcs, 0u) << "round 1 must have been abandoned";
-  EXPECT_TRUE(cluster.agreement_holds());
-  std::uint64_t live_min = UINT64_MAX;
-  for (NodeId id = 0; id < 7; ++id) {
-    if (cluster.net().crashed(id)) continue;
-    live_min = std::min(live_min, cluster.node(id).chain().finalized_height());
-  }
-  EXPECT_GE(live_min, 3u);
 }
 
 TEST(CrashFaults, BeyondQuorumStalls) {
   // 3 > t0 = 2 crashes at n = 9: quorum 7 unreachable from 6 live nodes.
-  PrftClusterOptions opt;
-  opt.n = 9;
-  opt.seed = 1003;
-  opt.target_blocks = 3;
-  PrftCluster cluster(opt);
-  cluster.inject_workload(6, msec(1), msec(2));
-  cluster.net().schedule(msec(5), [&cluster]() {
-    for (NodeId id = 0; id < 3; ++id) cluster.net().crash(id);
-  });
-  cluster.start();
-  cluster.run_until(sec(120));
+  ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = 1003;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  spec.faults.crash_range(0, 3, msec(5));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(120));
 
-  EXPECT_EQ(cluster.max_height(), 0u);
-  EXPECT_TRUE(cluster.agreement_holds()) << "stall, never fork";
+  EXPECT_EQ(sim.max_height(), 0u);
+  EXPECT_TRUE(sim.agreement_holds()) << "stall, never fork";
 }
 
 class AsyncSeeds : public ::testing::TestWithParam<std::uint64_t> {};
@@ -96,45 +68,27 @@ TEST_P(AsyncSeeds, SafetyUnderAsynchronousDelivery) {
   // not guaranteed (FLP), but safety must never break, and with delays
   // capped well below the doubling timeouts the committee does make
   // progress eventually.
-  PrftClusterOptions opt;
-  opt.n = 7;
-  opt.seed = GetParam();
-  opt.target_blocks = 3;
-  opt.make_net = [] { return net::make_asynchronous(msec(30), msec(400)); };
-  PrftCluster cluster(opt);
-  cluster.inject_workload(8, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(600));
+  ScenarioSpec spec;
+  spec.committee.n = 7;
+  spec.seed = GetParam();
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 8;
+  spec.net = harness::NetworkSpec::asynchronous(msec(30), msec(400));
+  // The protocol still derives timeouts from the nominal Δ = 10 ms it
+  // cannot rely on (the old harness behaved identically).
+  spec.net.delta = msec(10);
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(600));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_TRUE(cluster.ordering_holds());
-  EXPECT_FALSE(cluster.honest_player_slashed());
-  EXPECT_GE(cluster.max_height(), 1u) << "eventual progress";
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_TRUE(sim.ordering_holds());
+  EXPECT_FALSE(sim.honest_player_slashed());
+  EXPECT_GE(sim.max_height(), 1u) << "eventual progress";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AsyncSeeds,
                          ::testing::Values(31, 32, 33, 34, 35));
-
-TEST(StateTransfer, CutOutNodeCatchesUpViaSync) {
-  // Partition one node away for a long stretch while the rest finalize
-  // several blocks; on heal it must adopt the certified chain through the
-  // Sync path and resume participation.
-  PrftClusterOptions opt;
-  opt.n = 7;
-  opt.seed = 1010;
-  opt.target_blocks = 5;
-  PrftCluster cluster(opt);
-  cluster.inject_workload(12, msec(1), msec(2));
-  cluster.net().schedule(usec(10), [&cluster]() {
-    cluster.net().set_partition({{0, 1, 2, 3, 4, 5}, {6}}, msec(2500));
-  });
-  cluster.start();
-  cluster.run_until(sec(600));
-
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_GE(cluster.node(6).chain().finalized_height(), 5u)
-      << "the isolated node must fully catch up";
-}
 
 TEST(MixedFaults, CrashPlusAbstainPlusForkWithinBounds) {
   // The kitchen sink at n = 13 (t0 = 3, quorum 10): one crash, one
@@ -146,33 +100,33 @@ TEST(MixedFaults, CrashPlusAbstainPlusForkWithinBounds) {
   plan->side_a = {6, 7, 8, 9, 10, 11};
   plan->side_b = {12};
 
-  PrftClusterOptions opt;
-  opt.n = 13;
-  opt.seed = 1011;
-  opt.target_blocks = 3;
-  opt.node_factory = [plan](NodeId id, prft::PrftNode::Deps deps) {
+  ScenarioSpec spec;
+  spec.committee.n = 13;
+  spec.seed = 1011;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 8;
+  spec.adversary.behaviors[4] = std::make_shared<adversary::AbstainBehavior>();
+  spec.adversary.node_factory =
+      [plan](NodeId id,
+             const harness::NodeEnv& env) -> std::unique_ptr<consensus::IReplica> {
     if (plan->coalition.count(id)) {
-      return std::unique_ptr<prft::PrftNode>(
-          new adversary::ForkAgentNode(std::move(deps), plan));
+      return std::make_unique<adversary::ForkAgentNode>(
+          harness::make_prft_deps(id, env), plan);
     }
-    if (id == 4) {
-      deps.behavior = std::make_shared<adversary::AbstainBehavior>();
-    }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
+    return nullptr;  // abstainer via behaviors map, rest honest
   };
-  PrftCluster cluster(opt);
-  cluster.inject_workload(8, msec(1), msec(2));
-  cluster.net().schedule(msec(10), [&cluster]() { cluster.net().crash(5); });
-  cluster.start();
-  cluster.run_until(sec(600));
+  spec.faults.crash(5, msec(10));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(600));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_TRUE(cluster.ordering_holds());
-  EXPECT_FALSE(cluster.honest_player_slashed());
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_TRUE(sim.ordering_holds());
+  EXPECT_FALSE(sim.honest_player_slashed());
   // Honest live nodes (not crashed, not coalition, not abstainer) progress.
   std::uint64_t live_min = UINT64_MAX;
   for (NodeId id = 6; id < 13; ++id) {
-    live_min = std::min(live_min, cluster.node(id).chain().finalized_height());
+    live_min = std::min(live_min, sim.replica(id).chain().finalized_height());
   }
   EXPECT_GE(live_min, 3u);
 }

@@ -1,15 +1,16 @@
 // Seed-matrix scenario sweep: the shared safety properties (agreement,
 // c-strict ordering, no honest slashing) must hold on EVERY cell of the
 // committee-size × network-model × seed cross-product, for pRFT and for the
-// HotStuff / Raft-lite baselines. Rational-consensus equilibrium claims are
-// only credible under varied network and committee conditions; this suite is
-// the regression gate for that. Liveness is additionally asserted where the
-// model guarantees it (synchrony, and partial synchrony after GST).
+// HotStuff / Raft-lite / quorum baselines. Rational-consensus equilibrium
+// claims are only credible under varied network and committee conditions;
+// this suite is the regression gate for that. Liveness is additionally
+// asserted where the model guarantees it (synchrony, and partial synchrony
+// after GST).
 
 #include <gtest/gtest.h>
 
 #include "harness/matrix.hpp"
-#include "harness/prft_cluster.hpp"
+#include "harness/scenario.hpp"
 
 namespace ratcon::harness {
 namespace {
@@ -41,6 +42,8 @@ void expect_every_cell_safe(const MatrixReport& report,
     if (cell.net == NetKind::kSynchronous) {
       EXPECT_GE(cell.min_height, spec.target_blocks)
           << "liveness lost in " << cell.label();
+      EXPECT_NE(cell.finalized_at, kSimTimeNever)
+          << "finalization latency unrecorded in " << cell.label();
     }
     if (cell.min_height > 0) {
       EXPECT_GT(cell.messages, 0u) << "progress without traffic in "
@@ -65,6 +68,34 @@ TEST(SeedMatrix, HotstuffSafeOnEveryCell) {
 TEST(SeedMatrix, RaftLiteSafeOnEveryCell) {
   MatrixSpec spec = tier1_spec();
   spec.protocols = {Protocol::kRaftLite};
+  expect_every_cell_safe(run_matrix(spec), spec);
+}
+
+// The pBFT-style quorum baseline rides the same matrix on its safe ground:
+// synchronous cells with an honest committee. (Its fork vulnerabilities
+// under partitions/equivocation are the paper's point and are exercised
+// deliberately in the benches, not asserted safe here.)
+TEST(SeedMatrix, QuorumSafeOnSynchronousCells) {
+  MatrixSpec spec = tier1_spec();
+  spec.protocols = {Protocol::kQuorum};
+  spec.nets = {NetKind::kSynchronous};
+  expect_every_cell_safe(run_matrix(spec), spec);
+}
+
+// ROADMAP scaling cell: n = 64 committees — four times the seed matrix's
+// largest committee — must stay safe and live on the synchronous cells for
+// every protocol in the registry. One seed: the pRFT cell alone moves ~32k
+// certificate-bearing messages (≈40 s of host time), and wider n = 64
+// sweeps belong to bench_matrix_sweep --sizes=64.
+TEST(SeedMatrix, LargeCommitteeN64Safe) {
+  MatrixSpec spec;
+  spec.protocols = {Protocol::kPrft, Protocol::kHotStuff,
+                    Protocol::kRaftLite, Protocol::kQuorum};
+  spec.committee_sizes = {64};
+  spec.nets = {NetKind::kSynchronous};
+  spec.seeds = {1};
+  spec.target_blocks = 2;
+  spec.workload_txs = 8;
   expect_every_cell_safe(run_matrix(spec), spec);
 }
 
@@ -93,6 +124,33 @@ TEST(SeedMatrix, PrftSafeWithCrashFault) {
   }
 }
 
+// ROADMAP combined-fault cell: pre-GST message holds, a two-halves
+// partition that only heals at GST, AND a crashed node — all at once,
+// expressed as ScenarioSpec fault plans. Safety must survive for every
+// protocol; liveness is not asserted (a partitioned minority may stay
+// behind until state transfer catches it up).
+TEST(SeedMatrix, CrashPlusPartitionCellsStaySafe) {
+  MatrixSpec spec;
+  spec.protocols = {Protocol::kPrft, Protocol::kHotStuff,
+                    Protocol::kRaftLite};
+  spec.committee_sizes = {7, 16};
+  spec.nets = {NetKind::kPartialSynchrony};
+  spec.seeds = {1, 2, 3};
+  spec.target_blocks = 3;
+  spec.crash_count = 1;
+  spec.partition_pre_gst = true;
+  const MatrixReport report = run_matrix(spec);
+  ASSERT_EQ(report.cell_count(), spec.protocols.size() *
+                                     spec.committee_sizes.size() *
+                                     spec.seeds.size());
+  for (const CellResult& cell : report.cells) {
+    EXPECT_TRUE(cell.agreement) << "fork in " << cell.label();
+    EXPECT_TRUE(cell.ordering) << "ordering violated in " << cell.label();
+    EXPECT_FALSE(cell.honest_slashed)
+        << "honest deposit burned in " << cell.label();
+  }
+}
+
 TEST(SeedMatrix, ReportSummarizesEveryCell) {
   MatrixSpec spec;
   spec.protocols = {Protocol::kPrft};
@@ -104,7 +162,31 @@ TEST(SeedMatrix, ReportSummarizesEveryCell) {
   const std::string summary = report.summary();
   EXPECT_NE(summary.find("prft"), std::string::npos);
   EXPECT_NE(summary.find("synchronous"), std::string::npos);
+  EXPECT_NE(summary.find("slowest cells"), std::string::npos);
   EXPECT_TRUE(report.unsafe_cells().empty()) << summary;
+}
+
+// Per-cell wall-clock budget: every cell costs > 0 ms, so an absurdly
+// small budget flags them all — and the summary surfaces the overruns.
+TEST(SeedMatrix, WallClockBudgetFlagsSlowCells) {
+  MatrixSpec spec;
+  spec.protocols = {Protocol::kPrft};
+  spec.committee_sizes = {4};
+  spec.nets = {NetKind::kSynchronous};
+  spec.seeds = {1, 2, 3};
+  spec.cell_budget_ms = 1e-6;
+  const MatrixReport report = run_matrix(spec);
+  ASSERT_EQ(report.cell_count(), 3u);
+  for (const CellResult& cell : report.cells) {
+    EXPECT_GT(cell.wall_ms, 0.0) << cell.label();
+    EXPECT_TRUE(cell.over_budget()) << cell.label();
+  }
+  EXPECT_EQ(report.over_budget_cells().size(), 3u);
+  EXPECT_NE(report.summary().find("OVER BUDGET"), std::string::npos);
+
+  const auto slowest = report.slowest_cells(2);
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_GE(slowest[0]->wall_ms, slowest[1]->wall_ms);
 }
 
 TEST(SeedMatrix, CellLabelsAreDistinct) {
@@ -120,25 +202,25 @@ TEST(SeedMatrix, CellLabelsAreDistinct) {
 }
 
 // Determinism regression: the simulator is seeded end to end, so two runs
-// with identical options must produce byte-identical finalized chains and
+// with identical scenarios must produce byte-identical finalized chains and
 // identical traffic accounting. Any divergence means nondeterminism crept
 // into the event loop, RNG plumbing, or protocol logic.
 TEST(Determinism, IdenticalRunsProduceIdenticalChainsAndStats) {
   auto run_once = [](std::vector<std::vector<crypto::Hash256>>& hashes,
                      std::uint64_t& msg_count, std::uint64_t& msg_bytes) {
-    PrftClusterOptions opt;
-    opt.n = 7;
-    opt.seed = 42;
-    opt.target_blocks = 4;
-    PrftCluster cluster(opt);
-    cluster.inject_workload(16, msec(1), msec(2));
-    cluster.start();
-    cluster.run_until(sec(60));
+    ScenarioSpec spec;
+    spec.committee.n = 7;
+    spec.seed = 42;
+    spec.budget.target_blocks = 4;
+    spec.workload.txs = 16;
+    Simulation sim(spec);
+    sim.start();
+    sim.run_until(sec(60));
     for (NodeId id = 0; id < 7; ++id) {
-      hashes.push_back(cluster.node(id).chain().finalized_hashes());
+      hashes.push_back(sim.replica(id).chain().finalized_hashes());
     }
-    msg_count = cluster.net().stats().total().count;
-    msg_bytes = cluster.net().stats().total().bytes;
+    msg_count = sim.net().stats().total().count;
+    msg_bytes = sim.net().stats().total().bytes;
   };
 
   std::vector<std::vector<crypto::Hash256>> hashes_a;
@@ -167,15 +249,15 @@ TEST(Determinism, IdenticalRunsProduceIdenticalChainsAndStats) {
 // sensitive fingerprint of the schedule.
 TEST(Determinism, DifferentSeedsProduceDifferentSchedules) {
   auto drain_time = [](std::uint64_t seed) {
-    PrftClusterOptions opt;
-    opt.n = 7;
-    opt.seed = seed;
-    opt.target_blocks = 4;
-    PrftCluster cluster(opt);
-    cluster.inject_workload(16, msec(1), msec(2));
-    cluster.start();
-    cluster.run();  // drain: nodes stop at target_blocks
-    return cluster.net().now();
+    ScenarioSpec spec;
+    spec.committee.n = 7;
+    spec.seed = seed;
+    spec.budget.target_blocks = 4;
+    spec.workload.txs = 16;
+    Simulation sim(spec);
+    sim.start();
+    sim.run();  // drain: nodes stop at target_blocks
+    return sim.net().now();
   };
   const SimTime base = drain_time(1);
   EXPECT_TRUE(drain_time(2) != base || drain_time(3) != base ||

@@ -2,71 +2,77 @@
 //
 // These exercise the full protocol stack (Figure 1 + §5.2): happy path on
 // synchronous networks, liveness through view changes, catch-up after
-// partitions, and the safety invariants of Definition 1.
+// partitions, and the safety invariants of Definition 1 — all deployed
+// through the unified ScenarioSpec/Simulation API.
 
 #include <gtest/gtest.h>
 
-#include "harness/prft_cluster.hpp"
-#include "net/netmodel.hpp"
+#include "harness/scenario.hpp"
 
 namespace ratcon {
 namespace {
 
-using harness::PrftCluster;
-using harness::PrftClusterOptions;
+using harness::NetworkSpec;
+using harness::ScenarioSpec;
+using harness::Simulation;
 
-PrftClusterOptions base_options(std::uint32_t n, std::uint64_t seed) {
-  PrftClusterOptions opt;
-  opt.n = n;
-  opt.seed = seed;
-  opt.target_blocks = 5;
-  return opt;
+ScenarioSpec base_scenario(std::uint32_t n, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.committee.n = n;
+  spec.seed = seed;
+  spec.budget.target_blocks = 5;
+  return spec;
 }
 
 TEST(PrftHappyPath, SevenNodesFinalizeTargetBlocks) {
-  PrftCluster cluster(base_options(7, 42));
-  cluster.inject_workload(30, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(60));
+  ScenarioSpec spec = base_scenario(7, 42);
+  spec.workload.txs = 30;
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(60));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_TRUE(cluster.ordering_holds());
-  EXPECT_GE(cluster.min_height(), 5u);
-  EXPECT_FALSE(cluster.honest_player_slashed());
-  EXPECT_EQ(cluster.classify(0), game::SystemState::kHonest);
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_TRUE(sim.ordering_holds());
+  EXPECT_GE(sim.min_height(), 5u);
+  EXPECT_FALSE(sim.honest_player_slashed());
+  EXPECT_EQ(sim.classify(0), game::SystemState::kHonest);
 }
 
 TEST(PrftHappyPath, FourNodesMinimumCommittee) {
   // n = 4 is the smallest committee: t0 = ⌈4/4⌉ − 1 = 0, quorum = 4.
-  PrftCluster cluster(base_options(4, 7));
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(60));
+  ScenarioSpec spec = base_scenario(4, 7);
+  spec.workload.txs = 10;
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(60));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_GE(cluster.min_height(), 5u);
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_GE(sim.min_height(), 5u);
 }
 
 TEST(PrftHappyPath, TransactionsAreIncluded) {
-  PrftCluster cluster(base_options(7, 3));
-  cluster.inject_workload(20, msec(1), msec(1));
-  cluster.start();
-  cluster.run_until(sec(60));
+  ScenarioSpec spec = base_scenario(7, 3);
+  spec.workload.txs = 20;
+  spec.workload.interval = msec(1);
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(60));
 
-  ASSERT_GE(cluster.min_height(), 5u);
+  ASSERT_GE(sim.min_height(), 5u);
   // Workload tx #1 must be in every honest finalized ledger.
-  for (const ledger::Chain* chain : cluster.honest_chains()) {
+  for (const ledger::Chain* chain : sim.honest_chains()) {
     EXPECT_TRUE(chain->finalized_contains_tx(1));
   }
 }
 
 TEST(PrftHappyPath, DeterministicAcrossRuns) {
   auto run_once = [](std::uint64_t seed, std::uint64_t txs) {
-    PrftCluster cluster(base_options(7, seed));
-    cluster.inject_workload(txs, msec(1), msec(2));
-    cluster.start();
-    cluster.run_until(sec(60));
-    return cluster.node(0).chain().tip_hash();
+    ScenarioSpec spec = base_scenario(7, seed);
+    spec.workload.txs = txs;
+    Simulation sim(spec);
+    sim.start();
+    sim.run_until(sec(60));
+    return sim.replica(0).chain().tip_hash();
   };
   // Same seed, same workload: bit-identical ledgers.
   EXPECT_EQ(run_once(9, 10), run_once(9, 10));
@@ -78,54 +84,49 @@ TEST(PrftHappyPath, DeterministicAcrossRuns) {
 }
 
 TEST(PrftPartialSynchrony, FinalizesAfterGst) {
-  PrftClusterOptions opt = base_options(7, 11);
-  opt.make_net = [] {
-    return net::make_partial_synchrony(msec(400), msec(10), 0.9);
-  };
-  PrftCluster cluster(opt);
-  cluster.inject_workload(20, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(120));
+  ScenarioSpec spec = base_scenario(7, 11);
+  spec.net = NetworkSpec::partial_synchrony(msec(400), msec(10), 0.9);
+  spec.workload.txs = 20;
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(120));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_TRUE(cluster.ordering_holds());
-  EXPECT_GE(cluster.min_height(), 5u) << "liveness after GST";
-  EXPECT_FALSE(cluster.honest_player_slashed());
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_TRUE(sim.ordering_holds());
+  EXPECT_GE(sim.min_height(), 5u) << "liveness after GST";
+  EXPECT_FALSE(sim.honest_player_slashed());
 }
 
 TEST(PrftPartition, HealsAndCatchesUp) {
-  PrftClusterOptions opt = base_options(9, 13);
-  opt.target_blocks = 6;
-  PrftCluster cluster(opt);
-  cluster.inject_workload(20, msec(1), msec(2));
-
+  ScenarioSpec spec = base_scenario(9, 13);
+  spec.budget.target_blocks = 6;
+  spec.workload.txs = 20;
   // Split 5 / 4 between t=50ms and t=400ms. Quorum is 9 − 2 = 7, so no side
   // can commit alone; everything must recover post-heal.
-  cluster.net().schedule(msec(50), [&cluster]() {
-    cluster.net().set_partition({{0, 1, 2, 3, 4}, {5, 6, 7, 8}}, msec(400));
-  });
+  spec.faults.partition({{0, 1, 2, 3, 4}, {5, 6, 7, 8}}, msec(50), msec(400));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(120));
 
-  cluster.start();
-  cluster.run_until(sec(120));
-
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_TRUE(cluster.ordering_holds());
-  EXPECT_GE(cluster.min_height(), 6u);
-  EXPECT_FALSE(cluster.honest_player_slashed());
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_TRUE(sim.ordering_holds());
+  EXPECT_GE(sim.min_height(), 6u);
+  EXPECT_FALSE(sim.honest_player_slashed());
 }
 
 class PrftSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PrftSeedSweep, SafetyAndLivenessAcrossSeeds) {
-  PrftCluster cluster(base_options(7, GetParam()));
-  cluster.inject_workload(15, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(60));
+  ScenarioSpec spec = base_scenario(7, GetParam());
+  spec.workload.txs = 15;
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(60));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_TRUE(cluster.ordering_holds());
-  EXPECT_GE(cluster.min_height(), 5u);
-  EXPECT_FALSE(cluster.honest_player_slashed());
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_TRUE(sim.ordering_holds());
+  EXPECT_GE(sim.min_height(), 5u);
+  EXPECT_FALSE(sim.honest_player_slashed());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PrftSeedSweep,
@@ -134,13 +135,14 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PrftSeedSweep,
 class PrftSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(PrftSizeSweep, CommitteeSizesFinalize) {
-  PrftCluster cluster(base_options(GetParam(), 21));
-  cluster.inject_workload(10, msec(1), msec(2));
-  cluster.start();
-  cluster.run_until(sec(90));
+  ScenarioSpec spec = base_scenario(GetParam(), 21);
+  spec.workload.txs = 10;
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(90));
 
-  EXPECT_TRUE(cluster.agreement_holds());
-  EXPECT_GE(cluster.min_height(), 5u);
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_GE(sim.min_height(), 5u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PrftSizeSweep,

@@ -15,14 +15,15 @@
 #include <tuple>
 
 #include "adversary/fork_agent.hpp"
-#include "harness/prft_cluster.hpp"
-#include "net/netmodel.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
 
 namespace ratcon {
 namespace {
 
-using harness::PrftCluster;
-using harness::PrftClusterOptions;
+using harness::NetworkSpec;
+using harness::ScenarioSpec;
+using harness::Simulation;
 
 // (n, coalition size, seed, use partial synchrony + partition)
 using Params = std::tuple<std::uint32_t, std::uint32_t, std::uint64_t, bool>;
@@ -47,41 +48,39 @@ TEST_P(PrftInvariants, HoldUnderForkCoalitions) {
     side_b.push_back(id);
   }
 
-  PrftClusterOptions opt;
-  opt.n = n;
-  opt.seed = seed;
-  opt.target_blocks = 3;
+  ScenarioSpec spec;
+  spec.committee.n = n;
+  spec.seed = seed;
+  spec.budget.target_blocks = 3;
+  const std::uint64_t tx_count = 12;
+  spec.workload.txs = tx_count;
+  spec.workload.interval = msec(1);
   if (psync) {
-    opt.make_net = [] {
-      return net::make_partial_synchrony(msec(300), msec(10), 0.8);
+    spec.net = NetworkSpec::partial_synchrony(msec(300), msec(10), 0.8);
+    spec.faults.partition({side_a, side_b}, msec(1), msec(300));
+  }
+  if (coalition_size > 0) {
+    spec.adversary.node_factory =
+        [plan](NodeId id, const harness::NodeEnv& env)
+        -> std::unique_ptr<consensus::IReplica> {
+      if (plan->coalition.count(id)) {
+        return std::make_unique<adversary::ForkAgentNode>(
+            harness::make_prft_deps(id, env), plan);
+      }
+      return nullptr;
     };
   }
-  opt.node_factory = [plan, coalition_size](NodeId id,
-                                            prft::PrftNode::Deps deps) {
-    if (coalition_size > 0 && plan->coalition.count(id)) {
-      return std::unique_ptr<prft::PrftNode>(
-          new adversary::ForkAgentNode(std::move(deps), plan));
-    }
-    return std::make_unique<prft::PrftNode>(std::move(deps));
-  };
-  PrftCluster cluster(opt);
-  const std::uint64_t tx_count = 12;
-  cluster.inject_workload(tx_count, msec(1), msec(1));
-  if (psync) {
-    cluster.net().schedule(msec(1), [&cluster, side_a, side_b]() {
-      cluster.net().set_partition({side_a, side_b}, msec(300));
-    });
-  }
-  cluster.start();
-  cluster.run_until(sec(300));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
   // I1 + I2.
-  EXPECT_TRUE(cluster.agreement_holds()) << "agreement";
-  EXPECT_TRUE(cluster.ordering_holds()) << "c-strict ordering";
+  EXPECT_TRUE(sim.agreement_holds()) << "agreement";
+  EXPECT_TRUE(sim.ordering_holds()) << "c-strict ordering";
   // I3.
-  EXPECT_FALSE(cluster.honest_player_slashed()) << "accountability soundness";
+  EXPECT_FALSE(sim.honest_player_slashed()) << "accountability soundness";
   // I4: finalized txs ⊆ injected ∪ fork-marker space.
-  for (const ledger::Chain* chain : cluster.honest_chains()) {
+  for (const ledger::Chain* chain : sim.honest_chains()) {
     for (std::uint64_t h = 1; h <= chain->finalized_height(); ++h) {
       for (const ledger::Transaction& tx : chain->at(h).txs) {
         const bool injected = tx.id >= 1 && tx.id <= tx_count;
@@ -111,20 +110,19 @@ class PrftLiveness : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(PrftLiveness, EventualLivenessAfterGst) {
   // Liveness sweep: honest committee under heavy pre-GST asynchrony must
   // finalize the target after GST, every seed.
-  PrftClusterOptions opt;
-  opt.n = 9;
-  opt.seed = GetParam();
-  opt.target_blocks = 4;
-  opt.make_net = [] {
-    return net::make_partial_synchrony(msec(700), msec(10), 0.95);
-  };
-  PrftCluster cluster(opt);
-  cluster.inject_workload(8, msec(1), msec(1));
-  cluster.start();
-  cluster.run_until(sec(300));
+  ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = GetParam();
+  spec.budget.target_blocks = 4;
+  spec.workload.txs = 8;
+  spec.workload.interval = msec(1);
+  spec.net = NetworkSpec::partial_synchrony(msec(700), msec(10), 0.95);
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(300));
 
-  EXPECT_GE(cluster.min_height(), 4u);
-  EXPECT_TRUE(cluster.agreement_holds());
+  EXPECT_GE(sim.min_height(), 4u);
+  EXPECT_TRUE(sim.agreement_holds());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PrftLiveness,

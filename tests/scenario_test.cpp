@@ -1,0 +1,288 @@
+// Unit/integration tests for the unified Scenario/Simulation API: builder
+// defaults, protocol-registry dispatch for all four protocols, fault-plan
+// scheduling, and the guarantee that adversary behaviours inject
+// *identically* through ScenarioSpec::adversary as through a hand-rolled
+// node factory (the old PrftCluster path).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/behaviors.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
+
+namespace ratcon::harness {
+namespace {
+
+TEST(ScenarioSpecDefaults, MatchDocumentedValues) {
+  const ScenarioSpec spec;
+  EXPECT_EQ(spec.protocol, Protocol::kPrft);
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_EQ(spec.committee.n, 7u);
+  EXPECT_FALSE(spec.committee.t0.has_value());
+  EXPECT_EQ(spec.committee.collateral, 100);
+  EXPECT_EQ(spec.net.kind, NetKind::kSynchronous);
+  EXPECT_EQ(spec.net.delta, msec(10));
+  EXPECT_TRUE(spec.faults.empty());
+  EXPECT_TRUE(spec.adversary.empty());
+  EXPECT_EQ(spec.workload.txs, 0u);
+  EXPECT_EQ(spec.budget.target_blocks, 5u);
+  EXPECT_EQ(spec.label(), "prft/n=7/synchronous/seed=1");
+}
+
+TEST(ScenarioSpecDefaults, SimulationResolvesRegistryDefaults) {
+  // t0 and base_timeout are resolved per protocol at assembly time.
+  Simulation prft(ScenarioSpec{});
+  EXPECT_EQ(prft.config().n, 7u);
+  EXPECT_EQ(prft.config().t0, consensus::prft_t0(7));
+  EXPECT_EQ(prft.config().base_timeout, 8 * msec(10));
+  EXPECT_EQ(prft.deposits().collateral(), 100);
+  EXPECT_EQ(prft.size(), 7u);
+
+  ScenarioSpec quorum;
+  quorum.protocol = Protocol::kQuorum;
+  Simulation qsim(quorum);
+  EXPECT_EQ(qsim.config().t0, consensus::bft_t0(7));
+
+  ScenarioSpec raft;
+  raft.protocol = Protocol::kRaftLite;
+  Simulation rsim(raft);
+  EXPECT_EQ(rsim.config().t0, 0u);
+
+  // Explicit overrides win over registry defaults.
+  ScenarioSpec custom;
+  custom.committee.t0 = 3;
+  custom.committee.base_timeout = msec(55);
+  Simulation csim(custom);
+  EXPECT_EQ(csim.config().t0, 3u);
+  EXPECT_EQ(csim.config().base_timeout, msec(55));
+}
+
+TEST(ScenarioBuilder, FluentSettersCompose) {
+  ScenarioSpec spec;
+  spec.with_protocol(Protocol::kHotStuff)
+      .with_n(16)
+      .with_seed(9)
+      .with_net(NetworkSpec::partial_synchrony(msec(300), msec(5), 0.7))
+      .with_target_blocks(2)
+      .with_workload(8);
+  EXPECT_EQ(spec.protocol, Protocol::kHotStuff);
+  EXPECT_EQ(spec.committee.n, 16u);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.net.kind, NetKind::kPartialSynchrony);
+  EXPECT_EQ(spec.net.gst, msec(300));
+  EXPECT_EQ(spec.net.delta, msec(5));
+  EXPECT_EQ(spec.budget.target_blocks, 2u);
+  EXPECT_EQ(spec.workload.txs, 8u);
+  EXPECT_EQ(spec.label(), "hotstuff/n=16/partial-synchrony/seed=9");
+}
+
+class RegistryDispatch : public ::testing::TestWithParam<Protocol> {};
+
+// Every protocol in the registry deploys through the same ScenarioSpec and
+// satisfies the shared safety predicate + synchronous liveness.
+TEST_P(RegistryDispatch, DeploysRunsAndReports) {
+  ScenarioSpec spec;
+  spec.protocol = GetParam();
+  spec.committee.n = 7;
+  spec.seed = 5;
+  spec.budget.target_blocks = 2;
+  spec.workload.txs = 8;
+  Simulation sim(spec);
+  const RunReport report = sim.run_to_completion();
+
+  EXPECT_EQ(report.protocol, GetParam());
+  EXPECT_EQ(report.n, 7u);
+  EXPECT_TRUE(report.safe()) << report.label();
+  EXPECT_GE(report.min_height, 2u) << report.label();
+  EXPECT_GT(report.messages, 0u);
+  EXPECT_GT(report.bytes, 0u);
+  EXPECT_GT(report.wall_ms, 0.0);
+  EXPECT_NE(report.finalized_at, kSimTimeNever);
+  EXPECT_LE(report.finalized_at, report.sim_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, RegistryDispatch,
+                         ::testing::Values(Protocol::kPrft,
+                                           Protocol::kHotStuff,
+                                           Protocol::kRaftLite,
+                                           Protocol::kQuorum),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(ProtocolRegistry, TraitsMatchEnumNames) {
+  for (Protocol p : {Protocol::kPrft, Protocol::kHotStuff,
+                     Protocol::kRaftLite, Protocol::kQuorum}) {
+    EXPECT_STREQ(protocol_traits(p).name, to_string(p));
+  }
+  EXPECT_THROW(static_cast<void>(protocol_traits(static_cast<Protocol>(250))),
+               std::out_of_range);
+}
+
+// The critical injection guarantee: a rational-strategy behaviour plugged
+// in through AdversaryPlan::behaviors produces the *identical* deployment
+// as a hand-rolled node factory (the old PrftCluster::node_factory path) —
+// byte-identical traffic, same outcome classification.
+TEST(AdversaryInjection, BehaviorsMatchNodeFactoryExactly) {
+  constexpr std::uint32_t kN = 9;
+  constexpr std::uint64_t kSeed = 77;
+
+  auto base_spec = [] {
+    ScenarioSpec spec;
+    spec.committee.n = kN;
+    spec.seed = kSeed;
+    spec.budget.target_blocks = 3;
+    spec.workload.txs = 10;
+    return spec;
+  };
+
+  // Path A: the declarative behaviours map.
+  ScenarioSpec via_behaviors = base_spec();
+  for (NodeId id = 0; id < 4; ++id) {
+    via_behaviors.adversary.behaviors[id] =
+        std::make_shared<adversary::AbstainBehavior>();
+  }
+
+  // Path B: a full node factory, as adversarial experiments write them.
+  ScenarioSpec via_factory = base_spec();
+  via_factory.adversary.node_factory =
+      [](NodeId id, const NodeEnv& env) -> std::unique_ptr<consensus::IReplica> {
+    if (id < 4) {
+      return make_prft_replica(
+          id, env, std::make_shared<adversary::AbstainBehavior>());
+    }
+    return nullptr;  // registry default (honest pRFT)
+  };
+
+  Simulation a(via_behaviors);
+  Simulation b(via_factory);
+  a.start();
+  b.start();
+  a.run_until(sec(60));
+  b.run_until(sec(60));
+
+  // Theorem 1's stall, reached identically through both entry points.
+  EXPECT_EQ(a.classify(0), game::SystemState::kNoProgress);
+  EXPECT_EQ(b.classify(0), game::SystemState::kNoProgress);
+  EXPECT_EQ(a.net().stats().total().count, b.net().stats().total().count);
+  EXPECT_EQ(a.net().stats().total().bytes, b.net().stats().total().bytes);
+  EXPECT_EQ(a.max_height(), b.max_height());
+  EXPECT_EQ(a.honest_chains().size(), b.honest_chains().size());
+}
+
+TEST(AdversaryInjection, BehaviorsRejectedForBaselines) {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kHotStuff;
+  spec.adversary.behaviors[0] = std::make_shared<adversary::AbstainBehavior>();
+  EXPECT_THROW(Simulation sim(spec), std::invalid_argument);
+}
+
+TEST(FaultPlan, ImmediateCrashAppliesBeforeStart) {
+  // Node 1 leads round 1; dead from the outset, the very first round must
+  // recover by view change — and nobody gets slashed for a crash.
+  ScenarioSpec spec;
+  spec.committee.n = 7;
+  spec.seed = 1002;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 8;
+  spec.faults.crash(1);
+  Simulation sim(spec);
+  EXPECT_TRUE(sim.net().crashed(1));
+  sim.start();
+  sim.run_until(sec(300));
+
+  std::uint64_t vcs = 0;
+  for (NodeId id = 2; id < 7; ++id) vcs += sim.prft(id).view_changes();
+  EXPECT_GT(vcs, 0u) << "round 1 must have been abandoned";
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_FALSE(sim.honest_player_slashed());
+  for (NodeId id = 0; id < 7; ++id) {
+    EXPECT_FALSE(sim.deposits().slashed(id));
+  }
+}
+
+TEST(FaultPlan, OutOfRangeNodesRejected) {
+  ScenarioSpec crash_spec;
+  crash_spec.committee.n = 4;
+  crash_spec.faults.crash(7);
+  EXPECT_THROW(Simulation sim(crash_spec), std::invalid_argument);
+
+  ScenarioSpec part_spec;
+  part_spec.committee.n = 4;
+  part_spec.faults.partition({{0, 1}, {2, 7}}, msec(1), msec(10));
+  EXPECT_THROW(Simulation sim(part_spec), std::invalid_argument);
+}
+
+// Regression: Cluster::run_until never advances the clock past the last
+// processed event, so a quiet stretch longer than the drive chunk must be
+// jumped, not misread as a drained queue. With a microscopic chunk every
+// real inter-event gap exceeds it; the run must still reach the target.
+TEST(RunToCompletion, SurvivesEventGapsLongerThanChunk) {
+  ScenarioSpec spec;
+  spec.committee.n = 4;
+  spec.seed = 2;
+  spec.budget.target_blocks = 2;
+  spec.budget.chunk = usec(1);
+  spec.workload.txs = 6;
+  Simulation sim(spec);
+  const RunReport report = sim.run_to_completion();
+  EXPECT_GE(report.min_height, 2u);
+  EXPECT_TRUE(report.safe());
+}
+
+TEST(FaultPlan, ScheduledPartitionHealsAndCatchesUp) {
+  // Partition one node away for a long stretch while the rest finalize
+  // several blocks; on heal it must adopt the certified chain through the
+  // Sync path and resume participation.
+  ScenarioSpec spec;
+  spec.committee.n = 7;
+  spec.seed = 1010;
+  spec.budget.target_blocks = 5;
+  spec.workload.txs = 12;
+  spec.faults.partition({{0, 1, 2, 3, 4, 5}, {6}}, usec(10), msec(2500));
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(600));
+
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_GE(sim.replica(6).chain().finalized_height(), 5u)
+      << "the isolated node must fully catch up";
+}
+
+TEST(SimulationAccessors, PrftAccessIsTypeChecked) {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kRaftLite;
+  spec.committee.n = 4;
+  Simulation sim(spec);
+  EXPECT_THROW(static_cast<void>(sim.prft(0)), std::logic_error);
+
+  Simulation psim(ScenarioSpec{});
+  EXPECT_NO_THROW(static_cast<void>(psim.prft(0)));
+}
+
+TEST(RunReportSnapshot, ReflectsSimulationState) {
+  ScenarioSpec spec;
+  spec.committee.n = 4;
+  spec.seed = 3;
+  spec.budget.target_blocks = 2;
+  spec.workload.txs = 6;
+  Simulation sim(spec);
+
+  const RunReport before = sim.report();
+  EXPECT_EQ(before.min_height, 0u);
+  EXPECT_EQ(before.messages, 0u);
+  EXPECT_EQ(before.finalized_at, kSimTimeNever);
+
+  sim.start();
+  sim.run_until(sec(60));
+  const RunReport after = sim.report();
+  EXPECT_TRUE(after.safe());
+  EXPECT_GE(after.min_height, 2u);
+  EXPECT_GT(after.messages, 0u);
+  EXPECT_NE(after.finalized_at, kSimTimeNever);
+}
+
+}  // namespace
+}  // namespace ratcon::harness
