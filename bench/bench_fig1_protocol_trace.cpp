@@ -36,8 +36,13 @@ int main() {
   };
   std::vector<SendEvent> events;
   sim.net().set_send_trace([&events](SimTime at, NodeId from, NodeId to,
-                                     std::uint8_t, std::uint8_t type,
+                                     std::uint8_t proto, std::uint8_t type,
                                      std::size_t bytes) {
+    // Figure 2a draws pRFT's message schedule; substrate traffic (the
+    // catch-up layer's announces, ProtoId::kSync) is not part of it.
+    if (proto != static_cast<std::uint8_t>(consensus::ProtoId::kPrft)) {
+      return;
+    }
     events.push_back({at, from, to, type, bytes});
   });
 

@@ -51,9 +51,14 @@ ScenarioSpec base_scenario(Protocol proto, std::uint32_t n,
 Measurement measure(Simulation& sim) {
   sim.start();
   sim.run_until(sec(120));
+  // Figure 3 compares the consensus protocols' own complexity; exclude the
+  // catch-up substrate's traffic (ProtoId::kSync announces are O(n²) per
+  // height for every protocol and would flatten the hierarchy).
   const auto total = sim.net().stats().total();
-  return {static_cast<double>(total.count) / kBlocks,
-          static_cast<double>(total.bytes) / kBlocks};
+  const auto sync = sim.net().stats().for_proto(
+      static_cast<std::uint8_t>(consensus::ProtoId::kSync));
+  return {static_cast<double>(total.count - sync.count) / kBlocks,
+          static_cast<double>(total.bytes - sync.bytes) / kBlocks};
 }
 
 Measurement run_quorum(std::uint32_t n, bool accountable) {

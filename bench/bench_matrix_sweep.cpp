@@ -6,6 +6,12 @@
 //   bench_matrix_sweep --protocol=prft --sizes=4,7,16,31,64 --seeds=20
 //   bench_matrix_sweep --protocol=hotstuff --nets=partial-synchrony
 //   bench_matrix_sweep --protocol=all --crashes=1 --partition --budget-ms=500
+//   bench_matrix_sweep --workers=1 --no-sync   # serial, no catch-up
+//
+// Cells run in parallel by default (one worker per hardware thread; each
+// cell is an independent seeded simulation, so results are identical to a
+// serial sweep). Catch-up/state transfer (ScenarioSpec::sync_plan) is on
+// by default; --no-sync reproduces the stay-behind-forever behaviour.
 
 #include <cstdio>
 #include <sstream>
@@ -101,6 +107,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.get_int("crashes", 0));
   spec.partition_pre_gst = flags.has("partition");
   spec.cell_budget_ms = flags.get_double("budget-ms", 0);
+  spec.workers = static_cast<std::uint32_t>(flags.get_int("workers", 0));
+  spec.sync_enabled = !flags.has("no-sync");
 
   if (spec.committee_sizes.empty() || spec.nets.empty() ||
       spec.seeds.empty()) {

@@ -46,6 +46,10 @@ Probe run_raft(std::uint32_t crashes, std::uint64_t seed) {
   spec.budget.target_blocks = 3;
   spec.workload.txs = 6;
   spec.workload.interval = msec(1);
+  // Table 1 measures the protocols' intrinsic bounds; the catch-up
+  // substrate (which can help honest minorities converge past targeted
+  // attacks) stays out of these probes.
+  spec.sync_plan.enabled = false;
   spec.faults.crash_range(0, crashes, msec(5));
   Simulation sim(spec);
   sim.start();
@@ -80,6 +84,7 @@ Probe run_quorum(std::uint32_t abstainers, std::uint32_t equivocators,
   spec.budget.target_blocks = 3;
   spec.workload.txs = 6;
   spec.workload.interval = msec(1);
+  spec.sync_plan.enabled = false;  // protocol-intrinsic bound (see run_raft)
   spec.adversary.node_factory =
       [plan, abstainers](NodeId id, const harness::NodeEnv& env)
       -> std::unique_ptr<consensus::IReplica> {
@@ -115,6 +120,7 @@ Probe run_prft(std::uint32_t coalition, bool partial_sync,
   spec.budget.target_blocks = 3;
   spec.workload.txs = 6;
   spec.workload.interval = msec(1);
+  spec.sync_plan.enabled = false;  // protocol-intrinsic bound (see run_raft)
   if (partial_sync) {
     spec.net =
         harness::NetworkSpec::partial_synchrony(msec(400), msec(10), 0.85);

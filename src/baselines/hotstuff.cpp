@@ -65,12 +65,7 @@ void HotstuffNode::start_round(net::Context& ctx) {
   ctx.set_timer(kPhaseTimer, cfg_.base_timeout * static_cast<SimTime>(backoff));
 }
 
-void HotstuffNode::advance_round(net::Context& ctx, Round r, bool failed) {
-  if (r != round_) return;
-  round_ = r + 1;
-  consecutive_failures_ = failed ? consecutive_failures_ + 1 : 0;
-  ctx.cancel_timer(kPhaseTimer);
-  start_round(ctx);
+void HotstuffNode::drain_future(net::Context& ctx) {
   auto it = future_.find(round_);
   if (it != future_.end()) {
     const auto pending = std::move(it->second);
@@ -79,26 +74,41 @@ void HotstuffNode::advance_round(net::Context& ctx, Round r, bool failed) {
   }
 }
 
+void HotstuffNode::advance_round(net::Context& ctx, Round r, bool failed) {
+  if (r != round_) return;
+  round_ = r + 1;
+  consecutive_failures_ = failed ? consecutive_failures_ + 1 : 0;
+  ctx.cancel_timer(kPhaseTimer);
+  start_round(ctx);
+  drain_future(ctx);
+}
+
+void HotstuffNode::enter_round(net::Context& ctx, Round r) {
+  // Pacemaker jump into a higher round (round synchronization); unlike
+  // advance_round this skips the abandoned views in between.
+  if (r <= round_) return;
+  round_ = r;
+  ctx.cancel_timer(kPhaseTimer);
+  start_round(ctx);
+  drain_future(ctx);
+}
+
 void HotstuffNode::on_timer(net::Context& ctx, std::uint64_t timer_id) {
   if (timer_id != kPhaseTimer || stopped_) return;
-  // Pacemaker: give up on the view, tell the next leader, rotate.
+  // Pacemaker: give up on the view, broadcast the timeout, rotate. The
+  // broadcast (rather than a whisper to the next leader) is what lets
+  // drifted-apart cohorts re-synchronize: t0 + 1 distinct timeouts for a
+  // higher round pull every replica into it (see new_views_).
   RoundState& rs = rounds_[round_];
   if (rs.decided) return;
-  const NodeId next_leader = cfg_.leader(round_ + 1);
   Writer w;
   consensus::sign_phase(kProto, PhaseTag::kViewChange, round_,
                         crypto::kZeroHash, self_, keys_.sk)
       .encode(w);
-  const Bytes wire =
-      consensus::make_envelope(kProto,
-                               static_cast<std::uint8_t>(MsgType::kNewView),
-                               round_, self_, w.take(), keys_.sk)
-          .encode();
-  if (next_leader == self_) {
-    // Collected implicitly; just advance.
-  } else {
-    ctx.send(next_leader, wire);
-  }
+  ctx.broadcast(consensus::make_envelope(
+                    kProto, static_cast<std::uint8_t>(MsgType::kNewView),
+                    round_, self_, w.take(), keys_.sk)
+                    .encode());
   advance_round(ctx, round_, /*failed=*/true);
 }
 
@@ -162,6 +172,35 @@ void HotstuffNode::finalize(net::Context& ctx, Round r, RoundState& rs) {
   if (r == round_) advance_round(ctx, r, /*failed=*/false);
 }
 
+bool HotstuffNode::on_sync_adopt(net::Context& ctx,
+                                 const std::vector<ledger::Block>& blocks,
+                                 std::uint64_t first_height) {
+  if (!chain_.adopt_finalized_run(blocks, first_height)) return false;
+  Round top = 0;
+  for (const ledger::Block& b : blocks) {
+    block_store_[b.hash()] = b;
+    mempool_.mark_included(b.txs);
+    top = std::max(top, b.round);
+    rounds_[b.round].decided = true;
+  }
+  // A lock protecting a height the transfer just decided is spent.
+  if (lock_) {
+    for (const ledger::Block& b : blocks) {
+      if (b.parent == lock_->parent) {
+        lock_.reset();
+        break;
+      }
+    }
+  }
+  // Views up to the adopted frontier are settled (block.round stamps are a
+  // lower bound for re-proposed locked blocks; never move backwards).
+  if (top >= round_) {
+    round_ = top;
+    advance_round(ctx, top, /*failed=*/false);
+  }
+  return true;
+}
+
 void HotstuffNode::on_message(net::Context& ctx, NodeId from,
                               const Bytes& data) {
   (void)from;
@@ -173,7 +212,11 @@ void HotstuffNode::on_message(net::Context& ctx, NodeId from,
   }
   if (env.proto != kProto || env.from >= cfg_.n) return;
   if (!consensus::verify_envelope(env, *registry_)) return;
-  if (env.round > round_) {
+  if (env.round > round_ &&
+      static_cast<MsgType>(env.type) != MsgType::kNewView) {
+    // Not in that round yet; replay once we advance. NewView bypasses the
+    // gate: timeouts for higher rounds are exactly how we learn the rest
+    // of the committee moved on without us.
     future_[env.round].emplace_back(env.from, data);
     return;
   }
@@ -314,9 +357,19 @@ void HotstuffNode::on_message(net::Context& ctx, NodeId from,
         finalize(ctx, r, rs);
         break;
       }
-      case MsgType::kNewView:
-        // Informational in this simplified pacemaker.
+      case MsgType::kNewView: {
+        const PhaseSig vc = PhaseSig::decode(r_);
+        if (vc.signer != env.from) return;
+        if (!consensus::verify_phase(kProto, PhaseTag::kViewChange, r,
+                                     crypto::kZeroHash, vc, *registry_)) {
+          return;
+        }
+        new_views_[r].insert(vc.signer);
+        if (r > round_ && new_views_[r].size() > cfg_.t0) {
+          enter_round(ctx, r);
+        }
         break;
+      }
     }
   } catch (const CodecError&) {
   }

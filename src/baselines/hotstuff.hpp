@@ -2,6 +2,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 
 #include "consensus/envelope.hpp"
 #include "consensus/phase_sig.hpp"
@@ -36,7 +37,7 @@ class HotstuffNode : public consensus::IReplica {
     kCommit = 4,       // leader → all: precommit QC
     kCommitVote = 5,
     kDecide = 6,       // leader → all: commit QC
-    kNewView = 7,      // replica → next leader on timeout
+    kNewView = 7,      // broadcast on timeout (pacemaker)
   };
 
   struct Deps {
@@ -57,6 +58,12 @@ class HotstuffNode : public consensus::IReplica {
 
   [[nodiscard]] Round current_round() const { return round_; }
   void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
+
+  /// Catch-up hook (src/sync): splice a verified finalized run, release
+  /// locks the transfer decided, and jump past the adopted views.
+  bool on_sync_adopt(net::Context& ctx,
+                     const std::vector<ledger::Block>& blocks,
+                     std::uint64_t first_height) override;
 
  private:
   struct RoundState {
@@ -86,6 +93,8 @@ class HotstuffNode : public consensus::IReplica {
 
   void start_round(net::Context& ctx);
   void advance_round(net::Context& ctx, Round r, bool failed);
+  void enter_round(net::Context& ctx, Round r);
+  void drain_future(net::Context& ctx);
   void leader_collect(net::Context& ctx, Round r, RoundState& rs,
                       consensus::PhaseTag phase, MsgType next_broadcast);
   [[nodiscard]] Bytes make_qc_broadcast(MsgType type, Round r,
@@ -106,6 +115,12 @@ class HotstuffNode : public consensus::IReplica {
   std::optional<Lock> lock_;
   std::map<Round, RoundState> rounds_;
   std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
+  /// Pacemaker: distinct NewView (timeout) senders per round. Views can
+  /// drift apart under adversarial delay and, with votes counted only in
+  /// the current view, two stable cohorts can orbit forever without either
+  /// reaching quorum; >= t0 + 1 distinct timeouts for a higher round pull
+  /// this replica into that round (at least one is honest).
+  std::map<Round, std::set<NodeId>> new_views_;
   std::map<crypto::Hash256, ledger::Block> block_store_;
   ledger::Chain chain_;
   ledger::Mempool mempool_;

@@ -311,12 +311,35 @@ void QuorumNode::check_prepare_quorum(net::Context& ctx, Round r,
   if (rs.committed || rs.decided) return;
   for (const auto& [h, sigs] : rs.prepares) {
     if (sigs.size() < tau_) continue;
-    // Prepared: lock the value (tentative append) and send commit.
+    // Prepared: lock the value (tentative append). A commit is only ever
+    // sent by a lock holder — committing a value whose block we cannot
+    // place at our tip would let two conflicting values assemble commit
+    // quorums under delayed delivery (prepare quorums for different
+    // blocks can form in different views; appended locks cannot).
     const auto block_it = block_store_.find(h);
-    if (!rs.tentative_appended && block_it != block_store_.end() &&
-        block_it->second.parent == chain_.tip_hash()) {
-      rs.tentative_appended = chain_.append_tentative(block_it->second);
+    if (block_it == block_store_.end()) continue;  // need the body to lock
+    const ledger::Block& block = block_it->second;
+    bool locked = chain_.tip_hash() == h;
+    if (!locked && block.parent == chain_.tip_hash() &&
+        chain_.append_tentative(block)) {
+      rs.tentative_appended = true;
+      locked = true;
+      PrepareLock lk;
+      lk.round = r;
+      lk.h = h;
+      lk.parent = block.parent;
+      lk.height = chain_.height();
+      lk.block = block;
+      lk.cert.phase = PhaseTag::kPrepare;
+      lk.cert.round = r;
+      lk.cert.value = h;
+      for (const auto& [signer, sig] : sigs) {
+        lk.cert.sigs.push_back(sig);
+        if (lk.cert.sigs.size() >= tau_) break;
+      }
+      lock_ = std::move(lk);
     }
+    if (!locked) continue;  // prepares kept; the lock travels via ViewChange
     rs.committed = true;
     if (participates() && !attacking(r)) {
       ctx.broadcast(make_commit(r, h, rs));
@@ -391,7 +414,63 @@ void QuorumNode::decide(net::Context& ctx, Round r, RoundState& rs,
     }
     mempool_.mark_included(block.txs);
   }
+  release_spent_lock();
   if (r == round_) advance_round(ctx, r, /*failed=*/false);
+}
+
+void QuorumNode::release_spent_lock() {
+  if (lock_ && chain_.finalized_height() >= lock_->height) lock_.reset();
+}
+
+void QuorumNode::retry_stale_proposal(net::Context& ctx) {
+  RoundState& rs = rounds_[round_];
+  if (rs.proposal.has_value() || rs.decided) return;
+  for (const auto& [h, entry] : rs.stale_proposals) {
+    const auto& [block, pro_sig] = entry;
+    if (block.parent != chain_.tip_hash()) continue;
+    rs.proposal = block;
+    rs.h_l = h;
+    rs.leader_sig = pro_sig;
+    if (!rs.prepared && participates() && !attacking(round_)) {
+      rs.prepared = true;
+      ctx.broadcast(make_prepare(round_, h));
+    }
+    check_prepare_quorum(ctx, round_, rs);
+    return;
+  }
+}
+
+bool QuorumNode::on_sync_adopt(net::Context& ctx,
+                               const std::vector<ledger::Block>& blocks,
+                               std::uint64_t first_height) {
+  if (!chain_.adopt_finalized_run(blocks, first_height)) return false;
+  Round top = 0;
+  for (const ledger::Block& b : blocks) {
+    block_store_[b.hash()] = b;
+    mempool_.mark_included(b.txs);
+    top = std::max(top, b.round);
+    rounds_[b.round].decided = true;
+  }
+  // Reconcile the prepare-lock with the transferred chain: spent if its
+  // height is now final, re-anchored if it still extends the new tip
+  // (the rollback above removed it), superseded otherwise.
+  if (lock_) {
+    if (chain_.finalized_height() >= lock_->height) {
+      lock_.reset();
+    } else if (lock_->block.parent == chain_.tip_hash() &&
+               chain_.append_tentative(lock_->block)) {
+      lock_->height = chain_.height();
+    } else {
+      lock_.reset();
+    }
+  }
+  if (top >= round_) {
+    round_ = top;
+    advance_round(ctx, top, /*failed=*/false);
+  } else {
+    retry_stale_proposal(ctx);
+  }
+  return true;
 }
 
 void QuorumNode::handle_decide(net::Context& ctx, const Envelope& env) {
@@ -440,6 +519,16 @@ void QuorumNode::trigger_view_change(net::Context& ctx, Round r) {
   if (participates()) {
     Writer w;
     phase_sig(PhaseTag::kViewChange, r, vc_value(proto_, r)).encode(w);
+    // Prepare-lock adoption across view changes (pBFT new-view): carry our
+    // live lock (block + τ-prepare certificate) so peers that missed the
+    // quorum can append it and the next leader proposes on top of it.
+    const bool has_lock =
+        lock_.has_value() && chain_.finalized_height() < lock_->height;
+    w.boolean(has_lock);
+    if (has_lock) {
+      lock_->block.encode(w);
+      lock_->cert.encode(w);
+    }
     ctx.broadcast(encode_env(MsgType::kViewChange, r, w.take()));
   }
   if (r == round_) {
@@ -456,12 +545,68 @@ void QuorumNode::handle_view_change(net::Context& ctx, const Envelope& env) {
   const Round r = env.round;
   if (!verify_sig(PhaseTag::kViewChange, r, vc_value(proto_, r), sig)) return;
 
+  if (r_.boolean()) {
+    const ledger::Block lock_block = ledger::Block::decode(r_);
+    const Certificate lock_cert = Certificate::decode(r_);
+    adopt_prepare_lock(ctx, lock_block, lock_cert);
+  }
+
   RoundState& rs = rounds_[r];
   rs.vc_sigs[sig.signer] = sig;
   if (rs.vc_sigs.size() >= tau_ && !rs.decided) {
     if (!rs.vc_sent) trigger_view_change(ctx, r);
     if (r == round_) advance_round(ctx, r, /*failed=*/true);
   }
+}
+
+void QuorumNode::adopt_prepare_lock(net::Context& ctx,
+                                    const ledger::Block& block,
+                                    const Certificate& cert) {
+  const crypto::Hash256 h = block.hash();
+  if (cert.phase != PhaseTag::kPrepare || cert.value != h ||
+      cert.round != block.round) {
+    return;
+  }
+  if (!cert.verify(proto_, tau_, *registry_)) return;
+  block_store_[h] = block;
+  if (lock_ && lock_->h == h) return;
+  if (chain_.tip_hash() == h) return;  // already our (tentative) tip
+
+  auto take_lock = [&] {
+    PrepareLock lk;
+    lk.round = cert.round;
+    lk.h = h;
+    lk.parent = block.parent;
+    lk.height = chain_.height();
+    lk.block = block;
+    lk.cert = cert;
+    lock_ = std::move(lk);
+  };
+  if (block.parent == chain_.tip_hash()) {
+    if (chain_.append_tentative(block)) take_lock();
+  } else if (lock_ && block.parent == lock_->parent &&
+             cert.round > lock_->round &&
+             lock_->height == chain_.finalized_height() + 1 &&
+             chain_.height() == lock_->height) {
+    // Competing lock at our locked height from a later view wins (a value
+    // that assembled a commit quorum can never be displaced this way: its
+    // τ lock holders refuse conflicting prepares, so no later-round
+    // prepare certificate for a sibling can exist). Only when the locked
+    // block is the entire tentative suffix: rollback_tentative drops the
+    // whole suffix, and stripping τ-prepared ancestors beneath the lock
+    // would un-lock values this node already vouched for.
+    chain_.rollback_tentative();
+    if (chain_.tip_hash() == block.parent && chain_.append_tentative(block)) {
+      take_lock();
+    } else {
+      lock_.reset();  // never keep a lock whose block is off-chain
+    }
+  } else {
+    return;
+  }
+  // The new tip can unblock the current round.
+  retry_stale_proposal(ctx);
+  check_prepare_quorum(ctx, round_, rounds_[round_]);
 }
 
 void QuorumNode::maybe_expose(net::Context& ctx, Round r, RoundState& rs) {

@@ -105,6 +105,15 @@ class QuorumNode : public consensus::IReplica {
   [[nodiscard]] std::uint64_t exposes_sent() const { return exposes_sent_; }
   void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
 
+  /// Catch-up hook (src/sync): splice a verified finalized run, drop a
+  /// spent prepare-lock and jump past the adopted rounds.
+  bool on_sync_adopt(net::Context& ctx,
+                     const std::vector<ledger::Block>& blocks,
+                     std::uint64_t first_height) override;
+
+  /// Whether this node currently holds a prepare-lock (tests).
+  [[nodiscard]] bool holds_prepare_lock() const { return lock_.has_value(); }
+
   /// Guilty players this node has personally convicted via valid PoF
   /// (accountable mode) — the output of Definition 6's V(·).
   [[nodiscard]] const std::set<NodeId>& convicted() const { return convicted_; }
@@ -128,6 +137,22 @@ class QuorumNode : public consensus::IReplica {
     consensus::FraudTracker fraud;
   };
 
+  /// Prepare-lock: a τ-prepare quorum observed for `block` in `round`,
+  /// appended tentatively at `height`. Carried inside ViewChange messages
+  /// so peers without the quorum adopt the lock across view changes —
+  /// pBFT's new-view rule, and what keeps the protocol live (and safe)
+  /// under partial synchrony: a commit is only ever sent by a lock holder,
+  /// so two conflicting values can never both assemble commit quorums, and
+  /// competing locks resolve toward the higher round.
+  struct PrepareLock {
+    Round round = 0;
+    crypto::Hash256 h{};
+    crypto::Hash256 parent{};
+    std::uint64_t height = 0;
+    ledger::Block block;
+    consensus::Certificate cert;  ///< τ prepare signatures on h
+  };
+
   static constexpr std::uint64_t kPhaseTimer = 1;
 
   [[nodiscard]] bool attacking(Round r) const {
@@ -149,6 +174,10 @@ class QuorumNode : public consensus::IReplica {
   void decide(net::Context& ctx, Round r, RoundState& rs,
               const crypto::Hash256& h);
   void trigger_view_change(net::Context& ctx, Round r);
+  void adopt_prepare_lock(net::Context& ctx, const ledger::Block& block,
+                          const consensus::Certificate& cert);
+  void retry_stale_proposal(net::Context& ctx);
+  void release_spent_lock();
   void maybe_expose(net::Context& ctx, Round r, RoundState& rs);
   void note_conflict(const std::optional<consensus::ConflictPair>& cp);
   void pump_attack(net::Context& ctx);
@@ -184,6 +213,7 @@ class QuorumNode : public consensus::IReplica {
 
   NodeId self_ = kNoNode;
   Round round_ = 1;
+  std::optional<PrepareLock> lock_;
   std::map<Round, RoundState> rounds_;
   std::map<crypto::Hash256, ledger::Block> block_store_;
   std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;

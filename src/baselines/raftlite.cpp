@@ -109,6 +109,28 @@ void RaftLiteNode::commit_block(net::Context& ctx, Round t,
   if (t == term_) advance_term(ctx, t, /*failed=*/false);
 }
 
+bool RaftLiteNode::on_sync_adopt(net::Context& ctx,
+                                 const std::vector<ledger::Block>& blocks,
+                                 std::uint64_t first_height) {
+  if (!chain_.adopt_finalized_run(blocks, first_height)) return false;
+  Round top = 0;
+  for (const ledger::Block& b : blocks) {
+    mempool_.mark_included(b.txs);
+    top = std::max(top, b.round);
+    terms_[b.round].committed = true;
+  }
+  // Those heights' single-decree instances are decided; accepted/adopt
+  // state belonged to them.
+  accepted_.reset();
+  adopt_.reset();
+  defer_ = false;
+  if (top >= term_) {
+    term_ = top;
+    advance_term(ctx, top, /*failed=*/false);
+  }
+  return true;
+}
+
 void RaftLiteNode::on_message(net::Context& ctx, NodeId from,
                               const Bytes& data) {
   (void)from;

@@ -55,6 +55,13 @@ class RaftLiteNode : public consensus::IReplica {
   [[nodiscard]] Round current_term() const { return term_; }
   void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
 
+  /// Catch-up hook (src/sync): splice a verified finalized run; the
+  /// adopted heights' Paxos instances are decided, so accept/adopt state
+  /// resets and the term jumps past the transferred ballots.
+  bool on_sync_adopt(net::Context& ctx,
+                     const std::vector<ledger::Block>& blocks,
+                     std::uint64_t first_height) override;
+
  private:
   /// Phase-2 accept for the current height: ballot (term) + value.
   struct Accepted {

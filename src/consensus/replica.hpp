@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "ledger/chain.hpp"
 #include "ledger/mempool.hpp"
 #include "net/cluster.hpp"
@@ -25,6 +27,24 @@ class IReplica : public net::INode {
   /// harness's run budget). 0 = unlimited. The Simulation applies this
   /// uniformly to every replica, however it was built.
   virtual void set_target_blocks(std::uint64_t target) = 0;
+
+  /// Catch-up integration hook (src/sync): adopt a verified run of
+  /// *finalized* blocks `blocks[0..]` occupying heights
+  /// `first_height .. first_height + blocks.size() - 1`. The caller
+  /// (CatchupDriver) has already checked hash-chain linkage against this
+  /// replica's finalized tip, the batch's Merkle anchor, and witness
+  /// corroboration; the replica splices the blocks into its ledger and
+  /// reconciles protocol state (locks, ballots, round/term counters) so it
+  /// resumes participation at the new frontier. Returns true when the
+  /// blocks were adopted. The default declines (protocols opt in).
+  virtual bool on_sync_adopt(net::Context& ctx,
+                             const std::vector<ledger::Block>& blocks,
+                             std::uint64_t first_height) {
+    (void)ctx;
+    (void)blocks;
+    (void)first_height;
+    return false;
+  }
 };
 
 }  // namespace ratcon::consensus

@@ -17,6 +17,7 @@ enum class ProtoId : std::uint8_t {
   kTrap = 5,
   kRaftLite = 6,
   kQuorumDemo = 7,
+  kSync = 8,  ///< protocol-agnostic catch-up / state transfer (src/sync)
 };
 
 /// Shared consensus configuration. `t0` is the protocol's Byzantine design

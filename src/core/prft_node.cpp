@@ -847,6 +847,38 @@ void PrftNode::handle_commit_view(net::Context& ctx, const Envelope& env) {
 // ---------------------------------------------------------------------------
 // State transfer
 
+bool PrftNode::on_sync_adopt(net::Context& ctx,
+                             const std::vector<ledger::Block>& blocks,
+                             std::uint64_t first_height) {
+  std::size_t rolled_back = 0;
+  if (!chain_.adopt_finalized_run(blocks, first_height, &rolled_back)) {
+    return false;
+  }
+  rollbacks_ += rolled_back;
+  Round top = 0;
+  for (const ledger::Block& b : blocks) {
+    block_store_[b.hash()] = b;
+    mempool_.mark_included(b.txs);
+    top = std::max(top, b.round);
+    RoundState& rs = rounds_[b.round];
+    if (!rs.finalized) {
+      rs.finalized = true;
+      rs.phase = Phase::kDone;
+      rs.tentative = b.hash();
+    }
+  }
+  // latest_final_ deliberately stays at the last round whose > n/2 Final
+  // certificate this node actually holds: maybe_send_sync can only serve
+  // rounds it can certify, and adopted blocks arrive certificate-free.
+  if (top >= round_) {
+    round_ = top;
+    advance_round(ctx, top, /*failed=*/false);
+  } else {
+    try_adopt_pending(ctx);
+  }
+  return true;
+}
+
 void PrftNode::maybe_send_sync(net::Context& ctx, NodeId peer) {
   if (!latest_final_.has_value()) return;
   const auto [final_round, final_hash] = *latest_final_;

@@ -112,6 +112,12 @@ class PrftNode : public consensus::IReplica {
   /// harness's run length). 0 = unlimited.
   void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
 
+  /// Catch-up hook (src/sync): splice a verified finalized run onto the
+  /// chain, close the adopted rounds and jump to the frontier.
+  bool on_sync_adopt(net::Context& ctx,
+                     const std::vector<ledger::Block>& blocks,
+                     std::uint64_t first_height) override;
+
  protected:
   /// Per-round protocol phase (Figure 1's four phases plus terminal states).
   enum class Phase : std::uint8_t {

@@ -1,8 +1,11 @@
 #include "harness/matrix.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
+#include <thread>
 
+#include "harness/protocols.hpp"
 #include "harness/table.hpp"
 
 namespace ratcon::harness {
@@ -23,6 +26,7 @@ ScenarioSpec MatrixSpec::to_scenario(Protocol proto, std::uint32_t n,
   scenario.budget.target_blocks = target_blocks;
   scenario.budget.horizon = horizon;
   scenario.budget.wall_ms = cell_budget_ms;
+  scenario.sync_plan.enabled = sync_enabled;
 
   if (crash_count > 0) {
     scenario.faults.crash_range(0, std::min(crash_count, n), crash_at);
@@ -74,13 +78,15 @@ std::vector<const CellResult*> MatrixReport::over_budget_cells() const {
 
 std::string MatrixReport::summary() const {
   Table t({"protocol", "n", "net", "seed", "min_h", "max_h", "msgs",
-           "wall_ms", "safe"});
+           "sync_msgs", "rec_ms", "wall_ms", "safe"});
   for (const CellResult& cell : cells) {
+    const SimTime rec = cell.recovery_latency();
     t.add_row({to_string(cell.protocol), std::to_string(cell.n),
                to_string(cell.net), std::to_string(cell.seed),
                std::to_string(cell.min_height), std::to_string(cell.max_height),
-               fmt_count(cell.messages), fmt(cell.wall_ms, 1),
-               cell.safe() ? "yes" : "NO"});
+               fmt_count(cell.messages), fmt_count(cell.sync_messages),
+               rec == kSimTimeNever ? "-" : fmt(static_cast<double>(rec) / 1000.0, 1),
+               fmt(cell.wall_ms, 1), cell.safe() ? "yes" : "NO"});
   }
   std::ostringstream os;
   os << t.render();
@@ -108,18 +114,64 @@ CellResult run_cell(Protocol proto, std::uint32_t n, NetKind kind,
 }
 
 MatrixReport run_matrix(const MatrixSpec& spec) {
-  MatrixReport report;
-  report.cells.reserve(spec.protocols.size() * spec.committee_sizes.size() *
-                       spec.nets.size() * spec.seeds.size());
+  struct CellKey {
+    Protocol proto;
+    std::uint32_t n;
+    NetKind kind;
+    std::uint64_t seed;
+  };
+  std::vector<CellKey> keys;
+  keys.reserve(spec.protocols.size() * spec.committee_sizes.size() *
+               spec.nets.size() * spec.seeds.size());
   for (Protocol proto : spec.protocols) {
     for (std::uint32_t n : spec.committee_sizes) {
       for (NetKind kind : spec.nets) {
         for (std::uint64_t seed : spec.seeds) {
-          report.cells.push_back(run_cell(proto, n, kind, seed, spec));
+          keys.push_back({proto, n, kind, seed});
         }
       }
     }
   }
+
+  MatrixReport report;
+  report.cells.resize(keys.size());
+  if (keys.empty()) return report;
+
+  std::uint32_t workers =
+      spec.workers != 0 ? spec.workers
+                        : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<std::uint32_t>(workers,
+                                    static_cast<std::uint32_t>(keys.size()));
+
+  auto run_one = [&](std::size_t i) {
+    const CellKey& k = keys[i];
+    report.cells[i] = run_cell(k.proto, k.n, k.kind, k.seed, spec);
+  };
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < keys.size(); ++i) run_one(i);
+    return report;
+  }
+
+  // Warm the protocol registry before fanning out (its lazy init is a
+  // thread-safe magic static, but first-touch under contention is wasted
+  // work); every cell is otherwise an isolated seeded Simulation, so the
+  // results are position-stable and identical to a serial sweep.
+  for (Protocol proto : spec.protocols) {
+    (void)protocol_traits(proto);
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < keys.size();
+           i = next.fetch_add(1)) {
+        run_one(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
   return report;
 }
 

@@ -57,6 +57,19 @@ struct MatrixSpec {
   /// committees grow.
   double cell_budget_ms = 0;
 
+  /// Catch-up / state-transfer (src/sync) per cell. On by default — this
+  /// is what makes the partial-synchrony and asynchrony columns real
+  /// *liveness* tests: every live honest replica must reach the target
+  /// after GST. Off reproduces the no-recovery behaviour.
+  bool sync_enabled = true;
+
+  /// Worker threads for the sweep. Each cell is an independent seeded
+  /// simulation, so cells run embarrassingly parallel; results are
+  /// deterministic and identical to a serial run regardless of the worker
+  /// count. 0 = one per hardware thread (capped by the cell count);
+  /// 1 = serial.
+  std::uint32_t workers = 0;
+
   /// The ScenarioSpec a single (protocol, n, net, seed) cell runs — the
   /// whole matrix is this function crossed over the four axes.
   [[nodiscard]] ScenarioSpec to_scenario(Protocol proto, std::uint32_t n,

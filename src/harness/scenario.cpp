@@ -131,6 +131,11 @@ ScenarioSpec& ScenarioSpec::with_workload(std::uint64_t txs, SimTime start,
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::with_sync(bool enabled) {
+  sync_plan.enabled = enabled;
+  return *this;
+}
+
 namespace {
 
 std::string cell_label(Protocol proto, std::uint32_t n, NetKind kind,
@@ -189,9 +194,25 @@ Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
                     ? make_prft_replica(id, env, it->second)
                     : traits.make_replica(id, env);
     }
-    replica->set_target_blocks(spec_.budget.target_blocks);
     replicas_.push_back(replica.get());
-    cluster_->add_node(std::move(replica));
+    if (spec_.sync_plan.enabled) {
+      // Wrap every replica in the catch-up driver. The harness keeps
+      // introspecting the inner replica (replicas_, prft()); the driver
+      // only adds the announce/request/response state machine around it.
+      sync::CatchupDriver::Deps deps;
+      deps.cfg = cfg_;
+      deps.registry = registry_.get();
+      deps.keys = registry_->generate(id, spec_.seed);  // deterministic
+      deps.plan = spec_.sync_plan;
+      auto driver = std::make_unique<sync::CatchupDriver>(std::move(replica),
+                                                          std::move(deps));
+      driver->set_target_blocks(spec_.budget.target_blocks);
+      drivers_.push_back(driver.get());
+      cluster_->add_node(std::move(driver));
+    } else {
+      replicas_.back()->set_target_blocks(spec_.budget.target_blocks);
+      cluster_->add_node(std::move(replica));
+    }
   }
 
   // Workload before the fault script: same-timestamp events pop in
@@ -271,8 +292,10 @@ RunReport Simulation::run_to_completion() {
   // the height check amortizes; each pass covers at least one pending
   // event (run_until never advances the clock past the last event, so a
   // quiet stretch longer than the chunk must not read as "drained").
+  // Crash-stopped nodes are excluded from the exit condition: they can
+  // never catch up, while every live honest replica must.
   const std::uint64_t target = spec_.budget.target_blocks;
-  while (target == 0 || min_height() < target) {
+  while (target == 0 || live_min_height() < target) {
     const SimTime next = cluster_->next_event_time();
     if (next > spec_.budget.horizon) break;  // drained or out of budget
     run_until(std::max(next, cluster_->now() + spec_.budget.chunk));
@@ -283,7 +306,7 @@ RunReport Simulation::run_to_completion() {
 void Simulation::note_finalization() {
   if (finalized_at_ != kSimTimeNever) return;
   const std::uint64_t target = spec_.budget.target_blocks;
-  if (target > 0 && min_height() >= target) {
+  if (target > 0 && live_min_height() >= target) {
     finalized_at_ = cluster_->now();
   }
 }
@@ -356,6 +379,17 @@ std::uint64_t Simulation::max_height() const {
   return consensus::max_finalized_height(honest_chains());
 }
 
+std::uint64_t Simulation::live_min_height() const {
+  std::uint64_t min = UINT64_MAX;
+  bool any = false;
+  for (NodeId id = 0; id < replicas_.size(); ++id) {
+    if (!replicas_[id]->is_honest() || cluster_->crashed(id)) continue;
+    any = true;
+    min = std::min(min, replicas_[id]->chain().finalized_height());
+  }
+  return any ? min : 0;
+}
+
 bool Simulation::honest_player_slashed() const {
   for (NodeId id = 0; id < replicas_.size(); ++id) {
     if (replicas_[id]->is_honest() && deposits_->slashed(id)) return true;
@@ -374,9 +408,15 @@ RunReport Simulation::report() const {
   r.honest_slashed = honest_player_slashed();
   r.min_height = min_height();
   r.max_height = max_height();
+  r.live_min_height = live_min_height();
   r.messages = cluster_->stats().total().count;
   r.bytes = cluster_->stats().total().bytes;
+  const net::MsgCounter sync_traffic = cluster_->stats().for_proto(
+      static_cast<std::uint8_t>(consensus::ProtoId::kSync));
+  r.sync_messages = sync_traffic.count;
+  r.sync_bytes = sync_traffic.bytes;
   r.sim_time = cluster_->now();
+  r.gst = cluster_->net().gst();
   r.finalized_at = finalized_at_;
   r.wall_ms =
       std::chrono::duration<double, std::milli>(wall_spent_).count();

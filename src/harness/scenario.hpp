@@ -14,6 +14,7 @@
 #include "core/prft_node.hpp"
 #include "net/cluster.hpp"
 #include "net/netmodel.hpp"
+#include "sync/catchup.hpp"
 
 namespace ratcon::harness {
 
@@ -171,6 +172,11 @@ struct ScenarioSpec {
   AdversaryPlan adversary;
   WorkloadPlan workload;
   RunBudget budget;
+  /// Catch-up / state-transfer plan (src/sync). On by default: every
+  /// replica is wrapped in a CatchupDriver so nodes that miss a
+  /// commit/decide under adversarial delay recover after GST. Disable to
+  /// reproduce the no-recovery behaviour.
+  sync::SyncPlan sync_plan;
 
   // Fluent builder sugar for the common axes.
   ScenarioSpec& with_protocol(Protocol p);
@@ -180,6 +186,7 @@ struct ScenarioSpec {
   ScenarioSpec& with_target_blocks(std::uint64_t blocks);
   ScenarioSpec& with_workload(std::uint64_t txs, SimTime start = msec(1),
                               SimTime interval = msec(2));
+  ScenarioSpec& with_sync(bool enabled);
 
   /// "prft/n=7/partial-synchrony/seed=3" — for assertion messages.
   [[nodiscard]] std::string label() const;
@@ -198,12 +205,20 @@ struct RunReport {
   bool honest_slashed = false;  ///< an honest deposit was burned (must not be)
   std::uint64_t min_height = 0;
   std::uint64_t max_height = 0;
+  /// Smallest finalized height among honest replicas that are *not*
+  /// crash-stopped — the height liveness assertions are made on (a crashed
+  /// node legitimately stays behind; a live one must recover).
+  std::uint64_t live_min_height = 0;
   std::uint64_t messages = 0;  ///< network sends observed
   std::uint64_t bytes = 0;     ///< network bytes observed
+  std::uint64_t sync_messages = 0;  ///< catch-up (ProtoId::kSync) sends
+  std::uint64_t sync_bytes = 0;     ///< catch-up bytes
 
   SimTime sim_time = 0;  ///< virtual time when the run stopped
-  /// Virtual time at which every honest replica had finalized the target
-  /// (observed at drive-loop granularity); kSimTimeNever if never reached.
+  /// The network model's GST (0 synchronous, kSimTimeNever asynchronous).
+  SimTime gst = 0;
+  /// Virtual time at which every live honest replica had finalized the
+  /// target (observed at drive-loop granularity); kSimTimeNever if never.
   SimTime finalized_at = kSimTimeNever;
   double wall_ms = 0;    ///< host wall-clock spent driving the event loop
   double budget_ms = 0;  ///< RunBudget::wall_ms the scenario ran under
@@ -211,6 +226,13 @@ struct RunReport {
   /// The shared safety predicate asserted on every run.
   [[nodiscard]] bool safe() const {
     return agreement && ordering && !honest_slashed;
+  }
+  /// Recovery latency: virtual time from GST (0 for models without one) to
+  /// full finalization; kSimTimeNever when the target was never reached.
+  [[nodiscard]] SimTime recovery_latency() const {
+    if (finalized_at == kSimTimeNever) return kSimTimeNever;
+    const SimTime base = gst == kSimTimeNever ? 0 : gst;
+    return finalized_at > base ? finalized_at - base : 0;
   }
   /// True when the run exceeded its advisory wall-clock budget.
   [[nodiscard]] bool over_budget() const {
@@ -278,6 +300,15 @@ class Simulation {
   /// Smallest / largest finalized height among honest replicas.
   [[nodiscard]] std::uint64_t min_height() const;
   [[nodiscard]] std::uint64_t max_height() const;
+  /// Smallest finalized height among honest, non-crashed replicas (the
+  /// run budget and liveness assertions exclude crash-stopped nodes).
+  [[nodiscard]] std::uint64_t live_min_height() const;
+
+  /// The CatchupDriver wrapping replica `id`, or nullptr when the scenario
+  /// runs with sync_plan disabled.
+  [[nodiscard]] sync::CatchupDriver* catchup(NodeId id) {
+    return drivers_.empty() ? nullptr : drivers_.at(id);
+  }
 
   /// True if any *honest* replica's deposit was burned (must never happen:
   /// the accountability soundness invariant).
@@ -295,6 +326,7 @@ class Simulation {
   std::unique_ptr<ledger::DepositLedger> deposits_;
   std::unique_ptr<net::Cluster> cluster_;
   std::vector<consensus::IReplica*> replicas_;  // owned by cluster_
+  std::vector<sync::CatchupDriver*> drivers_;   // owned by cluster_; may be empty
   std::chrono::steady_clock::duration wall_spent_{0};
   SimTime finalized_at_ = kSimTimeNever;
   bool started_ = false;

@@ -38,6 +38,25 @@ std::size_t Chain::rollback_tentative() {
   return dropped;
 }
 
+bool Chain::adopt_finalized_run(const std::vector<Block>& blocks,
+                                std::uint64_t first_height,
+                                std::size_t* rolled_back) {
+  if (rolled_back != nullptr) *rolled_back = 0;
+  if (blocks.empty() || first_height != finalized_ + 1) return false;
+  if (blocks.front().parent != blocks_[finalized_].hash()) return false;
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    if (blocks[i].parent != blocks[i - 1].hash()) return false;
+  }
+  if (height() > finalized_) {
+    const std::size_t dropped = rollback_tentative();
+    if (rolled_back != nullptr) *rolled_back = dropped;
+  }
+  for (const Block& b : blocks) {
+    if (!append_tentative(b)) return false;  // unreachable: linkage checked
+  }
+  return finalize_up_to(height());
+}
+
 bool Chain::finalized_contains_tx(std::uint64_t tx_id) const {
   for (std::uint64_t h = 0; h <= finalized_; ++h) {
     if (blocks_[h].contains_tx(tx_id)) return true;

@@ -35,6 +35,19 @@ class Chain {
   /// behaviour"). Returns the number of blocks dropped.
   std::size_t rollback_tentative();
 
+  /// Catch-up splice (src/sync): adopts a hash-linked run of *finalized*
+  /// blocks occupying heights `first_height ..`. Validates that the run
+  /// starts directly above the finalized tip and chains from it, rolls
+  /// back any conflicting tentative suffix (a genuine lock is restored
+  /// byte-identical by the re-append, since a corroborated finalized chain
+  /// extends it), appends and finalizes. Returns false — with the chain
+  /// unchanged except for a possible rollback — when the run does not
+  /// connect. `rolled_back`, when non-null, receives the number of
+  /// tentative blocks dropped.
+  bool adopt_finalized_run(const std::vector<Block>& blocks,
+                           std::uint64_t first_height,
+                           std::size_t* rolled_back = nullptr);
+
   // -- Accessors ------------------------------------------------------------
 
   /// Height of the chain including tentative blocks (genesis = 0).

@@ -35,6 +35,19 @@ class TrafficStats {
     return it == per_type_.end() ? MsgCounter{} : it->second;
   }
 
+  /// Totals across every message type of one protocol class — e.g. a
+  /// consensus protocol's own traffic, or the catch-up substrate's
+  /// (ProtoId::kSync), without the other's.
+  [[nodiscard]] MsgCounter for_proto(std::uint8_t proto) const {
+    MsgCounter out;
+    for (const auto& [key, counter] : per_type_) {
+      if (key.first != proto) continue;
+      out.count += counter.count;
+      out.bytes += counter.bytes;
+    }
+    return out;
+  }
+
   [[nodiscard]] const std::map<std::pair<std::uint8_t, std::uint8_t>,
                                MsgCounter>&
   per_type() const {

@@ -1,0 +1,307 @@
+#include "sync/catchup.hpp"
+
+#include <algorithm>
+
+#include "crypto/merkle.hpp"
+
+namespace ratcon::sync {
+
+namespace {
+constexpr consensus::ProtoId kProto = consensus::ProtoId::kSync;
+}
+
+// ---------------------------------------------------------------------------
+// Wire bodies
+
+void AnnounceBody::encode(Writer& w) const {
+  w.u64(height);
+  w.raw(ByteSpan(tip.data(), tip.size()));
+}
+
+AnnounceBody AnnounceBody::decode(Reader& r) {
+  AnnounceBody body;
+  body.height = r.u64();
+  r.raw_into(body.tip.data(), body.tip.size());
+  return body;
+}
+
+void RequestBody::encode(Writer& w) const {
+  w.u64(from_height);
+  w.u64(to_height);
+}
+
+RequestBody RequestBody::decode(Reader& r) {
+  RequestBody body;
+  body.from_height = r.u64();
+  body.to_height = r.u64();
+  return body;
+}
+
+void ResponseBody::encode(Writer& w) const {
+  w.u64(first_height);
+  w.u32(static_cast<std::uint32_t>(blocks.size()));
+  for (const ledger::Block& b : blocks) b.encode(w);
+  w.raw(ByteSpan(anchor_root.data(), anchor_root.size()));
+}
+
+ResponseBody ResponseBody::decode(Reader& r) {
+  ResponseBody body;
+  body.first_height = r.u64();
+  const std::uint32_t count = r.count(kMaxBlocks);
+  body.blocks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    body.blocks.push_back(ledger::Block::decode(r));
+  }
+  r.raw_into(body.anchor_root.data(), body.anchor_root.size());
+  return body;
+}
+
+// ---------------------------------------------------------------------------
+// CatchupDriver
+
+CatchupDriver::CatchupDriver(std::unique_ptr<consensus::IReplica> inner,
+                             Deps deps)
+    : inner_(std::move(inner)),
+      cfg_(deps.cfg),
+      registry_(deps.registry),
+      keys_(deps.keys),
+      period_(deps.plan.period > 0 ? deps.plan.period
+                                   : std::max<SimTime>(cfg_.base_timeout, 1)),
+      batch_(std::max<std::uint32_t>(deps.plan.batch, 1)),
+      witnesses_(deps.plan.witnesses > 0 ? deps.plan.witnesses : cfg_.t0 + 1),
+      lag_threshold_(std::max<std::uint64_t>(deps.plan.lag_threshold, 1)) {}
+
+bool CatchupDriver::reached_target() const {
+  return target_blocks_ != 0 &&
+         inner_->chain().finalized_height() >= target_blocks_;
+}
+
+Bytes CatchupDriver::encode_env(MsgType type, std::uint64_t round,
+                                Bytes body) const {
+  return consensus::make_envelope(kProto, static_cast<std::uint8_t>(type),
+                                  round, self_, std::move(body), keys_.sk)
+      .encode();
+}
+
+void CatchupDriver::on_start(net::Context& ctx) {
+  self_ = ctx.self();
+  inner_->on_start(ctx);
+  announced_height_ = inner_->chain().finalized_height();
+  if (announced_height_ > 0) announce(ctx);
+  if (!reached_target()) ctx.set_timer(kSyncTimer, period_);
+}
+
+void CatchupDriver::on_message(net::Context& ctx, NodeId from,
+                               const Bytes& data) {
+  // The first wire byte is the protocol id; only kSync traffic is ours.
+  if (data.empty() ||
+      data[0] != static_cast<std::uint8_t>(kProto)) {
+    inner_->on_message(ctx, from, data);
+    after_step(ctx);
+    return;
+  }
+  consensus::Envelope env;
+  try {
+    env = consensus::Envelope::decode(ByteSpan(data.data(), data.size()));
+  } catch (const CodecError&) {
+    return;
+  }
+  if (env.proto != kProto || env.from >= cfg_.n || env.from == self_) return;
+  if (!consensus::verify_envelope(env, *registry_)) return;
+  handle_sync(ctx, env);
+  after_step(ctx);
+}
+
+void CatchupDriver::on_timer(net::Context& ctx, std::uint64_t timer_id) {
+  if (timer_id != kSyncTimer) {
+    inner_->on_timer(ctx, timer_id);
+    after_step(ctx);
+    return;
+  }
+  // Retry tick: a lagging replica re-requests (rotating over candidate
+  // responders, so a crashed best peer cannot wedge recovery).
+  request_pending_ = false;
+  maybe_request(ctx);
+  if (!reached_target()) ctx.set_timer(kSyncTimer, period_);
+}
+
+void CatchupDriver::handle_sync(net::Context& ctx,
+                                const consensus::Envelope& env) {
+  try {
+    switch (static_cast<MsgType>(env.type)) {
+      case MsgType::kAnnounce: handle_announce(ctx, env); break;
+      case MsgType::kRequest: handle_request(ctx, env); break;
+      case MsgType::kResponse: handle_response(ctx, env); break;
+      default: break;
+    }
+  } catch (const CodecError&) {
+    // Malformed body under a valid envelope: faulty sender; drop.
+  }
+}
+
+void CatchupDriver::announce(net::Context& ctx) {
+  const auto& chain = inner_->chain();
+  AnnounceBody body;
+  body.height = chain.finalized_height();
+  body.tip = chain.at(body.height).hash();
+  Writer w;
+  body.encode(w);
+  ctx.broadcast(encode_env(MsgType::kAnnounce, body.height, w.take()));
+  announces_ += 1;
+}
+
+void CatchupDriver::after_step(net::Context& ctx) {
+  const std::uint64_t fin = inner_->chain().finalized_height();
+  if (fin > announced_height_) {
+    announced_height_ = fin;
+    announce(ctx);
+    // Height moved: the outstanding request (if any) is answered; chase
+    // the next batch immediately instead of waiting for the retry tick.
+    request_pending_ = false;
+    maybe_request(ctx);
+  }
+}
+
+void CatchupDriver::handle_announce(net::Context& ctx,
+                                    const consensus::Envelope& env) {
+  Reader r(ByteSpan(env.body.data(), env.body.size()));
+  const AnnounceBody body = AnnounceBody::decode(r);
+  r.expect_done();
+  witness_[body.height][body.tip].insert(env.from);
+  auto& best = peer_height_[env.from];
+  best = std::max(best, body.height);
+  maybe_request(ctx);
+}
+
+void CatchupDriver::maybe_request(net::Context& ctx) {
+  if (request_pending_ || reached_target()) return;
+  const std::uint64_t fin = inner_->chain().finalized_height();
+  // Candidates: peers whose announced finalized height clears the gap
+  // threshold. Deterministic rotation across retries.
+  std::vector<std::pair<NodeId, std::uint64_t>> candidates;
+  for (const auto& [peer, height] : peer_height_) {
+    if (height >= fin + lag_threshold_) candidates.emplace_back(peer, height);
+  }
+  if (candidates.empty()) return;
+  const auto& [peer, height] =
+      candidates[request_rotation_ % candidates.size()];
+  request_rotation_ += 1;
+
+  RequestBody body;
+  body.from_height = fin + 1;
+  body.to_height = std::min<std::uint64_t>(height, fin + batch_);
+  Writer w;
+  body.encode(w);
+  ctx.send(peer, encode_env(MsgType::kRequest, body.from_height, w.take()));
+  requests_ += 1;
+  request_pending_ = true;
+}
+
+void CatchupDriver::handle_request(net::Context& ctx,
+                                   const consensus::Envelope& env) {
+  Reader r(ByteSpan(env.body.data(), env.body.size()));
+  const RequestBody body = RequestBody::decode(r);
+  r.expect_done();
+  const auto& chain = inner_->chain();
+  const std::uint64_t fin = chain.finalized_height();
+  if (body.from_height == 0 || body.from_height > fin ||
+      body.to_height < body.from_height) {
+    return;
+  }
+  const std::uint64_t to = std::min(
+      {body.to_height, fin, body.from_height + batch_ - 1});
+
+  ResponseBody resp;
+  resp.first_height = body.from_height;
+  for (std::uint64_t h = body.from_height; h <= to; ++h) {
+    resp.blocks.push_back(chain.at(h));
+  }
+  // Merkle anchor over the finalized chain through the batch tip.
+  std::vector<crypto::Hash256> leaves;
+  leaves.reserve(to + 1);
+  for (std::uint64_t h = 0; h <= to; ++h) leaves.push_back(chain.at(h).hash());
+  resp.anchor_root = crypto::MerkleTree::compute_root(leaves);
+
+  Writer w;
+  resp.encode(w);
+  ctx.send(env.from, encode_env(MsgType::kResponse, resp.first_height,
+                                w.take()));
+  responses_ += 1;
+}
+
+void CatchupDriver::handle_response(net::Context& ctx,
+                                    const consensus::Envelope& env) {
+  Reader r(ByteSpan(env.body.data(), env.body.size()));
+  const ResponseBody body = ResponseBody::decode(r);
+  r.expect_done();
+
+  const auto& chain = inner_->chain();
+  const std::uint64_t fin = chain.finalized_height();
+  // Stale (including replays of once-valid responses) or out-of-order
+  // batches are no-ops: adoption is only ever attempted directly above the
+  // local finalized tip, so a replayed envelope cannot rewind state — and
+  // sync traffic never feeds fraud trackers, so it cannot slash anyone.
+  if (body.blocks.empty() || body.first_height != fin + 1) {
+    rejected_ += 1;
+    return;
+  }
+  // Hash-chain linkage from our finalized tip through the batch.
+  if (body.blocks.front().parent != chain.at(fin).hash()) {
+    rejected_ += 1;
+    return;
+  }
+  for (std::size_t i = 1; i < body.blocks.size(); ++i) {
+    if (body.blocks[i].parent != body.blocks[i - 1].hash()) {
+      rejected_ += 1;
+      return;
+    }
+  }
+  // Merkle anchor: the batch must extend *our* finalized chain exactly.
+  std::vector<crypto::Hash256> leaves;
+  leaves.reserve(fin + 1 + body.blocks.size());
+  for (std::uint64_t h = 0; h <= fin; ++h) leaves.push_back(chain.at(h).hash());
+  for (const ledger::Block& b : body.blocks) leaves.push_back(b.hash());
+  if (crypto::MerkleTree::compute_root(leaves) != body.anchor_root) {
+    rejected_ += 1;
+    return;
+  }
+
+  // The responder vouches for its batch tip.
+  const std::uint64_t top = body.first_height + body.blocks.size() - 1;
+  witness_[top][body.blocks.back().hash()].insert(env.from);
+  auto& best = peer_height_[env.from];
+  best = std::max(best, top);
+
+  // Adopt only up to the highest height corroborated by >= witnesses_
+  // distinct peers — a forged chain would need that many colluding
+  // vouchers, which exceeds the protocol's design bound.
+  std::uint64_t adopt_to = 0;
+  for (std::uint64_t h = top; h >= body.first_height; --h) {
+    const auto hit = witness_.find(h);
+    if (hit != witness_.end()) {
+      const auto wit = hit->second.find(leaves[h]);
+      if (wit != hit->second.end() && wit->second.size() >= witnesses_) {
+        adopt_to = h;
+        break;
+      }
+    }
+    if (h == body.first_height) break;
+  }
+  if (adopt_to < body.first_height) {
+    rejected_ += 1;
+    return;
+  }
+
+  std::vector<ledger::Block> run(
+      body.blocks.begin(),
+      body.blocks.begin() +
+          static_cast<std::ptrdiff_t>(adopt_to - body.first_height + 1));
+  if (inner_->on_sync_adopt(ctx, run, body.first_height)) {
+    adopted_ += run.size();
+    request_pending_ = false;  // answered; after_step chases the next batch
+  } else {
+    rejected_ += 1;
+  }
+}
+
+}  // namespace ratcon::sync

@@ -1,0 +1,203 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "consensus/envelope.hpp"
+#include "consensus/replica.hpp"
+#include "consensus/types.hpp"
+#include "crypto/sig.hpp"
+#include "ledger/block.hpp"
+
+namespace ratcon::sync {
+
+/// Protocol-agnostic catch-up / state-transfer subsystem.
+///
+/// Under adversarial delay (pre-GST holds, partitions, targeted-message
+/// attacks) a replica can miss the commit/decide of a height entirely and
+/// stay behind forever: every subsequent proposal extends a parent it does
+/// not hold. The paper's liveness claims (Theorem 1) are *eventual* —
+/// after GST every honest player converges — and rational-agent protocols
+/// assume exactly this kind of recovery when arguing equilibria survive
+/// transient partitions (cf. Rational Fair Consensus in the GOSSIP model).
+///
+/// This module supplies that recovery for every protocol in the registry:
+///
+///  * `CatchupDriver` decorates any `consensus::IReplica`. It announces
+///    finalized-height advances, detects falling behind (gap between the
+///    local finalized height and the highest height observed in any valid
+///    announce), and fetches the missing finalized blocks from peers in
+///    batches.
+///  * `SyncRequest` / `SyncResponse` are height-ranged: a response carries
+///    the blocks for `[first_height, first_height + blocks - 1]` plus a
+///    Merkle anchor — the root over the sender's finalized block hashes
+///    from genesis through the batch tip — which the receiver recomputes
+///    over its own finalized prefix + the received blocks, so a response
+///    that does not extend the receiver's exact chain is rejected.
+///  * Trust is protocol-parametric: a batch is adopted only up to the
+///    highest height corroborated by >= `witnesses` distinct peers
+///    (default t0 + 1 — at least one honest voucher within the protocol's
+///    design bound; 1 for CFT protocols). Forged or stale responses are
+///    rejected without side effects, and sync messages never feed fraud
+///    trackers, so replays can never slash an honest player.
+///
+/// Adoption is delegated to `IReplica::on_sync_adopt`, where each protocol
+/// reconciles its private state (pRFT round bookkeeping, HotStuff locks,
+/// Raft-lite ballots, quorum prepare-locks) against the transferred chain.
+
+/// Wire messages (ProtoId::kSync; second header byte).
+enum class MsgType : std::uint8_t {
+  kAnnounce = 0,  ///< broadcast: my finalized height advanced
+  kRequest = 1,   ///< to one peer: send me heights [from, to]
+  kResponse = 2,  ///< reply: blocks + Merkle anchor
+};
+
+/// ⟨Announce, height, hash(block at height)⟩ — broadcast whenever the
+/// sender's finalized height advances (and once at start when non-zero).
+struct AnnounceBody {
+  std::uint64_t height = 0;
+  crypto::Hash256 tip{};
+
+  void encode(Writer& w) const;
+  static AnnounceBody decode(Reader& r);
+};
+
+/// ⟨Request, from_height, to_height⟩ — ask one peer for a finalized range.
+struct RequestBody {
+  std::uint64_t from_height = 0;
+  std::uint64_t to_height = 0;
+
+  void encode(Writer& w) const;
+  static RequestBody decode(Reader& r);
+};
+
+/// ⟨Response, first_height, blocks, anchor_root⟩ — the requested batch.
+/// `anchor_root` is the Merkle root over the sender's finalized block
+/// hashes for heights [0, first_height + blocks.size() - 1]; the receiver
+/// recomputes it over its own finalized prefix plus `blocks`.
+struct ResponseBody {
+  std::uint64_t first_height = 0;
+  std::vector<ledger::Block> blocks;
+  crypto::Hash256 anchor_root{};
+
+  void encode(Writer& w) const;
+  static ResponseBody decode(Reader& r);
+
+  static constexpr std::uint32_t kMaxBlocks = 4096;
+};
+
+/// Catch-up configuration carried by ScenarioSpec (`sync_plan`).
+struct SyncPlan {
+  /// Off reproduces the pre-catch-up behaviour: a replica that misses a
+  /// decide under adversarial delay stays behind forever.
+  bool enabled = true;
+  /// Re-request cadence for a lagging replica. 0 = derive from the
+  /// committee's base timeout (one retry per timeout).
+  SimTime period = 0;
+  /// Max blocks per SyncResponse; longer gaps fetch in multiple batches.
+  std::uint32_t batch = 8;
+  /// Distinct peers that must corroborate a height before adoption.
+  /// 0 = derive t0 + 1 from the committee config.
+  std::uint32_t witnesses = 0;
+  /// Minimum observed gap (best announced height - local finalized height)
+  /// before the driver starts fetching.
+  std::uint64_t lag_threshold = 1;
+};
+
+/// Decorator node: wraps a protocol replica, passes all protocol traffic
+/// and timers through, and runs the catch-up state machine on the side.
+/// The harness keeps introspecting the *inner* replica (chains, typed
+/// accessors); the driver only ever touches it through the IReplica
+/// surface (`chain()`, `on_sync_adopt`).
+class CatchupDriver final : public consensus::IReplica {
+ public:
+  struct Deps {
+    consensus::Config cfg;
+    crypto::KeyRegistry* registry = nullptr;
+    crypto::KeyPair keys;
+    SyncPlan plan;
+  };
+
+  CatchupDriver(std::unique_ptr<consensus::IReplica> inner, Deps deps);
+
+  // -- IReplica (forwarded) --------------------------------------------------
+  [[nodiscard]] const ledger::Chain& chain() const override {
+    return inner_->chain();
+  }
+  ledger::Mempool& mempool() override { return inner_->mempool(); }
+  [[nodiscard]] bool is_honest() const override { return inner_->is_honest(); }
+  void set_target_blocks(std::uint64_t target) override {
+    target_blocks_ = target;
+    inner_->set_target_blocks(target);
+  }
+  bool on_sync_adopt(net::Context& ctx,
+                     const std::vector<ledger::Block>& blocks,
+                     std::uint64_t first_height) override {
+    return inner_->on_sync_adopt(ctx, blocks, first_height);
+  }
+
+  // -- INode -----------------------------------------------------------------
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, NodeId from, const Bytes& data) override;
+  void on_timer(net::Context& ctx, std::uint64_t timer_id) override;
+
+  // -- Introspection (tests / harness) ---------------------------------------
+  [[nodiscard]] consensus::IReplica& inner() { return *inner_; }
+  [[nodiscard]] const consensus::IReplica& inner() const { return *inner_; }
+  [[nodiscard]] std::uint64_t announces_sent() const { return announces_; }
+  [[nodiscard]] std::uint64_t requests_sent() const { return requests_; }
+  [[nodiscard]] std::uint64_t responses_sent() const { return responses_; }
+  [[nodiscard]] std::uint64_t responses_rejected() const { return rejected_; }
+  [[nodiscard]] std::uint64_t blocks_adopted() const { return adopted_; }
+  /// Effective (resolved) knobs, for tests.
+  [[nodiscard]] std::uint32_t witness_threshold() const { return witnesses_; }
+  [[nodiscard]] std::uint32_t batch_size() const { return batch_; }
+
+ private:
+  static constexpr std::uint64_t kSyncTimer = 0x53594e43;  // 'SYNC'
+
+  void handle_sync(net::Context& ctx, const consensus::Envelope& env);
+  void handle_announce(net::Context& ctx, const consensus::Envelope& env);
+  void handle_request(net::Context& ctx, const consensus::Envelope& env);
+  void handle_response(net::Context& ctx, const consensus::Envelope& env);
+
+  /// Post-step bookkeeping: broadcast an announce when the inner chain's
+  /// finalized height advanced, and chase the next batch when lagging.
+  void after_step(net::Context& ctx);
+  void announce(net::Context& ctx);
+  void maybe_request(net::Context& ctx);
+  [[nodiscard]] bool reached_target() const;
+  [[nodiscard]] Bytes encode_env(MsgType type, std::uint64_t round,
+                                 Bytes body) const;
+
+  std::unique_ptr<consensus::IReplica> inner_;
+  consensus::Config cfg_;
+  crypto::KeyRegistry* registry_;
+  crypto::KeyPair keys_;
+  SimTime period_;
+  std::uint32_t batch_;
+  std::uint32_t witnesses_;
+  std::uint64_t lag_threshold_;
+
+  NodeId self_ = kNoNode;
+  std::uint64_t target_blocks_ = 0;
+  std::uint64_t announced_height_ = 0;
+  bool request_pending_ = false;
+  std::uint64_t request_rotation_ = 0;
+
+  /// Latest announced finalized height per peer (gap detection).
+  std::map<NodeId, std::uint64_t> peer_height_;
+  /// Corroboration: distinct peers that vouched hash h at height H.
+  std::map<std::uint64_t, std::map<crypto::Hash256, std::set<NodeId>>>
+      witness_;
+
+  std::uint64_t announces_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t responses_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t adopted_ = 0;
+};
+
+}  // namespace ratcon::sync
