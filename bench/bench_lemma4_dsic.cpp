@@ -4,142 +4,120 @@
 // rational player, U(π_0) >= U(π) for every strategy π, whatever the
 // others do.
 //
-// The bench evaluates each strategy in the paper's strategy space
-// empirically: the candidate player P4 plays π against pRFT (n = 9), the
-// realized per-round system states are mapped through Table 2 (θ = 1) plus
-// the collateral penalty, and the discounted utility of Eq. 1 is computed.
+// Migrated onto the empirical game engine (src/rational): the candidate's
+// strategies are assigned through the StrategyCatalog, the realized runs
+// are paid out by the PayoffAccountant (per-height σ classification,
+// penalty events from the deposit ledger — no hand-reconstructed outcome
+// streams), and the DeviationExplorer closes with an ε-best-response
+// certificate over the full executable strategy space.
+//
+// `--smoke` runs the reduced configuration CI exercises on every push.
 
 #include <cstdio>
-#include <memory>
+#include <string>
 
-#include "adversary/behaviors.hpp"
-#include "adversary/fork_agent.hpp"
-#include "game/utility.hpp"
-#include "harness/protocols.hpp"
+#include "harness/flags.hpp"
 #include "harness/scenario.hpp"
 #include "harness/table.hpp"
+#include "rational/catalog.hpp"
+#include "rational/explorer.hpp"
+#include "rational/payoff.hpp"
 
 using namespace ratcon;
+using rational::PayoffAccountant;
+using rational::PayoffParams;
+using rational::PayoffReport;
+using rational::ProfileSpec;
 
 namespace {
 
 constexpr std::uint32_t kN = 9;
 constexpr NodeId kCandidate = 3;  // the rational player under evaluation
 
-struct Result {
+struct Row {
   std::uint64_t blocks = 0;
-  std::uint64_t rounds = 0;
   bool forked = false;
   bool candidate_slashed = false;
+  double utility = 0;
 };
 
-/// Reconstructs a per-round outcome sequence for the candidate and applies
-/// Eq. 1. Successful rounds are σ_0 (payoff 0 for θ=1); aborted rounds are
-/// σ_NP (−α); a fork round would pay +α; the collateral loss L lands once,
-/// at the first aborted round (when the Expose that burned it circulated).
-double utility_theta1(const Result& r, const game::UtilityParams& params) {
-  std::vector<game::RoundOutcome> rounds;
-  const std::uint64_t aborted = r.rounds > r.blocks ? r.rounds - r.blocks : 0;
-  bool charged = false;
-  for (std::uint64_t i = 0; i < r.rounds; ++i) {
-    game::RoundOutcome out;
-    if (r.forked) {
-      out.state = game::SystemState::kFork;
-    } else if (i < aborted) {
-      out.state = game::SystemState::kNoProgress;
-    } else {
-      out.state = game::SystemState::kHonest;
-    }
-    if (r.candidate_slashed && !charged && i < aborted) {
-      out.penalized = true;
-      charged = true;
-    }
-    rounds.push_back(out);
-  }
-  return game::discounted_utility(rounds, 1, params);
-}
-
-Result run(const std::string& strategy, std::uint64_t seed) {
-  // Collusion backdrop for π_fork: players 0..1 are Byzantine (t = 2 = t0)
-  // and player 2 is a fellow rational colluder, so k + t = 4 < n/2 — the
-  // largest coalition the candidate could possibly recruit. Side A plus
-  // the coalition reaches the quorum, which is what lets the double-sign
-  // produce commit-level evidence (and get the whole coalition slashed).
-  auto plan = std::make_shared<adversary::ForkPlan>();
-  plan->n = kN;
-  plan->coalition = {0, 1, 2, kCandidate};
-  plan->side_a = {4, 5, 6};
-  plan->side_b = {7, 8};
-
+/// One strategy evaluation: candidate plays `strategy` (with the Appendix-F
+/// collusion backdrop for π_fork: Byzantine players 0..1 and rational
+/// colluder 2 join the double-signing, k + t = 4 < n/2), run, account.
+Row run(game::Strategy strategy, std::uint64_t seed) {
   harness::ScenarioSpec spec;
   spec.committee.n = kN;
   spec.seed = seed;
   spec.budget.target_blocks = 4;
+  spec.budget.horizon = sec(300);
   spec.workload.txs = 8;
   spec.workload.interval = msec(1);
-  if (strategy == "pi_abs") {
-    spec.adversary.behaviors[kCandidate] =
-        std::make_shared<adversary::AbstainBehavior>();
-  }
-  if (strategy == "pi_fork") {
-    spec.adversary.node_factory =
-        [plan](NodeId id, const harness::NodeEnv& env)
-        -> std::unique_ptr<consensus::IReplica> {
-      if (plan->coalition.count(id)) {
-        return std::make_unique<adversary::ForkAgentNode>(
-            harness::make_prft_deps(id, env), plan);
-      }
-      return nullptr;
-    };
-  }
-  harness::Simulation sim(spec);
-  sim.start();
-  sim.run_until(sec(300));
 
-  Result r;
-  r.blocks = sim.max_height();
-  for (NodeId id = 0; id < kN; ++id) {
-    r.rounds = std::max(r.rounds, sim.prft(id).current_round());
+  ProfileSpec profile;
+  if (strategy != game::Strategy::kHonest) {
+    profile.strategies[kCandidate] = strategy;
   }
-  r.rounds = r.rounds > 0 ? r.rounds - 1 : 0;  // rounds completed
-  r.forked = !sim.agreement_holds();
-  r.candidate_slashed = sim.deposits().slashed(kCandidate);
-  return r;
+  if (strategy == game::Strategy::kDoubleSign) {
+    for (NodeId id : {0u, 1u, 2u}) {
+      profile.strategies[id] = game::Strategy::kDoubleSign;
+    }
+  }
+  rational::apply_profile(spec, profile);
+
+  harness::Simulation sim(spec);
+  (void)sim.run_to_completion();
+
+  PayoffParams params;  // alpha = 1, L = 10, delta = 0.9
+  params.thetas[kCandidate] = 1;
+  const PayoffAccountant accountant(params);
+  const PayoffReport report = accountant.account(sim);
+
+  Row row;
+  row.blocks = sim.max_height();
+  row.forked = !sim.agreement_holds();
+  row.candidate_slashed = sim.deposits().slashed(kCandidate);
+  row.utility = report.of(kCandidate).utility;
+  return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harness::Flags flags(argc, argv);
+  const bool smoke = flags.has("smoke");
+
   std::printf("==========================================================\n");
   std::printf("Lemma 4 — honesty is DSIC for theta=1 players in pRFT\n");
   std::printf("==========================================================\n\n");
   std::printf("n = %u, t0 = 2, k + t < n/2. Candidate rational player: P%u "
-              "(theta = 1).\nalpha = 1, L = 10, delta = 0.9.\n\n",
-              kN, kCandidate);
+              "(theta = 1).\nalpha = 1, L = 10, delta = 0.9. Strategies "
+              "executed by the StrategyCatalog,\nutilities measured by the "
+              "PayoffAccountant.%s\n\n",
+              kN, kCandidate, smoke ? "  [smoke]" : "");
 
-  const game::UtilityParams params{1.0, 10.0, 0.9};
-  harness::Table table({"strategy pi", "blocks", "rounds", "fork?",
+  harness::Table table({"strategy pi", "blocks", "fork?",
                         "candidate slashed?", "U(pi, theta=1)"});
   double u_honest = 0, u_abs = 0, u_fork = 0;
-  Result fork_result;
-  for (const char* strategy : {"pi_0", "pi_abs", "pi_fork"}) {
-    const Result r = run(strategy, 600);
-    const double u = utility_theta1(r, params);
-    if (std::string(strategy) == "pi_0") u_honest = u;
-    if (std::string(strategy) == "pi_abs") u_abs = u;
-    if (std::string(strategy) == "pi_fork") {
-      u_fork = u;
-      fork_result = r;
+  Row fork_row;
+  for (game::Strategy strategy :
+       {game::Strategy::kHonest, game::Strategy::kAbstain,
+        game::Strategy::kDoubleSign}) {
+    const Row row = run(strategy, 600);
+    if (strategy == game::Strategy::kHonest) u_honest = row.utility;
+    if (strategy == game::Strategy::kAbstain) u_abs = row.utility;
+    if (strategy == game::Strategy::kDoubleSign) {
+      u_fork = row.utility;
+      fork_row = row;
     }
-    table.add_row({strategy, std::to_string(r.blocks),
-                   std::to_string(r.rounds), r.forked ? "YES" : "no",
-                   r.candidate_slashed ? "yes (PoF burned L)" : "no",
-                   harness::fmt(u, 2)});
+    table.add_row({game::to_string(strategy), std::to_string(row.blocks),
+                   row.forked ? "YES" : "no",
+                   row.candidate_slashed ? "yes (PoF burned L)" : "no",
+                   harness::fmt(row.utility, 2)});
   }
   table.print();
 
-  const bool ok = u_honest >= u_abs && u_honest >= u_fork && u_fork < 0 &&
-                  !fork_result.forked && fork_result.candidate_slashed;
+  bool ok = u_honest >= u_abs && u_honest >= u_fork && u_fork < 0 &&
+            !fork_row.forked && fork_row.candidate_slashed;
   std::printf("\nDominance check: U(pi_0) = %.2f >= U(pi_abs) = %.2f and "
               ">= U(pi_fork) = %.2f\n",
               u_honest, u_abs, u_fork);
@@ -148,7 +126,30 @@ int main() {
               "view-change (sigma_NP, payoff -alpha), or cannot reach two\n"
               "conflicting quorums (k + t + 2*t0 < n) — never sigma_Fork. "
               "Fork observed: %s.\n",
-              fork_result.forked ? "YES (bug)" : "no");
+              fork_row.forked ? "YES (bug)" : "no");
+
+  // ε-best-response certificate over the executable strategy space: a lone
+  // θ=1 deviator gains nothing from any unilateral strategy switch.
+  rational::ExplorerSpec cert;
+  cert.protocols = {harness::Protocol::kPrft};
+  cert.committee_sizes = {kN};
+  cert.nets = {harness::NetKind::kSynchronous};
+  cert.seeds = smoke ? std::vector<std::uint64_t>{600}
+                     : std::vector<std::uint64_t>{600, 601};
+  cert.players = {kCandidate};
+  cert.strategy_space = {game::Strategy::kHonest, game::Strategy::kAbstain,
+                         game::Strategy::kPartialCensor,
+                         game::Strategy::kLazyVote,
+                         game::Strategy::kDoubleSign};
+  cert.theta = 1;
+  cert.epsilon = 0.05;
+  cert.target_blocks = smoke ? 3 : 4;
+  cert.workload_txs = 6;
+  const rational::ExplorerReport report = explore(cert);
+  std::printf("\nDeviationExplorer certificate (unilateral, theta = 1):\n%s",
+              report.summary().c_str());
+  ok = ok && report.all_eps_equilibria();
+
   std::printf("\n[lemma4] %s: pi_0 is dominant for the rational player — "
               "pRFT is DSIC, not just NIC.\n",
               ok ? "OK" : "MISMATCH");

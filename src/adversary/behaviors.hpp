@@ -67,4 +67,47 @@ class SilentObserverBehavior final : public prft::Behavior {
   [[nodiscard]] bool expose_fraud() const override { return false; }
 };
 
+/// π_free (free-ride-on-catchup): never participate in consensus at all and
+/// let the catch-up subsystem (src/sync) transfer the finalized chain. On
+/// the wire this is π_abs — crash-indistinguishable, unpenalizable — but
+/// the player still ends up with the full ledger while paying zero
+/// consensus messages; the saved per-message costs are what the empirical
+/// payoff engine (src/rational) charges against it.
+class FreeRideBehavior final : public prft::Behavior {
+ public:
+  [[nodiscard]] bool is_honest() const override { return false; }
+
+  bool participate(Round, NodeId, consensus::PhaseTag) override {
+    return false;
+  }
+
+  [[nodiscard]] bool expose_fraud() const override { return false; }
+};
+
+/// π_lazy (lazy-vote): participate in the cheap early phases (proposals,
+/// first-phase votes, view changes — the messages that keep the player
+/// looking alive) but skip the commit-tier phases whose quorums the other
+/// n − 1 players will assemble anyway. A free-riding strategy milder than
+/// π_abs: it saves the expensive certificate traffic without ever stalling
+/// a quorum as long as n − 1 ≥ τ.
+class LazyVoteBehavior final : public prft::Behavior {
+ public:
+  [[nodiscard]] bool is_honest() const override { return false; }
+
+  bool participate(Round, NodeId, consensus::PhaseTag phase) override {
+    switch (phase) {
+      case consensus::PhaseTag::kCommit:
+      case consensus::PhaseTag::kReveal:
+      case consensus::PhaseTag::kFinal:
+      case consensus::PhaseTag::kPreCommit:
+      case consensus::PhaseTag::kDecide:
+        return false;
+      default:
+        return true;
+    }
+  }
+
+  [[nodiscard]] bool expose_fraud() const override { return false; }
+};
+
 }  // namespace ratcon::adversary

@@ -14,7 +14,10 @@ constexpr consensus::ProtoId kProto = consensus::ProtoId::kHotstuff;
 }
 
 HotstuffNode::HotstuffNode(Deps deps)
-    : cfg_(deps.cfg), registry_(deps.registry), keys_(deps.keys) {}
+    : cfg_(deps.cfg),
+      registry_(deps.registry),
+      keys_(deps.keys),
+      behavior_(std::move(deps.behavior)) {}
 
 void HotstuffNode::on_start(net::Context& ctx) {
   self_ = ctx.self();
@@ -28,7 +31,8 @@ void HotstuffNode::start_round(net::Context& ctx) {
     ctx.cancel_timer(kPhaseTimer);
     return;
   }
-  if (cfg_.leader(round_) == self_) {
+  if (cfg_.leader(round_) == self_ &&
+      participates(round_, PhaseTag::kPropose)) {
     // A locked leader must re-propose its locked block byte-identical (the
     // other lockers refuse anything else at that height). If the body is
     // missing, skip this view; rotation reaches a locker that has it.
@@ -43,10 +47,16 @@ void HotstuffNode::start_round(net::Context& ctx) {
         propose = false;
       }
     } else {
+      std::function<bool(const ledger::Transaction&)> censor;
+      if (behavior_ != nullptr) {
+        censor = [this](const ledger::Transaction& tx) {
+          return behavior_->censor_tx(tx);
+        };
+      }
       block.parent = chain_.tip_hash();
       block.round = round_;
       block.proposer = self_;
-      block.txs = mempool_.select(cfg_.max_block_txs);
+      block.txs = mempool_.select(cfg_.max_block_txs, censor);
     }
     if (propose) {
       Writer w;
@@ -101,14 +111,16 @@ void HotstuffNode::on_timer(net::Context& ctx, std::uint64_t timer_id) {
   // higher round pull every replica into it (see new_views_).
   RoundState& rs = rounds_[round_];
   if (rs.decided) return;
-  Writer w;
-  consensus::sign_phase(kProto, PhaseTag::kViewChange, round_,
-                        crypto::kZeroHash, self_, keys_.sk)
-      .encode(w);
-  ctx.broadcast(consensus::make_envelope(
-                    kProto, static_cast<std::uint8_t>(MsgType::kNewView),
-                    round_, self_, w.take(), keys_.sk)
-                    .encode());
+  if (participates(round_, PhaseTag::kViewChange)) {
+    Writer w;
+    consensus::sign_phase(kProto, PhaseTag::kViewChange, round_,
+                          crypto::kZeroHash, self_, keys_.sk)
+        .encode(w);
+    ctx.broadcast(consensus::make_envelope(
+                      kProto, static_cast<std::uint8_t>(MsgType::kNewView),
+                      round_, self_, w.take(), keys_.sk)
+                      .encode());
+  }
   advance_round(ctx, round_, /*failed=*/true);
 }
 
@@ -151,6 +163,12 @@ void HotstuffNode::leader_collect(net::Context& ctx, Round r, RoundState& rs,
     case MsgType::kDecide: sent = &rs.sent_decide; break;
     default: return;
   }
+  const PhaseTag gate = next_broadcast == MsgType::kPreCommit
+                            ? PhaseTag::kPreCommit
+                            : next_broadcast == MsgType::kCommit
+                                  ? PhaseTag::kCommit
+                                  : PhaseTag::kDecide;
+  if (!participates(r, gate)) return;
   if (*sent) return;
   *sent = true;
   ctx.broadcast(make_qc_broadcast(next_broadcast, r, rs.h, rs, phase));
@@ -248,6 +266,7 @@ void HotstuffNode::on_message(net::Context& ctx, NodeId from,
         if (lock_ && lock_->parent == block.parent && lock_->h != h) return;
         rs.proposal = block;
         rs.h = h;
+        if (!participates(r, PhaseTag::kPrepare)) break;  // observe only
         rs.voted_prepare = true;
         if (self_ == leader) {
           // Leader votes for itself without a network hop.
@@ -325,6 +344,7 @@ void HotstuffNode::on_message(net::Context& ctx, NodeId from,
         }
         const PhaseTag vote_phase =
             is_precommit ? PhaseTag::kPreCommit : PhaseTag::kCommit;
+        if (!participates(r, vote_phase)) break;  // lock kept, vote withheld
         Writer w;
         w.raw(ByteSpan(h.data(), h.size()));
         consensus::sign_phase(kProto, vote_phase, r, h, self_, keys_.sk)

@@ -4,6 +4,7 @@
 #include <optional>
 #include <set>
 
+#include "consensus/behavior.hpp"
 #include "consensus/envelope.hpp"
 #include "consensus/phase_sig.hpp"
 #include "consensus/replica.hpp"
@@ -44,13 +45,18 @@ class HotstuffNode : public consensus::IReplica {
     consensus::Config cfg;
     crypto::KeyRegistry* registry = nullptr;
     crypto::KeyPair keys;
+    /// Rational-strategy hooks (π_abs, π_pc, π_lazy, …): consulted before
+    /// every phase send and when building blocks. null = honest.
+    std::shared_ptr<consensus::Behavior> behavior;
   };
 
   explicit HotstuffNode(Deps deps);
 
   [[nodiscard]] const ledger::Chain& chain() const override { return chain_; }
   ledger::Mempool& mempool() override { return mempool_; }
-  [[nodiscard]] bool is_honest() const override { return true; }
+  [[nodiscard]] bool is_honest() const override {
+    return behavior_ == nullptr || behavior_->is_honest();
+  }
 
   void on_start(net::Context& ctx) override;
   void on_message(net::Context& ctx, NodeId from, const Bytes& data) override;
@@ -91,6 +97,11 @@ class HotstuffNode : public consensus::IReplica {
 
   static constexpr std::uint64_t kPhaseTimer = 1;
 
+  [[nodiscard]] bool participates(Round r, consensus::PhaseTag phase) const {
+    return behavior_ == nullptr ||
+           behavior_->participate(r, cfg_.leader(r), phase);
+  }
+
   void start_round(net::Context& ctx);
   void advance_round(net::Context& ctx, Round r, bool failed);
   void enter_round(net::Context& ctx, Round r);
@@ -109,6 +120,7 @@ class HotstuffNode : public consensus::IReplica {
   consensus::Config cfg_;
   crypto::KeyRegistry* registry_;
   crypto::KeyPair keys_;
+  std::shared_ptr<consensus::Behavior> behavior_;
 
   NodeId self_ = kNoNode;
   Round round_ = 1;

@@ -62,7 +62,8 @@ QuorumNode::QuorumNode(Deps deps)
       keys_(deps.keys),
       deposits_(deps.deposits),
       fork_plan_(std::move(deps.fork_plan)),
-      abstain_(deps.abstain) {}
+      abstain_(deps.abstain),
+      behavior_(std::move(deps.behavior)) {}
 
 // ---------------------------------------------------------------------------
 // Plumbing
@@ -121,7 +122,8 @@ void QuorumNode::start_round(net::Context& ctx) {
   }
   RoundState& rs = rounds_[round_];
   (void)rs;
-  if (cfg_.leader(round_) == self_ && participates()) {
+  if (cfg_.leader(round_) == self_ &&
+      participates(round_, PhaseTag::kPropose)) {
     if (attacking(round_)) {
       // Equivocate two blocks, one per side (pBFT-class protocols with
       // τ = n − ⌈n/3⌉ + 1 fork here once k + t ≥ n/3).
@@ -138,11 +140,17 @@ void QuorumNode::start_round(net::Context& ctx) {
       send_to(ctx, fork_plan_->targets_a(), make_preprepare(round_, block_a));
       send_to(ctx, fork_plan_->targets_b(), make_preprepare(round_, block_b));
     } else {
+      std::function<bool(const ledger::Transaction&)> censor;
+      if (behavior_ != nullptr) {
+        censor = [this](const ledger::Transaction& tx) {
+          return behavior_->censor_tx(tx);
+        };
+      }
       ledger::Block block;
       block.parent = chain_.tip_hash();
       block.round = round_;
       block.proposer = self_;
-      block.txs = mempool_.select(cfg_.max_block_txs);
+      block.txs = mempool_.select(cfg_.max_block_txs, censor);
       ctx.broadcast(make_preprepare(round_, block));
     }
   }
@@ -283,7 +291,7 @@ void QuorumNode::handle_preprepare(net::Context& ctx, const Envelope& env) {
   rs.h_l = h;
   rs.leader_sig = pro_sig;
 
-  if (!rs.prepared && participates() && !attacking(r)) {
+  if (!rs.prepared && participates(r, PhaseTag::kPrepare) && !attacking(r)) {
     rs.prepared = true;
     ctx.broadcast(make_prepare(r, h));
   }
@@ -341,7 +349,7 @@ void QuorumNode::check_prepare_quorum(net::Context& ctx, Round r,
     }
     if (!locked) continue;  // prepares kept; the lock travels via ViewChange
     rs.committed = true;
-    if (participates() && !attacking(r)) {
+    if (participates(r, PhaseTag::kCommit) && !attacking(r)) {
       ctx.broadcast(make_commit(r, h, rs));
     }
     check_commit_quorum(ctx, r, rs);
@@ -384,7 +392,7 @@ void QuorumNode::check_commit_quorum(net::Context& ctx, Round r,
   if (rs.decided) return;
   for (const auto& [h, sigs] : rs.commits) {
     if (sigs.size() < tau_) continue;
-    if (participates() && !attacking(r)) {
+    if (participates(r, PhaseTag::kDecide) && !attacking(r)) {
       ctx.broadcast(make_decide(r, h, rs));
     }
     decide(ctx, r, rs, h);
@@ -431,7 +439,8 @@ void QuorumNode::retry_stale_proposal(net::Context& ctx) {
     rs.proposal = block;
     rs.h_l = h;
     rs.leader_sig = pro_sig;
-    if (!rs.prepared && participates() && !attacking(round_)) {
+    if (!rs.prepared && participates(round_, PhaseTag::kPrepare) &&
+        !attacking(round_)) {
       rs.prepared = true;
       ctx.broadcast(make_prepare(round_, h));
     }
@@ -516,7 +525,7 @@ void QuorumNode::trigger_view_change(net::Context& ctx, Round r) {
   if (rs.vc_sent || rs.decided) return;
   rs.vc_sent = true;
   view_changes_ += 1;
-  if (participates()) {
+  if (participates(r, PhaseTag::kViewChange)) {
     Writer w;
     phase_sig(PhaseTag::kViewChange, r, vc_value(proto_, r)).encode(w);
     // Prepare-lock adoption across view changes (pBFT new-view): carry our
@@ -614,7 +623,8 @@ void QuorumNode::maybe_expose(net::Context& ctx, Round r, RoundState& rs) {
   if (rs.fraud.guilty_count() <= cfg_.t0) return;
   if (attacking(r) ||
       (fork_plan_ != nullptr && fork_plan_->coalition.count(self_) &&
-       fork_plan_->baiters.count(self_) == 0)) {
+       fork_plan_->baiters.count(self_) == 0) ||
+      (behavior_ != nullptr && !behavior_->expose_fraud())) {
     return;  // colluders never expose their own
   }
   rs.expose_sent = true;
@@ -627,7 +637,7 @@ void QuorumNode::maybe_expose(net::Context& ctx, Round r, RoundState& rs) {
   for (const auto& [node, cp] : rs.fraud.proofs()) {
     if (cp.verify(proto_, *registry_)) {
       convicted_.insert(node);
-      if (deposits_ != nullptr) deposits_->burn(node);
+      if (deposits_ != nullptr) deposits_->burn(node, cp.round);
     }
   }
 }
@@ -640,7 +650,9 @@ void QuorumNode::handle_expose(net::Context& ctx, const Envelope& env) {
   for (const consensus::ConflictPair& cp : proofs) {
     if (cp.verify(proto_, *registry_)) {
       convicted_.insert(cp.guilty());
-      if (deposits_ != nullptr && is_honest()) deposits_->burn(cp.guilty());
+      if (deposits_ != nullptr && is_honest()) {
+        deposits_->burn(cp.guilty(), cp.round);
+      }
     }
   }
 }
@@ -651,7 +663,7 @@ void QuorumNode::note_conflict(
   if (!is_honest()) return;
   if (cp->verify(proto_, *registry_)) {
     convicted_.insert(cp->guilty());
-    if (deposits_ != nullptr) deposits_->burn(cp->guilty());
+    if (deposits_ != nullptr) deposits_->burn(cp->guilty(), cp->round);
   }
 }
 

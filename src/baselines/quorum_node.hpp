@@ -5,6 +5,7 @@
 #include <optional>
 #include <set>
 
+#include "consensus/behavior.hpp"
 #include "consensus/envelope.hpp"
 #include "consensus/fraud.hpp"
 #include "consensus/replica.hpp"
@@ -82,6 +83,9 @@ class QuorumNode : public consensus::IReplica {
     ledger::DepositLedger* deposits = nullptr;
     std::shared_ptr<QuorumForkPlan> fork_plan;  ///< null = honest node
     bool abstain = false;  ///< π_abs: full silence (crash-indistinguishable)
+    /// Rational-strategy hooks (π_abs, π_pc, π_lazy, …): consulted before
+    /// every phase send and when building blocks. null = honest.
+    std::shared_ptr<consensus::Behavior> behavior;
   };
 
   explicit QuorumNode(Deps deps);
@@ -90,7 +94,7 @@ class QuorumNode : public consensus::IReplica {
   [[nodiscard]] const ledger::Chain& chain() const override { return chain_; }
   ledger::Mempool& mempool() override { return mempool_; }
   [[nodiscard]] bool is_honest() const override {
-    return !abstain_ &&
+    return !abstain_ && (behavior_ == nullptr || behavior_->is_honest()) &&
            (fork_plan_ == nullptr || !fork_plan_->coalition.count(self_) ||
             fork_plan_->baiters.count(self_) > 0);
   }
@@ -160,6 +164,12 @@ class QuorumNode : public consensus::IReplica {
            fork_plan_->baiters.count(self_) == 0 && fork_plan_->attacks(r);
   }
   [[nodiscard]] bool participates() const { return !abstain_; }
+  /// Phase-granular participation: the π_abs flag plus the behavior hook
+  /// (π_pc abstains under honest leaders, π_lazy skips commit-tier phases).
+  [[nodiscard]] bool participates(Round r, consensus::PhaseTag phase) const {
+    return !abstain_ && (behavior_ == nullptr ||
+                         behavior_->participate(r, cfg_.leader(r), phase));
+  }
 
   void start_round(net::Context& ctx);
   void advance_round(net::Context& ctx, Round r, bool failed);
@@ -210,6 +220,7 @@ class QuorumNode : public consensus::IReplica {
   ledger::DepositLedger* deposits_;
   std::shared_ptr<QuorumForkPlan> fork_plan_;
   bool abstain_;
+  std::shared_ptr<consensus::Behavior> behavior_;
 
   NodeId self_ = kNoNode;
   Round round_ = 1;

@@ -11,7 +11,10 @@ constexpr consensus::ProtoId kProto = consensus::ProtoId::kRaftLite;
 }
 
 RaftLiteNode::RaftLiteNode(Deps deps)
-    : cfg_(deps.cfg), registry_(deps.registry), keys_(deps.keys) {}
+    : cfg_(deps.cfg),
+      registry_(deps.registry),
+      keys_(deps.keys),
+      behavior_(std::move(deps.behavior)) {}
 
 void RaftLiteNode::on_start(net::Context& ctx) {
   self_ = ctx.self();
@@ -25,7 +28,8 @@ void RaftLiteNode::start_term(net::Context& ctx) {
     ctx.cancel_timer(kTimer);
     return;
   }
-  if (cfg_.leader(term_) == self_ && !defer_) {
+  if (cfg_.leader(term_) == self_ && !defer_ &&
+      participates(term_, consensus::PhaseTag::kPropose)) {
     // Phase-1 obligation: if the term-change majority reported an accepted
     // value for this height, re-propose it unchanged (its hash included) —
     // a fresh block here could conflict with an already-chosen value.
@@ -33,10 +37,16 @@ void RaftLiteNode::start_term(net::Context& ctx) {
     if (adopt_ && adopt_->block.parent == chain_.tip_hash()) {
       block = adopt_->block;
     } else {
+      std::function<bool(const ledger::Transaction&)> censor;
+      if (behavior_ != nullptr) {
+        censor = [this](const ledger::Transaction& tx) {
+          return behavior_->censor_tx(tx);
+        };
+      }
       block.parent = chain_.tip_hash();
       block.round = term_;
       block.proposer = self_;
-      block.txs = mempool_.select(cfg_.max_block_txs);
+      block.txs = mempool_.select(cfg_.max_block_txs, censor);
     }
     Writer w;
     block.encode(w);
@@ -70,6 +80,7 @@ void RaftLiteNode::broadcast_term_change(net::Context& ctx, Round t) {
   // on this node refuses accepts for ballots <= t, and the report below
   // carries everything a new leader needs to respect prior accepts.
   promised_ = std::max(promised_, t + 1);
+  if (!participates(t, consensus::PhaseTag::kViewChange)) return;
   Writer w;
   w.u64(chain_.finalized_height());
   w.boolean(accepted_.has_value());
@@ -164,6 +175,7 @@ void RaftLiteNode::on_message(net::Context& ctx, NodeId from,
         // have promised away, and only extending our finalized tip.
         if (t != term_ || t < promised_) return;
         if (block.parent != chain_.tip_hash()) return;
+        if (!participates(t, consensus::PhaseTag::kVote)) return;
         ts.proposal = block;
         ts.h = block.hash();
         accepted_ = Accepted{t, block};
@@ -186,7 +198,8 @@ void RaftLiteNode::on_message(net::Context& ctx, NodeId from,
         r_.raw_into(h.data(), h.size());
         if (h != ts.h) return;
         ts.acks[env.from] = true;
-        if (ts.acks.size() >= majority() && !ts.committed) {
+        if (ts.acks.size() >= majority() && !ts.committed &&
+            participates(t, consensus::PhaseTag::kCommit)) {
           Writer w;
           ts.proposal->encode(w);
           ctx.broadcast(consensus::make_envelope(

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 
+#include "consensus/behavior.hpp"
 #include "consensus/envelope.hpp"
 #include "consensus/replica.hpp"
 #include "consensus/types.hpp"
@@ -40,13 +42,19 @@ class RaftLiteNode : public consensus::IReplica {
     consensus::Config cfg;  ///< t0 unused; quorum is ⌊n/2⌋ + 1
     crypto::KeyRegistry* registry = nullptr;
     crypto::KeyPair keys;
+    /// Rational-strategy hooks (π_abs, π_pc, π_lazy, …): consulted before
+    /// every send and when building blocks. null = honest. A CFT protocol
+    /// has no defenses against them — which is the point of measuring it.
+    std::shared_ptr<consensus::Behavior> behavior;
   };
 
   explicit RaftLiteNode(Deps deps);
 
   [[nodiscard]] const ledger::Chain& chain() const override { return chain_; }
   ledger::Mempool& mempool() override { return mempool_; }
-  [[nodiscard]] bool is_honest() const override { return true; }
+  [[nodiscard]] bool is_honest() const override {
+    return behavior_ == nullptr || behavior_->is_honest();
+  }
 
   void on_start(net::Context& ctx) override;
   void on_message(net::Context& ctx, NodeId from, const Bytes& data) override;
@@ -88,6 +96,10 @@ class RaftLiteNode : public consensus::IReplica {
   static constexpr std::uint64_t kTimer = 1;
 
   [[nodiscard]] std::uint32_t majority() const { return cfg_.n / 2 + 1; }
+  [[nodiscard]] bool participates(Round t, consensus::PhaseTag phase) const {
+    return behavior_ == nullptr ||
+           behavior_->participate(t, cfg_.leader(t), phase);
+  }
   void start_term(net::Context& ctx);
   void advance_term(net::Context& ctx, Round t, bool failed);
   void commit_block(net::Context& ctx, Round t, const ledger::Block& block);
@@ -96,6 +108,7 @@ class RaftLiteNode : public consensus::IReplica {
   consensus::Config cfg_;
   crypto::KeyRegistry* registry_;
   crypto::KeyPair keys_;
+  std::shared_ptr<consensus::Behavior> behavior_;
 
   NodeId self_ = kNoNode;
   Round term_ = 1;

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "consensus/phase_sig.hpp"
+#include "ledger/transaction.hpp"
+
+namespace ratcon::consensus {
+
+/// Rational-strategy hooks that stay within a protocol's message shape —
+/// the paper's strategy space §4.1.2 (π_abs, π_pc) plus the free-riding
+/// variants the empirical game engine explores. One Behavior drives any
+/// registered protocol: each node consults `participate` before sending in
+/// a phase, `censor_tx` when building a block as leader, and
+/// `expose_fraud` before broadcasting accusations. Arbitrary Byzantine
+/// deviations — double-signing, equivocation — are implemented as node
+/// subclasses / fork plans instead (src/adversary, QuorumForkPlan).
+class Behavior {
+ public:
+  virtual ~Behavior() = default;
+
+  /// Whether this player counts as honest for outcome classification.
+  [[nodiscard]] virtual bool is_honest() const { return true; }
+
+  /// Return false to suppress sending in `phase` of round `r` whose leader
+  /// is `leader` (π_abs: "does not send messages in the particular phase or
+  /// round"; abstention is indistinguishable from a crash/network delay so
+  /// it can never be penalized — Theorem 1's lever).
+  virtual bool participate(Round r, NodeId leader, PhaseTag phase) {
+    (void)r;
+    (void)leader;
+    (void)phase;
+    return true;
+  }
+
+  /// Leader-side transaction filter (π_pc's censorship half: "propose Block
+  /// with transaction set tx such that tx_h ∉ tx" — Theorem 2's lever).
+  virtual bool censor_tx(const ledger::Transaction& tx) {
+    (void)tx;
+    return false;
+  }
+
+  /// Whether this player broadcasts Expose messages on detecting > t0
+  /// double-signers. Honest players always do; colluding players never
+  /// incriminate their own coalition.
+  [[nodiscard]] virtual bool expose_fraud() const { return true; }
+};
+
+}  // namespace ratcon::consensus

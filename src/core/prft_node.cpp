@@ -692,7 +692,7 @@ void PrftNode::burn_guilty(const consensus::FraudSet& proofs) {
   if (deposits_ == nullptr) return;
   for (const consensus::ConflictPair& cp : proofs) {
     if (cp.verify(kProto, *registry_)) {
-      deposits_->burn(cp.guilty());
+      deposits_->burn(cp.guilty(), cp.round);
     }
   }
 }
@@ -703,7 +703,7 @@ void PrftNode::on_conflict(const std::optional<consensus::ConflictPair>& cp) {
   // (exposing) player first holds the proof. Colluders never burn their own.
   if (!cp.has_value() || deposits_ == nullptr) return;
   if (behavior_ != nullptr && !behavior_->expose_fraud()) return;
-  deposits_->burn(cp->guilty());
+  deposits_->burn(cp->guilty(), cp->round);
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <optional>
 #include <set>
 
+#include "consensus/behavior.hpp"
 #include "consensus/envelope.hpp"
 #include "consensus/replica.hpp"
 #include "consensus/types.hpp"
@@ -17,40 +18,10 @@ using consensus::Config;
 using consensus::Envelope;
 using consensus::FraudTracker;
 
-/// Rational-strategy hooks that stay within the protocol's message shape
-/// (π_abs and π_pc from the paper's strategy space §4.1.2). Arbitrary
-/// Byzantine deviations — double-signing, equivocation — are implemented as
-/// node subclasses in src/adversary instead.
-class Behavior {
- public:
-  virtual ~Behavior() = default;
-
-  /// Whether this player counts as honest for outcome classification.
-  [[nodiscard]] virtual bool is_honest() const { return true; }
-
-  /// Return false to suppress sending in `phase` of round `r` whose leader
-  /// is `leader` (π_abs: "does not send messages in the particular phase or
-  /// round"; abstention is indistinguishable from a crash/network delay so
-  /// it can never be penalized — Theorem 1's lever).
-  virtual bool participate(Round r, NodeId leader, PhaseTag phase) {
-    (void)r;
-    (void)leader;
-    (void)phase;
-    return true;
-  }
-
-  /// Leader-side transaction filter (π_pc's censorship half: "propose Block
-  /// with transaction set tx such that tx_h ∉ tx" — Theorem 2's lever).
-  virtual bool censor_tx(const ledger::Transaction& tx) {
-    (void)tx;
-    return false;
-  }
-
-  /// Whether this player broadcasts Expose messages on detecting > t0
-  /// double-signers. Honest players always do; colluding players never
-  /// incriminate their own coalition.
-  [[nodiscard]] virtual bool expose_fraud() const { return true; }
-};
+/// The protocol-agnostic strategy hooks live in consensus::Behavior so the
+/// same rational strategies (π_abs, π_pc, lazy-vote, free-ride) drive every
+/// registered protocol; the historical prft::Behavior name is an alias.
+using Behavior = consensus::Behavior;
 
 /// pRFT replica (paper Figure 1 + §5.2 view change). One instance per
 /// player; honest players use the default Behavior.

@@ -29,31 +29,58 @@ NormalFormGame::NormalFormGame(std::vector<int> strategy_counts)
   }
 }
 
+void NormalFormGame::check_player(int player) const {
+  if (player < 0 || player >= num_players()) {
+    throw std::out_of_range("NormalFormGame: player " +
+                            std::to_string(player) + " of " +
+                            std::to_string(num_players()));
+  }
+}
+
+void NormalFormGame::check_strategy(int player, int strategy) const {
+  check_player(player);
+  if (strategy < 0 || strategy >= counts_[static_cast<std::size_t>(player)]) {
+    throw std::out_of_range(
+        "NormalFormGame: strategy " + std::to_string(strategy) +
+        " of player " + std::to_string(player) + " (has " +
+        std::to_string(counts_[static_cast<std::size_t>(player)]) + ")");
+  }
+}
+
 void NormalFormGame::set_player_name(int player, std::string name) {
+  check_player(player);
   player_names_[static_cast<std::size_t>(player)] = std::move(name);
 }
 
 void NormalFormGame::set_strategy_name(int player, int strategy,
                                        std::string name) {
+  check_strategy(player, strategy);
   strategy_names_[static_cast<std::size_t>(player)]
                  [static_cast<std::size_t>(strategy)] = std::move(name);
 }
 
 const std::string& NormalFormGame::player_name(int player) const {
+  check_player(player);
   return player_names_[static_cast<std::size_t>(player)];
 }
 
 const std::string& NormalFormGame::strategy_name(int player,
                                                  int strategy) const {
+  check_strategy(player, strategy);
   return strategy_names_[static_cast<std::size_t>(player)]
                         [static_cast<std::size_t>(strategy)];
 }
 
 std::size_t NormalFormGame::index_of(const Profile& profile) const {
-  assert(profile.size() == counts_.size());
+  if (profile.size() != counts_.size()) {
+    throw std::out_of_range("NormalFormGame: profile of " +
+                            std::to_string(profile.size()) +
+                            " strategies for " +
+                            std::to_string(counts_.size()) + " players");
+  }
   std::size_t idx = 0;
   for (std::size_t p = 0; p < counts_.size(); ++p) {
-    assert(profile[p] >= 0 && profile[p] < counts_[p]);
+    check_strategy(static_cast<int>(p), profile[p]);
     idx = idx * static_cast<std::size_t>(counts_[p]) +
           static_cast<std::size_t>(profile[p]);
   }
@@ -164,6 +191,7 @@ std::vector<Profile> NormalFormGame::all_profiles() const {
 }
 
 std::string NormalFormGame::describe(const Profile& profile) const {
+  (void)index_of(profile);  // validate shape and ranges
   std::ostringstream os;
   os << "(";
   for (std::size_t p = 0; p < profile.size(); ++p) {

@@ -25,7 +25,10 @@ class NormalFormGame {
     return counts_[player];
   }
 
-  /// Optional labels for pretty-printing.
+  /// Optional labels for pretty-printing. All name/payoff accessors are
+  /// bounds-checked and throw std::out_of_range on an unknown player,
+  /// strategy, or mis-shaped profile (empirically-assembled games have
+  /// historically indexed these with unvalidated profile vectors).
   void set_player_name(int player, std::string name);
   void set_strategy_name(int player, int strategy, std::string name);
   [[nodiscard]] const std::string& player_name(int player) const;
@@ -76,6 +79,8 @@ class NormalFormGame {
 
  private:
   [[nodiscard]] std::size_t index_of(const Profile& profile) const;
+  void check_player(int player) const;
+  void check_strategy(int player, int strategy) const;
 
   std::vector<int> counts_;
   std::vector<std::vector<double>> payoffs_;  // [profile_index][player]

@@ -22,6 +22,8 @@ const char* to_string(Strategy s) {
     case Strategy::kDoubleSign: return "pi_ds";
     case Strategy::kPartialCensor: return "pi_pc";
     case Strategy::kBait: return "pi_bait";
+    case Strategy::kFreeRide: return "pi_free";
+    case Strategy::kLazyVote: return "pi_lazy";
   }
   return "?";
 }

@@ -25,7 +25,8 @@ const char* to_string(SystemState s);
 using Theta = int;
 
 /// Strategies available to rational players (paper §4.1.2) plus the
-/// baiting strategy from §3.4 used by TRAP's analysis.
+/// baiting strategy from §3.4 used by TRAP's analysis and the free-riding
+/// variants the empirical deviation engine (src/rational) explores.
 enum class Strategy : std::uint8_t {
   kHonest = 0,         ///< π_0: follow the protocol.
   kAbstain = 1,        ///< π_abs: send no messages in a phase/round.
@@ -33,6 +34,10 @@ enum class Strategy : std::uint8_t {
   kPartialCensor = 3,  ///< π_pc (Thm 2): abstain under honest leader,
                        ///<   censor when leading.
   kBait = 4,           ///< π_bait (TRAP): expose the collusion's PoF.
+  kFreeRide = 5,       ///< π_free: never participate; grow the ledger
+                       ///<   purely through catch-up (src/sync).
+  kLazyVote = 6,       ///< π_lazy: vote in the cheap early phases, skip the
+                       ///<   commit-tier phases others will certify anyway.
 };
 
 const char* to_string(Strategy s);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <sstream>
 #include <thread>
 
@@ -113,6 +114,46 @@ CellResult run_cell(Protocol proto, std::uint32_t n, NetKind kind,
   return sim.run_to_completion();
 }
 
+void parallel_cells(std::size_t count, std::uint32_t workers,
+                    const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  std::uint32_t pool_size =
+      workers != 0 ? workers
+                   : std::max(1u, std::thread::hardware_concurrency());
+  pool_size = std::min<std::uint32_t>(pool_size,
+                                      static_cast<std::uint32_t>(count));
+  if (pool_size <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(pool_size);
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (std::uint32_t w = 0; w < pool_size; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          // A throw on a bare thread would std::terminate the process;
+          // capture it, stop handing out work, rethrow on the caller.
+          errors[w] = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
 MatrixReport run_matrix(const MatrixSpec& spec) {
   struct CellKey {
     Protocol proto;
@@ -137,22 +178,6 @@ MatrixReport run_matrix(const MatrixSpec& spec) {
   report.cells.resize(keys.size());
   if (keys.empty()) return report;
 
-  std::uint32_t workers =
-      spec.workers != 0 ? spec.workers
-                        : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min<std::uint32_t>(workers,
-                                    static_cast<std::uint32_t>(keys.size()));
-
-  auto run_one = [&](std::size_t i) {
-    const CellKey& k = keys[i];
-    report.cells[i] = run_cell(k.proto, k.n, k.kind, k.seed, spec);
-  };
-
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < keys.size(); ++i) run_one(i);
-    return report;
-  }
-
   // Warm the protocol registry before fanning out (its lazy init is a
   // thread-safe magic static, but first-touch under contention is wasted
   // work); every cell is otherwise an isolated seeded Simulation, so the
@@ -160,18 +185,10 @@ MatrixReport run_matrix(const MatrixSpec& spec) {
   for (Protocol proto : spec.protocols) {
     (void)protocol_traits(proto);
   }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::uint32_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < keys.size();
-           i = next.fetch_add(1)) {
-        run_one(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
+  parallel_cells(keys.size(), spec.workers, [&](std::size_t i) {
+    const CellKey& k = keys[i];
+    report.cells[i] = run_cell(k.proto, k.n, k.kind, k.seed, spec);
+  });
   return report;
 }
 

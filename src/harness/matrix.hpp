@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -100,6 +101,15 @@ struct MatrixReport {
   /// budget overruns.
   [[nodiscard]] std::string summary() const;
 };
+
+/// The sweep engine behind MatrixSpec::workers, shared with the empirical
+/// deviation explorer (src/rational): runs `fn(0) .. fn(count-1)` on
+/// `workers` threads (0 = one per hardware thread, capped by `count`;
+/// 1 = serial). Each index must be an independent seeded simulation
+/// writing to its own slot, so results are position-stable and identical
+/// to a serial run regardless of the worker count.
+void parallel_cells(std::size_t count, std::uint32_t workers,
+                    const std::function<void(std::size_t)>& fn);
 
 /// Runs a single cell to its horizon (early exit once every honest replica
 /// finalized `spec.target_blocks`).

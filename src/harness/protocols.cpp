@@ -39,6 +39,22 @@ std::map<Protocol, ProtocolTraits>& registry_map() {
           return std::make_unique<baselines::QuorumNode>(
               make_quorum_deps(id, env));
         }};
+    // Claim 1's upper-boundary comparator: a two-phase quorum protocol
+    // whose agreement threshold is the whole committee (t0 = 0, τ = n).
+    // With τ > n − t0 a quorum needs every player's signature, so a single
+    // silent (rational) player stalls it forever — the strong-quorum
+    // regime the paper's Table 1 / Claim 1 rule out, kept deployable so
+    // the empirical deviation engine can measure the profitable abstention
+    // it admits.
+    m[Protocol::kUnanimous] = ProtocolTraits{
+        "unanimous", &cft_t0,
+        [](NodeId id, const NodeEnv& env)
+            -> std::unique_ptr<consensus::IReplica> {
+          baselines::QuorumNode::Deps deps = make_quorum_deps(id, env);
+          deps.proto = consensus::ProtoId::kQuorumDemo;
+          deps.tau = env.cfg.n;
+          return std::make_unique<baselines::QuorumNode>(std::move(deps));
+        }};
     return m;
   }();
   return map;
@@ -67,7 +83,7 @@ prft::PrftNode::Deps make_prft_deps(NodeId id, const NodeEnv& env,
   deps.registry = &env.registry;
   deps.keys = env.registry.generate(id, env.seed);
   deps.deposits = &env.deposits;
-  deps.behavior = std::move(behavior);
+  deps.behavior = behavior != nullptr ? std::move(behavior) : env.behavior;
   return deps;
 }
 
@@ -77,6 +93,7 @@ baselines::HotstuffNode::Deps make_hotstuff_deps(NodeId id,
   deps.cfg = env.cfg;
   deps.registry = &env.registry;
   deps.keys = env.registry.generate(id, env.seed);
+  deps.behavior = env.behavior;
   return deps;
 }
 
@@ -86,6 +103,7 @@ baselines::RaftLiteNode::Deps make_raftlite_deps(NodeId id,
   deps.cfg = env.cfg;
   deps.registry = &env.registry;
   deps.keys = env.registry.generate(id, env.seed);
+  deps.behavior = env.behavior;
   return deps;
 }
 
@@ -99,6 +117,7 @@ baselines::QuorumNode::Deps make_quorum_deps(NodeId id, const NodeEnv& env,
   deps.registry = &env.registry;
   deps.keys = env.registry.generate(id, env.seed);
   deps.deposits = &env.deposits;
+  deps.behavior = env.behavior;
   return deps;
 }
 

@@ -30,6 +30,8 @@ const char* to_string(Protocol proto) {
       return "raftlite";
     case Protocol::kQuorum:
       return "quorum";
+    case Protocol::kUnanimous:
+      return "unanimous";
   }
   return "unknown-protocol";
 }
@@ -161,12 +163,6 @@ std::string RunReport::label() const {
 Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
   const ProtocolTraits& traits = protocol_traits(spec_.protocol);
   const CommitteeSpec& com = spec_.committee;
-  if (spec_.protocol != Protocol::kPrft && !spec_.adversary.behaviors.empty()) {
-    throw std::invalid_argument(
-        "ScenarioSpec: AdversaryPlan::behaviors are pRFT strategy hooks; use "
-        "node_factory for " +
-        std::string(traits.name));
-  }
 
   cfg_.n = com.n;
   cfg_.t0 = com.t0.value_or(traits.default_t0(com.n));
@@ -182,17 +178,16 @@ Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
   deposits_->register_players(com.n);
   cluster_ = std::make_unique<net::Cluster>(spec_.net.build(), spec_.seed);
 
-  const NodeEnv env{cfg_, *registry_, *deposits_, spec_.seed};
   for (NodeId id = 0; id < com.n; ++id) {
+    NodeEnv env{cfg_, *registry_, *deposits_, spec_.seed, nullptr};
+    const auto it = spec_.adversary.behaviors.find(id);
+    if (it != spec_.adversary.behaviors.end()) env.behavior = it->second;
     std::unique_ptr<consensus::IReplica> replica;
     if (spec_.adversary.node_factory) {
       replica = spec_.adversary.node_factory(id, env);
     }
     if (!replica) {
-      const auto it = spec_.adversary.behaviors.find(id);
-      replica = it != spec_.adversary.behaviors.end()
-                    ? make_prft_replica(id, env, it->second)
-                    : traits.make_replica(id, env);
+      replica = traits.make_replica(id, env);
     }
     replicas_.push_back(replica.get());
     if (spec_.sync_plan.enabled) {
@@ -415,6 +410,22 @@ RunReport Simulation::report() const {
       static_cast<std::uint8_t>(consensus::ProtoId::kSync));
   r.sync_messages = sync_traffic.count;
   r.sync_bytes = sync_traffic.bytes;
+  for (sync::CatchupDriver* d : drivers_) {
+    r.sync_piggybacked += d->announces_piggybacked();
+  }
+  r.accounts.resize(spec_.committee.n);
+  for (NodeId id = 0; id < spec_.committee.n; ++id) {
+    PlayerAccount& acc = r.accounts[id];
+    acc.player = id;
+    acc.honest = replicas_[id]->is_honest();
+    acc.crashed = cluster_->crashed(id);
+    acc.slashed = deposits_->slashed(id);
+    acc.deposit_delta = deposits_->delta(id);
+    const net::MsgCounter sent = cluster_->stats().for_sender(id);
+    acc.messages = sent.count;
+    acc.bytes = sent.bytes;
+  }
+  r.penalties = deposits_->events();
   r.sim_time = cluster_->now();
   r.gst = cluster_->net().gst();
   r.finalized_at = finalized_at_;

@@ -39,7 +39,9 @@ enum class Protocol : std::uint8_t {
   kPrft = 0,
   kHotStuff = 1,
   kRaftLite = 2,
-  kQuorum = 3,  ///< pBFT-style two-phase quorum baseline
+  kQuorum = 3,      ///< pBFT-style two-phase quorum baseline
+  kUnanimous = 4,   ///< strong-quorum baseline: τ = n (Claim 1's
+                    ///<   τ > n − t0 regime — any silent player stalls it)
 };
 
 [[nodiscard]] const char* to_string(NetKind kind);
@@ -122,16 +124,21 @@ struct NodeEnv {
   crypto::KeyRegistry& registry;
   ledger::DepositLedger& deposits;
   std::uint64_t seed = 1;  ///< key-generation seed (the scenario seed)
+  /// Rational-strategy hooks for this node (AdversaryPlan::behaviors);
+  /// the registry's deps helpers thread it into every protocol's replica.
+  std::shared_ptr<consensus::Behavior> behavior;
 };
 
 /// Who deviates, and how. Two levers, composable:
-///  * `behaviors`: pRFT rational-strategy hooks (π_abs, π_pc, …) keyed by
-///    player — the paper's strategy space §4.1.2.
+///  * `behaviors`: rational-strategy hooks (π_abs, π_pc, π_lazy, …) keyed
+///    by player — the paper's strategy space §4.1.2. Every registered
+///    protocol honors them: the node consults the hook before each phase
+///    send and when building blocks.
 ///  * `node_factory`: full replica replacement for any protocol (fork
 ///    agents, spammers, per-node QuorumNode knobs). Return nullptr to get
 ///    the registry's default honest replica for that id.
 struct AdversaryPlan {
-  std::map<NodeId, std::shared_ptr<prft::Behavior>> behaviors;
+  std::map<NodeId, std::shared_ptr<consensus::Behavior>> behaviors;
   std::function<std::unique_ptr<consensus::IReplica>(NodeId, const NodeEnv&)>
       node_factory;
   [[nodiscard]] bool empty() const {
@@ -192,6 +199,19 @@ struct ScenarioSpec {
   [[nodiscard]] std::string label() const;
 };
 
+/// Per-player economics and traffic of one run — exposed so external
+/// tooling (the empirical payoff engine, dashboards) does not have to
+/// re-derive deltas from the chain and the deposit ledger.
+struct PlayerAccount {
+  NodeId player = kNoNode;
+  bool honest = true;            ///< replica ran the honest protocol π_0
+  bool crashed = false;          ///< crash-stopped by the fault plan
+  bool slashed = false;          ///< a PoF burned this player's deposit
+  std::int64_t deposit_delta = 0;  ///< end balance − collateral (≤ 0)
+  std::uint64_t messages = 0;    ///< wire messages this player sent
+  std::uint64_t bytes = 0;       ///< wire bytes this player sent
+};
+
 /// Outcome of one scenario run: the shared safety predicates every
 /// configuration must uphold, plus traffic and timing.
 struct RunReport {
@@ -212,7 +232,16 @@ struct RunReport {
   std::uint64_t messages = 0;  ///< network sends observed
   std::uint64_t bytes = 0;     ///< network bytes observed
   std::uint64_t sync_messages = 0;  ///< catch-up (ProtoId::kSync) sends
-  std::uint64_t sync_bytes = 0;     ///< catch-up bytes
+  std::uint64_t sync_bytes = 0;     ///< catch-up bytes (piggyback overhead
+                                    ///<   included)
+  /// Announces that rode outgoing protocol messages instead of being
+  /// broadcast on their own — each one is a send saved from sync_messages.
+  std::uint64_t sync_piggybacked = 0;
+
+  /// Per-player deposit deltas, slashes and traffic (index = NodeId).
+  std::vector<PlayerAccount> accounts;
+  /// Every deposit burn applied during the run, in application order.
+  std::vector<ledger::BurnEvent> penalties;
 
   SimTime sim_time = 0;  ///< virtual time when the run stopped
   /// The network model's GST (0 synchronous, kSimTimeNever asynchronous).

@@ -11,22 +11,39 @@ void DepositLedger::register_players(std::uint32_t n) {
   }
 }
 
-std::int64_t DepositLedger::burn(NodeId player) {
+std::int64_t DepositLedger::burn(NodeId player, Round round) {
+  // Idempotent: a second conviction of the same player is a no-op (no
+  // double-charge, no duplicate event).
+  const auto slashed_it = slashed_.find(player);
+  if (slashed_it != slashed_.end() && slashed_it->second) return 0;
+
   auto it = balances_.find(player);
-  if (it == balances_.end() || it->second == 0) {
-    slashed_[player] = true;
-    return 0;
-  }
-  const std::int64_t burned = it->second;
-  it->second = 0;
+  const std::int64_t burned =
+      (it == balances_.end()) ? 0 : it->second;
+  if (it != balances_.end()) it->second = 0;
   slashed_[player] = true;
   total_burned_ += burned;
+  events_.push_back({player, burned, round});
   return burned;
+}
+
+std::int64_t DepositLedger::withdraw(NodeId player) {
+  auto it = balances_.find(player);
+  if (it == balances_.end()) return 0;
+  const std::int64_t out = it->second;
+  it->second = 0;
+  return out;
 }
 
 std::int64_t DepositLedger::balance(NodeId player) const {
   const auto it = balances_.find(player);
   return it == balances_.end() ? 0 : it->second;
+}
+
+std::int64_t DepositLedger::delta(NodeId player) const {
+  const auto it = balances_.find(player);
+  if (it == balances_.end()) return 0;
+  return it->second - collateral_;
 }
 
 bool DepositLedger::slashed(NodeId player) const {

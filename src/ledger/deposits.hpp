@@ -8,6 +8,16 @@
 
 namespace ratcon::ledger {
 
+/// One penalty event: a verified Proof-of-Fraud burned `amount` of
+/// `player`'s remaining deposit during consensus round `round` (0 when the
+/// caller had no round context). Amount 0 records a conviction that found
+/// nothing left to burn (already slashed, withdrawn, or zero collateral).
+struct BurnEvent {
+  NodeId player = kNoNode;
+  std::int64_t amount = 0;
+  Round round = 0;
+};
+
 /// Collateral accounting (paper §4.1.2 Penalty and §5.3.1): every player
 /// deposits L before participating; a verified Proof-of-Fraud burns
 /// ("stashes") the deviating player's deposit. Honest players must never be
@@ -20,22 +30,39 @@ class DepositLedger {
   /// Registers `n` players each depositing the collateral L.
   void register_players(std::uint32_t n);
 
-  /// Burns the remaining deposit of `player` (idempotent). Returns the
-  /// amount burned by this call.
-  std::int64_t burn(NodeId player);
+  /// Burns the remaining deposit of `player` (idempotent: a player already
+  /// slashed yields no second event). Returns the amount burned by this
+  /// call. `round` tags the resulting BurnEvent with the consensus round
+  /// whose Proof-of-Fraud triggered it.
+  std::int64_t burn(NodeId player, Round round = 0);
+
+  /// Returns the player's remaining balance and zeroes it without marking
+  /// the player slashed (exit from the protocol; a later conviction then
+  /// finds nothing to burn).
+  std::int64_t withdraw(NodeId player);
 
   [[nodiscard]] std::int64_t balance(NodeId player) const;
   [[nodiscard]] bool slashed(NodeId player) const;
   [[nodiscard]] std::int64_t total_burned() const { return total_burned_; }
   [[nodiscard]] std::int64_t collateral() const { return collateral_; }
 
+  /// End-state balance minus the collateral deposited: 0 for an untouched
+  /// player, −L after a slash or withdraw (never registered players: 0).
+  [[nodiscard]] std::int64_t delta(NodeId player) const;
+
   /// All players whose deposit has been burned.
   [[nodiscard]] std::vector<NodeId> slashed_players() const;
+
+  /// Every penalty applied, in application order.
+  [[nodiscard]] const std::vector<BurnEvent>& events() const {
+    return events_;
+  }
 
  private:
   std::int64_t collateral_;
   std::map<NodeId, std::int64_t> balances_;
   std::map<NodeId, bool> slashed_;
+  std::vector<BurnEvent> events_;
   std::int64_t total_burned_ = 0;
 };
 

@@ -26,6 +26,10 @@ void Context::broadcast(Bytes data) {
   cluster_.deliver(self_, self_, std::move(data), /*count_stats=*/false);
 }
 
+void Context::self_deliver(Bytes data) {
+  cluster_.deliver(self_, self_, std::move(data), /*count_stats=*/false);
+}
+
 void Context::set_timer(std::uint64_t timer_id, SimTime delay) {
   cluster_.arm_timer(self_, timer_id, delay);
 }
@@ -123,8 +127,30 @@ SimTime Cluster::delivery_time_for(NodeId from, NodeId to) {
 
 void Cluster::deliver(NodeId from, NodeId to, Bytes data, bool count_stats) {
   if (count_stats && data.size() >= 2) {
-    stats_.record(data[0], data[1], data.size());
-    if (trace_) trace_(now(), from, to, data[0], data[1], data.size());
+    // Piggyback containers: attribute the inner message to its own class
+    // and the riding overhead to the overhead's class (bytes, no count).
+    bool recorded = false;
+    if (data[0] == kPiggybackMarker && data.size() >= kPiggybackHeader) {
+      const std::size_t inner_len =
+          static_cast<std::size_t>(data[1]) |
+          (static_cast<std::size_t>(data[2]) << 8) |
+          (static_cast<std::size_t>(data[3]) << 16) |
+          (static_cast<std::size_t>(data[4]) << 24);
+      const std::size_t tail_at = kPiggybackHeader + inner_len;
+      if (inner_len >= 2 && tail_at + 2 <= data.size()) {
+        const std::uint8_t* inner = data.data() + kPiggybackHeader;
+        const std::uint8_t* tail = data.data() + tail_at;
+        stats_.record(from, inner[0], inner[1], inner_len);
+        stats_.record_overhead(from, tail[0], tail[1],
+                               data.size() - inner_len);
+        if (trace_) trace_(now(), from, to, inner[0], inner[1], inner_len);
+        recorded = true;
+      }
+    }
+    if (!recorded) {
+      stats_.record(from, data[0], data[1], data.size());
+      if (trace_) trace_(now(), from, to, data[0], data[1], data.size());
+    }
   }
   const SimTime at =
       (from == to) ? now() : delivery_time_for(from, to);

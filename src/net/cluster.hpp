@@ -15,23 +15,37 @@ namespace ratcon::net {
 
 class Cluster;
 
+/// Piggyback container marker (src/sync): a wire message whose first byte
+/// is this value is `[marker][u32 LE inner_len][inner message][overhead]`
+/// — a normal protocol message with catch-up metadata riding along. The
+/// cluster's traffic stats attribute the inner message to its own class
+/// and the tail to the overhead's class (bytes only, no message count),
+/// so piggybacking never distorts per-protocol complexity measurements.
+/// ProtoId values are small; 0xFF can never collide with a real header.
+inline constexpr std::uint8_t kPiggybackMarker = 0xFF;
+inline constexpr std::size_t kPiggybackHeader = 5;  ///< marker + u32 length
+
 /// Handle protocol nodes use to talk to the simulated world. A fresh
 /// context is passed into every callback; nodes never hold onto it.
+/// `send`/`broadcast` are virtual so decorators (sync::CatchupDriver's
+/// piggyback path) can wrap a node's outbound traffic without the node
+/// knowing.
 class Context {
  public:
   Context(Cluster& cluster, NodeId self) : cluster_(cluster), self_(self) {}
+  virtual ~Context() = default;
 
   [[nodiscard]] SimTime now() const;
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] std::size_t cluster_size() const;
 
   /// Sends `data` to `to` through the network model (counted in stats).
-  void send(NodeId to, Bytes data);
+  virtual void send(NodeId to, Bytes data);
 
   /// Sends to every node. Self-delivery is immediate and not counted as
   /// network traffic; the paper's "Broadcast" includes the sender's own
   /// message (e.g. view-change counts "including their own").
-  void broadcast(Bytes data);
+  virtual void broadcast(Bytes data);
 
   /// (Re)arms timer `timer_id`; a previous pending timer with the same id is
   /// superseded.
@@ -42,6 +56,11 @@ class Context {
 
   /// Per-node deterministic RNG stream.
   [[nodiscard]] Rng& rng();
+
+ protected:
+  /// Immediate, stats-free self-delivery (what broadcast does for the
+  /// sender's own copy) — for decorating subclasses.
+  void self_deliver(Bytes data);
 
  private:
   Cluster& cluster_;

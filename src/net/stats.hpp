@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "common/ids.hpp"
+
 namespace ratcon::net {
 
 /// Count/byte totals for one message class.
@@ -16,15 +18,40 @@ struct MsgCounter {
 /// Per-run network traffic accounting. Every wire message starts with a
 /// [protocol id, message type] header, so the cluster can tally traffic per
 /// message class without parsing payloads. Used to *measure* Figure 3's
-/// message complexity and size columns rather than asserting formulas.
+/// message complexity and size columns rather than asserting formulas, and
+/// — per sender — to charge the rational players' per-message costs in the
+/// empirical payoff engine (src/rational).
 class TrafficStats {
  public:
+  void record(NodeId from, std::uint8_t proto, std::uint8_t type,
+              std::size_t bytes) {
+    record(proto, type, bytes);
+    auto& s = per_sender_[from];
+    s.count += 1;
+    s.bytes += bytes;
+    auto& sp = per_sender_proto_[{from, proto}];
+    sp.count += 1;
+    sp.bytes += bytes;
+  }
+
+  /// Sender-less form for direct/unit use; per-sender tallies unaffected.
   void record(std::uint8_t proto, std::uint8_t type, std::size_t bytes) {
     auto& c = per_type_[{proto, type}];
     c.count += 1;
     c.bytes += bytes;
     total_.count += 1;
     total_.bytes += bytes;
+  }
+
+  /// Overhead bytes that rode an existing message instead of being a send
+  /// of their own (piggybacked catch-up announces): bytes are charged to
+  /// the class, the message count is not.
+  void record_overhead(NodeId from, std::uint8_t proto, std::uint8_t type,
+                       std::size_t bytes) {
+    per_type_[{proto, type}].bytes += bytes;
+    total_.bytes += bytes;
+    per_sender_[from].bytes += bytes;
+    per_sender_proto_[{from, proto}].bytes += bytes;
   }
 
   [[nodiscard]] const MsgCounter& total() const { return total_; }
@@ -48,6 +75,20 @@ class TrafficStats {
     return out;
   }
 
+  /// Everything node `from` put on the wire (self-deliveries excluded, as
+  /// they are not network traffic).
+  [[nodiscard]] MsgCounter for_sender(NodeId from) const {
+    const auto it = per_sender_.find(from);
+    return it == per_sender_.end() ? MsgCounter{} : it->second;
+  }
+
+  /// Node `from`'s traffic in one protocol class.
+  [[nodiscard]] MsgCounter for_sender_proto(NodeId from,
+                                            std::uint8_t proto) const {
+    const auto it = per_sender_proto_.find({from, proto});
+    return it == per_sender_proto_.end() ? MsgCounter{} : it->second;
+  }
+
   [[nodiscard]] const std::map<std::pair<std::uint8_t, std::uint8_t>,
                                MsgCounter>&
   per_type() const {
@@ -56,11 +97,15 @@ class TrafficStats {
 
   void reset() {
     per_type_.clear();
+    per_sender_.clear();
+    per_sender_proto_.clear();
     total_ = MsgCounter{};
   }
 
  private:
   std::map<std::pair<std::uint8_t, std::uint8_t>, MsgCounter> per_type_;
+  std::map<NodeId, MsgCounter> per_sender_;
+  std::map<std::pair<NodeId, std::uint8_t>, MsgCounter> per_sender_proto_;
   MsgCounter total_;
 };
 

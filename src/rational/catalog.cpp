@@ -1,0 +1,184 @@
+#include "rational/catalog.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "adversary/behaviors.hpp"
+#include "adversary/fork_agent.hpp"
+#include "baselines/quorum_node.hpp"
+#include "harness/protocols.hpp"
+
+namespace ratcon::rational {
+
+using game::Strategy;
+using harness::Protocol;
+
+std::set<NodeId> ProfileSpec::effective_coalition() const {
+  if (!coalition.empty()) return coalition;
+  std::set<NodeId> out;
+  for (const auto& [id, s] : strategies) {
+    if (s == Strategy::kPartialCensor || s == Strategy::kDoubleSign) {
+      out.insert(id);
+    }
+  }
+  return out;
+}
+
+std::string ProfileSpec::label() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [id, s] : strategies) {
+    if (s == Strategy::kHonest) continue;
+    if (!first) os << " ";
+    first = false;
+    os << "P" << id << ":" << game::to_string(s);
+  }
+  return first ? "all-honest" : os.str();
+}
+
+Strategy strategy_from_name(std::string_view name) {
+  if (name == "pi_0" || name == "honest") return Strategy::kHonest;
+  if (name == "pi_abs" || name == "abstain") return Strategy::kAbstain;
+  if (name == "pi_ds" || name == "pi_fork" || name == "double-sign") {
+    return Strategy::kDoubleSign;
+  }
+  if (name == "pi_pc" || name == "partial-censor") {
+    return Strategy::kPartialCensor;
+  }
+  if (name == "pi_bait" || name == "bait") return Strategy::kBait;
+  if (name == "pi_free" || name == "free-ride" ||
+      name == "free-ride-on-catchup") {
+    return Strategy::kFreeRide;
+  }
+  if (name == "pi_lazy" || name == "lazy-vote") return Strategy::kLazyVote;
+  throw std::invalid_argument("strategy_from_name: unknown strategy '" +
+                              std::string(name) + "'");
+}
+
+bool strategy_supported(Protocol proto, Strategy s) {
+  switch (s) {
+    case Strategy::kHonest:
+    case Strategy::kAbstain:
+    case Strategy::kPartialCensor:
+    case Strategy::kFreeRide:
+    case Strategy::kLazyVote:
+      return true;  // behavior hooks exist on every registered protocol
+    case Strategy::kDoubleSign:
+      return proto == Protocol::kPrft || proto == Protocol::kQuorum ||
+             proto == Protocol::kUnanimous;
+    case Strategy::kBait:
+      // Baiting is "run the honest protocol and expose the coalition" —
+      // it needs an accountability mechanism to report into.
+      return proto == Protocol::kPrft;
+  }
+  return false;
+}
+
+std::shared_ptr<consensus::Behavior> make_behavior(
+    Strategy s, NodeId id, const ProfileSpec& profile) {
+  switch (s) {
+    case Strategy::kHonest:
+    case Strategy::kBait:
+      return nullptr;  // the honest machine exposes by default
+    case Strategy::kAbstain:
+      return std::make_shared<adversary::AbstainBehavior>();
+    case Strategy::kPartialCensor: {
+      std::set<NodeId> coalition = profile.effective_coalition();
+      coalition.insert(id);
+      return std::make_shared<adversary::PartialCensorBehavior>(
+          std::move(coalition), profile.censored_txs);
+    }
+    case Strategy::kFreeRide:
+      return std::make_shared<adversary::FreeRideBehavior>();
+    case Strategy::kLazyVote:
+      return std::make_shared<adversary::LazyVoteBehavior>();
+    case Strategy::kDoubleSign:
+      throw std::invalid_argument(
+          "make_behavior: pi_ds needs a node subclass, not a behavior hook");
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Splits the non-coalition players into the two sides a π_ds coalition
+/// shows its conflicting values to (the partition geometry of §4.1.2's
+/// disagreement attack).
+void split_sides(std::uint32_t n, const std::set<NodeId>& coalition,
+                 std::set<NodeId>& side_a, std::set<NodeId>& side_b) {
+  std::vector<NodeId> rest;
+  for (NodeId id = 0; id < n; ++id) {
+    if (!coalition.count(id)) rest.push_back(id);
+  }
+  const std::size_t half = (rest.size() + 1) / 2;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    (i < half ? side_a : side_b).insert(rest[i]);
+  }
+}
+
+}  // namespace
+
+void apply_profile(harness::ScenarioSpec& spec, const ProfileSpec& profile) {
+  const Protocol proto = spec.protocol;
+  std::set<NodeId> ds_players;
+  for (const auto& [id, s] : profile.strategies) {
+    if (id >= spec.committee.n) {
+      throw std::invalid_argument("apply_profile: player " +
+                                  std::to_string(id) +
+                                  " outside committee of " +
+                                  std::to_string(spec.committee.n));
+    }
+    if (!strategy_supported(proto, s)) {
+      throw std::invalid_argument(
+          std::string("apply_profile: ") + game::to_string(s) +
+          " is not executable under " + to_string(proto));
+    }
+    if (s == Strategy::kDoubleSign) {
+      ds_players.insert(id);
+    } else if (s != Strategy::kHonest && s != Strategy::kBait) {
+      spec.adversary.behaviors[id] = make_behavior(s, id, profile);
+    }
+  }
+  if (ds_players.empty()) return;
+
+  // π_ds: wire the coalition's fork plan through a node factory.
+  std::set<NodeId> coalition = profile.effective_coalition();
+  coalition.insert(ds_players.begin(), ds_players.end());
+
+  if (proto == Protocol::kPrft) {
+    auto plan = std::make_shared<adversary::ForkPlan>();
+    plan->n = spec.committee.n;
+    plan->coalition = coalition;
+    split_sides(spec.committee.n, coalition, plan->side_a, plan->side_b);
+    spec.adversary.node_factory =
+        [plan, ds_players](NodeId id, const harness::NodeEnv& env)
+        -> std::unique_ptr<consensus::IReplica> {
+      if (!ds_players.count(id)) return nullptr;
+      return std::make_unique<adversary::ForkAgentNode>(
+          harness::make_prft_deps(id, env), plan);
+    };
+    return;
+  }
+
+  // Quorum family (pBFT-style and the unanimous strong-quorum variant).
+  auto plan = std::make_shared<baselines::QuorumForkPlan>();
+  plan->n = spec.committee.n;
+  plan->coalition = coalition;
+  split_sides(spec.committee.n, coalition, plan->side_a, plan->side_b);
+  const bool unanimous = proto == Protocol::kUnanimous;
+  spec.adversary.node_factory =
+      [plan, ds_players, unanimous](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
+    if (!ds_players.count(id)) return nullptr;
+    baselines::QuorumNode::Deps deps = harness::make_quorum_deps(id, env);
+    if (unanimous) {
+      deps.proto = consensus::ProtoId::kQuorumDemo;
+      deps.tau = env.cfg.n;
+    }
+    deps.fork_plan = plan;
+    return std::make_unique<baselines::QuorumNode>(std::move(deps));
+  };
+}
+
+}  // namespace ratcon::rational

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "consensus/behavior.hpp"
+#include "game/utility.hpp"
+#include "harness/scenario.hpp"
+
+namespace ratcon::rational {
+
+/// StrategyCatalog: the executable side of the paper's strategy space
+/// (§4.1.2). Every `game::Strategy` maps to concrete replica behavior for
+/// every protocol in the harness registry, so any player slot of a
+/// ScenarioSpec can be assigned a strategy by name and the resulting runs
+/// feed the empirical payoff engine (payoff.hpp) and deviation explorer
+/// (explorer.hpp).
+///
+/// Strategy → mechanism, per protocol:
+///  * π_0 (honest)          every protocol   registry default replica
+///  * π_abs, π_pc, π_free,  every protocol   consensus::Behavior hooks
+///    π_lazy                                 (phase gates + censor filter)
+///  * π_ds (double-sign)    pRFT             adversary::ForkAgentNode
+///                          quorum family    QuorumForkPlan coalition
+///                          hotstuff/raft    unsupported (no equivocation
+///                                           machinery on the honest-path
+///                                           baselines)
+///  * π_bait                pRFT             honest + expose (the default
+///                                           honest player already baits)
+///                          others           unsupported (needs the
+///                                           accountable TRAP substrate)
+
+/// One executable strategy assignment over a committee: who plays what,
+/// plus the context shared by the deviating strategies.
+struct ProfileSpec {
+  /// Player → strategy; absent players run π_0.
+  std::map<NodeId, game::Strategy> strategies;
+
+  /// π_pc's watched transaction set ("tx_h ∉ tx").
+  std::set<std::uint64_t> censored_txs;
+
+  /// Coalition backing π_pc / π_ds players. Empty = derived: every player
+  /// assigned π_pc or π_ds forms the coalition (a lone deviator gets the
+  /// unilateral coalition {self}).
+  std::set<NodeId> coalition;
+
+  [[nodiscard]] game::Strategy of(NodeId id) const {
+    const auto it = strategies.find(id);
+    return it == strategies.end() ? game::Strategy::kHonest : it->second;
+  }
+
+  /// The effective coalition (see `coalition`).
+  [[nodiscard]] std::set<NodeId> effective_coalition() const;
+
+  /// "P3:pi_abs P5:pi_pc" (honest players elided) — for labels.
+  [[nodiscard]] std::string label() const;
+};
+
+/// Parses "pi_0", "pi_abs", "pi_ds", "pi_pc", "pi_bait", "pi_free",
+/// "pi_lazy" (also accepts the bare names "honest", "abstain",
+/// "double-sign", "partial-censor", "bait", "free-ride-on-catchup" /
+/// "free-ride", "lazy-vote"). Throws std::invalid_argument otherwise.
+[[nodiscard]] game::Strategy strategy_from_name(std::string_view name);
+
+/// Whether the catalog can execute `s` under `proto` (see table above).
+[[nodiscard]] bool strategy_supported(harness::Protocol proto,
+                                      game::Strategy s);
+
+/// Builds the consensus::Behavior implementing a behavior-expressible
+/// strategy for player `id` (nullptr for π_0 / π_bait — the honest machine
+/// is the implementation). Throws for π_ds, which needs a node subclass.
+[[nodiscard]] std::shared_ptr<consensus::Behavior> make_behavior(
+    game::Strategy s, NodeId id, const ProfileSpec& profile);
+
+/// Applies `profile` onto `spec.adversary`: behavior hooks for the
+/// behavior-expressible strategies and a node factory for π_ds coalitions.
+/// Requires `spec.protocol` and `spec.committee.n` to be final. Throws
+/// std::invalid_argument when a strategy is unsupported for the protocol.
+void apply_profile(harness::ScenarioSpec& spec, const ProfileSpec& profile);
+
+}  // namespace ratcon::rational

@@ -1,0 +1,256 @@
+#include "rational/explorer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/protocols.hpp"
+#include "harness/table.hpp"
+
+namespace ratcon::rational {
+
+using game::Strategy;
+using harness::NetKind;
+using harness::Protocol;
+using harness::ScenarioSpec;
+using harness::Simulation;
+
+harness::ScenarioSpec ExplorerSpec::to_scenario(
+    Protocol proto, std::uint32_t n, NetKind net, std::uint64_t seed,
+    const ProfileSpec& profile) const {
+  ScenarioSpec scenario;
+  scenario.protocol = proto;
+  scenario.seed = seed;
+  scenario.committee.n = n;
+  scenario.net.kind = net;
+  scenario.net.delta = delta;
+  scenario.net.gst = gst;
+  scenario.net.hold_probability = hold_probability;
+  scenario.workload.txs = workload_txs;
+  scenario.workload.start = msec(1);
+  scenario.workload.interval = msec(2);
+  scenario.budget.target_blocks = target_blocks;
+  scenario.budget.horizon = horizon;
+  scenario.sync_plan.enabled = sync_enabled;
+  apply_profile(scenario, profile);
+  return scenario;
+}
+
+namespace {
+
+struct CellKey {
+  Protocol proto;
+  std::uint32_t n;
+  NetKind net;
+};
+
+/// All |strategy_space|^|players| assignments, odometer order (profile 0 =
+/// every player on strategy_space[0]).
+std::vector<std::vector<int>> enumerate_profiles(std::size_t players,
+                                                 std::size_t strategies) {
+  std::vector<std::vector<int>> out;
+  std::vector<int> current(players, 0);
+  while (true) {
+    out.push_back(current);
+    std::size_t p = players;
+    while (p > 0) {
+      --p;
+      if (++current[p] < static_cast<int>(strategies)) break;
+      current[p] = 0;
+      if (p == 0) return out;
+    }
+  }
+}
+
+}  // namespace
+
+std::string CellVerdict::label() const {
+  std::ostringstream os;
+  os << to_string(protocol) << "/n=" << n << "/" << to_string(net);
+  return os.str();
+}
+
+bool ExplorerReport::all_eps_equilibria() const {
+  for (const CellVerdict& cell : cells) {
+    if (!cell.base_is_eps_equilibrium) return false;
+  }
+  return true;
+}
+
+std::string ExplorerReport::summary() const {
+  harness::Table t({"cell", "base U", "eps-BR?", "best deviation", "gain"});
+  for (const CellVerdict& cell : cells) {
+    const Deviation* best = cell.best_deviation();
+    std::ostringstream dev;
+    if (best != nullptr) {
+      dev << "P" << best->player << " -> " << game::to_string(best->strategy);
+    } else {
+      dev << "-";
+    }
+    t.add_row({cell.label(),
+               harness::fmt(cell.game.payoff(cell.base_profile, 0), 3),
+               cell.base_is_eps_equilibrium ? "yes" : "NO",
+               dev.str(),
+               best != nullptr ? harness::fmt(best->gain, 3) : "-"});
+  }
+  return t.render();
+}
+
+ExplorerReport explore(const ExplorerSpec& spec) {
+  if (spec.players.empty()) {
+    throw std::invalid_argument("explore: need at least one modeled player");
+  }
+  const auto honest_it =
+      std::find(spec.strategy_space.begin(), spec.strategy_space.end(),
+                Strategy::kHonest);
+  if (honest_it == spec.strategy_space.end()) {
+    throw std::invalid_argument("explore: strategy_space must contain pi_0");
+  }
+  const int honest_index =
+      static_cast<int>(honest_it - spec.strategy_space.begin());
+  // Every axis must be non-empty: an empty seed list would average 0/0
+  // into NaN payoffs (which is_nash silently certifies), and empty cell
+  // axes would make all_eps_equilibria() vacuously true.
+  if (spec.seeds.empty() || spec.protocols.empty() ||
+      spec.committee_sizes.empty() || spec.nets.empty()) {
+    throw std::invalid_argument(
+        "explore: protocols/committee_sizes/nets/seeds must be non-empty");
+  }
+
+  // Validate the whole sweep up front: every strategy any profile can
+  // assign must be executable under every swept protocol (cheaper and
+  // clearer than a mid-sweep throw from a worker thread).
+  for (Protocol proto : spec.protocols) {
+    for (Strategy s : spec.strategy_space) {
+      if (!strategy_supported(proto, s)) {
+        throw std::invalid_argument(std::string("explore: ") +
+                                    game::to_string(s) +
+                                    " is not executable under " +
+                                    to_string(proto));
+      }
+    }
+    for (const auto& [id, s] : spec.base.strategies) {
+      if (!strategy_supported(proto, s)) {
+        throw std::invalid_argument(std::string("explore: base profile ") +
+                                    game::to_string(s) +
+                                    " is not executable under " +
+                                    to_string(proto));
+      }
+    }
+  }
+
+  std::vector<CellKey> cells;
+  for (Protocol proto : spec.protocols) {
+    for (std::uint32_t n : spec.committee_sizes) {
+      for (NetKind net : spec.nets) {
+        cells.push_back({proto, n, net});
+      }
+    }
+  }
+  const std::vector<std::vector<int>> profiles = enumerate_profiles(
+      spec.players.size(), spec.strategy_space.size());
+
+  // Flat run list: cell-major, then profile, then seed — so slot addresses
+  // are stable and a parallel sweep fills exactly what a serial one does.
+  const std::size_t runs_per_cell = profiles.size() * spec.seeds.size();
+  const std::size_t total_runs = cells.size() * runs_per_cell;
+  // utilities[run][modeled player]
+  std::vector<std::vector<double>> utilities(
+      total_runs, std::vector<double>(spec.players.size(), 0.0));
+
+  // Warm the registry before fanning out (thread-safe magic static).
+  for (Protocol proto : spec.protocols) {
+    (void)harness::protocol_traits(proto);
+  }
+
+  PayoffParams payoff = spec.payoff;
+  for (NodeId player : spec.players) payoff.thetas[player] = spec.theta;
+  if (payoff.window == 0) payoff.window = spec.target_blocks;
+  const PayoffAccountant accountant(payoff);
+
+  harness::parallel_cells(total_runs, spec.workers, [&](std::size_t run) {
+    const std::size_t cell_idx = run / runs_per_cell;
+    const std::size_t in_cell = run % runs_per_cell;
+    const std::size_t profile_idx = in_cell / spec.seeds.size();
+    const std::size_t seed_idx = in_cell % spec.seeds.size();
+    const CellKey& cell = cells[cell_idx];
+
+    ProfileSpec profile = spec.base;
+    for (std::size_t p = 0; p < spec.players.size(); ++p) {
+      profile.strategies[spec.players[p]] =
+          spec.strategy_space[static_cast<std::size_t>(
+              profiles[profile_idx][p])];
+    }
+    Simulation sim(spec.to_scenario(cell.proto, cell.n, cell.net,
+                                    spec.seeds[seed_idx], profile));
+    (void)sim.run_to_completion();
+    const PayoffReport report = accountant.account(sim);
+    for (std::size_t p = 0; p < spec.players.size(); ++p) {
+      utilities[run][p] = report.of(spec.players[p]).utility;
+    }
+  });
+
+  ExplorerReport report;
+  report.cells.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellVerdict verdict{
+        cells[c].proto,
+        cells[c].n,
+        cells[c].net,
+        game::NormalFormGame(std::vector<int>(
+            spec.players.size(), static_cast<int>(spec.strategy_space.size()))),
+        game::Profile(spec.players.size(), honest_index),
+        /*base_is_eps_equilibrium=*/false,
+        /*profitable=*/{}};
+    for (std::size_t p = 0; p < spec.players.size(); ++p) {
+      verdict.game.set_player_name(static_cast<int>(p),
+                                   "P" + std::to_string(spec.players[p]));
+      for (std::size_t s = 0; s < spec.strategy_space.size(); ++s) {
+        verdict.game.set_strategy_name(
+            static_cast<int>(p), static_cast<int>(s),
+            game::to_string(spec.strategy_space[s]));
+      }
+    }
+    for (std::size_t profile_idx = 0; profile_idx < profiles.size();
+         ++profile_idx) {
+      for (std::size_t p = 0; p < spec.players.size(); ++p) {
+        double mean = 0.0;
+        for (std::size_t seed_idx = 0; seed_idx < spec.seeds.size();
+             ++seed_idx) {
+          const std::size_t run = c * runs_per_cell +
+                                  profile_idx * spec.seeds.size() + seed_idx;
+          mean += utilities[run][p];
+        }
+        mean /= static_cast<double>(spec.seeds.size());
+        verdict.game.set_payoff(profiles[profile_idx], static_cast<int>(p),
+                                mean);
+      }
+    }
+
+    verdict.base_is_eps_equilibrium =
+        verdict.game.is_nash(verdict.base_profile, spec.epsilon);
+    for (std::size_t p = 0; p < spec.players.size(); ++p) {
+      const double base_u =
+          verdict.game.payoff(verdict.base_profile, static_cast<int>(p));
+      game::Profile deviated = verdict.base_profile;
+      for (std::size_t s = 0; s < spec.strategy_space.size(); ++s) {
+        if (static_cast<int>(s) == honest_index) continue;
+        deviated[p] = static_cast<int>(s);
+        const double gain =
+            verdict.game.payoff(deviated, static_cast<int>(p)) - base_u;
+        if (gain > spec.epsilon) {
+          verdict.profitable.push_back(
+              {spec.players[p], spec.strategy_space[s], gain});
+        }
+      }
+    }
+    std::stable_sort(verdict.profitable.begin(), verdict.profitable.end(),
+                     [](const Deviation& a, const Deviation& b) {
+                       return a.gain > b.gain;
+                     });
+    report.cells.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+}  // namespace ratcon::rational

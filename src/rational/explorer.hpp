@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "game/normal_form.hpp"
+#include "harness/matrix.hpp"
+#include "rational/catalog.hpp"
+#include "rational/payoff.hpp"
+
+namespace ratcon::rational {
+
+/// DeviationExplorer: sweeps unilateral (and small-coalition) deviations
+/// from a base profile across matrix cells (protocol × committee size ×
+/// network preset × seeds), assembles an empirical NormalFormGame per cell
+/// from PayoffAccountant utilities, and emits an ε-best-response
+/// certificate: is the base profile an ε-equilibrium for the modeled
+/// players, and which deviations are strictly profitable? This is what
+/// turns the paper's equilibrium claims (Lemma 4, Theorems 1–3) from
+/// closed-form assertions into measurements of the actual protocols.
+struct ExplorerSpec {
+  // -- Cell axes (crossed, like MatrixSpec) --------------------------------
+  std::vector<harness::Protocol> protocols{harness::Protocol::kPrft};
+  std::vector<std::uint32_t> committee_sizes{8};
+  std::vector<harness::NetKind> nets{harness::NetKind::kSynchronous};
+  /// Utilities are averaged over these seeds (Monte-Carlo smoothing); the
+  /// per-seed runs are deterministic, so so is the whole sweep.
+  std::vector<std::uint64_t> seeds{1, 2, 3};
+
+  // -- The game ------------------------------------------------------------
+  /// Player slots modeled as rational deciders. One slot = unilateral
+  /// deviations; k slots = a coalition game with |strategy_space|^k
+  /// simulated profiles per cell.
+  std::vector<NodeId> players{0};
+  /// Strategies each modeled player chooses among. Must contain π_0.
+  std::vector<game::Strategy> strategy_space{game::Strategy::kHonest,
+                                             game::Strategy::kAbstain};
+  /// The modeled players' type θ (Table 2).
+  game::Theta theta = 3;
+  /// Fixed environment: strategies of non-modeled players (the threat
+  /// model's Byzantine backdrop), censored-tx set, coalition override.
+  ProfileSpec base;
+  /// Utility accounting (α, L, δ, message costs, censorship probe).
+  PayoffParams payoff;
+  /// Monte-Carlo tolerance of the certificate: a deviation must beat the
+  /// base profile by more than ε to count as profitable.
+  double epsilon = 1e-6;
+
+  // -- Scenario knobs per cell ---------------------------------------------
+  std::uint64_t target_blocks = 3;
+  std::uint64_t workload_txs = 6;
+  SimTime delta = msec(10);
+  SimTime gst = msec(200);
+  double hold_probability = 0.9;
+  SimTime horizon = sec(120);
+  bool sync_enabled = true;
+
+  /// Worker threads for the sweep (harness::parallel_cells); every run is
+  /// an isolated seeded Simulation, so results are identical serial or
+  /// parallel. 0 = hardware concurrency, 1 = serial.
+  std::uint32_t workers = 0;
+
+  /// The ScenarioSpec one (cell, profile, seed) run executes.
+  [[nodiscard]] harness::ScenarioSpec to_scenario(
+      harness::Protocol proto, std::uint32_t n, harness::NetKind net,
+      std::uint64_t seed, const ProfileSpec& profile) const;
+};
+
+/// A unilateral deviation that beat the base profile in one cell.
+struct Deviation {
+  NodeId player = kNoNode;
+  game::Strategy strategy = game::Strategy::kHonest;
+  double gain = 0.0;  ///< mean utility minus the base profile's
+};
+
+/// One cell's empirical game and certificate.
+struct CellVerdict {
+  harness::Protocol protocol{};
+  std::uint32_t n = 0;
+  harness::NetKind net{};
+
+  /// The empirical game: player p's strategies are `strategy_space`
+  /// indices; payoffs are seed-averaged PayoffAccountant utilities.
+  game::NormalFormGame game;
+  game::Profile base_profile;  ///< the base strategies' indices
+
+  /// ε-best-response certificate for the base profile (Definition 4's
+  /// inequality on the empirical table).
+  bool base_is_eps_equilibrium = false;
+  /// Unilateral deviations with gain > ε, most profitable first.
+  std::vector<Deviation> profitable;
+
+  [[nodiscard]] const Deviation* best_deviation() const {
+    return profitable.empty() ? nullptr : &profitable.front();
+  }
+  [[nodiscard]] std::string label() const;
+};
+
+/// The full sweep's verdicts plus a printable summary.
+struct ExplorerReport {
+  std::vector<CellVerdict> cells;
+
+  [[nodiscard]] bool all_eps_equilibria() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the sweep: |cells| × |strategy_space|^|players| × |seeds|
+/// simulations, parallel across runs.
+[[nodiscard]] ExplorerReport explore(const ExplorerSpec& spec);
+
+}  // namespace ratcon::rational

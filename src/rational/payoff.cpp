@@ -1,0 +1,123 @@
+#include "rational/payoff.hpp"
+
+#include <algorithm>
+
+#include "consensus/outcome.hpp"
+#include "ledger/chain.hpp"
+
+namespace ratcon::rational {
+
+std::vector<game::SystemState> PayoffAccountant::classify_heights(
+    const harness::Simulation& sim) const {
+  const std::uint64_t window =
+      params_.window > 0 ? params_.window
+                         : sim.spec().budget.target_blocks;
+  std::vector<game::SystemState> out(window, game::SystemState::kHonest);
+  const std::vector<const ledger::Chain*> chains = sim.honest_chains();
+
+  // First height at which two honest ledgers finalized different blocks —
+  // the minimum over *all* pairs (an early pair can diverge later than
+  // another). Disagreement is permanent: every height from there on
+  // scores σ_Fork (the state θ ≥ 1 players are paid for).
+  std::uint64_t fork_height = 0;
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    for (std::size_t j = i + 1; j < chains.size(); ++j) {
+      const std::uint64_t shared = std::min(chains[i]->finalized_height(),
+                                            chains[j]->finalized_height());
+      const std::uint64_t limit =
+          fork_height == 0 ? shared : std::min(shared, fork_height - 1);
+      for (std::uint64_t h = 1; h <= limit; ++h) {
+        if (chains[i]->at(h).hash() != chains[j]->at(h).hash()) {
+          fork_height = h;
+          break;
+        }
+      }
+    }
+  }
+
+  const std::uint64_t progressed =
+      consensus::max_finalized_height(chains);
+
+  // End-of-run censorship verdict (Theorem 2's σ_CP): progress happened
+  // but the watched tx is outside every honest finalized ledger.
+  bool censored = false;
+  if (params_.watched_tx.has_value() && progressed > 0) {
+    censored = true;
+    for (const ledger::Chain* c : chains) {
+      if (c->finalized_contains_tx(*params_.watched_tx)) {
+        censored = false;
+        break;
+      }
+    }
+  }
+
+  for (std::uint64_t h = 1; h <= window; ++h) {
+    game::SystemState s;
+    if (fork_height != 0 && h >= fork_height) {
+      s = game::SystemState::kFork;
+    } else if (h > progressed) {
+      s = game::SystemState::kNoProgress;
+    } else if (censored) {
+      s = game::SystemState::kCensorship;
+    } else {
+      s = game::SystemState::kHonest;
+    }
+    out[h - 1] = s;
+  }
+  return out;
+}
+
+PayoffReport PayoffAccountant::account(harness::Simulation& sim) const {
+  PayoffReport report;
+  report.height_states = classify_heights(sim);
+  report.end_state = sim.classify(0, params_.watched_tx);
+
+  const std::uint32_t n = sim.spec().committee.n;
+  const std::uint64_t window = report.height_states.size();
+
+  // First burn event per player, for penalty placement.
+  std::map<NodeId, ledger::BurnEvent> first_burn;
+  for (const ledger::BurnEvent& ev : sim.deposits().events()) {
+    first_burn.emplace(ev.player, ev);
+  }
+  // The round a penalty is charged in: the PoF's consensus round when it
+  // lies inside the scored window (clamped to the last scored round
+  // otherwise), else the first non-honest round — matching the paper's
+  // one-shot collateral loss "in the round it occurs" (Eq. 1).
+  const auto charge_index = [&](const ledger::BurnEvent& ev) -> std::size_t {
+    if (window == 0) return 0;
+    if (ev.round >= 1) {
+      return static_cast<std::size_t>(
+          std::min<std::uint64_t>(ev.round, window) - 1);
+    }
+    for (std::size_t i = 0; i < window; ++i) {
+      if (report.height_states[i] != game::SystemState::kHonest) return i;
+    }
+    return 0;
+  };
+
+  report.players.resize(n);
+  for (NodeId id = 0; id < n; ++id) {
+    PlayerPayoff& p = report.players[id];
+    p.player = id;
+    const auto theta_it = params_.thetas.find(id);
+    p.theta = theta_it != params_.thetas.end() ? theta_it->second
+                                               : params_.default_theta;
+    p.rounds.reserve(window);
+    for (game::SystemState s : report.height_states) {
+      p.rounds.push_back({s, false});
+    }
+    p.slashed = sim.deposits().slashed(id);
+    p.deposit_delta = sim.deposits().delta(id);
+    const auto burn_it = first_burn.find(id);
+    if (burn_it != first_burn.end() && window > 0) {
+      p.rounds[charge_index(burn_it->second)].penalized = true;
+    }
+    p.messages = sim.net().stats().for_sender(id).count;
+    p.utility = game::discounted_utility(p.rounds, p.theta, params_.util) -
+                params_.msg_cost * static_cast<double>(p.messages);
+  }
+  return report;
+}
+
+}  // namespace ratcon::rational

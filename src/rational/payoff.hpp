@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "game/utility.hpp"
+#include "harness/scenario.hpp"
+
+namespace ratcon::rational {
+
+/// How a run's observables turn into per-player utilities.
+struct PayoffParams {
+  game::UtilityParams util;  ///< α, L, δ of the paper's Table 2 / Eq. 1
+
+  /// Per-wire-message cost charged against each player's own sends. The
+  /// paper's utility model has no message costs (default 0); a positive
+  /// value makes free-riding strategies (π_free, π_lazy) measurably
+  /// attractive in protocols that cannot punish them.
+  double msg_cost = 0.0;
+
+  /// Number of heights scored as game rounds; 0 = the scenario's
+  /// RunBudget::target_blocks.
+  std::uint64_t window = 0;
+
+  /// Censorship probe: the tx_h every honest player submitted (Theorem 2).
+  /// When set and the run ends with progress but tx_h outside every honest
+  /// finalized ledger, progressed heights classify σ_CP.
+  std::optional<std::uint64_t> watched_tx;
+
+  /// Player types θ; players not listed get `default_theta`.
+  std::map<NodeId, game::Theta> thetas;
+  game::Theta default_theta = 0;
+};
+
+/// One player's empirical outcome stream and utility.
+struct PlayerPayoff {
+  NodeId player = kNoNode;
+  game::Theta theta = 0;
+  /// One outcome per scored height: the height's system state σ plus
+  /// whether this player's collateral burn is charged in that round.
+  std::vector<game::RoundOutcome> rounds;
+  double utility = 0.0;      ///< Eq. 1 over `rounds`, minus message costs
+  std::uint64_t messages = 0;  ///< wire messages this player sent
+  std::int64_t deposit_delta = 0;
+  bool slashed = false;
+};
+
+/// The full accounting of one run.
+struct PayoffReport {
+  /// σ per scored height (heights 1..window, index 0 = height 1).
+  std::vector<game::SystemState> height_states;
+  game::SystemState end_state = game::SystemState::kHonest;
+  std::vector<PlayerPayoff> players;  ///< index = NodeId
+
+  [[nodiscard]] const PlayerPayoff& of(NodeId id) const {
+    return players.at(id);
+  }
+};
+
+/// PayoffAccountant: derives per-player `game::RoundOutcome` streams and
+/// discounted utilities (Eq. 1) directly from a finished Simulation run —
+/// classifying each height's SystemState from the honest ledgers, reading
+/// deposit burns from ledger::DepositLedger's penalty events, and charging
+/// per-message costs from the cluster's per-sender traffic stats. This is
+/// the bridge between "what the protocol did" and "what the rational
+/// player earned": Tables 2/3 and Lemma 4 are reproduced through it rather
+/// than from hand-fed payoff matrices.
+class PayoffAccountant {
+ public:
+  explicit PayoffAccountant(PayoffParams params) : params_(std::move(params)) {}
+
+  /// Classifies heights 1..window: σ_Fork from the first conflicting
+  /// height on (disagreement is permanent), σ_NP beyond the honest
+  /// frontier, σ_CP on progressed heights when the watched tx was censored
+  /// through the end of the run, σ_0 otherwise.
+  [[nodiscard]] std::vector<game::SystemState> classify_heights(
+      const harness::Simulation& sim) const;
+
+  /// Full per-player accounting of a finished run.
+  [[nodiscard]] PayoffReport account(harness::Simulation& sim) const;
+
+  [[nodiscard]] const PayoffParams& params() const { return params_; }
+
+ private:
+  PayoffParams params_;
+};
+
+}  // namespace ratcon::rational

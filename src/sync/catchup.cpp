@@ -10,6 +10,52 @@ namespace {
 constexpr consensus::ProtoId kProto = consensus::ProtoId::kSync;
 }
 
+/// Context decorator handed to the inner replica in piggyback mode: every
+/// outgoing protocol message to a peer still owed the latest announce is
+/// wrapped in a container frame `[marker][u32 len][inner][announce]` —
+/// one physical send carrying both. Sync traffic and already-covered peers
+/// pass through untouched.
+class PiggybackContext final : public net::Context {
+ public:
+  PiggybackContext(const net::Context& base, CatchupDriver& driver)
+      : net::Context(base), driver_(driver) {}
+
+  void send(NodeId to, Bytes data) override {
+    if (!driver_.unannounced_.count(to) || data.empty() ||
+        data[0] == static_cast<std::uint8_t>(kProto) ||
+        data[0] == net::kPiggybackMarker) {
+      net::Context::send(to, std::move(data));
+      return;
+    }
+    const Bytes announce = driver_.make_announce();
+    Bytes frame;
+    frame.reserve(net::kPiggybackHeader + data.size() + announce.size());
+    frame.push_back(net::kPiggybackMarker);
+    const std::uint32_t len = static_cast<std::uint32_t>(data.size());
+    frame.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>((len >> 16) & 0xFF));
+    frame.push_back(static_cast<std::uint8_t>((len >> 24) & 0xFF));
+    frame.insert(frame.end(), data.begin(), data.end());
+    frame.insert(frame.end(), announce.begin(), announce.end());
+    driver_.unannounced_.erase(to);
+    driver_.piggybacked_ += 1;
+    net::Context::send(to, std::move(frame));
+  }
+
+  void broadcast(Bytes data) override {
+    const std::size_t n = cluster_size();
+    for (NodeId to = 0; to < n; ++to) {
+      if (to == self()) continue;
+      this->send(to, data);
+    }
+    self_deliver(std::move(data));
+  }
+
+ private:
+  CatchupDriver& driver_;
+};
+
 // ---------------------------------------------------------------------------
 // Wire bodies
 
@@ -69,7 +115,8 @@ CatchupDriver::CatchupDriver(std::unique_ptr<consensus::IReplica> inner,
                                    : std::max<SimTime>(cfg_.base_timeout, 1)),
       batch_(std::max<std::uint32_t>(deps.plan.batch, 1)),
       witnesses_(deps.plan.witnesses > 0 ? deps.plan.witnesses : cfg_.t0 + 1),
-      lag_threshold_(std::max<std::uint64_t>(deps.plan.lag_threshold, 1)) {}
+      lag_threshold_(std::max<std::uint64_t>(deps.plan.lag_threshold, 1)),
+      piggyback_(deps.plan.piggyback) {}
 
 bool CatchupDriver::reached_target() const {
   return target_blocks_ != 0 &&
@@ -85,7 +132,8 @@ Bytes CatchupDriver::encode_env(MsgType type, std::uint64_t round,
 
 void CatchupDriver::on_start(net::Context& ctx) {
   self_ = ctx.self();
-  inner_->on_start(ctx);
+  PiggybackContext pctx(ctx, *this);
+  inner_->on_start(piggyback_ ? static_cast<net::Context&>(pctx) : ctx);
   announced_height_ = inner_->chain().finalized_height();
   if (announced_height_ > 0) announce(ctx);
   if (!reached_target()) ctx.set_timer(kSyncTimer, period_);
@@ -93,10 +141,17 @@ void CatchupDriver::on_start(net::Context& ctx) {
 
 void CatchupDriver::on_message(net::Context& ctx, NodeId from,
                                const Bytes& data) {
+  if (data.empty()) return;
+  // Piggyback container: catch-up metadata riding a protocol message.
+  if (data[0] == net::kPiggybackMarker) {
+    handle_container(ctx, from, data);
+    return;
+  }
   // The first wire byte is the protocol id; only kSync traffic is ours.
-  if (data.empty() ||
-      data[0] != static_cast<std::uint8_t>(kProto)) {
-    inner_->on_message(ctx, from, data);
+  if (data[0] != static_cast<std::uint8_t>(kProto)) {
+    PiggybackContext pctx(ctx, *this);
+    inner_->on_message(piggyback_ ? static_cast<net::Context&>(pctx) : ctx,
+                       from, data);
     after_step(ctx);
     return;
   }
@@ -112,14 +167,53 @@ void CatchupDriver::on_message(net::Context& ctx, NodeId from,
   after_step(ctx);
 }
 
+void CatchupDriver::handle_container(net::Context& ctx, NodeId from,
+                                     const Bytes& data) {
+  if (data.size() < net::kPiggybackHeader + 2) return;
+  const std::size_t inner_len = static_cast<std::size_t>(data[1]) |
+                                (static_cast<std::size_t>(data[2]) << 8) |
+                                (static_cast<std::size_t>(data[3]) << 16) |
+                                (static_cast<std::size_t>(data[4]) << 24);
+  const std::size_t tail_at = net::kPiggybackHeader + inner_len;
+  if (inner_len < 2 || tail_at >= data.size()) return;
+  // Apply the riding announce first (it may unblock gap detection), then
+  // hand the protocol message to the inner replica unchanged.
+  const Bytes tail(data.begin() + static_cast<std::ptrdiff_t>(tail_at),
+                   data.end());
+  consensus::Envelope env;
+  bool tail_ok = true;
+  try {
+    env = consensus::Envelope::decode(ByteSpan(tail.data(), tail.size()));
+  } catch (const CodecError&) {
+    tail_ok = false;
+  }
+  if (tail_ok && env.proto == kProto && env.from < cfg_.n &&
+      env.from != self_ && consensus::verify_envelope(env, *registry_)) {
+    handle_sync(ctx, env);
+  }
+  const Bytes inner(data.begin() + net::kPiggybackHeader,
+                    data.begin() + static_cast<std::ptrdiff_t>(tail_at));
+  if (inner[0] != static_cast<std::uint8_t>(kProto) &&
+      inner[0] != net::kPiggybackMarker) {
+    PiggybackContext pctx(ctx, *this);
+    inner_->on_message(piggyback_ ? static_cast<net::Context&>(pctx) : ctx,
+                       from, inner);
+  }
+  after_step(ctx);
+}
+
 void CatchupDriver::on_timer(net::Context& ctx, std::uint64_t timer_id) {
   if (timer_id != kSyncTimer) {
-    inner_->on_timer(ctx, timer_id);
+    PiggybackContext pctx(ctx, *this);
+    inner_->on_timer(piggyback_ ? static_cast<net::Context&>(pctx) : ctx,
+                     timer_id);
     after_step(ctx);
     return;
   }
   // Retry tick: a lagging replica re-requests (rotating over candidate
-  // responders, so a crashed best peer cannot wedge recovery).
+  // responders, so a crashed best peer cannot wedge recovery), and peers
+  // that no protocol message covered get their announce now.
+  flush_announces(ctx);
   request_pending_ = false;
   maybe_request(ctx);
   if (!reached_target()) ctx.set_timer(kSyncTimer, period_);
@@ -139,14 +233,33 @@ void CatchupDriver::handle_sync(net::Context& ctx,
   }
 }
 
-void CatchupDriver::announce(net::Context& ctx) {
+Bytes CatchupDriver::make_announce() {
   const auto& chain = inner_->chain();
   AnnounceBody body;
   body.height = chain.finalized_height();
   body.tip = chain.at(body.height).hash();
   Writer w;
   body.encode(w);
-  ctx.broadcast(encode_env(MsgType::kAnnounce, body.height, w.take()));
+  return encode_env(MsgType::kAnnounce, body.height, w.take());
+}
+
+void CatchupDriver::announce(net::Context& ctx) {
+  ctx.broadcast(make_announce());
+  announces_ += 1;
+}
+
+void CatchupDriver::pend_announce() {
+  const std::size_t n = cfg_.n;
+  for (NodeId id = 0; id < n; ++id) {
+    if (id != self_) unannounced_.insert(id);
+  }
+}
+
+void CatchupDriver::flush_announces(net::Context& ctx) {
+  if (unannounced_.empty()) return;
+  const Bytes wire = make_announce();
+  for (NodeId peer : unannounced_) ctx.send(peer, wire);
+  unannounced_.clear();
   announces_ += 1;
 }
 
@@ -154,7 +267,15 @@ void CatchupDriver::after_step(net::Context& ctx) {
   const std::uint64_t fin = inner_->chain().finalized_height();
   if (fin > announced_height_) {
     announced_height_ = fin;
-    announce(ctx);
+    if (piggyback_) {
+      // The new announce rides the next protocol sends; stragglers are
+      // flushed on the sync tick — or right away once the run's target is
+      // reached and no further protocol traffic can carry it.
+      pend_announce();
+      if (reached_target()) flush_announces(ctx);
+    } else {
+      announce(ctx);
+    }
     // Height moved: the outstanding request (if any) is answered; chase
     // the next batch immediately instead of waiting for the retry tick.
     request_pending_ = false;

@@ -104,6 +104,13 @@ struct SyncPlan {
   /// Minimum observed gap (best announced height - local finalized height)
   /// before the driver starts fetching.
   std::uint64_t lag_threshold = 1;
+  /// Piggyback announces on outgoing protocol traffic: when the inner
+  /// replica sends a peer a protocol message while an announce is pending,
+  /// the announce rides along in a container frame instead of being a
+  /// send of its own; peers not covered by protocol traffic get a targeted
+  /// announce at the next sync tick. Cuts the per-height announce
+  /// broadcast to near zero on chatty protocols.
+  bool piggyback = true;
 };
 
 /// Decorator node: wraps a protocol replica, passes all protocol traffic
@@ -151,22 +158,36 @@ class CatchupDriver final : public consensus::IReplica {
   [[nodiscard]] std::uint64_t responses_sent() const { return responses_; }
   [[nodiscard]] std::uint64_t responses_rejected() const { return rejected_; }
   [[nodiscard]] std::uint64_t blocks_adopted() const { return adopted_; }
+  /// Announces that rode outgoing protocol messages (saved sends).
+  [[nodiscard]] std::uint64_t announces_piggybacked() const {
+    return piggybacked_;
+  }
   /// Effective (resolved) knobs, for tests.
   [[nodiscard]] std::uint32_t witness_threshold() const { return witnesses_; }
   [[nodiscard]] std::uint32_t batch_size() const { return batch_; }
 
  private:
+  friend class PiggybackContext;
+
   static constexpr std::uint64_t kSyncTimer = 0x53594e43;  // 'SYNC'
 
   void handle_sync(net::Context& ctx, const consensus::Envelope& env);
   void handle_announce(net::Context& ctx, const consensus::Envelope& env);
   void handle_request(net::Context& ctx, const consensus::Envelope& env);
   void handle_response(net::Context& ctx, const consensus::Envelope& env);
+  void handle_container(net::Context& ctx, NodeId from, const Bytes& data);
 
-  /// Post-step bookkeeping: broadcast an announce when the inner chain's
-  /// finalized height advanced, and chase the next batch when lagging.
+  /// Post-step bookkeeping: announce when the inner chain's finalized
+  /// height advanced (immediately, or pending on outgoing protocol traffic
+  /// in piggyback mode), and chase the next batch when lagging.
   void after_step(net::Context& ctx);
   void announce(net::Context& ctx);
+  /// Piggyback mode: mark every peer as owed the new announce.
+  void pend_announce();
+  /// Sends targeted announces to peers the protocol traffic did not cover.
+  void flush_announces(net::Context& ctx);
+  /// One announce envelope for the current finalized tip.
+  [[nodiscard]] Bytes make_announce();
   void maybe_request(net::Context& ctx);
   [[nodiscard]] bool reached_target() const;
   [[nodiscard]] Bytes encode_env(MsgType type, std::uint64_t round,
@@ -180,12 +201,15 @@ class CatchupDriver final : public consensus::IReplica {
   std::uint32_t batch_;
   std::uint32_t witnesses_;
   std::uint64_t lag_threshold_;
+  bool piggyback_;
 
   NodeId self_ = kNoNode;
   std::uint64_t target_blocks_ = 0;
   std::uint64_t announced_height_ = 0;
   bool request_pending_ = false;
   std::uint64_t request_rotation_ = 0;
+  /// Peers still owed the latest announce (piggyback mode).
+  std::set<NodeId> unannounced_;
 
   /// Latest announced finalized height per peer (gap detection).
   std::map<NodeId, std::uint64_t> peer_height_;
@@ -198,6 +222,7 @@ class CatchupDriver final : public consensus::IReplica {
   std::uint64_t responses_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t adopted_ = 0;
+  std::uint64_t piggybacked_ = 0;
 };
 
 }  // namespace ratcon::sync

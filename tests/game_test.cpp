@@ -196,6 +196,57 @@ TEST(Utility, StateAndStrategyNames) {
   EXPECT_STREQ(to_string(SystemState::kFork), "sigma_Fork");
   EXPECT_STREQ(to_string(Strategy::kAbstain), "pi_abs");
   EXPECT_STREQ(to_string(Strategy::kBait), "pi_bait");
+  EXPECT_STREQ(to_string(Strategy::kFreeRide), "pi_free");
+  EXPECT_STREQ(to_string(Strategy::kLazyVote), "pi_lazy");
+}
+
+TEST(Utility, EmptySampleSetsAreNeutral) {
+  const UtilityParams params;
+  EXPECT_DOUBLE_EQ(round_utility({}, 3, params), 0.0);
+  EXPECT_DOUBLE_EQ(discounted_utility({}, 3, params), 0.0);
+}
+
+TEST(Utility, DeltaBoundaries) {
+  // δ → 0: only the first round counts.
+  UtilityParams myopic;
+  myopic.delta = 0.0;
+  const std::vector<RoundOutcome> rounds = {{SystemState::kFork, false},
+                                            {SystemState::kFork, false},
+                                            {SystemState::kFork, true}};
+  EXPECT_DOUBLE_EQ(discounted_utility(rounds, 1, myopic), 1.0);
+  EXPECT_DOUBLE_EQ(stationary_discounted(2.5, 0.0), 2.5);
+
+  // δ → 1: the finite-horizon sum degenerates to the plain sum; the
+  // closed-form infinite sum is rejected (it diverges).
+  UtilityParams patient;
+  patient.delta = 1.0;
+  patient.L = 10.0;
+  EXPECT_DOUBLE_EQ(discounted_utility(rounds, 1, patient), 1.0 + 1.0 - 9.0);
+  EXPECT_THROW(stationary_discounted(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(stationary_discounted(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(NormalForm, AccessorsRejectOutOfRangeIndices) {
+  // Regression: the name tables used to be read with unvalidated indices —
+  // an unnamed/mis-shaped profile could index past the vectors.
+  NormalFormGame g({2, 3});
+  EXPECT_THROW(g.set_player_name(2, "ghost"), std::out_of_range);
+  EXPECT_THROW(g.set_player_name(-1, "ghost"), std::out_of_range);
+  EXPECT_THROW(g.set_strategy_name(0, 2, "s"), std::out_of_range);
+  EXPECT_THROW(g.set_strategy_name(1, 3, "s"), std::out_of_range);
+  EXPECT_THROW((void)g.player_name(5), std::out_of_range);
+  EXPECT_THROW((void)g.strategy_name(0, -1), std::out_of_range);
+  EXPECT_THROW((void)g.describe(Profile{0, 5}), std::out_of_range);
+  EXPECT_THROW((void)g.describe(Profile{0}), std::out_of_range);
+  EXPECT_THROW((void)g.payoff(Profile{2, 0}, 0), std::out_of_range);
+  EXPECT_THROW(g.set_payoff(Profile{0, 0, 0}, 0, 1.0), std::out_of_range);
+
+  // In-range access still works after the hardening.
+  g.set_strategy_name(1, 2, "z");
+  EXPECT_EQ(g.strategy_name(1, 2), "z");
+  g.set_payoff({1, 2}, 1, 4.0);
+  EXPECT_DOUBLE_EQ(g.payoff({1, 2}, 1), 4.0);
+  EXPECT_EQ(g.describe({1, 2}), "(s1, z)");
 }
 
 }  // namespace

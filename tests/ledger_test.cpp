@@ -287,5 +287,55 @@ TEST(Deposits, SlashedPlayersListed) {
   EXPECT_EQ(ledger.slashed_players(), (std::vector<NodeId>{1, 3}));
 }
 
+TEST(Deposits, DoubleSlashRecordsOneEvent) {
+  DepositLedger ledger(100);
+  ledger.register_players(2);
+  EXPECT_EQ(ledger.burn(1, /*round=*/4), 100);
+  EXPECT_EQ(ledger.burn(1, /*round=*/9), 0) << "second burn is a no-op";
+  ASSERT_EQ(ledger.events().size(), 1u);
+  EXPECT_EQ(ledger.events()[0].player, 1u);
+  EXPECT_EQ(ledger.events()[0].amount, 100);
+  EXPECT_EQ(ledger.events()[0].round, 4u) << "first conviction's round wins";
+  EXPECT_EQ(ledger.total_burned(), 100);
+  EXPECT_EQ(ledger.delta(1), -100);
+}
+
+TEST(Deposits, SlashAfterWithdrawBurnsNothing) {
+  DepositLedger ledger(100);
+  ledger.register_players(2);
+  EXPECT_EQ(ledger.withdraw(0), 100);
+  EXPECT_EQ(ledger.balance(0), 0);
+  EXPECT_FALSE(ledger.slashed(0)) << "withdrawing is not a slash";
+
+  // A later conviction still marks the player slashed but finds nothing.
+  EXPECT_EQ(ledger.burn(0, 2), 0);
+  EXPECT_TRUE(ledger.slashed(0));
+  EXPECT_EQ(ledger.total_burned(), 0);
+  ASSERT_EQ(ledger.events().size(), 1u);
+  EXPECT_EQ(ledger.events()[0].amount, 0) << "conviction recorded, 0 burned";
+  EXPECT_EQ(ledger.delta(0), -100) << "the withdraw drained the deposit";
+}
+
+TEST(Deposits, ZeroCollateralPlayersSlashCleanly) {
+  DepositLedger ledger(0);
+  ledger.register_players(3);
+  EXPECT_EQ(ledger.balance(2), 0);
+  EXPECT_EQ(ledger.burn(2), 0);
+  EXPECT_TRUE(ledger.slashed(2));
+  EXPECT_EQ(ledger.total_burned(), 0);
+  EXPECT_EQ(ledger.delta(2), 0);
+  ASSERT_EQ(ledger.events().size(), 1u);
+  EXPECT_EQ(ledger.events()[0].amount, 0);
+}
+
+TEST(Deposits, BurningUnknownPlayerIsSafe) {
+  DepositLedger ledger(100);
+  ledger.register_players(2);
+  EXPECT_EQ(ledger.burn(9), 0) << "never-registered player has no deposit";
+  EXPECT_TRUE(ledger.slashed(9));
+  EXPECT_EQ(ledger.withdraw(9), 0);
+  EXPECT_EQ(ledger.delta(9), 0);
+}
+
 }  // namespace
 }  // namespace ratcon::ledger

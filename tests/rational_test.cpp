@@ -1,0 +1,460 @@
+// The empirical game engine (src/rational): StrategyCatalog executability,
+// PayoffAccountant height classification and utilities, and the
+// DeviationExplorer's ε-best-response certificate — the paper's central
+// game-theoretic claim measured from actual Simulation runs:
+//
+//   * under pRFT the honest profile is an ε-best-response for a rational
+//     player on every tested network preset, while
+//   * the strong-quorum baseline (Claim 1's τ > n − t0 regime) admits a
+//     strictly profitable unilateral deviation — the named strategies
+//     π_abs and π_pc — for a θ=3 player,
+//
+// deterministically across seeds, identical serial and parallel.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/behaviors.hpp"
+#include "harness/protocols.hpp"
+#include "harness/scenario.hpp"
+#include "rational/catalog.hpp"
+#include "rational/explorer.hpp"
+#include "rational/payoff.hpp"
+
+namespace ratcon::rational {
+namespace {
+
+using game::Strategy;
+using game::SystemState;
+using harness::NetKind;
+using harness::Protocol;
+using harness::ScenarioSpec;
+using harness::Simulation;
+
+// ---------------------------------------------------------------------------
+// StrategyCatalog
+
+TEST(StrategyCatalog, ParsesEveryStrategyName) {
+  EXPECT_EQ(strategy_from_name("pi_0"), Strategy::kHonest);
+  EXPECT_EQ(strategy_from_name("honest"), Strategy::kHonest);
+  EXPECT_EQ(strategy_from_name("pi_abs"), Strategy::kAbstain);
+  EXPECT_EQ(strategy_from_name("pi_ds"), Strategy::kDoubleSign);
+  EXPECT_EQ(strategy_from_name("pi_fork"), Strategy::kDoubleSign);
+  EXPECT_EQ(strategy_from_name("pi_pc"), Strategy::kPartialCensor);
+  EXPECT_EQ(strategy_from_name("partial-censor"), Strategy::kPartialCensor);
+  EXPECT_EQ(strategy_from_name("pi_bait"), Strategy::kBait);
+  EXPECT_EQ(strategy_from_name("free-ride-on-catchup"), Strategy::kFreeRide);
+  EXPECT_EQ(strategy_from_name("pi_lazy"), Strategy::kLazyVote);
+  EXPECT_THROW((void)strategy_from_name("pi_unknown"), std::invalid_argument);
+}
+
+TEST(StrategyCatalog, SupportMatrixCoversEveryRegisteredProtocol) {
+  const Protocol all[] = {Protocol::kPrft, Protocol::kHotStuff,
+                          Protocol::kRaftLite, Protocol::kQuorum,
+                          Protocol::kUnanimous};
+  for (Protocol proto : all) {
+    // The behavior-expressible strategies run everywhere.
+    for (Strategy s : {Strategy::kHonest, Strategy::kAbstain,
+                       Strategy::kPartialCensor, Strategy::kFreeRide,
+                       Strategy::kLazyVote}) {
+      EXPECT_TRUE(strategy_supported(proto, s)) << to_string(proto);
+    }
+  }
+  EXPECT_TRUE(strategy_supported(Protocol::kPrft, Strategy::kDoubleSign));
+  EXPECT_TRUE(strategy_supported(Protocol::kQuorum, Strategy::kDoubleSign));
+  EXPECT_FALSE(strategy_supported(Protocol::kHotStuff, Strategy::kDoubleSign));
+  EXPECT_FALSE(strategy_supported(Protocol::kRaftLite, Strategy::kDoubleSign));
+  EXPECT_TRUE(strategy_supported(Protocol::kPrft, Strategy::kBait));
+  EXPECT_FALSE(strategy_supported(Protocol::kQuorum, Strategy::kBait));
+}
+
+TEST(StrategyCatalog, AppliedProfileProducesDeviantReplicas) {
+  for (Protocol proto : {Protocol::kPrft, Protocol::kHotStuff,
+                         Protocol::kRaftLite, Protocol::kQuorum,
+                         Protocol::kUnanimous}) {
+    ScenarioSpec spec;
+    spec.protocol = proto;
+    spec.committee.n = 8;
+    spec.budget.target_blocks = 1;
+    ProfileSpec profile;
+    profile.strategies[1] = Strategy::kAbstain;
+    profile.strategies[4] = Strategy::kLazyVote;
+    apply_profile(spec, profile);
+    Simulation sim(spec);
+    EXPECT_FALSE(sim.replica(1).is_honest()) << to_string(proto);
+    EXPECT_FALSE(sim.replica(4).is_honest()) << to_string(proto);
+    EXPECT_TRUE(sim.replica(0).is_honest()) << to_string(proto);
+  }
+}
+
+TEST(StrategyCatalog, RejectsUnsupportedStrategyAndBadPlayer) {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kHotStuff;
+  spec.committee.n = 4;
+  ProfileSpec ds;
+  ds.strategies[0] = Strategy::kDoubleSign;
+  EXPECT_THROW(apply_profile(spec, ds), std::invalid_argument);
+
+  ProfileSpec outside;
+  outside.strategies[9] = Strategy::kAbstain;
+  EXPECT_THROW(apply_profile(spec, outside), std::invalid_argument);
+}
+
+TEST(StrategyCatalog, DoubleSignCoalitionGetsSlashedUnderPrft) {
+  // Lemma 4's mechanism observed through the catalog: a π_ds coalition
+  // within k + t < n/2 cannot fork pRFT and loses its deposits to the PoF.
+  ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = 11;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  ProfileSpec profile;
+  for (NodeId id : {0u, 1u, 2u, 3u}) {
+    profile.strategies[id] = Strategy::kDoubleSign;
+  }
+  apply_profile(spec, profile);
+  Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(240));
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_FALSE(sim.honest_player_slashed());
+  EXPECT_TRUE(sim.deposits().slashed(0));
+  EXPECT_TRUE(sim.deposits().slashed(3));
+}
+
+// ---------------------------------------------------------------------------
+// PayoffAccountant
+
+TEST(PayoffAccountant, HonestRunScoresSigma0Everywhere) {
+  ScenarioSpec spec;
+  spec.committee.n = 7;
+  spec.seed = 21;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  Simulation sim(spec);
+  (void)sim.run_to_completion();
+
+  PayoffParams params;
+  params.default_theta = 3;
+  const PayoffAccountant accountant(params);
+  const PayoffReport report = accountant.account(sim);
+  ASSERT_EQ(report.height_states.size(), 3u);
+  for (SystemState s : report.height_states) {
+    EXPECT_EQ(s, SystemState::kHonest);
+  }
+  EXPECT_EQ(report.end_state, SystemState::kHonest);
+  for (const PlayerPayoff& p : report.players) {
+    EXPECT_DOUBLE_EQ(p.utility, 0.0);  // f(σ_0, θ) = 0, no penalties
+    EXPECT_FALSE(p.slashed);
+    EXPECT_EQ(p.deposit_delta, 0);
+    EXPECT_GT(p.messages, 0u);
+  }
+}
+
+TEST(PayoffAccountant, StalledRunScoresSigmaNP) {
+  // An abstaining coalition of 3 of 9 (Theorem 1's range) stalls pRFT:
+  // every scored height is σ_NP, worth +α per round to θ=3 and −α to θ=0.
+  ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = 31;
+  spec.budget.target_blocks = 3;
+  spec.budget.horizon = sec(30);
+  spec.workload.txs = 6;
+  ProfileSpec profile;
+  for (NodeId id : {0u, 1u, 2u}) profile.strategies[id] = Strategy::kAbstain;
+  apply_profile(spec, profile);
+  Simulation sim(spec);
+  (void)sim.run_to_completion();
+
+  PayoffParams params;
+  params.thetas[3] = 3;
+  params.default_theta = 0;
+  const PayoffAccountant accountant(params);
+  const PayoffReport report = accountant.account(sim);
+  for (SystemState s : report.height_states) {
+    EXPECT_EQ(s, SystemState::kNoProgress);
+  }
+  const double d = params.util.delta;
+  const double stream = 1.0 + d + d * d;
+  EXPECT_NEAR(report.of(3).utility, params.util.alpha * stream, 1e-9);
+  EXPECT_NEAR(report.of(4).utility, -params.util.alpha * stream, 1e-9);
+}
+
+TEST(PayoffAccountant, CensoredRunScoresSigmaCP) {
+  // Theorem 2's π_pc coalition against pRFT: liveness holds, the watched
+  // tx never lands, progressed heights classify σ_CP.
+  ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = 41;
+  spec.budget.target_blocks = 3;
+  spec.budget.horizon = sec(600);
+  spec.workload.txs = 6;
+  ProfileSpec profile;
+  profile.censored_txs = {1};
+  for (NodeId id : {0u, 1u, 2u, 3u}) {
+    profile.strategies[id] = Strategy::kPartialCensor;
+  }
+  apply_profile(spec, profile);
+  Simulation sim(spec);
+  (void)sim.run_to_completion();
+  ASSERT_GE(sim.max_height(), 3u) << "π_pc must preserve eventual liveness";
+
+  PayoffParams params;
+  params.watched_tx = 1;
+  params.default_theta = 2;
+  const PayoffAccountant accountant(params);
+  const PayoffReport report = accountant.account(sim);
+  EXPECT_EQ(report.end_state, SystemState::kCensorship);
+  for (SystemState s : report.height_states) {
+    EXPECT_EQ(s, SystemState::kCensorship);
+  }
+  EXPECT_GT(report.of(0).utility, 0.0);  // θ=2 profits from σ_CP
+}
+
+TEST(PayoffAccountant, PenaltyChargedInThePoFRound) {
+  // A π_ds coalition gets slashed; the accountant charges the one-shot L
+  // in the burn's consensus round and the utility reflects it.
+  ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = 51;
+  spec.budget.target_blocks = 3;
+  spec.budget.horizon = sec(240);
+  spec.workload.txs = 6;
+  ProfileSpec profile;
+  for (NodeId id : {0u, 1u, 2u, 3u}) {
+    profile.strategies[id] = Strategy::kDoubleSign;
+  }
+  apply_profile(spec, profile);
+  Simulation sim(spec);
+  const harness::RunReport run = sim.run_to_completion();
+  ASSERT_TRUE(sim.deposits().slashed(3));
+  ASSERT_FALSE(run.penalties.empty());
+
+  PayoffParams params;
+  params.thetas[3] = 1;
+  const PayoffAccountant accountant(params);
+  const PayoffReport report = accountant.account(sim);
+  bool charged = false;
+  for (const game::RoundOutcome& r : report.of(3).rounds) {
+    charged = charged || r.penalized;
+  }
+  EXPECT_TRUE(charged);
+  EXPECT_LT(report.of(3).utility, 0.0) << "the burned L must dominate";
+  EXPECT_EQ(report.of(3).deposit_delta,
+            -sim.deposits().collateral());
+}
+
+TEST(PayoffAccountant, MessageCostsChargePerSender) {
+  ScenarioSpec spec;
+  spec.committee.n = 7;
+  spec.seed = 61;
+  spec.budget.target_blocks = 2;
+  spec.workload.txs = 4;
+  ProfileSpec profile;
+  profile.strategies[5] = Strategy::kFreeRide;
+  apply_profile(spec, profile);
+  Simulation sim(spec);
+  (void)sim.run_to_completion();
+
+  PayoffParams params;
+  params.msg_cost = 0.001;
+  params.default_theta = 0;
+  const PayoffAccountant accountant(params);
+  const PayoffReport report = accountant.account(sim);
+  // The free-rider sent (almost) nothing, so its message bill is the
+  // smallest in the committee and its utility the least negative.
+  for (NodeId id = 0; id < 7; ++id) {
+    if (id == 5) continue;
+    EXPECT_LT(report.of(5).messages, report.of(id).messages) << id;
+    EXPECT_GT(report.of(5).utility, report.of(id).utility) << id;
+  }
+}
+
+TEST(PayoffAccountant, FreeRiderStillGetsTheChainThroughCatchup) {
+  // π_free sends no consensus messages yet ends with the full finalized
+  // chain, transferred by src/sync — the strategy the catch-up subsystem
+  // newly makes executable.
+  ScenarioSpec spec;
+  spec.committee.n = 7;
+  spec.seed = 71;
+  spec.budget.target_blocks = 3;
+  spec.budget.horizon = sec(240);
+  spec.workload.txs = 6;
+  ProfileSpec profile;
+  profile.strategies[5] = Strategy::kFreeRide;
+  apply_profile(spec, profile);
+  Simulation sim(spec);
+  (void)sim.run_to_completion();
+  EXPECT_GE(sim.replica(5).chain().finalized_height(), 3u);
+  const auto consensus_sent = sim.net().stats().for_sender_proto(
+      5, static_cast<std::uint8_t>(consensus::ProtoId::kPrft));
+  EXPECT_EQ(consensus_sent.count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DeviationExplorer: the equilibrium certificate
+
+ExplorerSpec certificate_spec() {
+  ExplorerSpec spec;
+  spec.protocols = {Protocol::kPrft, Protocol::kUnanimous};
+  spec.committee_sizes = {8};
+  spec.nets = {NetKind::kSynchronous, NetKind::kPartialSynchrony};
+  spec.seeds = {1, 2};
+  spec.players = {3};
+  spec.strategy_space = {Strategy::kHonest, Strategy::kAbstain,
+                         Strategy::kPartialCensor};
+  spec.theta = 3;  // the hardest type: paid for no-progress
+  spec.payoff.watched_tx = 1;
+  spec.base.censored_txs = {1};
+  spec.epsilon = 0.05;
+  spec.target_blocks = 3;
+  spec.workload_txs = 6;
+  return spec;
+}
+
+TEST(DeviationExplorer, CertifiesHonestEpsilonEquilibriumUnderPrft) {
+  ExplorerSpec spec = certificate_spec();
+  spec.protocols = {Protocol::kPrft};
+  const ExplorerReport report = explore(spec);
+  ASSERT_EQ(report.cells.size(), 2u);  // two network presets
+  for (const CellVerdict& cell : report.cells) {
+    EXPECT_TRUE(cell.base_is_eps_equilibrium) << cell.label();
+    EXPECT_TRUE(cell.profitable.empty()) << cell.label();
+    // Empirical game sanity: honest earned (near) zero.
+    EXPECT_NEAR(cell.game.payoff(cell.base_profile, 0), 0.0, spec.epsilon);
+  }
+  EXPECT_TRUE(report.all_eps_equilibria());
+}
+
+TEST(DeviationExplorer, FindsStrictlyProfitableDeviationInBaseline) {
+  // Claim 1 / Theorem 1 measured: under the strong-quorum baseline
+  // (τ = n) a single θ=3 player profits strictly — on every tested
+  // network preset — by the *named* strategies π_abs and π_pc, because
+  // one silent player stalls the quorum forever and no penalty exists.
+  ExplorerSpec spec = certificate_spec();
+  spec.protocols = {Protocol::kUnanimous};
+  const ExplorerReport report = explore(spec);
+  ASSERT_EQ(report.cells.size(), 2u);
+  const double stream = 1.0 + 0.9 + 0.81;  // α·Σ δ^h over the window
+  for (const CellVerdict& cell : report.cells) {
+    EXPECT_FALSE(cell.base_is_eps_equilibrium) << cell.label();
+    ASSERT_FALSE(cell.profitable.empty()) << cell.label();
+    bool abstain_profits = false;
+    for (const Deviation& dev : cell.profitable) {
+      if (dev.strategy == Strategy::kAbstain) {
+        abstain_profits = true;
+        EXPECT_NEAR(dev.gain, stream, 0.2) << cell.label();
+      }
+    }
+    EXPECT_TRUE(abstain_profits) << cell.label();
+  }
+}
+
+TEST(DeviationExplorer, DeterministicAcrossSeedsSerialAndParallel) {
+  // The acceptance gate's reproducibility clause: the whole sweep is a
+  // pure function of the seeds — a serial explorer and a 4-worker one
+  // produce bit-identical utilities and verdicts.
+  ExplorerSpec serial = certificate_spec();
+  serial.workers = 1;
+  ExplorerSpec parallel = certificate_spec();
+  parallel.workers = 4;
+  const ExplorerReport a = explore(serial);
+  const ExplorerReport b = explore(parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    const CellVerdict& ca = a.cells[c];
+    const CellVerdict& cb = b.cells[c];
+    EXPECT_EQ(ca.label(), cb.label());
+    EXPECT_EQ(ca.base_is_eps_equilibrium, cb.base_is_eps_equilibrium);
+    ASSERT_EQ(ca.profitable.size(), cb.profitable.size());
+    for (std::size_t d = 0; d < ca.profitable.size(); ++d) {
+      EXPECT_EQ(ca.profitable[d].strategy, cb.profitable[d].strategy);
+      EXPECT_DOUBLE_EQ(ca.profitable[d].gain, cb.profitable[d].gain);
+    }
+    for (const game::Profile& p : ca.game.all_profiles()) {
+      for (int player = 0; player < ca.game.num_players(); ++player) {
+        EXPECT_DOUBLE_EQ(ca.game.payoff(p, player), cb.game.payoff(p, player));
+      }
+    }
+  }
+}
+
+TEST(DeviationExplorer, CoalitionModeBuildsMultiPlayerEmpiricalGame) {
+  // Two modeled players × two strategies on the unanimous baseline with
+  // θ=0 deviators: a coordination game — all-honest and all-abstain are
+  // both equilibria and all-honest Pareto-dominates (the §4.3 focal-point
+  // structure, measured rather than hand-fed).
+  ExplorerSpec spec;
+  spec.protocols = {Protocol::kUnanimous};
+  spec.committee_sizes = {8};
+  spec.nets = {NetKind::kSynchronous};
+  spec.seeds = {1, 2};
+  spec.players = {2, 5};
+  spec.strategy_space = {Strategy::kHonest, Strategy::kAbstain};
+  spec.theta = 0;
+  spec.epsilon = 0.05;
+  spec.target_blocks = 3;
+  spec.workload_txs = 6;
+  const ExplorerReport report = explore(spec);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const CellVerdict& cell = report.cells[0];
+  EXPECT_TRUE(cell.base_is_eps_equilibrium);  // honest is an equilibrium
+
+  const auto equilibria = cell.game.pure_nash(spec.epsilon);
+  bool has_all_honest = false;
+  bool has_all_abstain = false;
+  for (const game::Profile& eq : equilibria) {
+    if (eq == game::Profile{0, 0}) has_all_honest = true;
+    if (eq == game::Profile{1, 1}) has_all_abstain = true;
+  }
+  EXPECT_TRUE(has_all_honest);
+  EXPECT_TRUE(has_all_abstain);
+  EXPECT_TRUE(cell.game.pareto_dominates(game::Profile{0, 0},
+                                         game::Profile{1, 1}, spec.epsilon));
+  const auto focal = cell.game.pareto_frontier(equilibria, spec.epsilon);
+  ASSERT_EQ(focal.size(), 1u);
+  EXPECT_EQ(focal[0], (game::Profile{0, 0}));
+}
+
+TEST(DeviationExplorer, RejectsMisconfiguredSpecs) {
+  ExplorerSpec no_players = certificate_spec();
+  no_players.players.clear();
+  EXPECT_THROW((void)explore(no_players), std::invalid_argument);
+
+  ExplorerSpec no_honest = certificate_spec();
+  no_honest.strategy_space = {Strategy::kAbstain};
+  EXPECT_THROW((void)explore(no_honest), std::invalid_argument);
+
+  // Empty axes must be rejected, not averaged into NaN payoffs (seeds)
+  // or a vacuously-true certificate (cells).
+  ExplorerSpec no_seeds = certificate_spec();
+  no_seeds.seeds.clear();
+  EXPECT_THROW((void)explore(no_seeds), std::invalid_argument);
+  ExplorerSpec no_protocols = certificate_spec();
+  no_protocols.protocols.clear();
+  EXPECT_THROW((void)explore(no_protocols), std::invalid_argument);
+
+  // Regression: an unsupported (protocol, strategy) pair must surface as
+  // a catchable error before the parallel fan-out — a throw on a bare
+  // worker thread would terminate the process instead.
+  ExplorerSpec unsupported = certificate_spec();
+  unsupported.protocols = {Protocol::kHotStuff};
+  unsupported.strategy_space = {Strategy::kHonest, Strategy::kDoubleSign};
+  unsupported.workers = 4;
+  EXPECT_THROW((void)explore(unsupported), std::invalid_argument);
+}
+
+TEST(ParallelCells, PropagatesWorkerExceptions) {
+  // The shared sweep engine itself must also survive a throwing callback.
+  EXPECT_THROW(harness::parallel_cells(64, 4,
+                                       [](std::size_t i) {
+                                         if (i == 13) {
+                                           throw std::runtime_error("boom");
+                                         }
+                                       }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ratcon::rational

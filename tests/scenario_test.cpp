@@ -172,11 +172,30 @@ TEST(AdversaryInjection, BehaviorsMatchNodeFactoryExactly) {
   EXPECT_EQ(a.honest_chains().size(), b.honest_chains().size());
 }
 
-TEST(AdversaryInjection, BehaviorsRejectedForBaselines) {
-  ScenarioSpec spec;
-  spec.protocol = Protocol::kHotStuff;
-  spec.adversary.behaviors[0] = std::make_shared<adversary::AbstainBehavior>();
-  EXPECT_THROW(Simulation sim(spec), std::invalid_argument);
+TEST(AdversaryInjection, BehaviorsDriveEveryRegisteredProtocol) {
+  // The strategy hooks are protocol-agnostic (consensus::Behavior): an
+  // abstaining player is non-honest and silent under every baseline, and
+  // with one abstainer within the design bound the rest stay safe + live.
+  for (Protocol proto : {Protocol::kHotStuff, Protocol::kQuorum,
+                         Protocol::kRaftLite, Protocol::kPrft}) {
+    ScenarioSpec spec;
+    spec.protocol = proto;
+    spec.committee.n = 8;
+    spec.seed = 77;
+    spec.budget.target_blocks = 2;
+    spec.workload.txs = 4;
+    spec.adversary.behaviors[2] =
+        std::make_shared<adversary::AbstainBehavior>();
+    Simulation sim(spec);
+    const RunReport report = sim.run_to_completion();
+    EXPECT_FALSE(sim.replica(2).is_honest()) << to_string(proto);
+    EXPECT_TRUE(report.safe()) << to_string(proto);
+    EXPECT_GE(report.live_min_height, 2u) << to_string(proto);
+    // The abstainer sent nothing but catch-up traffic.
+    const auto sent = sim.net().stats().for_sender_proto(
+        2, static_cast<std::uint8_t>(consensus::ProtoId::kSync));
+    EXPECT_EQ(report.accounts[2].messages, sent.count) << to_string(proto);
+  }
 }
 
 TEST(FaultPlan, ImmediateCrashAppliesBeforeStart) {

@@ -340,5 +340,61 @@ TEST(CatchupIntegration, HealedPartitionRecoversWithoutSlashing) {
   EXPECT_GT(sim.catchup(6)->blocks_adopted(), 0u);
 }
 
+// Piggybacked announces (ROADMAP item): with piggyback on — the default —
+// finalized-height announces ride outgoing protocol messages instead of
+// being broadcast on their own. Same scenario, identical recovery, and
+// the standalone sync sends drop while the saved announces are counted.
+TEST(CatchupIntegration, PiggybackCutsAnnounceBroadcasts) {
+  const auto run = [](bool piggyback) {
+    harness::ScenarioSpec spec;
+    spec.protocol = harness::Protocol::kHotStuff;
+    spec.committee.n = 7;
+    spec.seed = 13;
+    spec.budget.target_blocks = 4;
+    spec.workload.txs = 12;
+    spec.sync_plan.piggyback = piggyback;
+    spec.faults.partition({{0, 1, 2, 3, 4, 5}, {6}}, usec(10), msec(2500));
+    harness::Simulation sim(spec);
+    return sim.run_to_completion();
+  };
+  const harness::RunReport off = run(false);
+  const harness::RunReport on = run(true);
+
+  EXPECT_TRUE(off.safe());
+  EXPECT_TRUE(on.safe());
+  EXPECT_GE(off.live_min_height, 4u);
+  EXPECT_GE(on.live_min_height, 4u) << "recovery must survive piggybacking";
+  EXPECT_EQ(off.sync_piggybacked, 0u);
+  EXPECT_GT(on.sync_piggybacked, 0u);
+  EXPECT_LT(on.sync_messages, off.sync_messages)
+      << "piggybacked announces must come off the standalone sync sends";
+}
+
+// The piggyback container is transparent to the protocol: per-class
+// protocol traffic attribution is preserved (the inner message is counted
+// in its own class, the riding announce as overhead bytes only).
+TEST(CatchupIntegration, PiggybackPreservesProtocolTrafficAttribution) {
+  harness::ScenarioSpec spec;
+  spec.committee.n = 4;
+  spec.seed = 17;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  harness::Simulation sim(spec);
+  const harness::RunReport report = sim.run_to_completion();
+  EXPECT_TRUE(report.safe());
+
+  // Piggybacking happened, and no 0xFF class leaked into the stats.
+  EXPECT_GT(report.sync_piggybacked, 0u);
+  const auto& per_type = sim.net().stats().per_type();
+  for (const auto& [key, counter] : per_type) {
+    EXPECT_NE(key.first, net::kPiggybackMarker);
+    (void)counter;
+  }
+  // The consensus class still carries the protocol's traffic.
+  const auto prft = sim.net().stats().for_proto(
+      static_cast<std::uint8_t>(consensus::ProtoId::kPrft));
+  EXPECT_GT(prft.count, 0u);
+}
+
 }  // namespace
 }  // namespace ratcon::sync
