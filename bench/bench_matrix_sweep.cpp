@@ -7,11 +7,16 @@
 //   bench_matrix_sweep --protocol=hotstuff --nets=partial-synchrony
 //   bench_matrix_sweep --protocol=all --crashes=1 --partition --budget-ms=500
 //   bench_matrix_sweep --workers=1 --no-sync   # serial, no catch-up
+//   bench_matrix_sweep --json=path.json        # artifact (default
+//                                              #   BENCH_matrix.json)
 //
 // Cells run in parallel by default (one worker per hardware thread; each
 // cell is an independent seeded simulation, so results are identical to a
 // serial sweep). Catch-up/state transfer (ScenarioSpec::sync_plan) is on
 // by default; --no-sync reproduces the stay-behind-forever behaviour.
+// Besides the printed table, the sweep emits a machine-readable
+// BENCH_matrix.json (per-cell safety, traffic and wall-clock) so the perf
+// trajectory is tracked across PRs.
 
 #include <cstdio>
 #include <sstream>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "harness/flags.hpp"
+#include "harness/jsonio.hpp"
 #include "harness/matrix.hpp"
 
 namespace {
@@ -119,6 +125,55 @@ int main(int argc, char** argv) {
 
   const auto report = ratcon::harness::run_matrix(spec);
   std::printf("%s\n", report.summary().c_str());
+
+  // Machine-readable artifact for the cross-PR perf trajectory.
+  {
+    using ratcon::harness::JsonWriter;
+    JsonWriter json;
+    json.begin_object();
+    json.key("bench").value("matrix_sweep");
+    json.key("cells").value(static_cast<std::uint64_t>(report.cell_count()));
+    json.key("all_safe").value(report.all_safe());
+    json.key("cell_budget_ms").value(spec.cell_budget_ms);
+    double total_wall = 0;
+    std::uint64_t total_msgs = 0, total_bytes = 0;
+    json.key("results").begin_array();
+    for (const auto& cell : report.cells) {
+      total_wall += cell.wall_ms;
+      total_msgs += cell.messages;
+      total_bytes += cell.bytes;
+      json.begin_object();
+      json.key("label").value(cell.label());
+      json.key("safe").value(cell.safe());
+      json.key("min_height").value(cell.min_height);
+      json.key("live_min_height").value(cell.live_min_height);
+      json.key("messages").value(cell.messages);
+      json.key("bytes").value(cell.bytes);
+      json.key("sync_messages").value(cell.sync_messages);
+      json.key("wall_ms").value(cell.wall_ms);
+      json.key("over_budget").value(cell.over_budget());
+      if (cell.recovery_latency() == ratcon::kSimTimeNever) {
+        json.key("recovery_latency_us").null();
+      } else {
+        json.key("recovery_latency_us")
+            .value(static_cast<std::int64_t>(cell.recovery_latency()));
+      }
+      json.end_object();
+    }
+    json.end_array();
+    json.key("total_wall_ms").value(total_wall);
+    json.key("total_messages").value(total_msgs);
+    json.key("total_bytes").value(total_bytes);
+    json.end_object();
+    const std::string json_path =
+        flags.get_str("json", "BENCH_matrix.json");
+    if (ratcon::harness::write_text_file(json_path, json.str())) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("WARNING: could not write %s\n", json_path.c_str());
+    }
+  }
+
   const auto bad = report.unsafe_cells();
   if (!bad.empty()) {
     std::printf("\nUNSAFE CELLS (%zu):\n", bad.size());

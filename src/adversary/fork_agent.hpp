@@ -28,9 +28,17 @@ struct ForkPlan {
   };
   std::map<Round, RoundValues> values;
 
-  /// The coalition attacks every round one of its members leads.
+  /// Equivocation timing window: the coalition only attacks rounds in
+  /// [attack_from, attack_until). Defaults cover every round; the
+  /// adaptive search (src/search) exposes these as coordinates.
+  Round attack_from = 0;
+  Round attack_until = kRoundNever;
+
+  /// The coalition attacks every round one of its members leads, inside
+  /// the timing window.
   [[nodiscard]] bool attacks(Round r) const {
-    return coalition.count(static_cast<NodeId>(r % n)) > 0;
+    return r >= attack_from && r < attack_until &&
+           coalition.count(static_cast<NodeId>(r % n)) > 0;
   }
 
   /// Recipients of the A-side (resp. B-side) messages. Coalition members

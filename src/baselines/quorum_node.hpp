@@ -36,9 +36,15 @@ struct QuorumForkPlan {
   };
   std::map<Round, RoundValues> values;
 
+  /// Equivocation timing window (see adversary::ForkPlan): attacks only
+  /// inside [attack_from, attack_until).
+  Round attack_from = 0;
+  Round attack_until = kRoundNever;
+
   [[nodiscard]] bool attacks(Round r) const {
     const NodeId leader = static_cast<NodeId>(r % n);
-    return coalition.count(leader) > 0 && baiters.count(leader) == 0;
+    return r >= attack_from && r < attack_until &&
+           coalition.count(leader) > 0 && baiters.count(leader) == 0;
   }
   [[nodiscard]] std::set<NodeId> targets_a() const;
   [[nodiscard]] std::set<NodeId> targets_b() const;

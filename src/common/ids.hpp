@@ -15,4 +15,8 @@ using Round = std::uint64_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 
+/// Sentinel round for "never" — open-ended attack/timing windows
+/// (adversary fork plans, search strategy knobs).
+inline constexpr Round kRoundNever = static_cast<Round>(-1);
+
 }  // namespace ratcon

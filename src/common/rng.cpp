@@ -75,4 +75,21 @@ Rng Rng::fork() {
   return Rng(next() ^ 0xa02bdbf7bb3c0a7ull);
 }
 
+Rng Rng::fork(std::string_view label) const {
+  // FNV-1a over the label, mixed with the full current state through
+  // splitmix64 so substreams of substreams stay independent. The parent's
+  // state is read, never written.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  std::uint64_t mix = h;
+  for (const std::uint64_t s : s_) {
+    std::uint64_t x = s ^ mix;
+    mix = splitmix64(x);
+  }
+  return Rng(mix ^ 0x6a09e667f3bcc909ull);
+}
+
 }  // namespace ratcon

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace ratcon {
@@ -39,7 +40,17 @@ class Rng {
   }
 
   /// Derives an independent child generator (for per-node streams).
+  /// Advances this generator's state, so the fork *order* matters.
   Rng fork();
+
+  /// Derives an independent child generator keyed by `label` without
+  /// advancing this generator's state: two forks with the same label from
+  /// the same state are identical, different labels are independent, and
+  /// thread scheduling cannot reorder anything. This is what makes
+  /// mixed-strategy sampling (src/search) byte-identical between serial
+  /// and parallel sweeps — a player's stream depends only on
+  /// (seed, label), never on when it was forked.
+  [[nodiscard]] Rng fork(std::string_view label) const;
 
  private:
   std::uint64_t s_[4];

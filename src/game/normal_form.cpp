@@ -102,6 +102,126 @@ double NormalFormGame::payoff(const Profile& profile, int player) const {
   return payoffs_[index_of(profile)][static_cast<std::size_t>(player)];
 }
 
+std::vector<int> NormalFormGame::support(const MixedStrategy& mix) {
+  std::vector<int> out;
+  for (std::size_t s = 0; s < mix.size(); ++s) {
+    if (mix[s] > 0.0) out.push_back(static_cast<int>(s));
+  }
+  return out;
+}
+
+double NormalFormGame::expected_payoff(const MixedProfile& profile,
+                                       int player) const {
+  check_player(player);
+  if (profile.size() != counts_.size()) {
+    throw std::out_of_range("NormalFormGame: mixed profile of " +
+                            std::to_string(profile.size()) +
+                            " mixtures for " + std::to_string(counts_.size()) +
+                            " players");
+  }
+  std::vector<std::vector<int>> supports(counts_.size());
+  std::vector<double> totals(counts_.size(), 0.0);
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    const MixedStrategy& mix = profile[p];
+    if (mix.size() != static_cast<std::size_t>(counts_[p])) {
+      throw std::out_of_range(
+          "NormalFormGame: mixture of " + std::to_string(mix.size()) +
+          " weights for player " + std::to_string(p) + " (has " +
+          std::to_string(counts_[p]) + " strategies)");
+    }
+    for (const double w : mix) {
+      if (w < 0.0) {
+        throw std::invalid_argument("NormalFormGame: negative mixture weight");
+      }
+      totals[p] += w;
+    }
+    if (totals[p] <= 0.0) {
+      throw std::invalid_argument("NormalFormGame: all-zero mixture");
+    }
+    supports[p] = support(mix);
+  }
+
+  // Odometer over the support cross-product only; each cell contributes
+  // payoff × Π normalized weights.
+  double expected = 0.0;
+  std::vector<std::size_t> at(counts_.size(), 0);
+  Profile pure(counts_.size(), 0);
+  while (true) {
+    double prob = 1.0;
+    for (std::size_t p = 0; p < counts_.size(); ++p) {
+      pure[p] = supports[p][at[p]];
+      prob *= profile[p][static_cast<std::size_t>(pure[p])] / totals[p];
+    }
+    expected += prob * payoff(pure, player);
+    std::size_t p = counts_.size();
+    while (p > 0) {
+      --p;
+      if (++at[p] < supports[p].size()) break;
+      at[p] = 0;
+      if (p == 0) return expected;
+    }
+  }
+}
+
+bool NormalFormGame::is_mixed_nash(const MixedProfile& profile,
+                                   double tolerance) const {
+  for (int p = 0; p < num_players(); ++p) {
+    const double current = expected_payoff(profile, p);
+    MixedProfile deviated = profile;
+    for (int s = 0; s < counts_[static_cast<std::size_t>(p)]; ++s) {
+      MixedStrategy pure(static_cast<std::size_t>(
+                             counts_[static_cast<std::size_t>(p)]),
+                         0.0);
+      pure[static_cast<std::size_t>(s)] = 1.0;
+      deviated[static_cast<std::size_t>(p)] = std::move(pure);
+      if (expected_payoff(deviated, p) > current + tolerance) return false;
+    }
+    deviated[static_cast<std::size_t>(p)] = profile[static_cast<std::size_t>(p)];
+  }
+  return true;
+}
+
+MixedProfile NormalFormGame::degenerate(const Profile& profile) const {
+  (void)index_of(profile);  // validate shape and ranges
+  MixedProfile out(counts_.size());
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    out[p].assign(static_cast<std::size_t>(counts_[p]), 0.0);
+    out[p][static_cast<std::size_t>(profile[p])] = 1.0;
+  }
+  return out;
+}
+
+std::vector<Profile> NormalFormGame::best_response_path(
+    const Profile& start, int max_steps, double tolerance) const {
+  (void)index_of(start);  // validate shape and ranges
+  std::vector<Profile> path{start};
+  Profile current = start;
+  for (int step = 0; step < max_steps; ++step) {
+    bool moved = false;
+    for (int p = 0; p < num_players() && !moved; ++p) {
+      const double here = payoff(current, p);
+      Profile candidate = current;
+      int best_s = current[static_cast<std::size_t>(p)];
+      double best_u = here;
+      for (int s = 0; s < counts_[static_cast<std::size_t>(p)]; ++s) {
+        candidate[static_cast<std::size_t>(p)] = s;
+        const double u = payoff(candidate, p);
+        if (u > best_u + tolerance) {
+          best_u = u;
+          best_s = s;
+        }
+      }
+      if (best_s != current[static_cast<std::size_t>(p)]) {
+        current[static_cast<std::size_t>(p)] = best_s;
+        path.push_back(current);
+        moved = true;
+      }
+    }
+    if (!moved) break;  // pure Nash reached
+  }
+  return path;
+}
+
 bool NormalFormGame::is_nash(const Profile& profile, double tolerance) const {
   for (int p = 0; p < num_players(); ++p) {
     const double current = payoff(profile, p);

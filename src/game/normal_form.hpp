@@ -9,6 +9,15 @@ namespace ratcon::game {
 /// A pure strategy profile: one strategy index per player.
 using Profile = std::vector<int>;
 
+/// A mixed strategy for one player: probability weight per strategy index.
+/// Weights must be non-negative with a positive sum; accessors normalize
+/// internally, so un-normalized weights (e.g. counts) are fine. A
+/// degenerate mixture — all weight on one index — is that pure strategy.
+using MixedStrategy = std::vector<double>;
+
+/// One mixed strategy per player.
+using MixedProfile = std::vector<MixedStrategy>;
+
 /// Finite normal-form game with pure-strategy solution concepts. Used to
 /// reproduce the paper's equilibrium analysis: Table 3's example game, the
 /// TRAP baiting game (Theorem 3) and the empirical deviation games built
@@ -43,6 +52,29 @@ class NormalFormGame {
 
   [[nodiscard]] double payoff(const Profile& profile, int player) const;
 
+  // -- Mixed profiles -------------------------------------------------------
+
+  /// Support of a mixture: the strategy indices with weight > 0.
+  [[nodiscard]] static std::vector<int> support(const MixedStrategy& mix);
+
+  /// Expected payoff of `player` under a mixed profile: the pure payoff
+  /// table averaged over the product distribution, enumerating only the
+  /// support cross-product (zero-weight strategies contribute nothing).
+  /// Throws std::out_of_range on a mis-shaped profile (wrong player count
+  /// or a mixture whose length differs from that player's strategy count)
+  /// and std::invalid_argument on negative weights or an all-zero mixture.
+  [[nodiscard]] double expected_payoff(const MixedProfile& profile,
+                                       int player) const;
+
+  /// True when no player gains more than `tolerance` by deviating to any
+  /// *pure* strategy (sufficient: a profitable mixed deviation implies a
+  /// profitable pure one in its support).
+  [[nodiscard]] bool is_mixed_nash(const MixedProfile& profile,
+                                   double tolerance = 1e-9) const;
+
+  /// The MixedProfile equivalent of a pure profile (degenerate mixtures).
+  [[nodiscard]] MixedProfile degenerate(const Profile& profile) const;
+
   // -- Solution concepts ----------------------------------------------------
 
   /// True when no player gains by unilateral deviation (Definition 4's
@@ -70,6 +102,18 @@ class NormalFormGame {
   /// Pareto-dominated by any other candidate — the focal equilibria.
   [[nodiscard]] std::vector<Profile> pareto_frontier(
       const std::vector<Profile>& candidates, double tolerance = 1e-9) const;
+
+  /// Iterated best-response path from `start` — the search dynamic §4.3's
+  /// focal-point argument relies on, run on the payoff table: at each step
+  /// the lowest-indexed player with a deviation more profitable than
+  /// `tolerance` moves to its best response (ties broken towards the
+  /// lowest strategy index, so the path is deterministic). Stops at a pure
+  /// Nash equilibrium or after `max_steps` moves. Returns the visited
+  /// profiles, `start` first; the dynamic converged iff
+  /// `is_nash(path.back(), tolerance)`.
+  [[nodiscard]] std::vector<Profile> best_response_path(
+      const Profile& start, int max_steps = 64,
+      double tolerance = 1e-9) const;
 
   /// Enumerates all profiles (row-major over strategy indices).
   [[nodiscard]] std::vector<Profile> all_profiles() const;

@@ -1,0 +1,173 @@
+#include "harness/jsonio.hpp"
+
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ratcon::harness {
+
+void JsonWriter::comma_for_value() {
+  if (!stack_.empty() && stack_.back() == Frame::kObject && !have_key_) {
+    throw std::logic_error("JsonWriter: object member needs a key");
+  }
+  if (need_comma_ && !have_key_) out_ += ',';
+  need_comma_ = false;
+  have_key_ = false;
+}
+
+void JsonWriter::opened(Frame f) {
+  stack_.push_back(f);
+  need_comma_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  opened(Frame::kObject);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || have_key_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  stack_.pop_back();
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  opened(Frame::kArray);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  stack_.pop_back();
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Frame::kObject || have_key_) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+  append_escaped(out_, k);
+  out_ += ':';
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_for_value();
+  append_escaped(out_, v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string_view(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_for_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+  } else {
+    // std::to_chars: shortest round-trip representation, and locale-free
+    // (snprintf("%g") would honor LC_NUMERIC and could emit a comma
+    // decimal separator — invalid JSON).
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out_.append(buf, res.ptr);
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+  need_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: unterminated containers");
+  }
+  return out_;
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(content.data(),
+          static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace ratcon::harness

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ratcon::harness {
+
+/// Minimal streaming JSON writer for the machine-readable bench artifacts
+/// (BENCH_matrix.json, BENCH_search.json): correct escaping, locale-free
+/// number formatting, and a container stack that places commas — no
+/// external dependency. Misuse (closing the wrong container, a value
+/// where a key is required) throws std::logic_error.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);      ///< non-finite values emit null
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The finished document. Throws std::logic_error while containers are
+  /// still open.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void comma_for_value();
+  void opened(Frame f);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+/// Writes `content` to `path` atomically enough for bench artifacts
+/// (truncate + write). Returns false on I/O failure instead of throwing —
+/// an unwritable artifact should not fail the bench run itself.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace ratcon::harness

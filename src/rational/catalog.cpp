@@ -100,13 +100,8 @@ std::shared_ptr<consensus::Behavior> make_behavior(
   return nullptr;
 }
 
-namespace {
-
-/// Splits the non-coalition players into the two sides a π_ds coalition
-/// shows its conflicting values to (the partition geometry of §4.1.2's
-/// disagreement attack).
-void split_sides(std::uint32_t n, const std::set<NodeId>& coalition,
-                 std::set<NodeId>& side_a, std::set<NodeId>& side_b) {
+void fork_sides(std::uint32_t n, const std::set<NodeId>& coalition,
+                std::set<NodeId>& side_a, std::set<NodeId>& side_b) {
   std::vector<NodeId> rest;
   for (NodeId id = 0; id < n; ++id) {
     if (!coalition.count(id)) rest.push_back(id);
@@ -116,8 +111,6 @@ void split_sides(std::uint32_t n, const std::set<NodeId>& coalition,
     (i < half ? side_a : side_b).insert(rest[i]);
   }
 }
-
-}  // namespace
 
 void apply_profile(harness::ScenarioSpec& spec, const ProfileSpec& profile) {
   const Protocol proto = spec.protocol;
@@ -150,7 +143,7 @@ void apply_profile(harness::ScenarioSpec& spec, const ProfileSpec& profile) {
     auto plan = std::make_shared<adversary::ForkPlan>();
     plan->n = spec.committee.n;
     plan->coalition = coalition;
-    split_sides(spec.committee.n, coalition, plan->side_a, plan->side_b);
+    fork_sides(spec.committee.n, coalition, plan->side_a, plan->side_b);
     spec.adversary.node_factory =
         [plan, ds_players](NodeId id, const harness::NodeEnv& env)
         -> std::unique_ptr<consensus::IReplica> {
@@ -165,7 +158,7 @@ void apply_profile(harness::ScenarioSpec& spec, const ProfileSpec& profile) {
   auto plan = std::make_shared<baselines::QuorumForkPlan>();
   plan->n = spec.committee.n;
   plan->coalition = coalition;
-  split_sides(spec.committee.n, coalition, plan->side_a, plan->side_b);
+  fork_sides(spec.committee.n, coalition, plan->side_a, plan->side_b);
   const bool unanimous = proto == Protocol::kUnanimous;
   spec.adversary.node_factory =
       [plan, ds_players, unanimous](NodeId id, const harness::NodeEnv& env)

@@ -81,4 +81,12 @@ struct ProfileSpec {
 /// std::invalid_argument when a strategy is unsupported for the protocol.
 void apply_profile(harness::ScenarioSpec& spec, const ProfileSpec& profile);
 
+/// The partition geometry of a π_ds coalition (§4.1.2's disagreement
+/// attack): splits the non-coalition players into the two sides the
+/// conflicting values are shown to. Exposed as a catalog extension point
+/// for src/search, which builds fork plans with equivocation-timing
+/// windows on top of the same geometry.
+void fork_sides(std::uint32_t n, const std::set<NodeId>& coalition,
+                std::set<NodeId>& side_a, std::set<NodeId>& side_b);
+
 }  // namespace ratcon::rational

@@ -1,0 +1,88 @@
+#include "search/coalitions.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ratcon::search {
+
+std::uint32_t CoalitionSpec::effective_k_max() const {
+  const std::uint32_t k = k_max != 0 ? k_max : (n + 3) / 4;  // ⌈n/4⌉
+  return std::min(k, n);
+}
+
+bool rotation_canonical(const Coalition& c, std::uint32_t n) {
+  if (c.empty()) return true;
+  Coalition rotated(c.size());
+  for (std::uint32_t shift = 1; shift < n; ++shift) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      rotated[i] = static_cast<NodeId>((c[i] + shift) % n);
+    }
+    std::sort(rotated.begin(), rotated.end());
+    if (std::lexicographical_compare(rotated.begin(), rotated.end(),
+                                     c.begin(), c.end())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Coalition> enumerate_coalitions(const CoalitionSpec& spec) {
+  if (spec.n == 0) {
+    throw std::invalid_argument("enumerate_coalitions: empty committee");
+  }
+  if (spec.k_min == 0) {
+    throw std::invalid_argument("enumerate_coalitions: k_min must be >= 1");
+  }
+  const std::uint32_t k_max = spec.effective_k_max();
+  std::vector<Coalition> out;
+  for (std::uint32_t k = spec.k_min; k <= k_max; ++k) {
+    // k-subsets of [0, n) in lexicographic order.
+    Coalition c(k);
+    for (std::uint32_t i = 0; i < k; ++i) c[i] = i;
+    while (true) {
+      if (!spec.symmetry_reduce || rotation_canonical(c, spec.n)) {
+        out.push_back(c);
+        if (spec.limit != 0 && out.size() >= spec.limit) return out;
+      }
+      // Advance: find the rightmost member that can still move right.
+      std::int64_t i = static_cast<std::int64_t>(k) - 1;
+      while (i >= 0 &&
+             c[static_cast<std::size_t>(i)] ==
+                 spec.n - k + static_cast<std::uint32_t>(i)) {
+        --i;
+      }
+      if (i < 0) break;
+      ++c[static_cast<std::size_t>(i)];
+      for (std::size_t j = static_cast<std::size_t>(i) + 1; j < k; ++j) {
+        c[j] = c[j - 1] + 1;
+      }
+    }
+  }
+  return out;
+}
+
+CoalitionBand theorem_band(std::uint32_t n) {
+  CoalitionBand band;
+  band.lo = (n + 2) / 3;                  // ⌈n/3⌉
+  const std::uint32_t half = (n + 1) / 2;  // ⌈n/2⌉
+  band.hi = half > 0 ? half - 1 : 0;
+  return band;
+}
+
+std::uint64_t choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t numer = n - k + i;
+    // result * numer / i, watching for overflow (saturate).
+    if (result > std::numeric_limits<std::uint64_t>::max() / numer) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    result = result * numer / i;
+  }
+  return result;
+}
+
+}  // namespace ratcon::search

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace ratcon::search {
+
+/// CoalitionEnumerator: bounded enumeration of the coalitions the
+/// best-response search quantifies over, with symmetry reduction.
+///
+/// Theorems 1–3 are statements about coalitions, not single deviators —
+/// the impossibility band is ⌈n/3⌉ ≤ k+t ≤ ⌈n/2⌉−1 (theorem_band), while
+/// pRFT's robustness claims live below it. The full C(n,k) cross-product
+/// explodes fast; two observations shrink it:
+///
+///  * Leadership rotates r % n and the network models are node-symmetric,
+///    so rotating a coalition relabels rounds without changing the attack
+///    geometry. Enumerating one representative per rotation class (the
+///    lexicographically minimal rotation) covers every distinct geometry
+///    at ~1/n of the cost — exact for seed-averaged symmetric utilities,
+///    a standard EGTA-style reduction otherwise.
+///  * The search needs coalitions only up to k = ⌈n/4⌉ (one past pRFT's
+///    design bound t₀ = ⌈n/4⌉−1): smaller coalitions are covered on the
+///    way, larger ones are already inside the impossibility band.
+struct CoalitionSpec {
+  std::uint32_t n = 8;
+  std::uint32_t k_min = 1;
+  /// 0 = ⌈n/4⌉.
+  std::uint32_t k_max = 0;
+  bool symmetry_reduce = true;
+  /// 0 = unlimited; otherwise only the first `limit` coalitions in
+  /// enumeration order are returned (a deterministic truncation for
+  /// budgeted sweeps — callers should log when it bites).
+  std::size_t limit = 0;
+
+  [[nodiscard]] std::uint32_t effective_k_max() const;
+};
+
+/// A coalition: sorted member ids.
+using Coalition = std::vector<NodeId>;
+
+/// True when `c` (sorted, members < n) is the lexicographically minimal
+/// rotation of its class — the canonical representative kept by the
+/// symmetry reduction.
+[[nodiscard]] bool rotation_canonical(const Coalition& c, std::uint32_t n);
+
+/// All coalitions of size k_min..k_max, smallest size first and
+/// lexicographic within a size; symmetry-reduced and truncated per the
+/// spec. Throws std::invalid_argument on n = 0 or k_min = 0.
+[[nodiscard]] std::vector<Coalition> enumerate_coalitions(
+    const CoalitionSpec& spec);
+
+/// The Theorems 1–2 impossibility band on the coalition size k+t:
+/// [⌈n/3⌉, ⌈n/2⌉−1] (empty when hi < lo, i.e. tiny committees).
+struct CoalitionBand {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  [[nodiscard]] bool contains(std::uint32_t k) const {
+    return k >= lo && k <= hi;
+  }
+};
+[[nodiscard]] CoalitionBand theorem_band(std::uint32_t n);
+
+/// C(n, k), saturating at UINT64_MAX — used to report how many cells the
+/// symmetry reduction saved.
+[[nodiscard]] std::uint64_t choose(std::uint64_t n, std::uint64_t k);
+
+}  // namespace ratcon::search

@@ -1,0 +1,443 @@
+#include "search/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/matrix.hpp"
+#include "harness/protocols.hpp"
+#include "harness/table.hpp"
+
+namespace ratcon::search {
+
+using game::Strategy;
+using harness::NetKind;
+using harness::Protocol;
+using harness::ScenarioSpec;
+using harness::Simulation;
+
+harness::ScenarioSpec SearchSpec::to_scenario(
+    NetKind net, std::uint64_t seed, const StrategySpace& space,
+    const std::map<NodeId, int>& assignment) const {
+  ScenarioSpec scenario;
+  scenario.protocol = protocol;
+  scenario.seed = seed;
+  scenario.committee.n = n;
+  scenario.net.kind = net;
+  scenario.net.delta = delta;
+  scenario.net.gst = gst;
+  scenario.net.hold_probability = hold_probability;
+  scenario.workload.txs = workload_txs;
+  scenario.workload.start = msec(1);
+  scenario.workload.interval = msec(2);
+  scenario.budget.target_blocks = target_blocks;
+  scenario.budget.horizon = horizon;
+  scenario.sync_plan.enabled = sync_enabled;
+  rational::apply_profile(scenario, base);
+  apply_assignment(scenario, space, assignment, base);
+  return scenario;
+}
+
+std::vector<StrategyVariant> default_candidate_pool(
+    Protocol proto, const std::set<std::uint64_t>& censored) {
+  std::vector<StrategyVariant> pool;
+  // The catalog's executable pure strategies (π₀ is implicit).
+  for (const Strategy s : {Strategy::kAbstain, Strategy::kPartialCensor,
+                           Strategy::kLazyVote, Strategy::kFreeRide,
+                           Strategy::kDoubleSign}) {
+    if (rational::strategy_supported(proto, s)) {
+      pool.push_back(StrategyVariant::of(s));
+    }
+  }
+  // Mixed strategies: half-honest mixtures of the abstention and
+  // censorship families — the randomized deviations a fixed catalog
+  // never covers.
+  pool.push_back(StrategyVariant::mixed(
+      {{Strategy::kHonest, 0.5}, {Strategy::kAbstain, 0.5}}));
+  pool.push_back(StrategyVariant::mixed(
+      {{Strategy::kHonest, 0.5}, {Strategy::kPartialCensor, 0.5}}));
+  // Parametric adversary knobs: a targeted-delay window …
+  {
+    AdversaryKnobs delay;
+    delay.delay_from = 2;
+    delay.delay_until = 6;
+    pool.push_back(StrategyVariant::param(delay));
+  }
+  // … censor-set selection without the abstention half of π_pc …
+  if (!censored.empty()) {
+    AdversaryKnobs censor;
+    censor.censor_txs = censored;
+    pool.push_back(StrategyVariant::param(censor));
+  }
+  // … and a timed equivocation window where the fork substrate exists.
+  if (rational::strategy_supported(proto, Strategy::kDoubleSign)) {
+    AdversaryKnobs equiv;
+    equiv.equivocate = true;
+    equiv.equivocate_from = 1;
+    equiv.equivocate_until = 5;
+    pool.push_back(StrategyVariant::param(equiv));
+  }
+  return pool;
+}
+
+namespace {
+
+/// Mean per-player utilities for a batch of assignments: one seeded
+/// Simulation per (assignment, net, seed), in parallel, reduced to
+/// per-assignment seed/net means. Slot addresses are position-stable, so
+/// a parallel sweep fills exactly what a serial one does.
+std::vector<std::vector<double>> evaluate_assignments(
+    const SearchSpec& spec, const StrategySpace& space,
+    const std::vector<std::map<NodeId, int>>& assignments,
+    const rational::PayoffAccountant& accountant) {
+  const std::size_t runs_per = spec.nets.size() * spec.seeds.size();
+  const std::size_t total = assignments.size() * runs_per;
+  std::vector<std::vector<double>> per_run(
+      total, std::vector<double>(spec.n, 0.0));
+  harness::parallel_cells(total, spec.workers, [&](std::size_t run) {
+    const std::size_t a = run / runs_per;
+    const std::size_t in_a = run % runs_per;
+    const NetKind net = spec.nets[in_a / spec.seeds.size()];
+    const std::uint64_t seed = spec.seeds[in_a % spec.seeds.size()];
+    Simulation sim(spec.to_scenario(net, seed, space, assignments[a]));
+    (void)sim.run_to_completion();
+    const rational::PayoffReport report = accountant.account(sim);
+    for (NodeId id = 0; id < spec.n; ++id) {
+      per_run[run][id] = report.of(id).utility;
+    }
+  });
+  std::vector<std::vector<double>> means(
+      assignments.size(), std::vector<double>(spec.n, 0.0));
+  for (std::size_t a = 0; a < assignments.size(); ++a) {
+    for (std::size_t r = 0; r < runs_per; ++r) {
+      for (NodeId id = 0; id < spec.n; ++id) {
+        means[a][id] += per_run[a * runs_per + r][id];
+      }
+    }
+    for (NodeId id = 0; id < spec.n; ++id) {
+      means[a][id] /= static_cast<double>(runs_per);
+    }
+  }
+  return means;
+}
+
+std::string profile_label(const StrategySpace& space,
+                          const std::map<NodeId, int>& assignment) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [id, index] : assignment) {
+    if (space.at(index).is_honest()) continue;
+    if (!first) os << " ";
+    first = false;
+    os << "P" << id << ":" << space.at(index).label();
+  }
+  return first ? "all-honest" : os.str();
+}
+
+std::string coalition_label(const Coalition& c) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i) os << ",";
+    os << c[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string SearchResult::summary() const {
+  std::ostringstream os;
+  os << "search: " << to_string(protocol) << " n=" << n
+     << " theta=" << theta << "\n";
+  harness::Table t({"iter", "coalition", "adopted deviation", "gain"});
+  for (const DiscoveredDeviation& d : discovered) {
+    t.add_row({std::to_string(d.iteration), coalition_label(d.coalition),
+               d.label, harness::fmt(d.gain, 3)});
+  }
+  if (discovered.empty()) {
+    t.add_row({"-", "-", "none (no deviation gained > eps)", "-"});
+  }
+  os << t.render() << "\n";
+  os << "  coalitions: " << coalitions_examined << " canonical (of "
+     << unreduced_coalitions << " unreduced), candidates: "
+     << candidate_count << ", strategy space grew to " << space.size()
+     << "\n";
+  os << "  budget: " << evaluations << "/" << budget.max_evaluations
+     << " evaluations, " << iterations << "/" << budget.max_iterations
+     << " iterations, " << harness::fmt(wall_ms, 1) << " ms\n";
+  if (budget_exhausted) {
+    os << "  verdict: BUDGET EXHAUSTED before a full sweep — no "
+          "certificate\n";
+  } else if (equilibrium_certified) {
+    os << "  verdict: eps-equilibrium CERTIFIED for profile ["
+       << profile_label(space, final_profile) << "]\n";
+  } else {
+    os << "  verdict: stopped at max_iterations while deviations were "
+          "still profitable\n";
+  }
+  return os.str();
+}
+
+SearchResult search(const SearchSpec& spec) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (spec.nets.empty() || spec.seeds.empty()) {
+    throw std::invalid_argument("search: nets/seeds must be non-empty");
+  }
+  if (spec.n == 0) {
+    throw std::invalid_argument("search: empty committee");
+  }
+
+  CoalitionSpec cspec = spec.coalitions;
+  cspec.n = spec.n;
+  const std::vector<Coalition> coalitions = enumerate_coalitions(cspec);
+  if (coalitions.empty()) {
+    throw std::invalid_argument("search: coalition enumeration is empty");
+  }
+
+  std::vector<StrategyVariant> pool =
+      spec.candidate_pool.empty()
+          ? default_candidate_pool(spec.protocol, spec.base.censored_txs)
+          : spec.candidate_pool;
+  // π₀ is handled as the standing "return to honesty" candidate; honest
+  // pool entries would duplicate it.
+  pool.erase(std::remove_if(pool.begin(), pool.end(),
+                            [](const StrategyVariant& v) {
+                              return v.is_honest();
+                            }),
+             pool.end());
+  for (const StrategyVariant& v : pool) {
+    if (!v.supported(spec.protocol)) {
+      throw std::invalid_argument("search: candidate " + v.label() +
+                                  " is not executable under " +
+                                  to_string(spec.protocol));
+    }
+  }
+  if (pool.empty()) {
+    throw std::invalid_argument("search: empty candidate pool");
+  }
+
+  // Warm the registry before fanning out (thread-safe magic static).
+  (void)harness::protocol_traits(spec.protocol);
+
+  rational::PayoffParams payoff = spec.payoff;
+  payoff.default_theta = spec.theta;
+  payoff.thetas.clear();
+  if (payoff.window == 0) payoff.window = spec.target_blocks;
+  const rational::PayoffAccountant accountant(payoff);
+
+  SearchResult result;
+  result.protocol = spec.protocol;
+  result.n = spec.n;
+  result.theta = spec.theta;
+  result.budget = spec.budget;
+  result.coalitions_examined = coalitions.size();
+  for (std::uint32_t k = cspec.k_min; k <= cspec.effective_k_max(); ++k) {
+    const std::uint64_t unreduced = choose(spec.n, k);
+    result.unreduced_coalitions =
+        result.unreduced_coalitions > UINT64_MAX - unreduced
+            ? UINT64_MAX
+            : result.unreduced_coalitions + unreduced;
+  }
+  result.candidate_count = pool.size();
+
+  // Candidate variants live in a scratch space so labels resolve during
+  // evaluation; only *adopted* ones enter the result's growing space.
+  StrategySpace scratch;
+  std::vector<int> pool_index(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool_index[i] = scratch.add(pool[i]);
+  }
+
+  const std::size_t runs_per = spec.nets.size() * spec.seeds.size();
+  std::map<NodeId, int> current;  // scratch indices; absent = honest
+  // The current profile's mean per-player utilities. Empty on the first
+  // iteration; afterwards carried forward from the adopted candidate's
+  // slot — the runs are deterministic, so re-simulating the baseline
+  // would reproduce exactly these numbers at nets×seeds extra cost.
+  std::vector<double> baseline;
+  // The all-honest utilities (the first iteration's baseline), reused as
+  // the empirical game's π₀ row.
+  std::vector<double> honest_baseline;
+
+  struct Candidate {
+    std::size_t coalition = 0;
+    int variant = 0;  ///< scratch index; 0 = π₀ (return to honesty)
+  };
+
+  for (std::uint32_t iter = 1; iter <= spec.budget.max_iterations; ++iter) {
+    // Assemble this iteration's deviation candidates: every canonical
+    // coalition × (π₀ + pool), skipping no-ops against the current
+    // profile.
+    std::vector<Candidate> candidates;
+    for (std::size_t c = 0; c < coalitions.size(); ++c) {
+      for (int vi : pool_index) {
+        bool noop = true;
+        for (const NodeId member : coalitions[c]) {
+          const auto it = current.find(member);
+          if ((it == current.end() ? 0 : it->second) != vi) {
+            noop = false;
+            break;
+          }
+        }
+        if (!noop) candidates.push_back({c, vi});
+      }
+      bool honest_noop = true;
+      for (const NodeId member : coalitions[c]) {
+        if (current.count(member)) {
+          honest_noop = false;
+          break;
+        }
+      }
+      if (!honest_noop) candidates.push_back({c, 0});
+    }
+
+    // Budget the batch (baseline — first iteration only — plus the
+    // candidates); truncation is deterministic: candidates are dropped
+    // from the tail.
+    const std::size_t baseline_slots = baseline.empty() ? 1 : 0;
+    const std::size_t affordable =
+        spec.budget.max_evaluations > result.evaluations
+            ? (spec.budget.max_evaluations - result.evaluations) / runs_per
+            : 0;
+    if (affordable < baseline_slots + 1) {
+      result.budget_exhausted = true;
+      break;
+    }
+    bool truncated = false;
+    if (candidates.size() + baseline_slots > affordable) {
+      candidates.resize(affordable - baseline_slots);
+      truncated = true;
+    }
+
+    std::vector<std::map<NodeId, int>> batch;
+    batch.reserve(candidates.size() + baseline_slots);
+    if (baseline_slots != 0) batch.push_back(current);
+    for (const Candidate& cand : candidates) {
+      std::map<NodeId, int> assignment = current;
+      for (const NodeId member : coalitions[cand.coalition]) {
+        if (cand.variant == 0) {
+          assignment.erase(member);
+        } else {
+          assignment[member] = cand.variant;
+        }
+      }
+      batch.push_back(std::move(assignment));
+    }
+
+    const std::vector<std::vector<double>> utilities =
+        evaluate_assignments(spec, scratch, batch, accountant);
+    result.evaluations += batch.size() * runs_per;
+    result.iterations = iter;
+    if (baseline_slots != 0) {
+      baseline = utilities[0];
+      if (honest_baseline.empty() && current.empty()) {
+        honest_baseline = baseline;
+      }
+    }
+
+    // Mean per-member gain of each candidate vs the baseline profile.
+    std::size_t best = candidates.size();
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Coalition& members = coalitions[candidates[i].coalition];
+      double gain = 0.0;
+      for (const NodeId member : members) {
+        gain += utilities[i + baseline_slots][member] - baseline[member];
+      }
+      gain /= static_cast<double>(members.size());
+      if (gain > best_gain) {  // strict: ties keep the earliest candidate
+        best_gain = gain;
+        best = i;
+      }
+    }
+
+    if (best == candidates.size() || best_gain <= spec.epsilon) {
+      // No profitable deviation. The certificate only stands when the
+      // sweep was complete.
+      result.equilibrium_certified = !truncated;
+      result.budget_exhausted = truncated;
+      break;
+    }
+
+    const Candidate& adopted = candidates[best];
+    const int result_index = result.space.add(scratch.at(adopted.variant));
+    for (const NodeId member : coalitions[adopted.coalition]) {
+      if (adopted.variant == 0) {
+        current.erase(member);
+      } else {
+        current[member] = adopted.variant;
+      }
+    }
+    // The adopted candidate's measured utilities ARE the next baseline.
+    baseline = utilities[best + baseline_slots];
+    result.discovered.push_back({iter, coalitions[adopted.coalition],
+                                 result_index,
+                                 scratch.at(adopted.variant).label(),
+                                 best_gain});
+    // A truncated sweep that still found a profitable deviation keeps the
+    // search going; only a final sweep decides the certificate.
+  }
+
+  // Translate the final profile into result-space indices.
+  for (const auto& [id, vi] : current) {
+    result.final_profile[id] = result.space.add(scratch.at(vi));
+  }
+
+  // Grow the empirical game: the witness coalition (the last adopter, or
+  // the first canonical coalition when honest survived) playing each
+  // variant of the final space against an otherwise-honest committee.
+  result.game_coalition = result.discovered.empty()
+                              ? coalitions.front()
+                              : result.discovered.back().coalition;
+  // The π₀ row equals the first iteration's all-honest baseline, so it is
+  // reused rather than re-simulated (deterministic runs: same numbers).
+  const int first_row = honest_baseline.empty() ? 0 : 1;
+  const std::size_t game_runs =
+      static_cast<std::size_t>(result.space.size() - first_row) * runs_per;
+  if (result.evaluations + game_runs <= spec.budget.max_evaluations) {
+    std::vector<std::map<NodeId, int>> batch;
+    StrategySpace& space = result.space;
+    for (int vi = first_row; vi < space.size(); ++vi) {
+      std::map<NodeId, int> assignment;
+      if (vi != 0) {
+        for (const NodeId member : result.game_coalition) {
+          assignment[member] = vi;
+        }
+      }
+      batch.push_back(std::move(assignment));
+    }
+    const std::vector<std::vector<double>> utilities =
+        evaluate_assignments(spec, space, batch, accountant);
+    result.evaluations += game_runs;
+    result.game = game::NormalFormGame({space.size()});
+    result.game.set_player_name(0,
+                                "K" + coalition_label(result.game_coalition));
+    for (int vi = 0; vi < space.size(); ++vi) {
+      result.game.set_strategy_name(0, vi, space.at(vi).label());
+      const std::vector<double>& row =
+          vi < first_row ? honest_baseline
+                         : utilities[static_cast<std::size_t>(vi - first_row)];
+      double mean = 0.0;
+      for (const NodeId member : result.game_coalition) {
+        mean += row[member];
+      }
+      mean /= static_cast<double>(result.game_coalition.size());
+      result.game.set_payoff({vi}, 0, mean);
+    }
+  }
+  // When the remaining budget cannot fund the game pass, the game keeps
+  // its default single row — visible as num_strategies < space.size() —
+  // but a certificate earned by a *complete* sweep stays valid: only the
+  // sweep itself sets budget_exhausted.
+
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace ratcon::search

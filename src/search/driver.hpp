@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "game/normal_form.hpp"
+#include "rational/payoff.hpp"
+#include "search/coalitions.hpp"
+#include "search/strategy_space.hpp"
+
+namespace ratcon::search {
+
+/// BestResponseDriver: the adaptive equilibrium-search loop on top of the
+/// empirical game engine (src/rational). Where the DeviationExplorer
+/// evaluates a *fixed* strategy catalog, the driver runs iterated
+/// coalition best-response / double-oracle dynamics over a *growing*
+/// StrategySpace:
+///
+///   1. start from the all-π₀ profile over a space containing only π₀;
+///   2. for every canonical coalition (CoalitionEnumerator) × candidate
+///      variant (pure, mixed and parametric adversary strategies),
+///      evaluate the joint deviation empirically — real Simulation runs,
+///      PayoffAccountant utilities, seed/net-averaged, in parallel via
+///      harness::parallel_cells;
+///   3. adopt the most profitable deviation (gain > ε) into the space and
+///      move the current profile there, then iterate best responses from
+///      the *deviated* profile;
+///   4. stop with an ε-equilibrium certificate for the final profile (no
+///      coalition deviation in the pool gains > ε) or when the evaluation
+///      budget runs out.
+///
+/// This is the layer that *finds* π_abs / π_pc / π_fork without being
+/// told about them: Theorems 1–3 fall out as search outcomes (the loop
+/// discovers the liveness/censorship coalitions against fragile quorum
+/// regimes) while pRFT's Lemma 4 shows up as a certificate (honest play
+/// survives the same search).
+
+/// Hard evaluation budget: one evaluation = one seeded Simulation run.
+struct SearchBudget {
+  std::size_t max_evaluations = 4096;
+  std::uint32_t max_iterations = 8;
+};
+
+struct SearchSpec {
+  harness::Protocol protocol = harness::Protocol::kPrft;
+  std::uint32_t n = 8;
+  std::vector<harness::NetKind> nets{harness::NetKind::kSynchronous};
+  /// Utilities are averaged over these seeds; every run is deterministic,
+  /// so the whole search is a pure function of the spec.
+  std::vector<std::uint64_t> seeds{1, 2, 3};
+
+  /// Every player's type θ (the search is symmetric: any player may join
+  /// a coalition, so all of them are modeled at the same type).
+  game::Theta theta = 3;
+  /// Utility accounting (α, L, δ, message costs, censorship probe).
+  rational::PayoffParams payoff;
+  /// Fixed environment context: censored-tx set and coalition override
+  /// shared by deviating strategies (rational::ProfileSpec semantics).
+  rational::ProfileSpec base;
+  /// A deviation must beat the current profile by more than ε.
+  double epsilon = 0.05;
+
+  /// Coalition enumeration (spec.n is copied in when the field is 0).
+  CoalitionSpec coalitions;
+  /// Candidate deviations the oracle draws from; empty = the default pool
+  /// for the protocol (default_candidate_pool). π₀ — "return to honesty" —
+  /// is always considered in addition.
+  std::vector<StrategyVariant> candidate_pool;
+  SearchBudget budget;
+
+  // Scenario knobs per run (ExplorerSpec's surface).
+  std::uint64_t target_blocks = 3;
+  std::uint64_t workload_txs = 6;
+  SimTime delta = msec(10);
+  SimTime gst = msec(200);
+  double hold_probability = 0.9;
+  SimTime horizon = sec(60);
+  bool sync_enabled = true;
+
+  /// Worker threads (harness::parallel_cells); results are identical
+  /// serial or parallel. 0 = hardware concurrency, 1 = serial.
+  std::uint32_t workers = 0;
+
+  /// The ScenarioSpec one (net, seed, assignment) run executes.
+  [[nodiscard]] harness::ScenarioSpec to_scenario(
+      harness::NetKind net, std::uint64_t seed, const StrategySpace& space,
+      const std::map<NodeId, int>& assignment) const;
+};
+
+/// The default candidate oracle for a protocol: the catalog's executable
+/// pure strategies, a 50/50 honest mixture of the abstention and
+/// censorship families, and parametric variants spanning the adversary
+/// knobs (a targeted-delay window, a censor-only knob over `censored`,
+/// and — where the fork substrate exists — a timed equivocation window).
+[[nodiscard]] std::vector<StrategyVariant> default_candidate_pool(
+    harness::Protocol proto, const std::set<std::uint64_t>& censored);
+
+/// One profitable coalition deviation the loop discovered and adopted.
+struct DiscoveredDeviation {
+  std::uint32_t iteration = 0;
+  Coalition coalition;
+  int variant = -1;    ///< index into SearchResult::space
+  std::string label;   ///< the variant's label
+  double gain = 0.0;   ///< mean per-member gain vs the profile deviated from
+};
+
+/// Result of one adaptive search.
+struct SearchResult {
+  harness::Protocol protocol{};
+  std::uint32_t n = 0;
+  game::Theta theta = 0;
+
+  /// π₀ plus every adopted deviation, in adoption order.
+  StrategySpace space;
+  /// Non-honest slots of the profile the search converged to.
+  std::map<NodeId, int> final_profile;
+  std::vector<DiscoveredDeviation> discovered;
+
+  /// ε-equilibrium certificate: the final profile survived one full
+  /// coalition × candidate sweep with no deviation gaining > ε.
+  bool equilibrium_certified = false;
+  /// The evaluation budget ran out before the sweep finished — the
+  /// certificate (if any) is void and the summary says so.
+  bool budget_exhausted = false;
+
+  /// The empirical game grown by the search: one modeled coalition player
+  /// (`game_coalition`, acting jointly) whose strategies are the final
+  /// space's variants; payoffs are net/seed-averaged mean member
+  /// utilities against an otherwise-honest committee. Strategy 0 is the
+  /// honest baseline row.
+  game::NormalFormGame game{std::vector<int>{1}};
+  Coalition game_coalition;
+
+  std::size_t coalitions_examined = 0;
+  std::uint64_t unreduced_coalitions = 0;
+  std::size_t candidate_count = 0;
+  std::size_t evaluations = 0;   ///< simulation runs spent
+  std::uint32_t iterations = 0;
+  double wall_ms = 0.0;
+  SearchBudget budget;
+
+  /// Per-iteration table plus the budget line
+  /// ("evaluations 124/4096, 3 iterations, certified").
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the search. Throws std::invalid_argument on empty nets/seeds, an
+/// unsupported candidate pool, or a base profile the protocol cannot
+/// execute.
+[[nodiscard]] SearchResult search(const SearchSpec& spec);
+
+}  // namespace ratcon::search

@@ -1,0 +1,453 @@
+#include "search/strategy_space.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "adversary/fork_agent.hpp"
+#include "baselines/quorum_node.hpp"
+#include "harness/protocols.hpp"
+
+namespace ratcon::search {
+
+using game::Strategy;
+using harness::Protocol;
+
+namespace {
+
+std::string round_window(Round from, Round until) {
+  std::ostringstream os;
+  os << "[" << from << ",";
+  if (until == kRoundNever) {
+    os << "inf";
+  } else {
+    os << until;
+  }
+  os << ")";
+  return os.str();
+}
+
+/// Strategies expressible as per-round Behavior hooks — the only legal
+/// mixture components (π_ds needs a node subclass; mixing it per round
+/// would need node surgery mid-run).
+bool behavior_expressible(Strategy s) {
+  return s != Strategy::kDoubleSign;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AdversaryKnobs
+
+bool AdversaryKnobs::deviates() const {
+  return equivocate || delay_until > delay_from || !censor_txs.empty();
+}
+
+std::string AdversaryKnobs::label() const {
+  if (!deviates()) return "honest";
+  std::ostringstream os;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << " ";
+    first = false;
+  };
+  if (equivocate) {
+    sep();
+    os << "ds" << round_window(equivocate_from, equivocate_until);
+  }
+  if (delay_until > delay_from) {
+    sep();
+    os << "delay" << round_window(delay_from, delay_until) << "@";
+    if (delay_targets.empty()) {
+      os << "any";
+    } else {
+      os << "{";
+      bool inner = true;
+      for (const NodeId id : delay_targets) {
+        if (!inner) os << ",";
+        inner = false;
+        os << id;
+      }
+      os << "}";
+    }
+  }
+  if (!censor_txs.empty()) {
+    sep();
+    os << "censor{";
+    bool inner = true;
+    for (const std::uint64_t tx : censor_txs) {
+      if (!inner) os << ",";
+      inner = false;
+      os << tx;
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// StrategyVariant
+
+StrategyVariant StrategyVariant::honest() { return StrategyVariant{}; }
+
+StrategyVariant StrategyVariant::of(Strategy s) {
+  StrategyVariant v;
+  v.kind = Kind::kPure;
+  v.pure = s;
+  return v;
+}
+
+StrategyVariant StrategyVariant::mixed(
+    std::vector<std::pair<Strategy, double>> parts) {
+  StrategyVariant v;
+  v.kind = Kind::kMixed;
+  v.mixture = std::move(parts);
+  return v;
+}
+
+StrategyVariant StrategyVariant::param(AdversaryKnobs knobs) {
+  StrategyVariant v;
+  v.kind = Kind::kParam;
+  v.knobs = std::move(knobs);
+  return v;
+}
+
+bool StrategyVariant::is_honest() const {
+  switch (kind) {
+    case Kind::kPure:
+      return pure == Strategy::kHonest || pure == Strategy::kBait;
+    case Kind::kMixed:
+      for (const auto& [s, w] : mixture) {
+        if (w > 0.0 && s != Strategy::kHonest && s != Strategy::kBait) {
+          return false;
+        }
+      }
+      return true;
+    case Kind::kParam:
+      return !knobs.deviates();
+  }
+  return false;
+}
+
+bool StrategyVariant::supported(Protocol proto) const {
+  switch (kind) {
+    case Kind::kPure:
+      return rational::strategy_supported(proto, pure);
+    case Kind::kMixed:
+      for (const auto& [s, w] : mixture) {
+        if (!behavior_expressible(s) ||
+            !rational::strategy_supported(proto, s)) {
+          return false;
+        }
+      }
+      return !mixture.empty();
+    case Kind::kParam:
+      // The fork-plan substrate only exists for pRFT and the quorum
+      // family; the delay/censor knobs run everywhere.
+      return !knobs.equivocate ||
+             rational::strategy_supported(proto, Strategy::kDoubleSign);
+  }
+  return false;
+}
+
+std::string StrategyVariant::label() const {
+  switch (kind) {
+    case Kind::kPure:
+      return game::to_string(pure);
+    case Kind::kMixed: {
+      double total = 0.0;
+      for (const auto& [s, w] : mixture) total += w;
+      std::ostringstream os;
+      os << "mix(";
+      bool first = true;
+      char buf[32];
+      for (const auto& [s, w] : mixture) {
+        if (!first) os << ",";
+        first = false;
+        std::snprintf(buf, sizeof buf, "%.2f",
+                      total > 0.0 ? w / total : 0.0);
+        os << game::to_string(s) << ":" << buf;
+      }
+      os << ")";
+      return os.str();
+    }
+    case Kind::kParam:
+      return "knobs(" + knobs.label() + ")";
+  }
+  return "?";
+}
+
+bool StrategyVariant::same_as(const StrategyVariant& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kPure:
+      return pure == other.pure;
+    case Kind::kMixed:
+      return mixture == other.mixture;
+    case Kind::kParam:
+      return knobs.equivocate == other.knobs.equivocate &&
+             knobs.equivocate_from == other.knobs.equivocate_from &&
+             knobs.equivocate_until == other.knobs.equivocate_until &&
+             knobs.delay_targets == other.knobs.delay_targets &&
+             knobs.delay_from == other.knobs.delay_from &&
+             knobs.delay_until == other.knobs.delay_until &&
+             knobs.censor_txs == other.knobs.censor_txs;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// StrategySpace
+
+StrategySpace::StrategySpace() { variants_.push_back(StrategyVariant::honest()); }
+
+int StrategySpace::add(StrategyVariant v) {
+  for (std::size_t i = 0; i < variants_.size(); ++i) {
+    if (variants_[i].same_as(v)) return static_cast<int>(i);
+  }
+  variants_.push_back(std::move(v));
+  return static_cast<int>(variants_.size()) - 1;
+}
+
+int StrategySpace::find(const std::string& label) const {
+  for (std::size_t i = 0; i < variants_.size(); ++i) {
+    if (variants_[i].label() == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const StrategyVariant& StrategySpace::at(int index) const {
+  if (index < 0 || index >= size()) {
+    throw std::out_of_range("StrategySpace: variant " +
+                            std::to_string(index) + " of " +
+                            std::to_string(size()));
+  }
+  return variants_[static_cast<std::size_t>(index)];
+}
+
+// ---------------------------------------------------------------------------
+// MixedBehavior
+
+MixedBehavior::MixedBehavior(std::vector<Component> parts, Rng stream)
+    : parts_(std::move(parts)), stream_(stream) {
+  if (parts_.empty()) {
+    throw std::invalid_argument("MixedBehavior: empty support");
+  }
+  for (const Component& c : parts_) {
+    if (c.weight < 0.0) {
+      throw std::invalid_argument("MixedBehavior: negative weight");
+    }
+    total_weight_ += c.weight;
+  }
+  if (total_weight_ <= 0.0) {
+    throw std::invalid_argument("MixedBehavior: all-zero weights");
+  }
+}
+
+std::size_t MixedBehavior::choice(Round r) const {
+  // A per-round substream keyed by the round number: the draw depends
+  // only on (stream, r), never on how many times or in which order the
+  // behavior was consulted.
+  Rng row = stream_.fork("round/" + std::to_string(r));
+  const double u = row.uniform01() * total_weight_;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    cum += parts_[i].weight;
+    if (u < cum) return i;
+  }
+  return parts_.size() - 1;
+}
+
+bool MixedBehavior::is_honest() const {
+  for (const Component& c : parts_) {
+    if (c.weight <= 0.0) continue;
+    if (c.behavior != nullptr && !c.behavior->is_honest()) return false;
+  }
+  return true;
+}
+
+bool MixedBehavior::participate(Round r, NodeId leader,
+                                consensus::PhaseTag phase) {
+  current_round_ = r;
+  Component& c = parts_[choice(r)];
+  return c.behavior == nullptr || c.behavior->participate(r, leader, phase);
+}
+
+bool MixedBehavior::censor_tx(const ledger::Transaction& tx) {
+  Component& c = parts_[choice(current_round_)];
+  return c.behavior != nullptr && c.behavior->censor_tx(tx);
+}
+
+bool MixedBehavior::expose_fraud() const {
+  // A mixture that ever plays a colluding component never incriminates:
+  // exposing in honest rounds would out its own coalition later.
+  for (const Component& c : parts_) {
+    if (c.weight <= 0.0) continue;
+    if (c.behavior != nullptr && !c.behavior->expose_fraud()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Assignment application
+
+std::shared_ptr<consensus::Behavior> make_variant_behavior(
+    const StrategyVariant& v, NodeId id, const rational::ProfileSpec& base,
+    std::uint64_t seed) {
+  switch (v.kind) {
+    case StrategyVariant::Kind::kPure:
+      return rational::make_behavior(v.pure, id, base);  // throws on π_ds
+    case StrategyVariant::Kind::kMixed: {
+      std::vector<MixedBehavior::Component> parts;
+      parts.reserve(v.mixture.size());
+      for (const auto& [s, w] : v.mixture) {
+        if (!behavior_expressible(s)) {
+          throw std::invalid_argument(
+              "make_variant_behavior: pi_ds cannot be a mixture component");
+        }
+        parts.push_back({s, w, rational::make_behavior(s, id, base)});
+      }
+      return std::make_shared<MixedBehavior>(
+          std::move(parts),
+          Rng(seed).fork("mixed/P" + std::to_string(id)));
+    }
+    case StrategyVariant::Kind::kParam:
+      if (v.knobs.equivocate) {
+        throw std::invalid_argument(
+            "make_variant_behavior: equivocating knobs need a fork-plan "
+            "node factory (apply_assignment)");
+      }
+      if (!v.knobs.deviates()) return nullptr;
+      return std::make_shared<ParamBehavior>(v.knobs);
+  }
+  return nullptr;
+}
+
+void apply_assignment(harness::ScenarioSpec& spec, const StrategySpace& space,
+                      const std::map<NodeId, int>& assignment,
+                      const rational::ProfileSpec& base) {
+  const Protocol proto = spec.protocol;
+  std::set<NodeId> equivocators;
+  Round attack_from = 0;
+  Round attack_until = kRoundNever;
+  bool window_set = false;
+
+  // Shared context for pure components: every assigned deviator joins the
+  // effective coalition π_pc/π_ds components coordinate through.
+  rational::ProfileSpec ctx = base;
+  for (const auto& [id, index] : assignment) {
+    const StrategyVariant& v = space.at(index);
+    if (v.is_honest()) continue;
+    ctx.coalition.insert(id);
+    if (v.kind == StrategyVariant::Kind::kParam) {
+      ctx.censored_txs.insert(v.knobs.censor_txs.begin(),
+                              v.knobs.censor_txs.end());
+    }
+  }
+
+  for (const auto& [id, index] : assignment) {
+    if (id >= spec.committee.n) {
+      throw std::invalid_argument("apply_assignment: player " +
+                                  std::to_string(id) +
+                                  " outside committee of " +
+                                  std::to_string(spec.committee.n));
+    }
+    const StrategyVariant& v = space.at(index);
+    if (!v.supported(proto)) {
+      throw std::invalid_argument("apply_assignment: " + v.label() +
+                                  " is not executable under " +
+                                  to_string(proto));
+    }
+    const bool equivocates =
+        (v.kind == StrategyVariant::Kind::kPure &&
+         v.pure == Strategy::kDoubleSign) ||
+        (v.kind == StrategyVariant::Kind::kParam && v.knobs.equivocate);
+    if (equivocates) {
+      equivocators.insert(id);
+      // All equivocators share one fork plan, hence one timing window —
+      // pure π_ds means "attack every coalition-led round", i.e. the
+      // window [0, inf); conflicting windows (including pure π_ds next
+      // to a narrowed kParam window) are rejected rather than silently
+      // rewriting an already-assigned player's strategy.
+      const Round from = v.kind == StrategyVariant::Kind::kParam
+                             ? v.knobs.equivocate_from
+                             : 0;
+      const Round until = v.kind == StrategyVariant::Kind::kParam
+                              ? v.knobs.equivocate_until
+                              : kRoundNever;
+      if (window_set && (attack_from != from || attack_until != until)) {
+        throw std::invalid_argument(
+            "apply_assignment: equivocating players must share one "
+            "timing window");
+      }
+      attack_from = from;
+      attack_until = until;
+      window_set = true;
+      if (v.kind == StrategyVariant::Kind::kParam &&
+          (v.knobs.delay_until > v.knobs.delay_from ||
+           !v.knobs.censor_txs.empty())) {
+        // A fork agent manages its own sends; a delay/censor behavior on
+        // top would be silently ignored, so reject the combination.
+        throw std::invalid_argument(
+            "apply_assignment: equivocation cannot be combined with "
+            "delay/censor knobs in one variant");
+      }
+      continue;
+    }
+    if (v.is_honest()) continue;
+    spec.adversary.behaviors[id] =
+        make_variant_behavior(v, id, ctx, spec.seed);
+  }
+  if (equivocators.empty()) return;
+
+  // One shared fork plan for the double-signing coalition, with the
+  // knobs' timing window (mirrors rational::apply_profile's geometry).
+  std::set<NodeId> coalition = ctx.effective_coalition();
+  coalition.insert(equivocators.begin(), equivocators.end());
+
+  if (proto == Protocol::kPrft) {
+    auto plan = std::make_shared<adversary::ForkPlan>();
+    plan->n = spec.committee.n;
+    plan->coalition = coalition;
+    plan->attack_from = attack_from;
+    plan->attack_until = attack_until;
+    rational::fork_sides(spec.committee.n, coalition, plan->side_a,
+                         plan->side_b);
+    spec.adversary.node_factory =
+        [plan, equivocators](NodeId id, const harness::NodeEnv& env)
+        -> std::unique_ptr<consensus::IReplica> {
+      if (!equivocators.count(id)) return nullptr;
+      return std::make_unique<adversary::ForkAgentNode>(
+          harness::make_prft_deps(id, env), plan);
+    };
+    return;
+  }
+  if (proto != Protocol::kQuorum && proto != Protocol::kUnanimous) {
+    throw std::invalid_argument(
+        "apply_assignment: equivocation is not executable under " +
+        std::string(to_string(proto)));
+  }
+  auto plan = std::make_shared<baselines::QuorumForkPlan>();
+  plan->n = spec.committee.n;
+  plan->coalition = coalition;
+  plan->attack_from = attack_from;
+  plan->attack_until = attack_until;
+  rational::fork_sides(spec.committee.n, coalition, plan->side_a,
+                       plan->side_b);
+  const bool unanimous = proto == Protocol::kUnanimous;
+  spec.adversary.node_factory =
+      [plan, equivocators, unanimous](NodeId id, const harness::NodeEnv& env)
+      -> std::unique_ptr<consensus::IReplica> {
+    if (!equivocators.count(id)) return nullptr;
+    baselines::QuorumNode::Deps deps = harness::make_quorum_deps(id, env);
+    if (unanimous) {
+      deps.proto = consensus::ProtoId::kQuorumDemo;
+      deps.tau = env.cfg.n;
+    }
+    deps.fork_plan = plan;
+    return std::make_unique<baselines::QuorumNode>(std::move(deps));
+  };
+}
+
+}  // namespace ratcon::search

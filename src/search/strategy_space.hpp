@@ -1,0 +1,210 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/behavior.hpp"
+#include "rational/catalog.hpp"
+
+namespace ratcon::search {
+
+/// StrategySpace: the parameterized generalization of the StrategyCatalog
+/// the adaptive equilibrium search (driver.hpp) operates over. Where the
+/// catalog maps the paper's *named* pure strategies to behavior, the space
+/// additionally spans
+///   * mixed strategies — per-round randomized choice over pure behaviors,
+///     sampled from a deterministic per-player RNG substream
+///     (Rng::fork(label)) so serial and parallel sweeps are byte-identical
+///     — and
+///   * parametric adversary strategies — the src/adversary knob surface
+///     (equivocation timing on fork plans, targeted-delay schedules,
+///     censor-set selection) exposed as searchable coordinates.
+/// The space is growable: the best-response loop starts from {π₀} and adds
+/// every profitable deviation it discovers.
+
+/// Searchable coordinates over the adversary knob surface. Open-ended
+/// windows use ratcon::kRoundNever (common/ids.hpp).
+struct AdversaryKnobs {
+  /// Equivocation timing (π_ds fork plans): when `equivocate` is set, the
+  /// player joins a double-signing coalition whose fork plan attacks only
+  /// coalition-led rounds inside [equivocate_from, equivocate_until).
+  bool equivocate = false;
+  Round equivocate_from = 0;
+  Round equivocate_until = kRoundNever;
+
+  /// Targeted-delay schedule: withhold own phase messages during rounds
+  /// [delay_from, delay_until) whose leader is in `delay_targets` (empty
+  /// set = every leader). Withholding is the strongest delay an
+  /// in-protocol deviator can apply to its own traffic, and — like π_abs —
+  /// it is crash-indistinguishable, hence unpenalizable.
+  std::set<NodeId> delay_targets;
+  Round delay_from = 0;
+  Round delay_until = 0;
+
+  /// Censor-set selection: tx ids filtered out of own proposals when
+  /// leading (the censorship half of π_pc, without the abstention half).
+  std::set<std::uint64_t> censor_txs;
+
+  /// Whether any knob departs from honest play.
+  [[nodiscard]] bool deviates() const;
+
+  /// "ds[0,inf) delay[2,6)@{1,3} censor{7}" — empty knobs label "honest".
+  [[nodiscard]] std::string label() const;
+};
+
+/// One searchable strategy: a pure catalog strategy, a mixed strategy, or
+/// a parametric adversary strategy.
+struct StrategyVariant {
+  enum class Kind : std::uint8_t { kPure = 0, kMixed = 1, kParam = 2 };
+
+  Kind kind = Kind::kPure;
+  game::Strategy pure = game::Strategy::kHonest;
+  /// kMixed: (pure strategy, weight) support. Weights must be
+  /// non-negative with a positive sum; π_ds cannot appear (it needs a
+  /// node subclass, not a per-round behavior choice).
+  std::vector<std::pair<game::Strategy, double>> mixture;
+  /// kParam coordinates.
+  AdversaryKnobs knobs;
+
+  [[nodiscard]] static StrategyVariant honest();
+  [[nodiscard]] static StrategyVariant of(game::Strategy s);
+  [[nodiscard]] static StrategyVariant mixed(
+      std::vector<std::pair<game::Strategy, double>> parts);
+  [[nodiscard]] static StrategyVariant param(AdversaryKnobs knobs);
+
+  /// Pure π₀ (and π_bait, whose implementation is the honest machine) or
+  /// knob-free parametric variants count as honest.
+  [[nodiscard]] bool is_honest() const;
+
+  /// Structural equality on the executable coordinates (exact weights and
+  /// knob fields — labels round for display and may alias).
+  [[nodiscard]] bool same_as(const StrategyVariant& other) const;
+
+  /// Whether the catalog/adversary machinery can execute this variant
+  /// under `proto` (mirrors rational::strategy_supported; equivocating
+  /// variants need the fork-plan substrate).
+  [[nodiscard]] bool supported(harness::Protocol proto) const;
+
+  /// "pi_abs", "mix(pi_0:0.50,pi_abs:0.50)", "knobs(delay[2,6)@any)".
+  [[nodiscard]] std::string label() const;
+};
+
+/// The growable, label-deduplicated strategy pool. Index 0 is always π₀.
+class StrategySpace {
+ public:
+  StrategySpace();
+
+  /// Appends `v` (or finds a structurally identical existing variant —
+  /// labels round weights for display, so dedup compares the executable
+  /// coordinates, not the label); returns its index.
+  int add(StrategyVariant v);
+
+  /// Index of the first variant labeled `label`, or -1.
+  [[nodiscard]] int find(const std::string& label) const;
+
+  /// Bounds-checked access; throws std::out_of_range.
+  [[nodiscard]] const StrategyVariant& at(int index) const;
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(variants_.size());
+  }
+  [[nodiscard]] const std::vector<StrategyVariant>& variants() const {
+    return variants_;
+  }
+
+ private:
+  std::vector<StrategyVariant> variants_;
+};
+
+/// MixedBehavior: per-round randomized choice over pure behaviors. The
+/// choice for round r is a pure function of (stream, r) — computed from a
+/// labeled RNG substream, never from call order — so a mixed player's
+/// whole trajectory is reproducible from the scenario seed alone,
+/// identical under serial and parallel sweeps.
+class MixedBehavior final : public consensus::Behavior {
+ public:
+  struct Component {
+    game::Strategy strategy = game::Strategy::kHonest;
+    double weight = 0.0;
+    /// nullptr = the honest machine (π₀ / π_bait).
+    std::shared_ptr<consensus::Behavior> behavior;
+  };
+
+  /// `stream` is the player's substream, conventionally
+  /// `Rng(seed).fork("mixed/P<id>")`. Throws std::invalid_argument on an
+  /// empty support, negative weights or an all-zero total.
+  MixedBehavior(std::vector<Component> parts, Rng stream);
+
+  [[nodiscard]] bool is_honest() const override;
+  bool participate(Round r, NodeId leader,
+                   consensus::PhaseTag phase) override;
+  bool censor_tx(const ledger::Transaction& tx) override;
+  [[nodiscard]] bool expose_fraud() const override;
+
+  /// Index of the component sampled for round `r`.
+  [[nodiscard]] std::size_t choice(Round r) const;
+
+ private:
+  std::vector<Component> parts_;
+  double total_weight_ = 0.0;
+  Rng stream_;
+  /// Round the next censor_tx query applies to (leaders consult
+  /// participate before building the block).
+  Round current_round_ = 0;
+};
+
+/// ParamBehavior: the behavior-expressible half of AdversaryKnobs — the
+/// targeted-delay schedule and the censor set. (Equivocation timing rides
+/// the fork-plan node factories instead; see apply_assignment.)
+class ParamBehavior final : public consensus::Behavior {
+ public:
+  explicit ParamBehavior(AdversaryKnobs knobs) : knobs_(std::move(knobs)) {}
+
+  [[nodiscard]] bool is_honest() const override {
+    return !knobs_.deviates();
+  }
+  bool participate(Round r, NodeId leader, consensus::PhaseTag) override {
+    if (r < knobs_.delay_from || r >= knobs_.delay_until) return true;
+    return !knobs_.delay_targets.empty() &&
+           knobs_.delay_targets.count(leader) == 0;
+  }
+  bool censor_tx(const ledger::Transaction& tx) override {
+    return knobs_.censor_txs.count(tx.id) > 0;
+  }
+  [[nodiscard]] bool expose_fraud() const override {
+    return !knobs_.deviates();
+  }
+
+ private:
+  AdversaryKnobs knobs_;
+};
+
+/// Builds the Behavior executing `v` for player `id` (nullptr for honest
+/// variants — the honest machine is the implementation). `base` supplies
+/// the shared context pure components need (censored txs, coalition
+/// override); `seed` is the scenario seed the mixed-strategy substream is
+/// forked from. Throws std::invalid_argument for variants that need a
+/// node subclass (pure π_ds, equivocating knobs) — those are wired by
+/// apply_assignment's fork-plan factories.
+[[nodiscard]] std::shared_ptr<consensus::Behavior> make_variant_behavior(
+    const StrategyVariant& v, NodeId id, const rational::ProfileSpec& base,
+    std::uint64_t seed);
+
+/// Applies a (player → variant index) assignment onto `spec` — the
+/// StrategySpace generalization of rational::apply_profile: behavior
+/// hooks for pure/mixed/parametric variants, one shared fork plan (with
+/// the knobs' equivocation-timing window) for double-signing players.
+/// Requires `spec.protocol`, `spec.committee.n` and `spec.seed` final.
+/// Throws std::invalid_argument on out-of-committee players, unsupported
+/// variants, or equivocating players with conflicting timing windows.
+void apply_assignment(harness::ScenarioSpec& spec, const StrategySpace& space,
+                      const std::map<NodeId, int>& assignment,
+                      const rational::ProfileSpec& base);
+
+}  // namespace ratcon::search

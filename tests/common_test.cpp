@@ -285,5 +285,34 @@ TEST(Rng, ForkedStreamsAreIndependent) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, LabeledForksAreDeterministicAndDoNotAdvanceTheParent) {
+  // fork(label) is a pure function of (state, label): same label → same
+  // substream, different labels → independent substreams, and the parent
+  // is left untouched (so fork *order* — e.g. thread scheduling in a
+  // parallel sweep — can never change any stream).
+  Rng parent(23);
+  Rng a = parent.fork("node/3");
+  Rng b = parent.fork("node/3");
+  Rng c = parent.fork("node/4");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == c.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+
+  Rng untouched(23);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(parent.next(), untouched.next());
+
+  // Forks taken after the parent advanced differ (the state is part of
+  // the key), and sub-forks of equal forks agree.
+  Rng moved(23);
+  (void)moved.next();
+  Rng d = moved.fork("node/3");
+  EXPECT_NE(Rng(23).fork("node/3").next(), d.next());
+  EXPECT_EQ(Rng(23).fork("x").fork("y").next(),
+            Rng(23).fork("x").fork("y").next());
+}
+
 }  // namespace
 }  // namespace ratcon

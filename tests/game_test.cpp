@@ -226,6 +226,104 @@ TEST(Utility, DeltaBoundaries) {
   EXPECT_THROW(stationary_discounted(1.0, -0.1), std::invalid_argument);
 }
 
+TEST(NormalForm, DegenerateMixturesEqualPurePayoffs) {
+  // A mixture with all weight on one strategy IS that pure strategy —
+  // for every profile and every player, on a >2-strategy game.
+  NormalFormGame g({2, 3});
+  for (const Profile& p : g.all_profiles()) {
+    g.set_payoffs(p, {static_cast<double>(p[0] * 10 + p[1]),
+                      static_cast<double>(p[1] * 10 + p[0])});
+  }
+  for (const Profile& p : g.all_profiles()) {
+    const MixedProfile mixed = g.degenerate(p);
+    for (int player = 0; player < g.num_players(); ++player) {
+      EXPECT_DOUBLE_EQ(g.expected_payoff(mixed, player),
+                       g.payoff(p, player))
+          << g.describe(p) << " player " << player;
+    }
+  }
+  // Un-normalized degenerate weights normalize to the same thing.
+  const MixedProfile scaled{{0.0, 7.0}, {0.0, 0.0, 3.0}};
+  EXPECT_DOUBLE_EQ(g.expected_payoff(scaled, 0), g.payoff({1, 2}, 0));
+}
+
+TEST(NormalForm, ExpectedPayoffAveragesOverTheSupportProduct) {
+  NormalFormGame g({2, 2});
+  g.set_payoffs({0, 0}, {4, 0});
+  g.set_payoffs({0, 1}, {0, 0});
+  g.set_payoffs({1, 0}, {0, 0});
+  g.set_payoffs({1, 1}, {8, 0});
+  // P0 plays (0.25, 0.75), P1 plays (0.5, 0.5):
+  // E[u0] = .25·.5·4 + .75·.5·8 = 0.5 + 3 = 3.5.
+  const MixedProfile mix{{0.25, 0.75}, {0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(g.expected_payoff(mix, 0), 3.5);
+  // Matching pennies: the uniform mixture is a mixed Nash equilibrium,
+  // the pure profiles are not even pure Nash.
+  NormalFormGame pennies({2, 2});
+  pennies.set_payoffs({0, 0}, {1, -1});
+  pennies.set_payoffs({0, 1}, {-1, 1});
+  pennies.set_payoffs({1, 0}, {-1, 1});
+  pennies.set_payoffs({1, 1}, {1, -1});
+  EXPECT_TRUE(pennies.is_mixed_nash({{0.5, 0.5}, {0.5, 0.5}}));
+  EXPECT_FALSE(pennies.is_mixed_nash(pennies.degenerate({0, 0})));
+  EXPECT_TRUE(pennies.pure_nash().empty());
+}
+
+TEST(NormalForm, MixedSupportEnumerationEdgeCases) {
+  // Zero-weight strategies are skipped entirely — their payoff cells may
+  // even hold garbage-ish extremes without affecting the expectation.
+  NormalFormGame g({3});
+  g.set_payoff({0}, 0, 1.0);
+  g.set_payoff({1}, 0, 1e18);
+  g.set_payoff({2}, 0, 5.0);
+  EXPECT_DOUBLE_EQ(g.expected_payoff({{0.5, 0.0, 0.5}}, 0), 3.0);
+  EXPECT_EQ(NormalFormGame::support({0.5, 0.0, 0.5}),
+            (std::vector<int>{0, 2}));
+  EXPECT_TRUE(NormalFormGame::support({0.0, 0.0}).empty());
+
+  // Validation: negative weights and empty supports are invalid_argument;
+  // shape mismatches are out_of_range (the bounds-checked accessor
+  // contract, on a >2-strategy game).
+  EXPECT_THROW((void)g.expected_payoff({{0.5, -0.1, 0.6}}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)g.expected_payoff({{0.0, 0.0, 0.0}}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)g.expected_payoff({{0.5, 0.5}}, 0), std::out_of_range);
+  EXPECT_THROW((void)g.expected_payoff({{0.2, 0.3, 0.5}, {1.0}}, 0),
+               std::out_of_range);
+  EXPECT_THROW((void)g.expected_payoff({{0.2, 0.3, 0.5}}, 1),
+               std::out_of_range);
+  EXPECT_THROW((void)g.degenerate(Profile{3}), std::out_of_range);
+}
+
+TEST(NormalForm, BestResponsePathConvergesToAnEquilibrium) {
+  // Stag hunt: (stag, stag) and (hare, hare) are both Nash; from the
+  // mixed-intent start (stag, hare) the dynamic moves deterministically —
+  // P0 switches to hare first — and stops at the risk-dominant corner.
+  NormalFormGame g({2, 2});
+  g.set_payoffs({0, 0}, {4, 4});
+  g.set_payoffs({0, 1}, {0, 3});
+  g.set_payoffs({1, 0}, {3, 0});
+  g.set_payoffs({1, 1}, {3, 3});
+  const auto path = g.best_response_path({0, 1});
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), (Profile{0, 1}));
+  EXPECT_EQ(path.back(), (Profile{1, 1}));
+  EXPECT_TRUE(g.is_nash(path.back()));
+
+  // Starting on an equilibrium: the path is just the start.
+  EXPECT_EQ(g.best_response_path({0, 0}).size(), 1u);
+  // max_steps caps cycles (matching pennies never converges).
+  NormalFormGame pennies({2, 2});
+  pennies.set_payoffs({0, 0}, {1, -1});
+  pennies.set_payoffs({0, 1}, {-1, 1});
+  pennies.set_payoffs({1, 0}, {-1, 1});
+  pennies.set_payoffs({1, 1}, {1, -1});
+  const auto cycle = pennies.best_response_path({0, 0}, 10);
+  EXPECT_EQ(cycle.size(), 11u);
+  EXPECT_FALSE(pennies.is_nash(cycle.back()));
+}
+
 TEST(NormalForm, AccessorsRejectOutOfRangeIndices) {
   // Regression: the name tables used to be read with unvalidated indices —
   // an unnamed/mis-shaped profile could index past the vectors.

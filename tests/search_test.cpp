@@ -1,0 +1,505 @@
+// The adaptive equilibrium-search subsystem (src/search): StrategySpace
+// variants (pure / mixed / parametric-adversary), deterministic
+// mixed-strategy sampling from labeled RNG substreams, bounded coalition
+// enumeration with rotational symmetry reduction, and the
+// BestResponseDriver's double-oracle loop — the acceptance gate:
+//
+//   * starting from only π₀ in the space, the driver *discovers* a
+//     strictly profitable abstention coalition against the `unanimous`
+//     (τ = n) baseline, and
+//   * certifies honest play as an ε-best-response for pRFT under
+//     coalition search up to k = ⌈n/4⌉ in Lemma 4's θ ≤ 1 regime,
+//
+// deterministically, serial == parallel, within the evaluation budget
+// logged in the run summary.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/scenario.hpp"
+#include "search/coalitions.hpp"
+#include "search/driver.hpp"
+#include "search/strategy_space.hpp"
+
+namespace ratcon::search {
+namespace {
+
+using game::Strategy;
+using harness::NetKind;
+using harness::Protocol;
+
+// ---------------------------------------------------------------------------
+// StrategyVariant / StrategySpace
+
+TEST(StrategyVariant, LabelsAndHonesty) {
+  EXPECT_EQ(StrategyVariant::honest().label(), "pi_0");
+  EXPECT_TRUE(StrategyVariant::honest().is_honest());
+  EXPECT_EQ(StrategyVariant::of(Strategy::kAbstain).label(), "pi_abs");
+  EXPECT_FALSE(StrategyVariant::of(Strategy::kAbstain).is_honest());
+
+  const StrategyVariant mix = StrategyVariant::mixed(
+      {{Strategy::kHonest, 0.5}, {Strategy::kAbstain, 0.5}});
+  EXPECT_EQ(mix.label(), "mix(pi_0:0.50,pi_abs:0.50)");
+  EXPECT_FALSE(mix.is_honest());
+  EXPECT_TRUE(StrategyVariant::mixed({{Strategy::kHonest, 1.0}}).is_honest());
+
+  AdversaryKnobs knobs;
+  EXPECT_TRUE(StrategyVariant::param(knobs).is_honest());
+  knobs.delay_from = 2;
+  knobs.delay_until = 6;
+  knobs.delay_targets = {1};
+  knobs.censor_txs = {7};
+  const StrategyVariant param = StrategyVariant::param(knobs);
+  EXPECT_FALSE(param.is_honest());
+  EXPECT_EQ(param.label(), "knobs(delay[2,6)@{1} censor{7})");
+}
+
+TEST(StrategyVariant, SupportMatrix) {
+  // Mixtures of behavior-expressible strategies run everywhere; π_ds in a
+  // mixture is never executable (it needs a node subclass).
+  const StrategyVariant mix = StrategyVariant::mixed(
+      {{Strategy::kHonest, 0.5}, {Strategy::kAbstain, 0.5}});
+  const StrategyVariant ds_mix = StrategyVariant::mixed(
+      {{Strategy::kHonest, 0.5}, {Strategy::kDoubleSign, 0.5}});
+  AdversaryKnobs equivocate;
+  equivocate.equivocate = true;
+  const StrategyVariant timed_ds = StrategyVariant::param(equivocate);
+  for (const Protocol proto :
+       {Protocol::kPrft, Protocol::kHotStuff, Protocol::kRaftLite,
+        Protocol::kQuorum, Protocol::kUnanimous}) {
+    EXPECT_TRUE(mix.supported(proto)) << to_string(proto);
+    EXPECT_FALSE(ds_mix.supported(proto)) << to_string(proto);
+  }
+  EXPECT_TRUE(timed_ds.supported(Protocol::kPrft));
+  EXPECT_TRUE(timed_ds.supported(Protocol::kQuorum));
+  EXPECT_FALSE(timed_ds.supported(Protocol::kHotStuff));
+  EXPECT_FALSE(timed_ds.supported(Protocol::kRaftLite));
+}
+
+TEST(StrategySpace, StartsAtHonestAndDeduplicates) {
+  StrategySpace space;
+  ASSERT_EQ(space.size(), 1);
+  EXPECT_TRUE(space.at(0).is_honest());
+
+  const int abs1 = space.add(StrategyVariant::of(Strategy::kAbstain));
+  const int abs2 = space.add(StrategyVariant::of(Strategy::kAbstain));
+  EXPECT_EQ(abs1, 1);
+  EXPECT_EQ(abs2, 1);  // same variant, same slot
+  EXPECT_EQ(space.add(StrategyVariant::honest()), 0);
+  EXPECT_EQ(space.find("pi_abs"), 1);
+  EXPECT_EQ(space.find("pi_pc"), -1);
+  EXPECT_THROW((void)space.at(2), std::out_of_range);
+  EXPECT_THROW((void)space.at(-1), std::out_of_range);
+
+  // Dedup is structural, not by display label: two mixtures whose labels
+  // both round to 0.50/0.50 stay distinct variants.
+  const int m1 = space.add(StrategyVariant::mixed(
+      {{Strategy::kHonest, 0.5}, {Strategy::kAbstain, 0.5}}));
+  const int m2 = space.add(StrategyVariant::mixed(
+      {{Strategy::kHonest, 0.501}, {Strategy::kAbstain, 0.499}}));
+  const int m3 = space.add(StrategyVariant::mixed(
+      {{Strategy::kHonest, 0.5}, {Strategy::kAbstain, 0.5}}));
+  EXPECT_NE(m1, m2);
+  EXPECT_EQ(space.at(m1).label(), space.at(m2).label());
+  EXPECT_EQ(m3, m1);
+}
+
+// ---------------------------------------------------------------------------
+// MixedBehavior: deterministic per-round sampling
+
+std::vector<MixedBehavior::Component> half_abstain() {
+  return {{Strategy::kHonest, 0.5, nullptr},
+          {Strategy::kAbstain, 0.5,
+           rational::make_behavior(Strategy::kAbstain, 0, {})}};
+}
+
+TEST(MixedBehavior, ChoiceIsAPureFunctionOfSeedAndRound) {
+  MixedBehavior a(half_abstain(), Rng(42).fork("mixed/P3"));
+  MixedBehavior b(half_abstain(), Rng(42).fork("mixed/P3"));
+  MixedBehavior other_seed(half_abstain(), Rng(43).fork("mixed/P3"));
+  MixedBehavior other_player(half_abstain(), Rng(42).fork("mixed/P4"));
+
+  bool some_round_differs_seed = false;
+  bool some_round_differs_player = false;
+  for (Round r = 1; r <= 64; ++r) {
+    EXPECT_EQ(a.choice(r), b.choice(r)) << r;
+    some_round_differs_seed |= a.choice(r) != other_seed.choice(r);
+    some_round_differs_player |= a.choice(r) != other_player.choice(r);
+  }
+  // Query out of order / repeatedly: the per-round choice cannot drift.
+  EXPECT_EQ(a.choice(7), b.choice(7));
+  EXPECT_EQ(a.choice(3), b.choice(3));
+  EXPECT_EQ(a.choice(7), a.choice(7));
+  EXPECT_TRUE(some_round_differs_seed);
+  EXPECT_TRUE(some_round_differs_player);
+}
+
+TEST(MixedBehavior, SamplesRoughlyByWeightAndDelegates) {
+  MixedBehavior mix(half_abstain(), Rng(7).fork("mixed/P0"));
+  std::size_t abstained = 0;
+  const Round rounds = 2000;
+  for (Round r = 1; r <= rounds; ++r) {
+    if (!mix.participate(r, 0, consensus::PhaseTag::kVote)) ++abstained;
+  }
+  // ~50% within a loose Chernoff band.
+  EXPECT_GT(abstained, rounds / 2 - 150);
+  EXPECT_LT(abstained, rounds / 2 + 150);
+  EXPECT_FALSE(mix.is_honest());
+  EXPECT_FALSE(mix.expose_fraud());  // colluding component ⇒ never exposes
+
+  // Degenerate mixture behaves like its pure component.
+  MixedBehavior all_abs({{Strategy::kAbstain, 1.0,
+                          rational::make_behavior(Strategy::kAbstain, 0, {})}},
+                        Rng(7).fork("mixed/P0"));
+  for (Round r = 1; r <= 16; ++r) {
+    EXPECT_FALSE(all_abs.participate(r, 0, consensus::PhaseTag::kVote));
+  }
+  MixedBehavior all_honest({{Strategy::kHonest, 1.0, nullptr}},
+                           Rng(7).fork("mixed/P0"));
+  EXPECT_TRUE(all_honest.is_honest());
+  EXPECT_TRUE(all_honest.expose_fraud());
+}
+
+TEST(MixedBehavior, RejectsDegenerateInputs) {
+  EXPECT_THROW(MixedBehavior({}, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(
+      MixedBehavior({{Strategy::kHonest, -0.5, nullptr}}, Rng(1)),
+      std::invalid_argument);
+  EXPECT_THROW(MixedBehavior({{Strategy::kHonest, 0.0, nullptr}}, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Rng, LabeledForkIsStableAndSideEffectFree) {
+  Rng parent(99);
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("alpha");
+  Rng c = parent.fork("beta");
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+  // The labeled fork must not advance the parent: its stream matches a
+  // fresh generator of the same seed.
+  Rng fresh(99);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(parent.next(), fresh.next());
+}
+
+// ---------------------------------------------------------------------------
+// CoalitionEnumerator
+
+TEST(Coalitions, RotationalSymmetryReduction) {
+  // n = 8, k ≤ 2: {0} covers all singletons; pairs reduce to the four
+  // distinct gaps {0,1} {0,2} {0,3} {0,4}.
+  CoalitionSpec spec;
+  spec.n = 8;
+  EXPECT_EQ(spec.effective_k_max(), 2u);  // ⌈8/4⌉
+  const auto reduced = enumerate_coalitions(spec);
+  ASSERT_EQ(reduced.size(), 5u);
+  EXPECT_EQ(reduced[0], (Coalition{0}));
+  EXPECT_EQ(reduced[1], (Coalition{0, 1}));
+  EXPECT_EQ(reduced[4], (Coalition{0, 4}));
+
+  CoalitionSpec full = spec;
+  full.symmetry_reduce = false;
+  EXPECT_EQ(enumerate_coalitions(full).size(), 8u + 28u);
+  EXPECT_EQ(choose(8, 2), 28u);
+
+  // Every canonical representative really is minimal in its class.
+  EXPECT_TRUE(rotation_canonical({0, 1}, 8));
+  EXPECT_FALSE(rotation_canonical({1, 2}, 8));
+  EXPECT_FALSE(rotation_canonical({0, 7}, 8));  // rotates to {0,1}
+  EXPECT_TRUE(rotation_canonical({0, 4}, 8));
+
+  CoalitionSpec limited = spec;
+  limited.limit = 3;
+  EXPECT_EQ(enumerate_coalitions(limited).size(), 3u);
+
+  CoalitionSpec bad = spec;
+  bad.k_min = 0;
+  EXPECT_THROW((void)enumerate_coalitions(bad), std::invalid_argument);
+}
+
+TEST(Coalitions, TheoremBand) {
+  // Theorems 1–2: ⌈n/3⌉ ≤ k+t ≤ ⌈n/2⌉−1.
+  const CoalitionBand b30 = theorem_band(30);
+  EXPECT_EQ(b30.lo, 10u);
+  EXPECT_EQ(b30.hi, 14u);
+  EXPECT_TRUE(b30.contains(10));
+  EXPECT_TRUE(b30.contains(14));
+  EXPECT_FALSE(b30.contains(15));
+  const CoalitionBand b8 = theorem_band(8);
+  EXPECT_EQ(b8.lo, 3u);
+  EXPECT_EQ(b8.hi, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// apply_assignment: executing searched variants
+
+TEST(ApplyAssignment, MixedAndParamVariantsProduceDeviantReplicas) {
+  StrategySpace space;
+  const int mix = space.add(StrategyVariant::mixed(
+      {{Strategy::kHonest, 0.5}, {Strategy::kAbstain, 0.5}}));
+  AdversaryKnobs knobs;
+  knobs.delay_from = 1;
+  knobs.delay_until = 9;
+  const int param = space.add(StrategyVariant::param(knobs));
+
+  for (const Protocol proto : {Protocol::kPrft, Protocol::kHotStuff,
+                               Protocol::kRaftLite, Protocol::kUnanimous}) {
+    harness::ScenarioSpec spec;
+    spec.protocol = proto;
+    spec.committee.n = 8;
+    spec.budget.target_blocks = 1;
+    apply_assignment(spec, space, {{2, mix}, {5, param}}, {});
+    harness::Simulation sim(spec);
+    EXPECT_FALSE(sim.replica(2).is_honest()) << to_string(proto);
+    EXPECT_FALSE(sim.replica(5).is_honest()) << to_string(proto);
+    EXPECT_TRUE(sim.replica(0).is_honest()) << to_string(proto);
+  }
+}
+
+TEST(ApplyAssignment, TimedEquivocationWindowGatesTheForkPlan) {
+  // A pRFT π_ds coalition whose window already closed never attacks:
+  // agreement holds and nobody is slashed. The same coalition with an
+  // open window forks-and-burns (the catalog behaviour).
+  StrategySpace space;
+  AdversaryKnobs closed;
+  closed.equivocate = true;
+  closed.equivocate_from = 0;
+  closed.equivocate_until = 0;  // empty window
+  const int closed_idx = space.add(StrategyVariant::param(closed));
+
+  harness::ScenarioSpec spec;
+  spec.committee.n = 9;
+  spec.seed = 11;
+  spec.budget.target_blocks = 3;
+  spec.workload.txs = 6;
+  apply_assignment(spec, space, {{0, closed_idx}, {1, closed_idx}}, {});
+  harness::Simulation sim(spec);
+  sim.start();
+  sim.run_until(sec(120));
+  EXPECT_TRUE(sim.agreement_holds());
+  EXPECT_FALSE(sim.deposits().slashed(0));
+  EXPECT_FALSE(sim.deposits().slashed(1));
+
+  AdversaryKnobs open;
+  open.equivocate = true;
+  StrategySpace space2;
+  const int open_idx = space2.add(StrategyVariant::param(open));
+  harness::ScenarioSpec spec2;
+  spec2.committee.n = 9;
+  spec2.seed = 11;
+  spec2.budget.target_blocks = 3;
+  spec2.workload.txs = 6;
+  apply_assignment(spec2, space2,
+                   {{0, open_idx}, {1, open_idx}, {2, open_idx},
+                    {3, open_idx}},
+                   {});
+  harness::Simulation sim2(spec2);
+  sim2.start();
+  sim2.run_until(sec(240));
+  EXPECT_TRUE(sim2.agreement_holds());  // k+t < n/2: the fork fails…
+  EXPECT_TRUE(sim2.deposits().slashed(0));  // …and the PoF burns deposits
+  EXPECT_FALSE(sim2.honest_player_slashed());
+}
+
+TEST(ApplyAssignment, RejectsInvalidAssignments) {
+  StrategySpace space;
+  const int abs = space.add(StrategyVariant::of(Strategy::kAbstain));
+  AdversaryKnobs equiv;
+  equiv.equivocate = true;
+  const int timed_ds = space.add(StrategyVariant::param(equiv));
+
+  harness::ScenarioSpec outside;
+  outside.committee.n = 4;
+  EXPECT_THROW(apply_assignment(outside, space, {{9, abs}}, {}),
+               std::invalid_argument);
+
+  harness::ScenarioSpec hotstuff;
+  hotstuff.protocol = Protocol::kHotStuff;
+  hotstuff.committee.n = 4;
+  EXPECT_THROW(apply_assignment(hotstuff, space, {{0, timed_ds}}, {}),
+               std::invalid_argument);
+
+  // Conflicting equivocation windows in one coalition — including a pure
+  // π_ds player (implicit [0, inf) window) next to a narrowed kParam
+  // window, which must not silently rewrite either player's timing.
+  AdversaryKnobs other_window = equiv;
+  other_window.equivocate_from = 5;
+  StrategySpace space2;
+  const int w1 = space2.add(StrategyVariant::param(equiv));
+  const int w2 = space2.add(StrategyVariant::param(other_window));
+  const int pure_ds = space2.add(StrategyVariant::of(Strategy::kDoubleSign));
+  harness::ScenarioSpec prft;
+  prft.committee.n = 8;
+  EXPECT_THROW(apply_assignment(prft, space2, {{0, w1}, {1, w2}}, {}),
+               std::invalid_argument);
+  harness::ScenarioSpec prft2;
+  prft2.committee.n = 8;
+  EXPECT_THROW(apply_assignment(prft2, space2, {{0, w2}, {1, pure_ds}}, {}),
+               std::invalid_argument);
+  // Pure π_ds and the full-window kParam variant agree ([0, inf)).
+  harness::ScenarioSpec prft3;
+  prft3.committee.n = 8;
+  AdversaryKnobs full = equiv;
+  full.equivocate_from = 0;
+  full.equivocate_until = kRoundNever;
+  StrategySpace space3;
+  const int wf = space3.add(StrategyVariant::param(full));
+  const int ds3 = space3.add(StrategyVariant::of(Strategy::kDoubleSign));
+  apply_assignment(prft3, space3, {{0, wf}, {1, ds3}}, {});
+}
+
+// ---------------------------------------------------------------------------
+// BestResponseDriver: the acceptance gate
+
+SearchSpec unanimous_spec() {
+  SearchSpec spec;
+  spec.protocol = Protocol::kUnanimous;
+  spec.n = 8;
+  spec.nets = {NetKind::kSynchronous};
+  spec.seeds = {1, 2};
+  spec.theta = 3;  // paid for no-progress (Table 2)
+  spec.payoff.watched_tx = 1;
+  spec.base.censored_txs = {1};
+  spec.epsilon = 0.05;
+  spec.horizon = sec(30);
+  return spec;
+}
+
+TEST(BestResponseDriver, DiscoversLivenessAttackAgainstUnanimousBaseline) {
+  // Claim 1 / Theorem 1 as a *search outcome*: starting from only π₀, the
+  // loop finds — without being told about it — that a θ=3 coalition
+  // profits strictly by abstaining against the τ = n baseline, then
+  // certifies the discovered attack profile as the equilibrium the
+  // dynamic converged to.
+  const SearchResult result = search(unanimous_spec());
+  ASSERT_FALSE(result.discovered.empty());
+  EXPECT_EQ(result.discovered.front().label, "pi_abs");
+  // The stalled stream is worth α·(1 + δ + δ²) to θ=3.
+  EXPECT_NEAR(result.discovered.front().gain, 1.0 + 0.9 + 0.81, 0.3);
+  EXPECT_TRUE(result.equilibrium_certified);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_FALSE(result.final_profile.empty());
+  EXPECT_LE(result.evaluations, result.budget.max_evaluations);
+
+  // The empirical game the search grew: honest row ≈ 0, the discovered
+  // abstention row strictly profitable — honest is *not* a best response.
+  ASSERT_GE(result.space.size(), 2);
+  EXPECT_NEAR(result.game.payoff({0}, 0), 0.0, 0.1);
+  const int abs_row = result.space.find("pi_abs");
+  ASSERT_GT(abs_row, 0);
+  EXPECT_GT(result.game.payoff({abs_row}, 0), 1.0);
+  EXPECT_FALSE(result.game.is_nash({0}, 0.05));
+
+  // The summary logs the budget (the acceptance criterion's clause).
+  EXPECT_NE(result.summary().find("budget:"), std::string::npos);
+  EXPECT_NE(result.summary().find("4096"), std::string::npos);
+}
+
+TEST(BestResponseDriver, CertifiesHonestForPrftUnderCoalitionSearch) {
+  // Lemma 4's regime (θ ≤ 1, k + t < n/2): under pRFT no coalition up to
+  // k = ⌈n/4⌉ finds a profitable deviation anywhere in the pool — pure,
+  // mixed, or parametric (timed forks burn deposits, abstention buys
+  // σ_NP which θ=1 is *charged* for). Honest play survives the search.
+  SearchSpec spec = unanimous_spec();
+  spec.protocol = Protocol::kPrft;
+  spec.theta = 1;
+  spec.horizon = sec(60);
+  const SearchResult result = search(spec);
+  EXPECT_TRUE(result.discovered.empty());
+  EXPECT_TRUE(result.equilibrium_certified);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_TRUE(result.final_profile.empty());
+  EXPECT_EQ(result.space.size(), 1);  // nothing was worth adopting
+  EXPECT_LE(result.evaluations, result.budget.max_evaluations);
+  EXPECT_EQ(result.iterations, 1u);
+  // Coalition search really ran up to k = ⌈n/4⌉ = 2 with symmetry
+  // reduction: 5 canonical of 36 unreduced.
+  EXPECT_EQ(result.coalitions_examined, 5u);
+  EXPECT_EQ(result.unreduced_coalitions, 36u);
+  EXPECT_TRUE(result.game.is_nash({0}, 0.05));
+}
+
+TEST(BestResponseDriver, SerialAndParallelSearchesAreIdentical) {
+  SearchSpec serial = unanimous_spec();
+  serial.seeds = {1};
+  serial.workers = 1;
+  SearchSpec parallel = serial;
+  parallel.workers = 4;
+
+  const SearchResult a = search(serial);
+  const SearchResult b = search(parallel);
+  ASSERT_EQ(a.discovered.size(), b.discovered.size());
+  for (std::size_t i = 0; i < a.discovered.size(); ++i) {
+    EXPECT_EQ(a.discovered[i].coalition, b.discovered[i].coalition);
+    EXPECT_EQ(a.discovered[i].label, b.discovered[i].label);
+    EXPECT_DOUBLE_EQ(a.discovered[i].gain, b.discovered[i].gain);
+  }
+  EXPECT_EQ(a.final_profile, b.final_profile);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.equilibrium_certified, b.equilibrium_certified);
+  ASSERT_EQ(a.space.size(), b.space.size());
+  for (int vi = 0; vi < a.space.size(); ++vi) {
+    EXPECT_EQ(a.space.at(vi).label(), b.space.at(vi).label());
+    EXPECT_DOUBLE_EQ(a.game.payoff({vi}, 0), b.game.payoff({vi}, 0));
+  }
+}
+
+TEST(BestResponseDriver, RespectsTheEvaluationBudget) {
+  SearchSpec spec = unanimous_spec();
+  spec.seeds = {1};
+  spec.budget.max_evaluations = 6;  // baseline + two candidates, tops
+  const SearchResult result = search(spec);
+  EXPECT_LE(result.evaluations, 6u);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_FALSE(result.equilibrium_certified);
+  EXPECT_NE(result.summary().find("BUDGET EXHAUSTED"), std::string::npos);
+}
+
+TEST(BestResponseDriver, RejectsMisconfiguredSpecs) {
+  SearchSpec no_seeds = unanimous_spec();
+  no_seeds.seeds.clear();
+  EXPECT_THROW((void)search(no_seeds), std::invalid_argument);
+
+  SearchSpec no_nets = unanimous_spec();
+  no_nets.nets.clear();
+  EXPECT_THROW((void)search(no_nets), std::invalid_argument);
+
+  // An unsupported candidate must surface before the parallel fan-out.
+  SearchSpec bad_pool = unanimous_spec();
+  bad_pool.protocol = Protocol::kHotStuff;
+  AdversaryKnobs equiv;
+  equiv.equivocate = true;
+  bad_pool.candidate_pool = {StrategyVariant::param(equiv)};
+  EXPECT_THROW((void)search(bad_pool), std::invalid_argument);
+
+  SearchSpec honest_only = unanimous_spec();
+  honest_only.candidate_pool = {StrategyVariant::honest()};
+  EXPECT_THROW((void)search(honest_only), std::invalid_argument);
+}
+
+TEST(DefaultCandidatePool, SpansPureMixedAndParametricVariants) {
+  const auto prft_pool = default_candidate_pool(Protocol::kPrft, {1});
+  std::set<std::string> labels;
+  for (const StrategyVariant& v : prft_pool) {
+    EXPECT_TRUE(v.supported(Protocol::kPrft)) << v.label();
+    EXPECT_FALSE(v.is_honest()) << v.label();
+    labels.insert(v.label());
+  }
+  EXPECT_TRUE(labels.count("pi_abs"));
+  EXPECT_TRUE(labels.count("pi_pc"));
+  EXPECT_TRUE(labels.count("pi_ds"));
+  EXPECT_TRUE(labels.count("mix(pi_0:0.50,pi_abs:0.50)"));
+  EXPECT_TRUE(labels.count("knobs(delay[2,6)@any)"));
+  EXPECT_TRUE(labels.count("knobs(ds[1,5))"));
+  EXPECT_TRUE(labels.count("knobs(censor{1})"));
+
+  // No fork substrate on HotStuff: neither π_ds nor timed equivocation.
+  for (const StrategyVariant& v :
+       default_candidate_pool(Protocol::kHotStuff, {})) {
+    EXPECT_TRUE(v.supported(Protocol::kHotStuff)) << v.label();
+  }
+}
+
+}  // namespace
+}  // namespace ratcon::search
