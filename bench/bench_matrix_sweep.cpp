@@ -9,6 +9,10 @@
 //   bench_matrix_sweep --workers=1 --no-sync   # serial, no catch-up
 //   bench_matrix_sweep --json=path.json        # artifact (default
 //                                              #   BENCH_matrix.json)
+//   bench_matrix_sweep --smoke                 # one small cell per net —
+//                                              #   CI's cells/sec check
+//   bench_matrix_sweep --prof-level=0          # profiling off (0..3) for
+//                                              #   overhead-free timing
 //
 // Cells run in parallel by default (one worker per hardware thread; each
 // cell is an independent seeded simulation, so results are identical to a
@@ -26,6 +30,7 @@
 #include "harness/flags.hpp"
 #include "harness/jsonio.hpp"
 #include "harness/matrix.hpp"
+#include "harness/profiler.hpp"
 
 namespace {
 
@@ -116,6 +121,18 @@ int main(int argc, char** argv) {
   spec.workers = static_cast<std::uint32_t>(flags.get_int("workers", 0));
   spec.sync_enabled = !flags.has("no-sync");
 
+  // --smoke: the quick per-PR throughput probe — one small committee over
+  // all three network models, two seeds. Explicit flags still win.
+  if (flags.has("smoke")) {
+    if (!flags.has("sizes")) spec.committee_sizes = {7};
+    if (!flags.has("seeds")) spec.seeds = {1, 2};
+  }
+
+  // Collection level for every worker thread (0 = off: no timers, no
+  // counters — the pure-throughput configuration for A/B timing).
+  ratcon::harness::Profiler::SetDefaultLevel(
+      static_cast<int>(flags.get_int("prof-level", 3)));
+
   if (spec.committee_sizes.empty() || spec.nets.empty() ||
       spec.seeds.empty()) {
     std::fprintf(stderr,
@@ -158,12 +175,24 @@ int main(int argc, char** argv) {
         json.key("recovery_latency_us")
             .value(static_cast<std::int64_t>(cell.recovery_latency()));
       }
+      // Per-cell phase totals (the full item dump lives at the top level).
+      json.key("profile").begin_object();
+      for (const auto phase : ratcon::harness::kProfPhases) {
+        json.key(ratcon::harness::to_string(phase)).begin_object();
+        json.key("ns").value(cell.profile.sum(phase));
+        json.key("count").value(cell.profile.count(phase));
+        json.end_object();
+      }
+      json.end_object();
       json.end_object();
     }
     json.end_array();
     json.key("total_wall_ms").value(total_wall);
     json.key("total_messages").value(total_msgs);
     json.key("total_bytes").value(total_bytes);
+    json.key("cells_per_sec").value(report.cells_per_sec());
+    json.key("profile");
+    ratcon::harness::write_profile_json(json, report.aggregate_profile());
     json.end_object();
     const std::string json_path =
         flags.get_str("json", "BENCH_matrix.json");
@@ -188,6 +217,7 @@ int main(int argc, char** argv) {
                 spec.cell_budget_ms);
     return 1;
   }
-  std::printf("\nall %zu cells safe\n", report.cell_count());
+  std::printf("\nall %zu cells safe, %.2f cells/sec\n", report.cell_count(),
+              report.cells_per_sec());
   return 0;
 }

@@ -69,6 +69,8 @@ void emit_result(JsonWriter& json, const char* name,
   json.key("candidates").value(
       static_cast<std::uint64_t>(r.candidate_count));
   json.key("wall_ms").value(r.wall_ms);
+  json.key("profile");
+  harness::write_profile_json(json, r.profile);
   json.key("space").begin_array();
   for (int vi = 0; vi < r.space.size(); ++vi) {
     json.begin_object();

@@ -243,7 +243,7 @@ void HotstuffNode::on_message(net::Context& ctx, NodeId from,
   const NodeId leader = cfg_.leader(r);
 
   try {
-    Reader r_(ByteSpan(env.body.data(), env.body.size()));
+    Reader r_(ByteSpan(env.body().data(), env.body().size()));
     switch (static_cast<MsgType>(env.type)) {
       case MsgType::kPrepare: {
         if (env.from != leader) return;

@@ -1,6 +1,7 @@
 #include "baselines/quorum_node.hpp"
 
 #include "common/serialize.hpp"
+#include "harness/profiler.hpp"
 
 namespace ratcon::baselines {
 
@@ -88,9 +89,14 @@ void QuorumNode::on_message(net::Context& ctx, NodeId from,
   // Decide messages double as catch-up and are processed for any round.
   if (env.round > round_ &&
       static_cast<MsgType>(env.type) != MsgType::kDecide) {
-    future_[env.round].emplace_back(env.from, data);
+    harness::prof_count(harness::kL3FutureRoundBuffered);
+    future_[env.round].push_back(std::move(env));
     return;
   }
+  dispatch(ctx, env);
+}
+
+void QuorumNode::dispatch(net::Context& ctx, const Envelope& env) {
   try {
     switch (static_cast<MsgType>(env.type)) {
       case MsgType::kPrePrepare: handle_preprepare(ctx, env); break;
@@ -165,11 +171,20 @@ void QuorumNode::advance_round(net::Context& ctx, Round r, bool failed) {
   consecutive_failures_ = failed ? consecutive_failures_ + 1 : 0;
   ctx.cancel_timer(kPhaseTimer);
   start_round(ctx);
+  // Buffered envelopes were verified on arrival; dispatch directly, re-gating
+  // the round in case a handler advanced it again mid-replay.
   auto it = future_.find(round_);
   if (it != future_.end()) {
-    const auto pending = std::move(it->second);
+    auto pending = std::move(it->second);
     future_.erase(it);
-    for (const auto& [from, data] : pending) on_message(ctx, from, data);
+    for (auto& env : pending) {
+      harness::prof_count(harness::kL3FutureRoundReplayed);
+      if (env.round > round_) {
+        future_[env.round].push_back(std::move(env));
+      } else {
+        dispatch(ctx, env);
+      }
+    }
   }
 }
 
@@ -267,7 +282,7 @@ void QuorumNode::send_to(net::Context& ctx, const std::set<NodeId>& targets,
 // Handlers
 
 void QuorumNode::handle_preprepare(net::Context& ctx, const Envelope& env) {
-  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  Reader r_(ByteSpan(env.body().data(), env.body().size()));
   const ledger::Block block = ledger::Block::decode(r_);
   const PhaseSig pro_sig = PhaseSig::decode(r_);
   const Round r = env.round;
@@ -299,7 +314,7 @@ void QuorumNode::handle_preprepare(net::Context& ctx, const Envelope& env) {
 }
 
 void QuorumNode::handle_prepare(net::Context& ctx, const Envelope& env) {
-  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  Reader r_(ByteSpan(env.body().data(), env.body().size()));
   crypto::Hash256 h;
   r_.raw_into(h.data(), h.size());
   const PhaseSig sig = PhaseSig::decode(r_);
@@ -358,7 +373,7 @@ void QuorumNode::check_prepare_quorum(net::Context& ctx, Round r,
 }
 
 void QuorumNode::handle_commit(net::Context& ctx, const Envelope& env) {
-  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  Reader r_(ByteSpan(env.body().data(), env.body().size()));
   crypto::Hash256 h;
   r_.raw_into(h.data(), h.size());
   const PhaseSig sig = PhaseSig::decode(r_);
@@ -483,7 +498,7 @@ bool QuorumNode::on_sync_adopt(net::Context& ctx,
 }
 
 void QuorumNode::handle_decide(net::Context& ctx, const Envelope& env) {
-  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  Reader r_(ByteSpan(env.body().data(), env.body().size()));
   crypto::Hash256 h;
   r_.raw_into(h.data(), h.size());
   const bool has_block = r_.boolean();
@@ -549,7 +564,7 @@ void QuorumNode::trigger_view_change(net::Context& ctx, Round r) {
 }
 
 void QuorumNode::handle_view_change(net::Context& ctx, const Envelope& env) {
-  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  Reader r_(ByteSpan(env.body().data(), env.body().size()));
   const PhaseSig sig = PhaseSig::decode(r_);
   const Round r = env.round;
   if (!verify_sig(PhaseTag::kViewChange, r, vc_value(proto_, r), sig)) return;
@@ -645,7 +660,7 @@ void QuorumNode::maybe_expose(net::Context& ctx, Round r, RoundState& rs) {
 void QuorumNode::handle_expose(net::Context& ctx, const Envelope& env) {
   (void)ctx;
   if (!accountable_) return;
-  Reader r_(ByteSpan(env.body.data(), env.body.size()));
+  Reader r_(ByteSpan(env.body().data(), env.body().size()));
   const consensus::FraudSet proofs = consensus::decode_fraud_set(r_);
   for (const consensus::ConflictPair& cp : proofs) {
     if (cp.verify(proto_, *registry_)) {

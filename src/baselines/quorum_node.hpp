@@ -179,6 +179,7 @@ class QuorumNode : public consensus::IReplica {
 
   void start_round(net::Context& ctx);
   void advance_round(net::Context& ctx, Round r, bool failed);
+  void dispatch(net::Context& ctx, const consensus::Envelope& env);
   void handle_preprepare(net::Context& ctx, const consensus::Envelope& env);
   void handle_prepare(net::Context& ctx, const consensus::Envelope& env);
   void handle_commit(net::Context& ctx, const consensus::Envelope& env);
@@ -233,7 +234,9 @@ class QuorumNode : public consensus::IReplica {
   std::optional<PrepareLock> lock_;
   std::map<Round, RoundState> rounds_;
   std::map<crypto::Hash256, ledger::Block> block_store_;
-  std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
+  // Future-round buffer: decoded envelopes that already passed signature
+  // verification, dispatched directly on round entry (no re-decode/verify).
+  std::map<Round, std::vector<consensus::Envelope>> future_;
 
   struct AttackProgress {
     bool voted = false;

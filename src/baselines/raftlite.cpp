@@ -163,7 +163,7 @@ void RaftLiteNode::on_message(net::Context& ctx, NodeId from,
   const NodeId leader = cfg_.leader(t);
 
   try {
-    Reader r_(ByteSpan(env.body.data(), env.body.size()));
+    Reader r_(ByteSpan(env.body().data(), env.body().size()));
     switch (static_cast<MsgType>(env.type)) {
       case MsgType::kAppend: {
         if (env.from != leader) return;

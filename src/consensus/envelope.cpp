@@ -1,30 +1,50 @@
 #include "consensus/envelope.hpp"
 
 #include "crypto/sha256.hpp"
+#include "harness/profiler.hpp"
 
 namespace ratcon::consensus {
 
+using harness::ProfTimer;
+using harness::prof_count;
+
+const crypto::Hash256& Envelope::body_digest() const {
+  if (digest_valid_) {
+    prof_count(harness::kL3DigestCacheHits);
+    return digest_;
+  }
+  prof_count(harness::kL3DigestCacheMisses);
+  digest_ = crypto::sha256(ByteSpan(body_.data(), body_.size()));
+  digest_valid_ = true;
+  return digest_;
+}
+
 Bytes Envelope::encode() const {
+  ProfTimer timer(harness::kL1SerializeNs, harness::kL2EncodeNs);
   Writer w;
   w.u8(static_cast<std::uint8_t>(proto));
   w.u8(type);
   w.u64(round);
   w.u32(from);
-  w.bytes(body);
+  w.bytes(body_);
   w.raw(ByteSpan(sig.bytes.data(), sig.bytes.size()));
-  return w.take();
+  Bytes out = w.take();
+  prof_count(harness::kL3BytesEncoded, static_cast<double>(out.size()));
+  return out;
 }
 
 Envelope Envelope::decode(ByteSpan wire) {
+  ProfTimer timer(harness::kL1SerializeNs, harness::kL2DecodeNs);
   Reader r(wire);
   Envelope env;
   env.proto = static_cast<ProtoId>(r.u8());
   env.type = r.u8();
   env.round = r.u64();
   env.from = r.u32();
-  env.body = r.bytes();
+  env.body_ = r.bytes();
   r.raw_into(env.sig.bytes.data(), env.sig.bytes.size());
   r.expect_done();
+  prof_count(harness::kL3BytesDecoded, static_cast<double>(wire.size()));
   return env;
 }
 
@@ -35,8 +55,7 @@ Bytes Envelope::signing_payload() const {
   w.u8(type);
   w.u64(round);
   w.u32(from);
-  const crypto::Hash256 body_hash =
-      crypto::sha256(ByteSpan(body.data(), body.size()));
+  const crypto::Hash256& body_hash = body_digest();
   w.raw(ByteSpan(body_hash.data(), body_hash.size()));
   return w.take();
 }
@@ -48,9 +67,10 @@ Envelope make_envelope(ProtoId proto, std::uint8_t type, Round round,
   env.type = type;
   env.round = round;
   env.from = from;
-  env.body = std::move(body);
+  env.set_body(std::move(body));
   const Bytes payload = env.signing_payload();
   env.sig = crypto::sign(sk, ByteSpan(payload.data(), payload.size()));
+  prof_count(harness::kL3EnvelopesSigned);
   return env;
 }
 
@@ -58,6 +78,7 @@ bool verify_envelope(const Envelope& env,
                      const crypto::KeyRegistry& registry) {
   const Bytes payload = env.signing_payload();
   const crypto::PublicKey pk = registry.public_key(env.from);
+  prof_count(harness::kL3EnvelopesVerified);
   return registry.verify(pk, ByteSpan(payload.data(), payload.size()),
                          env.sig);
 }

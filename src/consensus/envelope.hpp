@@ -15,18 +15,39 @@ namespace ratcon::consensus {
 /// replayed across rounds or attributed to other senders; the Recv
 /// procedures of all protocols verify it before acting (paper Figure 1:
 /// "any message coming through it will contain only valid signatures").
-struct Envelope {
+///
+/// H(body) is cached per object: signing and verifying the same envelope
+/// hash the body once, not once per signing_payload() call. The body is
+/// therefore private — set_body() is the only mutation path and it
+/// invalidates the cache. The digest never travels on the wire: a receiver
+/// recomputes it from the bytes it actually decoded, so a sender cannot
+/// smuggle a digest that disagrees with the body.
+class Envelope {
+ public:
   ProtoId proto = ProtoId::kPrft;
   std::uint8_t type = 0;
   Round round = 0;
   NodeId from = kNoNode;
-  Bytes body;
   crypto::Signature sig;
+
+  [[nodiscard]] const Bytes& body() const { return body_; }
+  void set_body(Bytes body) {
+    body_ = std::move(body);
+    digest_valid_ = false;
+  }
+
+  /// H(body), computed on first use and cached until set_body().
+  [[nodiscard]] const crypto::Hash256& body_digest() const;
 
   [[nodiscard]] Bytes encode() const;
   static Envelope decode(ByteSpan wire);
 
   [[nodiscard]] Bytes signing_payload() const;
+
+ private:
+  Bytes body_;
+  mutable crypto::Hash256 digest_{};
+  mutable bool digest_valid_ = false;
 };
 
 /// Builds and signs an envelope.

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "common/log.hpp"
+#include "harness/profiler.hpp"
 
 namespace ratcon::prft {
 
@@ -54,8 +55,10 @@ void PrftNode::on_message(net::Context& ctx, NodeId from, const Bytes& data) {
       static_cast<MsgType>(env.type) != MsgType::kSync) {
     // Not in that round yet; replay once we advance (the network already
     // delivered it, so no re-count in stats). Sync bypasses the gate: it is
-    // precisely for nodes that lag behind the sender's round.
-    future_[env.round].emplace_back(env.from, data);
+    // precisely for nodes that lag behind the sender's round. The envelope
+    // is buffered verified, so the replay skips decode + verify.
+    harness::prof_count(harness::kL3FutureRoundBuffered);
+    future_[env.round].push_back(std::move(env));
     return;
   }
   dispatch(ctx, env);
@@ -118,13 +121,20 @@ void PrftNode::advance_round(net::Context& ctx, Round r, bool failed) {
   consecutive_failures_ = failed ? consecutive_failures_ + 1 : 0;
   ctx.cancel_timer(kPhaseTimer);
   start_round(ctx);
-  // Replay buffered messages for the new round.
+  // Replay buffered messages for the new round. They were decoded and
+  // verified on arrival, so this dispatches directly; re-gate the round in
+  // case a handler advanced it again mid-replay.
   auto it = future_.find(round_);
   if (it != future_.end()) {
-    const auto pending = std::move(it->second);
+    auto pending = std::move(it->second);
     future_.erase(it);
-    for (const auto& [from, data] : pending) {
-      on_message(ctx, from, data);
+    for (auto& env : pending) {
+      harness::prof_count(harness::kL3FutureRoundReplayed);
+      if (env.round > round_) {
+        future_[env.round].push_back(std::move(env));
+      } else {
+        dispatch(ctx, env);
+      }
     }
   }
 }
@@ -313,7 +323,7 @@ bool PrftNode::verify_cert_cached(const Certificate& cert, PhaseTag phase,
 // Handlers (the "On Recv." arms of Figure 1)
 
 void PrftNode::handle_propose(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  Reader reader(ByteSpan(env.body().data(), env.body().size()));
   const ProposeBody body = ProposeBody::decode(reader);
   const Round r = env.round;
   const NodeId leader = cfg_.leader(r);
@@ -356,7 +366,7 @@ void PrftNode::handle_propose(net::Context& ctx, const Envelope& env) {
 }
 
 void PrftNode::handle_vote(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  Reader reader(ByteSpan(env.body().data(), env.body().size()));
   const VoteBody body = VoteBody::decode(reader);
   const Round r = env.round;
   if (body.vote_sig.signer >= cfg_.n) return;
@@ -388,7 +398,7 @@ void PrftNode::check_vote_quorum(net::Context& ctx, Round r, RoundState& rs) {
 }
 
 void PrftNode::handle_commit(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  Reader reader(ByteSpan(env.body().data(), env.body().size()));
   const CommitBody body = CommitBody::decode(reader);
   const Round r = env.round;
   if (body.commit_sig.signer >= cfg_.n) return;
@@ -445,7 +455,7 @@ void PrftNode::check_commit_quorum(net::Context& ctx, Round r,
 }
 
 void PrftNode::handle_reveal(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  Reader reader(ByteSpan(env.body().data(), env.body().size()));
   const RevealBody body = RevealBody::decode(reader);
   const Round r = env.round;
   if (body.reveal_sig.signer >= cfg_.n) return;
@@ -522,7 +532,7 @@ void PrftNode::check_reveal_progress(net::Context& ctx, Round r,
 }
 
 void PrftNode::handle_final(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  Reader reader(ByteSpan(env.body().data(), env.body().size()));
   const FinalBody body = FinalBody::decode(reader);
   const Round r = env.round;
   if (body.final_sig.signer >= cfg_.n) return;
@@ -650,7 +660,7 @@ void PrftNode::retry_stale_proposals(net::Context& ctx) {
 }
 
 void PrftNode::handle_expose(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  Reader reader(ByteSpan(env.body().data(), env.body().size()));
   const ExposeBody body = ExposeBody::decode(reader);
   const Round r = env.round;
 
@@ -729,7 +739,7 @@ void PrftNode::trigger_view_change(net::Context& ctx, Round r,
 }
 
 void PrftNode::handle_view_change(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  Reader reader(ByteSpan(env.body().data(), env.body().size()));
   const ViewChangeBody body = ViewChangeBody::decode(reader);
   const Round r = env.round;
   if (body.vc_sig.signer >= cfg_.n) return;
@@ -807,7 +817,7 @@ void PrftNode::check_vc_quorum(net::Context& ctx, Round r, RoundState& rs) {
 }
 
 void PrftNode::handle_commit_view(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  Reader reader(ByteSpan(env.body().data(), env.body().size()));
   const CommitViewBody body = CommitViewBody::decode(reader);
   const Round r = env.round;
   if (body.cv_sig.signer >= cfg_.n) return;
@@ -919,7 +929,7 @@ void PrftNode::maybe_send_sync(net::Context& ctx, NodeId peer) {
 }
 
 void PrftNode::handle_sync(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body.data(), env.body.size()));
+  Reader reader(ByteSpan(env.body().data(), env.body().size()));
   const SyncBody body = SyncBody::decode(reader);
   if (body.blocks.empty()) return;
   const crypto::Hash256 tip = body.blocks.back().hash();

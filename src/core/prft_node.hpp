@@ -236,8 +236,12 @@ class PrftNode : public consensus::IReplica {
   Round round_ = 1;  ///< genesis occupies round 0
   std::map<Round, RoundState> rounds_;
   std::map<crypto::Hash256, ledger::Block> block_store_;
-  // Messages for rounds we have not entered yet, replayed on entry.
-  std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
+  // Messages for rounds we have not entered yet, replayed on entry. Stored
+  // as decoded envelopes that already passed signature verification — the
+  // replay dispatches them directly instead of re-decoding and re-verifying
+  // the wire bytes (the envelope is immutable while buffered, so the
+  // verification performed on arrival still stands).
+  std::map<Round, std::vector<Envelope>> future_;
   // Rounds whose block reached final consensus but could not be adopted yet
   // (missing parent / stale local state): value = block hash.
   std::map<Round, crypto::Hash256> pending_adopt_;

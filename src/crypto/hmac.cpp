@@ -2,9 +2,12 @@
 
 #include <cstring>
 
+#include "harness/profiler.hpp"
+
 namespace ratcon::crypto {
 
 Hash256 hmac_sha256(ByteSpan key, ByteSpan message) {
+  harness::prof_count(harness::kL3HmacCalls);
   constexpr std::size_t kBlock = 64;
   std::uint8_t key_block[kBlock] = {};
 

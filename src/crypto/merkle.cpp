@@ -2,10 +2,15 @@
 
 #include <stdexcept>
 
+#include "harness/profiler.hpp"
+
 namespace ratcon::crypto {
 
 MerkleTree::MerkleTree(std::vector<Hash256> leaves)
     : leaves_(std::move(leaves)) {
+  harness::ProfTimer timer(harness::kL1MerkleNs, harness::kL2MerkleBuildNs);
+  harness::prof_count(harness::kL3MerkleLeaves,
+                      static_cast<double>(leaves_.size()));
   if (leaves_.empty()) {
     root_ = kZeroHash;
     return;
@@ -26,6 +31,7 @@ MerkleTree::MerkleTree(std::vector<Hash256> leaves)
 }
 
 MerkleProof MerkleTree::prove(std::uint64_t index) const {
+  harness::ProfTimer timer(harness::kL1MerkleNs, harness::kL2MerkleProveNs);
   if (index >= leaves_.size()) {
     throw std::out_of_range("MerkleTree::prove: leaf index out of range");
   }
@@ -44,6 +50,7 @@ MerkleProof MerkleTree::prove(std::uint64_t index) const {
 
 bool MerkleTree::verify(const Hash256& leaf, const MerkleProof& proof,
                         const Hash256& root) {
+  harness::ProfTimer timer(harness::kL1MerkleNs, harness::kL2MerkleVerifyNs);
   Hash256 running = leaf;
   for (const MerkleStep& step : proof.path) {
     running = step.sibling_is_left ? hash_pair(step.sibling, running)
@@ -53,6 +60,9 @@ bool MerkleTree::verify(const Hash256& leaf, const MerkleProof& proof,
 }
 
 Hash256 MerkleTree::compute_root(const std::vector<Hash256>& leaves) {
+  harness::ProfTimer timer(harness::kL1MerkleNs, harness::kL2MerkleBuildNs);
+  harness::prof_count(harness::kL3MerkleLeaves,
+                      static_cast<double>(leaves.size()));
   if (leaves.empty()) return kZeroHash;
   std::vector<Hash256> level = leaves;
   while (level.size() > 1) {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "harness/profiler.hpp"
+
 namespace ratcon::crypto {
 
 namespace {
@@ -108,6 +110,11 @@ void Sha256::update(ByteSpan data) {
 
 Hash256 Sha256::finish() {
   const std::uint64_t bit_len = total_len_ * 8;
+  // Logical message bytes (bit_len is captured before padding re-enters
+  // update), counted here so one digest = one counter touch.
+  harness::prof_count(harness::kL3ShaCalls);
+  harness::prof_count(harness::kL3ShaBytes,
+                      static_cast<double>(total_len_));
   const std::uint8_t pad_byte = 0x80;
   update(ByteSpan(&pad_byte, 1));
   const std::uint8_t zero = 0x00;

@@ -2,15 +2,27 @@
 
 #include "common/serialize.hpp"
 #include "crypto/hmac.hpp"
+#include "harness/profiler.hpp"
 
 namespace ratcon::crypto {
 
-Signature sign(const SecretKey& sk, ByteSpan message) {
+namespace {
+
+// Untimed core shared by sign() and verify() so a verification (which
+// recomputes the HMAC) charges the crypto phase exactly once.
+Signature sign_raw(const SecretKey& sk, ByteSpan message) {
   const Hash256 mac =
       hmac_sha256(ByteSpan(sk.bytes.data(), sk.bytes.size()), message);
   Signature sig;
   sig.bytes = mac;
   return sig;
+}
+
+}  // namespace
+
+Signature sign(const SecretKey& sk, ByteSpan message) {
+  harness::ProfTimer timer(harness::kL1CryptoNs, harness::kL2SignNs);
+  return sign_raw(sk, message);
 }
 
 KeyPair KeyRegistry::generate(NodeId node, std::uint64_t seed) {
@@ -34,9 +46,10 @@ KeyPair KeyRegistry::generate(NodeId node, std::uint64_t seed) {
 
 bool KeyRegistry::verify(const PublicKey& pk, ByteSpan message,
                          const Signature& sig) const {
+  harness::ProfTimer timer(harness::kL1CryptoNs, harness::kL2VerifyNs);
   const auto it = by_pk_.find(pk);
   if (it == by_pk_.end()) return false;
-  const Signature expected = sign(it->second, message);
+  const Signature expected = sign_raw(it->second, message);
   return equal_bytes(ByteSpan(expected.bytes.data(), expected.bytes.size()),
                      ByteSpan(sig.bytes.data(), sig.bytes.size()));
 }

@@ -77,6 +77,24 @@ std::vector<const CellResult*> MatrixReport::over_budget_cells() const {
   return out;
 }
 
+ProfReport MatrixReport::aggregate_profile() const {
+  ProfReport total;
+  for (const CellResult& cell : cells) total.merge(cell.profile);
+  return total;
+}
+
+double MatrixReport::total_wall_ms() const {
+  double total = 0.0;
+  for (const CellResult& cell : cells) total += cell.wall_ms;
+  return total;
+}
+
+double MatrixReport::cells_per_sec() const {
+  const double ms = total_wall_ms();
+  if (ms <= 0.0) return 0.0;
+  return static_cast<double>(cells.size()) / (ms / 1000.0);
+}
+
 std::string MatrixReport::summary() const {
   Table t({"protocol", "n", "net", "seed", "min_h", "max_h", "msgs",
            "sync_msgs", "rec_ms", "wall_ms", "safe"});
@@ -104,6 +122,12 @@ std::string MatrixReport::summary() const {
          << fmt(cells.front().budget_ms, 1) << " ms budget";
     }
     os << "\n";
+  }
+  if (!cells.empty()) {
+    os << "\n  " << fmt(cells_per_sec(), 2) << " cells/sec ("
+       << cells.size() << " cells, " << fmt(total_wall_ms(), 1)
+       << " ms summed cell wall-clock)\n\n";
+    os << aggregate_profile().format() << "\n";
   }
   return os.str();
 }

@@ -96,6 +96,16 @@ struct MatrixReport {
   /// Cells that exceeded the per-cell wall-clock budget.
   [[nodiscard]] std::vector<const CellResult*> over_budget_cells() const;
 
+  /// Sweep-wide profiler totals: every cell's ProfReport merged. Counts
+  /// are exact (integer merges commute); timer sums are float-additive.
+  [[nodiscard]] ProfReport aggregate_profile() const;
+
+  /// Sum of per-cell host wall-clock in ms, and the sweep's throughput in
+  /// cells per second of summed cell wall-clock (the per-PR perf metric —
+  /// worker-count independent, unlike end-to-end sweep time).
+  [[nodiscard]] double total_wall_ms() const;
+  [[nodiscard]] double cells_per_sec() const;
+
   /// Human-readable per-cell table (protocol, n, net, seed, heights,
   /// traffic, wall-clock, safety), plus a slowest-cells footer flagging
   /// budget overruns.

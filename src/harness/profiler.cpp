@@ -1,0 +1,142 @@
+#include "harness/profiler.hpp"
+
+#include <sstream>
+
+#include "harness/jsonio.hpp"
+#include "harness/table.hpp"
+
+namespace ratcon::harness {
+
+int tier_of(ProfItem item) {
+  if (item <= kL1PayoffNs) return 1;
+  if (item <= kL2PayoffAccountNs) return 2;
+  return 3;
+}
+
+const char* to_string(ProfItem item) {
+  switch (item) {
+    case kL1SerializeNs: return "serialize";
+    case kL1CryptoNs: return "crypto";
+    case kL1MerkleNs: return "merkle";
+    case kL1EventQueueNs: return "event_queue";
+    case kL1SyncNs: return "sync";
+    case kL1PayoffNs: return "payoff";
+    case kL2EncodeNs: return "encode";
+    case kL2DecodeNs: return "decode";
+    case kL2SignNs: return "sign";
+    case kL2VerifyNs: return "verify";
+    case kL2MerkleBuildNs: return "merkle_build";
+    case kL2MerkleProveNs: return "merkle_prove";
+    case kL2MerkleVerifyNs: return "merkle_verify";
+    case kL2ScheduleNs: return "schedule";
+    case kL2DispatchNs: return "dispatch";
+    case kL2SyncAnnounceNs: return "sync_announce";
+    case kL2SyncHandleNs: return "sync_handle";
+    case kL2SyncServeNs: return "sync_serve";
+    case kL2SyncAdoptNs: return "sync_adopt";
+    case kL2PayoffClassifyNs: return "payoff_classify";
+    case kL2PayoffAccountNs: return "payoff_account";
+    case kL3ShaCalls: return "sha_calls";
+    case kL3ShaBytes: return "sha_bytes";
+    case kL3HmacCalls: return "hmac_calls";
+    case kL3DigestCacheHits: return "digest_cache_hits";
+    case kL3DigestCacheMisses: return "digest_cache_misses";
+    case kL3EnvelopesSigned: return "envelopes_signed";
+    case kL3EnvelopesVerified: return "envelopes_verified";
+    case kL3BytesEncoded: return "bytes_encoded";
+    case kL3BytesDecoded: return "bytes_decoded";
+    case kL3MerkleLeaves: return "merkle_leaves";
+    case kL3EventsScheduled: return "events_scheduled";
+    case kL3EventsDispatched: return "events_dispatched";
+    case kL3FutureRoundBuffered: return "future_round_buffered";
+    case kL3FutureRoundReplayed: return "future_round_replayed";
+    case kL3NegativeDelayClamps: return "negative_delay_clamps";
+    case kL3PastTimeClamps: return "past_time_clamps";
+    case kNumProfItems: break;
+  }
+  return "unknown";
+}
+
+ProfReport& ProfReport::merge(const ProfReport& other) {
+  if (other.level > level) level = other.level;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].sum += other.items[i].sum;
+    items[i].count += other.items[i].count;
+  }
+  return *this;
+}
+
+std::string ProfReport::format() const {
+  std::ostringstream os;
+  os << "profile (level " << level << ")\n";
+
+  Table phases({"phase", "ms", "entries"});
+  for (ProfItem item : kProfPhases) {
+    phases.add_row({to_string(item), fmt(ms(item), 3), fmt_count(count(item))});
+  }
+  os << phases.render();
+
+  bool any_l2 = false;
+  Table subs({"sub-phase", "ms", "entries"});
+  for (std::uint16_t i = kL2EncodeNs; i <= kL2PayoffAccountNs; ++i) {
+    const auto item = static_cast<ProfItem>(i);
+    if (count(item) == 0) continue;
+    any_l2 = true;
+    subs.add_row({to_string(item), fmt(ms(item), 3), fmt_count(count(item))});
+  }
+  if (any_l2) os << "\n" << subs.render();
+
+  bool any_l3 = false;
+  std::ostringstream counters;
+  for (std::uint16_t i = kL3ShaCalls; i < kNumProfItems; ++i) {
+    const auto item = static_cast<ProfItem>(i);
+    if (count(item) == 0) continue;
+    counters << (any_l3 ? "  " : "") << to_string(item) << "="
+             << fmt_count(static_cast<std::uint64_t>(sum(item)));
+    any_l3 = true;
+  }
+  if (any_l3) os << "\n  counters: " << counters.str();
+  return os.str();
+}
+
+void write_profile_json(JsonWriter& json, const ProfReport& report) {
+  json.begin_object();
+  json.key("level").value(static_cast<std::int64_t>(report.level));
+  json.key("phases").begin_object();
+  for (ProfItem item : kProfPhases) {
+    json.key(to_string(item)).begin_object();
+    json.key("ns").value(report.sum(item));
+    json.key("count").value(report.count(item));
+    json.end_object();
+  }
+  json.end_object();
+  json.key("items").begin_object();
+  for (std::uint16_t i = 0; i < kNumProfItems; ++i) {
+    const auto item = static_cast<ProfItem>(i);
+    if (report.count(item) == 0) continue;
+    json.key(to_string(item)).begin_object();
+    json.key("sum").value(report.sum(item));
+    json.key("count").value(report.count(item));
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+std::atomic<int> Profiler::default_level_{3};
+
+Profiler& Profiler::Get() {
+  thread_local Profiler instance;
+  return instance;
+}
+
+void Profiler::Reset() { items_.fill(ProfSlot{}); }
+
+ProfReport Profiler::snapshot() const {
+  ProfReport report;
+  report.level = level_;
+  report.items = items_;
+  return report;
+}
+
+}  // namespace ratcon::harness

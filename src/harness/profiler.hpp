@@ -1,0 +1,219 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ratcon::harness {
+
+class JsonWriter;
+
+/// Enum-indexed flat-array profiler for the simulator's hot paths
+/// (model: samgraph's profiler.h — L1/L2/L3 tiers, Log/LogAdd, one report
+/// per run). Every counter is a slot in one flat array, so logging is an
+/// index + add with no locks or lookups; the instance is thread_local, so
+/// parallel matrix cells (one seeded Simulation per worker thread at a
+/// time) profile independently and stay byte-identical to a serial sweep.
+///
+/// Tiers:
+///  * L1 — per-run wall-clock of the six instrumented phases (serialize/
+///    decode, SHA-256/HMAC sign+verify, Merkle build/prove, event-queue
+///    schedule/dispatch, sync/catch-up, payoff accounting). The `sum` is
+///    nanoseconds, the `count` is phase entries.
+///  * L2 — sub-phase wall-clock (encode vs decode, sign vs verify, …).
+///  * L3 — cheap event counters with no clock reads (hash calls/bytes,
+///    cache hits, clamped schedules). The `sum` carries the total.
+///
+/// Phase timers are inclusive: a sync handler that signs an envelope
+/// contributes to both the sync and crypto phases, so L1 phases measure
+/// "wall-clock spent inside this subsystem", not a disjoint partition.
+enum ProfItem : std::uint16_t {
+  // L1 — phase totals (ns + entry counts).
+  kL1SerializeNs = 0,
+  kL1CryptoNs,
+  kL1MerkleNs,
+  kL1EventQueueNs,
+  kL1SyncNs,
+  kL1PayoffNs,
+  // L2 — sub-phase totals (ns + entry counts).
+  kL2EncodeNs,
+  kL2DecodeNs,
+  kL2SignNs,
+  kL2VerifyNs,
+  kL2MerkleBuildNs,
+  kL2MerkleProveNs,
+  kL2MerkleVerifyNs,
+  kL2ScheduleNs,
+  kL2DispatchNs,
+  kL2SyncAnnounceNs,
+  kL2SyncHandleNs,
+  kL2SyncServeNs,
+  kL2SyncAdoptNs,
+  kL2PayoffClassifyNs,
+  kL2PayoffAccountNs,
+  // L3 — event counters (sum = total, count = log calls; no clock reads).
+  kL3ShaCalls,
+  kL3ShaBytes,
+  kL3HmacCalls,
+  kL3DigestCacheHits,
+  kL3DigestCacheMisses,
+  kL3EnvelopesSigned,
+  kL3EnvelopesVerified,
+  kL3BytesEncoded,
+  kL3BytesDecoded,
+  kL3MerkleLeaves,
+  kL3EventsScheduled,
+  kL3EventsDispatched,
+  kL3FutureRoundBuffered,
+  kL3FutureRoundReplayed,
+  kL3NegativeDelayClamps,
+  kL3PastTimeClamps,
+  // Number of items, not a real slot.
+  kNumProfItems,
+};
+
+/// Collection tier of an item: 1, 2 or 3.
+[[nodiscard]] int tier_of(ProfItem item);
+
+/// Stable snake_case name ("serialize", "sha_calls", …) used in reports
+/// and the BENCH_*.json artifacts.
+[[nodiscard]] const char* to_string(ProfItem item);
+
+/// One counter: `sum` accumulates values (ns for timers, totals for L3
+/// counters), `count` the number of Log/LogAdd calls against it.
+struct ProfSlot {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// The six instrumented phases, in report order. Acceptance gate: all of
+/// them non-zero on a smoke matrix cell.
+inline constexpr std::array<ProfItem, 6> kProfPhases = {
+    kL1SerializeNs, kL1CryptoNs,    kL1MerkleNs,
+    kL1EventQueueNs, kL1SyncNs,     kL1PayoffNs,
+};
+
+/// Immutable snapshot of one run's counters — the piece that rides
+/// RunReport into the bench artifacts. Mergeable so sweeps can aggregate
+/// across cells (counts merge exactly; sums are float-additive).
+struct ProfReport {
+  int level = 0;
+  std::array<ProfSlot, kNumProfItems> items{};
+
+  [[nodiscard]] double sum(ProfItem item) const { return items[item].sum; }
+  [[nodiscard]] std::uint64_t count(ProfItem item) const {
+    return items[item].count;
+  }
+  /// Milliseconds helper for the timer items.
+  [[nodiscard]] double ms(ProfItem item) const { return items[item].sum / 1e6; }
+
+  ProfReport& merge(const ProfReport& other);
+
+  /// Human-readable per-run report: the six phases, then L2 sub-phases,
+  /// then the L3 counter line — items with zero counts are elided.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Emits `report` as a JSON object: {"level", "phases": {name: {ns, count}},
+/// "items": {name: {sum, count}}} — zero-count items elided from "items".
+/// The writer must be positioned where an object value is legal.
+void write_profile_json(JsonWriter& json, const ProfReport& report);
+
+/// The per-thread profiler. `Get()` hands out one instance per thread;
+/// a Simulation resets it at construction and snapshots it into its
+/// RunReport, so each cell of a sweep gets exactly one report per run no
+/// matter how cells are spread over workers.
+class Profiler {
+ public:
+  [[nodiscard]] static Profiler& Get();
+
+  /// Process-wide default collection level. New per-thread instances start
+  /// here, and each Simulation re-adopts it at construction — so setting
+  /// it before a sweep (e.g. `bench_matrix_sweep --prof-level=0`) governs
+  /// every worker thread, not just the caller's.
+  static void SetDefaultLevel(int level) {
+    default_level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static int DefaultLevel() {
+    return default_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears every slot (the thread's level is kept). Called once per run.
+  void Reset();
+
+  /// Collection level: 0 disables everything, 1..3 enable tiers <= level.
+  /// Default 3 — the scoped timers skip their clock reads for disabled
+  /// tiers, so lowering the level removes the measurement cost too.
+  void SetLevel(int level) { level_ = level; }
+  [[nodiscard]] int level() const { return level_; }
+  [[nodiscard]] bool enabled(ProfItem item) const {
+    return tier_of(item) <= level_;
+  }
+
+  /// Overwrites the slot with `value` (a gauge).
+  void Log(ProfItem item, double value) {
+    if (!enabled(item)) return;
+    items_[item].sum = value;
+    items_[item].count = 1;
+  }
+
+  /// Accumulates `value` into the slot (`n` = how many events it covers).
+  void LogAdd(ProfItem item, double value, std::uint64_t n = 1) {
+    if (!enabled(item)) return;
+    items_[item].sum += value;
+    items_[item].count += n;
+  }
+
+  [[nodiscard]] const ProfSlot& slot(ProfItem item) const {
+    return items_[item];
+  }
+  [[nodiscard]] ProfReport snapshot() const;
+
+ private:
+  static std::atomic<int> default_level_;
+
+  std::array<ProfSlot, kNumProfItems> items_{};
+  int level_ = DefaultLevel();
+};
+
+/// Counts an L3 event on the calling thread's profiler: one branch and one
+/// add, no clock read.
+inline void prof_count(ProfItem item, double value = 1.0,
+                       std::uint64_t n = 1) {
+  Profiler::Get().LogAdd(item, value, n);
+}
+
+/// Scoped RAII timer: adds the elapsed nanoseconds to `phase` (an L1 item)
+/// and optionally to `sub` (its L2 breakdown) on destruction. When the
+/// phase's tier is disabled no clock is read at all.
+class ProfTimer {
+ public:
+  explicit ProfTimer(ProfItem phase, ProfItem sub = kNumProfItems)
+      : prof_(Profiler::Get()), phase_(phase), sub_(sub),
+        active_(prof_.enabled(phase)) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfTimer() {
+    if (!active_) return;
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    prof_.LogAdd(phase_, ns);
+    if (sub_ != kNumProfItems) prof_.LogAdd(sub_, ns);
+  }
+
+  ProfTimer(const ProfTimer&) = delete;
+  ProfTimer& operator=(const ProfTimer&) = delete;
+
+ private:
+  Profiler& prof_;
+  ProfItem phase_;
+  ProfItem sub_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace ratcon::harness

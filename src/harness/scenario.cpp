@@ -161,6 +161,14 @@ std::string RunReport::label() const {
 // -- Simulation -------------------------------------------------------------
 
 Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
+  // One profiler report per run: the calling thread's counters restart with
+  // the simulation they will describe (parallel sweeps run each cell on one
+  // worker thread, so the thread_local instance is this run's alone). The
+  // level re-adopts the process-wide default so a pre-sweep
+  // SetDefaultLevel() governs every worker thread.
+  Profiler::Get().SetLevel(Profiler::DefaultLevel());
+  Profiler::Get().Reset();
+
   const ProtocolTraits& traits = protocol_traits(spec_.protocol);
   const CommitteeSpec& com = spec_.committee;
 
@@ -413,25 +421,32 @@ RunReport Simulation::report() const {
   for (sync::CatchupDriver* d : drivers_) {
     r.sync_piggybacked += d->announces_piggybacked();
   }
-  r.accounts.resize(spec_.committee.n);
-  for (NodeId id = 0; id < spec_.committee.n; ++id) {
-    PlayerAccount& acc = r.accounts[id];
-    acc.player = id;
-    acc.honest = replicas_[id]->is_honest();
-    acc.crashed = cluster_->crashed(id);
-    acc.slashed = deposits_->slashed(id);
-    acc.deposit_delta = deposits_->delta(id);
-    const net::MsgCounter sent = cluster_->stats().for_sender(id);
-    acc.messages = sent.count;
-    acc.bytes = sent.bytes;
+  {
+    // Per-player economics are the harness-level payoff accounting; the
+    // deeper PayoffAccountant paths add to the same phase when they run.
+    ProfTimer timer(kL1PayoffNs, kL2PayoffAccountNs);
+    r.accounts.resize(spec_.committee.n);
+    for (NodeId id = 0; id < spec_.committee.n; ++id) {
+      PlayerAccount& acc = r.accounts[id];
+      acc.player = id;
+      acc.honest = replicas_[id]->is_honest();
+      acc.crashed = cluster_->crashed(id);
+      acc.slashed = deposits_->slashed(id);
+      acc.deposit_delta = deposits_->delta(id);
+      const net::MsgCounter sent = cluster_->stats().for_sender(id);
+      acc.messages = sent.count;
+      acc.bytes = sent.bytes;
+    }
+    r.penalties = deposits_->events();
   }
-  r.penalties = deposits_->events();
   r.sim_time = cluster_->now();
   r.gst = cluster_->net().gst();
   r.finalized_at = finalized_at_;
   r.wall_ms =
       std::chrono::duration<double, std::milli>(wall_spent_).count();
   r.budget_ms = spec_.budget.wall_ms;
+  // Snapshot last so the payoff timer above is part of this run's report.
+  r.profile = Profiler::Get().snapshot();
   return r;
 }
 

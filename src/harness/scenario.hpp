@@ -12,6 +12,7 @@
 #include "consensus/outcome.hpp"
 #include "consensus/replica.hpp"
 #include "core/prft_node.hpp"
+#include "harness/profiler.hpp"
 #include "net/cluster.hpp"
 #include "net/netmodel.hpp"
 #include "sync/catchup.hpp"
@@ -242,6 +243,11 @@ struct RunReport {
   std::vector<PlayerAccount> accounts;
   /// Every deposit burn applied during the run, in application order.
   std::vector<ledger::BurnEvent> penalties;
+
+  /// Per-run profiler snapshot (the calling thread's counters since the
+  /// Simulation was constructed). Wall-clock sums vary run to run; the
+  /// event counts are deterministic and byte-identical serial vs parallel.
+  ProfReport profile;
 
   SimTime sim_time = 0;  ///< virtual time when the run stopped
   /// The network model's GST (0 synchronous, kSimTimeNever asynchronous).

@@ -1,25 +1,54 @@
 #include "net/event_queue.hpp"
 
+#include <algorithm>
+
+#include "harness/profiler.hpp"
+
 namespace ratcon::net {
 
+using harness::ProfTimer;
+using harness::prof_count;
+
+void EventQueue::push(SimTime at, Action action) {
+  ProfTimer timer(harness::kL1EventQueueNs, harness::kL2ScheduleNs);
+  heap_.push_back(Event{at, seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  prof_count(harness::kL3EventsScheduled);
+}
+
 void EventQueue::schedule_at(SimTime at, Action action) {
-  if (at < now_) at = now_;
-  heap_.push(Event{at, seq_++, std::move(action)});
+  if (at < now_) {
+    prof_count(harness::kL3PastTimeClamps);
+    at = now_;
+  }
+  push(at, std::move(action));
+}
+
+void EventQueue::schedule_in(SimTime delay, Action action) {
+  if (delay < 0) {
+    prof_count(harness::kL3NegativeDelayClamps);
+    delay = 0;
+  }
+  push(now_ + delay, std::move(action));
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB-adjacent,
-  // so copy the small fields and move the action through a temporary pop.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  Event ev = [&] {
+    ProfTimer timer(harness::kL1EventQueueNs, harness::kL2DispatchNs);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event popped = std::move(heap_.back());
+    heap_.pop_back();
+    return popped;
+  }();
   now_ = ev.at;
+  prof_count(harness::kL3EventsDispatched);
   ev.action();
   return true;
 }
 
 SimTime EventQueue::next_time() const {
-  return heap_.empty() ? kSimTimeNever : heap_.top().at;
+  return heap_.empty() ? kSimTimeNever : heap_.front().at;
 }
 
 }  // namespace ratcon::net

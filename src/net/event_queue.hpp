@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/time.hpp"
@@ -11,17 +10,22 @@ namespace ratcon::net {
 
 /// Deterministic discrete-event queue. Events fire in (time, insertion
 /// sequence) order, so two runs with the same seed interleave identically.
+///
+/// The heap is an owned std::vector driven by std::push_heap/std::pop_heap —
+/// the same algorithms std::priority_queue uses, so the ordering is
+/// byte-identical to the previous implementation, but popping can legally
+/// move the Event (priority_queue::top() only exposes a const&).
 class EventQueue {
  public:
   using Action = std::function<void()>;
 
-  /// Schedules `action` at absolute time `at` (clamped to now).
+  /// Schedules `action` at absolute time `at` (clamped to now; a past time
+  /// counts kL3PastTimeClamps — deterministic scenarios must never hit it).
   void schedule_at(SimTime at, Action action);
 
-  /// Schedules `action` `delay` from now.
-  void schedule_in(SimTime delay, Action action) {
-    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action));
-  }
+  /// Schedules `action` `delay` from now (a negative delay clamps to 0 and
+  /// counts kL3NegativeDelayClamps — same contract as schedule_at).
+  void schedule_in(SimTime delay, Action action);
 
   /// Pops and runs the next event. Returns false when the queue is empty.
   bool step();
@@ -46,7 +50,9 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void push(SimTime at, Action action);
+
+  std::vector<Event> heap_;
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
 };

@@ -3,12 +3,16 @@
 #include <algorithm>
 
 #include "consensus/outcome.hpp"
+#include "harness/profiler.hpp"
 #include "ledger/chain.hpp"
 
 namespace ratcon::rational {
 
 std::vector<game::SystemState> PayoffAccountant::classify_heights(
     const harness::Simulation& sim) const {
+  // L2 only: account() already times the surrounding L1 payoff phase, and
+  // classify_heights runs nested inside it.
+  harness::ProfTimer timer(harness::kL2PayoffClassifyNs);
   const std::uint64_t window =
       params_.window > 0 ? params_.window
                          : sim.spec().budget.target_blocks;
@@ -68,6 +72,7 @@ std::vector<game::SystemState> PayoffAccountant::classify_heights(
 }
 
 PayoffReport PayoffAccountant::account(harness::Simulation& sim) const {
+  harness::ProfTimer timer(harness::kL1PayoffNs, harness::kL2PayoffAccountNs);
   PayoffReport report;
   report.height_states = classify_heights(sim);
   report.end_state = sim.classify(0, params_.watched_tx);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -90,11 +91,13 @@ namespace {
 std::vector<std::vector<double>> evaluate_assignments(
     const SearchSpec& spec, const StrategySpace& space,
     const std::vector<std::map<NodeId, int>>& assignments,
-    const rational::PayoffAccountant& accountant) {
+    const rational::PayoffAccountant& accountant,
+    harness::ProfReport* profile_out) {
   const std::size_t runs_per = spec.nets.size() * spec.seeds.size();
   const std::size_t total = assignments.size() * runs_per;
   std::vector<std::vector<double>> per_run(
       total, std::vector<double>(spec.n, 0.0));
+  std::mutex profile_mu;
   harness::parallel_cells(total, spec.workers, [&](std::size_t run) {
     const std::size_t a = run / runs_per;
     const std::size_t in_a = run % runs_per;
@@ -105,6 +108,13 @@ std::vector<std::vector<double>> evaluate_assignments(
     const rational::PayoffReport report = accountant.account(sim);
     for (NodeId id = 0; id < spec.n; ++id) {
       per_run[run][id] = report.of(id).utility;
+    }
+    if (profile_out != nullptr) {
+      // Snapshot after the payoff accounting so the run's whole profile is
+      // captured; counts merge exactly regardless of worker interleaving.
+      const harness::ProfReport snap = harness::Profiler::Get().snapshot();
+      const std::lock_guard<std::mutex> lock(profile_mu);
+      profile_out->merge(snap);
     }
   });
   std::vector<std::vector<double>> means(
@@ -168,6 +178,7 @@ std::string SearchResult::summary() const {
   os << "  budget: " << evaluations << "/" << budget.max_evaluations
      << " evaluations, " << iterations << "/" << budget.max_iterations
      << " iterations, " << harness::fmt(wall_ms, 1) << " ms\n";
+  os << "\n" << profile.format() << "\n";
   if (budget_exhausted) {
     os << "  verdict: BUDGET EXHAUSTED before a full sweep — no "
           "certificate\n";
@@ -328,7 +339,8 @@ SearchResult search(const SearchSpec& spec) {
     }
 
     const std::vector<std::vector<double>> utilities =
-        evaluate_assignments(spec, scratch, batch, accountant);
+        evaluate_assignments(spec, scratch, batch, accountant,
+                             &result.profile);
     result.evaluations += batch.size() * runs_per;
     result.iterations = iter;
     if (baseline_slots != 0) {
@@ -410,7 +422,7 @@ SearchResult search(const SearchSpec& spec) {
       batch.push_back(std::move(assignment));
     }
     const std::vector<std::vector<double>> utilities =
-        evaluate_assignments(spec, space, batch, accountant);
+        evaluate_assignments(spec, space, batch, accountant, &result.profile);
     result.evaluations += game_runs;
     result.game = game::NormalFormGame({space.size()});
     result.game.set_player_name(0,

@@ -133,6 +133,11 @@ struct SearchResult {
   game::NormalFormGame game{std::vector<int>{1}};
   Coalition game_coalition;
 
+  /// Profiler totals merged over every simulation run the search spent
+  /// (snapshot taken after each run's payoff accounting). Event counts are
+  /// deterministic for a fixed spec; timer sums vary with the host.
+  harness::ProfReport profile;
+
   std::size_t coalitions_examined = 0;
   std::uint64_t unreduced_coalitions = 0;
   std::size_t candidate_count = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/merkle.hpp"
+#include "harness/profiler.hpp"
 
 namespace ratcon::sync {
 
@@ -234,6 +235,7 @@ void CatchupDriver::handle_sync(net::Context& ctx,
 }
 
 Bytes CatchupDriver::make_announce() {
+  harness::ProfTimer timer(harness::kL1SyncNs, harness::kL2SyncAnnounceNs);
   const auto& chain = inner_->chain();
   AnnounceBody body;
   body.height = chain.finalized_height();
@@ -285,7 +287,8 @@ void CatchupDriver::after_step(net::Context& ctx) {
 
 void CatchupDriver::handle_announce(net::Context& ctx,
                                     const consensus::Envelope& env) {
-  Reader r(ByteSpan(env.body.data(), env.body.size()));
+  harness::ProfTimer timer(harness::kL1SyncNs, harness::kL2SyncHandleNs);
+  Reader r(ByteSpan(env.body().data(), env.body().size()));
   const AnnounceBody body = AnnounceBody::decode(r);
   r.expect_done();
   witness_[body.height][body.tip].insert(env.from);
@@ -320,7 +323,8 @@ void CatchupDriver::maybe_request(net::Context& ctx) {
 
 void CatchupDriver::handle_request(net::Context& ctx,
                                    const consensus::Envelope& env) {
-  Reader r(ByteSpan(env.body.data(), env.body.size()));
+  harness::ProfTimer timer(harness::kL1SyncNs, harness::kL2SyncServeNs);
+  Reader r(ByteSpan(env.body().data(), env.body().size()));
   const RequestBody body = RequestBody::decode(r);
   r.expect_done();
   const auto& chain = inner_->chain();
@@ -352,7 +356,8 @@ void CatchupDriver::handle_request(net::Context& ctx,
 
 void CatchupDriver::handle_response(net::Context& ctx,
                                     const consensus::Envelope& env) {
-  Reader r(ByteSpan(env.body.data(), env.body.size()));
+  harness::ProfTimer timer(harness::kL1SyncNs, harness::kL2SyncAdoptNs);
+  Reader r(ByteSpan(env.body().data(), env.body().size()));
   const ResponseBody body = ResponseBody::decode(r);
   r.expect_done();
 

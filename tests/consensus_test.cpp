@@ -131,7 +131,9 @@ TEST(EnvelopeTest, TamperingBreaksSignature) {
   TestKeys setup(2);
   Envelope env = make_envelope(kProto, 3, 7, 0, to_bytes("body"),
                                setup.keys[0].sk);
-  env.body.push_back(0xff);
+  Bytes tampered = env.body();
+  tampered.push_back(0xff);
+  env.set_body(std::move(tampered));  // must invalidate the digest cache
   EXPECT_FALSE(verify_envelope(env, setup.registry));
 
   Envelope env2 = make_envelope(kProto, 3, 7, 0, to_bytes("body"),

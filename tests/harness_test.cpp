@@ -1,12 +1,18 @@
 // Unit tests for the experiment harness: table rendering, power-law
-// fitting, and CLI flags.
+// fitting, CLI flags, and the JSON artifact writer.
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "harness/fit.hpp"
 #include "harness/flags.hpp"
+#include "harness/jsonio.hpp"
 #include "harness/table.hpp"
 
 namespace ratcon::harness {
@@ -99,6 +105,172 @@ TEST(FlagsTest, FallbacksApply) {
   EXPECT_EQ(flags.get_int("missing", 7), 7);
   EXPECT_EQ(flags.get_str("missing", "dflt"), "dflt");
   EXPECT_FALSE(flags.has("missing"));
+}
+
+// Minimal structural JSON validity check, enough to catch the failure mode
+// the tests below guard against (a bare `nan`/`inf` token leaking into the
+// output): balanced containers outside strings, and every value token is
+// null/true/false/number/string.
+bool json_is_valid(const std::string& text) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\n' ||
+                               text[i] == '\t' || text[i] == '\r')) {
+      ++i;
+    }
+  };
+  // Recursive-descent value parser, implemented iteratively with an
+  // explicit container stack ('o' = object expecting key, 'a' = array).
+  std::vector<char> stack;
+  const auto parse_scalar = [&]() -> bool {
+    if (text.compare(i, 4, "null") == 0 || text.compare(i, 4, "true") == 0) {
+      i += 4;
+      return true;
+    }
+    if (text.compare(i, 5, "false") == 0) {
+      i += 5;
+      return true;
+    }
+    if (text[i] == '"') {
+      for (++i; i < text.size(); ++i) {
+        if (text[i] == '\\') {
+          ++i;
+        } else if (text[i] == '"') {
+          ++i;
+          return true;
+        }
+      }
+      return false;
+    }
+    const std::size_t start = i;
+    while (i < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
+            text[i] == '-' || text[i] == '+' || text[i] == '.' ||
+            text[i] == 'e' || text[i] == 'E')) {
+      ++i;
+    }
+    if (i == start) return false;
+    char* end = nullptr;
+    const std::string tok = text.substr(start, i - start);
+    std::strtod(tok.c_str(), &end);
+    return end == tok.c_str() + tok.size();
+  };
+  bool expect_value = true;
+  while (true) {
+    skip_ws();
+    if (i >= text.size()) break;
+    const char c = text[i];
+    if (expect_value) {
+      if (c == '{') {
+        stack.push_back('o');
+        ++i;
+        skip_ws();
+        if (i < text.size() && text[i] == '}') {
+          stack.pop_back();
+          ++i;
+          expect_value = false;
+        } else {
+          // Expect a key string.
+          if (i >= text.size() || text[i] != '"' || !parse_scalar()) {
+            return false;
+          }
+          skip_ws();
+          if (i >= text.size() || text[i] != ':') return false;
+          ++i;
+        }
+        continue;
+      }
+      if (c == '[') {
+        stack.push_back('a');
+        ++i;
+        skip_ws();
+        if (i < text.size() && text[i] == ']') {
+          stack.pop_back();
+          ++i;
+          expect_value = false;
+        }
+        continue;
+      }
+      if (!parse_scalar()) return false;
+      expect_value = false;
+      continue;
+    }
+    // After a value: comma, or container close.
+    if (c == ',') {
+      ++i;
+      if (stack.empty()) return false;
+      if (stack.back() == 'o') {
+        skip_ws();
+        if (i >= text.size() || text[i] != '"' || !parse_scalar()) {
+          return false;
+        }
+        skip_ws();
+        if (i >= text.size() || text[i] != ':') return false;
+        ++i;
+      }
+      expect_value = true;
+      continue;
+    }
+    if (c == '}' || c == ']') {
+      if (stack.empty() || stack.back() != (c == '}' ? 'o' : 'a')) {
+        return false;
+      }
+      stack.pop_back();
+      ++i;
+      continue;
+    }
+    return false;
+  }
+  return stack.empty() && !expect_value;
+}
+
+TEST(JsonWriterTest, ValidatorAcceptsAndRejectsSanely) {
+  EXPECT_TRUE(json_is_valid(R"({"a":[1,2.5,null,"s"],"b":{"c":true}})"));
+  EXPECT_TRUE(json_is_valid(R"([])"));
+  EXPECT_FALSE(json_is_valid(R"({"a":nan})"));
+  EXPECT_FALSE(json_is_valid(R"({"a":inf})"));
+  EXPECT_FALSE(json_is_valid(R"({"a":1)"));
+  EXPECT_FALSE(json_is_valid(R"({"a" 1})"));
+}
+
+// Regression gate for the bench artifacts: a report whose doubles went
+// non-finite (NaN utility, inf ratio, never-recovered latency) must still
+// serialize to PARSEABLE JSON — value(double) emits null for non-finite
+// input instead of the locale/printf "nan"/"inf" tokens that would corrupt
+// BENCH_*.json.
+TEST(JsonWriterTest, NonFiniteDoublesEmitNullAndStayParseable) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("nan").value(std::nan(""));
+  json.key("pos_inf").value(std::numeric_limits<double>::infinity());
+  json.key("neg_inf").value(-std::numeric_limits<double>::infinity());
+  json.key("finite").value(0.1);
+  json.key("nested").begin_array();
+  json.value(std::nan(""));
+  json.value(1e308);
+  json.end_array();
+  json.end_object();
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"nan\":null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"pos_inf\":null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"neg_inf\":null"), std::string::npos) << text;
+  EXPECT_TRUE(json_is_valid(text)) << text;
+}
+
+// Round-trip precision: to_chars shortest form must re-parse to the exact
+// same bits for representative doubles (wall-clock ms, utilities, ratios).
+TEST(JsonWriterTest, DoublesRoundTripExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324,
+                         123456.789012345, -0.0}) {
+    JsonWriter json;
+    json.begin_array();
+    json.value(v);
+    json.end_array();
+    const std::string text = json.str();
+    ASSERT_GE(text.size(), 3u);
+    const std::string tok = text.substr(1, text.size() - 2);
+    EXPECT_EQ(std::strtod(tok.c_str(), nullptr), v) << tok;
+  }
 }
 
 }  // namespace

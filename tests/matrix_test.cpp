@@ -332,6 +332,133 @@ TEST(Determinism, RunReportByteStableWithSyncOn) {
   EXPECT_EQ(a.recovery_latency(), b.recovery_latency());
 }
 
+// Acceptance gate for the profiler tentpole: one smoke-sized cell must
+// exercise every instrumented phase — serialize, crypto, merkle, event
+// queue, sync/catch-up and payoff accounting all report entries. Counts
+// (not timer sums) are asserted: counts are deterministic, wall-clock is
+// host noise.
+TEST(Profiling, AllSixPhasesNonZeroOnSmokeCell) {
+  MatrixSpec spec;
+  spec.protocols = {Protocol::kPrft};
+  spec.committee_sizes = {7};
+  spec.nets = {NetKind::kPartialSynchrony};
+  spec.seeds = {1};
+  spec.workers = 1;
+  const MatrixReport report = run_matrix(spec);
+  ASSERT_EQ(report.cell_count(), 1u);
+  const ProfReport& p = report.cells.at(0).profile;
+  EXPECT_EQ(p.level, 3);
+  double total_ns = 0.0;
+  for (const ProfItem phase : kProfPhases) {
+    EXPECT_GT(p.count(phase), 0u)
+        << "phase '" << to_string(phase) << "' never entered";
+    total_ns += p.sum(phase);
+  }
+  EXPECT_GT(total_ns, 0.0);
+  // The L3 counters behind the phases fire too.
+  EXPECT_GT(p.count(kL3EnvelopesSigned), 0u);
+  EXPECT_GT(p.count(kL3EnvelopesVerified), 0u);
+  EXPECT_GT(p.count(kL3ShaCalls), 0u);
+  EXPECT_GT(p.count(kL3EventsScheduled), 0u);
+  EXPECT_GT(p.count(kL3EventsDispatched), 0u);
+  // Every signature computes the body digest at most once per envelope.
+  EXPECT_GT(p.count(kL3DigestCacheMisses), 0u);
+  EXPECT_LE(p.sum(kL3DigestCacheMisses),
+            p.sum(kL3EnvelopesSigned) + p.sum(kL3EnvelopesVerified));
+}
+
+// The schedule_in/schedule_at clamps are defensive rails, not expected
+// behaviour: in the deterministic matrix nothing ever schedules into the
+// past (net models deliver at now + delay with delay >= 1), so the clamp
+// counters must stay exactly zero across a representative sweep.
+TEST(Profiling, ClampCountersNeverFireInMatrixCells) {
+  MatrixSpec spec;
+  spec.protocols = {Protocol::kPrft, Protocol::kHotStuff,
+                    Protocol::kRaftLite, Protocol::kQuorum};
+  spec.committee_sizes = {4, 7};
+  spec.nets = {NetKind::kSynchronous, NetKind::kPartialSynchrony,
+               NetKind::kAsynchronous};
+  spec.seeds = {1, 2};
+  spec.target_blocks = 2;
+  spec.workload_txs = 8;
+  const MatrixReport report = run_matrix(spec);
+  for (const CellResult& cell : report.cells) {
+    EXPECT_EQ(cell.profile.count(kL3NegativeDelayClamps), 0u)
+        << cell.label();
+    EXPECT_EQ(cell.profile.count(kL3PastTimeClamps), 0u) << cell.label();
+  }
+  const ProfReport total = report.aggregate_profile();
+  EXPECT_EQ(total.sum(kL3NegativeDelayClamps), 0.0);
+  EXPECT_EQ(total.sum(kL3PastTimeClamps), 0.0);
+}
+
+// With profiling enabled (the default), parallel and serial sweeps must
+// still be byte-identical — including every per-cell profiler COUNT. The
+// profiler is thread_local and reset per Simulation, so a cell's counts
+// cannot depend on which worker ran it or what ran before it.
+TEST(Profiling, ProfileCountsIdenticalSerialVsParallel) {
+  MatrixSpec spec;
+  spec.protocols = {Protocol::kPrft, Protocol::kQuorum};
+  spec.committee_sizes = {4, 7};
+  spec.nets = {NetKind::kSynchronous, NetKind::kPartialSynchrony};
+  spec.seeds = {1, 2};
+  spec.target_blocks = 2;
+  spec.workload_txs = 8;
+
+  MatrixSpec serial = spec;
+  serial.workers = 1;
+  MatrixSpec parallel = spec;
+  parallel.workers = 4;
+
+  const MatrixReport a = run_matrix(serial);
+  const MatrixReport b = run_matrix(parallel);
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const CellResult& x = a.cells[i];
+    const CellResult& y = b.cells[i];
+    ASSERT_EQ(x.label(), y.label());
+    EXPECT_EQ(x.messages, y.messages) << x.label();
+    for (std::uint16_t item = 0; item < kNumProfItems; ++item) {
+      const auto pi = static_cast<ProfItem>(item);
+      EXPECT_EQ(x.profile.count(pi), y.profile.count(pi))
+          << x.label() << " item " << to_string(pi);
+      if (tier_of(pi) == 3) {
+        // L3 sums are event totals, exactly reproducible too.
+        EXPECT_EQ(x.profile.sum(pi), y.profile.sum(pi))
+            << x.label() << " item " << to_string(pi);
+      }
+    }
+  }
+}
+
+// One report per run: the Simulation constructor resets the thread
+// profiler, so running the same cell twice back to back on one thread
+// yields identical counts — nothing leaks from the first run into the
+// second snapshot.
+TEST(Profiling, ResetGivesOneReportPerRun) {
+  auto run_once = [] {
+    MatrixSpec spec;
+    spec.protocols = {Protocol::kPrft};
+    spec.committee_sizes = {4};
+    spec.nets = {NetKind::kSynchronous};
+    spec.seeds = {7};
+    spec.target_blocks = 2;
+    spec.workload_txs = 8;
+    spec.workers = 1;
+    return run_matrix(spec).cells.at(0).profile;
+  };
+  const ProfReport a = run_once();
+  const ProfReport b = run_once();
+  ASSERT_GT(a.count(kL3EventsDispatched), 0u);
+  for (std::uint16_t item = 0; item < kNumProfItems; ++item) {
+    const auto pi = static_cast<ProfItem>(item);
+    EXPECT_EQ(a.count(pi), b.count(pi)) << to_string(pi);
+    if (tier_of(pi) == 3) {
+      EXPECT_EQ(a.sum(pi), b.sum(pi)) << to_string(pi);
+    }
+  }
+}
+
 TEST(SeedMatrix, CellLabelsAreDistinct) {
   CellResult a;
   a.protocol = Protocol::kPrft;

@@ -1,0 +1,176 @@
+#include "harness/profiler.hpp"
+
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "harness/jsonio.hpp"
+
+namespace ratcon::harness {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::Get().SetLevel(3);
+    Profiler::Get().Reset();
+  }
+  void TearDown() override {
+    Profiler::Get().SetLevel(3);
+    Profiler::Get().Reset();
+  }
+};
+
+TEST_F(ProfilerTest, TiersCoverEveryItem) {
+  for (std::uint16_t i = 0; i < kNumProfItems; ++i) {
+    const auto item = static_cast<ProfItem>(i);
+    const int tier = tier_of(item);
+    EXPECT_GE(tier, 1) << to_string(item);
+    EXPECT_LE(tier, 3) << to_string(item);
+    EXPECT_STRNE(to_string(item), "unknown");
+  }
+  // Spot-check the tier boundaries.
+  EXPECT_EQ(tier_of(kL1SerializeNs), 1);
+  EXPECT_EQ(tier_of(kL1PayoffNs), 1);
+  EXPECT_EQ(tier_of(kL2EncodeNs), 2);
+  EXPECT_EQ(tier_of(kL2PayoffAccountNs), 2);
+  EXPECT_EQ(tier_of(kL3ShaCalls), 3);
+  EXPECT_EQ(tier_of(kL3PastTimeClamps), 3);
+}
+
+TEST_F(ProfilerTest, LogOverwritesLogAddAccumulates) {
+  Profiler& prof = Profiler::Get();
+  prof.Log(kL1CryptoNs, 5.0);
+  prof.Log(kL1CryptoNs, 7.0);
+  EXPECT_DOUBLE_EQ(prof.slot(kL1CryptoNs).sum, 7.0);
+  EXPECT_EQ(prof.slot(kL1CryptoNs).count, 1u);
+
+  prof.LogAdd(kL3ShaBytes, 100.0);
+  prof.LogAdd(kL3ShaBytes, 28.0, 3);
+  EXPECT_DOUBLE_EQ(prof.slot(kL3ShaBytes).sum, 128.0);
+  EXPECT_EQ(prof.slot(kL3ShaBytes).count, 4u);
+}
+
+TEST_F(ProfilerTest, ResetClearsEverySlotKeepsLevel) {
+  Profiler& prof = Profiler::Get();
+  prof.SetLevel(2);
+  for (std::uint16_t i = 0; i < kNumProfItems; ++i) {
+    prof.LogAdd(static_cast<ProfItem>(i), 1.0);
+  }
+  prof.Reset();
+  for (std::uint16_t i = 0; i < kNumProfItems; ++i) {
+    const auto item = static_cast<ProfItem>(i);
+    EXPECT_DOUBLE_EQ(prof.slot(item).sum, 0.0) << to_string(item);
+    EXPECT_EQ(prof.slot(item).count, 0u) << to_string(item);
+  }
+  EXPECT_EQ(prof.level(), 2);
+}
+
+TEST_F(ProfilerTest, LevelGatesTiers) {
+  Profiler& prof = Profiler::Get();
+  prof.SetLevel(1);
+  prof.LogAdd(kL1CryptoNs, 1.0);
+  prof.LogAdd(kL2SignNs, 1.0);
+  prof.LogAdd(kL3HmacCalls, 1.0);
+  EXPECT_EQ(prof.slot(kL1CryptoNs).count, 1u);
+  EXPECT_EQ(prof.slot(kL2SignNs).count, 0u);
+  EXPECT_EQ(prof.slot(kL3HmacCalls).count, 0u);
+
+  prof.SetLevel(0);
+  prof.LogAdd(kL1CryptoNs, 1.0);
+  EXPECT_EQ(prof.slot(kL1CryptoNs).count, 1u);  // unchanged, gated off
+}
+
+TEST_F(ProfilerTest, ScopedTimerAddsToPhaseAndSub) {
+  {
+    ProfTimer timer(kL1MerkleNs, kL2MerkleBuildNs);
+  }
+  Profiler& prof = Profiler::Get();
+  EXPECT_EQ(prof.slot(kL1MerkleNs).count, 1u);
+  EXPECT_EQ(prof.slot(kL2MerkleBuildNs).count, 1u);
+  EXPECT_GE(prof.slot(kL1MerkleNs).sum, 0.0);
+  EXPECT_DOUBLE_EQ(prof.slot(kL1MerkleNs).sum, prof.slot(kL2MerkleBuildNs).sum);
+}
+
+TEST_F(ProfilerTest, SnapshotIsIndependentOfLaterLogging) {
+  Profiler& prof = Profiler::Get();
+  prof.LogAdd(kL3EventsScheduled, 4.0);
+  const ProfReport snap = prof.snapshot();
+  prof.LogAdd(kL3EventsScheduled, 6.0);
+  EXPECT_DOUBLE_EQ(snap.sum(kL3EventsScheduled), 4.0);
+  EXPECT_DOUBLE_EQ(prof.slot(kL3EventsScheduled).sum, 10.0);
+  EXPECT_EQ(snap.level, 3);
+}
+
+TEST_F(ProfilerTest, ProfilerIsPerThread) {
+  Profiler::Get().LogAdd(kL3EventsScheduled, 5.0);
+  std::uint64_t other_count = 1;
+  std::thread worker([&] {
+    Profiler::Get().Reset();
+    other_count = Profiler::Get().slot(kL3EventsScheduled).count;
+  });
+  worker.join();
+  EXPECT_EQ(other_count, 0u);  // the worker saw a fresh instance
+  EXPECT_EQ(Profiler::Get().slot(kL3EventsScheduled).count, 1u);
+}
+
+TEST_F(ProfilerTest, DefaultLevelGovernsNewThreads) {
+  ASSERT_EQ(Profiler::DefaultLevel(), 3);
+  Profiler::SetDefaultLevel(1);
+  int fresh_level = -1;
+  std::thread worker([&] { fresh_level = Profiler::Get().level(); });
+  worker.join();
+  Profiler::SetDefaultLevel(3);
+  EXPECT_EQ(fresh_level, 1);  // new thread_local instances adopt the default
+  // An already-constructed instance keeps its own level until SetLevel.
+  EXPECT_EQ(Profiler::Get().level(), 3);
+}
+
+TEST_F(ProfilerTest, MergeAddsSumsAndCounts) {
+  Profiler& prof = Profiler::Get();
+  prof.LogAdd(kL1SyncNs, 10.0);
+  ProfReport a = prof.snapshot();
+  prof.Reset();
+  prof.LogAdd(kL1SyncNs, 32.0, 2);
+  const ProfReport b = prof.snapshot();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.sum(kL1SyncNs), 42.0);
+  EXPECT_EQ(a.count(kL1SyncNs), 3u);
+}
+
+TEST_F(ProfilerTest, FormatListsPhasesAndElidesIdleItems) {
+  Profiler& prof = Profiler::Get();
+  prof.LogAdd(kL1CryptoNs, 1e6);
+  prof.LogAdd(kL2SignNs, 1e6);
+  prof.LogAdd(kL3HmacCalls, 12.0);
+  const std::string text = prof.snapshot().format();
+  for (ProfItem phase : kProfPhases) {
+    EXPECT_NE(text.find(to_string(phase)), std::string::npos) << text;
+  }
+  EXPECT_NE(text.find("sign"), std::string::npos);
+  EXPECT_NE(text.find("hmac_calls"), std::string::npos);
+  // Idle L2/L3 items are elided.
+  EXPECT_EQ(text.find("merkle_prove"), std::string::npos);
+  EXPECT_EQ(text.find("past_time_clamps"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, JsonEmitsAllPhasesAndParses) {
+  Profiler& prof = Profiler::Get();
+  prof.LogAdd(kL1SerializeNs, 2.5e3);
+  prof.LogAdd(kL3BytesEncoded, 512.0);
+  JsonWriter json;
+  write_profile_json(json, prof.snapshot());
+  const std::string doc = json.str();
+  for (ProfItem phase : kProfPhases) {
+    EXPECT_NE(doc.find('"' + std::string(to_string(phase)) + '"'),
+              std::string::npos)
+        << doc;
+  }
+  EXPECT_NE(doc.find("\"bytes_encoded\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"bytes_decoded\""), std::string::npos);  // idle: elided
+  EXPECT_NE(doc.find("\"level\":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ratcon::harness
