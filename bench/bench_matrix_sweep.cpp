@@ -113,7 +113,20 @@ int main(int argc, char** argv) {
   }
   spec.target_blocks =
       static_cast<std::uint64_t>(flags.get_int("blocks", 3));
-  spec.workload_txs = static_cast<std::uint64_t>(flags.get_int("txs", 12));
+
+  // Workload surface (same spelling as bench_workload): defaults keep the
+  // legacy fixed-interval 12-tx plan; --workload=open/--rate/--zipf/… give
+  // the sweep the full engine.
+  ratcon::harness::WorkloadFlags wl_defaults;
+  wl_defaults.spec =
+      ratcon::workload::WorkloadSpec::fixed(/*txs=*/12);
+  const ratcon::harness::WorkloadFlags wl =
+      ratcon::harness::parse_workload_flags(flags, wl_defaults);
+  spec.workload_spec = wl.spec;
+  spec.max_block_txs = wl.max_block_txs;
+  spec.max_block_bytes = wl.max_block_bytes;
+  spec.mempool_cap = wl.mempool.max_pending;
+
   spec.crash_count =
       static_cast<std::uint32_t>(flags.get_int("crashes", 0));
   spec.partition_pre_gst = flags.has("partition");
@@ -175,6 +188,15 @@ int main(int argc, char** argv) {
         json.key("recovery_latency_us")
             .value(static_cast<std::int64_t>(cell.recovery_latency()));
       }
+      json.key("workload").begin_object();
+      json.key("submitted").value(cell.workload.submitted);
+      json.key("finalized").value(cell.workload.finalized);
+      json.key("tx_per_sec").value(cell.workload.tx_per_sec());
+      json.key("p50_us")
+          .value(static_cast<std::int64_t>(cell.workload.latency.p50()));
+      json.key("p99_us")
+          .value(static_cast<std::int64_t>(cell.workload.latency.p99()));
+      json.end_object();
       // Per-cell phase totals (the full item dump lives at the top level).
       json.key("profile").begin_object();
       for (const auto phase : ratcon::harness::kProfPhases) {
@@ -190,6 +212,20 @@ int main(int argc, char** argv) {
     json.key("total_wall_ms").value(total_wall);
     json.key("total_messages").value(total_msgs);
     json.key("total_bytes").value(total_bytes);
+    {
+      const auto wl_total = report.aggregate_workload();
+      json.key("workload").begin_object();
+      json.key("submitted").value(wl_total.submitted);
+      json.key("finalized").value(wl_total.finalized);
+      json.key("evicted").value(wl_total.evicted);
+      json.key("rejected").value(wl_total.rejected);
+      json.key("tx_per_sec").value(wl_total.tx_per_sec());
+      json.key("p50_us")
+          .value(static_cast<std::int64_t>(wl_total.latency.p50()));
+      json.key("p99_us")
+          .value(static_cast<std::int64_t>(wl_total.latency.p99()));
+      json.end_object();
+    }
     json.key("cells_per_sec").value(report.cells_per_sec());
     json.key("profile");
     ratcon::harness::write_profile_json(json, report.aggregate_profile());

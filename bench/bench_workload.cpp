@@ -1,0 +1,313 @@
+// CLI driver for the workload engine: sweeps (protocol × n × net) cells
+// under an open-loop (default), closed-loop, or fixed-interval transaction
+// load and reports per-cell throughput (tx/sec of virtual time) and
+// submit→finalize latency percentiles. This is the production-scale
+// counterpart of bench_matrix_sweep — cells run until the engine drains
+// (every generated transaction finalized on every live honest replica)
+// rather than to a block target, e.g.:
+//
+//   bench_workload                                # default open-loop sweep,
+//                                                 #   incl. the n=128 cell
+//   bench_workload --rate=5000 --txs=20000
+//   bench_workload --workload=closed --clients=64 --think-us=2000
+//   bench_workload --zipf=1.1 --senders=1000      # skewed sender population
+//   bench_workload --max-block-txs=32 --mempool-cap=4096
+//   bench_workload --smoke                        # one small cell per net —
+//                                                 #   the CI probe
+//   bench_workload --verify-determinism           # serial vs parallel sweep,
+//                                                 #   histograms must be ==
+//   bench_workload --json=path.json               # artifact (default
+//                                                 #   BENCH_workload.json)
+//
+// The determinism contract: each cell is an independent seeded simulation,
+// all latency/throughput counters are integers, and histogram merge is
+// element-wise addition — so a serial sweep and a parallel sweep produce
+// byte-identical workload stats. --verify-determinism checks exactly that
+// with operator== per cell and exits non-zero on any mismatch.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/flags.hpp"
+#include "harness/jsonio.hpp"
+#include "harness/matrix.hpp"
+#include "harness/profiler.hpp"
+
+namespace {
+
+using ratcon::harness::MatrixSpec;
+using ratcon::harness::NetKind;
+using ratcon::harness::Protocol;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ratcon::harness::Flags flags(argc, argv);
+
+  MatrixSpec spec;
+
+  const std::string proto = flags.get_str("protocol", "prft");
+  if (proto == "prft") {
+    spec.protocols = {Protocol::kPrft};
+  } else if (proto == "hotstuff") {
+    spec.protocols = {Protocol::kHotStuff};
+  } else if (proto == "raftlite") {
+    spec.protocols = {Protocol::kRaftLite};
+  } else if (proto == "quorum") {
+    spec.protocols = {Protocol::kQuorum};
+  } else if (proto == "all") {
+    spec.protocols = {Protocol::kPrft, Protocol::kHotStuff,
+                      Protocol::kRaftLite, Protocol::kQuorum};
+  } else {
+    std::fprintf(stderr,
+                 "unknown --protocol=%s (prft|hotstuff|raftlite|quorum|all)\n",
+                 proto.c_str());
+    return 2;
+  }
+
+  // Default committee grid. pRFT's Reveal phase carries a full vote
+  // certificate inside each of its >= n - t0 commit-evidence entries —
+  // O(kappa n^2) bits per message and O(kappa n^4) per round (the size
+  // column of the paper's Figure 3) — so the pRFT default stops at n=48;
+  // the production-scale cell (n=128, >= 10k txs) runs on the
+  // linear-message baselines, e.g.
+  //   bench_workload --protocol=hotstuff --sizes=128 --txs=10000
+  spec.committee_sizes = {16, 32, 48};
+  if (proto == "hotstuff" || proto == "raftlite") {
+    spec.committee_sizes = {16, 64, 128};
+  }
+  spec.nets = {NetKind::kSynchronous};
+  spec.seeds = {1};
+
+  if (flags.has("sizes")) {
+    spec.committee_sizes.clear();
+    for (const std::string& s : split_csv(flags.get_str("sizes", ""))) {
+      unsigned long parsed = 0;
+      try {
+        parsed = std::stoul(s);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed == 0 || parsed > 4096 || s.find('-') != std::string::npos) {
+        std::fprintf(stderr, "bad committee size '%s' in --sizes\n",
+                     s.c_str());
+        return 2;
+      }
+      spec.committee_sizes.push_back(static_cast<std::uint32_t>(parsed));
+    }
+  }
+  if (flags.has("nets")) {
+    spec.nets.clear();
+    for (const std::string& s : split_csv(flags.get_str("nets", ""))) {
+      if (s == "synchronous") {
+        spec.nets.push_back(NetKind::kSynchronous);
+      } else if (s == "partial-synchrony") {
+        spec.nets.push_back(NetKind::kPartialSynchrony);
+      } else if (s == "asynchronous") {
+        spec.nets.push_back(NetKind::kAsynchronous);
+      } else {
+        std::fprintf(stderr, "unknown net model '%s'\n", s.c_str());
+        return 2;
+      }
+    }
+  }
+  if (flags.has("seeds")) {
+    const std::int64_t seed_count = flags.get_int("seeds", 1);
+    spec.seeds.clear();
+    for (std::int64_t s = 1; s <= seed_count; ++s) {
+      spec.seeds.push_back(static_cast<std::uint64_t>(s));
+    }
+  }
+
+  // Workload surface (shared spelling with bench_matrix_sweep): the bench
+  // defaults to an open-loop 2000 tx/s load of 10k transactions.
+  ratcon::harness::WorkloadFlags wl_defaults;
+  wl_defaults.spec = ratcon::workload::WorkloadSpec::open_loop(
+      /*rate_tx_per_sec=*/2000.0, /*txs=*/10000);
+  const ratcon::harness::WorkloadFlags wl =
+      ratcon::harness::parse_workload_flags(flags, wl_defaults);
+  spec.workload_spec = wl.spec;
+  spec.max_block_txs = wl.max_block_txs;
+  spec.max_block_bytes = wl.max_block_bytes;
+  spec.mempool_cap = wl.mempool.max_pending;
+
+  // Drain-gated exit: cells stop when every generated transaction has
+  // finalized on every live honest replica, not at a block target.
+  spec.target_blocks = 0;
+  spec.horizon = ratcon::sec(
+      static_cast<std::int64_t>(flags.get_int("horizon-sec", 600)));
+  spec.cell_budget_ms = flags.get_double("budget-ms", 0);
+  spec.workers = static_cast<std::uint32_t>(flags.get_int("workers", 0));
+  spec.sync_enabled = !flags.has("no-sync");
+
+  // --smoke: the quick per-PR probe — one small committee per network
+  // model under a scaled-down load. Explicit flags still win.
+  if (flags.has("smoke")) {
+    if (!flags.has("sizes")) spec.committee_sizes = {7};
+    if (!flags.has("nets")) {
+      spec.nets = {NetKind::kSynchronous, NetKind::kPartialSynchrony,
+                   NetKind::kAsynchronous};
+    }
+    if (!flags.has("txs")) spec.workload_spec->txs = 500;
+  }
+
+  ratcon::harness::Profiler::SetDefaultLevel(
+      static_cast<int>(flags.get_int("prof-level", 3)));
+
+  if (spec.committee_sizes.empty() || spec.nets.empty() ||
+      spec.seeds.empty() || spec.workload_spec->empty()) {
+    std::fprintf(stderr,
+                 "empty sweep: need >=1 size, net, seed and --txs > 0\n");
+    return 2;
+  }
+
+  const auto report = ratcon::harness::run_matrix(spec);
+  std::printf("%s\n", report.summary().c_str());
+
+  // --verify-determinism: rerun the identical sweep serially and require
+  // byte-identical per-cell workload stats (histogram operator==).
+  bool determinism_ok = true;
+  if (flags.has("verify-determinism")) {
+    MatrixSpec serial = spec;
+    serial.workers = 1;
+    const auto serial_report = ratcon::harness::run_matrix(serial);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+      if (report.cells[i].workload != serial_report.cells[i].workload) {
+        ++mismatches;
+        std::printf("DETERMINISM MISMATCH: %s\n",
+                    report.cells[i].label().c_str());
+      }
+    }
+    determinism_ok = mismatches == 0;
+    std::printf("determinism: %zu cells, %zu mismatch(es) — %s\n",
+                report.cells.size(), mismatches,
+                determinism_ok ? "serial == parallel" : "FAILED");
+  }
+
+  // Machine-readable artifact: per-cell throughput + latency percentiles.
+  {
+    using ratcon::harness::JsonWriter;
+    JsonWriter json;
+    json.begin_object();
+    json.key("bench").value("workload");
+    json.key("cells").value(static_cast<std::uint64_t>(report.cell_count()));
+    json.key("all_safe").value(report.all_safe());
+    json.key("config").begin_object();
+    {
+      const auto& ws = *spec.workload_spec;
+      json.key("mode").value(
+          ws.mode == ratcon::workload::Arrival::kOpenLoop     ? "open"
+          : ws.mode == ratcon::workload::Arrival::kClosedLoop ? "closed"
+                                                              : "fixed");
+      json.key("txs").value(ws.txs);
+      json.key("rate_tx_per_sec").value(ws.rate);
+      json.key("clients").value(static_cast<std::uint64_t>(ws.clients));
+      json.key("zipf").value(ws.zipf);
+      json.key("senders").value(ws.senders);
+      json.key("payload_bytes").value(
+          static_cast<std::uint64_t>(ws.payload_bytes));
+      json.key("max_block_txs").value(
+          static_cast<std::uint64_t>(spec.max_block_txs));
+      json.key("max_block_bytes").value(
+          static_cast<std::uint64_t>(spec.max_block_bytes));
+      json.key("mempool_cap").value(
+          static_cast<std::uint64_t>(spec.mempool_cap));
+    }
+    json.end_object();
+    if (flags.has("verify-determinism")) {
+      json.key("determinism_ok").value(determinism_ok);
+    }
+    json.key("results").begin_array();
+    for (const auto& cell : report.cells) {
+      const auto& w = cell.workload;
+      json.begin_object();
+      json.key("label").value(cell.label());
+      json.key("safe").value(cell.safe());
+      json.key("submitted").value(w.submitted);
+      json.key("finalized").value(w.finalized);
+      json.key("evicted").value(w.evicted);
+      json.key("rejected").value(w.rejected);
+      json.key("distinct_senders").value(w.distinct_senders);
+      json.key("top_sender_txs").value(w.top_sender_txs);
+      json.key("tx_per_sec").value(w.tx_per_sec());
+      json.key("p50_us").value(static_cast<std::int64_t>(w.latency.p50()));
+      json.key("p99_us").value(static_cast<std::int64_t>(w.latency.p99()));
+      json.key("max_us").value(static_cast<std::int64_t>(w.latency.max()));
+      json.key("mean_us").value(w.latency.mean());
+      json.key("messages").value(cell.messages);
+      json.key("bytes").value(cell.bytes);
+      json.key("wall_ms").value(cell.wall_ms);
+      json.end_object();
+    }
+    json.end_array();
+    const auto total = report.aggregate_workload();
+    json.key("total").begin_object();
+    json.key("submitted").value(total.submitted);
+    json.key("finalized").value(total.finalized);
+    json.key("evicted").value(total.evicted);
+    json.key("rejected").value(total.rejected);
+    json.key("tx_per_sec").value(total.tx_per_sec());
+    json.key("p50_us").value(static_cast<std::int64_t>(total.latency.p50()));
+    json.key("p99_us").value(static_cast<std::int64_t>(total.latency.p99()));
+    json.end_object();
+    json.key("total_wall_ms").value(report.total_wall_ms());
+    json.key("profile");
+    ratcon::harness::write_profile_json(json, report.aggregate_profile());
+    json.end_object();
+    const std::string json_path =
+        flags.get_str("json", "BENCH_workload.json");
+    if (ratcon::harness::write_text_file(json_path, json.str())) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("WARNING: could not write %s\n", json_path.c_str());
+    }
+  }
+
+  if (!determinism_ok) return 1;
+
+  const auto bad = report.unsafe_cells();
+  if (!bad.empty()) {
+    std::printf("\nUNSAFE CELLS (%zu):\n", bad.size());
+    for (const auto* cell : bad) {
+      std::printf("  %s\n", cell->label().c_str());
+    }
+    return 1;
+  }
+
+  // A cell that hit the horizon without draining shows up as incomplete:
+  // fewer finalized than generated transactions.
+  std::size_t undrained = 0;
+  for (const auto& cell : report.cells) {
+    if (cell.workload.finalized < spec.workload_spec->txs) ++undrained;
+  }
+  if (undrained > 0) {
+    std::printf("\n%zu cell(s) hit the horizon before draining\n", undrained);
+    return 1;
+  }
+
+  const auto slow = report.over_budget_cells();
+  if (!slow.empty()) {
+    std::printf("\n%zu cell(s) over the %.1f ms budget\n", slow.size(),
+                spec.cell_budget_ms);
+    return 1;
+  }
+  const auto total = report.aggregate_workload();
+  std::printf("\nall %zu cells drained: %llu txs finalized, %s\n",
+              report.cell_count(),
+              static_cast<unsigned long long>(total.finalized),
+              total.latency.summary().c_str());
+  return 0;
+}

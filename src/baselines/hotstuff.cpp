@@ -56,7 +56,7 @@ void HotstuffNode::start_round(net::Context& ctx) {
       block.parent = chain_.tip_hash();
       block.round = round_;
       block.proposer = self_;
-      block.txs = mempool_.select(cfg_.max_block_txs, censor);
+      block.txs = mempool_.select(cfg_.max_block_txs, cfg_.max_block_bytes, censor);
     }
     if (propose) {
       Writer w;

@@ -137,7 +137,7 @@ void QuorumNode::start_round(net::Context& ctx) {
       block_a.parent = chain_.tip_hash();
       block_a.round = round_;
       block_a.proposer = self_;
-      block_a.txs = mempool_.select(cfg_.max_block_txs);
+      block_a.txs = mempool_.select(cfg_.max_block_txs, cfg_.max_block_bytes, nullptr);
       ledger::Block block_b = block_a;
       block_b.txs.push_back(
           ledger::make_transfer(kForkMarkerBase | round_, self_));
@@ -156,7 +156,7 @@ void QuorumNode::start_round(net::Context& ctx) {
       block.parent = chain_.tip_hash();
       block.round = round_;
       block.proposer = self_;
-      block.txs = mempool_.select(cfg_.max_block_txs, censor);
+      block.txs = mempool_.select(cfg_.max_block_txs, cfg_.max_block_bytes, censor);
       ctx.broadcast(make_preprepare(round_, block));
     }
   }

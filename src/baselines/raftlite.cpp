@@ -46,7 +46,7 @@ void RaftLiteNode::start_term(net::Context& ctx) {
       block.parent = chain_.tip_hash();
       block.round = term_;
       block.proposer = self_;
-      block.txs = mempool_.select(cfg_.max_block_txs, censor);
+      block.txs = mempool_.select(cfg_.max_block_txs, cfg_.max_block_bytes, censor);
     }
     Writer w;
     block.encode(w);

@@ -16,6 +16,14 @@ class IReplica : public net::INode {
   /// The replica's local ledger C_i.
   [[nodiscard]] virtual const ledger::Chain& chain() const = 0;
 
+  /// Mutable access to the same ledger, for harness instrumentation (the
+  /// workload engine installs a finalize observer). The default forwards
+  /// to chain(), which is correct for every replica that owns its chain —
+  /// decorators that delegate chain() inherit the right behaviour too.
+  [[nodiscard]] virtual ledger::Chain& chain_mut() {
+    return const_cast<ledger::Chain&>(chain());
+  }
+
   /// Pending-transaction pool (harness injects workload here).
   virtual ledger::Mempool& mempool() = 0;
 

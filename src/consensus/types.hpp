@@ -30,6 +30,9 @@ struct Config {
   SimTime base_timeout = 0;  ///< Per-phase timeout before backoff.
   std::uint64_t target_rounds = 10;  ///< Blocks to agree before stopping.
   std::uint32_t max_block_txs = 64;  ///< Leader's per-block tx budget.
+  /// Leader's per-block byte budget over encoded transactions (0 =
+  /// unbounded). Whichever of the two budgets binds first caps the block.
+  std::size_t max_block_bytes = 0;
 
   /// Agreement threshold τ = n − t0.
   [[nodiscard]] std::uint32_t quorum() const { return n - t0; }

@@ -165,7 +165,7 @@ ledger::Block PrftNode::build_block(net::Context& ctx) const {
   block.parent = chain_.tip_hash();
   block.round = round_;
   block.proposer = self_;
-  block.txs = mempool_.select(cfg_.max_block_txs, censor);
+  block.txs = mempool_.select(cfg_.max_block_txs, cfg_.max_block_bytes, censor);
   return block;
 }
 
@@ -956,8 +956,9 @@ void PrftNode::handle_sync(net::Context& ctx, const Envelope& env) {
     for (const ledger::Block& b : body.blocks) {
       if (b.parent != chain_.tip_hash()) continue;  // dup or disconnected
       bool already = false;
+      const crypto::Hash256 bh = b.hash();
       for (std::uint64_t h = 0; h <= chain_.height() && !already; ++h) {
-        if (chain_.at(h).hash() == b.hash()) already = true;
+        if (chain_.hash_at(h) == bh) already = true;
       }
       if (already) continue;
       if (!chain_.append_tentative(b)) break;

@@ -1,6 +1,7 @@
 #include "harness/flags.hpp"
 
 #include <cstdlib>
+#include <sstream>
 
 namespace ratcon::harness {
 
@@ -39,6 +40,93 @@ std::string Flags::get_str(const std::string& name,
 
 bool Flags::has(const std::string& name) const {
   return values_.count(name) > 0;
+}
+
+std::vector<std::string> WorkloadFlags::to_args() const {
+  std::vector<std::string> out;
+  const auto add = [&out](const std::string& name, const std::string& value) {
+    out.push_back("--" + name + "=" + value);
+  };
+  switch (spec.mode) {
+    case workload::Arrival::kFixed:
+      add("workload", "fixed");
+      add("interval-us", std::to_string(spec.interval));
+      break;
+    case workload::Arrival::kOpenLoop: {
+      add("workload", "open");
+      std::ostringstream rate;
+      rate.precision(17);  // lossless double round-trip
+      rate << spec.rate;
+      add("rate", rate.str());
+      break;
+    }
+    case workload::Arrival::kClosedLoop:
+      add("workload", "closed");
+      add("clients", std::to_string(spec.clients));
+      add("think-us", std::to_string(spec.think));
+      break;
+  }
+  add("txs", std::to_string(spec.txs));
+  add("start-us", std::to_string(spec.start));
+  if (spec.zipf > 0.0) {
+    std::ostringstream z;
+    z.precision(17);  // lossless double round-trip
+    z << spec.zipf;
+    add("zipf", z.str());
+    add("senders", std::to_string(spec.senders));
+  }
+  add("payload-bytes", std::to_string(spec.payload_bytes));
+  add("max-block-txs", std::to_string(max_block_txs));
+  if (max_block_bytes > 0) {
+    add("max-block-bytes", std::to_string(max_block_bytes));
+  }
+  if (mempool.max_pending > 0) {
+    add("mempool-cap", std::to_string(mempool.max_pending));
+    if (!mempool.evict_oldest) add("mempool-reject", "1");
+  }
+  return out;
+}
+
+WorkloadFlags parse_workload_flags(const Flags& flags,
+                                   const WorkloadFlags& defaults) {
+  WorkloadFlags out = defaults;
+  workload::WorkloadSpec& spec = out.spec;
+
+  const std::string mode = flags.get_str(
+      "workload", spec.mode == workload::Arrival::kOpenLoop     ? "open"
+                  : spec.mode == workload::Arrival::kClosedLoop ? "closed"
+                                                                : "fixed");
+  if (mode == "open" || mode == "open-loop") {
+    spec.mode = workload::Arrival::kOpenLoop;
+  } else if (mode == "closed" || mode == "closed-loop") {
+    spec.mode = workload::Arrival::kClosedLoop;
+  } else {
+    spec.mode = workload::Arrival::kFixed;
+  }
+
+  spec.txs = static_cast<std::uint64_t>(
+      flags.get_int("txs", static_cast<std::int64_t>(spec.txs)));
+  spec.start = flags.get_int("start-us", spec.start);
+  spec.interval = flags.get_int("interval-us", spec.interval);
+  spec.rate = flags.get_double("rate", spec.rate);
+  spec.clients = static_cast<std::uint32_t>(
+      flags.get_int("clients", spec.clients));
+  spec.think = flags.get_int("think-us", spec.think);
+  spec.zipf = flags.get_double("zipf", spec.zipf);
+  spec.senders = static_cast<std::uint64_t>(
+      flags.get_int("senders", static_cast<std::int64_t>(spec.senders)));
+  spec.payload_bytes = static_cast<std::size_t>(
+      flags.get_int("payload-bytes",
+                    static_cast<std::int64_t>(spec.payload_bytes)));
+
+  out.max_block_txs = static_cast<std::uint32_t>(
+      flags.get_int("max-block-txs", out.max_block_txs));
+  out.max_block_bytes = static_cast<std::size_t>(flags.get_int(
+      "max-block-bytes", static_cast<std::int64_t>(out.max_block_bytes)));
+  out.mempool.max_pending = static_cast<std::size_t>(flags.get_int(
+      "mempool-cap", static_cast<std::int64_t>(out.mempool.max_pending)));
+  if (flags.has("mempool-reject")) out.mempool.evict_oldest = false;
+  return out;
 }
 
 }  // namespace ratcon::harness

@@ -3,6 +3,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
+
+#include "ledger/mempool.hpp"
+#include "workload/spec.hpp"
 
 namespace ratcon::harness {
 
@@ -23,5 +27,35 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Workload-engine command-line surface shared by bench_workload and
+/// bench_matrix_sweep, so the same generator is reachable from every
+/// entry point with the same spelling:
+///   --workload=fixed|open|closed   arrival generator
+///   --rate=<tx/s>                  open-loop base rate
+///   --clients=<k> --think-us=<µs>  closed-loop population + mean think
+///   --txs=<count>                  transactions per cell
+///   --zipf=<s> --senders=<pop>     sender skew (0 = uniform/round-robin)
+///   --payload-bytes=<b>            filler bytes per transfer
+///   --max-block-txs / --max-block-bytes   proposer budgets
+///   --mempool-cap [--mempool-reject]      pool bound + overflow policy
+struct WorkloadFlags {
+  workload::WorkloadSpec spec;
+  std::uint32_t max_block_txs = 64;
+  std::size_t max_block_bytes = 0;
+  ledger::MempoolLimits mempool;
+
+  /// Re-emits the flags (`--name=value`) such that parsing them yields
+  /// this exact struct back — the round-trip contract benches rely on
+  /// when they echo their configuration into artifacts.
+  [[nodiscard]] std::vector<std::string> to_args() const;
+
+  friend bool operator==(const WorkloadFlags&, const WorkloadFlags&) = default;
+};
+
+/// Reads the workload surface out of `flags`, starting from `defaults`
+/// (flags that are absent keep the default's value).
+[[nodiscard]] WorkloadFlags parse_workload_flags(
+    const Flags& flags, const WorkloadFlags& defaults = {});
 
 }  // namespace ratcon::harness

@@ -21,9 +21,16 @@ ScenarioSpec MatrixSpec::to_scenario(Protocol proto, std::uint32_t n,
   scenario.net.delta = delta;
   scenario.net.gst = gst;
   scenario.net.hold_probability = hold_probability;
-  scenario.workload.txs = workload_txs;
-  scenario.workload.start = msec(1);
-  scenario.workload.interval = msec(2);
+  if (workload_spec.has_value()) {
+    scenario.workload = *workload_spec;
+  } else {
+    scenario.workload.txs = workload_txs;
+    scenario.workload.start = msec(1);
+    scenario.workload.interval = msec(2);
+  }
+  scenario.committee.max_block_txs = max_block_txs;
+  scenario.committee.max_block_bytes = max_block_bytes;
+  scenario.committee.mempool.max_pending = mempool_cap;
   scenario.budget.target_blocks = target_blocks;
   scenario.budget.horizon = horizon;
   scenario.budget.wall_ms = cell_budget_ms;
@@ -83,6 +90,12 @@ ProfReport MatrixReport::aggregate_profile() const {
   return total;
 }
 
+workload::WorkloadStats MatrixReport::aggregate_workload() const {
+  workload::WorkloadStats total;
+  for (const CellResult& cell : cells) total.merge(cell.workload);
+  return total;
+}
+
 double MatrixReport::total_wall_ms() const {
   double total = 0.0;
   for (const CellResult& cell : cells) total += cell.wall_ms;
@@ -97,13 +110,22 @@ double MatrixReport::cells_per_sec() const {
 
 std::string MatrixReport::summary() const {
   Table t({"protocol", "n", "net", "seed", "min_h", "max_h", "msgs",
-           "sync_msgs", "rec_ms", "wall_ms", "safe"});
+           "sync_msgs", "txs", "p50_ms", "p99_ms", "rec_ms", "wall_ms",
+           "safe"});
   for (const CellResult& cell : cells) {
     const SimTime rec = cell.recovery_latency();
+    const workload::WorkloadStats& wl = cell.workload;
     t.add_row({to_string(cell.protocol), std::to_string(cell.n),
                to_string(cell.net), std::to_string(cell.seed),
                std::to_string(cell.min_height), std::to_string(cell.max_height),
                fmt_count(cell.messages), fmt_count(cell.sync_messages),
+               fmt_count(wl.finalized),
+               wl.latency.empty()
+                   ? "-"
+                   : fmt(static_cast<double>(wl.latency.p50()) / 1000.0, 1),
+               wl.latency.empty()
+                   ? "-"
+                   : fmt(static_cast<double>(wl.latency.p99()) / 1000.0, 1),
                rec == kSimTimeNever ? "-" : fmt(static_cast<double>(rec) / 1000.0, 1),
                fmt(cell.wall_ms, 1), cell.safe() ? "yes" : "NO"});
   }
@@ -126,8 +148,19 @@ std::string MatrixReport::summary() const {
   if (!cells.empty()) {
     os << "\n  " << fmt(cells_per_sec(), 2) << " cells/sec ("
        << cells.size() << " cells, " << fmt(total_wall_ms(), 1)
-       << " ms summed cell wall-clock)\n\n";
-    os << aggregate_profile().format() << "\n";
+       << " ms summed cell wall-clock)\n";
+    const workload::WorkloadStats wl = aggregate_workload();
+    if (!wl.empty()) {
+      os << "  workload: " << fmt_count(wl.finalized) << "/"
+         << fmt_count(wl.submitted) << " txs finalized, "
+         << wl.latency.summary();
+      if (wl.evicted + wl.rejected > 0) {
+        os << ", overflow evicted=" << fmt_count(wl.evicted)
+           << " rejected=" << fmt_count(wl.rejected);
+      }
+      os << "\n";
+    }
+    os << "\n" << aggregate_profile().format() << "\n";
   }
   return os.str();
 }

@@ -37,6 +37,15 @@ struct MatrixSpec {
   std::uint64_t target_blocks = 3;
   /// Transactions injected at the start of each cell.
   std::uint64_t workload_txs = 12;
+  /// Full workload-engine spec per cell (open-loop rate, closed-loop
+  /// clients, zipf senders, …). When set it replaces the legacy
+  /// fixed-interval `workload_txs` plan entirely.
+  std::optional<workload::WorkloadSpec> workload_spec;
+  /// Per-block budgets and mempool cap applied to every cell's committee
+  /// (defaults match CommitteeSpec: 64 txs, unbounded bytes/pool).
+  std::uint32_t max_block_txs = 64;
+  std::size_t max_block_bytes = 0;
+  std::size_t mempool_cap = 0;
   /// Virtual-time cap per cell; cells stop early once every honest replica
   /// reaches `target_blocks`.
   SimTime horizon = sec(120);
@@ -99,6 +108,11 @@ struct MatrixReport {
   /// Sweep-wide profiler totals: every cell's ProfReport merged. Counts
   /// are exact (integer merges commute); timer sums are float-additive.
   [[nodiscard]] ProfReport aggregate_profile() const;
+
+  /// Sweep-wide workload totals: every cell's WorkloadStats merged
+  /// (integer histogram counts — deterministic and byte-identical between
+  /// serial and parallel sweeps).
+  [[nodiscard]] workload::WorkloadStats aggregate_workload() const;
 
   /// Sum of per-cell host wall-clock in ms, and the sweep's throughput in
   /// cells per second of summed cell wall-clock (the per-PR perf metric —

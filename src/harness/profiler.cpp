@@ -8,8 +8,8 @@
 namespace ratcon::harness {
 
 int tier_of(ProfItem item) {
-  if (item <= kL1PayoffNs) return 1;
-  if (item <= kL2PayoffAccountNs) return 2;
+  if (item <= kL1WorkloadNs) return 1;
+  if (item <= kL2WorkloadTrackNs) return 2;
   return 3;
 }
 
@@ -21,6 +21,7 @@ const char* to_string(ProfItem item) {
     case kL1EventQueueNs: return "event_queue";
     case kL1SyncNs: return "sync";
     case kL1PayoffNs: return "payoff";
+    case kL1WorkloadNs: return "workload";
     case kL2EncodeNs: return "encode";
     case kL2DecodeNs: return "decode";
     case kL2SignNs: return "sign";
@@ -36,6 +37,10 @@ const char* to_string(ProfItem item) {
     case kL2SyncAdoptNs: return "sync_adopt";
     case kL2PayoffClassifyNs: return "payoff_classify";
     case kL2PayoffAccountNs: return "payoff_account";
+    case kL2WorkloadGenerateNs: return "workload_generate";
+    case kL2WorkloadSubmitNs: return "workload_submit";
+    case kL2WorkloadSelectNs: return "workload_select";
+    case kL2WorkloadTrackNs: return "workload_track";
     case kL3ShaCalls: return "sha_calls";
     case kL3ShaBytes: return "sha_bytes";
     case kL3HmacCalls: return "hmac_calls";
@@ -52,6 +57,10 @@ const char* to_string(ProfItem item) {
     case kL3FutureRoundReplayed: return "future_round_replayed";
     case kL3NegativeDelayClamps: return "negative_delay_clamps";
     case kL3PastTimeClamps: return "past_time_clamps";
+    case kL3WorkloadTxsSubmitted: return "workload_txs_submitted";
+    case kL3WorkloadTxsFinalized: return "workload_txs_finalized";
+    case kL3MempoolEvictions: return "mempool_evictions";
+    case kL3MempoolRejections: return "mempool_rejections";
     case kNumProfItems: break;
   }
   return "unknown";
@@ -78,7 +87,7 @@ std::string ProfReport::format() const {
 
   bool any_l2 = false;
   Table subs({"sub-phase", "ms", "entries"});
-  for (std::uint16_t i = kL2EncodeNs; i <= kL2PayoffAccountNs; ++i) {
+  for (std::uint16_t i = kL2EncodeNs; i <= kL2WorkloadTrackNs; ++i) {
     const auto item = static_cast<ProfItem>(i);
     if (count(item) == 0) continue;
     any_l2 = true;

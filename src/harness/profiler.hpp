@@ -18,10 +18,11 @@ class JsonWriter;
 /// time) profile independently and stay byte-identical to a serial sweep.
 ///
 /// Tiers:
-///  * L1 — per-run wall-clock of the six instrumented phases (serialize/
+///  * L1 — per-run wall-clock of the seven instrumented phases (serialize/
 ///    decode, SHA-256/HMAC sign+verify, Merkle build/prove, event-queue
-///    schedule/dispatch, sync/catch-up, payoff accounting). The `sum` is
-///    nanoseconds, the `count` is phase entries.
+///    schedule/dispatch, sync/catch-up, payoff accounting, workload
+///    generate/submit/select). The `sum` is nanoseconds, the `count` is
+///    phase entries.
 ///  * L2 — sub-phase wall-clock (encode vs decode, sign vs verify, …).
 ///  * L3 — cheap event counters with no clock reads (hash calls/bytes,
 ///    cache hits, clamped schedules). The `sum` carries the total.
@@ -37,6 +38,7 @@ enum ProfItem : std::uint16_t {
   kL1EventQueueNs,
   kL1SyncNs,
   kL1PayoffNs,
+  kL1WorkloadNs,
   // L2 — sub-phase totals (ns + entry counts).
   kL2EncodeNs,
   kL2DecodeNs,
@@ -53,6 +55,10 @@ enum ProfItem : std::uint16_t {
   kL2SyncAdoptNs,
   kL2PayoffClassifyNs,
   kL2PayoffAccountNs,
+  kL2WorkloadGenerateNs,
+  kL2WorkloadSubmitNs,
+  kL2WorkloadSelectNs,
+  kL2WorkloadTrackNs,
   // L3 — event counters (sum = total, count = log calls; no clock reads).
   kL3ShaCalls,
   kL3ShaBytes,
@@ -70,6 +76,10 @@ enum ProfItem : std::uint16_t {
   kL3FutureRoundReplayed,
   kL3NegativeDelayClamps,
   kL3PastTimeClamps,
+  kL3WorkloadTxsSubmitted,
+  kL3WorkloadTxsFinalized,
+  kL3MempoolEvictions,
+  kL3MempoolRejections,
   // Number of items, not a real slot.
   kNumProfItems,
 };
@@ -88,11 +98,11 @@ struct ProfSlot {
   std::uint64_t count = 0;
 };
 
-/// The six instrumented phases, in report order. Acceptance gate: all of
+/// The seven instrumented phases, in report order. Acceptance gate: all of
 /// them non-zero on a smoke matrix cell.
-inline constexpr std::array<ProfItem, 6> kProfPhases = {
-    kL1SerializeNs, kL1CryptoNs,    kL1MerkleNs,
-    kL1EventQueueNs, kL1SyncNs,     kL1PayoffNs,
+inline constexpr std::array<ProfItem, 7> kProfPhases = {
+    kL1SerializeNs, kL1CryptoNs,    kL1MerkleNs,    kL1EventQueueNs,
+    kL1SyncNs,      kL1PayoffNs,    kL1WorkloadNs,
 };
 
 /// Immutable snapshot of one run's counters — the piece that rides

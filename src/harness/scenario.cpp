@@ -133,6 +133,11 @@ ScenarioSpec& ScenarioSpec::with_workload(std::uint64_t txs, SimTime start,
   return *this;
 }
 
+ScenarioSpec& ScenarioSpec::with_workload(workload::WorkloadSpec spec) {
+  workload = std::move(spec);
+  return *this;
+}
+
 ScenarioSpec& ScenarioSpec::with_sync(bool enabled) {
   sync_plan.enabled = enabled;
   return *this;
@@ -178,6 +183,7 @@ Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
   cfg_.base_timeout = com.base_timeout.value_or(8 * spec_.net.delta);
   cfg_.target_rounds = spec_.budget.target_blocks;
   cfg_.max_block_txs = com.max_block_txs;
+  cfg_.max_block_bytes = com.max_block_bytes;
 
   // Shared trusted setup (§3.3): one key registry and one collateral pool,
   // identical for every protocol the registry deploys.
@@ -218,12 +224,22 @@ Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
     }
   }
 
+  // Mempool policy applies to every replica uniformly.
+  if (com.mempool != ledger::MempoolLimits{}) {
+    for (consensus::IReplica* r : replicas_) {
+      r->mempool().set_limits(com.mempool);
+    }
+  }
+
   // Workload before the fault script: same-timestamp events pop in
   // insertion order, and a tx submission racing a crash at the same tick
   // should still reach the mempools first (the client sent it in time).
-  if (spec_.workload.txs > 0) {
-    inject_workload(spec_.workload.txs, spec_.workload.start,
-                    spec_.workload.interval, spec_.workload.first_id);
+  // The engine pre-schedules kFixed arrivals exactly where the legacy
+  // inject_workload did, so existing runs replay byte-identically.
+  if (!spec_.workload.empty()) {
+    engine_ = std::make_unique<workload::WorkloadEngine>(
+        spec_.workload, spec_.seed, com.n);
+    engine_->attach(*cluster_, replicas_);
   }
 
   // Fault script. Crashes at t <= 0 apply immediately, before any protocol
@@ -296,9 +312,24 @@ RunReport Simulation::run_to_completion() {
   // event (run_until never advances the clock past the last event, so a
   // quiet stretch longer than the chunk must not read as "drained").
   // Crash-stopped nodes are excluded from the exit condition: they can
-  // never catch up, while every live honest replica must.
+  // never catch up, while every live honest replica must. Open-/closed-
+  // loop workloads additionally gate on drain: every generated tx must
+  // finalize on every live honest replica (kFixed keeps the legacy
+  // height-only exit, so censorship probes stop where they used to).
   const std::uint64_t target = spec_.budget.target_blocks;
-  while (target == 0 || live_min_height() < target) {
+  const bool gated = engine_ != nullptr && engine_->gates_completion();
+  const auto counts = [this](NodeId id) {
+    return replicas_[id]->is_honest() && !cluster_->crashed(id);
+  };
+  const auto done = [&]() {
+    const bool height_ok = target > 0 && live_min_height() >= target;
+    if (gated) {
+      const bool drained = engine_->drained(counts);
+      return target > 0 ? height_ok && drained : drained;
+    }
+    return height_ok;
+  };
+  while (!done()) {
     const SimTime next = cluster_->next_event_time();
     if (next > spec_.budget.horizon) break;  // drained or out of budget
     run_until(std::max(next, cluster_->now() + spec_.budget.chunk));
@@ -438,6 +469,14 @@ RunReport Simulation::report() const {
       acc.bytes = sent.bytes;
     }
     r.penalties = deposits_->events();
+  }
+  if (engine_ != nullptr) {
+    r.workload = engine_->stats();
+  }
+  // Overflow counters live in the replicas' mempools, not the engine.
+  for (consensus::IReplica* rep : replicas_) {
+    r.workload.evicted += rep->mempool().evicted();
+    r.workload.rejected += rep->mempool().rejected();
   }
   r.sim_time = cluster_->now();
   r.gst = cluster_->net().gst();

@@ -16,6 +16,9 @@
 #include "net/cluster.hpp"
 #include "net/netmodel.hpp"
 #include "sync/catchup.hpp"
+#include "workload/engine.hpp"
+#include "workload/latency.hpp"
+#include "workload/spec.hpp"
 
 namespace ratcon::harness {
 
@@ -56,6 +59,11 @@ struct CommitteeSpec {
   std::optional<std::uint32_t> t0;
   std::int64_t collateral = 100;
   std::uint32_t max_block_txs = 64;
+  /// Per-block byte budget over encoded transactions (0 = unbounded).
+  std::size_t max_block_bytes = 0;
+  /// Mempool size/retention policy applied to every replica (defaults are
+  /// unbounded — the historical behaviour).
+  ledger::MempoolLimits mempool;
   std::optional<SimTime> base_timeout;  ///< default: 8Δ
 };
 
@@ -147,14 +155,12 @@ struct AdversaryPlan {
   }
 };
 
-/// Client workload: `txs` transfers gossiped to every player's mempool,
-/// spaced `interval` apart from `start`.
-struct WorkloadPlan {
-  std::uint64_t txs = 0;
-  SimTime start = msec(1);
-  SimTime interval = msec(2);
-  std::uint64_t first_id = 1;
-};
+/// Client workload description (src/workload): fixed-interval, open-loop
+/// or closed-loop arrivals with zipf-skewed senders. The old fixed-plan
+/// fields (`txs`, `start`, `interval`, `first_id`) survive with identical
+/// names and defaults, so legacy call sites read the same. `WorkloadPlan`
+/// remains as an alias for source compatibility.
+using WorkloadPlan = workload::WorkloadSpec;
 
 /// How long a run may go on, in virtual and host time.
 struct RunBudget {
@@ -178,7 +184,7 @@ struct ScenarioSpec {
   NetworkSpec net;
   FaultPlan faults;
   AdversaryPlan adversary;
-  WorkloadPlan workload;
+  workload::WorkloadSpec workload;
   RunBudget budget;
   /// Catch-up / state-transfer plan (src/sync). On by default: every
   /// replica is wrapped in a CatchupDriver so nodes that miss a
@@ -194,6 +200,8 @@ struct ScenarioSpec {
   ScenarioSpec& with_target_blocks(std::uint64_t blocks);
   ScenarioSpec& with_workload(std::uint64_t txs, SimTime start = msec(1),
                               SimTime interval = msec(2));
+  /// Full workload-engine spec (open-loop, closed-loop, zipf senders, …).
+  ScenarioSpec& with_workload(workload::WorkloadSpec spec);
   ScenarioSpec& with_sync(bool enabled);
 
   /// "prft/n=7/partial-synchrony/seed=3" — for assertion messages.
@@ -248,6 +256,12 @@ struct RunReport {
   /// Simulation was constructed). Wall-clock sums vary run to run; the
   /// event counts are deterministic and byte-identical serial vs parallel.
   ProfReport profile;
+
+  /// Workload measurement: per-tx submit -> first-honest-finalize latency
+  /// histogram, throughput, sender skew and mempool overflow counters.
+  /// Deterministic (integer counts); empty when the scenario had no
+  /// workload.
+  workload::WorkloadStats workload;
 
   SimTime sim_time = 0;  ///< virtual time when the run stopped
   /// The network model's GST (0 synchronous, kSimTimeNever asynchronous).
@@ -349,6 +363,12 @@ class Simulation {
   /// the accountability soundness invariant).
   [[nodiscard]] bool honest_player_slashed() const;
 
+  /// The workload engine driving this run's client traffic, or nullptr
+  /// when the scenario has no workload.
+  [[nodiscard]] workload::WorkloadEngine* workload_engine() {
+    return engine_.get();
+  }
+
   /// Snapshot of the current state as a RunReport (no driving).
   [[nodiscard]] RunReport report() const;
 
@@ -362,6 +382,7 @@ class Simulation {
   std::unique_ptr<net::Cluster> cluster_;
   std::vector<consensus::IReplica*> replicas_;  // owned by cluster_
   std::vector<sync::CatchupDriver*> drivers_;   // owned by cluster_; may be empty
+  std::unique_ptr<workload::WorkloadEngine> engine_;  // null when no workload
   std::chrono::steady_clock::duration wall_spent_{0};
   SimTime finalized_at_ = kSimTimeNever;
   bool started_ = false;

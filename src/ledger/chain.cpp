@@ -6,25 +6,35 @@ namespace ratcon::ledger {
 
 Chain::Chain() {
   blocks_.push_back(genesis());
-  tip_hash_ = blocks_.front().hash();
+  hashes_.push_back(blocks_.front().hash());
+  tip_hash_ = hashes_.front();
 }
 
 bool Chain::append_tentative(Block block) {
   if (block.parent != tip_hash_) return false;
   tip_hash_ = block.hash();
   blocks_.push_back(std::move(block));
+  hashes_.push_back(tip_hash_);
   return true;
 }
 
 bool Chain::finalize_up_to(std::uint64_t height) {
   if (height > this->height()) return false;
-  finalized_ = std::max(finalized_, height);
+  if (height > finalized_) {
+    const std::uint64_t from = finalized_ + 1;
+    finalized_ = height;  // before the observer, so it sees a settled chain
+    if (observer_) {
+      for (std::uint64_t h = from; h <= height; ++h) {
+        observer_(h, blocks_[h]);
+      }
+    }
+  }
   return true;
 }
 
 bool Chain::finalize_block(const crypto::Hash256& block_hash) {
   for (std::uint64_t h = blocks_.size(); h-- > 0;) {
-    if (blocks_[h].hash() == block_hash) {
+    if (hashes_[h] == block_hash) {
       return finalize_up_to(h);
     }
   }
@@ -34,7 +44,8 @@ bool Chain::finalize_block(const crypto::Hash256& block_hash) {
 std::size_t Chain::rollback_tentative() {
   const std::size_t dropped = blocks_.size() - 1 - finalized_;
   blocks_.resize(finalized_ + 1);
-  tip_hash_ = blocks_.back().hash();
+  hashes_.resize(finalized_ + 1);
+  tip_hash_ = hashes_.back();
   return dropped;
 }
 
@@ -43,7 +54,7 @@ bool Chain::adopt_finalized_run(const std::vector<Block>& blocks,
                                 std::size_t* rolled_back) {
   if (rolled_back != nullptr) *rolled_back = 0;
   if (blocks.empty() || first_height != finalized_ + 1) return false;
-  if (blocks.front().parent != blocks_[finalized_].hash()) return false;
+  if (blocks.front().parent != hashes_[finalized_]) return false;
   for (std::size_t i = 1; i < blocks.size(); ++i) {
     if (blocks[i].parent != blocks[i - 1].hash()) return false;
   }
@@ -72,12 +83,8 @@ bool Chain::contains_tx(std::uint64_t tx_id) const {
 }
 
 std::vector<crypto::Hash256> Chain::finalized_hashes() const {
-  std::vector<crypto::Hash256> out;
-  out.reserve(finalized_ + 1);
-  for (std::uint64_t h = 0; h <= finalized_; ++h) {
-    out.push_back(blocks_[h].hash());
-  }
-  return out;
+  return {hashes_.begin(),
+          hashes_.begin() + static_cast<std::ptrdiff_t>(finalized_ + 1)};
 }
 
 std::vector<crypto::Hash256> Chain::prefix_hashes(
@@ -104,7 +111,7 @@ bool chains_conflict(const Chain& a, const Chain& b) {
   const std::uint64_t upto =
       std::min(a.finalized_height(), b.finalized_height());
   for (std::uint64_t h = 0; h <= upto; ++h) {
-    if (a.at(h).hash() != b.at(h).hash()) return true;
+    if (a.hash_at(h) != b.hash_at(h)) return true;
   }
   return false;
 }

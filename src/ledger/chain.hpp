@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -64,6 +65,15 @@ class Chain {
     return blocks_[height];
   }
 
+  /// Hash of the block at `height`, computed once at append time. Callers
+  /// holding a Chain should prefer this over `at(h).hash()`: Block::hash()
+  /// rebuilds the transaction Merkle root on every call, which under
+  /// production-scale workloads (hundreds of heights x large committees)
+  /// dominated whole-run profiles.
+  [[nodiscard]] const crypto::Hash256& hash_at(std::uint64_t height) const {
+    return hashes_[height];
+  }
+
   [[nodiscard]] bool is_final(std::uint64_t height) const {
     return height <= finalized_;
   }
@@ -82,10 +92,26 @@ class Chain {
   [[nodiscard]] std::vector<crypto::Hash256> prefix_hashes(
       std::uint64_t drop_last) const;
 
+  /// Observer fired once per newly finalized height, ascending, with the
+  /// block at that height — every protocol's finality (direct, bulk, and
+  /// sync adoption) funnels through finalize_up_to, so this is the single
+  /// hook the workload engine needs for exact per-transaction finalization
+  /// timestamps. Fired after `finalized_height()` already covers the
+  /// height. At most one observer; installing replaces the previous one.
+  using FinalizeObserver =
+      std::function<void(std::uint64_t height, const Block&)>;
+  void set_finalize_observer(FinalizeObserver obs) {
+    observer_ = std::move(obs);
+  }
+
  private:
   std::vector<Block> blocks_;  // blocks_[0] = genesis
+  /// hashes_[h] == blocks_[h].hash(), maintained by append/rollback so the
+  /// hot paths (announces, anchors, finalize-by-hash) never re-Merkle.
+  std::vector<crypto::Hash256> hashes_;
   std::uint64_t finalized_ = 0;
   crypto::Hash256 tip_hash_;
+  FinalizeObserver observer_;
 };
 
 /// Checks (t,k)-agreement's ordering condition between two ledgers: with

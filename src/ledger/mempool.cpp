@@ -2,52 +2,120 @@
 
 #include <algorithm>
 
+#include "harness/profiler.hpp"
+
 namespace ratcon::ledger {
 
-void Mempool::submit(Transaction tx, SimTime arrival) {
-  if (known_.count(tx.id)) return;
-  known_.insert(tx.id);
+bool Mempool::submit(Transaction tx, SimTime arrival) {
+  if (known_.count(tx.id) > 0) return false;  // duplicate or remembered
+  if (limits_.max_pending > 0 && queue_.size() >= limits_.max_pending) {
+    if (!limits_.evict_oldest) {
+      ++rejected_;
+      harness::prof_count(harness::kL3MempoolRejections);
+      return false;
+    }
+    drop_oldest_pending();
+  }
+  known_.emplace(tx.id, TxState{arrival, false});
   queue_.push_back(Entry{std::move(tx), arrival});
+  return true;
+}
+
+void Mempool::drop_oldest_pending() {
+  while (!queue_.empty()) {
+    const Entry& oldest = queue_.front();
+    const auto it = known_.find(oldest.tx.id);
+    // Entries whose id is now included were already erased from the queue
+    // by mark_included, so the front is always live — but stay defensive.
+    const bool live = it != known_.end() && !it->second.included;
+    if (live) {
+      known_.erase(it);
+      queue_.pop_front();
+      ++evicted_;
+      harness::prof_count(harness::kL3MempoolEvictions);
+      return;
+    }
+    queue_.pop_front();
+  }
 }
 
 std::vector<Transaction> Mempool::select(
     std::size_t max_txs,
     const std::function<bool(const Transaction&)>& censor) const {
+  return select(max_txs, 0, censor);
+}
+
+std::vector<Transaction> Mempool::select(
+    std::size_t max_txs, std::size_t max_bytes,
+    const std::function<bool(const Transaction&)>& censor) const {
+  harness::ProfTimer timer(harness::kL1WorkloadNs,
+                           harness::kL2WorkloadSelectNs);
   std::vector<Transaction> out;
+  std::size_t bytes = 0;
   for (const Entry& e : queue_) {
     if (out.size() >= max_txs) break;
-    if (included_.count(e.tx.id)) continue;
     if (censor && censor(e.tx)) continue;
+    if (max_bytes > 0) {
+      const std::size_t size = e.tx.wire_size();
+      // An oversized head still ships alone: skipping it forever would
+      // starve the proposal stream on a single fat transaction.
+      if (!out.empty() && bytes + size > max_bytes) break;
+      bytes += size;
+    }
     out.push_back(e.tx);
   }
   return out;
 }
 
 void Mempool::mark_included(const std::vector<Transaction>& txs) {
+  bool any_new = false;
   for (const Transaction& tx : txs) {
-    included_.insert(tx.id);
+    const auto [it, fresh] = known_.try_emplace(tx.id, TxState{});
+    if (!fresh && it->second.included) continue;  // already remembered
+    it->second.included = true;
+    remember_included(tx.id);
+    any_new = true;
   }
+  if (!any_new) return;
   queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
                               [this](const Entry& e) {
-                                return included_.count(e.tx.id) > 0;
+                                const auto it = known_.find(e.tx.id);
+                                return it == known_.end() ||
+                                       it->second.included;
                               }),
                queue_.end());
 }
 
+void Mempool::remember_included(std::uint64_t id) {
+  included_fifo_.push_back(id);
+  while (limits_.included_history > 0 &&
+         included_fifo_.size() > limits_.included_history) {
+    const std::uint64_t old = included_fifo_.front();
+    included_fifo_.pop_front();
+    const auto it = known_.find(old);
+    // Only retire ids still in the included state — a restore may have
+    // moved the id back to pending, in which case this history slot is
+    // stale and the live entry must survive.
+    if (it != known_.end() && it->second.included) known_.erase(it);
+  }
+}
+
 void Mempool::restore(const std::vector<Transaction>& txs) {
-  for (const Transaction& tx : txs) {
-    if (!included_.count(tx.id)) continue;
-    included_.erase(tx.id);
-    // Put back at the front so re-proposal keeps roughly original order.
-    queue_.push_front(Entry{tx, 0});
+  // Reverse order + push_front keeps the block's internal ordering, and
+  // the whole block lands ahead of everything younger — rolled-back
+  // transactions are the oldest in the pool by construction.
+  for (auto rit = txs.rbegin(); rit != txs.rend(); ++rit) {
+    const auto it = known_.find(rit->id);
+    if (it == known_.end() || !it->second.included) continue;
+    it->second.included = false;
+    queue_.push_front(Entry{*rit, it->second.arrival});
   }
 }
 
 SimTime Mempool::arrival_of(std::uint64_t id) const {
-  for (const Entry& e : queue_) {
-    if (e.tx.id == id) return e.arrival;
-  }
-  return kSimTimeNever;
+  const auto it = known_.find(id);
+  if (it == known_.end() || it->second.included) return kSimTimeNever;
+  return it->second.arrival;
 }
 
 }  // namespace ratcon::ledger

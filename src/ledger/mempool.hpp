@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
@@ -11,13 +11,49 @@
 
 namespace ratcon::ledger {
 
+/// Size/retention policy for a Mempool. The defaults are unbounded, which
+/// preserves the historical behaviour; production-scale workload runs cap
+/// the pool so sustained overload degrades by shedding transactions (a
+/// counted, observable event) instead of growing without limit.
+struct MempoolLimits {
+  /// Maximum pending transactions. 0 = unbounded.
+  std::size_t max_pending = 0;
+  /// Overflow policy when full: true drops the oldest pending transaction
+  /// to make room (freshness wins), false rejects the newcomer.
+  bool evict_oldest = true;
+  /// How many included transaction ids to remember for duplicate
+  /// suppression. Without a bound this set grows with chain length;
+  /// dropping the oldest ids after tens of thousands of heights only
+  /// risks re-admitting a transaction whose inclusion is ancient history.
+  std::size_t included_history = 1u << 16;
+
+  friend bool operator==(const MempoolLimits&, const MempoolLimits&) = default;
+};
+
 /// Pending-transaction pool with arrival-time tracking, which the censorship
 /// experiments (Theorem 2, (t,k)-censorship resistance) use to measure how
-/// long an input transaction stays excluded from finalized blocks.
+/// long an input transaction stays excluded from finalized blocks, and
+/// which the workload engine pressures with open-loop arrival streams.
+///
+/// Every id-keyed operation is O(1) (one hash-map lookup); select walks the
+/// arrival-ordered queue. Rollback interleavings are safe by construction:
+/// `restore` re-queues a rolled-back transaction at the front with its
+/// original arrival time, so select order and censorship-latency
+/// measurements survive include -> rollback -> re-include cycles.
 class Mempool {
  public:
-  /// Adds a transaction observed at `arrival`. Duplicate ids are ignored.
-  void submit(Transaction tx, SimTime arrival);
+  Mempool() = default;
+  explicit Mempool(MempoolLimits limits) : limits_(limits) {}
+
+  void set_limits(MempoolLimits limits) { limits_ = limits; }
+  [[nodiscard]] const MempoolLimits& limits() const { return limits_; }
+
+  /// Adds a transaction observed at `arrival`. Duplicate ids (pending or
+  /// remembered-included) are ignored. Returns true iff the newcomer was
+  /// admitted — under the evict-oldest policy a full pool still admits it
+  /// (dropping the oldest, counted in evicted()); under the reject policy
+  /// the newcomer is turned away (false, counted in rejected()).
+  bool submit(Transaction tx, SimTime arrival);
 
   /// Selects up to `max_txs` pending transactions in arrival order,
   /// skipping any for which `censor` returns true (the θ=2 strategy π_pc
@@ -26,29 +62,57 @@ class Mempool {
       std::size_t max_txs,
       const std::function<bool(const Transaction&)>& censor = nullptr) const;
 
-  /// Removes transactions included in an agreed block.
+  /// As above with a byte budget: stops before a transaction whose encoded
+  /// size would push the batch past `max_bytes` (0 = unbounded). A single
+  /// oversized transaction is still returned alone rather than starving
+  /// forever.
+  [[nodiscard]] std::vector<Transaction> select(
+      std::size_t max_txs, std::size_t max_bytes,
+      const std::function<bool(const Transaction&)>& censor) const;
+
+  /// Removes transactions included in an agreed block (and remembers the
+  /// ids, bounded by MempoolLimits::included_history, so gossip duplicates
+  /// do not re-enter).
   void mark_included(const std::vector<Transaction>& txs);
 
-  /// Re-queues transactions from a rolled-back block (keeps original
-  /// arrival order).
+  /// Re-queues transactions from a rolled-back block at the front of the
+  /// pool, restoring each one's original arrival time.
   void restore(const std::vector<Transaction>& txs);
 
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] bool has_tx(std::uint64_t id) const {
-    return known_.count(id) > 0 && !included_.count(id);
+    const auto it = known_.find(id);
+    return it != known_.end() && !it->second.included;
   }
 
-  /// Arrival time of a pending/known tx, or kSimTimeNever.
+  /// Arrival time of a pending tx, or kSimTimeNever.
   [[nodiscard]] SimTime arrival_of(std::uint64_t id) const;
+
+  /// Overflow counters: transactions dropped to make room / turned away.
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
 
  private:
   struct Entry {
     Transaction tx;
     SimTime arrival;
   };
-  std::deque<Entry> queue_;
-  std::set<std::uint64_t> known_;
-  std::set<std::uint64_t> included_;
+  struct TxState {
+    SimTime arrival = kSimTimeNever;
+    bool included = false;
+  };
+
+  void remember_included(std::uint64_t id);
+  void drop_oldest_pending();
+
+  MempoolLimits limits_;
+  std::deque<Entry> queue_;  ///< pending, arrival order
+  /// Everything the pool has heard of: pending entries plus the bounded
+  /// included history (replaces the old unbounded known_/included_ sets).
+  std::unordered_map<std::uint64_t, TxState> known_;
+  std::deque<std::uint64_t> included_fifo_;  ///< history retirement order
+  std::uint64_t evicted_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace ratcon::ledger

@@ -29,6 +29,10 @@ struct Transaction {
   /// Digest used as a Merkle leaf.
   [[nodiscard]] crypto::Hash256 hash() const;
 
+  /// Encoded size in bytes (block byte-budget accounting). Kept in sync
+  /// with encode(): fixed header + length-prefixed payload.
+  [[nodiscard]] std::size_t wire_size() const { return 21 + payload.size(); }
+
   [[nodiscard]] std::string summary() const;
 
   friend bool operator==(const Transaction&, const Transaction&) = default;

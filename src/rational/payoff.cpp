@@ -101,6 +101,31 @@ PayoffReport PayoffAccountant::account(harness::Simulation& sim) const {
     return 0;
   };
 
+  // Inclusion fees are read off the canonical honest ledger: the deepest
+  // finalized honest chain (under agreement all honest prefixes concur;
+  // under a fork fee accounting is moot — the σ_Fork payoffs dominate).
+  const ledger::Chain* canon = nullptr;
+  for (const ledger::Chain* c : sim.honest_chains()) {
+    if (canon == nullptr ||
+        c->finalized_height() > canon->finalized_height()) {
+      canon = c;
+    }
+  }
+  std::vector<std::uint64_t> fee_txs(n, 0);
+  std::vector<double> fee_value(n, 0.0);
+  if (canon != nullptr && params_.inclusion_reward != 0.0) {
+    double discount = 1.0;
+    for (std::uint64_t h = 1; h <= canon->finalized_height(); ++h) {
+      const ledger::Block& b = canon->at(h);
+      if (b.proposer < n && !b.txs.empty()) {
+        fee_txs[b.proposer] += b.txs.size();
+        fee_value[b.proposer] += params_.inclusion_reward * discount *
+                                 static_cast<double>(b.txs.size());
+      }
+      discount *= params_.util.delta;
+    }
+  }
+
   report.players.resize(n);
   for (NodeId id = 0; id < n; ++id) {
     PlayerPayoff& p = report.players[id];
@@ -119,8 +144,10 @@ PayoffReport PayoffAccountant::account(harness::Simulation& sim) const {
       p.rounds[charge_index(burn_it->second)].penalized = true;
     }
     p.messages = sim.net().stats().for_sender(id).count;
+    p.txs_included = fee_txs[id];
     p.utility = game::discounted_utility(p.rounds, p.theta, params_.util) -
-                params_.msg_cost * static_cast<double>(p.messages);
+                params_.msg_cost * static_cast<double>(p.messages) +
+                fee_value[id];
   }
   return report;
 }

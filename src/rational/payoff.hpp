@@ -21,6 +21,14 @@ struct PayoffParams {
   /// attractive in protocols that cannot punish them.
   double msg_cost = 0.0;
 
+  /// Per-transaction inclusion reward (fee) credited to the proposer of
+  /// each finalized block, discounted by δ^(height−1) like every other
+  /// Eq. 1 term. The paper's model has no fees (default 0); a positive
+  /// value gives block proposers a workload-dependent revenue axis, making
+  /// censorship (foregone fees) and laziness (empty blocks) economically
+  /// visible under the workload engine's traffic.
+  double inclusion_reward = 0.0;
+
   /// Number of heights scored as game rounds; 0 = the scenario's
   /// RunBudget::target_blocks.
   std::uint64_t window = 0;
@@ -42,8 +50,12 @@ struct PlayerPayoff {
   /// One outcome per scored height: the height's system state σ plus
   /// whether this player's collateral burn is charged in that round.
   std::vector<game::RoundOutcome> rounds;
-  double utility = 0.0;      ///< Eq. 1 over `rounds`, minus message costs
+  double utility = 0.0;      ///< Eq. 1 over `rounds`, minus message costs,
+                             ///<   plus discounted inclusion fees
   std::uint64_t messages = 0;  ///< wire messages this player sent
+  /// Transactions in finalized blocks this player proposed (fee basis),
+  /// counted over the canonical honest ledger.
+  std::uint64_t txs_included = 0;
   std::int64_t deposit_delta = 0;
   bool slashed = false;
 };

@@ -237,12 +237,21 @@ void CatchupDriver::handle_sync(net::Context& ctx,
 Bytes CatchupDriver::make_announce() {
   harness::ProfTimer timer(harness::kL1SyncNs, harness::kL2SyncAnnounceNs);
   const auto& chain = inner_->chain();
-  AnnounceBody body;
-  body.height = chain.finalized_height();
-  body.tip = chain.at(body.height).hash();
-  Writer w;
-  body.encode(w);
-  return encode_env(MsgType::kAnnounce, body.height, w.take());
+  const std::uint64_t height = chain.finalized_height();
+  // In piggyback mode this runs once per peer still owed the announce —
+  // n-1 times per height — so the signed wire is cached per height.
+  // Signing is deterministic, so the cached bytes are identical to a
+  // rebuild and the traffic is unchanged.
+  if (announce_wire_.empty() || announce_wire_height_ != height) {
+    AnnounceBody body;
+    body.height = height;
+    body.tip = chain.hash_at(height);
+    Writer w;
+    body.encode(w);
+    announce_wire_ = encode_env(MsgType::kAnnounce, height, w.take());
+    announce_wire_height_ = height;
+  }
+  return announce_wire_;
 }
 
 void CatchupDriver::announce(net::Context& ctx) {
@@ -344,7 +353,7 @@ void CatchupDriver::handle_request(net::Context& ctx,
   // Merkle anchor over the finalized chain through the batch tip.
   std::vector<crypto::Hash256> leaves;
   leaves.reserve(to + 1);
-  for (std::uint64_t h = 0; h <= to; ++h) leaves.push_back(chain.at(h).hash());
+  for (std::uint64_t h = 0; h <= to; ++h) leaves.push_back(chain.hash_at(h));
   resp.anchor_root = crypto::MerkleTree::compute_root(leaves);
 
   Writer w;
@@ -372,7 +381,7 @@ void CatchupDriver::handle_response(net::Context& ctx,
     return;
   }
   // Hash-chain linkage from our finalized tip through the batch.
-  if (body.blocks.front().parent != chain.at(fin).hash()) {
+  if (body.blocks.front().parent != chain.hash_at(fin)) {
     rejected_ += 1;
     return;
   }
@@ -385,7 +394,7 @@ void CatchupDriver::handle_response(net::Context& ctx,
   // Merkle anchor: the batch must extend *our* finalized chain exactly.
   std::vector<crypto::Hash256> leaves;
   leaves.reserve(fin + 1 + body.blocks.size());
-  for (std::uint64_t h = 0; h <= fin; ++h) leaves.push_back(chain.at(h).hash());
+  for (std::uint64_t h = 0; h <= fin; ++h) leaves.push_back(chain.hash_at(h));
   for (const ledger::Block& b : body.blocks) leaves.push_back(b.hash());
   if (crypto::MerkleTree::compute_root(leaves) != body.anchor_root) {
     rejected_ += 1;

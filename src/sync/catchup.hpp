@@ -210,6 +210,10 @@ class CatchupDriver final : public consensus::IReplica {
   std::uint64_t request_rotation_ = 0;
   /// Peers still owed the latest announce (piggyback mode).
   std::set<NodeId> unannounced_;
+  /// Signed announce wire for `announce_wire_height_`: rebuilt once per
+  /// height, reused for every peer it is sent or piggybacked to.
+  Bytes announce_wire_;
+  std::uint64_t announce_wire_height_ = 0;
 
   /// Latest announced finalized height per peer (gap detection).
   std::map<NodeId, std::uint64_t> peer_height_;

@@ -1,0 +1,218 @@
+#include "workload/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "harness/profiler.hpp"
+#include "ledger/transaction.hpp"
+
+namespace ratcon::workload {
+
+using harness::ProfTimer;
+using harness::prof_count;
+
+namespace {
+
+/// Client slot for arrivals that no closed-loop client owns.
+constexpr std::uint32_t kNoClient = UINT32_MAX;
+
+/// Open-loop phase envelope lookup: rate multiplier at `offset` past the
+/// workload start, plus the offset where the current segment ends (so a
+/// zero-rate segment can be skipped in one hop). Past the last segment the
+/// base rate resumes forever.
+struct EnvelopeAt {
+  double mult = 1.0;
+  SimTime segment_end = kSimTimeNever;
+};
+
+EnvelopeAt envelope_at(const std::vector<PhaseSpec>& phases, SimTime offset) {
+  SimTime begin = 0;
+  for (const PhaseSpec& p : phases) {
+    const SimTime end = begin + std::max<SimTime>(0, p.duration);
+    if (offset < end) return {p.rate_mult, end};
+    begin = end;
+  }
+  return {1.0, kSimTimeNever};
+}
+
+}  // namespace
+
+WorkloadEngine::WorkloadEngine(WorkloadSpec spec, std::uint64_t seed,
+                               std::uint32_t committee_n)
+    : spec_(std::move(spec)),
+      n_(std::max<std::uint32_t>(1, committee_n)),
+      arrival_rng_(Rng(seed).fork("workload/arrival")),
+      sender_rng_(Rng(seed).fork("workload/sender")),
+      zipf_(spec_.senders > 0 ? spec_.senders : n_, spec_.zipf) {
+  const Rng base(seed);
+  client_rngs_.reserve(spec_.clients);
+  for (std::uint32_t k = 0; k < spec_.clients; ++k) {
+    client_rngs_.push_back(base.fork("workload/client/" + std::to_string(k)));
+  }
+}
+
+void WorkloadEngine::attach(net::Cluster& cluster,
+                            const std::vector<consensus::IReplica*>& replicas) {
+  cluster_ = &cluster;
+  replicas_ = replicas;
+  honest_.clear();
+  honest_.reserve(replicas.size());
+  for (consensus::IReplica* r : replicas_) honest_.push_back(r->is_honest());
+  finalized_per_replica_.assign(replicas.size(), 0);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    replicas_[i]->chain_mut().set_finalize_observer(
+        [this, id](std::uint64_t /*height*/, const ledger::Block& block) {
+          on_finalized(id, block);
+        });
+  }
+  if (spec_.empty()) return;
+
+  ProfTimer timer(harness::kL1WorkloadNs, harness::kL2WorkloadGenerateNs);
+  switch (spec_.mode) {
+    case Arrival::kFixed: {
+      // Identical schedule to the legacy inject_workload: txs arrivals
+      // spaced `interval` apart, queued in id order from the constructor
+      // (so a tx racing a same-tick fault event still lands first).
+      for (std::uint64_t i = 0; i < spec_.txs; ++i) {
+        const SimTime at =
+            spec_.start + static_cast<SimTime>(i) * spec_.interval;
+        cluster_->schedule(at - cluster_->now(),
+                           [this, at]() { submit_next(kNoClient, at); });
+      }
+      break;
+    }
+    case Arrival::kOpenLoop: {
+      // Pre-generate the whole arrival process in one pass over the
+      // labeled substream: exponential gaps at the phase-modulated rate.
+      // Consuming the stream here, in a single deterministic order, keeps
+      // the schedule a pure function of (seed, spec) no matter how the
+      // run itself interleaves.
+      const double base_rate = std::max(spec_.rate, 1e-9);
+      SimTime at = spec_.start;
+      for (std::uint64_t i = 0; i < spec_.txs; ++i) {
+        EnvelopeAt env = envelope_at(spec_.phases, at - spec_.start);
+        while (env.mult <= 0.0 && env.segment_end != kSimTimeNever) {
+          at = spec_.start + env.segment_end;  // hop over a zero-rate lull
+          env = envelope_at(spec_.phases, at - spec_.start);
+        }
+        const double rate = base_rate * std::max(env.mult, 1e-9);
+        const double gap_us = arrival_rng_.exponential(1e6 / rate);
+        at += std::max<SimTime>(1, std::llround(gap_us));
+        cluster_->schedule(at - cluster_->now(),
+                           [this, at]() { submit_next(kNoClient, at); });
+      }
+      break;
+    }
+    case Arrival::kClosedLoop: {
+      // Each client draws an initial think-time so the population does not
+      // arrive as one burst; afterwards its next submission chains off the
+      // first honest finalization of its previous transaction.
+      const std::uint32_t clients =
+          std::max<std::uint32_t>(1, spec_.clients);
+      for (std::uint32_t k = 0; k < clients && scheduled_ < spec_.txs; ++k) {
+        ++scheduled_;
+        const SimTime at = spec_.start + think_delay(k);
+        cluster_->schedule(at - cluster_->now(),
+                           [this, k, at]() { submit_next(k, at); });
+      }
+      break;
+    }
+  }
+}
+
+SimTime WorkloadEngine::think_delay(std::uint32_t client) {
+  const double mean_us =
+      std::max(1.0, static_cast<double>(std::max<SimTime>(1, spec_.think)));
+  const double d = client_rngs_[client].exponential(mean_us);
+  return std::max<SimTime>(1, std::llround(d));
+}
+
+NodeId WorkloadEngine::pick_sender(std::uint64_t index) {
+  if (spec_.mode == Arrival::kFixed && spec_.zipf <= 0.0 &&
+      spec_.senders == 0) {
+    return static_cast<NodeId>(index % n_);  // legacy round-robin
+  }
+  if (spec_.zipf > 0.0) {
+    return static_cast<NodeId>(zipf_.sample(sender_rng_));
+  }
+  return static_cast<NodeId>(
+      sender_rng_.uniform(0, zipf_.population() - 1));
+}
+
+void WorkloadEngine::submit_next(std::uint32_t client, SimTime at) {
+  ledger::Transaction tx;
+  {
+    ProfTimer gen(harness::kL1WorkloadNs, harness::kL2WorkloadGenerateNs);
+    const std::uint64_t index = generated_;
+    const std::uint64_t id = spec_.first_id + index;
+    tx = ledger::make_transfer(id, pick_sender(index), spec_.payload_bytes);
+    ++generated_;
+    pending_.emplace(id, at);
+    if (client != kNoClient) tx_client_.emplace(id, client);
+    ++sender_txs_[tx.sender];
+    first_submit_ = std::min(first_submit_, at);
+  }
+  ProfTimer sub(harness::kL1WorkloadNs, harness::kL2WorkloadSubmitNs);
+  prof_count(harness::kL3WorkloadTxsSubmitted);
+  for (consensus::IReplica* r : replicas_) {
+    r->mempool().submit(tx, at);
+  }
+}
+
+void WorkloadEngine::on_finalized(NodeId replica, const ledger::Block& block) {
+  ProfTimer track(harness::kL1WorkloadNs, harness::kL2WorkloadTrackNs);
+  const SimTime now = cluster_ != nullptr ? cluster_->now() : 0;
+  for (const ledger::Transaction& tx : block.txs) {
+    if (!is_workload_tx(tx.id)) continue;
+    ++finalized_per_replica_[replica];
+    if (!honest_[replica]) continue;
+    const auto it = pending_.find(tx.id);
+    if (it == pending_.end()) continue;  // already first-finalized elsewhere
+    latency_.record(now - it->second);
+    pending_.erase(it);
+    ++finalized_;
+    last_finalize_ = std::max(last_finalize_, now);
+    prof_count(harness::kL3WorkloadTxsFinalized);
+
+    // Closed-loop chaining: this client may now think, then submit again.
+    const auto client_it = tx_client_.find(tx.id);
+    if (client_it == tx_client_.end()) continue;
+    const std::uint32_t k = client_it->second;
+    tx_client_.erase(client_it);
+    if (scheduled_ < spec_.txs) {
+      ++scheduled_;
+      const SimTime at = now + think_delay(k);
+      cluster_->schedule(at - now, [this, k, at]() { submit_next(k, at); });
+    }
+  }
+}
+
+bool WorkloadEngine::drained(
+    const std::function<bool(NodeId)>& counts) const {
+  if (!gates_completion()) return true;
+  if (generated_ < spec_.txs || finalized_ < spec_.txs) return false;
+  for (std::size_t i = 0; i < finalized_per_replica_.size(); ++i) {
+    if (counts && !counts(static_cast<NodeId>(i))) continue;
+    if (finalized_per_replica_[i] < spec_.txs) return false;
+  }
+  return true;
+}
+
+WorkloadStats WorkloadEngine::stats() const {
+  WorkloadStats s;
+  s.submitted = generated_;
+  s.finalized = finalized_;
+  s.distinct_senders = sender_txs_.size();
+  for (const auto& [sender, count] : sender_txs_) {
+    (void)sender;
+    s.top_sender_txs = std::max(s.top_sender_txs, count);
+  }
+  s.first_submit = first_submit_;
+  s.last_finalize = last_finalize_;
+  s.latency = latency_;
+  return s;
+}
+
+}  // namespace ratcon::workload

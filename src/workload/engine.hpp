@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/replica.hpp"
+#include "net/cluster.hpp"
+#include "workload/latency.hpp"
+#include "workload/spec.hpp"
+#include "workload/zipf.hpp"
+
+namespace ratcon::workload {
+
+/// Client-traffic engine for one Simulation run: realizes a WorkloadSpec
+/// against a deployed cluster. It generates arrivals (fixed / open-loop /
+/// closed-loop, zipf-skewed senders), gossips each transaction into every
+/// replica's mempool, and measures the other side — per-transaction
+/// submit -> first-honest-finalization latency via observers installed on
+/// every replica's chain (all four protocols finalize through
+/// Chain::finalize_up_to, so the hook is protocol-agnostic and exact to
+/// the event timestamp, not drive-loop granularity).
+///
+/// Determinism contract: every random draw comes from labeled
+/// `Rng::fork` substreams of the scenario seed ("workload/arrival",
+/// "workload/sender", "workload/client/<k>"), consumed in event-loop
+/// order on the cell's single thread — so a cell's histogram is a pure
+/// function of its ScenarioSpec and serial vs parallel sweeps are
+/// byte-identical.
+class WorkloadEngine {
+ public:
+  WorkloadEngine(WorkloadSpec spec, std::uint64_t seed,
+                 std::uint32_t committee_n);
+
+  /// Installs chain observers and schedules the generator's first
+  /// arrivals. Call once, after every replica is registered with the
+  /// cluster and before the run starts.
+  void attach(net::Cluster& cluster,
+              const std::vector<consensus::IReplica*>& replicas);
+
+  /// Whether run_to_completion should wait for this workload to drain
+  /// (open-/closed-loop with a finite tx count).
+  [[nodiscard]] bool gates_completion() const {
+    return spec_.gates_completion();
+  }
+
+  /// True once every transaction was generated AND finalized by every
+  /// replica for which `counts` returns true (live honest replicas —
+  /// crashed or adversarial ones may legitimately never catch up).
+  [[nodiscard]] bool drained(
+      const std::function<bool(NodeId)>& counts) const;
+
+  /// Snapshot of the run's throughput/latency measurement. Mempool
+  /// overflow counters are per-replica state and are summed in by the
+  /// caller (Simulation::report).
+  [[nodiscard]] WorkloadStats stats() const;
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  /// Generates + gossips one transaction at `at`; `client` is the owning
+  /// closed-loop client (or the no-client sentinel for fixed/open modes).
+  void submit_next(std::uint32_t client, SimTime at);
+  void on_finalized(NodeId replica, const ledger::Block& block);
+  [[nodiscard]] NodeId pick_sender(std::uint64_t index);
+  [[nodiscard]] SimTime think_delay(std::uint32_t client);
+  [[nodiscard]] bool is_workload_tx(std::uint64_t id) const {
+    return id >= spec_.first_id && id - spec_.first_id < generated_;
+  }
+
+  WorkloadSpec spec_;
+  std::uint32_t n_ = 0;
+  net::Cluster* cluster_ = nullptr;
+  std::vector<consensus::IReplica*> replicas_;
+  std::vector<bool> honest_;
+
+  Rng arrival_rng_;  ///< open-loop inter-arrival gaps
+  Rng sender_rng_;
+  ZipfSampler zipf_;
+  std::vector<Rng> client_rngs_;  ///< closed-loop think-time substreams
+
+  std::uint64_t generated_ = 0;  ///< transactions submitted so far
+  std::uint64_t scheduled_ = 0;  ///< closed-loop submissions reserved
+  /// Pending measurement: tx id -> submit time (erased on first honest
+  /// finalization, so memory tracks in-flight txs, not history).
+  std::unordered_map<std::uint64_t, SimTime> pending_;
+  /// Closed-loop: tx id -> client index, for think-time chaining.
+  std::unordered_map<std::uint64_t, std::uint32_t> tx_client_;
+  /// Per-replica count of workload txs seen in finalized blocks.
+  std::vector<std::uint64_t> finalized_per_replica_;
+  /// Per-sender submission counts (the skew axis measurement).
+  std::unordered_map<NodeId, std::uint64_t> sender_txs_;
+
+  LatencyHistogram latency_;
+  std::uint64_t finalized_ = 0;
+  SimTime first_submit_ = kSimTimeNever;
+  SimTime last_finalize_ = 0;
+};
+
+}  // namespace ratcon::workload

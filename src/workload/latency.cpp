@@ -1,0 +1,118 @@
+#include "workload/latency.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace ratcon::workload {
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t value) {
+  // Values below 2^kSubBits land in the linear prefix (one bucket per
+  // value); above it, the top kSubBits+1 bits pick (octave, sub-bucket).
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const int top = std::bit_width(value) - 1;  // >= kSubBits
+  const int shift = top - kSubBits;
+  const std::size_t sub =
+      static_cast<std::size_t>((value >> shift) & (kSubBuckets - 1));
+  const std::size_t octave = static_cast<std::size_t>(top - kSubBits + 1);
+  return octave * kSubBuckets + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  const std::size_t octave = bucket / kSubBuckets;
+  const std::size_t sub = bucket % kSubBuckets;
+  const int shift = static_cast<int>(octave) - 1;
+  // Highest value whose (octave, sub) decomposition is this bucket.
+  const std::uint64_t base =
+      (std::uint64_t{1} << (shift + kSubBits)) +
+      (static_cast<std::uint64_t>(sub) << shift);
+  return base + ((std::uint64_t{1} << shift) - 1);
+}
+
+void LatencyHistogram::record(SimTime latency_us) {
+  const std::uint64_t v =
+      latency_us < 0 ? 0 : static_cast<std::uint64_t>(latency_us);
+  counts_[bucket_of(v)] += 1;
+  total_ += 1;
+  sum_ += v;
+  min_ = std::min(min_, latency_us < 0 ? 0 : latency_us);
+  max_ = std::max(max_, latency_us < 0 ? 0 : latency_us);
+}
+
+LatencyHistogram& LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  if (other.total_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  return *this;
+}
+
+double LatencyHistogram::mean() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+SimTime LatencyHistogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; ceil without floating error for
+  // the q = 1.0 edge.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             q * static_cast<double>(total_) + 0.9999999999));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      const std::uint64_t upper = bucket_upper(i);
+      return std::min<SimTime>(static_cast<SimTime>(upper), max_);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  if (empty()) {
+    os << "no samples";
+    return os.str();
+  }
+  os << "p50=" << static_cast<double>(p50()) / 1000.0 << "ms"
+     << " p99=" << static_cast<double>(p99()) / 1000.0 << "ms"
+     << " max=" << static_cast<double>(max()) / 1000.0 << "ms"
+     << " (n=" << total_ << ")";
+  return os.str();
+}
+
+double WorkloadStats::tx_per_sec() const {
+  if (finalized == 0 || first_submit == kSimTimeNever ||
+      last_finalize <= first_submit) {
+    return 0.0;
+  }
+  const double span_sec =
+      static_cast<double>(last_finalize - first_submit) / 1e6;
+  return static_cast<double>(finalized) / span_sec;
+}
+
+WorkloadStats& WorkloadStats::merge(const WorkloadStats& other) {
+  submitted += other.submitted;
+  finalized += other.finalized;
+  evicted += other.evicted;
+  rejected += other.rejected;
+  // Senders are per-run populations; the merged view keeps the maxima
+  // (cells are independent universes, summing would double-count ranks).
+  distinct_senders = std::max(distinct_senders, other.distinct_senders);
+  top_sender_txs = std::max(top_sender_txs, other.top_sender_txs);
+  first_submit = std::min(first_submit, other.first_submit);
+  last_finalize = std::max(last_finalize, other.last_finalize);
+  latency.merge(other.latency);
+  return *this;
+}
+
+}  // namespace ratcon::workload

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace ratcon::workload {
+
+/// Fixed-bucket latency histogram (HdrHistogram-style log-linear layout:
+/// 8 sub-buckets per power of two). Every field is an integer, merge is
+/// element-wise addition, and comparison is defaulted — so "serial and
+/// parallel sweeps produce byte-identical histograms" is checkable with
+/// operator== and the determinism regression needs no tolerance. Covers
+/// the full SimTime range (microseconds up to ~2^62) in 512 buckets with
+/// a worst-case quantile error of one sub-bucket (~12.5%).
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;               ///< 2^3 sub-buckets/octave
+  static constexpr std::size_t kSubBuckets = 1u << kSubBits;
+  static constexpr std::size_t kBuckets = 64 * kSubBuckets;
+
+  /// Records one latency sample (negative values clamp to 0).
+  void record(SimTime latency_us);
+
+  /// Element-wise addition of another histogram (counts commute, so any
+  /// merge order — per-cell, per-worker — yields identical bytes).
+  LatencyHistogram& merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  [[nodiscard]] SimTime min() const { return empty() ? 0 : min_; }
+  [[nodiscard]] SimTime max() const { return max_; }
+  /// Exact arithmetic mean of the recorded samples (sum is exact).
+  [[nodiscard]] double mean() const;
+
+  /// Value at quantile `q` in [0, 1]: the upper bound of the first bucket
+  /// whose cumulative count reaches q * total (conservative — reported
+  /// percentiles never understate), clamped to the observed max. 0 when
+  /// empty.
+  [[nodiscard]] SimTime quantile(double q) const;
+  [[nodiscard]] SimTime p50() const { return quantile(0.50); }
+  [[nodiscard]] SimTime p99() const { return quantile(0.99); }
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const {
+    return counts_[bucket];
+  }
+
+  /// "p50=12.3ms p99=45.6ms max=50.1ms (n=10000)" — for summaries.
+  [[nodiscard]] std::string summary() const;
+
+  friend bool operator==(const LatencyHistogram&,
+                         const LatencyHistogram&) = default;
+
+  /// Bucket index for a value — exposed for the layout tests.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value);
+  /// Inclusive upper bound of a bucket's value range.
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t bucket);
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  SimTime min_ = kSimTimeNever;
+  SimTime max_ = 0;
+};
+
+/// Throughput + latency measurement of one run's workload — the piece that
+/// rides RunReport into MatrixReport summaries and BENCH_workload.json.
+/// All counts are integers; merging across cells is deterministic.
+struct WorkloadStats {
+  std::uint64_t submitted = 0;  ///< transactions handed to the mempools
+  std::uint64_t finalized = 0;  ///< first-honest-replica finalizations
+  std::uint64_t evicted = 0;    ///< mempool overflow evictions (all replicas)
+  std::uint64_t rejected = 0;   ///< mempool overflow rejections (all replicas)
+  std::uint64_t distinct_senders = 0;  ///< senders that submitted >= 1 tx
+  std::uint64_t top_sender_txs = 0;    ///< tx count of the hottest sender
+  SimTime first_submit = kSimTimeNever;
+  SimTime last_finalize = 0;
+  /// Submit -> first honest finalization, per transaction.
+  LatencyHistogram latency;
+
+  /// Sustained throughput: finalized transactions per second of virtual
+  /// time between the first submission and the last finalization.
+  [[nodiscard]] double tx_per_sec() const;
+
+  [[nodiscard]] bool empty() const { return submitted == 0; }
+
+  /// Merges another run's stats (sweep aggregation).
+  WorkloadStats& merge(const WorkloadStats& other);
+
+  friend bool operator==(const WorkloadStats&, const WorkloadStats&) = default;
+};
+
+}  // namespace ratcon::workload

@@ -1,0 +1,66 @@
+#include "workload/spec.hpp"
+
+namespace ratcon::workload {
+
+const char* to_string(Arrival mode) {
+  switch (mode) {
+    case Arrival::kFixed:
+      return "fixed";
+    case Arrival::kOpenLoop:
+      return "open-loop";
+    case Arrival::kClosedLoop:
+      return "closed-loop";
+  }
+  return "unknown-arrival";
+}
+
+WorkloadSpec WorkloadSpec::fixed(std::uint64_t txs, SimTime start,
+                                 SimTime interval) {
+  WorkloadSpec spec;
+  spec.mode = Arrival::kFixed;
+  spec.txs = txs;
+  spec.start = start;
+  spec.interval = interval;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::open_loop(double rate, std::uint64_t txs,
+                                     SimTime start) {
+  WorkloadSpec spec;
+  spec.mode = Arrival::kOpenLoop;
+  spec.rate = rate;
+  spec.txs = txs;
+  spec.start = start;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::closed_loop(std::uint32_t clients,
+                                       std::uint64_t txs, SimTime think,
+                                       SimTime start) {
+  WorkloadSpec spec;
+  spec.mode = Arrival::kClosedLoop;
+  spec.clients = clients;
+  spec.txs = txs;
+  spec.think = think;
+  spec.start = start;
+  return spec;
+}
+
+WorkloadSpec& WorkloadSpec::with_zipf(double exponent,
+                                      std::uint64_t population) {
+  zipf = exponent;
+  senders = population;
+  return *this;
+}
+
+WorkloadSpec& WorkloadSpec::with_payload(std::size_t bytes) {
+  payload_bytes = bytes;
+  return *this;
+}
+
+WorkloadSpec& WorkloadSpec::with_phases(std::vector<PhaseSpec> envelope) {
+  phases = std::move(envelope);
+  return *this;
+}
+
+}  // namespace ratcon::workload

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace ratcon::workload {
+
+/// How client transactions arrive at the committee.
+enum class Arrival : std::uint8_t {
+  /// Legacy fixed-interval injection (the old WorkloadPlan): `txs`
+  /// transfers spaced `interval` apart from `start`, senders round-robin
+  /// over the committee. Zero randomness — byte-identical to the pre-engine
+  /// harness, so every existing scenario reproduces unchanged.
+  kFixed = 0,
+  /// Open-loop: arrivals are a Poisson-ish process at `rate` tx/sec of
+  /// virtual time (inter-arrival gaps drawn from a deterministic
+  /// `Rng::fork("workload/...")` substream keyed only by the scenario
+  /// seed, so serial and parallel sweeps stay byte-identical). Clients do
+  /// not wait for finalization: backlog builds when the committee cannot
+  /// keep up — the configuration that measures capacity.
+  kOpenLoop = 1,
+  /// Closed-loop: `clients` concurrent clients, each submitting its next
+  /// transaction only after its previous one first finalizes on an honest
+  /// replica, plus an exponential think-time with mean `think`. In-flight
+  /// transactions are bounded by the client count — the configuration that
+  /// measures latency floor.
+  kClosedLoop = 2,
+};
+
+[[nodiscard]] const char* to_string(Arrival mode);
+
+/// One segment of an open-loop rate envelope: for `duration` of virtual
+/// time the base rate is multiplied by `rate_mult` (burst > 1, lull < 1,
+/// ramp = a staircase of segments). Segments apply sequentially from
+/// `start`; after the last one the base rate resumes.
+struct PhaseSpec {
+  SimTime duration = 0;
+  double rate_mult = 1.0;
+
+  friend bool operator==(const PhaseSpec&, const PhaseSpec&) = default;
+};
+
+/// Client-traffic description for one scenario run (ScenarioSpec::workload).
+/// Replaces the fixed-interval WorkloadPlan; the legacy fields (`txs`,
+/// `start`, `interval`, `first_id`) keep their names and defaults so
+/// existing call sites read identically in kFixed mode.
+struct WorkloadSpec {
+  Arrival mode = Arrival::kFixed;
+
+  /// Total transactions the run generates (all modes). 0 = no workload.
+  std::uint64_t txs = 0;
+  /// First arrival time.
+  SimTime start = msec(1);
+  /// kFixed: spacing between arrivals.
+  SimTime interval = msec(2);
+  /// First transaction id; ids are consecutive from here.
+  std::uint64_t first_id = 1;
+
+  /// kOpenLoop: base arrival rate in tx/sec of virtual time.
+  double rate = 0.0;
+  /// kOpenLoop: optional burst/ramp envelope (see PhaseSpec).
+  std::vector<PhaseSpec> phases;
+
+  /// kClosedLoop: concurrent clients.
+  std::uint32_t clients = 0;
+  /// kClosedLoop: mean think-time between a client's finalization and its
+  /// next submission (exponential, per-client substream).
+  SimTime think = msec(5);
+
+  /// Sender population size for zipf-skewed sender selection. 0 = the
+  /// committee size (legacy round-robin ids in kFixed mode). Senders are
+  /// client ids, not committee members; a population in the millions
+  /// costs O(1) per sample (rejection-inversion, no CDF table).
+  std::uint64_t senders = 0;
+  /// Zipf exponent for sender selection: 0 = uniform (kFixed keeps the
+  /// legacy round-robin), ~0.99 = web-like skew. Rank 0 is the hottest
+  /// sender, so censor-set strategies get a realistic head to target.
+  double zipf = 0.0;
+
+  /// Filler payload bytes per transfer.
+  std::size_t payload_bytes = 32;
+
+  [[nodiscard]] bool empty() const { return txs == 0; }
+
+  /// Whether run_to_completion should keep driving until every live
+  /// honest replica finalized all generated transactions. Open- and
+  /// closed-loop runs gate on drain; kFixed keeps the legacy
+  /// target-blocks-only exit so existing scenarios (censorship probes
+  /// included) stop exactly where they used to.
+  [[nodiscard]] bool gates_completion() const {
+    return !empty() && mode != Arrival::kFixed;
+  }
+
+  // Fluent factories for the three generator shapes.
+  [[nodiscard]] static WorkloadSpec fixed(std::uint64_t txs,
+                                          SimTime start = msec(1),
+                                          SimTime interval = msec(2));
+  [[nodiscard]] static WorkloadSpec open_loop(double rate, std::uint64_t txs,
+                                              SimTime start = msec(1));
+  [[nodiscard]] static WorkloadSpec closed_loop(std::uint32_t clients,
+                                                std::uint64_t txs,
+                                                SimTime think = msec(5),
+                                                SimTime start = msec(1));
+
+  WorkloadSpec& with_zipf(double exponent, std::uint64_t population);
+  WorkloadSpec& with_payload(std::size_t bytes);
+  WorkloadSpec& with_phases(std::vector<PhaseSpec> envelope);
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+}  // namespace ratcon::workload

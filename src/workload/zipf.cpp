@@ -1,0 +1,64 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ratcon::workload {
+
+ZipfSampler::ZipfSampler(std::uint64_t population, double exponent)
+    : population_(std::max<std::uint64_t>(1, population)),
+      exponent_(std::max(0.0, exponent)) {
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(population_) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+// H(x) = integral of x^-s: (x^(1-s) - 1) / (1 - s), log(x) at s = 1.
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  // expm1/log1p keep precision near s = 1 (the helper form from the
+  // reference implementation).
+  const double t = (1.0 - exponent_) * log_x;
+  if (std::abs(t) > 1e-8) {
+    return std::expm1(t) / (1.0 - exponent_);
+  }
+  // t -> 0: expm1(t)/ (1-s) ~ log_x * (1 + t/2)
+  return log_x * (1.0 + t * 0.5);
+}
+
+double ZipfSampler::h(double x) const {
+  return std::exp(-exponent_ * std::log(x));
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - exponent_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the pole
+  if (std::abs(t) > 1e-8) {
+    return std::exp(std::log1p(t) / (1.0 - exponent_));
+  }
+  return std::exp(x * (1.0 - t * 0.5));
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  if (population_ == 1) return 0;
+  if (exponent_ == 0.0) {
+    return rng.uniform(0, population_ - 1);  // exact uniform fast path
+  }
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.uniform01() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(
+        std::clamp(x, 1.0, static_cast<double>(population_)) + 0.5);
+    k = std::clamp<std::uint64_t>(k, 1, population_);
+    if (static_cast<double>(k) - x <= s_) {
+      return k - 1;
+    }
+    if (u >= h_integral(static_cast<double>(k) + 0.5) -
+                 h(static_cast<double>(k))) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace ratcon::workload

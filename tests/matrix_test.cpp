@@ -300,6 +300,9 @@ TEST(SeedMatrix, ParallelSweepMatchesSerial) {
     EXPECT_EQ(x.sim_time, y.sim_time) << x.label();
     EXPECT_EQ(x.finalized_at, y.finalized_at) << x.label();
     EXPECT_EQ(x.safe(), y.safe()) << x.label();
+    // Workload stats (incl. the latency histogram) are integer counters —
+    // the determinism contract makes them byte-identical, so operator==.
+    EXPECT_TRUE(x.workload == y.workload) << x.label();
   }
 }
 
