@@ -1,0 +1,354 @@
+// Wire-format shootout: races the owning length-prefixed codec
+// (Envelope::decode — header parse + body copy) against the flat zero-copy
+// layout (WireView::parse — fixed-offset reads, body left as a span into
+// the wire buffer) over representative pRFT message shapes, from the
+// 100-byte vote up to a multi-block sync batch. Both formats read the SAME
+// bytes — the shootout is about decode cost, not wire size — so bytes/msg
+// is reported once per shape and the codecs are cross-checked field-for-
+// field before any timing runs.
+//
+// Reported per shape × format:
+//   decode ns/msg          pure structural decode
+//   decode+verify ns/msg   the full receive path (decode, H(body), HMAC)
+//   decode MB/s            wire throughput of the pure decode
+// plus encode ns/msg (one encode path — the layouts are byte-identical).
+//
+//   bench_serialization                      # full shootout
+//   bench_serialization --smoke              # CI probe (fewer iterations)
+//   bench_serialization --iters=200000       # override per-shape iterations
+//   bench_serialization --json=path.json     # artifact (default
+//                                            #   BENCH_serialization.json)
+//
+// Exits non-zero if the two decode paths ever disagree about a message —
+// the bench doubles as an equivalence check on real-shaped traffic.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "consensus/envelope.hpp"
+#include "core/messages.hpp"
+#include "crypto/sig.hpp"
+#include "harness/flags.hpp"
+#include "harness/jsonio.hpp"
+
+namespace {
+
+using namespace ratcon;
+using consensus::Certificate;
+using consensus::Envelope;
+using consensus::PhaseSig;
+using consensus::PhaseTag;
+using consensus::ProtoId;
+using consensus::WireView;
+
+// Committee the shapes are sized for: n = 16, t0 = 5 → quorum 11. Matches
+// the mid-sized cells of the matrix sweeps.
+constexpr std::uint32_t kN = 16;
+constexpr std::uint32_t kQuorum = 11;
+constexpr Round kRound = 7;
+
+struct Keyring {
+  crypto::KeyRegistry registry;
+  std::vector<crypto::KeyPair> keys;
+
+  Keyring() {
+    keys.reserve(kN);
+    for (NodeId id = 0; id < kN; ++id) keys.push_back(registry.generate(id, 42));
+  }
+};
+
+Certificate make_cert(const Keyring& ring, PhaseTag phase,
+                      const crypto::Hash256& value) {
+  Certificate cert;
+  cert.phase = phase;
+  cert.round = kRound;
+  cert.value = value;
+  for (NodeId id = 0; id < kQuorum; ++id) {
+    cert.sigs.push_back(consensus::sign_phase(ProtoId::kPrft, phase, kRound,
+                                              value, id, ring.keys[id].sk));
+  }
+  return cert;
+}
+
+ledger::Block make_block(const Keyring& ring, std::uint32_t txs,
+                         std::size_t payload_bytes) {
+  ledger::Block block;
+  block.parent = crypto::sha256("parent");
+  block.round = kRound;
+  block.proposer = 0;
+  for (std::uint32_t i = 0; i < txs; ++i) {
+    ledger::Transaction tx;
+    tx.id = i + 1;
+    tx.sender = i % kN;
+    tx.payload.assign(payload_bytes, static_cast<std::uint8_t>(i));
+    block.txs.push_back(std::move(tx));
+  }
+  (void)ring;
+  return block;
+}
+
+struct Shape {
+  std::string name;
+  prft::MsgType type;
+  Bytes body;
+};
+
+// Real message bodies built through the production codecs, spanning the
+// size spectrum the protocols actually put on the wire.
+std::vector<Shape> make_shapes(const Keyring& ring) {
+  const crypto::Hash256 h = crypto::sha256("value");
+  std::vector<Shape> shapes;
+
+  {  // Vote: hash + two phase signatures — the per-round chatter.
+    prft::VoteBody b;
+    b.h = h;
+    b.leader_pro_sig = consensus::sign_phase(ProtoId::kPrft, PhaseTag::kPropose,
+                                             kRound, h, 0, ring.keys[0].sk);
+    b.vote_sig = consensus::sign_phase(ProtoId::kPrft, PhaseTag::kVote, kRound,
+                                       h, 1, ring.keys[1].sk);
+    Writer w;
+    b.encode(w);
+    shapes.push_back({"vote", prft::MsgType::kVote, w.take()});
+  }
+  {  // Commit: carries the quorum vote certificate.
+    prft::CommitBody b;
+    b.h = h;
+    b.leader_pro_sig = consensus::sign_phase(ProtoId::kPrft, PhaseTag::kPropose,
+                                             kRound, h, 0, ring.keys[0].sk);
+    b.vote_cert = make_cert(ring, PhaseTag::kVote, h);
+    b.commit_sig = consensus::sign_phase(ProtoId::kPrft, PhaseTag::kCommit,
+                                         kRound, h, 1, ring.keys[1].sk);
+    Writer w;
+    b.encode(w);
+    shapes.push_back({"commit", prft::MsgType::kCommit, w.take()});
+  }
+  {  // Reveal: quorum commit evidences, each with its own vote certificate
+     // — the O(κ·n²) body that dominates pRFT's size column (Figure 3).
+    prft::RevealBody b;
+    b.h_tc = h;
+    b.h_l = h;
+    for (NodeId id = 0; id < kQuorum; ++id) {
+      prft::CommitEvidence ev;
+      ev.commit_sig = consensus::sign_phase(ProtoId::kPrft, PhaseTag::kCommit,
+                                            kRound, h, id, ring.keys[id].sk);
+      ev.vote_cert = make_cert(ring, PhaseTag::kVote, h);
+      b.commits.push_back(std::move(ev));
+    }
+    b.reveal_sig = consensus::sign_phase(ProtoId::kPrft, PhaseTag::kReveal,
+                                         kRound, h, 1, ring.keys[1].sk);
+    Writer w;
+    b.encode(w);
+    shapes.push_back({"reveal", prft::MsgType::kReveal, w.take()});
+  }
+  {  // Propose: one block (64 transfers × 256-byte payload).
+    prft::ProposeBody b;
+    b.block = make_block(ring, 64, 256);
+    b.pro_sig = consensus::sign_phase(ProtoId::kPrft, PhaseTag::kPropose,
+                                      kRound, b.block.hash(), 0,
+                                      ring.keys[0].sk);
+    Writer w;
+    b.encode(w);
+    shapes.push_back({"propose", prft::MsgType::kPropose, w.take()});
+  }
+  {  // Sync: an 8-block catch-up batch plus the Final certificate.
+    prft::SyncBody b;
+    b.final_round = kRound;
+    for (int i = 0; i < 8; ++i) b.blocks.push_back(make_block(ring, 64, 256));
+    b.final_cert = make_cert(ring, PhaseTag::kFinal, b.blocks.back().hash());
+    Writer w;
+    b.encode(w);
+    shapes.push_back({"sync", prft::MsgType::kSync, w.take()});
+  }
+  return shapes;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Keeps the optimizer honest: every timed loop folds a few decoded bytes
+// into this sink, printed (meaninglessly) at the end.
+volatile std::uint64_t g_sink = 0;
+
+struct Timing {
+  double encode_ns = 0;
+  double owning_decode_ns = 0;
+  double owning_recv_ns = 0;  // decode + signature verify
+  double view_decode_ns = 0;
+  double view_recv_ns = 0;
+};
+
+Timing time_shape(const Keyring& ring, const Envelope& env, const Bytes& wire,
+                  std::uint64_t iters) {
+  Timing t;
+  const ByteSpan span(wire.data(), wire.size());
+  std::uint64_t sink = 0;
+
+  // Warm-up: touch every path once so lazy state (digest caches, the
+  // signing-scratch pool) is populated before the clocks start.
+  (void)env.encode();
+  (void)consensus::verify_envelope(Envelope::decode(span), ring.registry);
+  (void)consensus::verify_wire(WireView::parse(span), ring.registry);
+
+  std::uint64_t t0 = now_ns();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const Bytes out = env.encode();
+    sink += out.size();
+  }
+  t.encode_ns = static_cast<double>(now_ns() - t0) / static_cast<double>(iters);
+
+  t0 = now_ns();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const Envelope e = Envelope::decode(span);
+    sink += e.round + e.body().size();
+  }
+  t.owning_decode_ns =
+      static_cast<double>(now_ns() - t0) / static_cast<double>(iters);
+
+  t0 = now_ns();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const Envelope e = Envelope::decode(span);
+    sink += consensus::verify_envelope(e, ring.registry) ? e.round : 0;
+  }
+  t.owning_recv_ns =
+      static_cast<double>(now_ns() - t0) / static_cast<double>(iters);
+
+  t0 = now_ns();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const WireView v = WireView::parse(span);
+    sink += v.round + v.body().size();
+  }
+  t.view_decode_ns =
+      static_cast<double>(now_ns() - t0) / static_cast<double>(iters);
+
+  t0 = now_ns();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const WireView v = WireView::parse(span);
+    sink += consensus::verify_wire(v, ring.registry) ? v.round : 0;
+  }
+  t.view_recv_ns =
+      static_cast<double>(now_ns() - t0) / static_cast<double>(iters);
+
+  g_sink = g_sink + sink;
+  return t;
+}
+
+double mb_per_sec(std::size_t bytes, double ns_per_msg) {
+  if (ns_per_msg <= 0) return 0;
+  return static_cast<double>(bytes) * 1e9 / (ns_per_msg * 1024.0 * 1024.0);
+}
+
+// Field-for-field equivalence of the two decode paths on this wire; the
+// shootout refuses to time codecs that disagree.
+bool paths_agree(const Keyring& ring, const Bytes& wire) {
+  const ByteSpan span(wire.data(), wire.size());
+  const Envelope own = Envelope::decode(span);
+  const WireView view = WireView::parse(span);
+  if (own.proto != view.proto || own.type != view.type ||
+      own.round != view.round || own.from != view.from) {
+    return false;
+  }
+  if (own.body().size() != view.body().size()) return false;
+  if (!own.body().empty() &&
+      std::memcmp(own.body().data(), view.body().data(), own.body().size()) !=
+          0) {
+    return false;
+  }
+  if (own.sig != view.signature()) return false;
+  if (!consensus::verify_envelope(own, ring.registry)) return false;
+  if (!consensus::verify_wire(view, ring.registry)) return false;
+  const Envelope round_trip = view.to_envelope();
+  return round_trip.encode() == wire;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ratcon::harness::Flags flags(argc, argv);
+  const bool smoke = flags.has("smoke");
+  const auto iters = static_cast<std::uint64_t>(
+      flags.get_int("iters", smoke ? 2000 : 50000));
+  const std::string json_path =
+      flags.get_str("json", "BENCH_serialization.json");
+
+  Keyring ring;
+  std::vector<Shape> shapes = make_shapes(ring);
+
+  std::printf("%-8s %9s | %10s %12s %12s | %10s %12s %12s | %7s\n", "shape",
+              "bytes", "own ns", "own+vfy ns", "own MB/s", "view ns",
+              "view+vfy ns", "view MB/s", "speedup");
+
+  ratcon::harness::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("serialization");
+  json.key("smoke").value(smoke);
+  json.key("iters").value(iters);
+  json.key("committee_n").value(static_cast<std::uint64_t>(kN));
+  json.key("quorum").value(static_cast<std::uint64_t>(kQuorum));
+  json.key("shapes").begin_array();
+
+  bool all_agree = true;
+  for (const Shape& shape : shapes) {
+    const Envelope env = consensus::make_envelope(
+        ProtoId::kPrft, static_cast<std::uint8_t>(shape.type), kRound, 1,
+        shape.body, ring.keys[1].sk);
+    const Bytes wire = env.encode();
+
+    const bool agree = paths_agree(ring, wire);
+    all_agree = all_agree && agree;
+    if (!agree) {
+      std::fprintf(stderr, "FAIL: decode paths disagree on shape %s\n",
+                   shape.name.c_str());
+      continue;
+    }
+
+    const Timing t = time_shape(ring, env, wire, iters);
+    const double speedup =
+        t.view_decode_ns > 0 ? t.owning_decode_ns / t.view_decode_ns : 0;
+
+    std::printf(
+        "%-8s %9zu | %10.1f %12.1f %12.1f | %10.1f %12.1f %12.1f | %6.2fx\n",
+        shape.name.c_str(), wire.size(), t.owning_decode_ns, t.owning_recv_ns,
+        mb_per_sec(wire.size(), t.owning_decode_ns), t.view_decode_ns,
+        t.view_recv_ns, mb_per_sec(wire.size(), t.view_decode_ns), speedup);
+
+    json.begin_object();
+    json.key("shape").value(shape.name);
+    json.key("bytes").value(static_cast<std::uint64_t>(wire.size()));
+    json.key("body_bytes").value(static_cast<std::uint64_t>(shape.body.size()));
+    json.key("encode_ns").value(t.encode_ns);
+    json.key("formats").begin_array();
+    json.begin_object();
+    json.key("format").value("copying");
+    json.key("decode_ns").value(t.owning_decode_ns);
+    json.key("decode_verify_ns").value(t.owning_recv_ns);
+    json.key("decode_mb_s").value(mb_per_sec(wire.size(), t.owning_decode_ns));
+    json.end_object();
+    json.begin_object();
+    json.key("format").value("zero_copy");
+    json.key("decode_ns").value(t.view_decode_ns);
+    json.key("decode_verify_ns").value(t.view_recv_ns);
+    json.key("decode_mb_s").value(mb_per_sec(wire.size(), t.view_decode_ns));
+    json.end_object();
+    json.end_array();
+    json.key("decode_speedup").value(speedup);
+    json.end_object();
+  }
+
+  json.end_array();
+  json.key("paths_agree").value(all_agree);
+  json.end_object();
+
+  if (!ratcon::harness::write_text_file(json_path, json.str())) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+  std::printf("sink=%llu json=%s\n",
+              static_cast<unsigned long long>(g_sink), json_path.c_str());
+  return all_agree ? 0 : 1;
+}

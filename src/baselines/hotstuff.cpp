@@ -2,16 +2,45 @@
 
 #include <algorithm>
 
+#include "harness/profiler.hpp"
+
 namespace ratcon::baselines {
 
 using consensus::Certificate;
 using consensus::Envelope;
 using consensus::PhaseSig;
 using consensus::PhaseTag;
+using consensus::WireView;
 
 namespace {
 constexpr consensus::ProtoId kProto = consensus::ProtoId::kHotstuff;
+
+// Per-type body caps, enforced before the body is hashed for signature
+// verification (fixed-layout exact; QC broadcasts from the certificate
+// codec's count cap; the block-carrying proposal keeps the codec default).
+constexpr std::size_t kPhaseSigWire = 4 + 32;  // signer u32 + sig 32B
+constexpr std::size_t kCertWireMax =
+    1 + 8 + 32 + 4 + kPhaseSigWire * (std::size_t{1} << 16);
+
+std::size_t max_body(HotstuffNode::MsgType t) {
+  switch (t) {
+    case HotstuffNode::MsgType::kPrepareVote:
+    case HotstuffNode::MsgType::kPreCommitVote:
+    case HotstuffNode::MsgType::kCommitVote:
+      return 32 + kPhaseSigWire;  // h + vote signature
+    case HotstuffNode::MsgType::kPreCommit:
+    case HotstuffNode::MsgType::kCommit:
+    case HotstuffNode::MsgType::kDecide:
+      return 32 + kCertWireMax;  // h + QC
+    case HotstuffNode::MsgType::kNewView:
+      return kPhaseSigWire;  // timeout signature
+    case HotstuffNode::MsgType::kPrepare:  // carries the block
+    default:
+      return Reader::kDefaultMaxLen;
+  }
 }
+
+}  // namespace
 
 HotstuffNode::HotstuffNode(Deps deps)
     : cfg_(deps.cfg),
@@ -76,11 +105,27 @@ void HotstuffNode::start_round(net::Context& ctx) {
 }
 
 void HotstuffNode::drain_future(net::Context& ctx) {
+  // Buffered wires were verified on arrival; re-parse the fixed-offset
+  // header and dispatch directly, re-gating the round in case a handler
+  // advanced it again mid-drain.
   auto it = future_.find(round_);
   if (it != future_.end()) {
-    const auto pending = std::move(it->second);
+    auto pending = std::move(it->second);
     future_.erase(it);
-    for (const auto& [from, data] : pending) on_message(ctx, from, data);
+    for (Bytes& wire : pending) {
+      harness::prof_count(harness::kL3FutureRoundReplayed);
+      WireView view;
+      try {
+        view = WireView::parse(ByteSpan(wire.data(), wire.size()));
+      } catch (const CodecError&) {
+        continue;  // unreachable: buffered wires parsed cleanly on arrival
+      }
+      if (view.round > round_) {
+        future_[view.round].push_back(std::move(wire));
+      } else {
+        dispatch(ctx, view);
+      }
+    }
   }
 }
 
@@ -222,28 +267,36 @@ bool HotstuffNode::on_sync_adopt(net::Context& ctx,
 void HotstuffNode::on_message(net::Context& ctx, NodeId from,
                               const Bytes& data) {
   (void)from;
-  Envelope env;
+  WireView view;
   try {
-    env = Envelope::decode(ByteSpan(data.data(), data.size()));
+    view = WireView::parse(ByteSpan(data.data(), data.size()));
   } catch (const CodecError&) {
     return;
   }
-  if (env.proto != kProto || env.from >= cfg_.n) return;
-  if (!consensus::verify_envelope(env, *registry_)) return;
-  if (env.round > round_ &&
-      static_cast<MsgType>(env.type) != MsgType::kNewView) {
-    // Not in that round yet; replay once we advance. NewView bypasses the
-    // gate: timeouts for higher rounds are exactly how we learn the rest
-    // of the committee moved on without us.
-    future_[env.round].emplace_back(env.from, data);
+  if (view.proto != kProto || view.from >= cfg_.n) return;
+  const auto type = static_cast<MsgType>(view.type);
+  // Oversized for its type: reject before the body is hashed or decoded.
+  if (view.body().size() > max_body(type)) return;
+  if (!consensus::verify_wire(view, *registry_)) return;
+  if (view.round > round_ && type != MsgType::kNewView) {
+    // Not in that round yet; buffer the verified wire bytes and replay
+    // once we advance. NewView bypasses the gate: timeouts for higher
+    // rounds are exactly how we learn the rest of the committee moved on
+    // without us.
+    harness::prof_count(harness::kL3FutureRoundBuffered);
+    future_[view.round].push_back(data);
     return;
   }
+  dispatch(ctx, view);
+}
+
+void HotstuffNode::dispatch(net::Context& ctx, const WireView& env) {
   const Round r = env.round;
   RoundState& rs = rounds_[r];
   const NodeId leader = cfg_.leader(r);
 
   try {
-    Reader r_(ByteSpan(env.body().data(), env.body().size()));
+    Reader r_(env.body());
     switch (static_cast<MsgType>(env.type)) {
       case MsgType::kPrepare: {
         if (env.from != leader) return;

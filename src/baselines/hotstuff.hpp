@@ -106,6 +106,10 @@ class HotstuffNode : public consensus::IReplica {
   void advance_round(net::Context& ctx, Round r, bool failed);
   void enter_round(net::Context& ctx, Round r);
   void drain_future(net::Context& ctx);
+  /// Post-verification message handling over a borrowed zero-copy view
+  /// (the "On Recv." switch); replay enters here directly, skipping the
+  /// signature check already performed on arrival.
+  void dispatch(net::Context& ctx, const consensus::WireView& env);
   void leader_collect(net::Context& ctx, Round r, RoundState& rs,
                       consensus::PhaseTag phase, MsgType next_broadcast);
   [[nodiscard]] Bytes make_qc_broadcast(MsgType type, Round r,
@@ -126,7 +130,10 @@ class HotstuffNode : public consensus::IReplica {
   Round round_ = 1;
   std::optional<Lock> lock_;
   std::map<Round, RoundState> rounds_;
-  std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
+  // Future-round buffer: raw wire bytes that already passed signature
+  // verification on arrival; drain_future re-parses the fixed-offset
+  // header and dispatches directly instead of re-verifying.
+  std::map<Round, std::vector<Bytes>> future_;
   /// Pacemaker: distinct NewView (timeout) senders per round. Views can
   /// drift apart under adversarial delay and, with votes counted only in
   /// the current view, two stable cohorts can orbit forever without either

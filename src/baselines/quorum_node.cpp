@@ -9,10 +9,33 @@ using consensus::Certificate;
 using consensus::Envelope;
 using consensus::PhaseSig;
 using consensus::PhaseTag;
+using consensus::WireView;
 
 namespace {
 
 constexpr std::uint64_t kForkMarkerBase = 0xFAFAFAFA00000000ull;
+
+// Per-type body caps, enforced before the body is hashed for signature
+// verification (fixed-layout exact; certificate-bearing from the codec's
+// count cap; block-carrying kept at the codec default).
+constexpr std::size_t kPhaseSigWire = 4 + 32;  // signer u32 + sig 32B
+constexpr std::size_t kCertWireMax =
+    1 + 8 + 32 + 4 + kPhaseSigWire * (std::size_t{1} << 16);
+
+std::size_t max_body(QuorumNode::MsgType t) {
+  switch (t) {
+    case QuorumNode::MsgType::kPrepare:
+      return 32 + kPhaseSigWire;  // h + prepare signature
+    case QuorumNode::MsgType::kCommit:
+      return 32 + kPhaseSigWire + 1 + kCertWireMax;
+    case QuorumNode::MsgType::kPrePrepare:   // block
+    case QuorumNode::MsgType::kDecide:       // block + cert
+    case QuorumNode::MsgType::kViewChange:   // optional lock block + cert
+    case QuorumNode::MsgType::kExpose:       // fraud set
+    default:
+      return Reader::kDefaultMaxLen;
+  }
+}
 
 crypto::Hash256 vc_value(consensus::ProtoId proto, Round r) {
   Writer w;
@@ -77,26 +100,28 @@ void QuorumNode::on_start(net::Context& ctx) {
 void QuorumNode::on_message(net::Context& ctx, NodeId from,
                             const Bytes& data) {
   (void)from;
-  Envelope env;
+  WireView view;
   try {
-    env = Envelope::decode(ByteSpan(data.data(), data.size()));
+    view = WireView::parse(ByteSpan(data.data(), data.size()));
   } catch (const CodecError&) {
     return;
   }
-  if (env.proto != proto_ || env.from >= cfg_.n) return;
-  if (!consensus::verify_envelope(env, *registry_)) return;
+  if (view.proto != proto_ || view.from >= cfg_.n) return;
+  const auto type = static_cast<MsgType>(view.type);
+  // Oversized for its type: reject before the body is hashed or decoded.
+  if (view.body().size() > max_body(type)) return;
+  if (!consensus::verify_wire(view, *registry_)) return;
 
   // Decide messages double as catch-up and are processed for any round.
-  if (env.round > round_ &&
-      static_cast<MsgType>(env.type) != MsgType::kDecide) {
+  if (view.round > round_ && type != MsgType::kDecide) {
     harness::prof_count(harness::kL3FutureRoundBuffered);
-    future_[env.round].push_back(std::move(env));
+    future_[view.round].push_back(data);
     return;
   }
-  dispatch(ctx, env);
+  dispatch(ctx, view);
 }
 
-void QuorumNode::dispatch(net::Context& ctx, const Envelope& env) {
+void QuorumNode::dispatch(net::Context& ctx, const WireView& env) {
   try {
     switch (static_cast<MsgType>(env.type)) {
       case MsgType::kPrePrepare: handle_preprepare(ctx, env); break;
@@ -171,18 +196,25 @@ void QuorumNode::advance_round(net::Context& ctx, Round r, bool failed) {
   consecutive_failures_ = failed ? consecutive_failures_ + 1 : 0;
   ctx.cancel_timer(kPhaseTimer);
   start_round(ctx);
-  // Buffered envelopes were verified on arrival; dispatch directly, re-gating
-  // the round in case a handler advanced it again mid-replay.
+  // Buffered wires were verified on arrival; re-parse the header and
+  // dispatch directly, re-gating the round in case a handler advanced it
+  // again mid-replay.
   auto it = future_.find(round_);
   if (it != future_.end()) {
     auto pending = std::move(it->second);
     future_.erase(it);
-    for (auto& env : pending) {
+    for (Bytes& wire : pending) {
       harness::prof_count(harness::kL3FutureRoundReplayed);
-      if (env.round > round_) {
-        future_[env.round].push_back(std::move(env));
+      WireView view;
+      try {
+        view = WireView::parse(ByteSpan(wire.data(), wire.size()));
+      } catch (const CodecError&) {
+        continue;  // unreachable: buffered wires parsed cleanly on arrival
+      }
+      if (view.round > round_) {
+        future_[view.round].push_back(std::move(wire));
       } else {
-        dispatch(ctx, env);
+        dispatch(ctx, view);
       }
     }
   }
@@ -281,8 +313,8 @@ void QuorumNode::send_to(net::Context& ctx, const std::set<NodeId>& targets,
 // ---------------------------------------------------------------------------
 // Handlers
 
-void QuorumNode::handle_preprepare(net::Context& ctx, const Envelope& env) {
-  Reader r_(ByteSpan(env.body().data(), env.body().size()));
+void QuorumNode::handle_preprepare(net::Context& ctx, const WireView& env) {
+  Reader r_(env.body());
   const ledger::Block block = ledger::Block::decode(r_);
   const PhaseSig pro_sig = PhaseSig::decode(r_);
   const Round r = env.round;
@@ -313,8 +345,8 @@ void QuorumNode::handle_preprepare(net::Context& ctx, const Envelope& env) {
   check_prepare_quorum(ctx, r, rs);
 }
 
-void QuorumNode::handle_prepare(net::Context& ctx, const Envelope& env) {
-  Reader r_(ByteSpan(env.body().data(), env.body().size()));
+void QuorumNode::handle_prepare(net::Context& ctx, const WireView& env) {
+  Reader r_(env.body());
   crypto::Hash256 h;
   r_.raw_into(h.data(), h.size());
   const PhaseSig sig = PhaseSig::decode(r_);
@@ -372,8 +404,8 @@ void QuorumNode::check_prepare_quorum(net::Context& ctx, Round r,
   }
 }
 
-void QuorumNode::handle_commit(net::Context& ctx, const Envelope& env) {
-  Reader r_(ByteSpan(env.body().data(), env.body().size()));
+void QuorumNode::handle_commit(net::Context& ctx, const WireView& env) {
+  Reader r_(env.body());
   crypto::Hash256 h;
   r_.raw_into(h.data(), h.size());
   const PhaseSig sig = PhaseSig::decode(r_);
@@ -497,8 +529,8 @@ bool QuorumNode::on_sync_adopt(net::Context& ctx,
   return true;
 }
 
-void QuorumNode::handle_decide(net::Context& ctx, const Envelope& env) {
-  Reader r_(ByteSpan(env.body().data(), env.body().size()));
+void QuorumNode::handle_decide(net::Context& ctx, const WireView& env) {
+  Reader r_(env.body());
   crypto::Hash256 h;
   r_.raw_into(h.data(), h.size());
   const bool has_block = r_.boolean();
@@ -563,8 +595,8 @@ void QuorumNode::trigger_view_change(net::Context& ctx, Round r) {
   }
 }
 
-void QuorumNode::handle_view_change(net::Context& ctx, const Envelope& env) {
-  Reader r_(ByteSpan(env.body().data(), env.body().size()));
+void QuorumNode::handle_view_change(net::Context& ctx, const WireView& env) {
+  Reader r_(env.body());
   const PhaseSig sig = PhaseSig::decode(r_);
   const Round r = env.round;
   if (!verify_sig(PhaseTag::kViewChange, r, vc_value(proto_, r), sig)) return;
@@ -657,10 +689,10 @@ void QuorumNode::maybe_expose(net::Context& ctx, Round r, RoundState& rs) {
   }
 }
 
-void QuorumNode::handle_expose(net::Context& ctx, const Envelope& env) {
+void QuorumNode::handle_expose(net::Context& ctx, const WireView& env) {
   (void)ctx;
   if (!accountable_) return;
-  Reader r_(ByteSpan(env.body().data(), env.body().size()));
+  Reader r_(env.body());
   const consensus::FraudSet proofs = consensus::decode_fraud_set(r_);
   for (const consensus::ConflictPair& cp : proofs) {
     if (cp.verify(proto_, *registry_)) {

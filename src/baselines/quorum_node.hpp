@@ -179,13 +179,15 @@ class QuorumNode : public consensus::IReplica {
 
   void start_round(net::Context& ctx);
   void advance_round(net::Context& ctx, Round r, bool failed);
-  void dispatch(net::Context& ctx, const consensus::Envelope& env);
-  void handle_preprepare(net::Context& ctx, const consensus::Envelope& env);
-  void handle_prepare(net::Context& ctx, const consensus::Envelope& env);
-  void handle_commit(net::Context& ctx, const consensus::Envelope& env);
-  void handle_decide(net::Context& ctx, const consensus::Envelope& env);
-  void handle_view_change(net::Context& ctx, const consensus::Envelope& env);
-  void handle_expose(net::Context& ctx, const consensus::Envelope& env);
+  // Handlers receive a borrowed zero-copy view over the wire buffer
+  // (signature already verified); nothing retains the view past the call.
+  void dispatch(net::Context& ctx, const consensus::WireView& env);
+  void handle_preprepare(net::Context& ctx, const consensus::WireView& env);
+  void handle_prepare(net::Context& ctx, const consensus::WireView& env);
+  void handle_commit(net::Context& ctx, const consensus::WireView& env);
+  void handle_decide(net::Context& ctx, const consensus::WireView& env);
+  void handle_view_change(net::Context& ctx, const consensus::WireView& env);
+  void handle_expose(net::Context& ctx, const consensus::WireView& env);
   void check_prepare_quorum(net::Context& ctx, Round r, RoundState& rs);
   void check_commit_quorum(net::Context& ctx, Round r, RoundState& rs);
   void decide(net::Context& ctx, Round r, RoundState& rs,
@@ -234,9 +236,10 @@ class QuorumNode : public consensus::IReplica {
   std::optional<PrepareLock> lock_;
   std::map<Round, RoundState> rounds_;
   std::map<crypto::Hash256, ledger::Block> block_store_;
-  // Future-round buffer: decoded envelopes that already passed signature
-  // verification, dispatched directly on round entry (no re-decode/verify).
-  std::map<Round, std::vector<consensus::Envelope>> future_;
+  // Future-round buffer: raw wire bytes that already passed signature
+  // verification; replay re-parses the fixed-offset header (cheap) and
+  // dispatches directly, skipping the signature check.
+  std::map<Round, std::vector<Bytes>> future_;
 
   struct AttackProgress {
     bool voted = false;

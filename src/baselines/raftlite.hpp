@@ -102,6 +102,10 @@ class RaftLiteNode : public consensus::IReplica {
   }
   void start_term(net::Context& ctx);
   void advance_term(net::Context& ctx, Round t, bool failed);
+  /// Post-verification message handling over a borrowed zero-copy view;
+  /// replay enters here directly, skipping the signature check already
+  /// performed on arrival.
+  void dispatch(net::Context& ctx, const consensus::WireView& env);
   void commit_block(net::Context& ctx, Round t, const ledger::Block& block);
   void broadcast_term_change(net::Context& ctx, Round t);
 
@@ -117,7 +121,10 @@ class RaftLiteNode : public consensus::IReplica {
   std::optional<Accepted> adopt_;    ///< value the next leader must re-propose
   bool defer_ = false;               ///< a majority peer is ahead; don't propose
   std::map<Round, TermState> terms_;
-  std::map<Round, std::vector<std::pair<NodeId, Bytes>>> future_;
+  // Future-term buffer: raw wire bytes that already passed signature
+  // verification on arrival; replay re-parses the fixed-offset header and
+  // dispatches directly instead of re-verifying.
+  std::map<Round, std::vector<Bytes>> future_;
   ledger::Chain chain_;
   ledger::Mempool mempool_;
   std::uint64_t consecutive_failures_ = 0;

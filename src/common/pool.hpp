@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ratcon {
+
+/// Thread-local workspace pool of reusable vectors (model: fgnn's
+/// workspace_pool.cc). Hot paths that need a short-lived buffer — the
+/// envelope signing payload built once per sign/verify, the Merkle leaf
+/// scratch in catch-up — lease one instead of allocating: after warm-up the
+/// buffer comes back with its old capacity, so the steady state is
+/// allocation-free.
+///
+/// Leases are strictly scoped: the buffer returns to the pool when the
+/// Lease is destroyed, so a leased buffer must never escape its scope
+/// (move the contents out if they need to live on). The pool is
+/// thread_local — no locks, and parallel matrix workers stay independent.
+template <class T>
+class WorkspacePool {
+ public:
+  class Lease {
+   public:
+    explicit Lease(WorkspacePool& pool)
+        : pool_(pool), buf_(pool.acquire()), reused_(buf_.capacity() != 0) {}
+    ~Lease() { pool_.release(std::move(buf_)); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] std::vector<T>& get() { return buf_; }
+    std::vector<T>& operator*() { return buf_; }
+    std::vector<T>* operator->() { return &buf_; }
+
+    /// True when the buffer was recycled (capacity survived a prior lease).
+    [[nodiscard]] bool reused() const { return reused_; }
+
+   private:
+    WorkspacePool& pool_;
+    std::vector<T> buf_;
+    bool reused_;
+  };
+
+  [[nodiscard]] Lease lease() { return Lease(*this); }
+
+  /// Drops every cached buffer. Called at simulation start so the first
+  /// lease of a run is a deterministic miss — a pool left warm by a prior
+  /// run on the same thread would otherwise make the scratch counters
+  /// differ between serial and parallel sweeps.
+  void purge() { free_.clear(); }
+
+  /// The calling thread's pool for element type T.
+  [[nodiscard]] static WorkspacePool& local() {
+    thread_local WorkspacePool pool;
+    return pool;
+  }
+
+ private:
+  // Bounds idle memory: buffers beyond this are freed on release.
+  static constexpr std::size_t kMaxFree = 8;
+
+  std::vector<T> acquire() {
+    if (free_.empty()) return {};
+    std::vector<T> buf = std::move(free_.back());
+    free_.pop_back();
+    return buf;
+  }
+
+  void release(std::vector<T> buf) {
+    if (free_.size() >= kMaxFree) return;  // let it free
+    buf.clear();                           // keep capacity
+    free_.push_back(std::move(buf));
+  }
+
+  std::vector<std::vector<T>> free_;
+};
+
+/// Byte workspaces — the common case (wire payload scratch).
+using BytePool = WorkspacePool<std::uint8_t>;
+
+}  // namespace ratcon

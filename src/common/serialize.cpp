@@ -1,6 +1,7 @@
 #include "common/serialize.hpp"
 
 #include <cstring>
+#include <limits>
 
 namespace ratcon {
 
@@ -21,13 +22,26 @@ void Writer::u64(std::uint64_t v) {
   }
 }
 
+namespace {
+
+// The length prefix is a u32; a larger payload would encode a truncated
+// prefix that decodes as garbage, so it is a hard encode-time error.
+std::uint32_t checked_len(std::size_t size) {
+  if (size > std::numeric_limits<std::uint32_t>::max()) {
+    throw CodecError("Writer: payload exceeds u32 length prefix");
+  }
+  return static_cast<std::uint32_t>(size);
+}
+
+}  // namespace
+
 void Writer::bytes(ByteSpan data) {
-  u32(static_cast<std::uint32_t>(data.size()));
+  u32(checked_len(data.size()));
   raw(data);
 }
 
 void Writer::str(std::string_view s) {
-  u32(static_cast<std::uint32_t>(s.size()));
+  u32(checked_len(s.size()));
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
@@ -70,33 +84,44 @@ std::uint64_t Reader::u64() {
   return v;
 }
 
-Bytes Reader::raw(std::size_t n) {
+ByteSpan Reader::view(std::size_t n) {
   need(n);
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  const ByteSpan out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
+}
+
+ByteSpan Reader::bytes_view(std::size_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) throw CodecError("Reader: length field exceeds limit");
+  return view(len);
+}
+
+std::string_view Reader::str_view(std::size_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) throw CodecError("Reader: string length exceeds limit");
+  const ByteSpan v = view(len);
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+Bytes Reader::raw(std::size_t n) {
+  const ByteSpan v = view(n);
+  return Bytes(v.begin(), v.end());
 }
 
 void Reader::raw_into(std::uint8_t* out, std::size_t n) {
-  need(n);
-  std::memcpy(out, data_.data() + pos_, n);
-  pos_ += n;
+  const ByteSpan v = view(n);
+  std::memcpy(out, v.data(), n);
 }
 
 Bytes Reader::bytes(std::size_t max_len) {
-  const std::uint32_t len = u32();
-  if (len > max_len) throw CodecError("Reader: length field exceeds limit");
-  return raw(len);
+  const ByteSpan v = bytes_view(max_len);
+  return Bytes(v.begin(), v.end());
 }
 
 std::string Reader::str(std::size_t max_len) {
-  const std::uint32_t len = u32();
-  if (len > max_len) throw CodecError("Reader: string length exceeds limit");
-  need(len);
-  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
-  pos_ += len;
-  return out;
+  const std::string_view v = str_view(max_len);
+  return std::string(v);
 }
 
 std::uint32_t Reader::count(std::uint32_t max_count) {

@@ -33,10 +33,12 @@ class Writer {
   /// Raw bytes, no length prefix (for fixed-size fields like hashes).
   void raw(ByteSpan data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
 
-  /// Length-prefixed bytes.
+  /// Length-prefixed bytes. Throws CodecError when `data.size()` exceeds
+  /// UINT32_MAX: the u32 prefix cannot represent it, and truncating the
+  /// size would emit a prefix that decodes as garbage.
   void bytes(ByteSpan data);
 
-  /// Length-prefixed UTF-8 string.
+  /// Length-prefixed UTF-8 string. Same overflow contract as bytes().
   void str(std::string_view s);
 
   [[nodiscard]] const Bytes& data() const { return buf_; }
@@ -49,6 +51,15 @@ class Writer {
 
 /// Bounds-checked binary decoder matching Writer's format. Every read
 /// throws CodecError when the buffer is exhausted.
+///
+/// Two read families share one validation path:
+///  * Owning reads (`raw`, `bytes`, `str`) copy into fresh storage.
+///  * Zero-copy reads (`view`, `bytes_view`, `str_view`) return spans into
+///    the underlying buffer — no allocation; the view is valid only while
+///    the buffer the Reader was constructed over stays alive.
+/// Every one of them funnels through `view()`, which bounds-checks the
+/// requested length *before* any allocation happens — a hostile length
+/// prefix is rejected while it is still just an integer.
 class Reader {
  public:
   explicit Reader(ByteSpan data) : data_(data) {}
@@ -60,16 +71,28 @@ class Reader {
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   bool boolean() { return u8() != 0; }
 
-  /// Reads exactly `n` raw bytes (fixed-size fields).
+  /// Zero-copy read of exactly `n` raw bytes: bounds-checks, advances, and
+  /// returns a span into the underlying buffer.
+  ByteSpan view(std::size_t n);
+
+  /// Zero-copy length-prefixed bytes: validates the u32 prefix against
+  /// `max_len` and the remaining buffer, then returns the body as a span.
+  ByteSpan bytes_view(std::size_t max_len = kDefaultMaxLen);
+
+  /// Zero-copy length-prefixed string.
+  std::string_view str_view(std::size_t max_len = kDefaultMaxLen);
+
+  /// Reads exactly `n` raw bytes (fixed-size fields), copying.
   Bytes raw(std::size_t n);
 
   /// Copies `n` raw bytes into `out` (for std::array destinations).
   void raw_into(std::uint8_t* out, std::size_t n);
 
-  /// Length-prefixed bytes. `max_len` guards against hostile length fields.
+  /// Length-prefixed bytes, copying. `max_len` guards against hostile
+  /// length fields; validation happens before the copy is allocated.
   Bytes bytes(std::size_t max_len = kDefaultMaxLen);
 
-  /// Length-prefixed string.
+  /// Length-prefixed string, copying. Same validation order as bytes().
   std::string str(std::size_t max_len = kDefaultMaxLen);
 
   /// Reads a u32 element count, bounded by `max_count`.

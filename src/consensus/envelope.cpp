@@ -1,5 +1,6 @@
 #include "consensus/envelope.hpp"
 
+#include "common/pool.hpp"
 #include "crypto/sha256.hpp"
 #include "harness/profiler.hpp"
 
@@ -7,6 +8,114 @@ namespace ratcon::consensus {
 
 using harness::ProfTimer;
 using harness::prof_count;
+
+namespace {
+
+// Little-endian loads at fixed offsets (the wire is byte-addressed; no
+// alignment assumption).
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+// Canonical signing bytes for an envelope header + body digest. Appended
+// by hand so pooled buffers can be reused; the layout must stay
+// byte-identical to the historical Writer-built payload
+// (str "ratcon-envelope", u8 proto, u8 type, u64 round, u32 from, digest).
+void append_signing_payload(Bytes& out, ProtoId proto, std::uint8_t type,
+                            Round round, NodeId from,
+                            const crypto::Hash256& digest) {
+  static constexpr char kDomain[] = "ratcon-envelope";
+  static constexpr std::uint32_t kDomainLen = sizeof(kDomain) - 1;
+  out.reserve(out.size() + 4 + kDomainLen + 1 + 1 + 8 + 4 + digest.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(kDomainLen >> (8 * i)));
+  }
+  out.insert(out.end(), kDomain, kDomain + kDomainLen);
+  out.push_back(static_cast<std::uint8_t>(proto));
+  out.push_back(type);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(round >> (8 * i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(from >> (8 * i)));
+  }
+  out.insert(out.end(), digest.begin(), digest.end());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WireView — the zero-copy decode path
+
+WireView WireView::parse(ByteSpan wire, std::size_t max_body) {
+  ProfTimer timer(harness::kL1SerializeNs, harness::kL2DecodeNs);
+  if (wire.size() < kWireMinSize) {
+    throw CodecError("WireView: wire shorter than fixed envelope layout");
+  }
+  const std::size_t body_len = load_u32(wire.data() + 14);
+  if (body_len > max_body) {
+    throw CodecError("WireView: body length exceeds per-call cap");
+  }
+  // The body length must account for the buffer exactly: anything shorter
+  // is truncation, anything longer is trailing garbage. This is the
+  // fixed-layout equivalent of Reader::expect_done().
+  if (body_len != wire.size() - kWireMinSize) {
+    throw CodecError("WireView: body length disagrees with wire size");
+  }
+  WireView v;
+  v.proto = static_cast<ProtoId>(wire[0]);
+  v.type = wire[1];
+  v.round = load_u64(wire.data() + 2);
+  v.from = load_u32(wire.data() + 10);
+  v.wire_ = wire;
+  v.body_ = wire.subspan(kWireHeaderSize, body_len);
+  prof_count(harness::kL3BytesDecoded, static_cast<double>(wire.size()));
+  prof_count(harness::kL3ZeroCopyDecodes);
+  return v;
+}
+
+crypto::Signature WireView::signature() const {
+  crypto::Signature sig;
+  const std::uint8_t* tail = wire_.data() + wire_.size() - sig.bytes.size();
+  std::copy(tail, tail + sig.bytes.size(), sig.bytes.begin());
+  return sig;
+}
+
+crypto::Hash256 WireView::body_digest() const {
+  return crypto::sha256(body_);
+}
+
+void WireView::signing_payload_into(Bytes& out) const {
+  out.clear();
+  append_signing_payload(out, proto, type, round, from, body_digest());
+}
+
+Envelope WireView::to_envelope() const {
+  Envelope env;
+  env.proto = proto;
+  env.type = type;
+  env.round = round;
+  env.from = from;
+  env.sig = signature();
+  env.body_.assign(body_.begin(), body_.end());
+  prof_count(harness::kL3OwningDecodes);
+  prof_count(harness::kL3BodyBytesCopied, static_cast<double>(body_.size()));
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// Envelope — the owning encode/sign side
 
 const crypto::Hash256& Envelope::body_digest() const {
   if (digest_valid_) {
@@ -33,31 +142,16 @@ Bytes Envelope::encode() const {
   return out;
 }
 
-Envelope Envelope::decode(ByteSpan wire) {
-  ProfTimer timer(harness::kL1SerializeNs, harness::kL2DecodeNs);
-  Reader r(wire);
-  Envelope env;
-  env.proto = static_cast<ProtoId>(r.u8());
-  env.type = r.u8();
-  env.round = r.u64();
-  env.from = r.u32();
-  env.body_ = r.bytes();
-  r.raw_into(env.sig.bytes.data(), env.sig.bytes.size());
-  r.expect_done();
-  prof_count(harness::kL3BytesDecoded, static_cast<double>(wire.size()));
-  return env;
+Envelope Envelope::decode(ByteSpan wire, std::size_t max_body) {
+  // Structural validation is shared with the zero-copy path; the body copy
+  // happens only after every length check has passed.
+  return WireView::parse(wire, max_body).to_envelope();
 }
 
 Bytes Envelope::signing_payload() const {
-  Writer w;
-  w.str("ratcon-envelope");
-  w.u8(static_cast<std::uint8_t>(proto));
-  w.u8(type);
-  w.u64(round);
-  w.u32(from);
-  const crypto::Hash256& body_hash = body_digest();
-  w.raw(ByteSpan(body_hash.data(), body_hash.size()));
-  return w.take();
+  Bytes out;
+  append_signing_payload(out, proto, type, round, from, body_digest());
+  return out;
 }
 
 Envelope make_envelope(ProtoId proto, std::uint8_t type, Round round,
@@ -68,7 +162,12 @@ Envelope make_envelope(ProtoId proto, std::uint8_t type, Round round,
   env.round = round;
   env.from = from;
   env.set_body(std::move(body));
-  const Bytes payload = env.signing_payload();
+  auto scratch = BytePool::local().lease();
+  prof_count(scratch.reused() ? harness::kL3ScratchReuses
+                              : harness::kL3ScratchMisses);
+  Bytes& payload = scratch.get();
+  append_signing_payload(payload, proto, type, round, from,
+                         env.body_digest());
   env.sig = crypto::sign(sk, ByteSpan(payload.data(), payload.size()));
   prof_count(harness::kL3EnvelopesSigned);
   return env;
@@ -76,11 +175,29 @@ Envelope make_envelope(ProtoId proto, std::uint8_t type, Round round,
 
 bool verify_envelope(const Envelope& env,
                      const crypto::KeyRegistry& registry) {
-  const Bytes payload = env.signing_payload();
+  auto scratch = BytePool::local().lease();
+  prof_count(scratch.reused() ? harness::kL3ScratchReuses
+                              : harness::kL3ScratchMisses);
+  Bytes& payload = scratch.get();
+  append_signing_payload(payload, env.proto, env.type, env.round, env.from,
+                         env.body_digest());
   const crypto::PublicKey pk = registry.public_key(env.from);
   prof_count(harness::kL3EnvelopesVerified);
   return registry.verify(pk, ByteSpan(payload.data(), payload.size()),
                          env.sig);
+}
+
+bool verify_wire(const WireView& view, const crypto::KeyRegistry& registry) {
+  auto scratch = BytePool::local().lease();
+  prof_count(scratch.reused() ? harness::kL3ScratchReuses
+                              : harness::kL3ScratchMisses);
+  Bytes& payload = scratch.get();
+  append_signing_payload(payload, view.proto, view.type, view.round,
+                         view.from, view.body_digest());
+  const crypto::PublicKey pk = registry.public_key(view.from);
+  prof_count(harness::kL3EnvelopesVerified);
+  return registry.verify(pk, ByteSpan(payload.data(), payload.size()),
+                         view.signature());
 }
 
 }  // namespace ratcon::consensus

@@ -8,13 +8,80 @@ namespace ratcon::consensus {
 
 /// Wire envelope carried by every consensus message:
 ///
-///   [proto u8][type u8][round u64][from u32][body bytes][sig 32B]
+///   [proto u8][type u8][round u64][from u32][body-len u32][body][sig 32B]
 ///
-/// The first two bytes double as the traffic-stats header. The signature
-/// covers (proto, type, round, from, H(body)), so envelopes cannot be
-/// replayed across rounds or attributed to other senders; the Recv
-/// procedures of all protocols verify it before acting (paper Figure 1:
-/// "any message coming through it will contain only valid signatures").
+/// Every field before the body sits at a fixed offset, the body length is
+/// explicit, and the signature is the fixed-size tail — so a decoder can
+/// validate the whole structure from three integers before touching a
+/// single payload byte. The first two bytes double as the traffic-stats
+/// header. The signature covers (proto, type, round, from, H(body)), so
+/// envelopes cannot be replayed across rounds or attributed to other
+/// senders; the Recv procedures of all protocols verify it before acting
+/// (paper Figure 1: "any message coming through it will contain only valid
+/// signatures").
+///
+/// Two decode paths exist over this one layout (the wire bytes are
+/// identical either way):
+///
+///  * `WireView::parse` — the zero-copy hot path. Fixed-offset reads, body
+///    exposed as a span into the caller's buffer, nothing allocated. Valid
+///    only while that buffer lives; protocol handlers consume it within
+///    one delivery and never retain it.
+///  * `Envelope::decode` — the owning path. Copies the body out so the
+///    result is self-contained (buffering, tests, tools). Both paths
+///    validate length-before-allocation and reject trailing garbage.
+inline constexpr std::size_t kWireHeaderSize = 18;  // proto..body-len
+inline constexpr std::size_t kWireMinSize =
+    kWireHeaderSize + crypto::kSignatureSize;
+
+class Envelope;
+
+/// Zero-copy view over one encoded envelope. Header fields are parsed into
+/// plain members (they are a handful of integers); the body stays a span
+/// into the wire buffer. A WireView is a *borrow*: it must not outlive the
+/// buffer handed to parse(), and handlers that need the message beyond the
+/// current delivery materialize it with to_envelope().
+class WireView {
+ public:
+  ProtoId proto = ProtoId::kPrft;
+  std::uint8_t type = 0;
+  Round round = 0;
+  NodeId from = kNoNode;
+
+  WireView() = default;
+
+  /// Parses `wire` in place. Throws CodecError when the buffer is shorter
+  /// than the fixed layout, when the body length disagrees with the buffer
+  /// size (truncation or trailing garbage), or when the body exceeds
+  /// `max_body` — all before any allocation, so a hostile length field is
+  /// rejected while it is still just an integer.
+  static WireView parse(ByteSpan wire,
+                        std::size_t max_body = Reader::kDefaultMaxLen);
+
+  [[nodiscard]] ByteSpan body() const { return body_; }
+  [[nodiscard]] ByteSpan wire() const { return wire_; }
+
+  /// The signature tail (fixed 32 bytes), copied into its value type.
+  [[nodiscard]] crypto::Signature signature() const;
+
+  /// H(body), computed over the viewed bytes — never read from the wire.
+  [[nodiscard]] crypto::Hash256 body_digest() const;
+
+  /// Canonical signing bytes, appended into `out` (cleared first). Shared
+  /// with Envelope so both paths sign and verify identical payloads.
+  void signing_payload_into(Bytes& out) const;
+
+  /// Owning copy (the only body copy on the hot path, taken exactly when a
+  /// message must outlive its delivery — e.g. future-round buffering).
+  [[nodiscard]] Envelope to_envelope() const;
+
+ private:
+  ByteSpan wire_{};
+  ByteSpan body_{};
+};
+
+/// Owning envelope: the encode/sign side, and the self-contained decode
+/// used where lifetime outlasts the wire buffer.
 ///
 /// H(body) is cached per object: signing and verifying the same envelope
 /// hash the body once, not once per signing_payload() call. The body is
@@ -40,11 +107,17 @@ class Envelope {
   [[nodiscard]] const crypto::Hash256& body_digest() const;
 
   [[nodiscard]] Bytes encode() const;
-  static Envelope decode(ByteSpan wire);
+
+  /// Owning decode. `max_body` rejects oversized bodies before the copy is
+  /// allocated (and before any signature check could be reached).
+  static Envelope decode(ByteSpan wire,
+                         std::size_t max_body = Reader::kDefaultMaxLen);
 
   [[nodiscard]] Bytes signing_payload() const;
 
  private:
+  friend class WireView;
+
   Bytes body_;
   mutable crypto::Hash256 digest_{};
   mutable bool digest_valid_ = false;
@@ -56,5 +129,10 @@ Envelope make_envelope(ProtoId proto, std::uint8_t type, Round round,
 
 /// Verifies the envelope signature against the trusted-setup registry.
 bool verify_envelope(const Envelope& env, const crypto::KeyRegistry& registry);
+
+/// Zero-copy verification: same signature check as verify_envelope, with
+/// the digest taken over the viewed body span and the signing payload built
+/// in pooled scratch — no per-message allocation after warm-up.
+bool verify_wire(const WireView& view, const crypto::KeyRegistry& registry);
 
 }  // namespace ratcon::consensus

@@ -21,6 +21,37 @@ std::uint64_t sig_prefix64(const crypto::Signature& sig) {
   return v;
 }
 
+// Upper bound on the body size per message type, enforced before the body
+// is hashed for signature verification. Fixed-layout bodies get their
+// exact wire size; certificate-bearing bodies the size implied by the
+// codec's signature-count cap; block- and evidence-carrying bodies keep
+// the codec default. A cap can therefore only reject bodies the codec
+// would reject anyway — just earlier, while the length is still an
+// integer.
+constexpr std::size_t kPhaseSigWire = 4 + 32;  // signer u32 + sig 32B
+constexpr std::size_t kCertWireMax =           // phase+round+value+count+sigs
+    1 + 8 + 32 + 4 + kPhaseSigWire * (std::size_t{1} << 16);
+
+std::size_t max_body(MsgType t) {
+  switch (t) {
+    case MsgType::kVote:
+    case MsgType::kFinal:
+      return 32 + 2 * kPhaseSigWire;  // h + two phase signatures
+    case MsgType::kViewChange:
+      return 1 + kPhaseSigWire;  // stalled phase + vc signature
+    case MsgType::kCommit:
+      return 32 + 2 * kPhaseSigWire + kCertWireMax;
+    case MsgType::kCommitView:
+      return kPhaseSigWire + kCertWireMax;
+    case MsgType::kPropose:  // carries a block (bounded by the tx codec)
+    case MsgType::kReveal:   // O(n) commit evidences, each with a cert
+    case MsgType::kExpose:   // fraud set
+    case MsgType::kSync:     // chain suffix
+    default:
+      return Reader::kDefaultMaxLen;
+  }
+}
+
 }  // namespace
 
 PrftNode::PrftNode(Deps deps)
@@ -40,31 +71,34 @@ void PrftNode::on_start(net::Context& ctx) {
 }
 
 void PrftNode::on_message(net::Context& ctx, NodeId from, const Bytes& data) {
-  Envelope env;
+  consensus::WireView view;
   try {
-    env = Envelope::decode(ByteSpan(data.data(), data.size()));
+    view = consensus::WireView::parse(ByteSpan(data.data(), data.size()));
   } catch (const CodecError&) {
     return;  // malformed — Byzantine garbage is dropped silently
   }
-  if (env.proto != kProto) return;
-  if (env.from >= cfg_.n) return;
-  if (!consensus::verify_envelope(env, *registry_)) return;
+  if (view.proto != kProto) return;
+  if (view.from >= cfg_.n) return;
+  const auto type = static_cast<MsgType>(view.type);
+  // Oversized for its type: reject before the body is hashed or decoded.
+  if (view.body().size() > max_body(type)) return;
+  if (!consensus::verify_wire(view, *registry_)) return;
   (void)from;  // authenticity comes from the signature, not the channel
 
-  if (env.round > round_ &&
-      static_cast<MsgType>(env.type) != MsgType::kSync) {
-    // Not in that round yet; replay once we advance (the network already
-    // delivered it, so no re-count in stats). Sync bypasses the gate: it is
-    // precisely for nodes that lag behind the sender's round. The envelope
-    // is buffered verified, so the replay skips decode + verify.
+  if (view.round > round_ && type != MsgType::kSync) {
+    // Not in that round yet; buffer the verified wire bytes and replay once
+    // we advance (the network already delivered it, so no re-count in
+    // stats). Sync bypasses the gate: it is precisely for nodes that lag
+    // behind the sender's round. Replay re-parses the fixed-offset header
+    // and skips the signature verification done here.
     harness::prof_count(harness::kL3FutureRoundBuffered);
-    future_[env.round].push_back(std::move(env));
+    future_[view.round].push_back(data);
     return;
   }
-  dispatch(ctx, env);
+  dispatch(ctx, view);
 }
 
-void PrftNode::dispatch(net::Context& ctx, const Envelope& env) {
+void PrftNode::dispatch(net::Context& ctx, const WireView& env) {
   try {
     switch (static_cast<MsgType>(env.type)) {
       case MsgType::kPropose: handle_propose(ctx, env); break;
@@ -121,19 +155,26 @@ void PrftNode::advance_round(net::Context& ctx, Round r, bool failed) {
   consecutive_failures_ = failed ? consecutive_failures_ + 1 : 0;
   ctx.cancel_timer(kPhaseTimer);
   start_round(ctx);
-  // Replay buffered messages for the new round. They were decoded and
-  // verified on arrival, so this dispatches directly; re-gate the round in
-  // case a handler advanced it again mid-replay.
+  // Replay buffered messages for the new round. Their signatures were
+  // verified on arrival, so this re-parses the fixed-offset header and
+  // dispatches directly; re-gate the round in case a handler advanced it
+  // again mid-replay.
   auto it = future_.find(round_);
   if (it != future_.end()) {
     auto pending = std::move(it->second);
     future_.erase(it);
-    for (auto& env : pending) {
+    for (Bytes& wire : pending) {
       harness::prof_count(harness::kL3FutureRoundReplayed);
-      if (env.round > round_) {
-        future_[env.round].push_back(std::move(env));
+      consensus::WireView view;
+      try {
+        view = consensus::WireView::parse(ByteSpan(wire.data(), wire.size()));
+      } catch (const CodecError&) {
+        continue;  // unreachable: buffered wires parsed cleanly on arrival
+      }
+      if (view.round > round_) {
+        future_[view.round].push_back(std::move(wire));
       } else {
-        dispatch(ctx, env);
+        dispatch(ctx, view);
       }
     }
   }
@@ -322,8 +363,8 @@ bool PrftNode::verify_cert_cached(const Certificate& cert, PhaseTag phase,
 // ---------------------------------------------------------------------------
 // Handlers (the "On Recv." arms of Figure 1)
 
-void PrftNode::handle_propose(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body().data(), env.body().size()));
+void PrftNode::handle_propose(net::Context& ctx, const WireView& env) {
+  Reader reader(env.body());
   const ProposeBody body = ProposeBody::decode(reader);
   const Round r = env.round;
   const NodeId leader = cfg_.leader(r);
@@ -365,8 +406,8 @@ void PrftNode::handle_propose(net::Context& ctx, const Envelope& env) {
   check_vote_quorum(ctx, r, rs);
 }
 
-void PrftNode::handle_vote(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body().data(), env.body().size()));
+void PrftNode::handle_vote(net::Context& ctx, const WireView& env) {
+  Reader reader(env.body());
   const VoteBody body = VoteBody::decode(reader);
   const Round r = env.round;
   if (body.vote_sig.signer >= cfg_.n) return;
@@ -397,8 +438,8 @@ void PrftNode::check_vote_quorum(net::Context& ctx, Round r, RoundState& rs) {
   check_commit_quorum(ctx, r, rs);
 }
 
-void PrftNode::handle_commit(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body().data(), env.body().size()));
+void PrftNode::handle_commit(net::Context& ctx, const WireView& env) {
+  Reader reader(env.body());
   const CommitBody body = CommitBody::decode(reader);
   const Round r = env.round;
   if (body.commit_sig.signer >= cfg_.n) return;
@@ -454,8 +495,8 @@ void PrftNode::check_commit_quorum(net::Context& ctx, Round r,
   }
 }
 
-void PrftNode::handle_reveal(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body().data(), env.body().size()));
+void PrftNode::handle_reveal(net::Context& ctx, const WireView& env) {
+  Reader reader(env.body());
   const RevealBody body = RevealBody::decode(reader);
   const Round r = env.round;
   if (body.reveal_sig.signer >= cfg_.n) return;
@@ -531,8 +572,8 @@ void PrftNode::check_reveal_progress(net::Context& ctx, Round r,
   }
 }
 
-void PrftNode::handle_final(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body().data(), env.body().size()));
+void PrftNode::handle_final(net::Context& ctx, const WireView& env) {
+  Reader reader(env.body());
   const FinalBody body = FinalBody::decode(reader);
   const Round r = env.round;
   if (body.final_sig.signer >= cfg_.n) return;
@@ -659,8 +700,8 @@ void PrftNode::retry_stale_proposals(net::Context& ctx) {
   }
 }
 
-void PrftNode::handle_expose(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body().data(), env.body().size()));
+void PrftNode::handle_expose(net::Context& ctx, const WireView& env) {
+  Reader reader(env.body());
   const ExposeBody body = ExposeBody::decode(reader);
   const Round r = env.round;
 
@@ -738,8 +779,8 @@ void PrftNode::trigger_view_change(net::Context& ctx, Round r,
   if (r == round_) ctx.set_timer(kPhaseTimer, phase_timeout());
 }
 
-void PrftNode::handle_view_change(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body().data(), env.body().size()));
+void PrftNode::handle_view_change(net::Context& ctx, const WireView& env) {
+  Reader reader(env.body());
   const ViewChangeBody body = ViewChangeBody::decode(reader);
   const Round r = env.round;
   if (body.vc_sig.signer >= cfg_.n) return;
@@ -816,8 +857,8 @@ void PrftNode::check_vc_quorum(net::Context& ctx, Round r, RoundState& rs) {
   }
 }
 
-void PrftNode::handle_commit_view(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body().data(), env.body().size()));
+void PrftNode::handle_commit_view(net::Context& ctx, const WireView& env) {
+  Reader reader(env.body());
   const CommitViewBody body = CommitViewBody::decode(reader);
   const Round r = env.round;
   if (body.cv_sig.signer >= cfg_.n) return;
@@ -928,8 +969,8 @@ void PrftNode::maybe_send_sync(net::Context& ctx, NodeId peer) {
   ctx.send(peer, encode_env(MsgType::kSync, final_round, w.take()));
 }
 
-void PrftNode::handle_sync(net::Context& ctx, const Envelope& env) {
-  Reader reader(ByteSpan(env.body().data(), env.body().size()));
+void PrftNode::handle_sync(net::Context& ctx, const WireView& env) {
+  Reader reader(env.body());
   const SyncBody body = SyncBody::decode(reader);
   if (body.blocks.empty()) return;
   const crypto::Hash256 tip = body.blocks.back().hash();

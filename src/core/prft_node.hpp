@@ -17,6 +17,7 @@ namespace ratcon::prft {
 using consensus::Config;
 using consensus::Envelope;
 using consensus::FraudTracker;
+using consensus::WireView;
 
 /// The protocol-agnostic strategy hooks live in consensus::Behavior so the
 /// same rational strategies (π_abs, π_pc, lazy-vote, free-ride) drive every
@@ -181,15 +182,17 @@ class PrftNode : public consensus::IReplica {
  private:
   static constexpr std::uint64_t kPhaseTimer = 1;
 
-  // Message handlers (post envelope verification).
-  void handle_propose(net::Context& ctx, const Envelope& env);
-  void handle_vote(net::Context& ctx, const Envelope& env);
-  void handle_commit(net::Context& ctx, const Envelope& env);
-  void handle_reveal(net::Context& ctx, const Envelope& env);
-  void handle_expose(net::Context& ctx, const Envelope& env);
-  void handle_final(net::Context& ctx, const Envelope& env);
-  void handle_view_change(net::Context& ctx, const Envelope& env);
-  void handle_commit_view(net::Context& ctx, const Envelope& env);
+  // Message handlers (post envelope verification). They receive a borrowed
+  // zero-copy view over the wire buffer; anything a handler keeps beyond
+  // the call decodes into owning body structs, never the view itself.
+  void handle_propose(net::Context& ctx, const WireView& env);
+  void handle_vote(net::Context& ctx, const WireView& env);
+  void handle_commit(net::Context& ctx, const WireView& env);
+  void handle_reveal(net::Context& ctx, const WireView& env);
+  void handle_expose(net::Context& ctx, const WireView& env);
+  void handle_final(net::Context& ctx, const WireView& env);
+  void handle_view_change(net::Context& ctx, const WireView& env);
+  void handle_commit_view(net::Context& ctx, const WireView& env);
 
   void start_round(net::Context& ctx);
   void enter_phase(net::Context& ctx, RoundState& rs, Phase phase);
@@ -212,9 +215,9 @@ class PrftNode : public consensus::IReplica {
   bool verify_cert_cached(const Certificate& cert, PhaseTag phase, Round r,
                           const crypto::Hash256& value,
                           std::uint32_t min_sigs);
-  void dispatch(net::Context& ctx, const Envelope& env);
+  void dispatch(net::Context& ctx, const WireView& env);
   void maybe_send_sync(net::Context& ctx, NodeId peer);
-  void handle_sync(net::Context& ctx, const Envelope& env);
+  void handle_sync(net::Context& ctx, const WireView& env);
 
   /// Signature verification with memoization (certificates repeat the same
   /// signatures across many messages).
@@ -237,11 +240,11 @@ class PrftNode : public consensus::IReplica {
   std::map<Round, RoundState> rounds_;
   std::map<crypto::Hash256, ledger::Block> block_store_;
   // Messages for rounds we have not entered yet, replayed on entry. Stored
-  // as decoded envelopes that already passed signature verification — the
-  // replay dispatches them directly instead of re-decoding and re-verifying
-  // the wire bytes (the envelope is immutable while buffered, so the
-  // verification performed on arrival still stands).
-  std::map<Round, std::vector<Envelope>> future_;
+  // as raw wire bytes that already passed signature verification on
+  // arrival — the replay re-parses the fixed-offset header (cheap) and
+  // dispatches directly, skipping the signature check (the bytes are
+  // immutable while buffered, so the verification still stands).
+  std::map<Round, std::vector<Bytes>> future_;
   // Rounds whose block reached final consensus but could not be adopted yet
   // (missing parent / stale local state): value = block hash.
   std::map<Round, crypto::Hash256> pending_adopt_;

@@ -50,6 +50,11 @@ const char* to_string(ProfItem item) {
     case kL3EnvelopesVerified: return "envelopes_verified";
     case kL3BytesEncoded: return "bytes_encoded";
     case kL3BytesDecoded: return "bytes_decoded";
+    case kL3ZeroCopyDecodes: return "zero_copy_decodes";
+    case kL3OwningDecodes: return "owning_decodes";
+    case kL3BodyBytesCopied: return "body_bytes_copied";
+    case kL3ScratchReuses: return "scratch_reuses";
+    case kL3ScratchMisses: return "scratch_misses";
     case kL3MerkleLeaves: return "merkle_leaves";
     case kL3EventsScheduled: return "events_scheduled";
     case kL3EventsDispatched: return "events_dispatched";

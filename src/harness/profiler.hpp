@@ -69,6 +69,11 @@ enum ProfItem : std::uint16_t {
   kL3EnvelopesVerified,
   kL3BytesEncoded,
   kL3BytesDecoded,
+  kL3ZeroCopyDecodes,   ///< WireView::parse calls (no body copy)
+  kL3OwningDecodes,     ///< WireView::to_envelope / Envelope::decode calls
+  kL3BodyBytesCopied,   ///< bytes copied out of the wire by owning decodes
+  kL3ScratchReuses,     ///< workspace-pool leases that recycled capacity
+  kL3ScratchMisses,     ///< workspace-pool leases that had to allocate
   kL3MerkleLeaves,
   kL3EventsScheduled,
   kL3EventsDispatched,

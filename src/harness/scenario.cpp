@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/pool.hpp"
 #include "harness/protocols.hpp"
 
 namespace ratcon::harness {
@@ -173,6 +174,10 @@ Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
   // SetDefaultLevel() governs every worker thread.
   Profiler::Get().SetLevel(Profiler::DefaultLevel());
   Profiler::Get().Reset();
+  // The wire-scratch pool restarts cold with the run for the same reason:
+  // a pool left warm by a prior run on this thread would make the scratch
+  // reuse/miss counters differ between serial and parallel sweeps.
+  BytePool::local().purge();
 
   const ProtocolTraits& traits = protocol_traits(spec_.protocol);
   const CommitteeSpec& com = spec_.committee;

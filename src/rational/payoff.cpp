@@ -143,10 +143,13 @@ PayoffReport PayoffAccountant::account(harness::Simulation& sim) const {
     if (burn_it != first_burn.end() && window > 0) {
       p.rounds[charge_index(burn_it->second)].penalized = true;
     }
-    p.messages = sim.net().stats().for_sender(id).count;
+    const net::MsgCounter sent = sim.net().stats().for_sender(id);
+    p.messages = sent.count;
+    p.bytes_sent = sent.bytes;
     p.txs_included = fee_txs[id];
     p.utility = game::discounted_utility(p.rounds, p.theta, params_.util) -
-                params_.msg_cost * static_cast<double>(p.messages) +
+                params_.msg_cost * static_cast<double>(p.messages) -
+                params_.byte_cost * static_cast<double>(p.bytes_sent) +
                 fee_value[id];
   }
   return report;

@@ -21,6 +21,15 @@ struct PayoffParams {
   /// attractive in protocols that cannot punish them.
   double msg_cost = 0.0;
 
+  /// Per-wire-byte cost, charged against each player's measured sent bytes
+  /// (TrafficStats per-sender totals — the same counters Figure 3's size
+  /// column is measured from). Where msg_cost prices a send, byte_cost
+  /// prices its size, so strategies that send fewer-but-fatter messages
+  /// (certificate-heavy reveals, sync batches) pay what the wire actually
+  /// carried rather than a flat per-message rate. Default 0 preserves the
+  /// paper's cost-free model.
+  double byte_cost = 0.0;
+
   /// Per-transaction inclusion reward (fee) credited to the proposer of
   /// each finalized block, discounted by δ^(height−1) like every other
   /// Eq. 1 term. The paper's model has no fees (default 0); a positive
@@ -52,7 +61,8 @@ struct PlayerPayoff {
   std::vector<game::RoundOutcome> rounds;
   double utility = 0.0;      ///< Eq. 1 over `rounds`, minus message costs,
                              ///<   plus discounted inclusion fees
-  std::uint64_t messages = 0;  ///< wire messages this player sent
+  std::uint64_t messages = 0;    ///< wire messages this player sent
+  std::uint64_t bytes_sent = 0;  ///< wire bytes those messages carried
   /// Transactions in finalized blocks this player proposed (fee basis),
   /// counted over the canonical honest ledger.
   std::uint64_t txs_included = 0;

@@ -8,8 +8,25 @@
 namespace ratcon::sync {
 
 namespace {
+
 constexpr consensus::ProtoId kProto = consensus::ProtoId::kSync;
+
+// Per-type body caps, enforced before the body is hashed for signature
+// verification. Announce and request have fixed layouts; responses carry
+// a block batch and keep the codec default.
+std::size_t max_body(MsgType t) {
+  switch (t) {
+    case MsgType::kAnnounce:
+      return 8 + 32;  // height + tip hash
+    case MsgType::kRequest:
+      return 8 + 8;  // from/to heights
+    case MsgType::kResponse:
+    default:
+      return Reader::kDefaultMaxLen;
+  }
 }
+
+}  // namespace
 
 /// Context decorator handed to the inner replica in piggyback mode: every
 /// outgoing protocol message to a peer still owed the latest announce is
@@ -156,15 +173,19 @@ void CatchupDriver::on_message(net::Context& ctx, NodeId from,
     after_step(ctx);
     return;
   }
-  consensus::Envelope env;
+  consensus::WireView view;
   try {
-    env = consensus::Envelope::decode(ByteSpan(data.data(), data.size()));
+    view = consensus::WireView::parse(ByteSpan(data.data(), data.size()));
   } catch (const CodecError&) {
     return;
   }
-  if (env.proto != kProto || env.from >= cfg_.n || env.from == self_) return;
-  if (!consensus::verify_envelope(env, *registry_)) return;
-  handle_sync(ctx, env);
+  if (view.proto != kProto || view.from >= cfg_.n || view.from == self_) {
+    return;
+  }
+  // Oversized for its type: reject before the body is hashed or decoded.
+  if (view.body().size() > max_body(static_cast<MsgType>(view.type))) return;
+  if (!consensus::verify_wire(view, *registry_)) return;
+  handle_sync(ctx, view);
   after_step(ctx);
 }
 
@@ -178,19 +199,21 @@ void CatchupDriver::handle_container(net::Context& ctx, NodeId from,
   const std::size_t tail_at = net::kPiggybackHeader + inner_len;
   if (inner_len < 2 || tail_at >= data.size()) return;
   // Apply the riding announce first (it may unblock gap detection), then
-  // hand the protocol message to the inner replica unchanged.
-  const Bytes tail(data.begin() + static_cast<std::ptrdiff_t>(tail_at),
-                   data.end());
-  consensus::Envelope env;
+  // hand the protocol message to the inner replica unchanged. The tail is
+  // parsed in place — a zero-copy view into the container frame.
+  const ByteSpan tail(data.data() + tail_at, data.size() - tail_at);
+  consensus::WireView view;
   bool tail_ok = true;
   try {
-    env = consensus::Envelope::decode(ByteSpan(tail.data(), tail.size()));
+    view = consensus::WireView::parse(tail);
   } catch (const CodecError&) {
     tail_ok = false;
   }
-  if (tail_ok && env.proto == kProto && env.from < cfg_.n &&
-      env.from != self_ && consensus::verify_envelope(env, *registry_)) {
-    handle_sync(ctx, env);
+  if (tail_ok && view.proto == kProto && view.from < cfg_.n &&
+      view.from != self_ &&
+      view.body().size() <= max_body(static_cast<MsgType>(view.type)) &&
+      consensus::verify_wire(view, *registry_)) {
+    handle_sync(ctx, view);
   }
   const Bytes inner(data.begin() + net::kPiggybackHeader,
                     data.begin() + static_cast<std::ptrdiff_t>(tail_at));
@@ -221,7 +244,7 @@ void CatchupDriver::on_timer(net::Context& ctx, std::uint64_t timer_id) {
 }
 
 void CatchupDriver::handle_sync(net::Context& ctx,
-                                const consensus::Envelope& env) {
+                                const consensus::WireView& env) {
   try {
     switch (static_cast<MsgType>(env.type)) {
       case MsgType::kAnnounce: handle_announce(ctx, env); break;
@@ -295,9 +318,9 @@ void CatchupDriver::after_step(net::Context& ctx) {
 }
 
 void CatchupDriver::handle_announce(net::Context& ctx,
-                                    const consensus::Envelope& env) {
+                                    const consensus::WireView& env) {
   harness::ProfTimer timer(harness::kL1SyncNs, harness::kL2SyncHandleNs);
-  Reader r(ByteSpan(env.body().data(), env.body().size()));
+  Reader r(env.body());
   const AnnounceBody body = AnnounceBody::decode(r);
   r.expect_done();
   witness_[body.height][body.tip].insert(env.from);
@@ -331,9 +354,9 @@ void CatchupDriver::maybe_request(net::Context& ctx) {
 }
 
 void CatchupDriver::handle_request(net::Context& ctx,
-                                   const consensus::Envelope& env) {
+                                   const consensus::WireView& env) {
   harness::ProfTimer timer(harness::kL1SyncNs, harness::kL2SyncServeNs);
-  Reader r(ByteSpan(env.body().data(), env.body().size()));
+  Reader r(env.body());
   const RequestBody body = RequestBody::decode(r);
   r.expect_done();
   const auto& chain = inner_->chain();
@@ -364,9 +387,9 @@ void CatchupDriver::handle_request(net::Context& ctx,
 }
 
 void CatchupDriver::handle_response(net::Context& ctx,
-                                    const consensus::Envelope& env) {
+                                    const consensus::WireView& env) {
   harness::ProfTimer timer(harness::kL1SyncNs, harness::kL2SyncAdoptNs);
-  Reader r(ByteSpan(env.body().data(), env.body().size()));
+  Reader r(env.body());
   const ResponseBody body = ResponseBody::decode(r);
   r.expect_done();
 

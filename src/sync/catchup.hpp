@@ -171,10 +171,12 @@ class CatchupDriver final : public consensus::IReplica {
 
   static constexpr std::uint64_t kSyncTimer = 0x53594e43;  // 'SYNC'
 
-  void handle_sync(net::Context& ctx, const consensus::Envelope& env);
-  void handle_announce(net::Context& ctx, const consensus::Envelope& env);
-  void handle_request(net::Context& ctx, const consensus::Envelope& env);
-  void handle_response(net::Context& ctx, const consensus::Envelope& env);
+  // Sync handlers receive a borrowed zero-copy view over the wire buffer
+  // (or, in piggyback mode, over the container's tail — no tail copy).
+  void handle_sync(net::Context& ctx, const consensus::WireView& env);
+  void handle_announce(net::Context& ctx, const consensus::WireView& env);
+  void handle_request(net::Context& ctx, const consensus::WireView& env);
+  void handle_response(net::Context& ctx, const consensus::WireView& env);
   void handle_container(net::Context& ctx, NodeId from, const Bytes& data);
 
   /// Post-step bookkeeping: announce when the inner chain's finalized

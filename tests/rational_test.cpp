@@ -271,6 +271,36 @@ TEST(PayoffAccountant, MessageCostsChargePerSender) {
   }
 }
 
+TEST(PayoffAccountant, ByteCostsChargeMeasuredWireBytes) {
+  ScenarioSpec spec;
+  spec.committee.n = 7;
+  spec.seed = 61;
+  spec.budget.target_blocks = 2;
+  spec.workload.txs = 4;
+  Simulation sim(spec);
+  (void)sim.run_to_completion();
+
+  PayoffParams params;
+  params.byte_cost = 1e-6;
+  const PayoffAccountant accountant(params);
+  const PayoffReport report = accountant.account(sim);
+
+  PayoffParams free_params;  // cost-free control on the same run
+  const PayoffReport free_report = PayoffAccountant(free_params).account(sim);
+
+  for (NodeId id = 0; id < 7; ++id) {
+    const net::MsgCounter sent = sim.net().stats().for_sender(id);
+    // bytes_sent mirrors the traffic stats the size figures are built from.
+    EXPECT_EQ(report.of(id).bytes_sent, sent.bytes) << id;
+    EXPECT_GT(report.of(id).bytes_sent, 0u) << id;
+    // The utility gap vs the cost-free control is exactly the byte bill.
+    EXPECT_DOUBLE_EQ(
+        free_report.of(id).utility - report.of(id).utility,
+        params.byte_cost * static_cast<double>(sent.bytes))
+        << id;
+  }
+}
+
 TEST(PayoffAccountant, FreeRiderStillGetsTheChainThroughCatchup) {
   // π_free sends no consensus messages yet ends with the full finalized
   // chain, transferred by src/sync — the strategy the catch-up subsystem

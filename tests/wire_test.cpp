@@ -1,0 +1,362 @@
+// Adversarial decode suite: every wire-facing codec against hostile input.
+//
+// The threat model is a Byzantine sender that controls every byte a correct
+// node reads: truncation at arbitrary boundaries, trailing garbage, and
+// length/count prefixes chosen to provoke over-allocation. The contracts
+// asserted here are the ones the zero-copy hot path leans on:
+//
+//  * both decode paths (owning Envelope::decode, zero-copy WireView::parse)
+//    throw CodecError on every malformed buffer — and agree byte-for-byte
+//    on every well-formed one;
+//  * hostile lengths are rejected while they are still just integers
+//    (before any allocation and before any signature work);
+//  * a failed encode/decode leaves no partial state behind.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "consensus/envelope.hpp"
+#include "consensus/fraud.hpp"
+#include "core/messages.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sig.hpp"
+
+namespace ratcon {
+namespace {
+
+using consensus::Certificate;
+using consensus::Envelope;
+using consensus::PhaseSig;
+using consensus::PhaseTag;
+using consensus::ProtoId;
+using consensus::WireView;
+
+// Fixed offsets of the envelope layout (documented in envelope.hpp):
+// [proto u8][type u8][round u64][from u32][body-len u32][body][sig 32B].
+constexpr std::size_t kBodyLenOffset = 14;
+
+Bytes make_wire(std::size_t body_size) {
+  crypto::KeyRegistry registry;
+  const crypto::KeyPair kp = registry.generate(1, 7);
+  Bytes body(body_size, 0x5a);
+  return consensus::make_envelope(ProtoId::kPrft, 3, 42, 1, std::move(body),
+                                  kp.sk)
+      .encode();
+}
+
+void patch_u32(Bytes& wire, std::size_t offset, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    wire[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Envelope wire: both decode paths on hostile buffers
+
+TEST(EnvelopeWire, TruncationAtEveryPrefixThrowsOnBothPaths) {
+  const Bytes wire = make_wire(96);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const ByteSpan prefix(wire.data(), len);
+    EXPECT_THROW((void)Envelope::decode(prefix), CodecError) << len;
+    EXPECT_THROW((void)WireView::parse(prefix), CodecError) << len;
+  }
+}
+
+TEST(EnvelopeWire, TrailingGarbageThrowsOnBothPaths) {
+  for (std::size_t extra = 1; extra <= 3; ++extra) {
+    Bytes wire = make_wire(32);
+    wire.insert(wire.end(), extra, 0x00);
+    const ByteSpan span(wire.data(), wire.size());
+    EXPECT_THROW((void)Envelope::decode(span), CodecError) << extra;
+    EXPECT_THROW((void)WireView::parse(span), CodecError) << extra;
+  }
+}
+
+TEST(EnvelopeWire, HostileBodyLengthThrowsOnBothPaths) {
+  const Bytes good = make_wire(64);
+  // Any body-len that disagrees with the buffer is structurally invalid —
+  // including 0xFFFFFFFF, which must die as an integer comparison, never
+  // reach an allocation.
+  for (const std::uint32_t hostile :
+       {std::uint32_t{0}, std::uint32_t{63}, std::uint32_t{65},
+        std::numeric_limits<std::uint32_t>::max()}) {
+    Bytes wire = good;
+    patch_u32(wire, kBodyLenOffset, hostile);
+    const ByteSpan span(wire.data(), wire.size());
+    EXPECT_THROW((void)Envelope::decode(span), CodecError) << hostile;
+    EXPECT_THROW((void)WireView::parse(span), CodecError) << hostile;
+  }
+}
+
+TEST(EnvelopeWire, BodyCapRejectsOversizedBeforeDecode) {
+  const Bytes wire = make_wire(64);
+  const ByteSpan span(wire.data(), wire.size());
+  // One byte under the actual body size: rejected on both paths.
+  EXPECT_THROW((void)Envelope::decode(span, 63), CodecError);
+  EXPECT_THROW((void)WireView::parse(span, 63), CodecError);
+  // Exactly the body size: accepted.
+  EXPECT_EQ(Envelope::decode(span, 64).body().size(), 64u);
+  EXPECT_EQ(WireView::parse(span, 64).body().size(), 64u);
+}
+
+TEST(EnvelopeWire, ViewMatchesOwningDecode) {
+  for (const std::size_t body_size : {std::size_t{0}, std::size_t{1},
+                                      std::size_t{96}, std::size_t{4096}}) {
+    const Bytes wire = make_wire(body_size);
+    const ByteSpan span(wire.data(), wire.size());
+    const Envelope own = Envelope::decode(span);
+    const WireView view = WireView::parse(span);
+    EXPECT_EQ(own.proto, view.proto);
+    EXPECT_EQ(own.type, view.type);
+    EXPECT_EQ(own.round, view.round);
+    EXPECT_EQ(own.from, view.from);
+    EXPECT_EQ(own.sig, view.signature());
+    ASSERT_EQ(own.body().size(), view.body().size());
+    if (body_size > 0) {
+      EXPECT_EQ(std::memcmp(own.body().data(), view.body().data(), body_size),
+                0);
+    }
+    EXPECT_EQ(own.body_digest(), view.body_digest());
+    // Materializing the view re-encodes to the identical wire.
+    EXPECT_EQ(view.to_envelope().encode(), wire);
+  }
+}
+
+TEST(EnvelopeWire, SigningPayloadMatchesWriterReference) {
+  // The pooled-scratch signing payload is appended by hand; it must stay
+  // byte-identical to the historical Writer-built layout, or every
+  // signature in the system silently changes.
+  const Bytes wire = make_wire(48);
+  const ByteSpan span(wire.data(), wire.size());
+  const Envelope env = Envelope::decode(span);
+
+  Writer w;
+  w.str("ratcon-envelope");
+  w.u8(static_cast<std::uint8_t>(env.proto));
+  w.u8(env.type);
+  w.u64(env.round);
+  w.u32(env.from);
+  w.raw(ByteSpan(env.body_digest().data(), env.body_digest().size()));
+  const Bytes reference = w.take();
+
+  EXPECT_EQ(env.signing_payload(), reference);
+  Bytes via_view;
+  WireView::parse(span).signing_payload_into(via_view);
+  EXPECT_EQ(via_view, reference);
+}
+
+// ---------------------------------------------------------------------------
+// Writer: the u32 length-prefix ceiling
+
+TEST(WriterOverflow, BytesBeyondU32PrefixThrowWithoutPartialWrite) {
+  if constexpr (sizeof(std::size_t) <= 4) GTEST_SKIP();
+  // A fake-extent span: the size field lies, but the bytes are never read —
+  // Writer must reject on the integer alone, before touching the data.
+  const std::uint8_t probe = 0;
+  const std::size_t over =
+      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max()) + 1;
+
+  Writer w;
+  w.u8(0xaa);
+  EXPECT_THROW(w.bytes(ByteSpan(&probe, over)), CodecError);
+  EXPECT_EQ(w.size(), 1u) << "failed encode must not leave a partial prefix";
+  EXPECT_THROW(
+      w.str(std::string_view(reinterpret_cast<const char*>(&probe), over)),
+      CodecError);
+  EXPECT_EQ(w.size(), 1u);
+
+  // The exact ceiling is representable and accepted (probed with a small
+  // real buffer: only the *reported* size must be <= UINT32_MAX).
+  Writer ok;
+  ok.bytes(ByteSpan(&probe, 1));
+  EXPECT_EQ(ok.size(), 5u);  // u32 prefix + 1 byte
+}
+
+// ---------------------------------------------------------------------------
+// Reader: one validation path for every length-prefixed read
+
+TEST(ReaderValidation, HostileLengthPrefixRejectedOnEveryReadFamily) {
+  // u32 prefix claims 4 GiB; 4 bytes follow. Every read family — owning
+  // and zero-copy — must reject on the integer comparison.
+  Writer w;
+  w.u32(std::numeric_limits<std::uint32_t>::max());
+  w.u32(0xdeadbeef);
+  const Bytes buf = w.take();
+  const ByteSpan span(buf.data(), buf.size());
+
+  EXPECT_THROW((void)Reader(span).bytes(), CodecError);
+  EXPECT_THROW((void)Reader(span).str(), CodecError);
+  EXPECT_THROW((void)Reader(span).bytes_view(), CodecError);
+  EXPECT_THROW((void)Reader(span).str_view(), CodecError);
+}
+
+TEST(ReaderValidation, MaxLenBoundsAllReadFamiliesIdentically) {
+  Writer w;
+  w.bytes(Bytes(10, 0x11));
+  const Bytes buf = w.take();
+  const ByteSpan span(buf.data(), buf.size());
+
+  // One byte under the payload: all four spellings reject...
+  EXPECT_THROW((void)Reader(span).bytes(9), CodecError);
+  EXPECT_THROW((void)Reader(span).str(9), CodecError);
+  EXPECT_THROW((void)Reader(span).bytes_view(9), CodecError);
+  EXPECT_THROW((void)Reader(span).str_view(9), CodecError);
+  // ...and at the payload size, all four accept.
+  EXPECT_EQ(Reader(span).bytes(10).size(), 10u);
+  EXPECT_EQ(Reader(span).str(10).size(), 10u);
+  EXPECT_EQ(Reader(span).bytes_view(10).size(), 10u);
+  EXPECT_EQ(Reader(span).str_view(10).size(), 10u);
+}
+
+TEST(ReaderValidation, ViewAndCountRejectBeyondBuffer) {
+  Writer w;
+  w.u32(100);  // doubles as a hostile count prefix below
+  const Bytes buf = w.take();
+  const ByteSpan span(buf.data(), buf.size());
+
+  Reader past(span);
+  EXPECT_THROW((void)past.view(5), CodecError);
+  Reader counted(span);
+  EXPECT_THROW((void)counted.count(99), CodecError);
+  Reader counted_ok(span);
+  EXPECT_EQ(counted_ok.count(100), 100u);
+
+  Reader done(span);
+  (void)done.u32();
+  EXPECT_NO_THROW(done.expect_done());
+  Reader not_done(span);
+  (void)not_done.u16();
+  EXPECT_THROW(not_done.expect_done(), CodecError);
+}
+
+// ---------------------------------------------------------------------------
+// Body codecs: truncation sweeps + hostile counts
+
+PhaseSig test_sig(NodeId signer) {
+  PhaseSig ps;
+  ps.signer = signer;
+  return ps;
+}
+
+Certificate test_cert() {
+  Certificate cert;
+  cert.phase = PhaseTag::kVote;
+  cert.round = 9;
+  cert.value = crypto::sha256("value");
+  cert.sigs = {test_sig(0), test_sig(1), test_sig(2)};
+  return cert;
+}
+
+// Asserts the full buffer decodes cleanly (consuming everything) and every
+// strict prefix throws CodecError. All body fields are mandatory, so no
+// truncation point can yield a shorter-but-valid message.
+template <class Body>
+void sweep_truncations(const Bytes& encoded) {
+  Reader full(ByteSpan(encoded.data(), encoded.size()));
+  (void)Body::decode(full);
+  ASSERT_TRUE(full.done()) << "codec must consume its own encoding";
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    Reader r(ByteSpan(encoded.data(), len));
+    EXPECT_THROW((void)Body::decode(r), CodecError) << len;
+  }
+}
+
+TEST(BodyCodecs, RevealTruncationAtEveryBoundaryThrows) {
+  prft::RevealBody body;
+  body.h_tc = crypto::sha256("tc");
+  body.h_l = crypto::sha256("l");
+  for (NodeId id = 0; id < 3; ++id) {
+    prft::CommitEvidence ev;
+    ev.commit_sig = test_sig(id);
+    ev.vote_cert = test_cert();
+    body.commits.push_back(std::move(ev));
+  }
+  body.reveal_sig = test_sig(7);
+  Writer w;
+  body.encode(w);
+  sweep_truncations<prft::RevealBody>(w.take());
+}
+
+TEST(BodyCodecs, RevealHostileCommitCountThrows) {
+  prft::RevealBody body;
+  body.h_tc = crypto::sha256("tc");
+  body.h_l = crypto::sha256("l");
+  body.reveal_sig = test_sig(7);
+  Writer w;
+  body.encode(w);
+  Bytes encoded = w.take();
+  // The W_i count sits right after the two hashes; the decoder caps it at
+  // 2^14 before reserving a single element.
+  patch_u32(encoded, 64, std::numeric_limits<std::uint32_t>::max());
+  Reader r(ByteSpan(encoded.data(), encoded.size()));
+  EXPECT_THROW((void)prft::RevealBody::decode(r), CodecError);
+}
+
+TEST(BodyCodecs, SyncTruncationAtEveryBoundaryThrows) {
+  prft::SyncBody body;
+  body.final_round = 5;
+  for (int i = 0; i < 2; ++i) {
+    ledger::Block block;
+    block.parent = crypto::sha256("parent");
+    block.round = 4 + static_cast<Round>(i);
+    block.proposer = 0;
+    ledger::Transaction tx;
+    tx.id = 1;
+    tx.payload = Bytes(16, 0x22);
+    block.txs.push_back(std::move(tx));
+    body.blocks.push_back(std::move(block));
+  }
+  body.final_cert = test_cert();
+  Writer w;
+  body.encode(w);
+  sweep_truncations<prft::SyncBody>(w.take());
+}
+
+TEST(BodyCodecs, SyncHostileBlockCountThrows) {
+  prft::SyncBody body;
+  body.final_round = 5;
+  body.final_cert = test_cert();
+  Writer w;
+  body.encode(w);
+  Bytes encoded = w.take();
+  // Block count follows the u64 round; capped at 2^16.
+  patch_u32(encoded, 8, std::numeric_limits<std::uint32_t>::max());
+  Reader r(ByteSpan(encoded.data(), encoded.size()));
+  EXPECT_THROW((void)prft::SyncBody::decode(r), CodecError);
+}
+
+TEST(BodyCodecs, FraudSetTruncationAndHostileCountThrow) {
+  consensus::FraudSet set;
+  for (NodeId id = 0; id < 2; ++id) {
+    consensus::ConflictPair cp;
+    cp.phase = PhaseTag::kCommit;
+    cp.round = 3;
+    cp.value_a = crypto::sha256("a");
+    cp.value_b = crypto::sha256("b");
+    cp.sig_a = test_sig(id);
+    cp.sig_b = test_sig(id);
+    set.push_back(std::move(cp));
+  }
+  Writer w;
+  consensus::encode_fraud_set(w, set);
+  const Bytes encoded = w.take();
+
+  Reader full(ByteSpan(encoded.data(), encoded.size()));
+  EXPECT_EQ(consensus::decode_fraud_set(full).size(), 2u);
+  EXPECT_TRUE(full.done());
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    Reader r(ByteSpan(encoded.data(), len));
+    EXPECT_THROW((void)consensus::decode_fraud_set(r), CodecError) << len;
+  }
+
+  Bytes hostile = encoded;
+  patch_u32(hostile, 0, std::numeric_limits<std::uint32_t>::max());
+  Reader r(ByteSpan(hostile.data(), hostile.size()));
+  EXPECT_THROW((void)consensus::decode_fraud_set(r), CodecError);
+}
+
+}  // namespace
+}  // namespace ratcon
