@@ -1,8 +1,12 @@
 // Reproduces Figure 1 / Figure 2a: the normal-case execution of pRFT.
 // Runs one round of a 5-replica committee (leader + 4 replicas, matching
-// the paper's diagram) on a synchronous network and prints the actual
-// message schedule — Propose → Vote → Commit → Reveal → Final — as
-// captured from the wire, phase by phase.
+// the paper's diagram) on a synchronous network with the flight recorder
+// at level 3 and prints the actual message schedule — Propose → Vote →
+// Commit → Reveal → Final — phase by phase, from the recorded TraceEvents
+// rather than an ad-hoc wire callback. The full recording is also written
+// as Chrome-tracing JSON (BENCH_fig1_trace.json — load in chrome://tracing
+// or https://ui.perfetto.dev to see the schedule as flow arrows between
+// replica tracks).
 
 #include <cstdio>
 #include <map>
@@ -11,6 +15,7 @@
 #include "core/messages.hpp"
 #include "harness/scenario.hpp"
 #include "harness/table.hpp"
+#include "harness/trace.hpp"
 
 using namespace ratcon;
 
@@ -26,39 +31,31 @@ int main() {
   spec.workload.txs = 4;
   spec.workload.start = usec(1);
   spec.workload.interval = usec(1);
+  spec.trace_level = 3;  // full lineage: sends + receives + deliveries
   harness::Simulation sim(spec);
-
-  struct SendEvent {
-    SimTime at;
-    NodeId from, to;
-    std::uint8_t type;
-    std::size_t bytes;
-  };
-  std::vector<SendEvent> events;
-  sim.net().set_send_trace([&events](SimTime at, NodeId from, NodeId to,
-                                     std::uint8_t proto, std::uint8_t type,
-                                     std::size_t bytes) {
-    // Figure 2a draws pRFT's message schedule; substrate traffic (the
-    // catch-up layer's announces, ProtoId::kSync) is not part of it.
-    if (proto != static_cast<std::uint8_t>(consensus::ProtoId::kPrft)) {
-      return;
-    }
-    events.push_back({at, from, to, type, bytes});
-  });
 
   sim.start();
   sim.run_until(sec(10));
 
-  // Group consecutive sends into phases by message type.
-  std::map<std::uint8_t, std::pair<std::size_t, std::size_t>> per_type;
+  // The recorder holds every send with its phase (msg_type) and virtual
+  // timestamp; Figure 2a draws pRFT's schedule, so substrate traffic (the
+  // catch-up layer's announces, ProtoId::kSync) is filtered out.
+  std::vector<harness::TraceEvent> sends;
+  for (const harness::TraceEvent& ev : harness::TraceSink::Get().merged()) {
+    if (ev.kind == harness::TraceKind::kSend &&
+        ev.proto == static_cast<std::uint8_t>(consensus::ProtoId::kPrft)) {
+      sends.push_back(ev);
+    }
+  }
+
+  // Group sends into phases by message type.
+  std::map<std::uint8_t, std::size_t> per_type;
   std::map<std::uint8_t, std::pair<SimTime, SimTime>> windows;
-  for (const SendEvent& e : events) {
-    auto& [count, bytes] = per_type[e.type];
-    ++count;
-    bytes += e.bytes;
-    auto it = windows.find(e.type);
+  for (const harness::TraceEvent& e : sends) {
+    ++per_type[e.msg_type];
+    auto it = windows.find(e.msg_type);
     if (it == windows.end()) {
-      windows[e.type] = {e.at, e.at};
+      windows[e.msg_type] = {e.at, e.at};
     } else {
       it->second.first = std::min(it->second.first, e.at);
       it->second.second = std::max(it->second.second, e.at);
@@ -67,7 +64,7 @@ int main() {
 
   std::printf("Round 1, leader = P%u (l = r mod n). Message schedule:\n\n",
               sim.config().leader(1));
-  harness::Table table({"Phase", "Message", "Sends", "Expected", "Bytes",
+  harness::Table table({"Phase", "Message", "Sends", "Expected",
                         "First send", "Last send"});
   struct Row {
     prft::MsgType type;
@@ -75,8 +72,6 @@ int main() {
     const char* expected;
   };
   const std::uint32_t n = spec.committee.n;
-  const std::string n_1 = std::to_string(n - 1);
-  const std::string nn_1 = std::to_string(n * (n - 1));
   const Row rows[] = {
       {prft::MsgType::kPropose, "Propose", "n-1 (leader to replicas)"},
       {prft::MsgType::kVote, "Vote", "n(n-1) (all-to-all)"},
@@ -87,7 +82,7 @@ int main() {
   bool ok = true;
   for (const Row& row : rows) {
     const auto type = static_cast<std::uint8_t>(row.type);
-    const auto [count, bytes] = per_type[type];
+    const std::size_t count = per_type[type];
     const auto [first, last] = windows.count(type)
                                    ? windows[type]
                                    : std::pair<SimTime, SimTime>{0, 0};
@@ -96,11 +91,19 @@ int main() {
     if (count != expected) ok = false;
     table.add_row({row.phase, prft::to_string(row.type),
                    std::to_string(count), row.expected,
-                   harness::fmt_bytes(bytes),
                    harness::fmt(static_cast<double>(first) / 1000.0, 2) + " ms",
                    harness::fmt(static_cast<double>(last) / 1000.0, 2) + " ms"});
   }
   table.print();
+
+  const char* trace_path = "BENCH_fig1_trace.json";
+  if (sim.dump_trace(trace_path)) {
+    std::printf("\nwrote %s (chrome://tracing) and %s.txt\n", trace_path,
+                trace_path);
+  } else {
+    std::printf("\nWARNING: could not write %s\n", trace_path);
+    ok = false;
+  }
 
   std::printf("\nOutcome: every replica finalized block 1: %s\n",
               sim.min_height() >= 1 ? "yes" : "NO");
@@ -108,8 +111,12 @@ int main() {
               "needed on the synchronous path\n",
               sim.agreement_holds() ? "holds" : "VIOLATED",
               sim.honest_player_slashed() ? "YES (bug)" : "no");
+  std::printf("Monitors: %s\n",
+              sim.monitors().violated() ? "VIOLATION latched (bug)"
+                                        : "all invariants held");
 
-  ok = ok && sim.min_height() >= 1 && sim.agreement_holds();
+  ok = ok && sim.min_height() >= 1 && sim.agreement_holds() &&
+       !sim.monitors().violated();
   std::printf("\n[fig1] %s: 4 phases, each completing before the next "
               "starts, exactly as drawn in Figure 2a.\n",
               ok ? "OK" : "MISMATCH");

@@ -13,6 +13,11 @@
 //                                              #   CI's cells/sec check
 //   bench_matrix_sweep --prof-level=0          # profiling off (0..3) for
 //                                              #   overhead-free timing
+//   bench_matrix_sweep --trace=2               # flight recorder (0..3):
+//                                              #   1 state, 2 +sends,
+//                                              #   3 +recv/deliver
+//   bench_matrix_sweep --forensics=build/forensics  # dump bundles for
+//                                              #   unsafe/violated cells
 //
 // Cells run in parallel by default (one worker per hardware thread; each
 // cell is an independent seeded simulation, so results are identical to a
@@ -146,6 +151,13 @@ int main(int argc, char** argv) {
   ratcon::harness::Profiler::SetDefaultLevel(
       static_cast<int>(flags.get_int("prof-level", 3)));
 
+  // Flight recorder (0 = off; the default). Each cell records into its
+  // worker thread's sink; monitors run live at level >= 1.
+  const int trace_level = static_cast<int>(flags.get_int("trace", 0));
+  ratcon::harness::TraceSink::SetDefaultLevel(trace_level);
+  spec.trace_level = trace_level;
+  spec.forensics_dir = flags.get_str("forensics", "");
+
   if (spec.committee_sizes.empty() || spec.nets.empty() ||
       spec.seeds.empty()) {
     std::fprintf(stderr,
@@ -224,6 +236,18 @@ int main(int argc, char** argv) {
           .value(static_cast<std::int64_t>(wl_total.latency.p50()));
       json.key("p99_us")
           .value(static_cast<std::int64_t>(wl_total.latency.p99()));
+      json.end_object();
+    }
+    {
+      const auto tr = report.aggregate_trace();
+      json.key("trace").begin_object();
+      json.key("level").value(static_cast<std::int64_t>(tr.level));
+      json.key("recorded").value(tr.recorded);
+      json.key("dropped").value(tr.dropped);
+      json.key("violations").value(tr.violations);
+      json.key("verdicts").begin_array();
+      for (const std::string& v : tr.verdicts) json.value(v);
+      json.end_array();
       json.end_object();
     }
     json.key("cells_per_sec").value(report.cells_per_sec());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "harness/profiler.hpp"
+#include "harness/trace.hpp"
 
 namespace ratcon::baselines {
 
@@ -14,6 +15,7 @@ using consensus::WireView;
 
 namespace {
 constexpr consensus::ProtoId kProto = consensus::ProtoId::kHotstuff;
+constexpr std::uint8_t kTraceProto = static_cast<std::uint8_t>(kProto);
 
 // Per-type body caps, enforced before the body is hashed for signature
 // verification (fixed-layout exact; QC broadcasts from the certificate
@@ -60,6 +62,8 @@ void HotstuffNode::start_round(net::Context& ctx) {
     ctx.cancel_timer(kPhaseTimer);
     return;
   }
+  harness::trace_state(harness::TraceKind::kRoundEnter, self_, round_,
+                       kTraceProto);
   if (cfg_.leader(round_) == self_ &&
       participates(round_, PhaseTag::kPropose)) {
     // A locked leader must re-propose its locked block byte-identical (the
@@ -217,20 +221,30 @@ void HotstuffNode::leader_collect(net::Context& ctx, Round r, RoundState& rs,
   if (*sent) return;
   *sent = true;
   ctx.broadcast(make_qc_broadcast(next_broadcast, r, rs.h, rs, phase));
-  if (next_broadcast == MsgType::kDecide) finalize(ctx, r, rs);
+  if (next_broadcast == MsgType::kDecide) {
+    finalize(ctx, r, rs, static_cast<std::int64_t>(it->second.size()));
+  }
 }
 
-void HotstuffNode::finalize(net::Context& ctx, Round r, RoundState& rs) {
+void HotstuffNode::finalize(net::Context& ctx, Round r, RoundState& rs,
+                            std::int64_t cert) {
   if (rs.decided) return;
   rs.decided = true;
   const auto it = block_store_.find(rs.h);
   if (it != block_store_.end() && it->second.parent == chain_.tip_hash()) {
     // Release a lock once its height is decided (by this block — ours or a
     // competing one that won); the next height is a fresh instance.
-    if (lock_ && lock_->parent == it->second.parent) lock_.reset();
+    if (lock_ && lock_->parent == it->second.parent) {
+      lock_.reset();
+      harness::trace_state(harness::TraceKind::kLockRelease, self_, r,
+                           kTraceProto);
+    }
     chain_.append_tentative(it->second);
     chain_.finalize_up_to(chain_.height());
     mempool_.mark_included(it->second.txs);
+    harness::trace_state(harness::TraceKind::kFinalize, self_, r, kTraceProto,
+                         chain_.finalized_height(),
+                         crypto::hash_prefix64(rs.h), cert);
   }
   if (r == round_) advance_round(ctx, r, /*failed=*/false);
 }
@@ -239,6 +253,9 @@ bool HotstuffNode::on_sync_adopt(net::Context& ctx,
                                  const std::vector<ledger::Block>& blocks,
                                  std::uint64_t first_height) {
   if (!chain_.adopt_finalized_run(blocks, first_height)) return false;
+  harness::trace_state(harness::TraceKind::kSyncAdopt, self_, round_,
+                       kTraceProto, first_height, 0,
+                       static_cast<std::int64_t>(blocks.size()));
   Round top = 0;
   for (const ledger::Block& b : blocks) {
     block_store_[b.hash()] = b;
@@ -251,6 +268,8 @@ bool HotstuffNode::on_sync_adopt(net::Context& ctx,
     for (const ledger::Block& b : blocks) {
       if (b.parent == lock_->parent) {
         lock_.reset();
+        harness::trace_state(harness::TraceKind::kLockRelease, self_, round_,
+                             kTraceProto);
         break;
       }
     }
@@ -291,6 +310,8 @@ void HotstuffNode::on_message(net::Context& ctx, NodeId from,
 }
 
 void HotstuffNode::dispatch(net::Context& ctx, const WireView& env) {
+  harness::trace_deliver(self_, env.from, env.round, kTraceProto, env.type,
+                         env.wire().data(), env.wire().size());
   const Round r = env.round;
   RoundState& rs = rounds_[r];
   const NodeId leader = cfg_.leader(r);
@@ -321,6 +342,9 @@ void HotstuffNode::dispatch(net::Context& ctx, const WireView& env) {
         rs.h = h;
         if (!participates(r, PhaseTag::kPrepare)) break;  // observe only
         rs.voted_prepare = true;
+        harness::trace_state(
+            harness::TraceKind::kVoteCast, self_, r, kTraceProto, 0, 0, 0,
+            static_cast<std::uint8_t>(MsgType::kPrepareVote));
         if (self_ == leader) {
           // Leader votes for itself without a network hop.
           rs.votes[static_cast<std::uint8_t>(PhaseTag::kPrepare)][self_] =
@@ -394,10 +418,18 @@ void HotstuffNode::dispatch(net::Context& ctx, const WireView& env) {
         voted = true;
         if (!is_precommit) {
           lock_ = Lock{r, h, body->second.parent};
+          harness::trace_state(harness::TraceKind::kLockAcquire, self_, r,
+                               kTraceProto, chain_.height() + 1,
+                               crypto::hash_prefix64(h),
+                               static_cast<std::int64_t>(cert.sigs.size()));
         }
         const PhaseTag vote_phase =
             is_precommit ? PhaseTag::kPreCommit : PhaseTag::kCommit;
         if (!participates(r, vote_phase)) break;  // lock kept, vote withheld
+        harness::trace_state(
+            harness::TraceKind::kVoteCast, self_, r, kTraceProto, 0, 0, 0,
+            static_cast<std::uint8_t>(is_precommit ? MsgType::kPreCommitVote
+                                                   : MsgType::kCommitVote));
         Writer w;
         w.raw(ByteSpan(h.data(), h.size()));
         consensus::sign_phase(kProto, vote_phase, r, h, self_, keys_.sk)
@@ -427,7 +459,7 @@ void HotstuffNode::dispatch(net::Context& ctx, const WireView& env) {
         const Certificate cert = Certificate::decode(r_);
         if (!verify_qc(cert, PhaseTag::kCommit, r, h)) return;
         if (rs.h != h) rs.h = h;
-        finalize(ctx, r, rs);
+        finalize(ctx, r, rs, static_cast<std::int64_t>(cert.sigs.size()));
         break;
       }
       case MsgType::kNewView: {

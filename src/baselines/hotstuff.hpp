@@ -119,7 +119,10 @@ class HotstuffNode : public consensus::IReplica {
   [[nodiscard]] bool verify_qc(const consensus::Certificate& cert,
                                consensus::PhaseTag phase, Round r,
                                const crypto::Hash256& h);
-  void finalize(net::Context& ctx, Round r, RoundState& rs);
+  /// `cert` is the size of the decide-justifying QC, recorded with the
+  /// finalize trace event.
+  void finalize(net::Context& ctx, Round r, RoundState& rs,
+                std::int64_t cert);
 
   consensus::Config cfg_;
   crypto::KeyRegistry* registry_;

@@ -2,6 +2,7 @@
 
 #include "common/serialize.hpp"
 #include "harness/profiler.hpp"
+#include "harness/trace.hpp"
 
 namespace ratcon::baselines {
 
@@ -122,6 +123,9 @@ void QuorumNode::on_message(net::Context& ctx, NodeId from,
 }
 
 void QuorumNode::dispatch(net::Context& ctx, const WireView& env) {
+  harness::trace_deliver(self_, env.from, env.round,
+                         static_cast<std::uint8_t>(proto_), env.type,
+                         env.wire().data(), env.wire().size());
   try {
     switch (static_cast<MsgType>(env.type)) {
       case MsgType::kPrePrepare: handle_preprepare(ctx, env); break;
@@ -153,6 +157,8 @@ void QuorumNode::start_round(net::Context& ctx) {
   }
   RoundState& rs = rounds_[round_];
   (void)rs;
+  harness::trace_state(harness::TraceKind::kRoundEnter, self_, round_,
+                       static_cast<std::uint8_t>(proto_));
   if (cfg_.leader(round_) == self_ &&
       participates(round_, PhaseTag::kPropose)) {
     if (attacking(round_)) {
@@ -340,6 +346,9 @@ void QuorumNode::handle_preprepare(net::Context& ctx, const WireView& env) {
 
   if (!rs.prepared && participates(r, PhaseTag::kPrepare) && !attacking(r)) {
     rs.prepared = true;
+    harness::trace_state(harness::TraceKind::kVoteCast, self_, r,
+                         static_cast<std::uint8_t>(proto_), 0, 0, 0,
+                         static_cast<std::uint8_t>(MsgType::kPrepare));
     ctx.broadcast(make_prepare(r, h));
   }
   check_prepare_quorum(ctx, r, rs);
@@ -393,10 +402,17 @@ void QuorumNode::check_prepare_quorum(net::Context& ctx, Round r,
         if (lk.cert.sigs.size() >= tau_) break;
       }
       lock_ = std::move(lk);
+      harness::trace_state(harness::TraceKind::kLockAcquire, self_, r,
+                           static_cast<std::uint8_t>(proto_), lock_->height,
+                           crypto::hash_prefix64(h),
+                           static_cast<std::int64_t>(lock_->cert.sigs.size()));
     }
     if (!locked) continue;  // prepares kept; the lock travels via ViewChange
     rs.committed = true;
     if (participates(r, PhaseTag::kCommit) && !attacking(r)) {
+      harness::trace_state(harness::TraceKind::kVoteCast, self_, r,
+                           static_cast<std::uint8_t>(proto_), 0, 0, 0,
+                           static_cast<std::uint8_t>(MsgType::kCommit));
       ctx.broadcast(make_commit(r, h, rs));
     }
     check_commit_quorum(ctx, r, rs);
@@ -442,16 +458,17 @@ void QuorumNode::check_commit_quorum(net::Context& ctx, Round r,
     if (participates(r, PhaseTag::kDecide) && !attacking(r)) {
       ctx.broadcast(make_decide(r, h, rs));
     }
-    decide(ctx, r, rs, h);
+    decide(ctx, r, rs, h, static_cast<std::int64_t>(sigs.size()));
     return;
   }
 }
 
 void QuorumNode::decide(net::Context& ctx, Round r, RoundState& rs,
-                        const crypto::Hash256& h) {
+                        const crypto::Hash256& h, std::int64_t cert) {
   if (rs.decided) return;
   rs.decided = true;
 
+  const std::uint64_t finalized_before = chain_.finalized_height();
   const auto block_it = block_store_.find(h);
   if (block_it != block_store_.end()) {
     const ledger::Block& block = block_it->second;
@@ -469,12 +486,23 @@ void QuorumNode::decide(net::Context& ctx, Round r, RoundState& rs,
     }
     mempool_.mark_included(block.txs);
   }
+  if (chain_.finalized_height() > finalized_before) {
+    harness::trace_state(harness::TraceKind::kFinalize, self_, r,
+                         static_cast<std::uint8_t>(proto_),
+                         chain_.finalized_height(), crypto::hash_prefix64(h),
+                         cert);
+  }
   release_spent_lock();
   if (r == round_) advance_round(ctx, r, /*failed=*/false);
 }
 
 void QuorumNode::release_spent_lock() {
-  if (lock_ && chain_.finalized_height() >= lock_->height) lock_.reset();
+  if (lock_ && chain_.finalized_height() >= lock_->height) {
+    harness::trace_state(harness::TraceKind::kLockRelease, self_,
+                         lock_->round, static_cast<std::uint8_t>(proto_),
+                         lock_->height);
+    lock_.reset();
+  }
 }
 
 void QuorumNode::retry_stale_proposal(net::Context& ctx) {
@@ -489,6 +517,9 @@ void QuorumNode::retry_stale_proposal(net::Context& ctx) {
     if (!rs.prepared && participates(round_, PhaseTag::kPrepare) &&
         !attacking(round_)) {
       rs.prepared = true;
+      harness::trace_state(harness::TraceKind::kVoteCast, self_, round_,
+                           static_cast<std::uint8_t>(proto_), 0, 0, 0,
+                           static_cast<std::uint8_t>(MsgType::kPrepare));
       ctx.broadcast(make_prepare(round_, h));
     }
     check_prepare_quorum(ctx, round_, rs);
@@ -500,6 +531,9 @@ bool QuorumNode::on_sync_adopt(net::Context& ctx,
                                const std::vector<ledger::Block>& blocks,
                                std::uint64_t first_height) {
   if (!chain_.adopt_finalized_run(blocks, first_height)) return false;
+  harness::trace_state(harness::TraceKind::kSyncAdopt, self_, round_,
+                       static_cast<std::uint8_t>(proto_), first_height, 0,
+                       static_cast<std::int64_t>(blocks.size()));
   Round top = 0;
   for (const ledger::Block& b : blocks) {
     block_store_[b.hash()] = b;
@@ -511,11 +545,19 @@ bool QuorumNode::on_sync_adopt(net::Context& ctx,
   // height is now final, re-anchored if it still extends the new tip
   // (the rollback above removed it), superseded otherwise.
   if (lock_) {
+    harness::trace_state(harness::TraceKind::kLockRelease, self_,
+                         lock_->round, static_cast<std::uint8_t>(proto_),
+                         lock_->height);
     if (chain_.finalized_height() >= lock_->height) {
       lock_.reset();
     } else if (lock_->block.parent == chain_.tip_hash() &&
                chain_.append_tentative(lock_->block)) {
       lock_->height = chain_.height();
+      harness::trace_state(
+          harness::TraceKind::kLockAcquire, self_, lock_->round,
+          static_cast<std::uint8_t>(proto_), lock_->height,
+          crypto::hash_prefix64(lock_->h),
+          static_cast<std::int64_t>(lock_->cert.sigs.size()));
     } else {
       lock_.reset();
     }
@@ -564,7 +606,7 @@ void QuorumNode::handle_decide(net::Context& ctx, const WireView& env) {
     // Catch-up decide from the future: adopt if it connects.
     round_ = r;
   }
-  decide(ctx, r, rs, h);
+  decide(ctx, r, rs, h, static_cast<std::int64_t>(signers.size()));
 }
 
 void QuorumNode::trigger_view_change(net::Context& ctx, Round r) {
@@ -585,6 +627,9 @@ void QuorumNode::trigger_view_change(net::Context& ctx, Round r) {
       lock_->block.encode(w);
       lock_->cert.encode(w);
     }
+    harness::trace_state(harness::TraceKind::kVoteCast, self_, r,
+                         static_cast<std::uint8_t>(proto_), 0, 0, 0,
+                         static_cast<std::uint8_t>(MsgType::kViewChange));
     ctx.broadcast(encode_env(MsgType::kViewChange, r, w.take()));
   }
   if (r == round_) {
@@ -637,6 +682,10 @@ void QuorumNode::adopt_prepare_lock(net::Context& ctx,
     lk.block = block;
     lk.cert = cert;
     lock_ = std::move(lk);
+    harness::trace_state(harness::TraceKind::kLockAcquire, self_,
+                         lock_->round, static_cast<std::uint8_t>(proto_),
+                         lock_->height, crypto::hash_prefix64(h),
+                         static_cast<std::int64_t>(lock_->cert.sigs.size()));
   };
   if (block.parent == chain_.tip_hash()) {
     if (chain_.append_tentative(block)) take_lock();
@@ -651,6 +700,9 @@ void QuorumNode::adopt_prepare_lock(net::Context& ctx,
     // block is the entire tentative suffix: rollback_tentative drops the
     // whole suffix, and stripping τ-prepared ancestors beneath the lock
     // would un-lock values this node already vouched for.
+    harness::trace_state(harness::TraceKind::kLockRelease, self_,
+                         lock_->round, static_cast<std::uint8_t>(proto_),
+                         lock_->height);
     chain_.rollback_tentative();
     if (chain_.tip_hash() == block.parent && chain_.append_tentative(block)) {
       take_lock();

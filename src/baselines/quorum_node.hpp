@@ -190,8 +190,11 @@ class QuorumNode : public consensus::IReplica {
   void handle_expose(net::Context& ctx, const consensus::WireView& env);
   void check_prepare_quorum(net::Context& ctx, Round r, RoundState& rs);
   void check_commit_quorum(net::Context& ctx, Round r, RoundState& rs);
+  /// `cert` is the size of the commit quorum justifying the decision — it
+  /// rides the kFinalize trace event so the quorum-threshold monitor can
+  /// audit every finalize against τ.
   void decide(net::Context& ctx, Round r, RoundState& rs,
-              const crypto::Hash256& h);
+              const crypto::Hash256& h, std::int64_t cert);
   void trigger_view_change(net::Context& ctx, Round r);
   void adopt_prepare_lock(net::Context& ctx, const ledger::Block& block,
                           const consensus::Certificate& cert);

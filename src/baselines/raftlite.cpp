@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "harness/profiler.hpp"
+#include "harness/trace.hpp"
 
 namespace ratcon::baselines {
 
@@ -11,6 +12,7 @@ using consensus::WireView;
 
 namespace {
 constexpr consensus::ProtoId kProto = consensus::ProtoId::kRaftLite;
+constexpr std::uint8_t kTraceProto = static_cast<std::uint8_t>(kProto);
 
 // Per-type body caps, enforced before the body is hashed for signature
 // verification. Only the ack has a fixed layout; the other three carry a
@@ -47,6 +49,8 @@ void RaftLiteNode::start_term(net::Context& ctx) {
     ctx.cancel_timer(kTimer);
     return;
   }
+  harness::trace_state(harness::TraceKind::kRoundEnter, self_, term_,
+                       kTraceProto);
   if (cfg_.leader(term_) == self_ && !defer_ &&
       participates(term_, consensus::PhaseTag::kPropose)) {
     // Phase-1 obligation: if the term-change majority reported an accepted
@@ -140,7 +144,8 @@ void RaftLiteNode::on_timer(net::Context& ctx, std::uint64_t timer_id) {
 }
 
 void RaftLiteNode::commit_block(net::Context& ctx, Round t,
-                                const ledger::Block& block) {
+                                const ledger::Block& block,
+                                std::int64_t cert) {
   TermState& ts = terms_[t];
   if (ts.committed) return;
   ts.committed = true;
@@ -148,7 +153,17 @@ void RaftLiteNode::commit_block(net::Context& ctx, Round t,
     chain_.append_tentative(block);
     chain_.finalize_up_to(chain_.height());
     mempool_.mark_included(block.txs);
+    if (harness::trace_on(harness::TraceKind::kFinalize)) {
+      harness::trace_state(harness::TraceKind::kFinalize, self_, t,
+                           kTraceProto, chain_.finalized_height(),
+                           crypto::hash_prefix64(block.hash()), cert);
+    }
     // This height's Paxos instance is decided; accept state belongs to it.
+    if (accepted_) {
+      harness::trace_state(harness::TraceKind::kLockRelease, self_,
+                           accepted_->ballot, kTraceProto,
+                           chain_.finalized_height());
+    }
     accepted_.reset();
     adopt_.reset();
   }
@@ -159,6 +174,9 @@ bool RaftLiteNode::on_sync_adopt(net::Context& ctx,
                                  const std::vector<ledger::Block>& blocks,
                                  std::uint64_t first_height) {
   if (!chain_.adopt_finalized_run(blocks, first_height)) return false;
+  harness::trace_state(harness::TraceKind::kSyncAdopt, self_, term_,
+                       kTraceProto, first_height, 0,
+                       static_cast<std::int64_t>(blocks.size()));
   Round top = 0;
   for (const ledger::Block& b : blocks) {
     mempool_.mark_included(b.txs);
@@ -167,6 +185,11 @@ bool RaftLiteNode::on_sync_adopt(net::Context& ctx,
   }
   // Those heights' single-decree instances are decided; accepted/adopt
   // state belonged to them.
+  if (accepted_) {
+    harness::trace_state(harness::TraceKind::kLockRelease, self_,
+                         accepted_->ballot, kTraceProto,
+                         chain_.finalized_height());
+  }
   accepted_.reset();
   adopt_.reset();
   defer_ = false;
@@ -200,6 +223,8 @@ void RaftLiteNode::on_message(net::Context& ctx, NodeId from,
 }
 
 void RaftLiteNode::dispatch(net::Context& ctx, const WireView& env) {
+  harness::trace_deliver(self_, env.from, env.round, kTraceProto, env.type,
+                         env.wire().data(), env.wire().size());
   const Round t = env.round;
   TermState& ts = terms_[t];
   const NodeId leader = cfg_.leader(t);
@@ -221,6 +246,14 @@ void RaftLiteNode::dispatch(net::Context& ctx, const WireView& env) {
         ts.proposal = block;
         ts.h = block.hash();
         accepted_ = Accepted{t, block};
+        // The Paxos accept is this protocol's lock: the accepted (ballot,
+        // value) pair for the height currently being decided.
+        harness::trace_state(harness::TraceKind::kLockAcquire, self_, t,
+                             kTraceProto, chain_.height() + 1,
+                             crypto::hash_prefix64(ts.h), 0);
+        harness::trace_state(harness::TraceKind::kVoteCast, self_, t,
+                             kTraceProto, 0, 0, 0,
+                             static_cast<std::uint8_t>(MsgType::kAck));
         if (self_ == leader) {
           ts.acks[self_] = true;
         } else {
@@ -249,7 +282,8 @@ void RaftLiteNode::dispatch(net::Context& ctx, const WireView& env) {
                             static_cast<std::uint8_t>(MsgType::kCommit), t,
                             self_, w.take(), keys_.sk)
                             .encode());
-          commit_block(ctx, t, *ts.proposal);
+          commit_block(ctx, t, *ts.proposal,
+                       static_cast<std::int64_t>(ts.acks.size()));
         }
         break;
       }
@@ -259,7 +293,7 @@ void RaftLiteNode::dispatch(net::Context& ctx, const WireView& env) {
         // Adopted re-proposals keep their original term stamp (see kAppend).
         if (block.round > t) return;
         if (t > term_) term_ = t;  // catch up
-        commit_block(ctx, t, block);
+        commit_block(ctx, t, block, /*cert=*/-1);  // delegated: no certificate
         break;
       }
       case MsgType::kTermChange: {

@@ -106,7 +106,12 @@ class RaftLiteNode : public consensus::IReplica {
   /// replay enters here directly, skipping the signature check already
   /// performed on arrival.
   void dispatch(net::Context& ctx, const consensus::WireView& env);
-  void commit_block(net::Context& ctx, Round t, const ledger::Block& block);
+  /// `cert` is the ack count justifying the commit on the leader; followers
+  /// commit on the leader's say-so and pass -1 ("delegated"), which the
+  /// quorum-threshold monitor treats as exempt (kCommit carries no
+  /// certificate in this CFT baseline).
+  void commit_block(net::Context& ctx, Round t, const ledger::Block& block,
+                    std::int64_t cert);
   void broadcast_term_change(net::Context& ctx, Round t);
 
   consensus::Config cfg_;

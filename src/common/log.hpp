@@ -9,6 +9,14 @@ enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 /// Global minimum level; defaults to kWarn so tests stay quiet. Examples and
 /// benches raise it to kInfo for narrative output.
+///
+/// Regression note: the backing store is a std::atomic<Level> with relaxed
+/// ordering (log.cpp). Parallel matrix sweeps call level() from every
+/// worker thread while a main-thread set_level() may still be in flight —
+/// with a plain Level that read/write pair is a data race (UB, and a real
+/// TSan report), even though any torn value would "only" mis-filter a log
+/// line. Relaxed is sufficient: the level is a standalone flag, no other
+/// memory is published through it.
 void set_level(Level level);
 Level level();
 

@@ -5,12 +5,14 @@
 
 #include "common/log.hpp"
 #include "harness/profiler.hpp"
+#include "harness/trace.hpp"
 
 namespace ratcon::prft {
 
 namespace {
 
 constexpr ProtoId kProto = ProtoId::kPrft;
+constexpr std::uint8_t kTraceProto = static_cast<std::uint8_t>(kProto);
 
 std::uint64_t sig_prefix64(const crypto::Signature& sig) {
   std::uint64_t v = 0;
@@ -99,6 +101,8 @@ void PrftNode::on_message(net::Context& ctx, NodeId from, const Bytes& data) {
 }
 
 void PrftNode::dispatch(net::Context& ctx, const WireView& env) {
+  harness::trace_deliver(self_, env.from, env.round, kTraceProto, env.type,
+                         env.wire().data(), env.wire().size());
   try {
     switch (static_cast<MsgType>(env.type)) {
       case MsgType::kPropose: handle_propose(ctx, env); break;
@@ -142,6 +146,8 @@ void PrftNode::start_round(net::Context& ctx) {
   }
   RoundState& rs = rounds_[round_];
   rs.started = true;
+  harness::trace_state(harness::TraceKind::kRoundEnter, self_, round_,
+                       kTraceProto);
   if (cfg_.leader(round_) == self_) {
     do_propose(ctx, round_, rs);
   }
@@ -309,6 +315,8 @@ void PrftNode::do_vote(net::Context& ctx, Round r, RoundState& rs) {
   if (rs.voted) return;
   rs.voted = true;
   if (!participating(r, PhaseTag::kVote)) return;
+  harness::trace_state(harness::TraceKind::kVoteCast, self_, r, kTraceProto, 0,
+                       0, 0, static_cast<std::uint8_t>(MsgType::kVote));
   ctx.broadcast(make_vote(r, rs.h_l, rs.leader_pro_sig));
 }
 
@@ -317,6 +325,8 @@ void PrftNode::do_commit(net::Context& ctx, Round r, RoundState& rs,
   if (rs.committed) return;
   rs.committed = true;
   if (!participating(r, PhaseTag::kCommit)) return;
+  harness::trace_state(harness::TraceKind::kVoteCast, self_, r, kTraceProto, 0,
+                       0, 0, static_cast<std::uint8_t>(MsgType::kCommit));
   ctx.broadcast(make_commit(r, h, rs));
 }
 
@@ -325,6 +335,8 @@ void PrftNode::do_reveal(net::Context& ctx, Round r, RoundState& rs,
   if (rs.revealed) return;
   rs.revealed = true;
   if (!participating(r, PhaseTag::kReveal)) return;
+  harness::trace_state(harness::TraceKind::kVoteCast, self_, r, kTraceProto, 0,
+                       0, 0, static_cast<std::uint8_t>(MsgType::kReveal));
   ctx.broadcast(make_reveal(r, h, rs));
 }
 
@@ -480,6 +492,9 @@ void PrftNode::check_commit_quorum(net::Context& ctx, Round r,
     if (evidence.size() < cfg_.quorum()) continue;
     // Tentative consensus (paper §5.3.2).
     rs.tentative = h;
+    harness::trace_state(harness::TraceKind::kLockAcquire, self_, r,
+                         kTraceProto, r, crypto::hash_prefix64(h),
+                         static_cast<std::int64_t>(evidence.size()));
     const auto block_it = block_store_.find(h);
     if (!rs.tentative_appended && block_it != block_store_.end() &&
         block_it->second.parent == chain_.tip_hash()) {
@@ -559,6 +574,9 @@ void PrftNode::check_reveal_progress(net::Context& ctx, Round r,
     // Final consensus (Figure 1 line 33-34).
     rs.final_sent = true;
     if (participating(r, PhaseTag::kFinal)) {
+      harness::trace_state(harness::TraceKind::kVoteCast, self_, r,
+                           kTraceProto, 0, 0, 0,
+                           static_cast<std::uint8_t>(MsgType::kFinal));
       FinalBody body;
       body.h = h;
       body.leader_pro_sig = rs.leader_pro_sig;
@@ -567,7 +585,8 @@ void PrftNode::check_reveal_progress(net::Context& ctx, Round r,
       body.encode(w);
       broadcast_env(ctx, MsgType::kFinal, r, w.take());
     }
-    finalize_round(ctx, r, rs, h);
+    finalize_round(ctx, r, rs, h,
+                   static_cast<std::int64_t>(senders.size()));
     return;
   }
 }
@@ -593,6 +612,9 @@ void PrftNode::check_final_quorum(net::Context& ctx, Round r,
     // n/2), so it is safe to finalize too (Figure 1 line 35).
     if (!rs.final_sent && participating(r, PhaseTag::kFinal)) {
       rs.final_sent = true;
+      harness::trace_state(harness::TraceKind::kVoteCast, self_, r,
+                           kTraceProto, 0, 0, 0,
+                           static_cast<std::uint8_t>(MsgType::kFinal));
       FinalBody body;
       body.h = h;
       body.leader_pro_sig = rs.leader_pro_sig;
@@ -601,17 +623,25 @@ void PrftNode::check_final_quorum(net::Context& ctx, Round r,
       body.encode(w);
       broadcast_env(ctx, MsgType::kFinal, r, w.take());
     }
-    finalize_round(ctx, r, rs, h);
+    finalize_round(ctx, r, rs, h,
+                   static_cast<std::int64_t>(senders.size()));
     return;
   }
 }
 
 void PrftNode::finalize_round(net::Context& ctx, Round r, RoundState& rs,
-                              const crypto::Hash256& h) {
+                              const crypto::Hash256& h, std::int64_t cert) {
   if (rs.finalized) return;
   rs.finalized = true;
   rs.phase = Phase::kDone;
   rs.tentative = h;
+  // One finalized value per round is exactly pRFT's agreement invariant,
+  // so the flight recorder keys the finalize on the round (a slot maps to
+  // at most one chain height).
+  harness::trace_state(harness::TraceKind::kLockRelease, self_, r,
+                       kTraceProto);
+  harness::trace_state(harness::TraceKind::kFinalize, self_, r, kTraceProto, r,
+                       crypto::hash_prefix64(h), cert);
   if (!latest_final_.has_value() || latest_final_->first < r) {
     latest_final_ = {r, h};
   }
@@ -906,6 +936,9 @@ bool PrftNode::on_sync_adopt(net::Context& ctx,
     return false;
   }
   rollbacks_ += rolled_back;
+  harness::trace_state(harness::TraceKind::kSyncAdopt, self_, round_,
+                       kTraceProto, first_height, 0,
+                       static_cast<std::int64_t>(blocks.size()));
   Round top = 0;
   for (const ledger::Block& b : blocks) {
     block_store_[b.hash()] = b;
@@ -1015,6 +1048,11 @@ void PrftNode::handle_sync(net::Context& ctx, const WireView& env) {
   }
   if (chain_.tip_hash() != tip) return;
   chain_.finalize_up_to(chain_.height());
+  if (adopted) {
+    harness::trace_state(harness::TraceKind::kSyncAdopt, self_, round_,
+                         kTraceProto, chain_.finalized_height(), 0,
+                         static_cast<std::int64_t>(body.blocks.size()));
+  }
 
   if (!latest_final_.has_value() || latest_final_->first < body.final_round) {
     latest_final_ = {body.final_round, tip};

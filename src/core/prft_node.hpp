@@ -201,8 +201,10 @@ class PrftNode : public consensus::IReplica {
   void check_reveal_progress(net::Context& ctx, Round r, RoundState& rs);
   void check_final_quorum(net::Context& ctx, Round r, RoundState& rs);
   void maybe_expose(net::Context& ctx, Round r, RoundState& rs);
+  /// `cert` is the size of the justifying quorum (reveal or Final
+  /// certificate), recorded with the finalize trace event.
   void finalize_round(net::Context& ctx, Round r, RoundState& rs,
-                      const crypto::Hash256& h);
+                      const crypto::Hash256& h, std::int64_t cert);
   void trigger_view_change(net::Context& ctx, Round r, PhaseTag phase);
   void check_vc_quorum(net::Context& ctx, Round r, RoundState& rs);
   void advance_round(net::Context& ctx, Round r, bool failed);

@@ -35,6 +35,7 @@ ScenarioSpec MatrixSpec::to_scenario(Protocol proto, std::uint32_t n,
   scenario.budget.horizon = horizon;
   scenario.budget.wall_ms = cell_budget_ms;
   scenario.sync_plan.enabled = sync_enabled;
+  scenario.trace_level = trace_level;
 
   if (crash_count > 0) {
     scenario.faults.crash_range(0, std::min(crash_count, n), crash_at);
@@ -87,6 +88,12 @@ std::vector<const CellResult*> MatrixReport::over_budget_cells() const {
 ProfReport MatrixReport::aggregate_profile() const {
   ProfReport total;
   for (const CellResult& cell : cells) total.merge(cell.profile);
+  return total;
+}
+
+TraceStats MatrixReport::aggregate_trace() const {
+  TraceStats total;
+  for (const CellResult& cell : cells) total.merge(cell.trace);
   return total;
 }
 
@@ -160,6 +167,20 @@ std::string MatrixReport::summary() const {
       }
       os << "\n";
     }
+    const TraceStats trace = aggregate_trace();
+    if (trace.level > 0) {
+      os << "  trace: level " << trace.level << ", "
+         << fmt_count(trace.recorded) << " events ("
+         << fmt_count(trace.dropped) << " dropped), monitors: ";
+      if (trace.violations == 0) {
+        os << "ok\n";
+      } else {
+        os << trace.violations << " violation(s)\n";
+        for (const std::string& v : trace.verdicts) {
+          os << "    " << v << "\n";
+        }
+      }
+    }
     os << "\n" << aggregate_profile().format() << "\n";
   }
   return os.str();
@@ -168,7 +189,26 @@ std::string MatrixReport::summary() const {
 CellResult run_cell(Protocol proto, std::uint32_t n, NetKind kind,
                     std::uint64_t seed, const MatrixSpec& spec) {
   Simulation sim(spec.to_scenario(proto, n, kind, seed));
-  return sim.run_to_completion();
+  CellResult result = sim.run_to_completion();
+  // Forensics must be written while `sim` is alive: the recorder's rings
+  // belong to this thread's sink and the next cell's Reset would clear
+  // them.
+  if (!spec.forensics_dir.empty() &&
+      (sim.monitors().violated() || !result.safe())) {
+    std::string stem = result.label();
+    for (char& c : stem) {
+      if (c == '/' || c == '=') c = '_';
+    }
+    if (sim.forensics().has_value()) {
+      sim.forensics()->write(spec.forensics_dir, stem);
+    } else if (result.trace.level >= 1) {
+      sim.monitors()
+          .build_bundle("matrix cell safety assertion failed: " +
+                        result.label())
+          .write(spec.forensics_dir, stem);
+    }
+  }
+  return result;
 }
 
 void parallel_cells(std::size_t count, std::uint32_t workers,

@@ -73,6 +73,16 @@ struct MatrixSpec {
   /// after GST. Off reproduces the no-recovery behaviour.
   bool sync_enabled = true;
 
+  /// Flight-recorder level per cell (scenario.hpp trace levels); -1 adopts
+  /// the process-wide TraceSink default, so `--trace=N` on a sweep binary
+  /// governs the whole matrix.
+  int trace_level = -1;
+  /// When non-empty: any cell that ends unsafe or trips an invariant
+  /// monitor writes its forensics bundle (`<label>.txt` +
+  /// `<label>.trace.json`) into this directory while the recorder still
+  /// holds the evidence. Requires a trace level >= 1 to have content.
+  std::string forensics_dir;
+
   /// Worker threads for the sweep. Each cell is an independent seeded
   /// simulation, so cells run embarrassingly parallel; results are
   /// deterministic and identical to a serial run regardless of the worker
@@ -108,6 +118,10 @@ struct MatrixReport {
   /// Sweep-wide profiler totals: every cell's ProfReport merged. Counts
   /// are exact (integer merges commute); timer sums are float-additive.
   [[nodiscard]] ProfReport aggregate_profile() const;
+
+  /// Sweep-wide flight-recorder totals: every cell's TraceStats merged
+  /// (event counts are deterministic; verdicts concatenate, capped).
+  [[nodiscard]] TraceStats aggregate_trace() const;
 
   /// Sweep-wide workload totals: every cell's WorkloadStats merged
   /// (integer histogram counts — deterministic and byte-identical between

@@ -1,0 +1,288 @@
+#include "harness/monitor.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "harness/jsonio.hpp"
+
+namespace ratcon::harness {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  return buf;
+}
+
+/// Shared latch-first-violation plumbing.
+class MonitorBase : public IMonitor {
+ public:
+  [[nodiscard]] const MonitorVerdict& verdict() const override {
+    return verdict_;
+  }
+
+ protected:
+  explicit MonitorBase(const char* name) { verdict_.monitor = name; }
+  [[nodiscard]] const char* name() const override {
+    return verdict_.monitor.c_str();
+  }
+  void checked() { ++verdict_.checked; }
+  void flag(const TraceEvent& ev, std::string detail,
+            std::vector<TraceEvent> related = {}) {
+    if (verdict_.violated) return;  // latch the first violation only
+    verdict_.violated = true;
+    verdict_.detail = std::move(detail);
+    verdict_.evidence = ev;
+    verdict_.related = std::move(related);
+  }
+
+  MonitorVerdict verdict_;
+};
+
+/// A held lock is never replaced in place by one from an older round for
+/// the same height — the HotStuff/pBFT lock rule only ever moves a height's
+/// lock forward in view order. Re-anchors at a *different* height (chained
+/// progress, sync adoption) are legal; the protocols emit kLockRelease when
+/// they drop a lock, so a silent same-height backwards jump is a real bug.
+class LockMonotonicityMonitor final : public MonitorBase {
+ public:
+  LockMonotonicityMonitor() : MonitorBase("lock-monotonicity") {}
+
+  void on_event(const TraceEvent& ev) override {
+    if (ev.kind == TraceKind::kLockRelease) {
+      held_.erase(ev.node);
+      return;
+    }
+    if (ev.kind != TraceKind::kLockAcquire) return;
+    checked();
+    auto it = held_.find(ev.node);
+    if (it != held_.end() && ev.a == it->second.height &&
+        ev.round < it->second.round) {
+      flag(ev, fmt("n%u re-locked h=%" PRIu64 " at round %" PRIu64
+                   " while holding a round-%" PRIu64 " lock",
+                   ev.node, ev.a, ev.round, it->second.round));
+    }
+    held_[ev.node] = Held{ev.a, ev.round};
+  }
+
+ private:
+  struct Held {
+    std::uint64_t height;
+    Round round;
+  };
+  std::map<NodeId, Held> held_;
+};
+
+/// Agreement, live: the first finalize at each height fixes the value;
+/// any replica finalizing a different value at that height is a safety
+/// violation (the injected double-finalize trips exactly this).
+class ConflictingFinalizeMonitor final : public MonitorBase {
+ public:
+  ConflictingFinalizeMonitor() : MonitorBase("conflicting-finalize") {}
+
+  void on_event(const TraceEvent& ev) override {
+    if (ev.kind != TraceKind::kFinalize) return;
+    checked();
+    auto [it, inserted] = first_.try_emplace(ev.a, ev);
+    if (inserted) return;
+    const TraceEvent& prior = it->second;
+    if (prior.b != ev.b) {
+      flag(ev,
+           fmt("conflicting finalize at h=%" PRIu64 ": n%u val=%016" PRIx64
+               " (seq %" PRIu64 ") vs n%u val=%016" PRIx64 " (seq %" PRIu64
+               ")",
+               ev.a, ev.node, ev.b, ev.seq, prior.node, prior.b, prior.seq),
+           {prior});
+    }
+  }
+
+ private:
+  std::map<std::uint64_t, TraceEvent> first_;  // height -> first finalize
+};
+
+/// Every finalize must carry a certificate of at least the protocol's
+/// quorum. aux < 0 marks a delegated finalize (a CFT follower committing
+/// on the leader's kCommit, which carries no certificate) — exempt.
+class QuorumThresholdMonitor final : public MonitorBase {
+ public:
+  explicit QuorumThresholdMonitor(std::int64_t threshold)
+      : MonitorBase("quorum-threshold"), threshold_(threshold) {}
+
+  void on_event(const TraceEvent& ev) override {
+    if (ev.kind != TraceKind::kFinalize) return;
+    checked();
+    if (ev.aux >= 0 && ev.aux < threshold_) {
+      flag(ev, fmt("n%u finalized h=%" PRIu64 " with a certificate of %" PRId64
+                   " votes (< quorum %" PRId64 ")",
+                   ev.node, ev.a, ev.aux, threshold_));
+    }
+  }
+
+ private:
+  std::int64_t threshold_;
+};
+
+/// Slashing is bounded by the deposit: the ledger must never report a
+/// negative post-burn balance.
+class DepositMonitor final : public MonitorBase {
+ public:
+  DepositMonitor() : MonitorBase("deposit-non-negative") {}
+
+  void on_event(const TraceEvent& ev) override {
+    if (ev.kind != TraceKind::kSlash) return;
+    checked();
+    if (ev.aux < 0) {
+      flag(ev, fmt("slash of n%u for round %" PRIu64
+                   " left balance %" PRId64 " (< 0)",
+                   ev.node, ev.round, ev.aux));
+    }
+  }
+};
+
+}  // namespace
+
+std::string MonitorVerdict::summary() const {
+  if (!violated) {
+    return fmt("%s: ok (%" PRIu64 " checked)", monitor.c_str(), checked);
+  }
+  return monitor + ": VIOLATED — " + detail;
+}
+
+bool ForensicsBundle::write(const std::string& dir,
+                            const std::string& stem) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  const std::string base = dir + "/" + stem;
+  bool ok = write_text_file(base + ".txt", text);
+  ok = write_text_file(base + ".trace.json", chrome_json) && ok;
+  return ok;
+}
+
+void MonitorSet::install_standard(std::int64_t quorum_threshold) {
+  add(std::make_unique<LockMonotonicityMonitor>());
+  add(std::make_unique<ConflictingFinalizeMonitor>());
+  add(std::make_unique<QuorumThresholdMonitor>(quorum_threshold));
+  add(std::make_unique<DepositMonitor>());
+}
+
+void MonitorSet::add(std::unique_ptr<IMonitor> monitor) {
+  monitors_.push_back(std::move(monitor));
+}
+
+void MonitorSet::on_trace_event(const TraceEvent& ev) {
+  for (auto& m : monitors_) {
+    const bool was = m->verdict().violated;
+    m->on_event(ev);
+    if (!was && m->verdict().violated && !bundle_) {
+      const MonitorVerdict& v = m->verdict();
+      bundle_ = make_bundle(v.monitor + ": " + v.detail, &v.evidence,
+                            &v.related);
+    }
+  }
+}
+
+bool MonitorSet::violated() const {
+  return std::any_of(monitors_.begin(), monitors_.end(),
+                     [](const auto& m) { return m->verdict().violated; });
+}
+
+std::uint64_t MonitorSet::violations() const {
+  std::uint64_t n = 0;
+  for (const auto& m : monitors_) n += m->verdict().violated ? 1 : 0;
+  return n;
+}
+
+std::vector<MonitorVerdict> MonitorSet::verdicts() const {
+  std::vector<MonitorVerdict> out;
+  out.reserve(monitors_.size());
+  for (const auto& m : monitors_) out.push_back(m->verdict());
+  return out;
+}
+
+ForensicsBundle MonitorSet::build_bundle(const std::string& reason) const {
+  return make_bundle(reason, nullptr, nullptr);
+}
+
+ForensicsBundle MonitorSet::make_bundle(
+    const std::string& reason, const TraceEvent* evidence,
+    const std::vector<TraceEvent>* related) const {
+  const TraceSink& sink = TraceSink::Get();
+  const std::vector<TraceEvent> all = sink.merged();
+  const std::uint64_t horizon =
+      evidence != nullptr ? evidence->seq
+                          : (all.empty() ? 0 : all.back().seq);
+
+  // Key events: the violation itself plus anything the monitor tied to it
+  // (for a double finalize, the first finalize at that height).
+  std::vector<TraceEvent> keys;
+  if (evidence != nullptr) keys.push_back(*evidence);
+  if (related != nullptr) {
+    keys.insert(keys.end(), related->begin(), related->end());
+  }
+
+  // The slice: per node, the newest `slice_window_` events up to the
+  // violation — plus, per key event, the same window ending at *that*
+  // event on its own node, so the messages that led to each key event
+  // survive even if the node stayed busy afterwards.
+  std::set<std::uint64_t> keep;
+  std::map<NodeId, std::size_t> per_node;
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (it->seq > horizon) continue;
+    if (per_node[it->node]++ < slice_window_) keep.insert(it->seq);
+  }
+  for (const auto& key : keys) {
+    std::size_t taken = 0;
+    for (auto it = all.rbegin(); it != all.rend(); ++it) {
+      if (it->seq > key.seq || it->node != key.node) continue;
+      if (taken++ >= slice_window_) break;
+      keep.insert(it->seq);
+    }
+  }
+  std::vector<TraceEvent> slice;
+  slice.reserve(keep.size());
+  for (const auto& ev : all) {
+    if (keep.count(ev.seq)) slice.push_back(ev);
+  }
+
+  ForensicsBundle bundle;
+  bundle.reason = reason;
+
+  std::string text = "=== forensics bundle ===\nreason: " + reason + "\n";
+  if (!keys.empty()) {
+    text += "\nkey events:\n";
+    text += format_trace_text(keys);
+    for (const auto& key : keys) {
+      text += fmt("\nmessages leading to %s on n%u (seq %" PRIu64 "):\n",
+                  to_string(key.kind), key.node, key.seq);
+      std::vector<TraceEvent> lead;
+      for (const auto& ev : slice) {
+        if (ev.node != key.node || ev.seq >= key.seq) continue;
+        if (ev.kind == TraceKind::kRecv || ev.kind == TraceKind::kDeliver ||
+            ev.kind == TraceKind::kSend) {
+          lead.push_back(ev);
+        }
+      }
+      text += lead.empty() ? "  (none recorded — raise the trace level)\n"
+                           : format_trace_text(lead);
+    }
+  }
+  text += fmt("\n--- causally-ordered slice (%zu events, %u nodes, drops=%"
+              PRIu64 ") ---\n",
+              slice.size(), sink.nodes(), sink.dropped());
+  text += format_trace_text(slice);
+  bundle.text = std::move(text);
+  bundle.chrome_json = chrome_trace_json(slice, sink.nodes());
+  return bundle;
+}
+
+}  // namespace ratcon::harness

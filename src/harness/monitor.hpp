@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/trace.hpp"
+
+namespace ratcon::harness {
+
+/// Live invariant monitors over the flight recorder's event stream.
+///
+/// Each monitor watches one safety property the paper's arguments lean on
+/// and latches its *first* violation with the evidence event. The
+/// MonitorSet feeds them synchronously from TraceSink (it is the sink's
+/// observer), so a violation is caught at the exact virtual-time step it
+/// happens — not reconstructed after the run — and the ring buffers still
+/// hold the events that led to it. That moment is snapshotted into a
+/// ForensicsBundle: the merged causally-ordered slice around the
+/// violation, as human-readable text and as Chrome-tracing JSON.
+
+/// Outcome of one monitor over one run.
+struct MonitorVerdict {
+  std::string monitor;
+  std::uint64_t checked = 0;  ///< events this monitor inspected
+  bool violated = false;
+  std::string detail;          ///< first violation, human-readable
+  TraceEvent evidence{};       ///< the event that tripped it
+  std::vector<TraceEvent> related;  ///< e.g. the earlier conflicting finalize
+
+  [[nodiscard]] std::string summary() const;
+};
+
+class IMonitor {
+ public:
+  virtual ~IMonitor() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void on_event(const TraceEvent& ev) = 0;
+  [[nodiscard]] virtual const MonitorVerdict& verdict() const = 0;
+};
+
+/// Everything needed to debug one violation, built while the recorder
+/// still holds the surrounding events. `text` names the violation, the
+/// evidence events, and — for wire-connected violations — the messages
+/// that led to each; `chrome_json` is the same slice as a
+/// chrome://tracing-loadable document.
+struct ForensicsBundle {
+  std::string reason;
+  std::string text;
+  std::string chrome_json;
+
+  /// Writes `<dir>/<stem>.txt` and `<dir>/<stem>.trace.json` (creating
+  /// `dir` if needed). Returns false on I/O failure.
+  bool write(const std::string& dir, const std::string& stem) const;
+};
+
+/// The standard monitors, installed per Simulation when tracing is on:
+///  * lock-monotonicity — a held lock is never replaced by an older round;
+///  * conflicting-finalize — no two finalizes at one height with different
+///    values, across all replicas (the agreement invariant, live);
+///  * quorum-threshold — every finalize's certificate meets the protocol's
+///    minimum (delegated finalizes, aux = -1, are exempt: CFT followers
+///    commit on the leader's word);
+///  * deposit-non-negative — slashing never drives a balance below zero.
+class MonitorSet final : public ITraceObserver {
+ public:
+  /// Installs the four standard monitors. `quorum_threshold` is the
+  /// protocol's minimum certificate size (votes) for a valid finalize.
+  void install_standard(std::int64_t quorum_threshold);
+  void add(std::unique_ptr<IMonitor> monitor);
+
+  /// ITraceObserver: feeds every monitor; the first violation anywhere
+  /// snapshots the forensics bundle from the live recorder.
+  void on_trace_event(const TraceEvent& ev) override;
+
+  [[nodiscard]] bool violated() const;
+  [[nodiscard]] std::uint64_t violations() const;
+  [[nodiscard]] std::vector<MonitorVerdict> verdicts() const;
+
+  /// The bundle captured at the first violation (nullopt while clean).
+  [[nodiscard]] const std::optional<ForensicsBundle>& bundle() const {
+    return bundle_;
+  }
+
+  /// Builds a bundle on demand from the recorder's current contents —
+  /// the hook for failed matrix-cell safety assertions, where no monitor
+  /// fired but the run still ended unsafe.
+  [[nodiscard]] ForensicsBundle build_bundle(const std::string& reason) const;
+
+  /// Events kept per node around a violation slice.
+  void set_slice_window(std::size_t window) { slice_window_ = window; }
+
+ private:
+  [[nodiscard]] ForensicsBundle make_bundle(const std::string& reason,
+                                            const TraceEvent* evidence,
+                                            const std::vector<TraceEvent>*
+                                                related) const;
+
+  std::vector<std::unique_ptr<IMonitor>> monitors_;
+  std::optional<ForensicsBundle> bundle_;
+  std::size_t slice_window_ = 32;
+};
+
+}  // namespace ratcon::harness

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/pool.hpp"
+#include "harness/jsonio.hpp"
 #include "harness/protocols.hpp"
 
 namespace ratcon::harness {
@@ -197,6 +198,26 @@ Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
   deposits_->register_players(com.n);
   cluster_ = std::make_unique<net::Cluster>(spec_.net.build(), spec_.seed);
 
+  // Flight recorder: one recording per run, same thread_local contract as
+  // the profiler above. The monitors subscribe only when tracing is on —
+  // level 0 leaves the sink observer-free and ring-free.
+  {
+    TraceSink& sink = TraceSink::Get();
+    const int level =
+        spec_.trace_level >= 0 ? spec_.trace_level : TraceSink::DefaultLevel();
+    sink.Reset(level, com.n,
+               spec_.trace_capacity != 0 ? spec_.trace_capacity
+                                         : TraceSink::kDefaultCapacity);
+    sink.set_clock(cluster_->now_ptr());
+    if (level >= 1) {
+      // floor(n/2)+1 is a valid certificate floor for every protocol here
+      // (pRFT, pBFT-class and HotStuff quorums are all larger).
+      monitors_.install_standard(
+          static_cast<std::int64_t>(com.n / 2 + 1));
+      sink.set_observer(&monitors_);
+    }
+  }
+
   for (NodeId id = 0; id < com.n; ++id) {
     NodeEnv env{cfg_, *registry_, *deposits_, spec_.seed, nullptr};
     const auto it = spec_.adversary.behaviors.find(id);
@@ -287,6 +308,13 @@ Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
       });
     }
   }
+}
+
+Simulation::~Simulation() {
+  // The sink outlives us (thread_local); never leave it a dangling observer.
+  TraceSink& sink = TraceSink::Get();
+  if (sink.observer() == &monitors_) sink.set_observer(nullptr);
+  sink.set_clock(nullptr);
 }
 
 void Simulation::start() {
@@ -491,7 +519,21 @@ RunReport Simulation::report() const {
   r.budget_ms = spec_.budget.wall_ms;
   // Snapshot last so the payoff timer above is part of this run's report.
   r.profile = Profiler::Get().snapshot();
+  r.trace = TraceSink::Get().snapshot();
+  r.trace.violations = monitors_.violations();
+  for (const MonitorVerdict& v : monitors_.verdicts()) {
+    if (v.violated) r.trace.verdicts.push_back(v.summary());
+  }
   return r;
+}
+
+bool Simulation::dump_trace(const std::string& path) const {
+  const TraceSink& sink = TraceSink::Get();
+  if (sink.level() <= 0 || sink.nodes() == 0) return false;
+  const std::vector<TraceEvent> events = sink.merged();
+  bool ok = write_text_file(path, chrome_trace_json(events, sink.nodes()));
+  ok = write_text_file(path + ".txt", format_trace_text(events)) && ok;
+  return ok;
 }
 
 }  // namespace ratcon::harness

@@ -12,6 +12,7 @@
 #include "consensus/outcome.hpp"
 #include "consensus/replica.hpp"
 #include "core/prft_node.hpp"
+#include "harness/monitor.hpp"
 #include "harness/profiler.hpp"
 #include "net/cluster.hpp"
 #include "net/netmodel.hpp"
@@ -191,6 +192,12 @@ struct ScenarioSpec {
   /// commit/decide under adversarial delay recover after GST. Disable to
   /// reproduce the no-recovery behaviour.
   sync::SyncPlan sync_plan;
+  /// Flight-recorder level for this run: -1 adopts the process-wide
+  /// TraceSink::DefaultLevel() (itself 0 unless a sweep raised it), 0 off,
+  /// 1 state transitions, 2 +sends, 3 +receives/deliveries.
+  int trace_level = -1;
+  /// Per-replica trace ring capacity; 0 = TraceSink::kDefaultCapacity.
+  std::size_t trace_capacity = 0;
 
   // Fluent builder sugar for the common axes.
   ScenarioSpec& with_protocol(Protocol p);
@@ -257,6 +264,10 @@ struct RunReport {
   /// event counts are deterministic and byte-identical serial vs parallel.
   ProfReport profile;
 
+  /// Flight-recorder counters and live-monitor verdicts (level 0 = all
+  /// zeros). Event counts are deterministic, serial == parallel.
+  TraceStats trace;
+
   /// Workload measurement: per-tx submit -> first-honest-finalize latency
   /// histogram, throughput, sender skew and mempool overflow counters.
   /// Deterministic (integer counts); empty when the scenario had no
@@ -296,6 +307,7 @@ struct RunReport {
 class Simulation {
  public:
   explicit Simulation(ScenarioSpec spec);
+  ~Simulation();  // detaches the monitor set from the thread's TraceSink
 
   /// Starts every node (round 1 begins). Idempotent.
   void start();
@@ -372,6 +384,21 @@ class Simulation {
   /// Snapshot of the current state as a RunReport (no driving).
   [[nodiscard]] RunReport report() const;
 
+  /// The live invariant monitors watching this run's event stream (empty
+  /// verdicts when the trace level is 0).
+  [[nodiscard]] const MonitorSet& monitors() const { return monitors_; }
+
+  /// The forensics bundle captured at the first monitor violation, if any.
+  [[nodiscard]] const std::optional<ForensicsBundle>& forensics() const {
+    return monitors_.bundle();
+  }
+
+  /// Writes the full recorded trace as Chrome-tracing JSON (`path`, load
+  /// via chrome://tracing or https://ui.perfetto.dev) and the same slice as
+  /// human-readable text next to it (`path` + ".txt"). Returns false when
+  /// tracing was off or the files could not be written.
+  bool dump_trace(const std::string& path) const;
+
  private:
   void note_finalization();
 
@@ -383,6 +410,7 @@ class Simulation {
   std::vector<consensus::IReplica*> replicas_;  // owned by cluster_
   std::vector<sync::CatchupDriver*> drivers_;   // owned by cluster_; may be empty
   std::unique_ptr<workload::WorkloadEngine> engine_;  // null when no workload
+  MonitorSet monitors_;  // observes the thread's TraceSink while we live
   std::chrono::steady_clock::duration wall_spent_{0};
   SimTime finalized_at_ = kSimTimeNever;
   bool started_ = false;

@@ -1,0 +1,294 @@
+#include "harness/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "consensus/types.hpp"
+#include "harness/jsonio.hpp"
+
+namespace ratcon::harness {
+
+std::atomic<int> TraceSink::default_level_{0};
+
+namespace {
+
+constexpr const char* kKindNames[kNumTraceKinds] = {
+    "send",         "recv",         "deliver", "round_enter", "lock_acquire",
+    "lock_release", "vote_cast",    "finalize", "sync_adopt",  "slash",
+};
+
+const char* proto_name(std::uint8_t proto) {
+  switch (static_cast<consensus::ProtoId>(proto)) {
+    case consensus::ProtoId::kPrft:
+      return "prft";
+    case consensus::ProtoId::kPbft:
+      return "pbft";
+    case consensus::ProtoId::kHotstuff:
+      return "hotstuff";
+    case consensus::ProtoId::kPolygraph:
+      return "polygraph";
+    case consensus::ProtoId::kTrap:
+      return "trap";
+    case consensus::ProtoId::kRaftLite:
+      return "raftlite";
+    case consensus::ProtoId::kQuorumDemo:
+      return "quorum";
+    case consensus::ProtoId::kSync:
+      return "sync";
+    default:
+      return "?";
+  }
+}
+
+bool is_wire(TraceKind kind) {
+  return kind == TraceKind::kSend || kind == TraceKind::kRecv ||
+         kind == TraceKind::kDeliver;
+}
+
+/// Short display name for a chrome slice: "finalize h=3", "send t2 r5", …
+std::string display_name(const TraceEvent& ev) {
+  char buf[96];
+  switch (ev.kind) {
+    case TraceKind::kFinalize:
+      std::snprintf(buf, sizeof(buf), "finalize h=%" PRIu64, ev.a);
+      break;
+    case TraceKind::kRoundEnter:
+      std::snprintf(buf, sizeof(buf), "round %" PRIu64, ev.round);
+      break;
+    case TraceKind::kLockAcquire:
+      std::snprintf(buf, sizeof(buf), "lock h=%" PRIu64, ev.a);
+      break;
+    case TraceKind::kSyncAdopt:
+      std::snprintf(buf, sizeof(buf), "adopt %" PRId64 "@h%" PRIu64, ev.aux,
+                    ev.a);
+      break;
+    case TraceKind::kSlash:
+      std::snprintf(buf, sizeof(buf), "slash n%u", ev.node);
+      break;
+    default:
+      if (is_wire(ev.kind)) {
+        std::snprintf(buf, sizeof(buf), "%s %s t%u", to_string(ev.kind),
+                      proto_name(ev.proto), ev.msg_type);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s r%" PRIu64, to_string(ev.kind),
+                      ev.round);
+      }
+      break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(TraceKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < static_cast<std::size_t>(kNumTraceKinds) ? kKindNames[i] : "?";
+}
+
+TraceStats& TraceStats::merge(const TraceStats& other) {
+  level = std::max(level, other.level);
+  recorded += other.recorded;
+  dropped += other.dropped;
+  violations += other.violations;
+  // Keep summaries bounded: a sweep with a systemic bug would otherwise
+  // collect one verdict string per cell.
+  constexpr std::size_t kMaxVerdicts = 16;
+  for (const auto& v : other.verdicts) {
+    if (verdicts.size() >= kMaxVerdicts) break;
+    verdicts.push_back(v);
+  }
+  return *this;
+}
+
+TraceSink& TraceSink::Get() {
+  static thread_local TraceSink sink;
+  return sink;
+}
+
+void TraceSink::Reset(int level, std::uint32_t nodes, std::size_t capacity) {
+  level_ = level;
+  seq_ = 0;
+  observer_ = nullptr;
+  rings_.clear();
+  if (level_ > 0) {
+    rings_.resize(nodes);
+    for (auto& r : rings_) r.reset(capacity);
+  }
+}
+
+std::uint64_t TraceSink::recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r.total();
+  return total;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r.dropped();
+  return total;
+}
+
+std::vector<TraceEvent> TraceSink::merged() const {
+  std::vector<TraceEvent> out;
+  std::size_t retained = 0;
+  for (const auto& r : rings_) retained += r.size();
+  out.reserve(retained);
+  for (const auto& r : rings_) {
+    for (std::size_t i = 0; i < r.size(); ++i) out.push_back(r.at(i));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+TraceStats TraceSink::snapshot() const {
+  TraceStats s;
+  s.level = level_;
+  s.recorded = recorded();
+  s.dropped = dropped();
+  return s;
+}
+
+std::string format_trace_text(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 72);
+  char line[192];
+  for (const auto& ev : events) {
+    int n = std::snprintf(line, sizeof(line),
+                          "[%10" PRId64 "us] n%-3u r%-4" PRIu64 " %-12s", ev.at,
+                          ev.node, ev.round, to_string(ev.kind));
+    if (n < 0) continue;
+    out.append(line, static_cast<std::size_t>(n));
+    if (is_wire(ev.kind)) {
+      std::snprintf(line, sizeof(line),
+                    " %s n%u %s/t%u corr=%016" PRIx64,
+                    ev.kind == TraceKind::kSend ? "->" : "<-", ev.peer,
+                    proto_name(ev.proto), ev.msg_type, ev.corr);
+    } else {
+      switch (ev.kind) {
+        case TraceKind::kFinalize:
+          std::snprintf(line, sizeof(line),
+                        " h=%" PRIu64 " val=%016" PRIx64 " cert=%" PRId64
+                        " (%s)",
+                        ev.a, ev.b, ev.aux, proto_name(ev.proto));
+          break;
+        case TraceKind::kLockAcquire:
+          std::snprintf(line, sizeof(line), " h=%" PRIu64 " votes=%" PRId64
+                        " (%s)",
+                        ev.a, ev.aux, proto_name(ev.proto));
+          break;
+        case TraceKind::kSyncAdopt:
+          std::snprintf(line, sizeof(line),
+                        " first_h=%" PRIu64 " blocks=%" PRId64, ev.a, ev.aux);
+          break;
+        case TraceKind::kSlash:
+          std::snprintf(line, sizeof(line),
+                        " burned=%" PRIu64 " balance_after=%" PRId64, ev.a,
+                        ev.aux);
+          break;
+        case TraceKind::kVoteCast:
+          std::snprintf(line, sizeof(line), " %s/t%u", proto_name(ev.proto),
+                        ev.msg_type);
+          break;
+        default:
+          line[0] = '\0';
+          break;
+      }
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void write_chrome_trace(JsonWriter& json, const std::vector<TraceEvent>& events,
+                        std::uint32_t nodes) {
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+  // Thread-name metadata: one chrome "thread" (tid) per replica.
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    json.begin_object();
+    json.key("name").value("thread_name");
+    json.key("ph").value("M");
+    json.key("pid").value(std::uint64_t{0});
+    json.key("tid").value(static_cast<std::uint64_t>(n));
+    json.key("args").begin_object();
+    char name[32];
+    std::snprintf(name, sizeof(name), "replica %u", n);
+    json.key("name").value(name);
+    json.end_object();
+    json.end_object();
+  }
+  char buf[64];
+  for (const auto& ev : events) {
+    // The slice itself ("X" complete event, 1µs so it renders).
+    json.begin_object();
+    json.key("name").value(display_name(ev));
+    json.key("cat").value(is_wire(ev.kind) ? "wire" : "state");
+    json.key("ph").value("X");
+    json.key("ts").value(static_cast<std::int64_t>(ev.at));
+    json.key("dur").value(std::uint64_t{1});
+    json.key("pid").value(std::uint64_t{0});
+    json.key("tid").value(static_cast<std::uint64_t>(ev.node));
+    json.key("args").begin_object();
+    json.key("seq").value(ev.seq);
+    json.key("kind").value(to_string(ev.kind));
+    json.key("round").value(ev.round);
+    json.key("proto").value(proto_name(ev.proto));
+    if (is_wire(ev.kind)) {
+      json.key("peer").value(static_cast<std::uint64_t>(ev.peer));
+      json.key("msg_type").value(static_cast<std::uint64_t>(ev.msg_type));
+      std::snprintf(buf, sizeof(buf), "%016" PRIx64, ev.corr);
+      json.key("corr").value(buf);
+    }
+    if (ev.kind == TraceKind::kFinalize || ev.kind == TraceKind::kLockAcquire ||
+        ev.kind == TraceKind::kSyncAdopt) {
+      json.key("height").value(ev.a);
+    }
+    if (ev.kind == TraceKind::kFinalize) {
+      std::snprintf(buf, sizeof(buf), "%016" PRIx64, ev.b);
+      json.key("value").value(buf);
+      json.key("cert").value(static_cast<std::int64_t>(ev.aux));
+    }
+    if (ev.kind == TraceKind::kSlash) {
+      json.key("burned").value(ev.a);
+      json.key("balance_after").value(static_cast<std::int64_t>(ev.aux));
+    }
+    json.end_object();
+    json.end_object();
+    // Flow arrows: send starts a flow, recv ends it. The id is unique per
+    // (correlation, destination) so a broadcast renders one arrow per
+    // recipient instead of one many-headed flow.
+    const bool flow_start = ev.kind == TraceKind::kSend;
+    const bool flow_end = ev.kind == TraceKind::kRecv;
+    if (flow_start || flow_end) {
+      const NodeId dest = flow_start ? ev.peer : ev.node;
+      json.begin_object();
+      json.key("name").value("msg");
+      json.key("cat").value("flow");
+      json.key("ph").value(flow_start ? "s" : "f");
+      if (flow_end) json.key("bp").value("e");
+      std::snprintf(buf, sizeof(buf), "%016" PRIx64 "-%u", ev.corr, dest);
+      json.key("id").value(buf);
+      json.key("ts").value(static_cast<std::int64_t>(ev.at));
+      json.key("pid").value(std::uint64_t{0});
+      json.key("tid").value(static_cast<std::uint64_t>(ev.node));
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              std::uint32_t nodes) {
+  JsonWriter json;
+  write_chrome_trace(json, events, nodes);
+  return json.str();
+}
+
+}  // namespace ratcon::harness

@@ -1,0 +1,331 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+/// Compile-out guard: building with -DRATCON_TRACE_ENABLED=0 removes every
+/// trace emission (the helpers below compile to nothing), for deployments
+/// that cannot afford even the level-0 runtime branch.
+#ifndef RATCON_TRACE_ENABLED
+#define RATCON_TRACE_ENABLED 1
+#endif
+
+namespace ratcon::harness {
+
+class JsonWriter;
+
+/// Flight recorder for the simulator (model: the enum-indexed Profiler in
+/// profiler.hpp — thread_local sink, process-wide atomic default level,
+/// one recording per Simulation). Every replica appends POD `TraceEvent`s
+/// to a fixed-capacity per-node ring buffer: cheap enough to leave on in
+/// long sweeps, bounded no matter how long a run goes, and when something
+/// trips — an invariant monitor, a failed matrix safety assertion — the
+/// newest events from every node merge into one causally-ordered slice
+/// that says exactly who sent what to whom before the violation.
+///
+/// Levels (each includes the ones below it):
+///  * 0 — off. One thread_local read + compare per emission point.
+///  * 1 — state transitions: round entry, lock acquire/release, vote cast,
+///        finalize, sync adopt, slash. The monitors' diet.
+///  * 2 — + network sends with a correlation id (FNV-1a 64 over the wire
+///        bytes, computed identically at send and receive, so one logical
+///        message is one id across every replica's buffer — no wire-format
+///        change, broadcasts share the id by construction).
+///  * 3 — + receives and post-verification delivers (full message lineage).
+enum class TraceKind : std::uint8_t {
+  kSend = 0,      ///< network send (emitted at the cluster edge)
+  kRecv,          ///< network arrival, pre-verification
+  kDeliver,       ///< accepted by a replica's dispatch (post-verification)
+  kRoundEnter,    ///< replica entered round/term/view `round`
+  kLockAcquire,   ///< lock/tentative-commit taken (a = height)
+  kLockRelease,   ///< lock dropped (finalized past it, view change, sync)
+  kVoteCast,      ///< replica sent a vote-class message for `round`
+  kFinalize,      ///< block finalized (a = height, b = hash prefix,
+                  ///<                  aux = certificate size, -1 delegated)
+  kSyncAdopt,     ///< catch-up adopted blocks (a = first height, aux = count)
+  kSlash,         ///< deposit burned (a = amount, aux = post-burn balance)
+  kNumTraceKinds,  ///< not a real kind
+};
+
+inline constexpr int kNumTraceKinds =
+    static_cast<int>(TraceKind::kNumTraceKinds);
+
+/// Stable snake_case name ("send", "round_enter", …) for reports and dumps.
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+/// Collection level at which `kind` starts being recorded (1, 2 or 3).
+[[nodiscard]] constexpr int trace_level_for(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend:
+      return 2;
+    case TraceKind::kRecv:
+    case TraceKind::kDeliver:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+/// One recorded event. POD on purpose: rings are flat vectors, overflow is
+/// a single struct overwrite, and snapshots are memcpy-clean.
+struct TraceEvent {
+  SimTime at = 0;          ///< virtual time (µs) — never wall-clock
+  std::uint64_t seq = 0;   ///< global emission order within the recording
+  std::uint64_t corr = 0;  ///< message correlation id (0 for state events)
+  std::uint64_t a = 0;     ///< kind-specific: height, burned amount, …
+  std::uint64_t b = 0;     ///< kind-specific: finalized-value hash prefix
+  std::int64_t aux = 0;    ///< kind-specific: cert size, post-burn balance
+  Round round = 0;
+  NodeId node = 0;         ///< the replica this event happened on
+  NodeId peer = 0;         ///< counterparty for send/recv/deliver
+  TraceKind kind = TraceKind::kSend;
+  std::uint8_t proto = 0;     ///< consensus::ProtoId of the subsystem
+  std::uint8_t msg_type = 0;  ///< protocol message type for wire events
+};
+
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+
+/// FNV-1a 64 over a byte range — the correlation id. Both the send edge
+/// and the receive edge hash the identical wire bytes, so the id matches
+/// without ever touching the wire format.
+[[nodiscard]] inline std::uint64_t trace_corr(const std::uint8_t* data,
+                                              std::size_t size) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Fixed-capacity ring: overwrites the oldest event once full and keeps an
+/// exact count of everything ever pushed, so `dropped()` is precise.
+class TraceRing {
+ public:
+  void reset(std::size_t capacity) {
+    buf_.assign(capacity, TraceEvent{});
+    total_ = 0;
+  }
+  void push(const TraceEvent& ev) {
+    if (buf_.empty()) return;
+    buf_[total_ % buf_.size()] = ev;
+    ++total_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  /// Events currently retained (≤ capacity).
+  [[nodiscard]] std::size_t size() const {
+    return total_ < buf_.size() ? static_cast<std::size_t>(total_)
+                                : buf_.size();
+  }
+  /// Events ever pushed.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Events overwritten — exact, not saturating.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ > buf_.size() ? total_ - buf_.size() : 0;
+  }
+  /// i-th retained event, oldest first.
+  [[nodiscard]] const TraceEvent& at(std::size_t i) const {
+    const std::size_t start =
+        total_ > buf_.size() ? static_cast<std::size_t>(total_ % buf_.size())
+                             : 0;
+    return buf_[(start + i) % buf_.size()];
+  }
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::uint64_t total_ = 0;
+};
+
+/// Recorder counters that ride RunReport (and merge across matrix cells).
+/// `verdicts` carries the monitors' violation descriptions — empty means
+/// every invariant held.
+struct TraceStats {
+  int level = 0;
+  std::uint64_t recorded = 0;  ///< events emitted (retained + dropped)
+  std::uint64_t dropped = 0;   ///< events overwritten by ring overflow
+  std::uint64_t violations = 0;
+  std::vector<std::string> verdicts;
+
+  TraceStats& merge(const TraceStats& other);
+};
+
+/// Observer fed every emitted event, synchronously, after it is recorded.
+/// The invariant monitors (monitor.hpp) implement this.
+class ITraceObserver {
+ public:
+  virtual ~ITraceObserver() = default;
+  virtual void on_trace_event(const TraceEvent& ev) = 0;
+};
+
+/// The per-thread recorder. `Get()` hands out one instance per thread; a
+/// Simulation resets it at construction (rings sized to the committee,
+/// allocated only when the level is non-zero) and snapshots it into its
+/// RunReport — so parallel matrix cells record independently and a serial
+/// sweep sees byte-identical per-cell event streams.
+class TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;  ///< events per node
+
+  [[nodiscard]] static TraceSink& Get();
+
+  /// Process-wide default level; every Simulation re-adopts it at
+  /// construction (same contract as Profiler::SetDefaultLevel), so
+  /// `bench_matrix_sweep --trace=N` governs all worker threads.
+  static void SetDefaultLevel(int level) {
+    default_level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static int DefaultLevel() {
+    return default_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts a fresh recording for `nodes` replicas at `level`. Rings are
+  /// only allocated when level > 0; level 0 keeps the sink empty so the
+  /// hot path pays exactly one thread_local read + compare.
+  void Reset(int level, std::uint32_t nodes,
+             std::size_t capacity = kDefaultCapacity);
+
+  [[nodiscard]] int level() const { return level_; }
+  [[nodiscard]] bool enabled(int lvl) const { return level_ >= lvl; }
+
+  /// The virtual clock events are stamped from (the EventQueue's internal
+  /// now). Null falls back to timestamp 0 — fine for unit tests that drive
+  /// the sink directly.
+  void set_clock(const SimTime* now) { now_ = now; }
+
+  /// Observer invoked after every recorded event (null to detach). The
+  /// sink does not own it; whoever installs it must detach before dying.
+  void set_observer(ITraceObserver* obs) { observer_ = obs; }
+  [[nodiscard]] ITraceObserver* observer() const { return observer_; }
+
+  /// Records `ev` (stamping `at` and `seq`) if its kind's level is on.
+  /// Callers that do non-trivial work to build the event (hashing wire
+  /// bytes, looking up chain hashes) should gate on `enabled()` first.
+  void Emit(TraceEvent ev) {
+    if (level_ < trace_level_for(ev.kind)) return;
+    ev.at = now_ ? *now_ : 0;
+    ev.seq = ++seq_;
+    if (ev.node < rings_.size()) rings_[ev.node].push(ev);
+    if (observer_ != nullptr) observer_->on_trace_event(ev);
+  }
+
+  [[nodiscard]] std::uint32_t nodes() const {
+    return static_cast<std::uint32_t>(rings_.size());
+  }
+  [[nodiscard]] const TraceRing& ring(NodeId node) const {
+    return rings_[node];
+  }
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// All retained events from every ring, merged into emission (= causal)
+  /// order: the simulation is single-threaded per run, so the global seq
+  /// is a total order consistent with happens-before.
+  [[nodiscard]] std::vector<TraceEvent> merged() const;
+
+  /// Counter snapshot (verdicts left empty — the monitors fill those).
+  [[nodiscard]] TraceStats snapshot() const;
+
+ private:
+  static std::atomic<int> default_level_;
+
+  int level_ = DefaultLevel();
+  std::uint64_t seq_ = 0;
+  const SimTime* now_ = nullptr;
+  ITraceObserver* observer_ = nullptr;
+  std::vector<TraceRing> rings_;
+};
+
+#if RATCON_TRACE_ENABLED
+
+/// True when events of `kind` would be recorded — the gate call sites use
+/// before doing any work to build an event.
+[[nodiscard]] inline bool trace_on(TraceKind kind) {
+  return TraceSink::Get().enabled(trace_level_for(kind));
+}
+
+/// Records a state-transition event (levels ≥ 1). Arguments are scalars
+/// the call site already has, so the disabled cost is the level check.
+inline void trace_state(TraceKind kind, NodeId node, Round round,
+                        std::uint8_t proto, std::uint64_t a = 0,
+                        std::uint64_t b = 0, std::int64_t aux = 0,
+                        std::uint8_t msg_type = 0) {
+  auto& sink = TraceSink::Get();
+  if (sink.level() < trace_level_for(kind)) return;
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.node = node;
+  ev.peer = node;
+  ev.round = round;
+  ev.proto = proto;
+  ev.a = a;
+  ev.b = b;
+  ev.aux = aux;
+  ev.msg_type = msg_type;
+  sink.Emit(ev);
+}
+
+/// Records a wire event (send/recv/deliver). `corr` from trace_corr().
+inline void trace_wire(TraceKind kind, NodeId node, NodeId peer, Round round,
+                       std::uint8_t proto, std::uint8_t msg_type,
+                       std::uint64_t corr) {
+  auto& sink = TraceSink::Get();
+  if (sink.level() < trace_level_for(kind)) return;
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.node = node;
+  ev.peer = peer;
+  ev.round = round;
+  ev.proto = proto;
+  ev.msg_type = msg_type;
+  ev.corr = corr;
+  sink.Emit(ev);
+}
+
+/// Records a post-verification deliver, hashing the wire bytes for the
+/// correlation id only when level 3 is on.
+inline void trace_deliver(NodeId node, NodeId peer, Round round,
+                          std::uint8_t proto, std::uint8_t msg_type,
+                          const std::uint8_t* wire, std::size_t size) {
+  if (!trace_on(TraceKind::kDeliver)) return;
+  trace_wire(TraceKind::kDeliver, node, peer, round, proto, msg_type,
+             trace_corr(wire, size));
+}
+
+#else  // RATCON_TRACE_ENABLED
+
+[[nodiscard]] inline bool trace_on(TraceKind) { return false; }
+inline void trace_state(TraceKind, NodeId, Round, std::uint8_t,
+                        std::uint64_t = 0, std::uint64_t = 0,
+                        std::int64_t = 0, std::uint8_t = 0) {}
+inline void trace_wire(TraceKind, NodeId, NodeId, Round, std::uint8_t,
+                       std::uint8_t, std::uint64_t) {}
+inline void trace_deliver(NodeId, NodeId, Round, std::uint8_t, std::uint8_t,
+                          const std::uint8_t*, std::size_t) {}
+
+#endif  // RATCON_TRACE_ENABLED
+
+/// One line per event, oldest first — the human-readable half of a
+/// forensics bundle: `[   1234µs] n2 r5 finalize h=3 val=1a2b.. cert=4`.
+[[nodiscard]] std::string format_trace_text(
+    const std::vector<TraceEvent>& events);
+
+/// Emits `events` as a Chrome-tracing (chrome://tracing / Perfetto)
+/// document: every event a "X" slice on pid 0 / tid `node`, plus "s"/"f"
+/// flow arrows joining same-correlation send→recv pairs so message
+/// lineage renders as arrows between replica tracks. The writer must be
+/// positioned where an object value is legal.
+void write_chrome_trace(JsonWriter& json, const std::vector<TraceEvent>& events,
+                        std::uint32_t nodes);
+
+/// Convenience: full chrome-trace document for `events` as a string.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events, std::uint32_t nodes);
+
+}  // namespace ratcon::harness

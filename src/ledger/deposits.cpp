@@ -1,5 +1,7 @@
 #include "ledger/deposits.hpp"
 
+#include "harness/trace.hpp"
+
 namespace ratcon::ledger {
 
 void DepositLedger::register_players(std::uint32_t n) {
@@ -24,6 +26,11 @@ std::int64_t DepositLedger::burn(NodeId player, Round round) {
   slashed_[player] = true;
   total_burned_ += burned;
   events_.push_back({player, burned, round});
+  // a = amount burned, aux = post-burn balance; the deposit monitor flags
+  // any slash that would leave a negative balance.
+  harness::trace_state(harness::TraceKind::kSlash, player, round, 0,
+                       static_cast<std::uint64_t>(burned), 0,
+                       it == balances_.end() ? 0 : it->second);
   return burned;
 }
 

@@ -3,7 +3,42 @@
 #include <algorithm>
 #include <cassert>
 
+#include "harness/trace.hpp"
+
 namespace ratcon::net {
+
+#if RATCON_TRACE_ENABLED
+namespace {
+
+/// Flight-recorder attribution for one wire buffer: piggyback containers
+/// (src/sync) report their inner message's class, mirroring the traffic
+/// stats, and the round rides at a fixed offset in the envelope header.
+void emit_wire_trace(harness::TraceKind kind, NodeId node, NodeId peer,
+                     const Bytes& data, std::uint64_t corr) {
+  const std::uint8_t* hdr = data.data();
+  std::size_t len = data.size();
+  if (len >= kPiggybackHeader && hdr[0] == kPiggybackMarker) {
+    const std::size_t inner_len = static_cast<std::size_t>(hdr[1]) |
+                                  (static_cast<std::size_t>(hdr[2]) << 8) |
+                                  (static_cast<std::size_t>(hdr[3]) << 16) |
+                                  (static_cast<std::size_t>(hdr[4]) << 24);
+    if (inner_len >= 2 && kPiggybackHeader + inner_len <= len) {
+      hdr = data.data() + kPiggybackHeader;
+      len = inner_len;
+    }
+  }
+  if (len < 2) return;
+  std::uint64_t round = 0;
+  if (len >= 10) {
+    for (int i = 0; i < 8; ++i) {
+      round |= static_cast<std::uint64_t>(hdr[2 + i]) << (8 * i);
+    }
+  }
+  harness::trace_wire(kind, node, peer, round, hdr[0], hdr[1], corr);
+}
+
+}  // namespace
+#endif  // RATCON_TRACE_ENABLED
 
 // ---------------------------------------------------------------------------
 // Context
@@ -152,10 +187,28 @@ void Cluster::deliver(NodeId from, NodeId to, Bytes data, bool count_stats) {
       if (trace_) trace_(now(), from, to, data[0], data[1], data.size());
     }
   }
+  // Flight recorder: the correlation id is the hash of the wire bytes, so
+  // the send edge here and the receive edge in the delivery lambda agree
+  // on it without any wire change (broadcasts share one id per payload).
+  std::uint64_t corr = 0;
+#if RATCON_TRACE_ENABLED
+  if (count_stats && data.size() >= 2 &&
+      harness::trace_on(harness::TraceKind::kSend)) {
+    corr = harness::trace_corr(data.data(), data.size());
+    emit_wire_trace(harness::TraceKind::kSend, from, to, data, corr);
+  }
+#endif
   const SimTime at =
       (from == to) ? now() : delivery_time_for(from, to);
-  queue_.schedule_at(at, [this, from, to, msg = std::move(data)]() {
+  queue_.schedule_at(at, [this, from, to, corr, msg = std::move(data)]() {
     if (nodes_[to].crashed) return;
+#if RATCON_TRACE_ENABLED
+    if (corr != 0 && harness::trace_on(harness::TraceKind::kRecv)) {
+      emit_wire_trace(harness::TraceKind::kRecv, to, from, msg, corr);
+    }
+#else
+    (void)corr;
+#endif
     Context ctx(*this, to);
     nodes_[to].impl->on_message(ctx, from, msg);
   });

@@ -118,6 +118,8 @@ class Cluster {
   std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
 
   [[nodiscard]] SimTime now() const { return queue_.now(); }
+  /// Stable pointer to the virtual clock, for the flight recorder.
+  [[nodiscard]] const SimTime* now_ptr() const { return queue_.now_ptr(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.pending(); }
 
   /// Timestamp of the next pending event (kSimTimeNever when the queue is

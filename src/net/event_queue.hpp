@@ -31,6 +31,9 @@ class EventQueue {
   bool step();
 
   [[nodiscard]] SimTime now() const { return now_; }
+  /// Stable pointer to the virtual clock — the flight recorder stamps
+  /// events through it without a per-emission queue call.
+  [[nodiscard]] const SimTime* now_ptr() const { return &now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 

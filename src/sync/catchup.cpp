@@ -4,6 +4,7 @@
 
 #include "crypto/merkle.hpp"
 #include "harness/profiler.hpp"
+#include "harness/trace.hpp"
 
 namespace ratcon::sync {
 
@@ -455,6 +456,12 @@ void CatchupDriver::handle_response(net::Context& ctx,
       body.blocks.begin() +
           static_cast<std::ptrdiff_t>(adopt_to - body.first_height + 1));
   if (inner_->on_sync_adopt(ctx, run, body.first_height)) {
+    // The driver's own adoption record, distinct from the inner replica's
+    // (proto = kSync): which heights arrived via state transfer.
+    harness::trace_state(
+        harness::TraceKind::kSyncAdopt, ctx.self(), 0,
+        static_cast<std::uint8_t>(consensus::ProtoId::kSync),
+        body.first_height, 0, static_cast<std::int64_t>(run.size()));
     adopted_ += run.size();
     request_pending_ = false;  // answered; after_step chases the next batch
   } else {

@@ -28,6 +28,11 @@ MatrixSpec tier1_spec() {
   spec.seeds = {1, 2, 3, 4, 5};
   spec.target_blocks = 3;
   spec.workload_txs = 12;
+  // Flight recorder at level 1 (state transitions): the invariant
+  // monitors watch every tier-1 cell live, and any unsafe cell dumps a
+  // forensics bundle into build/forensics/ — CI uploads it on failure.
+  spec.trace_level = 1;
+  spec.forensics_dir = "forensics";
   return spec;
 }
 
@@ -67,6 +72,9 @@ void expect_every_cell_safe(const MatrixReport& report,
       EXPECT_GT(cell.messages, 0u) << "progress without traffic in "
                                    << cell.label();
     }
+    EXPECT_EQ(cell.trace.violations, 0u)
+        << "invariant monitor fired in " << cell.label() << ": "
+        << (cell.trace.verdicts.empty() ? "?" : cell.trace.verdicts.front());
   }
   EXPECT_TRUE(report.all_safe()) << report.summary();
 }

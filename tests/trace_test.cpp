@@ -1,0 +1,281 @@
+// Flight-recorder coverage: ring-buffer overflow semantics (newest kept,
+// exact drop counter), deterministic event capture across serial and
+// parallel matrix sweeps, invariant monitors firing on an injected
+// double-finalize and staying silent across the honest matrix, and the
+// Chrome-trace JSON emitter producing loadable output.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/matrix.hpp"
+#include "harness/monitor.hpp"
+#include "harness/scenario.hpp"
+#include "harness/trace.hpp"
+
+namespace ratcon::harness {
+namespace {
+
+TraceEvent make_event(std::uint64_t seq, NodeId node = 0,
+                      TraceKind kind = TraceKind::kRoundEnter) {
+  TraceEvent ev{};
+  ev.seq = seq;
+  ev.node = node;
+  ev.kind = kind;
+  ev.round = seq;
+  return ev;
+}
+
+// -- TraceRing ---------------------------------------------------------------
+
+TEST(TraceRingTest, KeepsNewestOnOverflowWithExactDropCount) {
+  TraceRing ring;
+  ring.reset(4);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.push(make_event(i));
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Oldest-first iteration yields exactly the newest four events.
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i).seq, 6u + i);
+  }
+}
+
+TEST(TraceRingTest, NoDropsBelowCapacity) {
+  TraceRing ring;
+  ring.reset(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.push(make_event(i));
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.at(0).seq, 0u);
+  EXPECT_EQ(ring.at(4).seq, 4u);
+}
+
+// -- TraceSink ---------------------------------------------------------------
+
+TEST(TraceSinkTest, LevelZeroRecordsNothingAndAllocatesNoRings) {
+  TraceSink& sink = TraceSink::Get();
+  sink.Reset(/*level=*/0, /*nodes=*/4);
+  trace_state(TraceKind::kFinalize, 0, 1, 1, 1, 0xAB, 3);
+  EXPECT_EQ(sink.nodes(), 0u);
+  EXPECT_EQ(sink.recorded(), 0u);
+  sink.Reset(0, 0);
+}
+
+TEST(TraceSinkTest, LevelGatesKindsAndMergesInSeqOrder) {
+  TraceSink& sink = TraceSink::Get();
+  sink.Reset(/*level=*/1, /*nodes=*/2);
+  trace_state(TraceKind::kRoundEnter, 1, 5, 1);
+  trace_wire(TraceKind::kSend, 0, 1, 5, 1, 0, 0x1234);  // level 2 — gated off
+  trace_state(TraceKind::kFinalize, 0, 5, 1, 1, 0xAB, 3);
+  EXPECT_EQ(sink.recorded(), 2u);
+  const auto merged = sink.merged();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].kind, TraceKind::kRoundEnter);
+  EXPECT_EQ(merged[1].kind, TraceKind::kFinalize);
+  EXPECT_LT(merged[0].seq, merged[1].seq);
+  sink.Reset(0, 0);
+}
+
+TEST(TraceSinkTest, SimulationOverflowDropsAreExact) {
+  ScenarioSpec spec;
+  spec.committee.n = 4;
+  spec.seed = 3;
+  spec.budget.target_blocks = 2;
+  spec.workload.txs = 4;
+  spec.trace_level = 3;
+  spec.trace_capacity = 16;  // tiny rings: overflow guaranteed
+  Simulation sim(spec);
+  const RunReport report = sim.run_to_completion();
+  EXPECT_GT(report.trace.recorded, 0u);
+  EXPECT_GT(report.trace.dropped, 0u);
+  const TraceSink& sink = TraceSink::Get();
+  std::uint64_t retained = 0;
+  for (NodeId id = 0; id < sink.nodes(); ++id) {
+    EXPECT_LE(sink.ring(id).size(), 16u);
+    retained += sink.ring(id).size();
+  }
+  EXPECT_EQ(report.trace.dropped, report.trace.recorded - retained);
+}
+
+// -- Monitors ----------------------------------------------------------------
+
+TEST(MonitorTest, InjectedDoubleFinalizeIsCaughtWithFullLineage) {
+  ScenarioSpec spec;
+  spec.committee.n = 4;
+  spec.seed = 7;
+  spec.budget.target_blocks = 2;
+  spec.workload.txs = 4;
+  spec.trace_level = 3;
+  Simulation sim(spec);
+  const RunReport clean = sim.run_to_completion();
+  ASSERT_TRUE(clean.safe());
+  ASSERT_FALSE(sim.monitors().violated());
+  ASSERT_EQ(clean.trace.violations, 0u);
+
+  // Find a genuinely recorded finalize, then inject a conflicting one at
+  // the same height with a different value from another replica — the
+  // seeded equivalent of an agreement break.
+  const std::vector<TraceEvent> events = TraceSink::Get().merged();
+  const TraceEvent* fin = nullptr;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == TraceKind::kFinalize) {
+      fin = &ev;
+      break;
+    }
+  }
+  ASSERT_NE(fin, nullptr) << "no finalize recorded at level 3";
+  const NodeId other = (fin->node + 1) % spec.committee.n;
+  trace_state(TraceKind::kFinalize, other, fin->round, fin->proto, fin->a,
+              fin->b ^ 0xDEADBEEFull, fin->aux);
+
+  EXPECT_TRUE(sim.monitors().violated());
+  ASSERT_TRUE(sim.forensics().has_value());
+  const ForensicsBundle& bundle = *sim.forensics();
+  EXPECT_NE(bundle.reason.find("conflicting-finalize"), std::string::npos)
+      << bundle.reason;
+
+  // The bundle's text names both conflicting finalize events (their seqs)
+  // and lists the messages that led to each on its replica.
+  EXPECT_NE(bundle.text.find("conflicting finalize"), std::string::npos);
+  const std::string prior_seq = "seq " + std::to_string(fin->seq);
+  EXPECT_NE(bundle.text.find(prior_seq), std::string::npos)
+      << "bundle does not name the first finalize:\n"
+      << bundle.text;
+  EXPECT_NE(bundle.text.find("messages leading to finalize"),
+            std::string::npos);
+  // Level 3 recorded real wire traffic before the first finalize, so its
+  // lineage section must not be empty.
+  const auto lead_at = bundle.text.find("messages leading to finalize on n" +
+                                        std::to_string(fin->node));
+  ASSERT_NE(lead_at, std::string::npos) << bundle.text;
+  const auto next_lead = bundle.text.find("messages leading", lead_at + 1);
+  const std::string lead_section = bundle.text.substr(
+      lead_at,
+      next_lead == std::string::npos ? std::string::npos : next_lead - lead_at);
+  EXPECT_EQ(lead_section.find("(none recorded"), std::string::npos)
+      << lead_section;
+
+  // The same slice ships as a Chrome-tracing document.
+  EXPECT_FALSE(bundle.chrome_json.empty());
+  EXPECT_EQ(bundle.chrome_json.front(), '{');
+  EXPECT_NE(bundle.chrome_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(bundle.chrome_json.find("\"finalize\""), std::string::npos);
+}
+
+TEST(MonitorTest, QuorumThresholdMonitorFlagsUndersizedCertificate) {
+  TraceSink& sink = TraceSink::Get();
+  sink.Reset(/*level=*/1, /*nodes=*/4);
+  MonitorSet monitors;
+  monitors.install_standard(/*quorum_threshold=*/3);
+  sink.set_observer(&monitors);
+  trace_state(TraceKind::kFinalize, 0, 1, 1, /*a=*/1, /*b=*/0xAA, /*aux=*/3);
+  trace_state(TraceKind::kFinalize, 1, 1, 1, /*a=*/1, /*b=*/0xAA, /*aux=*/-1);
+  EXPECT_FALSE(monitors.violated());  // 3 >= τ; -1 is delegated (exempt)
+  trace_state(TraceKind::kFinalize, 2, 2, 1, /*a=*/2, /*b=*/0xBB, /*aux=*/2);
+  EXPECT_TRUE(monitors.violated());
+  sink.set_observer(nullptr);
+  sink.Reset(0, 0);
+}
+
+TEST(MonitorTest, LockMonotonicityFlagsSameHeightBackwardsJumpOnly) {
+  TraceSink& sink = TraceSink::Get();
+  sink.Reset(/*level=*/1, /*nodes=*/2);
+  MonitorSet monitors;
+  monitors.install_standard(2);
+  sink.set_observer(&monitors);
+  // Forward re-lock at the same height, then a different height at a
+  // lower round (legal chained progress): both fine.
+  trace_state(TraceKind::kLockAcquire, 0, 5, 1, /*a=*/3);
+  trace_state(TraceKind::kLockAcquire, 0, 6, 1, /*a=*/3);
+  trace_state(TraceKind::kLockAcquire, 0, 4, 1, /*a=*/4);
+  EXPECT_FALSE(monitors.violated());
+  // Release clears the held lock; re-acquiring lower is then fine.
+  trace_state(TraceKind::kLockRelease, 0, 4, 1, /*a=*/4);
+  trace_state(TraceKind::kLockAcquire, 0, 2, 1, /*a=*/4);
+  EXPECT_FALSE(monitors.violated());
+  // Same height, older round, no release: the real violation.
+  trace_state(TraceKind::kLockAcquire, 0, 1, 1, /*a=*/4);
+  EXPECT_TRUE(monitors.violated());
+  sink.set_observer(nullptr);
+  sink.Reset(0, 0);
+}
+
+// -- Determinism across sweep modes -----------------------------------------
+
+TEST(TraceMatrixTest, SerialAndParallelSweepsRecordIdenticalCounts) {
+  MatrixSpec spec;
+  spec.protocols = {Protocol::kPrft, Protocol::kHotStuff, Protocol::kRaftLite,
+                    Protocol::kQuorum};
+  spec.committee_sizes = {4};
+  spec.seeds = {1, 2};
+  spec.target_blocks = 2;
+  spec.workload_txs = 6;
+  spec.trace_level = 2;
+
+  spec.workers = 1;
+  const MatrixReport serial = run_matrix(spec);
+  spec.workers = 4;
+  const MatrixReport parallel = run_matrix(spec);
+
+  ASSERT_EQ(serial.cell_count(), parallel.cell_count());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const CellResult& s = serial.cells[i];
+    const CellResult& p = parallel.cells[i];
+    EXPECT_GT(s.trace.recorded, 0u) << s.label();
+    EXPECT_EQ(s.trace.recorded, p.trace.recorded) << s.label();
+    EXPECT_EQ(s.trace.dropped, p.trace.dropped) << s.label();
+    // The monitors stay silent across the whole deterministic matrix.
+    EXPECT_EQ(s.trace.violations, 0u) << s.label();
+    EXPECT_EQ(p.trace.violations, 0u) << p.label();
+  }
+  EXPECT_TRUE(serial.all_safe());
+  const TraceStats total = serial.aggregate_trace();
+  EXPECT_EQ(total.recorded, parallel.aggregate_trace().recorded);
+  EXPECT_EQ(total.level, 2);
+}
+
+// -- Renderers ---------------------------------------------------------------
+
+TEST(TraceRenderTest, ChromeTraceJoinsSendRecvWithFlowArrows) {
+  TraceEvent send = make_event(1, 0, TraceKind::kSend);
+  send.peer = 1;
+  send.corr = 0xC0FFEE;
+  send.proto = 1;
+  TraceEvent recv = make_event(2, 1, TraceKind::kRecv);
+  recv.peer = 0;
+  recv.corr = 0xC0FFEE;
+  recv.proto = 1;
+  recv.at = 10;
+  const std::string json = chrome_trace_json({send, recv}, 2);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Braces balance (no JSON parser in-tree; this catches truncation).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TraceRenderTest, TextFormatNamesWireAndStateEvents) {
+  TraceEvent fin = make_event(3, 2, TraceKind::kFinalize);
+  fin.a = 7;
+  fin.b = 0xAB;
+  fin.aux = 3;
+  TraceEvent send = make_event(4, 0, TraceKind::kSend);
+  send.peer = 2;
+  send.corr = 0x1234;
+  const std::string text = format_trace_text({fin, send});
+  EXPECT_NE(text.find("finalize"), std::string::npos);
+  EXPECT_NE(text.find("h=7"), std::string::npos);
+  EXPECT_NE(text.find("send"), std::string::npos);
+  EXPECT_NE(text.find("corr="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ratcon::harness
