@@ -1,0 +1,112 @@
+// Perf-trajectory regression gate: diffs freshly produced BENCH_*.json
+// artifacts against the committed baselines under bench/baselines/ and
+// exits by verdict, so a PR that tanks cells/sec, inflates p99, or breaks
+// a safety bit is caught by CI rather than by archaeology. Tolerances are
+// per metric (harness/compare.cpp): deterministic virtual-time metrics get
+// tight bands, host wall-clock metrics get loose ones; only movement in
+// the worse direction trips the gate.
+//
+//   bench_compare --baseline=bench/baselines/BENCH_matrix_smoke.baseline.json
+//                 --current=BENCH_matrix_smoke.json
+//   bench_compare --baseline-dir=bench/baselines --current-dir=.
+//                                  # pairs every <stem>.baseline.json with
+//                                  #   <current-dir>/<stem>.json
+//   bench_compare ... --json=BENCH_compare.json   # machine-readable verdicts
+//
+// Exit codes: 0 = pass or warn, 1 = any fail, 2 = usage/setup error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/compare.hpp"
+#include "harness/flags.hpp"
+#include "harness/jsonio.hpp"
+
+int main(int argc, char** argv) {
+  ratcon::harness::Flags flags(argc, argv);
+
+  const std::string baseline = flags.get_str("baseline", "");
+  const std::string current = flags.get_str("current", "");
+  const std::string baseline_dir = flags.get_str("baseline-dir", "");
+  const std::string current_dir = flags.get_str("current-dir", "");
+
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (!baseline.empty() && !current.empty()) {
+    pairs.emplace_back(baseline, current);
+  } else if (!baseline_dir.empty() && !current_dir.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(baseline_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      constexpr std::string_view kSuffix = ".baseline.json";
+      if (name.size() <= kSuffix.size() ||
+          name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                       kSuffix) != 0) {
+        continue;
+      }
+      const std::string stem = name.substr(0, name.size() - kSuffix.size());
+      pairs.emplace_back(entry.path().string(),
+                         (fs::path(current_dir) / (stem + ".json")).string());
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot list --baseline-dir=%s: %s\n",
+                   baseline_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    if (pairs.empty()) {
+      std::fprintf(stderr, "no *.baseline.json files under %s\n",
+                   baseline_dir.c_str());
+      return 2;
+    }
+    // directory_iterator order is unspecified; keep the output stable.
+    std::sort(pairs.begin(), pairs.end());
+  } else {
+    std::fprintf(stderr,
+                 "usage: bench_compare --baseline=<file> --current=<file>\n"
+                 "       bench_compare --baseline-dir=<dir> "
+                 "--current-dir=<dir>\n"
+                 "       [--json=<out.json>]\n");
+    return 2;
+  }
+
+  std::vector<ratcon::harness::CompareReport> reports;
+  reports.reserve(pairs.size());
+  int worst = 0;
+  for (const auto& [base_path, cur_path] : pairs) {
+    reports.push_back(ratcon::harness::compare_files(base_path, cur_path));
+    const ratcon::harness::CompareReport& report = reports.back();
+    std::printf("%s\n", report.summary().c_str());
+    worst = std::max(worst, report.verdict());
+  }
+
+  const std::string json_path = flags.get_str("json", "");
+  if (!json_path.empty()) {
+    ratcon::harness::JsonWriter json;
+    json.begin_object();
+    json.key("bench").value("compare");
+    json.key("verdict").value(worst == 0   ? "pass"
+                              : worst == 1 ? "warn"
+                                           : "fail");
+    json.key("reports").begin_array();
+    for (const auto& report : reports) {
+      ratcon::harness::write_compare_json(json, report);
+    }
+    json.end_array();
+    json.end_object();
+    if (ratcon::harness::write_text_file(json_path, json.str())) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("WARNING: could not write %s\n", json_path.c_str());
+    }
+  }
+
+  std::printf("overall: %s (%zu artifact pair(s))\n",
+              worst == 0   ? "pass"
+              : worst == 1 ? "warn"
+                           : "FAIL",
+              pairs.size());
+  return worst >= 2 ? 1 : 0;
+}

@@ -18,6 +18,14 @@
 //                                              #   3 +recv/deliver
 //   bench_matrix_sweep --forensics=build/forensics  # dump bundles for
 //                                              #   unsafe/violated cells
+//   bench_matrix_sweep --metrics=0             # metrics timelines (0..2;
+//                                              #   default 1: virtual-time
+//                                              #   gauges + liveness watchdog)
+//   bench_matrix_sweep --compare=bench/baselines/BENCH_matrix_smoke.baseline.json
+//                                              # regression-gate this run
+//   bench_matrix_sweep --dump-slowest=trace.json    # re-run the slowest
+//                                              #   cell traced; merged
+//                                              #   slices+counters JSON
 //
 // Cells run in parallel by default (one worker per hardware thread; each
 // cell is an independent seeded simulation, so results are identical to a
@@ -27,14 +35,17 @@
 // BENCH_matrix.json (per-cell safety, traffic and wall-clock) so the perf
 // trajectory is tracked across PRs.
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "harness/compare.hpp"
 #include "harness/flags.hpp"
 #include "harness/jsonio.hpp"
 #include "harness/matrix.hpp"
+#include "harness/metrics.hpp"
 #include "harness/profiler.hpp"
 
 namespace {
@@ -146,17 +157,20 @@ int main(int argc, char** argv) {
     if (!flags.has("seeds")) spec.seeds = {1, 2};
   }
 
-  // Collection level for every worker thread (0 = off: no timers, no
-  // counters — the pure-throughput configuration for A/B timing).
-  ratcon::harness::Profiler::SetDefaultLevel(
-      static_cast<int>(flags.get_int("prof-level", 3)));
-
-  // Flight recorder (0 = off; the default). Each cell records into its
-  // worker thread's sink; monitors run live at level >= 1.
-  const int trace_level = static_cast<int>(flags.get_int("trace", 0));
-  ratcon::harness::TraceSink::SetDefaultLevel(trace_level);
-  spec.trace_level = trace_level;
-  spec.forensics_dir = flags.get_str("forensics", "");
+  // Observability surface (one spelling across the sweep benches, see
+  // harness/flags.hpp): profiler on, flight recorder off, metrics
+  // timelines on at level 1 — this sweep is the per-PR perf-trajectory
+  // probe, so the virtual-time gauges are part of its artifact by default.
+  ratcon::harness::ObservabilityFlags obs_defaults;
+  obs_defaults.metrics_level = 1;
+  const ratcon::harness::ObservabilityFlags obs =
+      ratcon::harness::parse_observability_flags(flags, obs_defaults);
+  ratcon::harness::Profiler::SetDefaultLevel(obs.prof_level);
+  ratcon::harness::TraceSink::SetDefaultLevel(obs.trace_level);
+  ratcon::harness::MetricsRegistry::SetDefaultLevel(obs.metrics_level);
+  spec.trace_level = obs.trace_level;
+  spec.metrics_level = obs.metrics_level;
+  spec.forensics_dir = obs.forensics_dir;
 
   if (spec.committee_sizes.empty() || spec.nets.empty() ||
       spec.seeds.empty()) {
@@ -169,6 +183,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", report.summary().c_str());
 
   // Machine-readable artifact for the cross-PR perf trajectory.
+  const std::string json_path = flags.get_str("json", "BENCH_matrix.json");
   {
     using ratcon::harness::JsonWriter;
     JsonWriter json;
@@ -209,6 +224,10 @@ int main(int argc, char** argv) {
       json.key("p99_us")
           .value(static_cast<std::int64_t>(cell.workload.latency.p99()));
       json.end_object();
+      if (!cell.metrics.empty()) {
+        json.key("metrics");
+        ratcon::harness::write_metrics_json(json, cell.metrics);
+      }
       // Per-cell phase totals (the full item dump lives at the top level).
       json.key("profile").begin_object();
       for (const auto phase : ratcon::harness::kProfPhases) {
@@ -250,17 +269,71 @@ int main(int argc, char** argv) {
       json.end_array();
       json.end_object();
     }
+    {
+      // Per-protocol round-duration percentiles (virtual time — entry to
+      // entry across every replica), plus the watchdog's stall verdicts.
+      json.key("rounds").begin_object();
+      for (const auto& [proto, hist] : report.round_durations_by_protocol()) {
+        json.key(ratcon::harness::to_string(proto)).begin_object();
+        json.key("p50_us").value(static_cast<std::int64_t>(hist.p50()));
+        json.key("p99_us").value(static_cast<std::int64_t>(hist.p99()));
+        json.key("count").value(hist.total());
+        json.end_object();
+      }
+      json.end_object();
+      const auto stalled = report.stalled_cells();
+      json.key("stalled_cells").begin_array();
+      for (const auto* cell : stalled) {
+        json.begin_object();
+        json.key("label").value(cell->label());
+        json.key("verdict").value(cell->metrics.stall_verdict);
+        json.end_object();
+      }
+      json.end_array();
+      const auto metrics_total = report.aggregate_metrics();
+      if (!metrics_total.empty()) {
+        json.key("metrics");
+        ratcon::harness::write_metrics_json(json, metrics_total);
+      }
+    }
     json.key("cells_per_sec").value(report.cells_per_sec());
     json.key("profile");
     ratcon::harness::write_profile_json(json, report.aggregate_profile());
     json.end_object();
-    const std::string json_path =
-        flags.get_str("json", "BENCH_matrix.json");
     if (ratcon::harness::write_text_file(json_path, json.str())) {
       std::printf("wrote %s\n", json_path.c_str());
     } else {
       std::printf("WARNING: could not write %s\n", json_path.c_str());
     }
+  }
+
+  // --dump-slowest: re-run the slowest cell serially with the flight
+  // recorder and metrics timelines on, and write the merged Chrome trace
+  // JSON (slices + flows + counter tracks — one file for ui.perfetto.dev).
+  if (!obs.dump_slowest.empty() && !report.cells.empty()) {
+    const auto* slowest = report.slowest_cells(1).front();
+    auto one = spec.to_scenario(slowest->protocol, slowest->n, slowest->net,
+                                slowest->seed);
+    one.trace_level = std::max(obs.trace_level, 2);
+    one.metrics_level = std::max(obs.metrics_level, 1);
+    ratcon::harness::Simulation sim(one);
+    (void)sim.run_to_completion();
+    if (sim.dump_trace(obs.dump_slowest)) {
+      std::printf("wrote %s (slowest cell: %s)\n", obs.dump_slowest.c_str(),
+                  slowest->label().c_str());
+    } else {
+      std::printf("WARNING: could not write %s\n", obs.dump_slowest.c_str());
+    }
+  }
+
+  // --compare: diff this run's artifact against a committed baseline; a
+  // fail verdict fails the bench (warns do not).
+  bool compare_failed = false;
+  if (!obs.compare_baseline.empty()) {
+    const auto cmp =
+        ratcon::harness::compare_files(obs.compare_baseline, json_path);
+    std::printf("%s\n", cmp.summary().c_str());
+    compare_failed = cmp.verdict() >= 2;
   }
 
   const auto bad = report.unsafe_cells();
@@ -275,6 +348,10 @@ int main(int argc, char** argv) {
   if (!slow.empty()) {
     std::printf("\n%zu cell(s) over the %.1f ms budget\n", slow.size(),
                 spec.cell_budget_ms);
+    return 1;
+  }
+  if (compare_failed) {
+    std::printf("\nbaseline comparison FAILED (see verdict above)\n");
     return 1;
   }
   std::printf("\nall %zu cells safe, %.2f cells/sec\n", report.cell_count(),

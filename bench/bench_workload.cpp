@@ -30,9 +30,11 @@
 #include <string>
 #include <vector>
 
+#include "harness/compare.hpp"
 #include "harness/flags.hpp"
 #include "harness/jsonio.hpp"
 #include "harness/matrix.hpp"
+#include "harness/metrics.hpp"
 #include "harness/profiler.hpp"
 
 namespace {
@@ -163,8 +165,19 @@ int main(int argc, char** argv) {
     if (!flags.has("txs")) spec.workload_spec->txs = 500;
   }
 
-  ratcon::harness::Profiler::SetDefaultLevel(
-      static_cast<int>(flags.get_int("prof-level", 3)));
+  // Observability surface (shared spelling with bench_matrix_sweep, see
+  // harness/flags.hpp): profiler on, flight recorder off, metrics
+  // timelines on at level 1.
+  ratcon::harness::ObservabilityFlags obs_defaults;
+  obs_defaults.metrics_level = 1;
+  const ratcon::harness::ObservabilityFlags obs =
+      ratcon::harness::parse_observability_flags(flags, obs_defaults);
+  ratcon::harness::Profiler::SetDefaultLevel(obs.prof_level);
+  ratcon::harness::TraceSink::SetDefaultLevel(obs.trace_level);
+  ratcon::harness::MetricsRegistry::SetDefaultLevel(obs.metrics_level);
+  spec.trace_level = obs.trace_level;
+  spec.metrics_level = obs.metrics_level;
+  spec.forensics_dir = obs.forensics_dir;
 
   if (spec.committee_sizes.empty() || spec.nets.empty() ||
       spec.seeds.empty() || spec.workload_spec->empty()) {
@@ -250,6 +263,10 @@ int main(int argc, char** argv) {
       json.key("messages").value(cell.messages);
       json.key("bytes").value(cell.bytes);
       json.key("wall_ms").value(cell.wall_ms);
+      if (!cell.metrics.empty()) {
+        json.key("metrics");
+        ratcon::harness::write_metrics_json(json, cell.metrics);
+      }
       json.end_object();
     }
     json.end_array();
@@ -264,6 +281,22 @@ int main(int argc, char** argv) {
     json.key("p99_us").value(static_cast<std::int64_t>(total.latency.p99()));
     json.end_object();
     json.key("total_wall_ms").value(report.total_wall_ms());
+    json.key("rounds").begin_object();
+    for (const auto& [rd_proto, hist] : report.round_durations_by_protocol()) {
+      json.key(ratcon::harness::to_string(rd_proto)).begin_object();
+      json.key("p50_us").value(static_cast<std::int64_t>(hist.p50()));
+      json.key("p99_us").value(static_cast<std::int64_t>(hist.p99()));
+      json.key("count").value(hist.total());
+      json.end_object();
+    }
+    json.end_object();
+    {
+      const auto metrics_total = report.aggregate_metrics();
+      if (!metrics_total.empty()) {
+        json.key("metrics");
+        ratcon::harness::write_metrics_json(json, metrics_total);
+      }
+    }
     json.key("profile");
     ratcon::harness::write_profile_json(json, report.aggregate_profile());
     json.end_object();
@@ -273,6 +306,14 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", json_path.c_str());
     } else {
       std::printf("WARNING: could not write %s\n", json_path.c_str());
+    }
+    // --compare: diff this artifact against a committed baseline; a fail
+    // verdict fails the bench (warns do not).
+    if (!obs.compare_baseline.empty()) {
+      const auto cmp =
+          ratcon::harness::compare_files(obs.compare_baseline, json_path);
+      std::printf("%s\n", cmp.summary().c_str());
+      if (cmp.verdict() >= 2) return 1;
     }
   }
 

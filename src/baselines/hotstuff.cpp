@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "harness/profiler.hpp"
+#include "harness/metrics.hpp"
 #include "harness/trace.hpp"
 
 namespace ratcon::baselines {
@@ -64,6 +65,7 @@ void HotstuffNode::start_round(net::Context& ctx) {
   }
   harness::trace_state(harness::TraceKind::kRoundEnter, self_, round_,
                        kTraceProto);
+  harness::metrics_round_enter(self_, round_);
   if (cfg_.leader(round_) == self_ &&
       participates(round_, PhaseTag::kPropose)) {
     // A locked leader must re-propose its locked block byte-identical (the

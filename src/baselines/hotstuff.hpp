@@ -62,7 +62,7 @@ class HotstuffNode : public consensus::IReplica {
   void on_message(net::Context& ctx, NodeId from, const Bytes& data) override;
   void on_timer(net::Context& ctx, std::uint64_t timer_id) override;
 
-  [[nodiscard]] Round current_round() const { return round_; }
+  [[nodiscard]] Round current_round() const override { return round_; }
   void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
 
   /// Catch-up hook (src/sync): splice a verified finalized run, release

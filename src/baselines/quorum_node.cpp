@@ -2,6 +2,7 @@
 
 #include "common/serialize.hpp"
 #include "harness/profiler.hpp"
+#include "harness/metrics.hpp"
 #include "harness/trace.hpp"
 
 namespace ratcon::baselines {
@@ -159,6 +160,7 @@ void QuorumNode::start_round(net::Context& ctx) {
   (void)rs;
   harness::trace_state(harness::TraceKind::kRoundEnter, self_, round_,
                        static_cast<std::uint8_t>(proto_));
+  harness::metrics_round_enter(self_, round_);
   if (cfg_.leader(round_) == self_ &&
       participates(round_, PhaseTag::kPropose)) {
     if (attacking(round_)) {

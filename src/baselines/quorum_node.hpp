@@ -110,7 +110,7 @@ class QuorumNode : public consensus::IReplica {
   void on_message(net::Context& ctx, NodeId from, const Bytes& data) override;
   void on_timer(net::Context& ctx, std::uint64_t timer_id) override;
 
-  [[nodiscard]] Round current_round() const { return round_; }
+  [[nodiscard]] Round current_round() const override { return round_; }
   [[nodiscard]] std::uint64_t view_changes() const { return view_changes_; }
   [[nodiscard]] std::uint64_t exposes_sent() const { return exposes_sent_; }
   void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }

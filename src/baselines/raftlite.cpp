@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "harness/profiler.hpp"
+#include "harness/metrics.hpp"
 #include "harness/trace.hpp"
 
 namespace ratcon::baselines {
@@ -51,6 +52,7 @@ void RaftLiteNode::start_term(net::Context& ctx) {
   }
   harness::trace_state(harness::TraceKind::kRoundEnter, self_, term_,
                        kTraceProto);
+  harness::metrics_round_enter(self_, term_);
   if (cfg_.leader(term_) == self_ && !defer_ &&
       participates(term_, consensus::PhaseTag::kPropose)) {
     // Phase-1 obligation: if the term-change majority reported an accepted

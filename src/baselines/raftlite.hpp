@@ -61,6 +61,8 @@ class RaftLiteNode : public consensus::IReplica {
   void on_timer(net::Context& ctx, std::uint64_t timer_id) override;
 
   [[nodiscard]] Round current_term() const { return term_; }
+  /// Terms are Raft's rounds — the uniform progress gauge.
+  [[nodiscard]] Round current_round() const override { return term_; }
   void set_target_blocks(std::uint64_t target) { target_blocks_ = target; }
 
   /// Catch-up hook (src/sync): splice a verified finalized run; the

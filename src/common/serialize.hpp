@@ -31,7 +31,17 @@ class Writer {
   void boolean(bool v) { u8(v ? 1 : 0); }
 
   /// Raw bytes, no length prefix (for fixed-size fields like hashes).
+  // GCC 12's -Wstringop-overflow misdiagnoses the fully inlined
+  // vector-grow path here against the pre-grow buffer size (GCC
+  // PR105329-family false positive); suppress for this method only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
   void raw(ByteSpan data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   /// Length-prefixed bytes. Throws CodecError when `data.size()` exceeds
   /// UINT32_MAX: the u32 prefix cannot represent it, and truncating the

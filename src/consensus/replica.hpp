@@ -31,6 +31,11 @@ class IReplica : public net::INode {
   /// classification only inspects honest replicas' ledgers).
   [[nodiscard]] virtual bool is_honest() const = 0;
 
+  /// The round/term/view the replica currently participates in — the
+  /// uniform progress gauge the metrics timelines sample. 0 when the
+  /// protocol has no such counter (the default).
+  [[nodiscard]] virtual Round current_round() const { return 0; }
+
   /// Stops initiating new work once this many blocks are final (the
   /// harness's run budget). 0 = unlimited. The Simulation applies this
   /// uniformly to every replica, however it was built.

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "harness/profiler.hpp"
+#include "harness/metrics.hpp"
 #include "harness/trace.hpp"
 
 namespace ratcon::prft {
@@ -148,6 +149,7 @@ void PrftNode::start_round(net::Context& ctx) {
   rs.started = true;
   harness::trace_state(harness::TraceKind::kRoundEnter, self_, round_,
                        kTraceProto);
+  harness::metrics_round_enter(self_, round_);
   if (cfg_.leader(round_) == self_) {
     do_propose(ctx, round_, rs);
   }

@@ -73,7 +73,7 @@ class PrftNode : public consensus::IReplica {
   void on_timer(net::Context& ctx, std::uint64_t timer_id) override;
 
   // -- Introspection (tests / benches) ---------------------------------------
-  [[nodiscard]] Round current_round() const { return round_; }
+  [[nodiscard]] Round current_round() const override { return round_; }
   [[nodiscard]] std::uint64_t view_changes() const { return view_changes_; }
   [[nodiscard]] std::uint64_t exposes_sent() const { return exposes_sent_; }
   [[nodiscard]] const FraudTracker& fraud() const { return fraud_; }

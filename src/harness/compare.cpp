@@ -1,0 +1,354 @@
+#include "harness/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "harness/table.hpp"
+
+namespace ratcon::harness {
+
+namespace {
+
+enum class Direction { kHigherIsBetter, kLowerIsBetter };
+
+/// A numeric gate on one dotted-path metric. Tolerances are percent of
+/// the baseline value, applied only in the worse direction.
+struct NumericRule {
+  const char* path;
+  Direction dir;
+  double warn_pct;
+  double fail_pct;
+  bool required;  ///< missing in either artifact => structural error
+};
+
+/// A boolean that must never regress from true to false (all_safe,
+/// paths_agree, determinism_ok).
+struct BoolRule {
+  const char* path;
+  bool required;
+};
+
+// Matrix sweep: message/byte/latency totals are deterministic functions
+// of the spec (virtual time), so they get tight bands; cells/sec is host
+// wall-clock and CI runners are noisy, so its band is loose.
+constexpr NumericRule kMatrixNumeric[] = {
+    {"cells_per_sec", Direction::kHigherIsBetter, 25.0, 50.0, true},
+    {"total_messages", Direction::kLowerIsBetter, 10.0, 50.0, true},
+    {"total_bytes", Direction::kLowerIsBetter, 10.0, 50.0, true},
+    {"workload.finalized", Direction::kHigherIsBetter, 1.0, 10.0, true},
+    {"workload.p99_us", Direction::kLowerIsBetter, 10.0, 50.0, true},
+};
+constexpr BoolRule kMatrixBool[] = {{"all_safe", true}};
+
+// Workload engine: throughput and latency are virtual-time deterministic.
+constexpr NumericRule kWorkloadNumeric[] = {
+    {"total.tx_per_sec", Direction::kHigherIsBetter, 10.0, 25.0, true},
+    {"total.p99_us", Direction::kLowerIsBetter, 10.0, 50.0, true},
+    {"total.finalized", Direction::kHigherIsBetter, 1.0, 10.0, true},
+};
+constexpr BoolRule kWorkloadBool[] = {{"all_safe", true},
+                                      {"determinism_ok", false}};
+
+// Serialization shootout: pure host wall-clock nanoseconds — the loosest
+// bands of the three. Metrics are derived (mean over shapes), see below.
+constexpr BoolRule kSerializationBool[] = {{"paths_agree", true}};
+
+double pct_change(double baseline, double current) {
+  return (current - baseline) / baseline * 100.0;
+}
+
+/// Grades one numeric pair under a rule; appends a finding.
+void grade_numeric(CompareReport& report, const char* metric, Direction dir,
+                   double warn_pct, double fail_pct, double baseline,
+                   double current) {
+  CompareFinding f;
+  f.metric = metric;
+  f.baseline = baseline;
+  f.current = current;
+  if (baseline == 0.0 && current == 0.0) {
+    f.note = "both zero";
+    report.findings.push_back(std::move(f));
+    return;
+  }
+  if (baseline == 0.0) {
+    // No denominator for a ratio; a value appearing where the baseline
+    // had none is suspicious only in the worse direction.
+    const bool worse = (dir == Direction::kLowerIsBetter) == (current > 0.0);
+    f.severity = worse ? 1 : 0;
+    f.note = worse ? "baseline zero, current nonzero (warn)"
+                   : "baseline zero (improved)";
+    report.findings.push_back(std::move(f));
+    return;
+  }
+  f.change_pct = pct_change(baseline, current);
+  const double worsened = dir == Direction::kHigherIsBetter
+                              ? -f.change_pct   // drop is bad
+                              : f.change_pct;   // rise is bad
+  char buf[128];
+  if (worsened >= fail_pct) {
+    f.severity = 2;
+    std::snprintf(buf, sizeof buf, "regressed %.1f%% (fail at %.0f%%)",
+                  worsened, fail_pct);
+  } else if (worsened >= warn_pct) {
+    f.severity = 1;
+    std::snprintf(buf, sizeof buf, "regressed %.1f%% (warn at %.0f%%)",
+                  worsened, warn_pct);
+  } else if (worsened <= -warn_pct) {
+    std::snprintf(buf, sizeof buf, "improved %.1f%%", -worsened);
+  } else {
+    std::snprintf(buf, sizeof buf, "within %.0f%%", warn_pct);
+  }
+  f.note = buf;
+  report.findings.push_back(std::move(f));
+}
+
+void apply_numeric_rules(CompareReport& report, const JsonValue& baseline,
+                         const JsonValue& current, const NumericRule* rules,
+                         std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const NumericRule& rule = rules[i];
+    const JsonValue* b = baseline.at_path(rule.path);
+    const JsonValue* c = current.at_path(rule.path);
+    if (b == nullptr || c == nullptr || !b->is_number() || !c->is_number()) {
+      if (rule.required) {
+        report.errors.push_back(std::string("missing numeric metric: ") +
+                                rule.path);
+      }
+      continue;
+    }
+    grade_numeric(report, rule.path, rule.dir, rule.warn_pct, rule.fail_pct,
+                  b->number, c->number);
+  }
+}
+
+void apply_bool_rules(CompareReport& report, const JsonValue& baseline,
+                      const JsonValue& current, const BoolRule* rules,
+                      std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const BoolRule& rule = rules[i];
+    const JsonValue* b = baseline.at_path(rule.path);
+    const JsonValue* c = current.at_path(rule.path);
+    if (b == nullptr || c == nullptr) {
+      if (rule.required) {
+        report.errors.push_back(std::string("missing boolean metric: ") +
+                                rule.path);
+      }
+      continue;
+    }
+    CompareFinding f;
+    f.metric = rule.path;
+    f.baseline = b->as_bool() ? 1.0 : 0.0;
+    f.current = c->as_bool() ? 1.0 : 0.0;
+    if (b->as_bool() && !c->as_bool()) {
+      f.severity = 2;
+      f.note = "regressed true -> false";
+    } else if (!b->as_bool() && c->as_bool()) {
+      f.note = "improved false -> true";
+    } else {
+      f.note = c->as_bool() ? "true" : "false (unchanged)";
+    }
+    report.findings.push_back(std::move(f));
+  }
+}
+
+/// Mean of shapes[*].formats[format=="<format>"].<field> over the
+/// serialization artifact; NaN when no shape carries it.
+double mean_shape_metric(const JsonValue& root, std::string_view format,
+                         std::string_view field) {
+  const JsonValue* shapes = root.get("shapes");
+  if (shapes == nullptr || !shapes->is_array()) return std::nan("");
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const JsonValue& shape : shapes->items) {
+    if (format.empty()) {  // shape-level field (encode_ns)
+      const JsonValue* v = shape.get(field);
+      if (v != nullptr && v->is_number()) {
+        sum += v->number;
+        ++n;
+      }
+      continue;
+    }
+    const JsonValue* formats = shape.get("formats");
+    if (formats == nullptr || !formats->is_array()) continue;
+    for (const JsonValue& fmt : formats->items) {
+      const JsonValue* name = fmt.get("format");
+      if (name == nullptr || name->as_string() != format) continue;
+      const JsonValue* v = fmt.get(field);
+      if (v != nullptr && v->is_number()) {
+        sum += v->number;
+        ++n;
+      }
+    }
+  }
+  if (n == 0) return std::nan("");
+  return sum / static_cast<double>(n);
+}
+
+void compare_serialization_numeric(CompareReport& report,
+                                   const JsonValue& baseline,
+                                   const JsonValue& current) {
+  struct Derived {
+    const char* label;
+    const char* format;  // "" = shape-level
+    const char* field;
+  };
+  // decode ns is lower-better everywhere; 30/60% bands absorb CI jitter.
+  constexpr Derived kDerived[] = {
+      {"zero_copy.decode_ns", "zero_copy", "decode_ns"},
+      {"zero_copy.decode_verify_ns", "zero_copy", "decode_verify_ns"},
+      {"copying.decode_ns", "copying", "decode_ns"},
+      {"encode_ns", "", "encode_ns"},
+  };
+  for (const Derived& d : kDerived) {
+    const double b = mean_shape_metric(baseline, d.format, d.field);
+    const double c = mean_shape_metric(current, d.format, d.field);
+    if (std::isnan(b) || std::isnan(c)) {
+      report.errors.push_back(std::string("missing shape metric: ") + d.label);
+      continue;
+    }
+    grade_numeric(report, d.label, Direction::kLowerIsBetter, 30.0, 60.0, b,
+                  c);
+  }
+}
+
+}  // namespace
+
+int CompareReport::verdict() const {
+  if (!errors.empty()) return 2;
+  int worst = 0;
+  for (const CompareFinding& f : findings) worst = std::max(worst, f.severity);
+  return worst;
+}
+
+const char* CompareReport::verdict_name() const {
+  switch (verdict()) {
+    case 0: return "pass";
+    case 1: return "warn";
+    default: return "fail";
+  }
+}
+
+std::string CompareReport::summary() const {
+  std::ostringstream os;
+  os << "bench_compare: " << (bench.empty() ? "(unknown)" : bench);
+  if (!baseline_path.empty()) {
+    os << "\n  baseline: " << baseline_path << "\n  current:  "
+       << current_path;
+  }
+  os << "\n";
+  if (!findings.empty()) {
+    Table t({"metric", "baseline", "current", "change", "verdict"});
+    for (const CompareFinding& f : findings) {
+      char change[32];
+      std::snprintf(change, sizeof change, "%+.1f%%", f.change_pct);
+      t.add_row({f.metric, fmt(f.baseline, 2), fmt(f.current, 2),
+                 f.baseline == 0.0 ? "-" : change,
+                 f.severity == 2   ? "FAIL"
+                 : f.severity == 1 ? "warn"
+                                   : "ok"});
+    }
+    os << t.render();
+  }
+  for (const std::string& err : errors) os << "  ERROR: " << err << "\n";
+  os << "verdict: " << verdict_name() << "\n";
+  return os.str();
+}
+
+CompareReport compare_artifacts(const JsonValue& baseline,
+                                const JsonValue& current) {
+  CompareReport report;
+  const JsonValue* b_kind = baseline.get("bench");
+  const JsonValue* c_kind = current.get("bench");
+  if (b_kind == nullptr || c_kind == nullptr) {
+    report.errors.emplace_back("artifact missing top-level \"bench\" kind");
+    return report;
+  }
+  if (b_kind->as_string() != c_kind->as_string()) {
+    report.errors.push_back("artifact kind mismatch: baseline \"" +
+                            std::string(b_kind->as_string()) +
+                            "\" vs current \"" +
+                            std::string(c_kind->as_string()) + "\"");
+    return report;
+  }
+  report.bench = std::string(b_kind->as_string());
+
+  if (report.bench == "matrix_sweep") {
+    apply_numeric_rules(report, baseline, current, kMatrixNumeric,
+                        std::size(kMatrixNumeric));
+    apply_bool_rules(report, baseline, current, kMatrixBool,
+                     std::size(kMatrixBool));
+  } else if (report.bench == "workload") {
+    apply_numeric_rules(report, baseline, current, kWorkloadNumeric,
+                        std::size(kWorkloadNumeric));
+    apply_bool_rules(report, baseline, current, kWorkloadBool,
+                     std::size(kWorkloadBool));
+  } else if (report.bench == "serialization") {
+    compare_serialization_numeric(report, baseline, current);
+    apply_bool_rules(report, baseline, current, kSerializationBool,
+                     std::size(kSerializationBool));
+  } else {
+    report.errors.push_back("no comparison rules for bench kind \"" +
+                            report.bench + "\"");
+  }
+  return report;
+}
+
+CompareReport compare_files(const std::string& baseline_path,
+                            const std::string& current_path) {
+  CompareReport io_report;
+  io_report.baseline_path = baseline_path;
+  io_report.current_path = current_path;
+
+  const auto b_text = read_text_file(baseline_path);
+  if (!b_text.has_value()) {
+    io_report.errors.push_back("cannot read baseline: " + baseline_path);
+    return io_report;
+  }
+  const auto c_text = read_text_file(current_path);
+  if (!c_text.has_value()) {
+    io_report.errors.push_back("cannot read current: " + current_path);
+    return io_report;
+  }
+  const auto b_json = JsonValue::parse(*b_text);
+  if (!b_json.has_value()) {
+    io_report.errors.push_back("malformed JSON in baseline: " + baseline_path);
+    return io_report;
+  }
+  const auto c_json = JsonValue::parse(*c_text);
+  if (!c_json.has_value()) {
+    io_report.errors.push_back("malformed JSON in current: " + current_path);
+    return io_report;
+  }
+  CompareReport report = compare_artifacts(*b_json, *c_json);
+  report.baseline_path = baseline_path;
+  report.current_path = current_path;
+  return report;
+}
+
+void write_compare_json(JsonWriter& json, const CompareReport& report) {
+  json.begin_object();
+  json.key("bench").value(report.bench);
+  json.key("baseline").value(report.baseline_path);
+  json.key("current").value(report.current_path);
+  json.key("verdict").value(report.verdict_name());
+  json.key("findings").begin_array();
+  for (const CompareFinding& f : report.findings) {
+    json.begin_object();
+    json.key("metric").value(f.metric);
+    json.key("baseline").value(f.baseline);
+    json.key("current").value(f.current);
+    json.key("change_pct").value(f.change_pct);
+    json.key("severity").value(static_cast<std::int64_t>(f.severity));
+    json.key("note").value(f.note);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("errors").begin_array();
+  for (const std::string& err : report.errors) json.value(err);
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace ratcon::harness

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/jsonio.hpp"
+
+namespace ratcon::harness {
+
+/// Perf-trajectory regression gate: diffs a freshly produced BENCH_*.json
+/// artifact against a committed baseline under bench/baselines/ and turns
+/// the delta into a pass / warn / fail verdict. Each artifact kind (the
+/// top-level "bench" field) carries its own metric list and per-metric
+/// tolerances: deterministic virtual-time metrics (tx/sec of sim time,
+/// p99 latency, message counts) get tight bands, host wall-clock metrics
+/// (cells/sec, decode ns) get loose ones. Only movement in the *worse*
+/// direction trips the gate — improvements are reported but never fail.
+
+/// One compared metric.
+struct CompareFinding {
+  std::string metric;    ///< dotted path or derived name ("zero_copy.decode_ns")
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Signed percent change relative to baseline (+ = value increased).
+  double change_pct = 0.0;
+  /// 0 = ok (within tolerance or improved), 1 = warn, 2 = fail.
+  int severity = 0;
+  std::string note;
+
+  friend bool operator==(const CompareFinding&,
+                         const CompareFinding&) = default;
+};
+
+/// Result of one baseline/current artifact pair.
+struct CompareReport {
+  std::string bench;  ///< artifact kind ("matrix_sweep", "workload", ...)
+  std::string baseline_path;
+  std::string current_path;
+  std::vector<CompareFinding> findings;
+  /// Structural problems (unreadable file, malformed JSON, kind mismatch,
+  /// missing required metric). Any error forces a fail verdict.
+  std::vector<std::string> errors;
+
+  /// 0 = pass, 1 = warn, 2 = fail (max finding severity; errors fail).
+  [[nodiscard]] int verdict() const;
+  [[nodiscard]] const char* verdict_name() const;
+  /// Human-readable per-metric table plus the verdict line.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compares two parsed artifacts of the same kind. Unknown kinds produce
+/// a single error (fail) rather than silently passing.
+[[nodiscard]] CompareReport compare_artifacts(const JsonValue& baseline,
+                                              const JsonValue& current);
+
+/// Reads, parses and compares two artifact files; I/O and parse problems
+/// land in CompareReport::errors.
+[[nodiscard]] CompareReport compare_files(const std::string& baseline_path,
+                                          const std::string& current_path);
+
+/// Streams one report as a JSON object (bench, verdict, findings, errors).
+void write_compare_json(JsonWriter& json, const CompareReport& report);
+
+}  // namespace ratcon::harness

@@ -87,6 +87,34 @@ std::vector<std::string> WorkloadFlags::to_args() const {
   return out;
 }
 
+std::vector<std::string> ObservabilityFlags::to_args() const {
+  std::vector<std::string> out;
+  const auto add = [&out](const std::string& name, const std::string& value) {
+    out.push_back("--" + name + "=" + value);
+  };
+  add("prof-level", std::to_string(prof_level));
+  add("trace", std::to_string(trace_level));
+  add("metrics", std::to_string(metrics_level));
+  if (!forensics_dir.empty()) add("forensics", forensics_dir);
+  if (!compare_baseline.empty()) add("compare", compare_baseline);
+  if (!dump_slowest.empty()) add("dump-slowest", dump_slowest);
+  return out;
+}
+
+ObservabilityFlags parse_observability_flags(
+    const Flags& flags, const ObservabilityFlags& defaults) {
+  ObservabilityFlags out = defaults;
+  out.prof_level =
+      static_cast<int>(flags.get_int("prof-level", out.prof_level));
+  out.trace_level = static_cast<int>(flags.get_int("trace", out.trace_level));
+  out.metrics_level =
+      static_cast<int>(flags.get_int("metrics", out.metrics_level));
+  out.forensics_dir = flags.get_str("forensics", out.forensics_dir);
+  out.compare_baseline = flags.get_str("compare", out.compare_baseline);
+  out.dump_slowest = flags.get_str("dump-slowest", out.dump_slowest);
+  return out;
+}
+
 WorkloadFlags parse_workload_flags(const Flags& flags,
                                    const WorkloadFlags& defaults) {
   WorkloadFlags out = defaults;

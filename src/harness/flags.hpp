@@ -58,4 +58,35 @@ struct WorkloadFlags {
 [[nodiscard]] WorkloadFlags parse_workload_flags(
     const Flags& flags, const WorkloadFlags& defaults = {});
 
+/// Observability command-line surface shared by the sweep benches, so all
+/// three pillars (profiler, flight recorder, metrics timelines) plus their
+/// outputs are reachable from every entry point with one spelling:
+///   --prof-level=0..3       profiler collection level (0 = off)
+///   --trace=0..3            flight recorder level (0 = off)
+///   --metrics=0..2          metrics-timeline level (0 = off)
+///   --forensics=<dir>       dump bundles for unsafe/violated cells
+///   --compare=<baseline>    diff this run's artifact against a baseline
+///   --dump-slowest=<path>   re-run the slowest cell with trace+metrics on
+///                           and write the merged Chrome trace JSON there
+struct ObservabilityFlags {
+  int prof_level = 3;
+  int trace_level = 0;
+  int metrics_level = 0;
+  std::string forensics_dir;
+  std::string compare_baseline;
+  std::string dump_slowest;
+
+  /// Re-emits the flags (`--name=value`) such that parsing them yields
+  /// this exact struct back — same round-trip contract as WorkloadFlags.
+  [[nodiscard]] std::vector<std::string> to_args() const;
+
+  friend bool operator==(const ObservabilityFlags&,
+                         const ObservabilityFlags&) = default;
+};
+
+/// Reads the observability surface out of `flags`, starting from
+/// `defaults` (flags that are absent keep the default's value).
+[[nodiscard]] ObservabilityFlags parse_observability_flags(
+    const Flags& flags, const ObservabilityFlags& defaults = {});
+
 }  // namespace ratcon::harness

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ratcon::harness {
@@ -49,5 +51,59 @@ class JsonWriter {
 /// (truncate + write). Returns false on I/O failure instead of throwing —
 /// an unwritable artifact should not fail the bench run itself.
 bool write_text_file(const std::string& path, std::string_view content);
+
+/// Reads a whole text file; nullopt on I/O failure.
+[[nodiscard]] std::optional<std::string> read_text_file(
+    const std::string& path);
+
+/// Minimal parsed-JSON value — the read-side counterpart of JsonWriter,
+/// just enough for bench_compare to diff the BENCH_*.json artifacts
+/// against committed baselines (numbers, strings, bools, nested
+/// objects/arrays; object member order preserved). Not a general-purpose
+/// JSON library: no \uXXXX surrogate pairs beyond the BMP, numbers parse
+/// as double.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                           ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const;
+  /// Dotted-path lookup ("workload.p99_us"); nullptr when any hop is
+  /// missing.
+  [[nodiscard]] const JsonValue* at_path(std::string_view path) const;
+
+  [[nodiscard]] double as_number(double fallback = 0.0) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return kind == Kind::kBool ? boolean : fallback;
+  }
+  [[nodiscard]] std::string_view as_string(
+      std::string_view fallback = {}) const {
+    return kind == Kind::kString ? std::string_view(str) : fallback;
+  }
+
+  /// Parses `text`; nullopt on malformed input (trailing garbage counts).
+  [[nodiscard]] static std::optional<JsonValue> parse(std::string_view text);
+};
 
 }  // namespace ratcon::harness

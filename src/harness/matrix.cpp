@@ -36,6 +36,7 @@ ScenarioSpec MatrixSpec::to_scenario(Protocol proto, std::uint32_t n,
   scenario.budget.wall_ms = cell_budget_ms;
   scenario.sync_plan.enabled = sync_enabled;
   scenario.trace_level = trace_level;
+  scenario.metrics_level = metrics_level;
 
   if (crash_count > 0) {
     scenario.faults.crash_range(0, std::min(crash_count, n), crash_at);
@@ -103,6 +104,37 @@ workload::WorkloadStats MatrixReport::aggregate_workload() const {
   return total;
 }
 
+MetricsStats MatrixReport::aggregate_metrics() const {
+  MetricsStats total;
+  for (const CellResult& cell : cells) total.merge(cell.metrics);
+  return total;
+}
+
+std::vector<std::pair<Protocol, workload::LatencyHistogram>>
+MatrixReport::round_durations_by_protocol() const {
+  std::vector<std::pair<Protocol, workload::LatencyHistogram>> out;
+  for (const CellResult& cell : cells) {
+    if (cell.metrics.round_duration.empty()) continue;
+    auto it = std::find_if(out.begin(), out.end(), [&](const auto& entry) {
+      return entry.first == cell.protocol;
+    });
+    if (it == out.end()) {
+      out.emplace_back(cell.protocol, cell.metrics.round_duration);
+    } else {
+      it->second.merge(cell.metrics.round_duration);
+    }
+  }
+  return out;
+}
+
+std::vector<const CellResult*> MatrixReport::stalled_cells() const {
+  std::vector<const CellResult*> out;
+  for (const CellResult& cell : cells) {
+    if (cell.metrics.stalled) out.push_back(&cell);
+  }
+  return out;
+}
+
 double MatrixReport::total_wall_ms() const {
   double total = 0.0;
   for (const CellResult& cell : cells) total += cell.wall_ms;
@@ -166,6 +198,20 @@ std::string MatrixReport::summary() const {
            << " rejected=" << fmt_count(wl.rejected);
       }
       os << "\n";
+    }
+    for (const auto& [proto, hist] : round_durations_by_protocol()) {
+      os << "  rounds[" << to_string(proto)
+         << "]: p50=" << fmt(static_cast<double>(hist.p50()) / 1000.0, 1)
+         << "ms p99=" << fmt(static_cast<double>(hist.p99()) / 1000.0, 1)
+         << "ms (n=" << hist.total() << " virtual-time)\n";
+    }
+    const auto stalled = stalled_cells();
+    if (!stalled.empty()) {
+      os << "  " << stalled.size() << " cell(s) STALLED (liveness watchdog):\n";
+      for (const CellResult* cell : stalled) {
+        os << "    " << cell->label() << ": " << cell->metrics.stall_verdict
+           << "\n";
+      }
     }
     const TraceStats trace = aggregate_trace();
     if (trace.level > 0) {

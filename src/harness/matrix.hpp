@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/scenario.hpp"
@@ -77,6 +78,9 @@ struct MatrixSpec {
   /// the process-wide TraceSink default, so `--trace=N` on a sweep binary
   /// governs the whole matrix.
   int trace_level = -1;
+  /// Metrics-timeline level per cell; -1 adopts the process-wide
+  /// MetricsRegistry default, so `--metrics=N` governs the whole matrix.
+  int metrics_level = -1;
   /// When non-empty: any cell that ends unsafe or trips an invariant
   /// monitor writes its forensics bundle (`<label>.txt` +
   /// `<label>.trace.json`) into this directory while the recorder still
@@ -127,6 +131,20 @@ struct MatrixReport {
   /// (integer histogram counts — deterministic and byte-identical between
   /// serial and parallel sweeps).
   [[nodiscard]] workload::WorkloadStats aggregate_workload() const;
+
+  /// Sweep-wide metrics totals: counters add, round-duration histograms
+  /// merge, stall verdicts survive (per-tick series stay per-cell).
+  [[nodiscard]] MetricsStats aggregate_metrics() const;
+
+  /// Virtual-time round durations grouped by protocol (entry → entry,
+  /// every replica), for the per-protocol p50/p99 in summary() and the
+  /// JSON artifacts. Only protocols with at least one completed round
+  /// appear.
+  [[nodiscard]] std::vector<std::pair<Protocol, workload::LatencyHistogram>>
+  round_durations_by_protocol() const;
+
+  /// Cells the liveness watchdog declared stalled.
+  [[nodiscard]] std::vector<const CellResult*> stalled_cells() const;
 
   /// Sum of per-cell host wall-clock in ms, and the sweep's throughput in
   /// cells per second of summed cell wall-clock (the per-PR perf metric —

@@ -1,0 +1,285 @@
+#include "harness/metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "harness/jsonio.hpp"
+
+namespace ratcon::harness {
+
+std::atomic<int> MetricsRegistry::default_level_{0};
+
+const char* to_string(ReplicaMetric m) {
+  switch (m) {
+    case ReplicaMetric::kMempoolPending:
+      return "mempool_pending";
+    case ReplicaMetric::kMempoolEvicted:
+      return "mempool_evicted";
+    case ReplicaMetric::kMempoolRejected:
+      return "mempool_rejected";
+    case ReplicaMetric::kFinalizedHeight:
+      return "finalized_height";
+    case ReplicaMetric::kCurrentRound:
+      return "current_round";
+    case ReplicaMetric::kWireBytesSent:
+      return "wire_bytes_sent";
+    case ReplicaMetric::kSyncBacklog:
+      return "sync_backlog";
+    case ReplicaMetric::kDepositBalance:
+      return "deposit_balance";
+    case ReplicaMetric::kNumReplicaMetrics:
+      break;
+  }
+  return "unknown_metric";
+}
+
+const char* to_string(GlobalMetric m) {
+  switch (m) {
+    case GlobalMetric::kEventQueueDepth:
+      return "event_queue_depth";
+    case GlobalMetric::kInflightWireBytes:
+      return "inflight_wire_bytes";
+    case GlobalMetric::kNumGlobalMetrics:
+      break;
+  }
+  return "unknown_metric";
+}
+
+// -- MetricsStats -----------------------------------------------------------
+
+MetricsStats& MetricsStats::merge(const MetricsStats& other) {
+  level = std::max(level, other.level);
+  nodes = std::max(nodes, other.nodes);
+  if (tick == 0) tick = other.tick;
+  ticks += other.ticks;
+  recorded += other.recorded;
+  dropped += other.dropped;
+  round_duration.merge(other.round_duration);
+  if (other.stalled) {
+    stalled = true;
+    if (stalled_at == 0 || other.stalled_at < stalled_at) {
+      stalled_at = other.stalled_at;
+    }
+    // Keep the first verdict (one stall is usually every stall's story);
+    // later ones would repeat the same named replicas per cell anyway.
+    if (stall_verdict.empty()) {
+      stall_verdict = other.stall_verdict;
+      stalled_replicas = other.stalled_replicas;
+    }
+  }
+  // Per-tick series are per-cell evidence, not mergeable counters.
+  replica.clear();
+  global.clear();
+  return *this;
+}
+
+MetricSeries summed_replica_series(const MetricsStats& stats,
+                                   ReplicaMetric m) {
+  MetricSeries out;
+  if (stats.nodes == 0 || stats.replica.empty()) return out;
+  const MetricSeries& first = stats.series(0, m);
+  out.samples = first.samples;
+  out.total = first.total;
+  for (NodeId node = 1; node < stats.nodes; ++node) {
+    const MetricSeries& s = stats.series(node, m);
+    const std::size_t count = std::min(out.samples.size(), s.samples.size());
+    out.samples.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.samples[i].value += s.samples[i].value;
+    }
+  }
+  return out;
+}
+
+// -- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Get() {
+  thread_local MetricsRegistry instance;
+  return instance;
+}
+
+void MetricsRegistry::Reset(int level, std::uint32_t nodes,
+                            std::size_t capacity) {
+  level_ = level;
+  nodes_ = level > 0 ? nodes : 0;
+  tick_ = 0;
+  ticks_ = 0;
+  inflight_ = 0;
+  round_duration_ = {};
+  stalled_ = false;
+  stalled_at_ = 0;
+  stalled_replicas_.clear();
+  stall_verdict_.clear();
+  if (level <= 0) {
+    // Level 0 allocates nothing: emission points see enabled() == false
+    // and the registry holds no rings or per-node state at all.
+    rings_.clear();
+    global_rings_.clear();
+    tracks_.clear();
+    round_entered_.clear();
+    return;
+  }
+  rings_.assign(static_cast<std::size_t>(nodes) * kNumReplicaMetrics, {});
+  for (MetricRing& ring : rings_) ring.reset(capacity);
+  global_rings_.assign(kNumGlobalMetrics, {});
+  for (MetricRing& ring : global_rings_) ring.reset(capacity);
+  tracks_.assign(nodes, {});
+  round_entered_.assign(nodes, kSimTimeNever);
+}
+
+void MetricsRegistry::sample(NodeId node, ReplicaMetric m,
+                             std::int64_t value) {
+  if (level_ <= 0 || node >= nodes_) return;
+  rings_[node * kNumReplicaMetrics + static_cast<std::size_t>(m)].push(
+      {now(), value});
+}
+
+void MetricsRegistry::sample(GlobalMetric m, std::int64_t value) {
+  if (level_ <= 0) return;
+  global_rings_[static_cast<std::size_t>(m)].push({now(), value});
+}
+
+void MetricsRegistry::round_enter(NodeId node, Round round) {
+  if (level_ <= 0 || node >= nodes_) return;
+  const SimTime at = now();
+  MetricTransition& track = tracks_[node];
+  // Entry → next entry is the duration of the round just left. Re-entering
+  // the same round (sync reconciliation) restarts the clock without a
+  // sample; jumping backwards (view change bookkeeping) likewise.
+  if (round_entered_[node] != kSimTimeNever && round > track.round) {
+    round_duration_.record(at - round_entered_[node]);
+  }
+  round_entered_[node] = at;
+  track.round = round;
+  track.round_at = at;
+}
+
+void MetricsRegistry::note_height(NodeId node, std::uint64_t height) {
+  if (level_ <= 0 || node >= nodes_) return;
+  MetricTransition& track = tracks_[node];
+  if (height != track.height) {
+    track.height = height;
+    track.height_at = now();
+  }
+}
+
+void MetricsRegistry::record_stall(SimTime at, std::vector<NodeId> replicas,
+                                   std::string verdict) {
+  if (stalled_) return;
+  stalled_ = true;
+  stalled_at_ = at;
+  stalled_replicas_ = std::move(replicas);
+  stall_verdict_ = std::move(verdict);
+}
+
+std::uint64_t MetricsRegistry::recorded() const {
+  std::uint64_t total = 0;
+  for (const MetricRing& ring : rings_) total += ring.total();
+  for (const MetricRing& ring : global_rings_) total += ring.total();
+  return total;
+}
+
+std::uint64_t MetricsRegistry::dropped() const {
+  std::uint64_t total = 0;
+  for (const MetricRing& ring : rings_) total += ring.dropped();
+  for (const MetricRing& ring : global_rings_) total += ring.dropped();
+  return total;
+}
+
+namespace {
+
+MetricSeries snapshot_ring(const MetricRing& ring) {
+  MetricSeries series;
+  series.total = ring.total();
+  series.samples.resize(ring.size());
+  for (std::size_t i = 0; i < series.samples.size(); ++i) {
+    series.samples[i] = ring.at(i);
+  }
+  return series;
+}
+
+}  // namespace
+
+MetricsStats MetricsRegistry::snapshot() const {
+  MetricsStats stats;
+  stats.level = level_;
+  stats.nodes = nodes_;
+  stats.tick = tick_;
+  stats.ticks = ticks_;
+  stats.recorded = recorded();
+  stats.dropped = dropped();
+  stats.replica.reserve(rings_.size());
+  for (const MetricRing& ring : rings_) {
+    stats.replica.push_back(snapshot_ring(ring));
+  }
+  stats.global.reserve(global_rings_.size());
+  for (const MetricRing& ring : global_rings_) {
+    stats.global.push_back(snapshot_ring(ring));
+  }
+  stats.round_duration = round_duration_;
+  stats.stalled = stalled_;
+  stats.stalled_at = stalled_at_;
+  stats.stalled_replicas = stalled_replicas_;
+  stats.stall_verdict = stall_verdict_;
+  return stats;
+}
+
+// -- JSON -------------------------------------------------------------------
+
+namespace {
+
+void write_series(JsonWriter& json, const MetricSeries& series) {
+  json.begin_array();
+  for (const MetricSample& s : series.samples) {
+    json.begin_array();
+    json.value(static_cast<std::int64_t>(s.at));
+    json.value(s.value);
+    json.end_array();
+  }
+  json.end_array();
+}
+
+}  // namespace
+
+void write_metrics_json(JsonWriter& json, const MetricsStats& stats) {
+  json.begin_object();
+  json.key("level").value(static_cast<std::int64_t>(stats.level));
+  json.key("tick_us").value(static_cast<std::int64_t>(stats.tick));
+  json.key("ticks").value(stats.ticks);
+  json.key("recorded").value(stats.recorded);
+  json.key("dropped").value(stats.dropped);
+  json.key("round_p50_us")
+      .value(static_cast<std::int64_t>(stats.round_duration.p50()));
+  json.key("round_p99_us")
+      .value(static_cast<std::int64_t>(stats.round_duration.p99()));
+  json.key("rounds").value(stats.round_duration.total());
+  json.key("stalled").value(stats.stalled);
+  if (stats.stalled) {
+    json.key("stalled_at_us")
+        .value(static_cast<std::int64_t>(stats.stalled_at));
+    json.key("stalled_replicas").begin_array();
+    for (NodeId id : stats.stalled_replicas) {
+      json.value(static_cast<std::uint64_t>(id));
+    }
+    json.end_array();
+    json.key("stall_verdict").value(stats.stall_verdict);
+  }
+  // Compact timelines: replica metrics summed across nodes (tick-aligned
+  // sampling makes the sum well-defined), globals as recorded.
+  json.key("series").begin_object();
+  if (!stats.replica.empty()) {
+    for (std::size_t m = 0; m < kNumReplicaMetrics; ++m) {
+      const auto metric = static_cast<ReplicaMetric>(m);
+      json.key(to_string(metric));
+      write_series(json, summed_replica_series(stats, metric));
+    }
+  }
+  for (std::size_t m = 0; m < stats.global.size(); ++m) {
+    json.key(to_string(static_cast<GlobalMetric>(m)));
+    write_series(json, stats.global[m]);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace ratcon::harness

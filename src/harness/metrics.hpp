@@ -1,0 +1,329 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "workload/latency.hpp"
+
+/// Compile-out guard: building with -DRATCON_METRICS_ENABLED=0 removes the
+/// wire-edge emission points entirely (the inline helpers below compile to
+/// nothing), mirroring RATCON_TRACE_ENABLED for the flight recorder.
+#ifndef RATCON_METRICS_ENABLED
+#define RATCON_METRICS_ENABLED 1
+#endif
+
+namespace ratcon::harness {
+
+class JsonWriter;
+
+/// Metrics timelines — the third observability pillar next to the profiler
+/// ("where did the run spend its time") and the flight recorder ("what
+/// happened, in what order"): bounded virtual-time series answering "how
+/// did the system *evolve*" — queue depths building up, mempools filling,
+/// heights progressing, rounds stretching. Same contract as the other two
+/// pillars: enum-indexed flat storage, a thread_local registry with a
+/// process-wide atomic default level, one recording per Simulation, and
+/// zero cost when off (one thread_local read + compare per emission
+/// point, no allocation at level 0).
+///
+/// Levels:
+///  * 0 — off. Nothing allocated, nothing sampled.
+///  * 1 — on: every metric below sampled once per virtual-time tick, wire
+///        gauges maintained at the cluster edge, round durations recorded
+///        at round entry, and the post-GST liveness watchdog armed.
+
+/// Per-replica gauges and counters, sampled once per tick for every node.
+enum class ReplicaMetric : std::uint8_t {
+  kMempoolPending = 0,  ///< transactions waiting in the replica's pool
+  kMempoolEvicted,      ///< cumulative overflow evictions
+  kMempoolRejected,     ///< cumulative overflow rejections
+  kFinalizedHeight,     ///< chain().finalized_height()
+  kCurrentRound,        ///< round/term/view the replica is in
+  kWireBytesSent,       ///< cumulative wire bytes this replica sent
+  kSyncBacklog,         ///< best announced peer height − local finalized
+  kDepositBalance,      ///< remaining collateral in the deposit ledger
+  kNumReplicaMetrics,   ///< not a real metric
+};
+
+/// Cluster-wide gauges, sampled once per tick.
+enum class GlobalMetric : std::uint8_t {
+  kEventQueueDepth = 0,  ///< pending events in the simulator queue
+  kInflightWireBytes,    ///< bytes sent but not yet delivered (or dropped)
+  kNumGlobalMetrics,     ///< not a real metric
+};
+
+inline constexpr std::size_t kNumReplicaMetrics =
+    static_cast<std::size_t>(ReplicaMetric::kNumReplicaMetrics);
+inline constexpr std::size_t kNumGlobalMetrics =
+    static_cast<std::size_t>(GlobalMetric::kNumGlobalMetrics);
+
+/// Stable snake_case name ("mempool_pending", "event_queue_depth", …).
+[[nodiscard]] const char* to_string(ReplicaMetric m);
+[[nodiscard]] const char* to_string(GlobalMetric m);
+
+/// One sample: virtual time and value. Integer-valued on purpose — every
+/// series is byte-comparable across serial and parallel sweeps.
+struct MetricSample {
+  SimTime at = 0;
+  std::int64_t value = 0;
+  friend bool operator==(const MetricSample&, const MetricSample&) = default;
+};
+
+/// Fixed-capacity sample ring (model: TraceRing): overwrites the oldest
+/// sample once full and counts everything ever pushed, so `dropped()` is
+/// exact, not saturating.
+class MetricRing {
+ public:
+  void reset(std::size_t capacity) {
+    buf_.assign(capacity, MetricSample{});
+    total_ = 0;
+  }
+  void push(const MetricSample& s) {
+    if (buf_.empty()) return;
+    buf_[total_ % buf_.size()] = s;
+    ++total_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    return total_ < buf_.size() ? static_cast<std::size_t>(total_)
+                                : buf_.size();
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ > buf_.size() ? total_ - buf_.size() : 0;
+  }
+  /// i-th retained sample, oldest first.
+  [[nodiscard]] const MetricSample& at(std::size_t i) const {
+    const std::size_t start =
+        total_ > buf_.size() ? static_cast<std::size_t>(total_ % buf_.size())
+                             : 0;
+    return buf_[(start + i) % buf_.size()];
+  }
+
+ private:
+  std::vector<MetricSample> buf_;
+  std::uint64_t total_ = 0;
+};
+
+/// One snapshotted series: the retained samples (oldest first) plus the
+/// exact count of everything ever recorded into it.
+struct MetricSeries {
+  std::vector<MetricSample> samples;
+  std::uint64_t total = 0;
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total - samples.size();
+  }
+  [[nodiscard]] std::int64_t last() const {
+    return samples.empty() ? 0 : samples.back().value;
+  }
+  friend bool operator==(const MetricSeries&, const MetricSeries&) = default;
+};
+
+/// Last observed protocol state of one replica — what the liveness
+/// watchdog names in a stall verdict ("n3: round 7 entered at 412000µs,
+/// height 1 since 38000µs").
+struct MetricTransition {
+  Round round = 0;
+  SimTime round_at = 0;       ///< when that round was entered
+  std::uint64_t height = 0;
+  SimTime height_at = 0;      ///< when the height last advanced
+  friend bool operator==(const MetricTransition&,
+                         const MetricTransition&) = default;
+};
+
+/// The per-run snapshot riding RunReport::metrics and the MatrixReport
+/// aggregation. Everything in it is integer/virtual-time-valued and
+/// deterministic, so operator== checks serial == parallel byte-identity.
+struct MetricsStats {
+  int level = 0;
+  std::uint32_t nodes = 0;
+  SimTime tick = 0;            ///< sampling resolution (µs virtual)
+  std::uint64_t ticks = 0;     ///< sampling passes completed
+  std::uint64_t recorded = 0;  ///< samples pushed (retained + overwritten)
+  std::uint64_t dropped = 0;   ///< samples overwritten by ring overflow
+
+  /// Node-major per-replica series: index = node * kNumReplicaMetrics + m.
+  std::vector<MetricSeries> replica;
+  /// Cluster-wide series: index = GlobalMetric.
+  std::vector<MetricSeries> global;
+
+  /// Virtual-time duration of every completed round/term/view across all
+  /// replicas (entry → next entry), for per-protocol p50/p99.
+  workload::LatencyHistogram round_duration;
+
+  /// Post-GST liveness watchdog verdict. `stall_verdict` names the
+  /// stalling replicas and their last state transition.
+  bool stalled = false;
+  SimTime stalled_at = 0;
+  std::vector<NodeId> stalled_replicas;
+  std::string stall_verdict;
+
+  [[nodiscard]] const MetricSeries& series(NodeId node,
+                                           ReplicaMetric m) const {
+    return replica[node * kNumReplicaMetrics + static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] const MetricSeries& series(GlobalMetric m) const {
+    return global[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] bool empty() const { return level <= 0 || ticks == 0; }
+
+  /// Sweep aggregation: counters add, round-duration histograms merge,
+  /// stall verdicts concatenate (capped); the per-tick series stay
+  /// per-cell and are dropped here (they are unmergeable across cells).
+  MetricsStats& merge(const MetricsStats& other);
+
+  friend bool operator==(const MetricsStats&, const MetricsStats&) = default;
+};
+
+/// Sums one replica metric across all nodes, tick-aligned (every node is
+/// sampled in the same pass, so retained series share timestamps). Used
+/// for the Chrome-tracing counter tracks and the compact JSON series.
+[[nodiscard]] MetricSeries summed_replica_series(const MetricsStats& stats,
+                                                 ReplicaMetric m);
+
+/// The per-thread registry. `Get()` hands out one instance per thread; a
+/// Simulation resets it at construction (rings sized to the committee,
+/// allocated only when the level is non-zero) and snapshots it into its
+/// RunReport — parallel matrix cells record independently and a serial
+/// sweep sees byte-identical per-cell series.
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;  ///< samples/series
+
+  [[nodiscard]] static MetricsRegistry& Get();
+
+  /// Process-wide default level; every Simulation re-adopts it at
+  /// construction (same contract as Profiler::SetDefaultLevel), so
+  /// `bench_matrix_sweep --metrics=N` governs all worker threads.
+  static void SetDefaultLevel(int level) {
+    default_level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static int DefaultLevel() {
+    return default_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts a fresh recording for `nodes` replicas at `level`. Rings are
+  /// only allocated when level > 0; level 0 keeps the registry empty.
+  void Reset(int level, std::uint32_t nodes,
+             std::size_t capacity = kDefaultCapacity);
+
+  [[nodiscard]] int level() const { return level_; }
+  [[nodiscard]] bool enabled() const { return level_ > 0; }
+  [[nodiscard]] std::uint32_t nodes() const { return nodes_; }
+
+  /// The virtual clock samples are stamped from. Null falls back to 0.
+  void set_clock(const SimTime* now) { now_ = now; }
+  void set_tick(SimTime tick) { tick_ = tick; }
+
+  // -- Sampling (driven by the Simulation's virtual-time tick) --------------
+  void sample(NodeId node, ReplicaMetric m, std::int64_t value);
+  void sample(GlobalMetric m, std::int64_t value);
+  /// Marks one full sampling pass complete.
+  void note_tick() { ++ticks_; }
+
+  // -- Wire gauges (cluster edge; cheap, gated on enabled()) ----------------
+  void wire_sent(std::size_t bytes) {
+    inflight_ += static_cast<std::int64_t>(bytes);
+  }
+  void wire_delivered(std::size_t bytes) {
+    inflight_ -= static_cast<std::int64_t>(bytes);
+  }
+  [[nodiscard]] std::int64_t inflight_bytes() const { return inflight_; }
+
+  // -- Protocol state (emitted by the nodes / observed by the sampler) ------
+  /// Round entry: records the previous round's duration (entry → entry)
+  /// into the histogram and updates the node's last-transition record.
+  void round_enter(NodeId node, Round round);
+  /// Height progress bookkeeping for the watchdog's verdict.
+  void note_height(NodeId node, std::uint64_t height);
+  [[nodiscard]] const MetricTransition& last_transition(NodeId node) const {
+    return tracks_[node];
+  }
+
+  /// Liveness watchdog verdict (recorded once by the Simulation).
+  void record_stall(SimTime at, std::vector<NodeId> replicas,
+                    std::string verdict);
+  [[nodiscard]] bool stalled() const { return stalled_; }
+
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] const MetricRing& ring(NodeId node, ReplicaMetric m) const {
+    return rings_[node * kNumReplicaMetrics + static_cast<std::size_t>(m)];
+  }
+  /// Internal allocation introspection (the level-0-allocates-nothing test).
+  [[nodiscard]] std::size_t ring_count() const {
+    return rings_.size() + global_rings_.size();
+  }
+
+  [[nodiscard]] MetricsStats snapshot() const;
+
+ private:
+  static std::atomic<int> default_level_;
+
+  int level_ = DefaultLevel();
+  std::uint32_t nodes_ = 0;
+  SimTime tick_ = 0;
+  std::uint64_t ticks_ = 0;
+  const SimTime* now_ = nullptr;
+  std::int64_t inflight_ = 0;
+  std::vector<MetricRing> rings_;         ///< node-major replica series
+  std::vector<MetricRing> global_rings_;  ///< GlobalMetric-indexed
+  std::vector<MetricTransition> tracks_;
+  std::vector<SimTime> round_entered_;    ///< per node, kSimTimeNever = none
+  workload::LatencyHistogram round_duration_;
+  bool stalled_ = false;
+  SimTime stalled_at_ = 0;
+  std::vector<NodeId> stalled_replicas_;
+  std::string stall_verdict_;
+
+  [[nodiscard]] SimTime now() const { return now_ ? *now_ : 0; }
+};
+
+#if RATCON_METRICS_ENABLED
+
+/// True when the thread's registry is recording — emission points gate on
+/// this before doing any work.
+[[nodiscard]] inline bool metrics_on() {
+  return MetricsRegistry::Get().enabled();
+}
+
+/// Wire-edge gauges: in-flight bytes go up at send, down at delivery (or
+/// at the crash drop — either way the bytes left the wire).
+inline void metrics_wire_sent(std::size_t bytes) {
+  auto& reg = MetricsRegistry::Get();
+  if (reg.enabled()) reg.wire_sent(bytes);
+}
+inline void metrics_wire_delivered(std::size_t bytes) {
+  auto& reg = MetricsRegistry::Get();
+  if (reg.enabled()) reg.wire_delivered(bytes);
+}
+
+/// Round-entry hook for the protocol nodes (next to their kRoundEnter
+/// trace_state emission): feeds the round-duration histogram and the
+/// watchdog's last-transition record.
+inline void metrics_round_enter(NodeId node, Round round) {
+  auto& reg = MetricsRegistry::Get();
+  if (reg.enabled()) reg.round_enter(node, round);
+}
+
+#else  // RATCON_METRICS_ENABLED
+
+[[nodiscard]] inline bool metrics_on() { return false; }
+inline void metrics_wire_sent(std::size_t) {}
+inline void metrics_wire_delivered(std::size_t) {}
+inline void metrics_round_enter(NodeId, Round) {}
+
+#endif  // RATCON_METRICS_ENABLED
+
+/// Emits `stats` as a JSON object: the scalar counters, the stall verdict,
+/// round-duration percentiles, and compact `[t, value]` series (replica
+/// metrics summed across nodes, global metrics as-is). The writer must be
+/// positioned where an object value is legal.
+void write_metrics_json(JsonWriter& json, const MetricsStats& stats);
+
+}  // namespace ratcon::harness

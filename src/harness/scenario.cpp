@@ -218,6 +218,24 @@ Simulation::Simulation(ScenarioSpec spec) : spec_(std::move(spec)) {
     }
   }
 
+  // Metrics timelines: the same one-recording-per-run contract. Level 0
+  // allocates nothing; level 1 arms the virtual-time sampler (scheduled in
+  // start()) and the post-GST liveness watchdog.
+  {
+    MetricsRegistry& reg = MetricsRegistry::Get();
+    const int level = spec_.metrics_level >= 0 ? spec_.metrics_level
+                                               : MetricsRegistry::DefaultLevel();
+    reg.Reset(level, com.n,
+              spec_.metrics_capacity != 0 ? spec_.metrics_capacity
+                                          : MetricsRegistry::kDefaultCapacity);
+    reg.set_clock(cluster_->now_ptr());
+    metrics_on_ = reg.enabled();
+    metrics_tick_ =
+        spec_.metrics_tick > 0 ? spec_.metrics_tick : spec_.net.delta;
+    if (metrics_tick_ <= 0) metrics_tick_ = msec(10);
+    reg.set_tick(metrics_tick_);
+  }
+
   for (NodeId id = 0; id < com.n; ++id) {
     NodeEnv env{cfg_, *registry_, *deposits_, spec_.seed, nullptr};
     const auto it = spec_.adversary.behaviors.find(id);
@@ -315,12 +333,111 @@ Simulation::~Simulation() {
   TraceSink& sink = TraceSink::Get();
   if (sink.observer() == &monitors_) sink.set_observer(nullptr);
   sink.set_clock(nullptr);
+  MetricsRegistry::Get().set_clock(nullptr);
 }
 
 void Simulation::start() {
   if (started_) return;
   started_ = true;
   cluster_->start();
+  if (metrics_on_) schedule_metrics_tick();
+}
+
+void Simulation::schedule_metrics_tick() {
+  cluster_->schedule(metrics_tick_, [this]() { on_metrics_tick(); });
+}
+
+void Simulation::on_metrics_tick() {
+  // Pure observation: the sampler reads replica/cluster state, draws no
+  // randomness and sends no messages, so protocol event ordering — and
+  // with it every deterministic report field — is identical with metrics
+  // on or off.
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  const std::uint32_t n = spec_.committee.n;
+  for (NodeId id = 0; id < n; ++id) {
+    consensus::IReplica* rep = replicas_[id];
+    const ledger::Mempool& pool = rep->mempool();
+    reg.sample(id, ReplicaMetric::kMempoolPending,
+               static_cast<std::int64_t>(pool.pending()));
+    reg.sample(id, ReplicaMetric::kMempoolEvicted,
+               static_cast<std::int64_t>(pool.evicted()));
+    reg.sample(id, ReplicaMetric::kMempoolRejected,
+               static_cast<std::int64_t>(pool.rejected()));
+    const std::uint64_t height = rep->chain().finalized_height();
+    reg.sample(id, ReplicaMetric::kFinalizedHeight,
+               static_cast<std::int64_t>(height));
+    reg.note_height(id, height);
+    reg.sample(id, ReplicaMetric::kCurrentRound,
+               static_cast<std::int64_t>(rep->current_round()));
+    reg.sample(id, ReplicaMetric::kWireBytesSent,
+               static_cast<std::int64_t>(
+                   cluster_->stats().for_sender(id).bytes));
+    reg.sample(id, ReplicaMetric::kSyncBacklog,
+               drivers_.empty()
+                   ? 0
+                   : static_cast<std::int64_t>(drivers_[id]->backlog()));
+    reg.sample(id, ReplicaMetric::kDepositBalance, deposits_->balance(id));
+  }
+  reg.sample(GlobalMetric::kEventQueueDepth,
+             static_cast<std::int64_t>(cluster_->pending_events()));
+  reg.sample(GlobalMetric::kInflightWireBytes, reg.inflight_bytes());
+  reg.note_tick();
+
+  // Post-GST liveness watchdog: W consecutive ticks after GST without
+  // live-honest height progress (target unreached) is a stall — name the
+  // stuck replicas and their last transition now, instead of letting the
+  // cell silently burn its budget to the horizon.
+  const SimTime gst = cluster_->net().gst();
+  const std::uint64_t target = spec_.budget.target_blocks;
+  const std::uint64_t live = live_min_height();
+  if (live > watchdog_height_) {
+    watchdog_height_ = live;
+    stall_ticks_ = 0;
+  } else if (spec_.watchdog_ticks > 0 && gst != kSimTimeNever &&
+             cluster_->now() >= gst && target > 0 && live < target) {
+    if (++stall_ticks_ >= spec_.watchdog_ticks) {
+      declare_stall();
+      return;  // stop sampling: the verdict is the run's last word
+    }
+  } else {
+    stall_ticks_ = 0;
+  }
+
+  // A queue holding nothing but our own next tick would never drain —
+  // mirror the pre-metrics "drained" exit by letting the tick die with the
+  // rest of the schedule.
+  if (cluster_->pending_events() > 0) schedule_metrics_tick();
+}
+
+void Simulation::declare_stall() {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  const SimTime at = cluster_->now();
+  std::vector<NodeId> stuck;
+  const std::uint64_t live = live_min_height();
+  for (NodeId id = 0; id < replicas_.size(); ++id) {
+    if (!replicas_[id]->is_honest() || cluster_->crashed(id)) continue;
+    if (replicas_[id]->chain().finalized_height() <= live) {
+      stuck.push_back(id);
+    }
+  }
+  std::ostringstream os;
+  os << "liveness stall: no live-honest height progress for "
+     << spec_.watchdog_ticks << " ticks (" << spec_.watchdog_ticks * metrics_tick_
+     << "us) after GST; height " << live << " < target "
+     << spec_.budget.target_blocks << "; stalling replicas:";
+  const std::size_t listed = std::min<std::size_t>(stuck.size(), 8);
+  for (std::size_t i = 0; i < listed; ++i) {
+    const NodeId id = stuck[i];
+    const MetricTransition& t = reg.last_transition(id);
+    os << (i == 0 ? " " : ", ") << "n" << static_cast<unsigned>(id)
+       << " (round " << t.round << " entered at " << t.round_at
+       << "us, height " << t.height << " since " << t.height_at << "us)";
+  }
+  if (stuck.size() > listed) {
+    os << ", +" << (stuck.size() - listed) << " more";
+  }
+  reg.record_stall(at, std::move(stuck), os.str());
+  metrics_stalled_ = true;
 }
 
 void Simulation::run_until(SimTime t) {
@@ -363,6 +480,7 @@ RunReport Simulation::run_to_completion() {
     return height_ok;
   };
   while (!done()) {
+    if (metrics_stalled_) break;  // watchdog named the stall — stop early
     const SimTime next = cluster_->next_event_time();
     if (next > spec_.budget.horizon) break;  // drained or out of budget
     run_until(std::max(next, cluster_->now() + spec_.budget.chunk));
@@ -519,6 +637,7 @@ RunReport Simulation::report() const {
   r.budget_ms = spec_.budget.wall_ms;
   // Snapshot last so the payoff timer above is part of this run's report.
   r.profile = Profiler::Get().snapshot();
+  r.metrics = MetricsRegistry::Get().snapshot();
   r.trace = TraceSink::Get().snapshot();
   r.trace.violations = monitors_.violations();
   for (const MonitorVerdict& v : monitors_.verdicts()) {
@@ -531,7 +650,12 @@ bool Simulation::dump_trace(const std::string& path) const {
   const TraceSink& sink = TraceSink::Get();
   if (sink.level() <= 0 || sink.nodes() == 0) return false;
   const std::vector<TraceEvent> events = sink.merged();
-  bool ok = write_text_file(path, chrome_trace_json(events, sink.nodes()));
+  // Metrics timelines merge into the same document as counter tracks, so
+  // one file carries flows + counters (loads as-is in ui.perfetto.dev).
+  const MetricsStats metrics = MetricsRegistry::Get().snapshot();
+  bool ok = write_text_file(
+      path, chrome_trace_json(events, sink.nodes(),
+                              metrics.empty() ? nullptr : &metrics));
   ok = write_text_file(path + ".txt", format_trace_text(events)) && ok;
   return ok;
 }

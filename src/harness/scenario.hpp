@@ -12,6 +12,7 @@
 #include "consensus/outcome.hpp"
 #include "consensus/replica.hpp"
 #include "core/prft_node.hpp"
+#include "harness/metrics.hpp"
 #include "harness/monitor.hpp"
 #include "harness/profiler.hpp"
 #include "net/cluster.hpp"
@@ -198,6 +199,20 @@ struct ScenarioSpec {
   int trace_level = -1;
   /// Per-replica trace ring capacity; 0 = TraceSink::kDefaultCapacity.
   std::size_t trace_capacity = 0;
+  /// Metrics-timeline level: -1 adopts MetricsRegistry::DefaultLevel()
+  /// (itself 0 unless a sweep raised it), 0 off, 1 sampling + watchdog on.
+  int metrics_level = -1;
+  /// Virtual-time sampling resolution; 0 derives Δ (one sample per network
+  /// latency quantum).
+  SimTime metrics_tick = 0;
+  /// Per-series sample ring capacity; 0 = MetricsRegistry::kDefaultCapacity.
+  std::size_t metrics_capacity = 0;
+  /// Post-GST liveness watchdog: no live-honest height progress for this
+  /// many consecutive ticks after GST ⇒ a named stall verdict and an early
+  /// exit from run_to_completion (instead of a silent crawl to the
+  /// horizon). 0 disables. Inert on asynchronous nets (no GST) and when
+  /// metrics are off.
+  std::uint32_t watchdog_ticks = 100;
 
   // Fluent builder sugar for the common axes.
   ScenarioSpec& with_protocol(Protocol p);
@@ -273,6 +288,11 @@ struct RunReport {
   /// Deterministic (integer counts); empty when the scenario had no
   /// workload.
   workload::WorkloadStats workload;
+
+  /// Metrics timelines (level 0 = empty): per-replica/global virtual-time
+  /// series, round-duration histogram, and the liveness watchdog's stall
+  /// verdict. Integer-valued and deterministic, serial == parallel.
+  MetricsStats metrics;
 
   SimTime sim_time = 0;  ///< virtual time when the run stopped
   /// The network model's GST (0 synchronous, kSimTimeNever asynchronous).
@@ -399,8 +419,15 @@ class Simulation {
   /// tracing was off or the files could not be written.
   bool dump_trace(const std::string& path) const;
 
+  /// True once the liveness watchdog declared this run stalled (the stall
+  /// verdict itself rides RunReport::metrics).
+  [[nodiscard]] bool stalled() const { return metrics_stalled_; }
+
  private:
   void note_finalization();
+  void schedule_metrics_tick();
+  void on_metrics_tick();
+  void declare_stall();
 
   ScenarioSpec spec_;
   consensus::Config cfg_;
@@ -414,6 +441,12 @@ class Simulation {
   std::chrono::steady_clock::duration wall_spent_{0};
   SimTime finalized_at_ = kSimTimeNever;
   bool started_ = false;
+  // Metrics-timeline tick + liveness watchdog state (all virtual-time).
+  bool metrics_on_ = false;
+  bool metrics_stalled_ = false;
+  SimTime metrics_tick_ = 0;
+  std::uint32_t stall_ticks_ = 0;
+  std::uint64_t watchdog_height_ = 0;
 };
 
 }  // namespace ratcon::harness

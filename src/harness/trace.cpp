@@ -6,6 +6,7 @@
 
 #include "consensus/types.hpp"
 #include "harness/jsonio.hpp"
+#include "harness/metrics.hpp"
 
 namespace ratcon::harness {
 
@@ -204,8 +205,31 @@ std::string format_trace_text(const std::vector<TraceEvent>& events) {
   return out;
 }
 
+namespace {
+
+/// Counter tracks ("ph":"C") from the metrics timelines: one track per
+/// metric (replica metrics summed across nodes, globals as recorded), so
+/// the same document shows slices, flow arrows and evolving gauges.
+void write_counter_track(JsonWriter& json, const char* name,
+                         const MetricSeries& series) {
+  for (const MetricSample& s : series.samples) {
+    json.begin_object();
+    json.key("name").value(name);
+    json.key("cat").value("metrics");
+    json.key("ph").value("C");
+    json.key("ts").value(static_cast<std::int64_t>(s.at));
+    json.key("pid").value(std::uint64_t{0});
+    json.key("args").begin_object();
+    json.key("value").value(s.value);
+    json.end_object();
+    json.end_object();
+  }
+}
+
+}  // namespace
+
 void write_chrome_trace(JsonWriter& json, const std::vector<TraceEvent>& events,
-                        std::uint32_t nodes) {
+                        std::uint32_t nodes, const MetricsStats* metrics) {
   json.begin_object();
   json.key("displayTimeUnit").value("ms");
   json.key("traceEvents").begin_array();
@@ -280,14 +304,28 @@ void write_chrome_trace(JsonWriter& json, const std::vector<TraceEvent>& events,
       json.end_object();
     }
   }
+  if (metrics != nullptr && !metrics->empty()) {
+    if (!metrics->replica.empty()) {
+      for (std::size_t m = 0; m < kNumReplicaMetrics; ++m) {
+        const auto metric = static_cast<ReplicaMetric>(m);
+        write_counter_track(json, to_string(metric),
+                            summed_replica_series(*metrics, metric));
+      }
+    }
+    for (std::size_t m = 0; m < metrics->global.size(); ++m) {
+      write_counter_track(json, to_string(static_cast<GlobalMetric>(m)),
+                          metrics->global[m]);
+    }
+  }
   json.end_array();
   json.end_object();
 }
 
 std::string chrome_trace_json(const std::vector<TraceEvent>& events,
-                              std::uint32_t nodes) {
+                              std::uint32_t nodes,
+                              const MetricsStats* metrics) {
   JsonWriter json;
-  write_chrome_trace(json, events, nodes);
+  write_chrome_trace(json, events, nodes, metrics);
   return json.str();
 }
 

@@ -316,16 +316,22 @@ inline void trace_deliver(NodeId, NodeId, Round, std::uint8_t, std::uint8_t,
 [[nodiscard]] std::string format_trace_text(
     const std::vector<TraceEvent>& events);
 
+struct MetricsStats;
+
 /// Emits `events` as a Chrome-tracing (chrome://tracing / Perfetto)
 /// document: every event a "X" slice on pid 0 / tid `node`, plus "s"/"f"
 /// flow arrows joining same-correlation send→recv pairs so message
-/// lineage renders as arrows between replica tracks. The writer must be
-/// positioned where an object value is legal.
+/// lineage renders as arrows between replica tracks. When `metrics` is
+/// non-null its timelines ride the same document as "C" counter tracks —
+/// one file, flows + counters, loads as-is in ui.perfetto.dev. The writer
+/// must be positioned where an object value is legal.
 void write_chrome_trace(JsonWriter& json, const std::vector<TraceEvent>& events,
-                        std::uint32_t nodes);
+                        std::uint32_t nodes,
+                        const MetricsStats* metrics = nullptr);
 
 /// Convenience: full chrome-trace document for `events` as a string.
 [[nodiscard]] std::string chrome_trace_json(
-    const std::vector<TraceEvent>& events, std::uint32_t nodes);
+    const std::vector<TraceEvent>& events, std::uint32_t nodes,
+    const MetricsStats* metrics = nullptr);
 
 }  // namespace ratcon::harness

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "harness/metrics.hpp"
 #include "harness/trace.hpp"
 
 namespace ratcon::net {
@@ -198,9 +199,17 @@ void Cluster::deliver(NodeId from, NodeId to, Bytes data, bool count_stats) {
     emit_wire_trace(harness::TraceKind::kSend, from, to, data, corr);
   }
 #endif
+  // Metrics in-flight gauge: bytes go up at the send edge and come back
+  // down when the message lands — or when it is dropped on a crashed
+  // receiver (either way it left the wire). Self-deliveries are stats-free
+  // and never count, mirroring the traffic stats.
+  const bool metered = count_stats && harness::metrics_on();
+  if (metered) harness::metrics_wire_sent(data.size());
   const SimTime at =
       (from == to) ? now() : delivery_time_for(from, to);
-  queue_.schedule_at(at, [this, from, to, corr, msg = std::move(data)]() {
+  queue_.schedule_at(at, [this, from, to, corr, metered,
+                          msg = std::move(data)]() {
+    if (metered) harness::metrics_wire_delivered(msg.size());
     if (nodes_[to].crashed) return;
 #if RATCON_TRACE_ENABLED
     if (corr != 0 && harness::trace_on(harness::TraceKind::kRecv)) {

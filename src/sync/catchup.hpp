@@ -135,6 +135,9 @@ class CatchupDriver final : public consensus::IReplica {
   }
   ledger::Mempool& mempool() override { return inner_->mempool(); }
   [[nodiscard]] bool is_honest() const override { return inner_->is_honest(); }
+  [[nodiscard]] Round current_round() const override {
+    return inner_->current_round();
+  }
   void set_target_blocks(std::uint64_t target) override {
     target_blocks_ = target;
     inner_->set_target_blocks(target);
@@ -165,6 +168,18 @@ class CatchupDriver final : public consensus::IReplica {
   /// Effective (resolved) knobs, for tests.
   [[nodiscard]] std::uint32_t witness_threshold() const { return witnesses_; }
   [[nodiscard]] std::uint32_t batch_size() const { return batch_; }
+
+  /// Sync backlog: best finalized height any peer has announced minus the
+  /// local finalized height (0 when caught up) — the metrics timelines'
+  /// catch-up pressure gauge.
+  [[nodiscard]] std::uint64_t backlog() const {
+    std::uint64_t best = 0;
+    for (const auto& [peer, height] : peer_height_) {
+      best = std::max(best, height);
+    }
+    const std::uint64_t local = inner_->chain().finalized_height();
+    return best > local ? best - local : 0;
+  }
 
  private:
   friend class PiggybackContext;

@@ -1,0 +1,472 @@
+// Metrics timelines, liveness watchdog, and the perf-trajectory regression
+// gate. The contracts under test:
+//  * MetricRing drops exactly (total - capacity) oldest samples — exact
+//    accounting, TraceRing-style.
+//  * Level 0 allocates nothing and leaves every run report empty.
+//  * The sampling tick is pure observation: a run with metrics on finalizes
+//    the same chains with the same traffic as a run with metrics off.
+//  * Serial and parallel sweeps produce byte-identical MetricsStats per
+//    cell, for all four protocols (operator== on the full snapshot).
+//  * A pre-GST partition that never heals is named by the post-GST
+//    watchdog — stalling replicas listed, run stopped long before the
+//    horizon.
+//  * JsonValue parses what JsonWriter writes; bench_compare's rules pass
+//    an unchanged artifact and fail a doctored one.
+//  * ObservabilityFlags round-trips through to_args() like WorkloadFlags.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/compare.hpp"
+#include "harness/flags.hpp"
+#include "harness/jsonio.hpp"
+#include "harness/matrix.hpp"
+#include "harness/metrics.hpp"
+#include "harness/scenario.hpp"
+
+namespace ratcon::harness {
+namespace {
+
+ScenarioSpec smoke_spec(int metrics_level) {
+  ScenarioSpec spec;
+  spec.protocol = Protocol::kPrft;
+  spec.committee.n = 4;
+  spec.seed = 7;
+  spec.net = NetworkSpec::synchronous(msec(10));
+  spec.workload.txs = 12;
+  spec.workload.start = msec(1);
+  spec.workload.interval = msec(2);
+  spec.budget.target_blocks = 3;
+  spec.metrics_level = metrics_level;
+  return spec;
+}
+
+// -- MetricRing -------------------------------------------------------------
+
+TEST(MetricRing, OverflowAccountingIsExact) {
+  MetricRing ring;
+  ring.reset(4);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    ring.push({/*at=*/i * 10, /*value=*/i});
+  }
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Oldest-first retained window = the last 4 pushes.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ring.at(i).value, static_cast<std::int64_t>(6 + i));
+    EXPECT_EQ(ring.at(i).at, static_cast<SimTime>((6 + i) * 10));
+  }
+}
+
+TEST(MetricRing, ZeroCapacityDropsEverything) {
+  MetricRing ring;
+  ring.reset(0);
+  ring.push({1, 1});
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total(), 0u);
+}
+
+// -- Registry levels --------------------------------------------------------
+
+TEST(MetricsLevels, LevelZeroAllocatesNothing) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.Reset(/*level=*/0, /*nodes=*/31);
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_EQ(reg.ring_count(), 0u);
+  const MetricsStats snap = reg.snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_TRUE(snap.replica.empty());
+  EXPECT_TRUE(snap.global.empty());
+}
+
+TEST(MetricsLevels, SimulationAtLevelZeroReportsEmpty) {
+  Simulation sim(smoke_spec(/*metrics_level=*/0));
+  const RunReport report = sim.run_to_completion();
+  EXPECT_TRUE(report.safe());
+  EXPECT_TRUE(report.metrics.empty());
+  EXPECT_EQ(MetricsRegistry::Get().ring_count(), 0u);
+}
+
+// -- Timelines from a live run ----------------------------------------------
+
+TEST(MetricsTimelines, SmokeCellProducesSeriesAndRoundDurations) {
+  Simulation sim(smoke_spec(/*metrics_level=*/1));
+  const RunReport report = sim.run_to_completion();
+  ASSERT_TRUE(report.safe());
+  const MetricsStats& m = report.metrics;
+  ASSERT_FALSE(m.empty());
+  EXPECT_EQ(m.level, 1);
+  EXPECT_EQ(m.nodes, 4u);
+  EXPECT_GT(m.ticks, 0u);
+  EXPECT_GT(m.recorded, 0u);
+
+  // One sample per series per tick.
+  ASSERT_EQ(m.replica.size(), 4 * kNumReplicaMetrics);
+  ASSERT_EQ(m.global.size(), kNumGlobalMetrics);
+  for (NodeId id = 0; id < 4; ++id) {
+    EXPECT_EQ(m.series(id, ReplicaMetric::kFinalizedHeight).total, m.ticks);
+    // The final height sample matches the report's chain state.
+    EXPECT_EQ(
+        static_cast<std::uint64_t>(
+            m.series(id, ReplicaMetric::kFinalizedHeight).last()),
+        sim.replica(id).chain().finalized_height());
+    // Honest, unslashed replicas keep their full collateral.
+    EXPECT_EQ(m.series(id, ReplicaMetric::kDepositBalance).last(), 100);
+    // Wire bytes are cumulative and nonzero once blocks finalized.
+    EXPECT_GT(m.series(id, ReplicaMetric::kWireBytesSent).last(), 0);
+  }
+  EXPECT_EQ(m.series(GlobalMetric::kEventQueueDepth).total, m.ticks);
+  // Timestamps advance tick by tick.
+  const MetricSeries& queue = m.series(GlobalMetric::kEventQueueDepth);
+  for (std::size_t i = 1; i < queue.samples.size(); ++i) {
+    EXPECT_LT(queue.samples[i - 1].at, queue.samples[i].at);
+  }
+  // Rounds advanced to finalize 3 blocks, so entry->entry durations exist.
+  EXPECT_GT(m.round_duration.total(), 0u);
+  EXPECT_GT(m.round_duration.p50(), 0);
+  EXPECT_FALSE(m.stalled);
+}
+
+TEST(MetricsTimelines, RingCapacityBoundsSeriesWithExactDropCount) {
+  ScenarioSpec spec = smoke_spec(/*metrics_level=*/1);
+  spec.metrics_capacity = 2;
+  Simulation sim(spec);
+  const RunReport report = sim.run_to_completion();
+  const MetricsStats& m = report.metrics;
+  ASSERT_GT(m.ticks, 2u) << "need overflow for this test to bite";
+  const MetricSeries& s = m.series(GlobalMetric::kEventQueueDepth);
+  EXPECT_EQ(s.samples.size(), 2u);
+  EXPECT_EQ(s.total, m.ticks);
+  EXPECT_EQ(s.dropped(), m.ticks - 2);
+  EXPECT_GT(m.dropped, 0u);
+}
+
+TEST(MetricsTimelines, SamplingTickIsPureObservation) {
+  // The tick must not perturb the protocol: identical chains, traffic and
+  // workload stats with metrics on and off.
+  Simulation off(smoke_spec(/*metrics_level=*/0));
+  const RunReport r_off = off.run_to_completion();
+  Simulation on(smoke_spec(/*metrics_level=*/1));
+  const RunReport r_on = on.run_to_completion();
+  EXPECT_EQ(r_off.min_height, r_on.min_height);
+  EXPECT_EQ(r_off.max_height, r_on.max_height);
+  EXPECT_EQ(r_off.messages, r_on.messages);
+  EXPECT_EQ(r_off.bytes, r_on.bytes);
+  EXPECT_EQ(r_off.sync_messages, r_on.sync_messages);
+  EXPECT_TRUE(r_off.workload == r_on.workload);
+}
+
+// -- Determinism: serial == parallel ----------------------------------------
+
+TEST(MetricsDeterminism, SerialAndParallelSeriesByteIdenticalAllProtocols) {
+  MatrixSpec spec;
+  spec.protocols = {Protocol::kPrft, Protocol::kHotStuff, Protocol::kRaftLite,
+                    Protocol::kQuorum};
+  spec.committee_sizes = {4};
+  spec.nets = {NetKind::kSynchronous, NetKind::kPartialSynchrony};
+  spec.seeds = {1, 2};
+  spec.target_blocks = 2;
+  spec.workload_txs = 8;
+  spec.metrics_level = 1;
+
+  MatrixSpec parallel = spec;
+  parallel.workers = 4;
+  MatrixSpec serial = spec;
+  serial.workers = 1;
+
+  const MatrixReport par = run_matrix(parallel);
+  const MatrixReport ser = run_matrix(serial);
+  ASSERT_EQ(par.cell_count(), ser.cell_count());
+  for (std::size_t i = 0; i < par.cells.size(); ++i) {
+    EXPECT_FALSE(par.cells[i].metrics.empty())
+        << "metrics off in " << par.cells[i].label();
+    EXPECT_TRUE(par.cells[i].metrics == ser.cells[i].metrics)
+        << "metrics series diverged in " << par.cells[i].label();
+  }
+  // Aggregations built from identical cells agree too.
+  EXPECT_TRUE(par.aggregate_metrics() == ser.aggregate_metrics());
+}
+
+// -- Liveness watchdog ------------------------------------------------------
+
+TEST(LivenessWatchdog, NamesUnhealedPartitionStallBeforeHorizon) {
+  ScenarioSpec spec = smoke_spec(/*metrics_level=*/1);
+  spec.net = NetworkSpec::partial_synchrony(/*gst=*/msec(50));
+  // Quorum-splitting partition that never heals: no cell can finalize.
+  spec.faults.partition({{0, 1}, {2, 3}}, /*at=*/0, /*heal_at=*/sec(100000));
+  spec.watchdog_ticks = 20;
+  spec.budget.horizon = sec(120);
+
+  Simulation sim(spec);
+  const RunReport report = sim.run_to_completion();
+  EXPECT_TRUE(sim.stalled());
+  const MetricsStats& m = report.metrics;
+  ASSERT_TRUE(m.stalled);
+  EXPECT_GE(m.stalled_at, msec(50));
+  // All four replicas are live, honest and stuck at height 0.
+  EXPECT_EQ(m.stalled_replicas, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_NE(m.stall_verdict.find("liveness stall"), std::string::npos)
+      << m.stall_verdict;
+  EXPECT_NE(m.stall_verdict.find("n0"), std::string::npos) << m.stall_verdict;
+  // The verdict arrived long before the 120 s budget would have expired.
+  EXPECT_LT(report.sim_time, sec(10));
+}
+
+TEST(LivenessWatchdog, StallSurfacesInMatrixSummaryAndAggregation) {
+  MatrixSpec spec;
+  spec.protocols = {Protocol::kPrft};
+  spec.committee_sizes = {4};
+  spec.nets = {NetKind::kPartialSynchrony};
+  spec.seeds = {1};
+  // Crash a quorum's worth of replicas: the two survivors can never
+  // finalize, so the cell stalls after GST (msec(200) by default).
+  spec.crash_count = 2;
+  spec.horizon = sec(120);
+  spec.metrics_level = 1;
+
+  const MatrixReport report = run_matrix(spec);
+  ASSERT_EQ(report.cell_count(), 1u);
+  ASSERT_TRUE(report.cells[0].metrics.stalled);
+  EXPECT_EQ(report.cells[0].metrics.stalled_replicas,
+            (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(report.stalled_cells().size(), 1u);
+  EXPECT_TRUE(report.aggregate_metrics().stalled);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("STALLED"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("liveness stall"), std::string::npos) << summary;
+}
+
+TEST(LivenessWatchdog, InertOnHealthyAndAsynchronousCells) {
+  // Synchronous, healthy: no stall.
+  Simulation healthy(smoke_spec(/*metrics_level=*/1));
+  EXPECT_FALSE(healthy.run_to_completion().metrics.stalled);
+  // Asynchronous (no GST): the watchdog never arms.
+  ScenarioSpec async_spec = smoke_spec(/*metrics_level=*/1);
+  async_spec.net.kind = NetKind::kAsynchronous;
+  Simulation async_sim(async_spec);
+  EXPECT_FALSE(async_sim.run_to_completion().metrics.stalled);
+}
+
+// -- JsonValue parser -------------------------------------------------------
+
+TEST(JsonValue, ParsesScalarsContainersAndEscapes) {
+  const auto parsed = JsonValue::parse(
+      R"({"a":[1,2.5,-3e2],"b":"x\n\"y\"A","c":true,"d":null,)"
+      R"("nested":{"k":7}})");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_object());
+  const JsonValue* a = parsed->get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(a->items[1].as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->items[2].as_number(), -300.0);
+  EXPECT_EQ(parsed->get("b")->as_string(), "x\n\"y\"A");
+  EXPECT_TRUE(parsed->get("c")->as_bool());
+  EXPECT_TRUE(parsed->get("d")->is_null());
+  const JsonValue* k = parsed->at_path("nested.k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_DOUBLE_EQ(k->as_number(), 7.0);
+  EXPECT_EQ(parsed->at_path("nested.missing"), nullptr);
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,2] garbage").has_value());
+  EXPECT_FALSE(JsonValue::parse("tru").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\" 1}").has_value());
+}
+
+TEST(JsonValue, RoundTripsJsonWriterOutput) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("name").value("matrix");
+  writer.key("count").value(std::int64_t{42});
+  writer.key("rate").value(1.5);
+  writer.key("ok").value(true);
+  writer.key("items").begin_array().value(std::int64_t{1}).null().end_array();
+  writer.end_object();
+  const auto parsed = JsonValue::parse(writer.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get("name")->as_string(), "matrix");
+  EXPECT_DOUBLE_EQ(parsed->at_path("count")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parsed->get("rate")->as_number(), 1.5);
+  EXPECT_TRUE(parsed->get("ok")->as_bool());
+  ASSERT_EQ(parsed->get("items")->items.size(), 2u);
+  EXPECT_TRUE(parsed->get("items")->items[1].is_null());
+}
+
+// -- bench_compare rules ----------------------------------------------------
+
+constexpr const char* kMatrixArtifact =
+    R"({"bench":"matrix_sweep","all_safe":true,"cells_per_sec":10.0,)"
+    R"("total_messages":1000,"total_bytes":50000,)"
+    R"("workload":{"finalized":100,"p99_us":2000}})";
+
+TEST(BenchCompare, UnchangedArtifactPasses) {
+  const auto base = JsonValue::parse(kMatrixArtifact);
+  ASSERT_TRUE(base.has_value());
+  const CompareReport report = compare_artifacts(*base, *base);
+  EXPECT_EQ(report.bench, "matrix_sweep");
+  EXPECT_TRUE(report.errors.empty());
+  EXPECT_EQ(report.verdict(), 0) << report.summary();
+}
+
+TEST(BenchCompare, DoctoredRegressionFailsOnlyInWorseDirection) {
+  const auto base = JsonValue::parse(kMatrixArtifact);
+  ASSERT_TRUE(base.has_value());
+  // cells_per_sec halved (beyond the 50% fail band) and a safety bit lost.
+  const auto worse = JsonValue::parse(
+      R"({"bench":"matrix_sweep","all_safe":false,"cells_per_sec":4.0,)"
+      R"("total_messages":1000,"total_bytes":50000,)"
+      R"("workload":{"finalized":100,"p99_us":2000}})");
+  ASSERT_TRUE(worse.has_value());
+  const CompareReport fail = compare_artifacts(*base, *worse);
+  EXPECT_EQ(fail.verdict(), 2) << fail.summary();
+
+  // The same magnitude in the better direction never trips the gate.
+  const auto better = JsonValue::parse(
+      R"({"bench":"matrix_sweep","all_safe":true,"cells_per_sec":25.0,)"
+      R"("total_messages":500,"total_bytes":25000,)"
+      R"("workload":{"finalized":120,"p99_us":1000}})");
+  ASSERT_TRUE(better.has_value());
+  EXPECT_EQ(compare_artifacts(*base, *better).verdict(), 0);
+
+  // Mid-band movement warns without failing.
+  const auto slower = JsonValue::parse(
+      R"({"bench":"matrix_sweep","all_safe":true,"cells_per_sec":7.0,)"
+      R"("total_messages":1000,"total_bytes":50000,)"
+      R"("workload":{"finalized":100,"p99_us":2000}})");
+  ASSERT_TRUE(slower.has_value());
+  EXPECT_EQ(compare_artifacts(*base, *slower).verdict(), 1);
+}
+
+TEST(BenchCompare, KindMismatchAndUnknownKindFail) {
+  const auto matrix = JsonValue::parse(kMatrixArtifact);
+  const auto workload_kind = JsonValue::parse(R"({"bench":"workload"})");
+  ASSERT_TRUE(matrix.has_value());
+  ASSERT_TRUE(workload_kind.has_value());
+  EXPECT_EQ(compare_artifacts(*matrix, *workload_kind).verdict(), 2);
+  const auto unknown = JsonValue::parse(R"({"bench":"mystery"})");
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(compare_artifacts(*unknown, *unknown).verdict(), 2);
+}
+
+TEST(BenchCompare, SerializationRulesCoverDerivedShapeMeans) {
+  const char* base_text =
+      R"({"bench":"serialization","paths_agree":true,"shapes":[)"
+      R"({"shape":"vote","encode_ns":100.0,"formats":[)"
+      R"({"format":"copying","decode_ns":50.0,"decode_verify_ns":500.0},)"
+      R"({"format":"zero_copy","decode_ns":10.0,"decode_verify_ns":400.0}]}]})";
+  const auto base = JsonValue::parse(base_text);
+  ASSERT_TRUE(base.has_value());
+  EXPECT_EQ(compare_artifacts(*base, *base).verdict(), 0);
+  // zero_copy decode 2x slower (beyond the 60% band) => fail.
+  const auto worse = JsonValue::parse(
+      R"({"bench":"serialization","paths_agree":true,"shapes":[)"
+      R"({"shape":"vote","encode_ns":100.0,"formats":[)"
+      R"({"format":"copying","decode_ns":50.0,"decode_verify_ns":500.0},)"
+      R"({"format":"zero_copy","decode_ns":25.0,"decode_verify_ns":400.0}]}]})");
+  ASSERT_TRUE(worse.has_value());
+  EXPECT_EQ(compare_artifacts(*base, *worse).verdict(), 2);
+}
+
+TEST(BenchCompare, FileModeReportsDoctoredArtifact) {
+  const std::string dir = ::testing::TempDir();
+  const std::string base_path = dir + "/BENCH_compare_base.json";
+  const std::string cur_path = dir + "/BENCH_compare_cur.json";
+  ASSERT_TRUE(write_text_file(base_path, kMatrixArtifact));
+  ASSERT_TRUE(write_text_file(
+      cur_path,
+      R"({"bench":"matrix_sweep","all_safe":true,"cells_per_sec":2.0,)"
+      R"("total_messages":1000,"total_bytes":50000,)"
+      R"("workload":{"finalized":100,"p99_us":2000}})"));
+  const CompareReport report = compare_files(base_path, cur_path);
+  EXPECT_EQ(report.verdict(), 2) << report.summary();
+  EXPECT_NE(report.summary().find("cells_per_sec"), std::string::npos);
+
+  // Missing and malformed files are structural errors, not passes.
+  EXPECT_EQ(compare_files(dir + "/does_not_exist.json", cur_path).verdict(),
+            2);
+  ASSERT_TRUE(write_text_file(cur_path, "not json"));
+  EXPECT_EQ(compare_files(base_path, cur_path).verdict(), 2);
+}
+
+TEST(BenchCompare, JsonReportRoundTrips) {
+  const auto base = JsonValue::parse(kMatrixArtifact);
+  ASSERT_TRUE(base.has_value());
+  const CompareReport report = compare_artifacts(*base, *base);
+  JsonWriter json;
+  write_compare_json(json, report);
+  const auto parsed = JsonValue::parse(json.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get("verdict")->as_string(), "pass");
+  EXPECT_GT(parsed->get("findings")->items.size(), 0u);
+}
+
+// -- Metrics JSON -----------------------------------------------------------
+
+TEST(MetricsJson, WriteMetricsJsonParsesAndCarriesSeries) {
+  Simulation sim(smoke_spec(/*metrics_level=*/1));
+  const RunReport report = sim.run_to_completion();
+  JsonWriter json;
+  write_metrics_json(json, report.metrics);
+  const auto parsed = JsonValue::parse(json.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->get("level")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(parsed->get("ticks")->as_number(),
+                   static_cast<double>(report.metrics.ticks));
+  EXPECT_FALSE(parsed->get("stalled")->as_bool());
+  const JsonValue* series = parsed->get("series");
+  ASSERT_NE(series, nullptr);
+  const JsonValue* height = series->get("finalized_height");
+  ASSERT_NE(height, nullptr);
+  ASSERT_TRUE(height->is_array());
+  ASSERT_GT(height->items.size(), 0u);
+  // Each entry is a [t, value] pair; the last summed height across 4 nodes
+  // is 4 * target(3) = 12.
+  const JsonValue& last = height->items.back();
+  ASSERT_EQ(last.items.size(), 2u);
+  EXPECT_DOUBLE_EQ(last.items[1].as_number(), 12.0);
+}
+
+// -- ObservabilityFlags -----------------------------------------------------
+
+TEST(ObservabilityFlagsTest, ToArgsRoundTripsIncludingMetricsAndCompare) {
+  ObservabilityFlags obs;
+  obs.prof_level = 0;
+  obs.trace_level = 2;
+  obs.metrics_level = 1;
+  obs.forensics_dir = "build/forensics";
+  obs.compare_baseline = "bench/baselines/BENCH_matrix_smoke.baseline.json";
+  obs.dump_slowest = "trace.json";
+
+  std::vector<std::string> args = obs.to_args();
+  std::vector<char*> argv;
+  std::string prog = "bench";
+  argv.push_back(prog.data());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  const Flags flags(static_cast<int>(argv.size()), argv.data());
+  const ObservabilityFlags parsed = parse_observability_flags(flags);
+  EXPECT_EQ(parsed, obs);
+}
+
+TEST(ObservabilityFlagsTest, DefaultsSurviveAbsentFlags) {
+  std::string prog = "bench";
+  char* argv[] = {prog.data()};
+  const Flags flags(1, argv);
+  ObservabilityFlags defaults;
+  defaults.metrics_level = 1;  // a bench's own default
+  const ObservabilityFlags parsed = parse_observability_flags(flags, defaults);
+  EXPECT_EQ(parsed, defaults);
+}
+
+}  // namespace
+}  // namespace ratcon::harness
